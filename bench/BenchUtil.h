@@ -1,0 +1,56 @@
+//===-- bench/BenchUtil.h - Shared benchmark helpers ------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing and formatting helpers shared by the table-style benchmark
+/// harnesses. SHARC_BENCH_SCALE (env) multiplies workload sizes;
+/// SHARC_BENCH_REPS (env) sets timing repetitions (default 3, min taken).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_BENCH_BENCHUTIL_H
+#define SHARC_BENCH_BENCHUTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sharc {
+namespace bench {
+
+inline unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *Value = std::getenv(Name);
+  return Value ? static_cast<unsigned>(std::atoi(Value)) : Default;
+}
+
+inline unsigned scale() { return envUnsigned("SHARC_BENCH_SCALE", 1); }
+inline unsigned reps() { return envUnsigned("SHARC_BENCH_REPS", 3); }
+
+/// Times Fn() over reps() runs and returns the minimum seconds (min is
+/// the standard noise-robust statistic for fixed-work benchmarks).
+template <typename FnT> double timeMinSeconds(FnT Fn) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e100;
+  unsigned N = reps();
+  for (unsigned I = 0; I != N; ++I) {
+    auto Start = Clock::now();
+    Fn();
+    double Sec = std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Sec < Best)
+      Best = Sec;
+  }
+  return Best;
+}
+
+inline double pct(double Part, double Whole) {
+  return Whole > 0 ? 100.0 * Part / Whole : 0.0;
+}
+
+} // namespace bench
+} // namespace sharc
+
+#endif // SHARC_BENCH_BENCHUTIL_H

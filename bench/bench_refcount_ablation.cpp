@@ -1,0 +1,137 @@
+//===-- bench/bench_refcount_ablation.cpp - Section 4.3's claim -----------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the reference-counting design ablation of Section 4.3:
+//
+//   "Applying [atomic reference counting] directly in SharC implies
+//    atomically updating reference counts for all pointer writes. The
+//    resulting overhead is unacceptable ... (over 60% in many cases)."
+//
+// Four configurations of a pointer-write-heavy kernel (threads shuffling
+// block pointers through counted slots, pbzip2-style):
+//
+//   none        no reference counting (lower bound)
+//   atomic-all  naive: atomic count updates on *every* pointer write
+//   atomic-rc   atomic counting on castable slots only (the paper's
+//               first optimization: the RC-site analysis)
+//   lp          the adapted Levanoni-Petrank algorithm (the shipped one)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "rt/Sharc.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace sharc;
+using namespace sharc::bench;
+
+namespace {
+
+constexpr unsigned NumSlots = 64;
+constexpr unsigned NumObjects = 16;
+
+/// The kernel: threads shuffle object pointers between slots. Every store
+/// is a counted pointer write; the work between stores is trivial, so the
+/// barrier cost dominates -- the paper's worst case.
+uint64_t shuffleKernel(unsigned NumThreads, unsigned StoresPerThread,
+                       bool EveryWriteCounted) {
+  rt::Runtime &RT = rt::Runtime::get();
+  std::vector<void *> Objects;
+  for (unsigned I = 0; I != NumObjects; ++I)
+    Objects.push_back(RT.allocate(64));
+
+  struct alignas(64) Bank {
+    void *Slots[NumSlots];
+  };
+  std::vector<Bank> Banks(NumThreads);
+  for (auto &B : Banks)
+    for (auto &Slot : B.Slots)
+      RT.rcInitSlot(&Slot);
+
+  // "Uncounted" pointer writes modelled alongside: when EveryWriteCounted
+  // is set they go through the barrier too (the naive scheme); otherwise
+  // they are plain stores (the RC-site analysis proved they cannot be
+  // cast).
+  struct alignas(64) PlainBank {
+    void *Slots[NumSlots];
+  };
+  std::vector<PlainBank> PlainBanks(NumThreads);
+
+  std::vector<Thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      uint64_t Rng = 0x1234 + T;
+      for (unsigned I = 0; I != StoresPerThread; ++I) {
+        Rng = Rng * 6364136223846793005ull + 1442695040888963407ull;
+        unsigned Slot = (Rng >> 33) % NumSlots;
+        void *Value = Objects[(Rng >> 13) % NumObjects];
+        // One castable-slot store...
+        RT.rcStore(&Banks[T].Slots[Slot], Value);
+        // ...and three "ordinary" pointer writes for every counted one.
+        for (unsigned K = 1; K != 4; ++K) {
+          unsigned PSlot = (Slot + K) % NumSlots;
+          if (EveryWriteCounted)
+            RT.rcStore(&PlainBanks[T].Slots[PSlot], Value);
+          else
+            PlainBanks[T].Slots[PSlot] = Value;
+        }
+      }
+    });
+  for (Thread &T : Threads)
+    T.join();
+
+  uint64_t Check = 0;
+  for (auto &B : Banks)
+    for (void *Slot : B.Slots)
+      Check ^= reinterpret_cast<uintptr_t>(Slot);
+  for (void *Obj : Objects)
+    RT.deallocate(Obj);
+  return Check;
+}
+
+double runMode(const char *Label, rt::RcMode Mode, bool EveryWriteCounted,
+               unsigned NumThreads, unsigned Stores, double BaselineSec) {
+  double Sec = timeMinSeconds([&] {
+    rt::RuntimeConfig Config;
+    Config.Rc = Mode;
+    Config.DiagMode = false;
+    rt::Runtime::init(Config);
+    shuffleKernel(NumThreads, Stores, EveryWriteCounted);
+    rt::Runtime::shutdown();
+  });
+  double TotalStores = 4.0 * NumThreads * Stores;
+  std::printf("  %-11s %8.3fs  %6.1f ns/ptr-write  %+7.1f%% vs none\n",
+              Label, Sec, 1e9 * Sec / TotalStores,
+              BaselineSec > 0 ? 100.0 * (Sec - BaselineSec) / BaselineSec
+                              : 0.0);
+  return Sec;
+}
+
+} // namespace
+
+int main() {
+  unsigned NumThreads = 3;
+  unsigned Stores = 200000 * scale();
+  std::printf("=== Reference counting ablation (Section 4.3) ===\n");
+  std::printf("kernel: %u threads x %u counted stores (1 castable : 3 "
+              "ordinary pointer writes)\n\n",
+              NumThreads, Stores);
+
+  double None =
+      runMode("none", rt::RcMode::None, false, NumThreads, Stores, 0);
+  runMode("atomic-all", rt::RcMode::Atomic, true, NumThreads, Stores, None);
+  runMode("atomic-rc", rt::RcMode::Atomic, false, NumThreads, Stores, None);
+  runMode("lp", rt::RcMode::LevanoniPetrank, false, NumThreads, Stores,
+          None);
+
+  std::printf("\npaper's claim: counting every pointer write atomically "
+              "costs \"over 60%%\"; restricting to castable slots and "
+              "using the adapted Levanoni-Petrank logs brings it down to "
+              "the shipped overhead.\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+//===-- bench/bench_runtime_micro.cpp - Runtime primitive costs -----------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the mechanisms of Section 4.2/4.3:
+// shadow check fast path (bits already set) and cold path, lock-log
+// lookup, counted stores under each engine, sharing casts (which under
+// Levanoni-Petrank include a collection), and thread-exit clearing via
+// the first-access log.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Sharc.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sharc;
+
+namespace {
+
+/// Creates a runtime for the benchmark's lifetime.
+class RuntimeScope {
+public:
+  explicit RuntimeScope(rt::RcMode Mode = rt::RcMode::LevanoniPetrank,
+                        bool Diag = false) {
+    rt::RuntimeConfig Config;
+    Config.Rc = Mode;
+    Config.DiagMode = Diag;
+    rt::Runtime::init(Config);
+  }
+  ~RuntimeScope() { rt::Runtime::shutdown(); }
+};
+
+void BM_ChkReadHit(benchmark::State &State) {
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  int *P = static_cast<int *>(RT.allocate(64));
+  RT.checkRead(P, 4, nullptr); // warm: own bit set
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.checkRead(P, 4, nullptr));
+  RT.deallocate(P);
+}
+BENCHMARK(BM_ChkReadHit);
+
+void BM_ChkWriteHit(benchmark::State &State) {
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  int *P = static_cast<int *>(RT.allocate(64));
+  RT.checkWrite(P, 4, nullptr);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.checkWrite(P, 4, nullptr));
+  RT.deallocate(P);
+}
+BENCHMARK(BM_ChkWriteHit);
+
+void BM_ChkReadColdGranules(benchmark::State &State) {
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  constexpr size_t Bytes = 1 << 22;
+  char *Buf = static_cast<char *>(RT.allocate(Bytes));
+  size_t Offset = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(RT.checkRead(Buf + Offset, 1, nullptr));
+    Offset = (Offset + 16) % Bytes; // a new granule every time
+  }
+  RT.deallocate(Buf);
+}
+BENCHMARK(BM_ChkReadColdGranules);
+
+void BM_ChkWriteRange4K(benchmark::State &State) {
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  char *Buf = static_cast<char *>(RT.allocate(4096));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.checkWrite(Buf, 4096, nullptr));
+  State.SetBytesProcessed(int64_t(State.iterations()) * 4096);
+  RT.deallocate(Buf);
+}
+BENCHMARK(BM_ChkWriteRange4K);
+
+void BM_LockLogCheck(benchmark::State &State) {
+  RuntimeScope Scope;
+  Mutex M1, M2, M3;
+  M1.lock();
+  M2.lock();
+  M3.lock();
+  int Data = 0;
+  rt::Runtime &RT = rt::Runtime::get();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(RT.checkLockHeld(&M2, &Data, nullptr));
+  M3.unlock();
+  M2.unlock();
+  M1.unlock();
+}
+BENCHMARK(BM_LockLogCheck);
+
+void BM_CountedStoreLp(benchmark::State &State) {
+  RuntimeScope Scope(rt::RcMode::LevanoniPetrank);
+  rt::Runtime &RT = rt::Runtime::get();
+  void *Obj = RT.allocate(64);
+  void *Slot = nullptr;
+  RT.rcInitSlot(&Slot);
+  for (auto _ : State)
+    RT.rcStore(&Slot, Obj);
+  RT.rcStore(&Slot, nullptr);
+  RT.deallocate(Obj);
+}
+BENCHMARK(BM_CountedStoreLp);
+
+void BM_CountedStoreAtomic(benchmark::State &State) {
+  RuntimeScope Scope(rt::RcMode::Atomic);
+  rt::Runtime &RT = rt::Runtime::get();
+  void *Obj = RT.allocate(64);
+  void *Slot = nullptr;
+  RT.rcInitSlot(&Slot);
+  for (auto _ : State)
+    RT.rcStore(&Slot, Obj);
+  RT.rcStore(&Slot, nullptr);
+  RT.deallocate(Obj);
+}
+BENCHMARK(BM_CountedStoreAtomic);
+
+void BM_SharingCastLp(benchmark::State &State) {
+  // Includes the epoch flip + log processing of a collection per cast.
+  RuntimeScope Scope(rt::RcMode::LevanoniPetrank);
+  rt::Runtime &RT = rt::Runtime::get();
+  void *Obj = RT.allocate(64);
+  void *Slot = nullptr;
+  RT.rcInitSlot(&Slot);
+  for (auto _ : State) {
+    RT.rcStore(&Slot, Obj);
+    benchmark::DoNotOptimize(RT.scast(&Slot, 64, nullptr));
+  }
+  RT.deallocate(Obj);
+}
+BENCHMARK(BM_SharingCastLp);
+
+void BM_SharingCastAtomic(benchmark::State &State) {
+  RuntimeScope Scope(rt::RcMode::Atomic);
+  rt::Runtime &RT = rt::Runtime::get();
+  void *Obj = RT.allocate(64);
+  void *Slot = nullptr;
+  RT.rcInitSlot(&Slot);
+  for (auto _ : State) {
+    RT.rcStore(&Slot, Obj);
+    benchmark::DoNotOptimize(RT.scast(&Slot, 64, nullptr));
+  }
+  RT.deallocate(Obj);
+}
+BENCHMARK(BM_SharingCastAtomic);
+
+void BM_ThreadExitClearing(benchmark::State &State) {
+  // Cost of clearing a thread's bits via its first-access log, per
+  // touched granule (Section 4.2.1's "made efficient by logging").
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  constexpr unsigned Granules = 1024;
+  char *Buf = static_cast<char *>(RT.allocate(Granules * 16));
+  for (auto _ : State) {
+    Thread T([&] {
+      for (unsigned I = 0; I != Granules; ++I)
+        RT.checkWrite(Buf + I * 16, 1, nullptr);
+    });
+    T.join(); // join includes exit clearing
+  }
+  State.SetItemsProcessed(int64_t(State.iterations()) * Granules);
+  RT.deallocate(Buf);
+}
+BENCHMARK(BM_ThreadExitClearing);
+
+void BM_HeapAllocFree(benchmark::State &State) {
+  RuntimeScope Scope;
+  rt::Runtime &RT = rt::Runtime::get();
+  for (auto _ : State) {
+    void *P = RT.allocate(256);
+    benchmark::DoNotOptimize(P);
+    RT.deallocate(P);
+  }
+}
+BENCHMARK(BM_HeapAllocFree);
+
+} // namespace
+
+BENCHMARK_MAIN();

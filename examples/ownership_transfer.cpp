@@ -1,0 +1,80 @@
+//===-- examples/ownership_transfer.cpp - Sharing casts in anger ----------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the reference-counted sharing cast (paper Sections 2,
+// 4.2.3, 4.3): an object moves private -> shared mailbox -> private, and
+// the runtime proves at each cast that exactly one reference exists. The
+// second half shows the failure mode: a forgotten alias in another
+// counted slot makes the cast unsound, and SharC reports it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Sharc.h"
+
+#include <cstdio>
+
+using namespace sharc;
+
+namespace {
+
+struct Parcel {
+  int Payload[8] = {};
+};
+
+} // namespace
+
+int main() {
+  rt::Runtime::init();
+  {
+    // --- the clean handoff -------------------------------------------------
+    auto *Box = sharc::alloc<Counted<Parcel>>(); // a shared mailbox slot
+
+    Parcel *Mine = sharc::alloc<Parcel>();
+    Mine->Payload[0] = 42;
+    std::printf("refcount before publish: %lld\n",
+                static_cast<long long>(rt::Runtime::get().refCount(Mine)));
+
+    // private -> mailbox: the cast checks we hold the only reference.
+    Box->store(scastIn(Mine, SHARC_SITE("mine")));
+    std::printf("refcount while published: %lld (the mailbox)\n",
+                static_cast<long long>(
+                    rt::Runtime::get().refCount(Box->load())));
+
+    Thread Consumer([&] {
+      // mailbox -> private: nulls the slot, verifies sole ownership.
+      Parcel *Claimed = scastOut(*Box, SHARC_SITE("box"));
+      std::printf("consumer claimed payload %d; refcount now %lld\n",
+                  Claimed->Payload[0],
+                  static_cast<long long>(
+                      rt::Runtime::get().refCount(Claimed)));
+      sharc::dealloc(Claimed);
+    });
+    Consumer.join();
+
+    // --- the unsound handoff ------------------------------------------------
+    auto *Alias = sharc::alloc<Counted<Parcel>>();
+    Parcel *Second = sharc::alloc<Parcel>();
+    Parcel *Local = Second;
+    Box->store(scastIn(Local, SHARC_SITE("local"))); // published once
+    Alias->store(Box->load()); // BUG: a second counted reference
+
+    // Claiming it now is rejected: another reference survives the cast.
+    Parcel *Claimed = scastOut(*Box, SHARC_SITE("box"));
+    (void)Claimed;
+    auto Reports = rt::Runtime::get().getReports().getReports();
+    std::printf("\nSharC reports for the aliased cast (%zu):\n",
+                Reports.size());
+    for (const auto &Report : Reports)
+      std::printf("%s", Report.format().c_str());
+
+    Alias->store(nullptr);
+    sharc::dealloc(Second);
+    sharc::dealloc(Box);
+    sharc::dealloc(Alias);
+  }
+  rt::Runtime::shutdown();
+  return 0;
+}

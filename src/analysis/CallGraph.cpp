@@ -1,0 +1,171 @@
+//===-- analysis/CallGraph.cpp --------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace sharc;
+using namespace sharc::analysis;
+using namespace sharc::minic;
+
+CallGraph::CallGraph(Program &Prog) : Prog(Prog) {
+  for (FuncDecl *F : Prog.Funcs)
+    if (F->Body)
+      scanStmt(F, F->Body);
+}
+
+void CallGraph::addEdge(FuncDecl *From, FuncDecl *To) {
+  auto &List = Edges[From];
+  if (std::find(List.begin(), List.end(), To) == List.end())
+    List.push_back(To);
+}
+
+void CallGraph::addIndirectEdges(FuncDecl *From, const TypeNode *FnType) {
+  // A function pointer may alias any type-compatible function ("sound
+  // under our type and memory safety assumption").
+  for (FuncDecl *Candidate : Prog.Funcs) {
+    if (Candidate->IsBuiltin || !Candidate->FuncType)
+      continue;
+    if (sameShape(Candidate->FuncType, FnType))
+      addEdge(From, Candidate);
+  }
+}
+
+void CallGraph::scanStmt(FuncDecl *F, Stmt *S) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Block:
+    for (Stmt *Child : cast<BlockStmt>(S)->Body)
+      scanStmt(F, Child);
+    return;
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    scanExpr(F, If->Cond);
+    scanStmt(F, If->Then);
+    scanStmt(F, If->Else);
+    return;
+  }
+  case StmtKind::While: {
+    auto *While = cast<WhileStmt>(S);
+    scanExpr(F, While->Cond);
+    scanStmt(F, While->Body);
+    return;
+  }
+  case StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    scanStmt(F, For->Init);
+    scanExpr(F, For->Cond);
+    scanExpr(F, For->Step);
+    scanStmt(F, For->Body);
+    return;
+  }
+  case StmtKind::Return:
+    scanExpr(F, cast<ReturnStmt>(S)->Value);
+    return;
+  case StmtKind::ExprStmt:
+    scanExpr(F, cast<ExprStmt>(S)->E);
+    return;
+  case StmtKind::DeclStmt:
+    scanExpr(F, cast<DeclStmt>(S)->Init);
+    return;
+  case StmtKind::Spawn: {
+    auto *Spawn = cast<SpawnStmt>(S);
+    scanExpr(F, Spawn->Arg);
+    if (Spawn->Callee) {
+      SpawnRoots.push_back(Spawn->Callee);
+      addEdge(F, Spawn->Callee);
+    }
+    return;
+  }
+  case StmtKind::Free:
+    scanExpr(F, cast<FreeStmt>(S)->Ptr);
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+void CallGraph::scanExpr(FuncDecl *F, Expr *E) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::Call: {
+    auto *Call = cast<CallExpr>(E);
+    scanExpr(F, Call->Callee);
+    for (Expr *Arg : Call->Args)
+      scanExpr(F, Arg);
+    if (auto *Name = dyn_cast<NameExpr>(Call->Callee)) {
+      if (Name->Func) {
+        addEdge(F, Name->Func);
+        return;
+      }
+    }
+    // Indirect call: use the callee expression's type.
+    const TypeNode *CalleeType = Call->Callee->ExprType;
+    if (CalleeType && CalleeType->isPointer())
+      CalleeType = CalleeType->Pointee;
+    if (CalleeType && CalleeType->isFunc())
+      addIndirectEdges(F, CalleeType);
+    return;
+  }
+  case ExprKind::Unary:
+    scanExpr(F, cast<UnaryExpr>(E)->Sub);
+    return;
+  case ExprKind::Binary: {
+    auto *Binary = cast<BinaryExpr>(E);
+    scanExpr(F, Binary->Lhs);
+    scanExpr(F, Binary->Rhs);
+    return;
+  }
+  case ExprKind::Assign: {
+    auto *Assign = cast<AssignExpr>(E);
+    scanExpr(F, Assign->Lhs);
+    scanExpr(F, Assign->Rhs);
+    return;
+  }
+  case ExprKind::Member:
+    scanExpr(F, cast<MemberExpr>(E)->Base);
+    return;
+  case ExprKind::Index: {
+    auto *Index = cast<IndexExpr>(E);
+    scanExpr(F, Index->Base);
+    scanExpr(F, Index->Idx);
+    return;
+  }
+  case ExprKind::Scast:
+    scanExpr(F, cast<ScastExpr>(E)->Src);
+    return;
+  case ExprKind::New:
+    scanExpr(F, cast<NewExpr>(E)->Count);
+    return;
+  default:
+    return;
+  }
+}
+
+const std::vector<FuncDecl *> &CallGraph::calleesOf(FuncDecl *F) const {
+  auto It = Edges.find(F);
+  return It == Edges.end() ? Empty : It->second;
+}
+
+std::set<FuncDecl *>
+CallGraph::reachableFrom(const std::vector<FuncDecl *> &Roots) const {
+  std::set<FuncDecl *> Seen;
+  std::deque<FuncDecl *> Work(Roots.begin(), Roots.end());
+  while (!Work.empty()) {
+    FuncDecl *F = Work.front();
+    Work.pop_front();
+    if (!Seen.insert(F).second)
+      continue;
+    for (FuncDecl *Callee : calleesOf(F))
+      Work.push_back(Callee);
+  }
+  return Seen;
+}

@@ -1,0 +1,65 @@
+//===-- analysis/CallGraph.h - Whole-program call graph ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the call graph the sharing analysis walks to find functions
+/// reachable from thread spawns (paper Section 4.1): direct calls plus
+/// indirect calls, where "we handle function pointers by assuming that
+/// they may alias any function in the program of the appropriate type".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_ANALYSIS_CALLGRAPH_H
+#define SHARC_ANALYSIS_CALLGRAPH_H
+
+#include "minic/AST.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace sharc {
+namespace analysis {
+
+/// Call graph over a typed program (ExprTyper must have run).
+class CallGraph {
+public:
+  explicit CallGraph(minic::Program &Prog);
+
+  /// Functions called (directly or possibly-indirectly) from \p F.
+  const std::vector<minic::FuncDecl *> &calleesOf(minic::FuncDecl *F) const;
+
+  /// Functions spawned as threads anywhere in the program.
+  const std::vector<minic::FuncDecl *> &getSpawnRoots() const {
+    return SpawnRoots;
+  }
+
+  /// Transitive closure of calleesOf from \p Roots (including the roots).
+  std::set<minic::FuncDecl *>
+  reachableFrom(const std::vector<minic::FuncDecl *> &Roots) const;
+
+  /// Functions reachable from any spawn root: the code that can run on a
+  /// non-initial thread.
+  std::set<minic::FuncDecl *> threadReachable() const {
+    return reachableFrom(SpawnRoots);
+  }
+
+private:
+  void scanStmt(minic::FuncDecl *F, minic::Stmt *S);
+  void scanExpr(minic::FuncDecl *F, minic::Expr *E);
+  void addEdge(minic::FuncDecl *From, minic::FuncDecl *To);
+  void addIndirectEdges(minic::FuncDecl *From, const minic::TypeNode *FnType);
+
+  minic::Program &Prog;
+  std::map<minic::FuncDecl *, std::vector<minic::FuncDecl *>> Edges;
+  std::vector<minic::FuncDecl *> SpawnRoots;
+  std::vector<minic::FuncDecl *> Empty;
+};
+
+} // namespace analysis
+} // namespace sharc
+
+#endif // SHARC_ANALYSIS_CALLGRAPH_H

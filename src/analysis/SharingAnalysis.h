@@ -1,0 +1,118 @@
+//===-- analysis/SharingAnalysis.h - Qualifier inference --------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 4.1 sharing analysis: selects a sharing mode for
+/// every unannotated type position. In order:
+///
+///  1. Syntactic defaulting rules:
+///     - mutex/cond cells are inherently racy;
+///     - a variable or field named in a locked(...) qualifier must be
+///       readonly (inferred if unannotated, an error if annotated
+///       otherwise);
+///     - an unannotated outermost field qualifier becomes the instance
+///       qualifier (struct qualifier polymorphism, Mode::Poly); an
+///       explicit outermost private on a field is an error;
+///     - unannotated pointer targets inside struct definitions become
+///       dynamic; outside they inherit the pointer's qualifier;
+///     - an array is one object: element and array cell share a mode.
+///
+///  2. Thread-reachability seeding: formals of spawned functions point to
+///     inherently shared objects; globals touched by thread-reachable
+///     code are inherently shared. Seeds become dynamic unless already
+///     annotated; a private annotation on a seed is an error.
+///
+///  3. CQual-style flow-insensitive propagation of dynamic along
+///     assignment-induced equality edges (pointee levels), directed
+///     actual-to-formal edges at calls, and formal-to-actual edges only
+///     for "store-involved" formals (the paper's internal dynamic-in
+///     qualifier, which avoids over-propagating dynamic to callers).
+///
+///  4. Resolution: remaining unannotated positions become private.
+///
+/// The inferred qualifiers are not trusted: the static checker re-checks
+/// well-formedness and the runtime enforces dynamic/locked modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_ANALYSIS_SHARINGANALYSIS_H
+#define SHARC_ANALYSIS_SHARINGANALYSIS_H
+
+#include "analysis/CallGraph.h"
+#include "minic/AST.h"
+#include "support/Diagnostics.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace sharc {
+namespace analysis {
+
+/// Runs qualifier inference over a parsed, shape-typed program, mutating
+/// TypeNode::Q of unannotated positions.
+class SharingAnalysis {
+public:
+  SharingAnalysis(minic::Program &Prog, DiagnosticEngine &Diags);
+
+  /// Runs the whole analysis. \returns true if no errors were reported.
+  bool run();
+
+  /// Thread-reachable functions (valid after run()).
+  const std::set<minic::FuncDecl *> &getThreadReachable() const {
+    return ThreadReachable;
+  }
+
+  /// \returns true if \p T was seeded or reached by the dynamic flow.
+  bool isDynamicFlagged(const minic::TypeNode *T) const {
+    return DynFlagged.count(T) != 0;
+  }
+
+private:
+  //===--- step 1: defaulting ----------------------------------------------
+  void applyDefaultingRules();
+  void defaultFieldType(minic::TypeNode *T, bool Outermost);
+  void enforceLockVarsReadonly();
+
+  //===--- step 2: seeding --------------------------------------------------
+  void seedFromThreads();
+  void seedDynamic(minic::TypeNode *T, SourceLoc Loc, const char *Why);
+  void collectTouchedGlobals(minic::Stmt *S,
+                             std::set<minic::VarDecl *> &Out);
+  void collectTouchedGlobalsExpr(minic::Expr *E,
+                                 std::set<minic::VarDecl *> &Out);
+
+  //===--- step 3: constraints and propagation ------------------------------
+  void generateConstraints();
+  void constrainStmt(minic::FuncDecl *F, minic::Stmt *S);
+  void constrainExpr(minic::FuncDecl *F, minic::Expr *E);
+  void linkAssignment(minic::TypeNode *Lhs, minic::TypeNode *Rhs,
+                      minic::Expr *RhsExpr);
+  void linkEq(minic::TypeNode *A, minic::TypeNode *B);
+  void linkDirected(minic::TypeNode *From, minic::TypeNode *To);
+  void computeStoreInvolvedFormals();
+  void markStoreInvolved(minic::Expr *E);
+  void propagate();
+
+  //===--- step 4: resolution -----------------------------------------------
+  void resolveAll();
+  void resolveTree(minic::TypeNode *T, bool InStructField);
+
+  minic::Program &Prog;
+  DiagnosticEngine &Diags;
+  CallGraph CG;
+
+  std::set<minic::FuncDecl *> ThreadReachable;
+  std::set<const minic::TypeNode *> DynFlagged;
+  std::map<const minic::TypeNode *, std::vector<minic::TypeNode *>> Out;
+  std::set<minic::VarDecl *> StoreInvolved;
+  std::vector<minic::TypeNode *> Worklist;
+};
+
+} // namespace analysis
+} // namespace sharc
+
+#endif // SHARC_ANALYSIS_SHARINGANALYSIS_H

@@ -1,0 +1,187 @@
+//===-- driver/sharcc.cpp - The SharC compiler driver ---------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sharcc: parse a MiniC program, infer sharing-mode annotations, check
+/// the program statically, instrument it, and (optionally) run it under
+/// the checked interpreter.
+///
+///   sharcc file.mc                 check and run
+///   sharcc --infer file.mc         print inferred annotations (Figure 2)
+///   sharcc --check file.mc         static checking only
+///   sharcc --run file.mc           run (after checking)
+///   options: --seed N --fail-stop --entry NAME --max-steps N --quiet
+///
+/// Exit status: 0 clean; 1 static errors or runtime violations; 2 usage.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "interp/Interp.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace sharc;
+
+namespace {
+
+struct DriverOptions {
+  std::string InputPath;
+  bool Infer = false;
+  bool CheckOnly = false;
+  bool Run = false;
+  bool Quiet = false;
+  interp::InterpOptions Interp;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: sharcc [--infer|--check|--run] [--seed N] [--fail-stop]\n"
+      "              [--entry NAME] [--max-steps N] [--quiet] file.mc\n");
+}
+
+bool parseArgs(int Argc, char **Argv, DriverOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--infer") {
+      Options.Infer = true;
+    } else if (Arg == "--check") {
+      Options.CheckOnly = true;
+    } else if (Arg == "--run") {
+      Options.Run = true;
+    } else if (Arg == "--fail-stop") {
+      Options.Interp.FailStop = true;
+    } else if (Arg == "--quiet") {
+      Options.Quiet = true;
+    } else if (Arg == "--seed" && I + 1 < Argc) {
+      Options.Interp.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--max-steps" && I + 1 < Argc) {
+      Options.Interp.MaxSteps = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (Arg == "--entry" && I + 1 < Argc) {
+      Options.Interp.EntryPoint = Argv[++I];
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "sharcc: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else if (Options.InputPath.empty()) {
+      Options.InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "sharcc: multiple input files\n");
+      return false;
+    }
+  }
+  if (Options.InputPath.empty()) {
+    std::fprintf(stderr, "sharcc: no input file\n");
+    return false;
+  }
+  if (!Options.Infer && !Options.CheckOnly && !Options.Run)
+    Options.Run = true; // default: check and run
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  DriverOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+
+  SourceManager SM;
+  std::string Error;
+  FileId File = SM.addFile(Options.InputPath, Error);
+  if (File == InvalidFileId) {
+    std::fprintf(stderr, "sharcc: %s\n", Error.c_str());
+    return 2;
+  }
+
+  DiagnosticEngine Diags(SM);
+  minic::Parser Parser(SM, File, Diags);
+  auto Prog = Parser.parseProgram();
+  if (Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  minic::ExprTyper Typer(*Prog, Diags);
+  if (!Typer.run()) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  analysis::SharingAnalysis Analysis(*Prog, Diags);
+  bool AnalysisOk = Analysis.run();
+
+  if (Options.Infer) {
+    std::printf("%s", minic::printProgram(*Prog).c_str());
+    if (!AnalysisOk) {
+      std::fprintf(stderr, "%s", Diags.render().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (!AnalysisOk) {
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+    return 1;
+  }
+
+  checker::Checker Check(*Prog, Diags);
+  bool CheckOk = Check.run();
+  if (!CheckOk || Diags.getNumWarnings() != 0)
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+  if (!CheckOk)
+    return 1;
+
+  if (Options.CheckOnly) {
+    if (!Options.Quiet) {
+      const auto &Instr = Check.getInstrumentation();
+      std::printf("check: ok (%zu runtime checks at %zu sites)\n",
+                  Instr.getNumChecks(), Instr.getNumInstrumentedSites());
+    }
+    return 0;
+  }
+
+  interp::Interp Interp(*Prog, Check.getInstrumentation());
+  interp::InterpResult Result = Interp.run(Options.Interp);
+  std::printf("%s", Result.Output.c_str());
+
+  std::string FileName(SM.getFileName(File));
+  for (const interp::Violation &V : Result.Violations)
+    std::fprintf(stderr, "%s", V.format(FileName).c_str());
+
+  if (!Options.Quiet) {
+    double DynPct =
+        Result.Stats.TotalAccesses
+            ? 100.0 * static_cast<double>(Result.Stats.DynamicChecks) /
+                  static_cast<double>(Result.Stats.TotalAccesses)
+            : 0.0;
+    std::fprintf(stderr,
+                 "sharcc: %llu steps, %llu threads, %llu accesses "
+                 "(%.1f%% dynamic), %llu lock checks, %llu casts, "
+                 "%zu violations\n",
+                 static_cast<unsigned long long>(Result.Stats.Steps),
+                 static_cast<unsigned long long>(Result.Stats.ThreadsSpawned),
+                 static_cast<unsigned long long>(Result.Stats.TotalAccesses),
+                 DynPct,
+                 static_cast<unsigned long long>(Result.Stats.LockChecks),
+                 static_cast<unsigned long long>(Result.Stats.SharingCasts),
+                 Result.Violations.size());
+  }
+
+  if (!Result.Violations.empty())
+    return 1;
+  if (Result.Deadlocked || Result.OutOfSteps || !Result.Completed)
+    return 1;
+  return 0;
+}

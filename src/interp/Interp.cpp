@@ -1,0 +1,1282 @@
+//===-- interp/Interp.cpp -------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace sharc;
+using namespace sharc::interp;
+using namespace sharc::minic;
+using sharc::checker::AccessCheck;
+
+std::string Violation::format(const std::string &FileName) const {
+  const char *KindName = "violation";
+  switch (K) {
+  case Kind::ReadConflict:
+    KindName = "read conflict";
+    break;
+  case Kind::WriteConflict:
+    KindName = "write conflict";
+    break;
+  case Kind::LockViolation:
+    KindName = "lock violation";
+    break;
+  case Kind::CastError:
+    KindName = "sharing cast error";
+    break;
+  case Kind::RuntimeError:
+    KindName = "runtime error";
+    break;
+  }
+  char Buf[512];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf), "%s(0x%llx):\n", KindName,
+                static_cast<unsigned long long>(Address));
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  who(%u)  %s @ %s: %u\n", WhoTid,
+                WhoLValue.c_str(), FileName.c_str(), WhoLine);
+  Out += Buf;
+  if (LastTid != 0) {
+    std::snprintf(Buf, sizeof(Buf), "  last(%u) %s @ %s: %u\n", LastTid,
+                  LastLValue.c_str(), FileName.c_str(), LastLine);
+    Out += Buf;
+  }
+  if (!Detail.empty()) {
+    Out += "  ";
+    Out += Detail;
+    Out += '\n';
+  }
+  return Out;
+}
+
+namespace {
+
+using Addr = uint64_t;
+
+/// One memory cell of the operational semantics: value, pointerness (for
+/// the oneref heap inspection), reader/writer thread sets, last-access
+/// provenance for reports.
+struct Cell {
+  int64_t V = 0;
+  bool IsPtr = false;
+  uint64_t Readers = 0;
+  uint64_t Writers = 0;
+  uint16_t LastTid = 0;
+  const Expr *LastExpr = nullptr;
+  uint32_t LastLine = 0;
+};
+
+struct ObjectInfo {
+  uint64_t Size = 0;
+  bool Freed = false;
+};
+
+/// An entry on a frame's control stack.
+struct Task {
+  enum class K : uint8_t {
+    Stmt,
+    Block,
+    Loop,    ///< while: re-evaluate the condition
+    ForCond, ///< for: evaluate the condition, run body + step if true
+    ForStep, ///< for: evaluate the step, then back to ForCond
+  } Kind = K::Stmt;
+  const Stmt *S = nullptr;
+  size_t Index = 0;
+};
+
+/// \returns true for the control-stack markers that delimit a loop (what
+/// break/continue unwind to).
+static bool isLoopMarker(Task::K Kind) {
+  return Kind == Task::K::Loop || Kind == Task::K::ForStep;
+}
+
+struct Frame {
+  const FuncDecl *F = nullptr;
+  std::map<const VarDecl *, Addr> Locals;
+  std::vector<Task> Control;
+  /// Where the return value goes in the *caller* frame.
+  const Expr *DestLV = nullptr;
+  const VarDecl *DestVar = nullptr;
+};
+
+struct ThreadCtx {
+  unsigned Tid = 0;
+  enum class St : uint8_t {
+    Runnable,
+    BlockedLock,
+    WaitingCond,
+    Done,
+    Failed
+  } State = St::Runnable;
+  Addr BlockLock = 0;
+  Addr WaitCond = 0;
+  Addr ReacquireLock = 0;
+  std::vector<Frame> Frames;
+  std::vector<Addr> AccessLog;
+  std::vector<Addr> HeldLocks;
+  std::vector<Addr> HeldSharedLocks; ///< rwlock read holds
+};
+
+/// The whole machine state for one run.
+class Machine {
+public:
+  Machine(Program &Prog, const checker::Instrumentation &Instr,
+          const InterpOptions &Options)
+      : Prog(Prog), Instr(Instr), Options(Options), Rng(Options.Seed) {}
+
+  InterpResult run();
+
+private:
+  //===--- memory ----------------------------------------------------------
+  Addr alloc(uint64_t SizeCells);
+  void freeObject(ThreadCtx &T, Addr A, const Expr *At);
+  uint64_t sizeInCells(const TypeNode *T) const;
+  uint64_t fieldOffset(const StructDecl *S, const VarDecl *Field) const;
+  uint64_t countPtrCells(int64_t Value) const;
+  void clearObjectSets(Addr A);
+
+  //===--- threads and scheduling -------------------------------------------
+  unsigned allocateTid();
+  ThreadCtx &spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg);
+  void threadExit(ThreadCtx &T);
+  void step(ThreadCtx &T);
+  void wakeLockWaiters(Addr Lock);
+
+  //===--- execution ---------------------------------------------------------
+  void dispatchStmt(ThreadCtx &T, Frame &F, const Stmt *S);
+  void dispatchTask(ThreadCtx &T, Frame &F, Task Tk);
+  void returnFromFrame(ThreadCtx &T, int64_t Value, bool IsPtr);
+  /// \returns false if the call blocked and the task must be retried.
+  bool execCall(ThreadCtx &T, Frame &F, const CallExpr *Call,
+                const Expr *DestLV, const VarDecl *DestVar);
+  bool execBuiltin(ThreadCtx &T, const FuncDecl *F,
+                   const std::vector<int64_t> &Args, const CallExpr *Call);
+  Addr localAddr(ThreadCtx &T, Frame &F, const VarDecl *Var);
+
+  //===--- expressions --------------------------------------------------------
+  int64_t evalExpr(ThreadCtx &T, Frame &F, const Expr *E);
+  Addr evalLValue(ThreadCtx &T, Frame &F, const Expr *E);
+  void runChecks(ThreadCtx &T, Frame &F, const Expr *Node, Addr A);
+  void storeCell(ThreadCtx &T, Addr A, int64_t V, bool IsPtr,
+                 const Expr *Node);
+  int64_t readCell(ThreadCtx &T, Addr A, const Expr *Node);
+  Addr addrOfVar(ThreadCtx &T, Frame &F, const VarDecl *Var);
+
+  //===--- checks -------------------------------------------------------------
+  void chkRead(ThreadCtx &T, Addr A, const Expr *Node);
+  void chkWrite(ThreadCtx &T, Addr A, const Expr *Node);
+  void chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check, Addr A,
+               const Expr *Node);
+  void report(Violation::Kind K, ThreadCtx &T, Addr A, const Expr *Node,
+              const Cell *Last = nullptr, std::string Detail = "");
+
+  bool exprIsPointer(const Expr *E) const {
+    return E->ExprType && (E->ExprType->isPointer() || E->ExprType->isFunc());
+  }
+
+  uint64_t nextRandom() {
+    // xorshift64*.
+    Rng ^= Rng >> 12;
+    Rng ^= Rng << 25;
+    Rng ^= Rng >> 27;
+    return Rng * 0x2545F4914F6CDD1Dull;
+  }
+
+  Program &Prog;
+  const checker::Instrumentation &Instr;
+  InterpOptions Options;
+  uint64_t Rng;
+
+  std::vector<Cell> Mem;
+  std::map<Addr, ObjectInfo> Objects;
+  std::map<const VarDecl *, Addr> Globals;
+  std::map<const Expr *, Addr> StringCache;
+  std::map<Addr, unsigned> LockOwner;
+  /// rwlock reader counts (the writer side reuses LockOwner).
+  std::map<Addr, unsigned> ReaderCount;
+  std::map<Addr, std::vector<unsigned>> CondWaiters;
+  std::deque<ThreadCtx> Threads;
+  std::vector<unsigned> FreeTids;
+  unsigned NextTid = 1;
+  /// Function "addresses" for function pointer values.
+  std::map<const FuncDecl *, int64_t> FuncIds;
+  std::map<int64_t, const FuncDecl *> FuncById;
+
+  InterpResult Result;
+};
+
+constexpr int64_t FuncIdBase = int64_t(1) << 48;
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+uint64_t Machine::sizeInCells(const TypeNode *T) const {
+  if (!T)
+    return 1;
+  switch (T->Kind) {
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Bool:
+  case TypeKind::Void:
+  case TypeKind::Mutex:
+  case TypeKind::Cond:
+  case TypeKind::Pointer:
+  case TypeKind::Func:
+    return 1;
+  case TypeKind::Array:
+    return static_cast<uint64_t>(T->ArraySize > 0 ? T->ArraySize : 1) *
+           sizeInCells(T->Pointee);
+  case TypeKind::Struct: {
+    uint64_t Size = 0;
+    if (T->Struct)
+      for (const VarDecl *Field : T->Struct->Fields)
+        Size += sizeInCells(Field->DeclType);
+    return Size ? Size : 1;
+  }
+  }
+  return 1;
+}
+
+uint64_t Machine::fieldOffset(const StructDecl *S,
+                              const VarDecl *Field) const {
+  uint64_t Offset = 0;
+  for (const VarDecl *F : S->Fields) {
+    if (F == Field)
+      return Offset;
+    Offset += sizeInCells(F->DeclType);
+  }
+  return Offset;
+}
+
+Addr Machine::alloc(uint64_t SizeCells) {
+  if (SizeCells == 0)
+    SizeCells = 1;
+  Addr A = Mem.size();
+  Mem.resize(Mem.size() + SizeCells);
+  Objects[A] = ObjectInfo{SizeCells, false};
+  return A;
+}
+
+void Machine::clearObjectSets(Addr A) {
+  auto It = Objects.find(A);
+  if (It == Objects.end()) {
+    // Interior pointer: find the containing object.
+    It = Objects.upper_bound(A);
+    if (It == Objects.begin())
+      return;
+    --It;
+    if (A >= It->first + It->second.Size)
+      return;
+  }
+  for (Addr C = It->first; C != It->first + It->second.Size; ++C) {
+    Mem[C].Readers = 0;
+    Mem[C].Writers = 0;
+    Mem[C].LastTid = 0;
+    Mem[C].LastExpr = nullptr;
+  }
+}
+
+void Machine::freeObject(ThreadCtx &T, Addr A, const Expr *At) {
+  if (A == 0)
+    return;
+  auto It = Objects.find(A);
+  if (It == Objects.end() || It->second.Freed) {
+    report(Violation::Kind::RuntimeError, T, A, At, nullptr,
+           "free of invalid or already-freed pointer");
+    return;
+  }
+  // "When heap memory is deallocated with free(), it is no longer
+  // considered to be accessed by any thread."
+  for (Addr C = It->first; C != It->first + It->second.Size; ++C)
+    Mem[C] = Cell{};
+  It->second.Freed = true;
+}
+
+uint64_t Machine::countPtrCells(int64_t Value) const {
+  uint64_t Count = 0;
+  for (const Cell &C : Mem)
+    if (C.IsPtr && C.V == Value)
+      ++Count;
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Checks and reports
+//===----------------------------------------------------------------------===//
+
+void Machine::report(Violation::Kind K, ThreadCtx &T, Addr A,
+                     const Expr *Node, const Cell *Last,
+                     std::string Detail) {
+  Violation V;
+  V.K = K;
+  V.Address = A;
+  V.WhoTid = T.Tid;
+  if (Node) {
+    V.WhoLValue = Node->spelling();
+    V.WhoLine = Node->Loc.Line;
+  }
+  if (Last && Last->LastTid) {
+    V.LastTid = Last->LastTid;
+    if (Last->LastExpr)
+      V.LastLValue = Last->LastExpr->spelling();
+    V.LastLine = Last->LastLine;
+  }
+  V.Detail = std::move(Detail);
+  Result.Violations.push_back(std::move(V));
+  if (Options.FailStop)
+    T.State = ThreadCtx::St::Failed;
+}
+
+void Machine::chkRead(ThreadCtx &T, Addr A, const Expr *Node) {
+  ++Result.Stats.DynamicChecks;
+  Cell &C = Mem[A];
+  uint64_t Bit = uint64_t(1) << T.Tid;
+  if ((C.Writers & ~Bit) != 0)
+    report(Violation::Kind::ReadConflict, T, A, Node, &C);
+  if ((C.Readers & Bit) == 0 && (C.Writers & Bit) == 0)
+    T.AccessLog.push_back(A);
+  C.Readers |= Bit;
+  C.LastTid = static_cast<uint16_t>(T.Tid);
+  C.LastExpr = Node;
+  C.LastLine = Node ? Node->Loc.Line : 0;
+}
+
+void Machine::chkWrite(ThreadCtx &T, Addr A, const Expr *Node) {
+  ++Result.Stats.DynamicChecks;
+  Cell &C = Mem[A];
+  uint64_t Bit = uint64_t(1) << T.Tid;
+  if (((C.Readers | C.Writers) & ~Bit) != 0)
+    report(Violation::Kind::WriteConflict, T, A, Node, &C);
+  if ((C.Readers & Bit) == 0 && (C.Writers & Bit) == 0)
+    T.AccessLog.push_back(A);
+  C.Writers |= Bit;
+  C.LastTid = static_cast<uint16_t>(T.Tid);
+  C.LastExpr = Node;
+  C.LastLine = Node ? Node->Loc.Line : 0;
+}
+
+void Machine::chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check,
+                      Addr A, const Expr *Node) {
+  ++Result.Stats.LockChecks;
+  // Resolve the lock value. A field lock (locked(mut)) is read from the
+  // access's instance; other lock expressions evaluate directly.
+  int64_t LockValue = 0;
+  if (Check.LockBase) {
+    auto *Name = cast<NameExpr>(Check.LockExpr);
+    const VarDecl *LockField = Name->Var;
+    int64_t Instance = 0;
+    if (Check.LockBase->ExprType && Check.LockBase->ExprType->isPointer())
+      Instance = evalExpr(T, F, Check.LockBase);
+    else
+      Instance = static_cast<int64_t>(evalLValue(T, F, Check.LockBase));
+    if (Instance == 0) {
+      report(Violation::Kind::RuntimeError, T, A, Node, nullptr,
+             "null instance while resolving lock");
+      return;
+    }
+    Addr LockCell = static_cast<Addr>(Instance) +
+                    fieldOffset(LockField->Parent, LockField);
+    LockValue = Mem[LockCell].V;
+  } else {
+    LockValue = evalExpr(T, F, Check.LockExpr);
+  }
+  Addr Lock = static_cast<Addr>(LockValue);
+  for (Addr Held : T.HeldLocks)
+    if (Held == Lock)
+      return;
+  if (Check.K == AccessCheck::Kind::LockShared)
+    for (Addr Held : T.HeldSharedLocks)
+      if (Held == Lock)
+        return;
+  report(Violation::Kind::LockViolation, T, A, Node, nullptr,
+         Check.K == AccessCheck::Kind::LockShared
+             ? "required lock is not held (shared or exclusive)"
+             : "required lock is not held");
+}
+
+void Machine::runChecks(ThreadCtx &T, Frame &F, const Expr *Node, Addr A) {
+  const auto *Checks = Instr.checksFor(Node);
+  if (!Checks)
+    return;
+  for (const AccessCheck &Check : *Checks) {
+    switch (Check.K) {
+    case AccessCheck::Kind::Read:
+      chkRead(T, A, Node);
+      break;
+    case AccessCheck::Kind::Write:
+      chkWrite(T, A, Node);
+      break;
+    case AccessCheck::Kind::Lock:
+    case AccessCheck::Kind::LockShared:
+      chkLock(T, F, Check, A, Node);
+      break;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cells
+//===----------------------------------------------------------------------===//
+
+int64_t Machine::readCell(ThreadCtx &T, Addr A, const Expr *Node) {
+  (void)Node;
+  (void)T;
+  ++Result.Stats.TotalAccesses;
+  return Mem[A].V;
+}
+
+void Machine::storeCell(ThreadCtx &T, Addr A, int64_t V, bool IsPtr,
+                        const Expr *Node) {
+  (void)Node;
+  (void)T;
+  ++Result.Stats.TotalAccesses;
+  Mem[A].V = V;
+  Mem[A].IsPtr = IsPtr;
+}
+
+Addr Machine::addrOfVar(ThreadCtx &T, Frame &F, const VarDecl *Var) {
+  if (Var->Storage == StorageKind::Global) {
+    auto It = Globals.find(Var);
+    assert(It != Globals.end() && "unallocated global");
+    return It->second;
+  }
+  return localAddr(T, F, Var);
+}
+
+Addr Machine::localAddr(ThreadCtx &T, Frame &F, const VarDecl *Var) {
+  (void)T;
+  auto It = F.Locals.find(Var);
+  if (It != F.Locals.end())
+    return It->second;
+  Addr A = alloc(sizeInCells(Var->DeclType));
+  F.Locals[Var] = A;
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Addr Machine::evalLValue(ThreadCtx &T, Frame &F, const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::Name: {
+    auto *Name = cast<NameExpr>(E);
+    assert(Name->Var && "l-value name must be a variable");
+    return addrOfVar(T, F, Name->Var);
+  }
+  case ExprKind::Unary: {
+    auto *Unary = cast<UnaryExpr>(E);
+    assert(Unary->Op == UnaryOp::Deref && "not an l-value unary");
+    int64_t P = evalExpr(T, F, Unary->Sub);
+    if (P == 0) {
+      report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+             "null pointer dereference");
+      T.State = ThreadCtx::St::Failed;
+      return 0;
+    }
+    return static_cast<Addr>(P);
+  }
+  case ExprKind::Member: {
+    auto *Member = cast<MemberExpr>(E);
+    int64_t Base;
+    if (Member->IsArrow) {
+      Base = evalExpr(T, F, Member->Base);
+      if (Base == 0) {
+        report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+               "null pointer dereference");
+        T.State = ThreadCtx::St::Failed;
+        return 0;
+      }
+    } else {
+      Base = static_cast<int64_t>(evalLValue(T, F, Member->Base));
+    }
+    return static_cast<Addr>(Base) +
+           fieldOffset(Member->Field->Parent, Member->Field);
+  }
+  case ExprKind::Index: {
+    auto *Index = cast<IndexExpr>(E);
+    const TypeNode *BaseType = Index->Base->ExprType;
+    int64_t Base;
+    if (BaseType && BaseType->isArray())
+      Base = static_cast<int64_t>(evalLValue(T, F, Index->Base));
+    else
+      Base = evalExpr(T, F, Index->Base);
+    int64_t Idx = evalExpr(T, F, Index->Idx);
+    if (Base == 0) {
+      report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+             "null pointer subscript");
+      T.State = ThreadCtx::St::Failed;
+      return 0;
+    }
+    uint64_t ElemSize =
+        BaseType && BaseType->Pointee ? sizeInCells(BaseType->Pointee) : 1;
+    return static_cast<Addr>(Base + Idx * static_cast<int64_t>(ElemSize));
+  }
+  default:
+    report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+           "expression is not an l-value");
+    T.State = ThreadCtx::St::Failed;
+    return 0;
+  }
+}
+
+int64_t Machine::evalExpr(ThreadCtx &T, Frame &F, const Expr *E) {
+  if (T.State == ThreadCtx::St::Failed)
+    return 0;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return cast<IntLitExpr>(E)->Value;
+  case ExprKind::BoolLit:
+    return cast<BoolLitExpr>(E)->Value ? 1 : 0;
+  case ExprKind::NullLit:
+    return 0;
+  case ExprKind::StrLit: {
+    auto It = StringCache.find(E);
+    if (It != StringCache.end())
+      return static_cast<int64_t>(It->second);
+    const std::string &S = cast<StrLitExpr>(E)->Value;
+    Addr A = alloc(S.size() + 1);
+    for (size_t I = 0; I != S.size(); ++I)
+      Mem[A + I].V = static_cast<unsigned char>(S[I]);
+    StringCache[E] = A;
+    return static_cast<int64_t>(A);
+  }
+  case ExprKind::Name: {
+    auto *Name = cast<NameExpr>(E);
+    if (Name->Func) {
+      auto It = FuncIds.find(Name->Func);
+      if (It == FuncIds.end()) {
+        int64_t Id = FuncIdBase + static_cast<int64_t>(FuncIds.size()) + 1;
+        FuncIds[Name->Func] = Id;
+        FuncById[Id] = Name->Func;
+        return Id;
+      }
+      return It->second;
+    }
+    Addr A = addrOfVar(T, F, Name->Var);
+    runChecks(T, F, E, A);
+    return readCell(T, A, E);
+  }
+  case ExprKind::Unary: {
+    auto *Unary = cast<UnaryExpr>(E);
+    switch (Unary->Op) {
+    case UnaryOp::Deref: {
+      Addr A = evalLValue(T, F, E);
+      if (T.State == ThreadCtx::St::Failed)
+        return 0;
+      runChecks(T, F, E, A);
+      return readCell(T, A, E);
+    }
+    case UnaryOp::AddrOf:
+      return static_cast<int64_t>(evalLValue(T, F, Unary->Sub));
+    case UnaryOp::Not:
+      return evalExpr(T, F, Unary->Sub) == 0 ? 1 : 0;
+    case UnaryOp::Neg:
+      return -evalExpr(T, F, Unary->Sub);
+    }
+    return 0;
+  }
+  case ExprKind::Binary: {
+    auto *Binary = cast<BinaryExpr>(E);
+    if (Binary->Op == BinaryOp::And)
+      return evalExpr(T, F, Binary->Lhs) != 0 &&
+             evalExpr(T, F, Binary->Rhs) != 0;
+    if (Binary->Op == BinaryOp::Or)
+      return evalExpr(T, F, Binary->Lhs) != 0 ||
+             evalExpr(T, F, Binary->Rhs) != 0;
+    int64_t L = evalExpr(T, F, Binary->Lhs);
+    int64_t R = evalExpr(T, F, Binary->Rhs);
+    switch (Binary->Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub: {
+      // Scale pointer arithmetic by the element size in cells.
+      const TypeNode *LT = Binary->Lhs->ExprType;
+      if (LT && LT->isPointer() && LT->Pointee) {
+        int64_t Scale = static_cast<int64_t>(sizeInCells(LT->Pointee));
+        R *= Scale;
+      }
+      return Binary->Op == BinaryOp::Add ? L + R : L - R;
+    }
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::Div:
+      if (R == 0) {
+        report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+               "division by zero");
+        T.State = ThreadCtx::St::Failed;
+        return 0;
+      }
+      return L / R;
+    case BinaryOp::Rem:
+      if (R == 0) {
+        report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+               "remainder by zero");
+        T.State = ThreadCtx::St::Failed;
+        return 0;
+      }
+      return L % R;
+    case BinaryOp::Eq:
+      return L == R;
+    case BinaryOp::Ne:
+      return L != R;
+    case BinaryOp::Lt:
+      return L < R;
+    case BinaryOp::Le:
+      return L <= R;
+    case BinaryOp::Gt:
+      return L > R;
+    case BinaryOp::Ge:
+      return L >= R;
+    default:
+      return 0;
+    }
+  }
+  case ExprKind::Assign: {
+    auto *Assign = cast<AssignExpr>(E);
+    if (isa<CallExpr>(Assign->Rhs)) {
+      report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+             "call results may only be assigned at statement level");
+      T.State = ThreadCtx::St::Failed;
+      return 0;
+    }
+    int64_t V = evalExpr(T, F, Assign->Rhs);
+    if (T.State == ThreadCtx::St::Failed)
+      return 0;
+    Addr A = evalLValue(T, F, Assign->Lhs);
+    if (T.State == ThreadCtx::St::Failed)
+      return 0;
+    runChecks(T, F, Assign->Lhs, A);
+    storeCell(T, A, V, exprIsPointer(Assign->Rhs), Assign->Lhs);
+    return V;
+  }
+  case ExprKind::Member:
+  case ExprKind::Index: {
+    Addr A = evalLValue(T, F, E);
+    if (T.State == ThreadCtx::St::Failed)
+      return 0;
+    runChecks(T, F, E, A);
+    return readCell(T, A, E);
+  }
+  case ExprKind::Scast: {
+    auto *Scast = cast<ScastExpr>(E);
+    ++Result.Stats.SharingCasts;
+    Addr SrcAddr = evalLValue(T, F, Scast->Src);
+    if (T.State == ThreadCtx::St::Failed)
+      return 0;
+    runChecks(T, F, Scast->Src, SrcAddr);
+    int64_t Obj = readCell(T, SrcAddr, Scast->Src);
+    if (Obj != 0) {
+      // oneref (Figure 6): the cast reference must be the only one.
+      uint64_t Refs = countPtrCells(Obj);
+      if (Refs > 1) {
+        report(Violation::Kind::CastError, T, static_cast<Addr>(Obj),
+               Scast->Src, nullptr,
+               "object has " + std::to_string(Refs) +
+                   " references; a sharing cast requires exactly one");
+      }
+    }
+    // Null the source so no alias under the old mode survives, and clear
+    // the object's reader/writer history.
+    storeCell(T, SrcAddr, 0, /*IsPtr=*/true, Scast->Src);
+    if (Obj != 0)
+      clearObjectSets(static_cast<Addr>(Obj));
+    return Obj;
+  }
+  case ExprKind::New: {
+    auto *New = cast<NewExpr>(E);
+    int64_t Count = 1;
+    if (New->Count)
+      Count = evalExpr(T, F, New->Count);
+    if (Count < 1)
+      Count = 1;
+    return static_cast<int64_t>(
+        alloc(static_cast<uint64_t>(Count) * sizeInCells(New->ElemType)));
+  }
+  case ExprKind::Sizeof:
+    return static_cast<int64_t>(
+        sizeInCells(cast<SizeofExpr>(E)->OfType));
+  case ExprKind::Call:
+    report(Violation::Kind::RuntimeError, T, 0, E, nullptr,
+           "calls may only appear as statements, assignments, or "
+           "initializers");
+    T.State = ThreadCtx::St::Failed;
+    return 0;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Calls, builtins, threads
+//===----------------------------------------------------------------------===//
+
+bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
+                          const std::vector<int64_t> &Args,
+                          const CallExpr *Call) {
+  const std::string &Name = F->Name;
+  if (Name == "mutex_lock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    unsigned &Owner = LockOwner[Lock];
+    if (Owner == 0) {
+      Owner = T.Tid;
+      T.HeldLocks.push_back(Lock);
+      return true;
+    }
+    if (Owner == T.Tid) {
+      report(Violation::Kind::RuntimeError, T, Lock, Call, nullptr,
+             "recursive lock acquisition");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    T.State = ThreadCtx::St::BlockedLock;
+    T.BlockLock = Lock;
+    return false;
+  }
+  if (Name == "mutex_unlock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    unsigned &Owner = LockOwner[Lock];
+    if (Owner != T.Tid) {
+      report(Violation::Kind::RuntimeError, T, Lock, Call, nullptr,
+             "unlock of a mutex not held by this thread");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    Owner = 0;
+    for (auto It = T.HeldLocks.begin(); It != T.HeldLocks.end(); ++It)
+      if (*It == Lock) {
+        T.HeldLocks.erase(It);
+        break;
+      }
+    wakeLockWaiters(Lock);
+    return true;
+  }
+  if (Name == "cond_wait") {
+    Addr Cond = static_cast<Addr>(Args[0]);
+    Addr Lock = static_cast<Addr>(Args[1]);
+    unsigned &Owner = LockOwner[Lock];
+    if (Owner != T.Tid) {
+      report(Violation::Kind::RuntimeError, T, Lock, Call, nullptr,
+             "cond_wait without holding the mutex");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    Owner = 0;
+    for (auto It = T.HeldLocks.begin(); It != T.HeldLocks.end(); ++It)
+      if (*It == Lock) {
+        T.HeldLocks.erase(It);
+        break;
+      }
+    wakeLockWaiters(Lock);
+    T.State = ThreadCtx::St::WaitingCond;
+    T.WaitCond = Cond;
+    T.ReacquireLock = Lock;
+    CondWaiters[Cond].push_back(T.Tid);
+    return true; // consumed; the thread resumes after signal + reacquire
+  }
+  if (Name == "cond_signal" || Name == "cond_broadcast") {
+    Addr Cond = static_cast<Addr>(Args[0]);
+    auto &Waiters = CondWaiters[Cond];
+    size_t N = Name == "cond_signal" ? std::min<size_t>(1, Waiters.size())
+                                     : Waiters.size();
+    for (size_t I = 0; I != N; ++I) {
+      unsigned Tid = Waiters[I];
+      for (ThreadCtx &W : Threads)
+        if (W.Tid == Tid && W.State == ThreadCtx::St::WaitingCond) {
+          W.State = ThreadCtx::St::Runnable;
+          W.WaitCond = 0;
+          // W.ReacquireLock already holds the mutex to re-take.
+        }
+    }
+    Waiters.erase(Waiters.begin(), Waiters.begin() + N);
+    return true;
+  }
+  if (Name == "rwlock_rdlock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    if (LockOwner[Lock] != 0) { // a writer holds it
+      T.State = ThreadCtx::St::BlockedLock;
+      T.BlockLock = Lock;
+      return false;
+    }
+    ++ReaderCount[Lock];
+    T.HeldSharedLocks.push_back(Lock);
+    return true;
+  }
+  if (Name == "rwlock_rdunlock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    auto It = std::find(T.HeldSharedLocks.begin(), T.HeldSharedLocks.end(),
+                        Lock);
+    if (It == T.HeldSharedLocks.end()) {
+      report(Violation::Kind::RuntimeError, T, Lock, Call, nullptr,
+             "rwlock_rdunlock without a shared hold");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    T.HeldSharedLocks.erase(It);
+    if (--ReaderCount[Lock] == 0)
+      wakeLockWaiters(Lock); // a writer may proceed
+    return true;
+  }
+  if (Name == "rwlock_wrlock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    if (LockOwner[Lock] != 0 || ReaderCount[Lock] != 0) {
+      T.State = ThreadCtx::St::BlockedLock;
+      T.BlockLock = Lock;
+      return false;
+    }
+    LockOwner[Lock] = T.Tid;
+    T.HeldLocks.push_back(Lock);
+    return true;
+  }
+  if (Name == "rwlock_wrunlock") {
+    Addr Lock = static_cast<Addr>(Args[0]);
+    if (LockOwner[Lock] != T.Tid) {
+      report(Violation::Kind::RuntimeError, T, Lock, Call, nullptr,
+             "rwlock_wrunlock without the exclusive hold");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    LockOwner[Lock] = 0;
+    for (auto It = T.HeldLocks.begin(); It != T.HeldLocks.end(); ++It)
+      if (*It == Lock) {
+        T.HeldLocks.erase(It);
+        break;
+      }
+    wakeLockWaiters(Lock);
+    return true;
+  }
+  if (Name == "print_int") {
+    Result.Output += std::to_string(Args[0]);
+    Result.Output += '\n';
+    return true;
+  }
+  if (Name == "print_str") {
+    Addr A = static_cast<Addr>(Args[0]);
+    for (uint64_t I = 0; A + I < Mem.size() && Mem[A + I].V != 0 && I < 4096;
+         ++I)
+      Result.Output += static_cast<char>(Mem[A + I].V);
+    Result.Output += '\n';
+    return true;
+  }
+  report(Violation::Kind::RuntimeError, T, 0, Call, nullptr,
+         "unknown builtin '" + Name + "'");
+  T.State = ThreadCtx::St::Failed;
+  return true;
+}
+
+bool Machine::execCall(ThreadCtx &T, Frame &F, const CallExpr *Call,
+                       const Expr *DestLV, const VarDecl *DestVar) {
+  const FuncDecl *Callee = nullptr;
+  if (auto *Name = dyn_cast<NameExpr>(Call->Callee)) {
+    Callee = Name->Func;
+  }
+  if (!Callee) {
+    // Indirect call through a function pointer value.
+    int64_t Id = evalExpr(T, F, Call->Callee);
+    if (T.State == ThreadCtx::St::Failed)
+      return true;
+    auto It = FuncById.find(Id);
+    if (It == FuncById.end()) {
+      report(Violation::Kind::RuntimeError, T, static_cast<Addr>(Id), Call,
+             nullptr, "call through invalid function pointer");
+      T.State = ThreadCtx::St::Failed;
+      return true;
+    }
+    Callee = It->second;
+  }
+
+  std::vector<int64_t> Args;
+  Args.reserve(Call->Args.size());
+  for (const Expr *Arg : Call->Args) {
+    Args.push_back(evalExpr(T, F, Arg));
+    if (T.State == ThreadCtx::St::Failed)
+      return true;
+  }
+
+  if (Callee->IsBuiltin)
+    return execBuiltin(T, Callee, Args, Call);
+
+  Frame NewFrame;
+  NewFrame.F = Callee;
+  NewFrame.DestLV = DestLV;
+  NewFrame.DestVar = DestVar;
+  NewFrame.Control.push_back(Task{Task::K::Stmt, Callee->Body, 0});
+  T.Frames.push_back(std::move(NewFrame));
+  Frame &Pushed = T.Frames.back();
+  for (size_t I = 0; I != Callee->Params.size() && I != Args.size(); ++I) {
+    Addr A = localAddr(T, Pushed, Callee->Params[I]);
+    Mem[A].V = Args[I];
+    Mem[A].IsPtr = Callee->Params[I]->DeclType->isPointer();
+  }
+  return true;
+}
+
+void Machine::returnFromFrame(ThreadCtx &T, int64_t Value, bool IsPtr) {
+  Frame Old = std::move(T.Frames.back());
+  T.Frames.pop_back();
+  // Locals die with the frame (the semantics zeroes a thread's cells at
+  // exit; frames do the same so oneref never counts dead slots).
+  for (auto &[Var, A] : Old.Locals) {
+    auto It = Objects.find(A);
+    if (It != Objects.end()) {
+      for (Addr C = It->first; C != It->first + It->second.Size; ++C)
+        Mem[C] = Cell{};
+      It->second.Freed = true;
+    }
+  }
+  if (T.Frames.empty()) {
+    threadExit(T);
+    return;
+  }
+  Frame &Caller = T.Frames.back();
+  if (Old.DestVar) {
+    Addr A = localAddr(T, Caller, Old.DestVar);
+    storeCell(T, A, Value, IsPtr, nullptr);
+  } else if (Old.DestLV) {
+    Addr A = evalLValue(T, Caller, Old.DestLV);
+    if (T.State == ThreadCtx::St::Failed)
+      return;
+    runChecks(T, Caller, Old.DestLV, A);
+    storeCell(T, A, Value, IsPtr, Old.DestLV);
+  }
+}
+
+unsigned Machine::allocateTid() {
+  if (!FreeTids.empty()) {
+    unsigned Tid = FreeTids.back();
+    FreeTids.pop_back();
+    return Tid;
+  }
+  if (NextTid >= 63)
+    return 0;
+  return NextTid++;
+}
+
+ThreadCtx &Machine::spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg) {
+  Threads.emplace_back();
+  ThreadCtx &T = Threads.back();
+  T.Tid = allocateTid();
+  ++Result.Stats.ThreadsSpawned;
+  if (T.Tid == 0) {
+    Violation V;
+    V.K = Violation::Kind::RuntimeError;
+    V.Detail = "thread limit (62 concurrent) exceeded";
+    Result.Violations.push_back(V);
+    T.State = ThreadCtx::St::Failed;
+    return T;
+  }
+  Frame NewFrame;
+  NewFrame.F = F;
+  NewFrame.Control.push_back(Task{Task::K::Stmt, F->Body, 0});
+  T.Frames.push_back(std::move(NewFrame));
+  if (HasArg && !F->Params.empty()) {
+    Addr A = localAddr(T, T.Frames.back(), F->Params[0]);
+    Mem[A].V = Arg;
+    Mem[A].IsPtr = F->Params[0]->DeclType->isPointer();
+  }
+  return T;
+}
+
+void Machine::threadExit(ThreadCtx &T) {
+  // "When a thread ends, the bits recording its accesses are cleared."
+  uint64_t Bit = uint64_t(1) << T.Tid;
+  for (Addr A : T.AccessLog) {
+    if (A < Mem.size()) {
+      Mem[A].Readers &= ~Bit;
+      Mem[A].Writers &= ~Bit;
+    }
+  }
+  T.AccessLog.clear();
+  T.State = ThreadCtx::St::Done;
+  FreeTids.push_back(T.Tid);
+}
+
+void Machine::wakeLockWaiters(Addr Lock) {
+  for (ThreadCtx &T : Threads)
+    if (T.State == ThreadCtx::St::BlockedLock && T.BlockLock == Lock) {
+      T.State = ThreadCtx::St::Runnable;
+      T.BlockLock = 0;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Statement dispatch
+//===----------------------------------------------------------------------===//
+
+void Machine::dispatchStmt(ThreadCtx &T, Frame &F, const Stmt *S) {
+  switch (S->Kind) {
+  case StmtKind::Block:
+    F.Control.push_back(Task{Task::K::Block, S, 0});
+    return;
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    int64_t Cond = evalExpr(T, F, If->Cond);
+    if (T.State == ThreadCtx::St::Failed)
+      return;
+    if (Cond != 0)
+      F.Control.push_back(Task{Task::K::Stmt, If->Then, 0});
+    else if (If->Else)
+      F.Control.push_back(Task{Task::K::Stmt, If->Else, 0});
+    return;
+  }
+  case StmtKind::While:
+    F.Control.push_back(Task{Task::K::Loop, S, 0});
+    return;
+  case StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    F.Control.push_back(Task{Task::K::ForCond, S, 0});
+    if (For->Init)
+      F.Control.push_back(Task{Task::K::Stmt, For->Init, 0});
+    return;
+  }
+  case StmtKind::Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    int64_t Value = 0;
+    bool IsPtr = false;
+    if (Ret->Value) {
+      Value = evalExpr(T, F, Ret->Value);
+      IsPtr = exprIsPointer(Ret->Value);
+      if (T.State == ThreadCtx::St::Failed)
+        return;
+    }
+    returnFromFrame(T, Value, IsPtr);
+    return;
+  }
+  case StmtKind::Break: {
+    while (!F.Control.empty()) {
+      Task Top = F.Control.back();
+      F.Control.pop_back();
+      if (isLoopMarker(Top.Kind))
+        return;
+    }
+    return;
+  }
+  case StmtKind::Continue: {
+    // Unwind to the loop marker but keep it: a while re-tests its
+    // condition; a for runs its step first.
+    while (!F.Control.empty() && !isLoopMarker(F.Control.back().Kind))
+      F.Control.pop_back();
+    return;
+  }
+  case StmtKind::ExprStmt: {
+    const Expr *E = cast<ExprStmt>(S)->E;
+    if (auto *Call = dyn_cast<CallExpr>(E)) {
+      if (!execCall(T, F, Call, nullptr, nullptr))
+        F.Control.push_back(Task{Task::K::Stmt, S, 0}); // blocked: retry
+      return;
+    }
+    if (auto *Assign = dyn_cast<AssignExpr>(E)) {
+      if (auto *Call = dyn_cast<CallExpr>(Assign->Rhs)) {
+        if (!execCall(T, F, Call, Assign->Lhs, nullptr))
+          F.Control.push_back(Task{Task::K::Stmt, S, 0});
+        return;
+      }
+    }
+    evalExpr(T, F, E);
+    return;
+  }
+  case StmtKind::DeclStmt: {
+    auto *Decl = cast<DeclStmt>(S);
+    Addr A = localAddr(T, F, Decl->Var);
+    if (!Decl->Init) {
+      Mem[A].V = 0;
+      Mem[A].IsPtr = Decl->Var->DeclType->isPointer();
+      return;
+    }
+    if (auto *Call = dyn_cast<CallExpr>(Decl->Init)) {
+      if (!execCall(T, F, Call, nullptr, Decl->Var))
+        F.Control.push_back(Task{Task::K::Stmt, S, 0});
+      return;
+    }
+    int64_t V = evalExpr(T, F, Decl->Init);
+    if (T.State == ThreadCtx::St::Failed)
+      return;
+    storeCell(T, A, V, Decl->Var->DeclType->isPointer(), nullptr);
+    return;
+  }
+  case StmtKind::Spawn: {
+    auto *Spawn = cast<SpawnStmt>(S);
+    int64_t Arg = 0;
+    bool HasArg = false;
+    if (Spawn->Arg) {
+      Arg = evalExpr(T, F, Spawn->Arg);
+      HasArg = true;
+      if (T.State == ThreadCtx::St::Failed)
+        return;
+    }
+    if (Spawn->Callee)
+      spawnThread(Spawn->Callee, Arg, HasArg);
+    return;
+  }
+  case StmtKind::Free: {
+    auto *Free = cast<FreeStmt>(S);
+    int64_t P = evalExpr(T, F, Free->Ptr);
+    if (T.State == ThreadCtx::St::Failed)
+      return;
+    freeObject(T, static_cast<Addr>(P), Free->Ptr);
+    return;
+  }
+  }
+}
+
+void Machine::dispatchTask(ThreadCtx &T, Frame &F, Task Tk) {
+  switch (Tk.Kind) {
+  case Task::K::Stmt:
+    dispatchStmt(T, F, Tk.S);
+    return;
+  case Task::K::Block: {
+    auto *Block = cast<BlockStmt>(Tk.S);
+    if (Tk.Index < Block->Body.size()) {
+      F.Control.push_back(Task{Task::K::Block, Tk.S, Tk.Index + 1});
+      F.Control.push_back(Task{Task::K::Stmt, Block->Body[Tk.Index], 0});
+    }
+    return;
+  }
+  case Task::K::Loop: {
+    auto *While = cast<WhileStmt>(Tk.S);
+    int64_t Cond = evalExpr(T, F, While->Cond);
+    if (T.State == ThreadCtx::St::Failed)
+      return;
+    if (Cond != 0) {
+      F.Control.push_back(Task{Task::K::Loop, Tk.S, 0});
+      F.Control.push_back(Task{Task::K::Stmt, While->Body, 0});
+    }
+    return;
+  }
+  case Task::K::ForCond: {
+    auto *For = cast<ForStmt>(Tk.S);
+    int64_t Cond = 1;
+    if (For->Cond) {
+      Cond = evalExpr(T, F, For->Cond);
+      if (T.State == ThreadCtx::St::Failed)
+        return;
+    }
+    if (Cond != 0) {
+      F.Control.push_back(Task{Task::K::ForStep, Tk.S, 0});
+      F.Control.push_back(Task{Task::K::Stmt, For->Body, 0});
+    }
+    return;
+  }
+  case Task::K::ForStep: {
+    auto *For = cast<ForStmt>(Tk.S);
+    if (For->Step) {
+      evalExpr(T, F, For->Step);
+      if (T.State == ThreadCtx::St::Failed)
+        return;
+    }
+    F.Control.push_back(Task{Task::K::ForCond, Tk.S, 0});
+    return;
+  }
+  }
+}
+
+void Machine::step(ThreadCtx &T) {
+  if (T.ReacquireLock != 0) {
+    unsigned &Owner = LockOwner[T.ReacquireLock];
+    if (Owner != 0 && Owner != T.Tid) {
+      T.State = ThreadCtx::St::BlockedLock;
+      T.BlockLock = T.ReacquireLock;
+      return;
+    }
+    Owner = T.Tid;
+    T.HeldLocks.push_back(T.ReacquireLock);
+    T.ReacquireLock = 0;
+    return;
+  }
+  if (T.Frames.empty()) {
+    threadExit(T);
+    return;
+  }
+  Frame &F = T.Frames.back();
+  if (F.Control.empty()) {
+    returnFromFrame(T, 0, false);
+    return;
+  }
+  Task Tk = F.Control.back();
+  F.Control.pop_back();
+  dispatchTask(T, F, Tk);
+}
+
+//===----------------------------------------------------------------------===//
+// Run loop
+//===----------------------------------------------------------------------===//
+
+InterpResult Machine::run() {
+  Mem.resize(1); // address 0 is the null cell, never used.
+
+  for (VarDecl *G : Prog.Globals)
+    Globals[G] = alloc(sizeInCells(G->DeclType));
+
+  const FuncDecl *Entry = Prog.findFunc(Options.EntryPoint);
+  if (!Entry)
+    Entry = Prog.findFunc("main");
+  if (!Entry)
+    Entry = Prog.findFunc("main_fn");
+  if (!Entry || !Entry->Body) {
+    Violation V;
+    V.K = Violation::Kind::RuntimeError;
+    V.Detail = "no entry point '" + Options.EntryPoint + "'";
+    Result.Violations.push_back(V);
+    return std::move(Result);
+  }
+  spawnThread(Entry, 0, false);
+
+  std::vector<size_t> Runnable;
+  while (Result.Stats.Steps < Options.MaxSteps) {
+    Runnable.clear();
+    bool AnyLive = false;
+    for (size_t I = 0; I != Threads.size(); ++I) {
+      ThreadCtx &T = Threads[I];
+      switch (T.State) {
+      case ThreadCtx::St::Runnable:
+        Runnable.push_back(I);
+        AnyLive = true;
+        break;
+      case ThreadCtx::St::BlockedLock:
+      case ThreadCtx::St::WaitingCond:
+        AnyLive = true;
+        break;
+      case ThreadCtx::St::Done:
+      case ThreadCtx::St::Failed:
+        break;
+      }
+    }
+    if (Runnable.empty()) {
+      if (!AnyLive) {
+        bool AnyFailed = false;
+        for (const ThreadCtx &T : Threads)
+          if (T.State == ThreadCtx::St::Failed)
+            AnyFailed = true;
+        Result.Completed = !AnyFailed;
+      } else {
+        Result.Deadlocked = true;
+        Violation V;
+        V.K = Violation::Kind::RuntimeError;
+        V.Detail = "deadlock: all live threads are blocked";
+        Result.Violations.push_back(V);
+      }
+      return std::move(Result);
+    }
+    size_t Pick = Runnable[nextRandom() % Runnable.size()];
+    ++Result.Stats.Steps;
+    step(Threads[Pick]);
+  }
+  Result.OutOfSteps = true;
+  Violation V;
+  V.K = Violation::Kind::RuntimeError;
+  V.Detail = "step budget exhausted (possible livelock)";
+  Result.Violations.push_back(V);
+  return std::move(Result);
+}
+
+} // namespace
+
+InterpResult Interp::run(const InterpOptions &Options) {
+  Machine M(Prog, Instr, Options);
+  return M.run();
+}

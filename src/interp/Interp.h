@@ -1,0 +1,132 @@
+//===-- interp/Interp.h - Operational semantics interpreter -----*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes instrumented MiniC programs under the paper's operational
+/// semantics (Figures 5 and 6):
+///
+///   - memory is a map from cell addresses to values with per-cell reader
+///     and writer sets (thread-id bitmasks) and last-access provenance;
+///   - chkread/chkwrite enforce the n-readers-or-1-writer discipline on
+///     dynamic cells; lock-held checks guard locked cells;
+///   - sharing casts perform the oneref check by heap inspection, exactly
+///     as in Figure 6 (|{b : M(b).value = a}| = 1, over pointer-holding
+///     cells), then null the source and clear the object's access sets;
+///   - threads are interleaved by a seeded scheduler, one statement-level
+///     step at a time; runs are deterministic per seed and replayable, so
+///     property tests can sweep schedules;
+///   - a thread that fails a check in FailStop mode transitions to the
+///     semantics' `fail` state and blocks; in Report mode the violation is
+///     recorded and execution continues (the production tool's behaviour);
+///   - thread exit clears the thread's bits from every cell it touched
+///     ("no race if executions do not overlap").
+///
+/// Restrictions (documented in DESIGN.md): calls to user-defined functions
+/// must appear as a whole statement, `x = f(...)`, or a declaration
+/// initializer (A-normal style), because expression evaluation is atomic
+/// within one scheduler step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_INTERP_INTERP_H
+#define SHARC_INTERP_INTERP_H
+
+#include "checker/Instrumentation.h"
+#include "minic/AST.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sharc {
+namespace interp {
+
+/// A detected sharing-strategy violation, rendered in the paper's report
+/// format.
+struct Violation {
+  enum class Kind : uint8_t {
+    ReadConflict,
+    WriteConflict,
+    LockViolation,
+    CastError,
+    RuntimeError, ///< Null deref, use-after-free, deadlock, ...
+  };
+  Kind K = Kind::ReadConflict;
+  uint64_t Address = 0;
+  unsigned WhoTid = 0;
+  std::string WhoLValue;
+  uint32_t WhoLine = 0;
+  unsigned LastTid = 0;
+  std::string LastLValue;
+  uint32_t LastLine = 0;
+  std::string Detail;
+
+  std::string format(const std::string &FileName) const;
+};
+
+/// Interpreter options.
+struct InterpOptions {
+  uint64_t Seed = 1;          ///< Scheduler seed; same seed, same run.
+  uint64_t MaxSteps = 1u << 22; ///< Step budget before reporting livelock.
+  bool FailStop = false;      ///< Figure 5 `fail` semantics.
+  std::string EntryPoint = "main";
+};
+
+/// Execution statistics, used by tests and the driver's summary.
+struct InterpStats {
+  uint64_t Steps = 0;
+  uint64_t TotalAccesses = 0;
+  uint64_t DynamicChecks = 0;
+  uint64_t LockChecks = 0;
+  uint64_t SharingCasts = 0;
+  uint64_t ThreadsSpawned = 0;
+};
+
+/// Result of one run.
+struct InterpResult {
+  bool Completed = false;   ///< All threads reached done.
+  bool Deadlocked = false;  ///< No runnable thread remained.
+  bool OutOfSteps = false;  ///< MaxSteps exhausted.
+  std::vector<Violation> Violations;
+  std::string Output; ///< print_int / print_str output.
+  InterpStats Stats;
+
+  bool hasConflicts() const {
+    for (const Violation &V : Violations)
+      if (V.K != Violation::Kind::RuntimeError)
+        return true;
+    return false;
+  }
+  unsigned count(Violation::Kind K) const {
+    unsigned N = 0;
+    for (const Violation &V : Violations)
+      if (V.K == K)
+        ++N;
+    return N;
+  }
+};
+
+/// The interpreter. Construct once per program; run() may be called
+/// repeatedly with different options (state is reset each run).
+class Interp {
+public:
+  Interp(minic::Program &Prog, const checker::Instrumentation &Instr)
+      : Prog(Prog), Instr(Instr) {}
+
+  InterpResult run(const InterpOptions &Options = InterpOptions());
+
+private:
+  minic::Program &Prog;
+  const checker::Instrumentation &Instr;
+};
+
+} // namespace interp
+} // namespace sharc
+
+#endif // SHARC_INTERP_INTERP_H

@@ -1,0 +1,372 @@
+//===-- minic/Lexer.cpp ---------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace sharc;
+using namespace sharc::minic;
+
+const char *sharc::minic::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwChar:
+    return "'char'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwMutex:
+    return "'mutex'";
+  case TokenKind::KwCond:
+    return "'cond'";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwTypedef:
+    return "'typedef'";
+  case TokenKind::KwPrivate:
+    return "'private'";
+  case TokenKind::KwReadonly:
+    return "'readonly'";
+  case TokenKind::KwLocked:
+    return "'locked'";
+  case TokenKind::KwRwLocked:
+    return "'rwlocked'";
+  case TokenKind::KwRacy:
+    return "'racy'";
+  case TokenKind::KwDynamic:
+    return "'dynamic'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwFree:
+    return "'free'";
+  case TokenKind::KwScast:
+    return "'SCAST'";
+  case TokenKind::KwSizeof:
+    return "'sizeof'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "token";
+}
+
+Lexer::Lexer(const SourceManager &SM, FileId File, DiagnosticEngine &Diags)
+    : SM(SM), File(File), Diags(Diags), Text(SM.getText(File)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Text.size() ? Text[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Text[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::currentLoc() const { return SourceLoc(File, Line, Col); }
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Text.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Text.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      while (Pos < Text.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Text.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin, SourceLoc Loc) {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  Tok.Text = Text.substr(Begin, Pos - Begin);
+  return Tok;
+}
+
+Token Lexer::lexIdentifierOrKeyword(size_t Begin, SourceLoc Loc) {
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string_view Spelling = Text.substr(Begin, Pos - Begin);
+
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"int", TokenKind::KwInt},         {"char", TokenKind::KwChar},
+      {"void", TokenKind::KwVoid},       {"bool", TokenKind::KwBool},
+      {"mutex", TokenKind::KwMutex},     {"cond", TokenKind::KwCond},
+      {"struct", TokenKind::KwStruct},   {"typedef", TokenKind::KwTypedef},
+      {"private", TokenKind::KwPrivate}, {"readonly", TokenKind::KwReadonly},
+      {"locked", TokenKind::KwLocked},   {"racy", TokenKind::KwRacy},
+      {"rwlocked", TokenKind::KwRwLocked},
+      {"dynamic", TokenKind::KwDynamic}, {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"while", TokenKind::KwWhile},
+      {"for", TokenKind::KwFor},         {"return", TokenKind::KwReturn},
+      {"break", TokenKind::KwBreak},     {"continue", TokenKind::KwContinue},
+      {"spawn", TokenKind::KwSpawn},     {"new", TokenKind::KwNew},
+      {"free", TokenKind::KwFree},       {"SCAST", TokenKind::KwScast},
+      {"sizeof", TokenKind::KwSizeof},   {"null", TokenKind::KwNull},
+      {"NULL", TokenKind::KwNull},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  auto It = Keywords.find(Spelling);
+  Token Tok = makeToken(It == Keywords.end() ? TokenKind::Identifier
+                                             : It->second,
+                        Begin, Loc);
+  return Tok;
+}
+
+Token Lexer::lexNumber(size_t Begin, SourceLoc Loc) {
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  Token Tok = makeToken(TokenKind::IntLiteral, Begin, Loc);
+  int64_t Value = 0;
+  for (char C : Tok.Text)
+    Value = Value * 10 + (C - '0');
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+static int decodeEscape(char C) {
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    return C;
+  }
+}
+
+Token Lexer::lexCharLiteral(size_t Begin, SourceLoc Loc) {
+  int64_t Value = 0;
+  if (peek() == '\\') {
+    advance();
+    Value = decodeEscape(advance());
+  } else if (Pos < Text.size()) {
+    Value = advance();
+  }
+  if (!match('\'')) {
+    Diags.error(Loc, "unterminated character literal");
+    return makeToken(TokenKind::Error, Begin, Loc);
+  }
+  Token Tok = makeToken(TokenKind::CharLiteral, Begin, Loc);
+  Tok.IntValue = Value;
+  return Tok;
+}
+
+Token Lexer::lexStringLiteral(size_t Begin, SourceLoc Loc) {
+  while (Pos < Text.size() && peek() != '"') {
+    if (peek() == '\\')
+      advance();
+    advance();
+  }
+  if (!match('"')) {
+    Diags.error(Loc, "unterminated string literal");
+    return makeToken(TokenKind::Error, Begin, Loc);
+  }
+  return makeToken(TokenKind::StringLiteral, Begin, Loc);
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = currentLoc();
+  size_t Begin = Pos;
+  if (Pos >= Text.size())
+    return makeToken(TokenKind::Eof, Begin, Loc);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Begin, Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Begin, Loc);
+
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Begin, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Begin, Loc);
+  case ';':
+    return makeToken(TokenKind::Semi, Begin, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Begin, Loc);
+  case '+':
+    return makeToken(TokenKind::Plus, Begin, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Begin, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Begin, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Begin, Loc);
+  case '&':
+    return makeToken(match('&') ? TokenKind::AmpAmp : TokenKind::Amp, Begin,
+                     Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Begin, Loc);
+    break;
+  case '!':
+    return makeToken(match('=') ? TokenKind::NotEq : TokenKind::Bang, Begin,
+                     Loc);
+  case '=':
+    return makeToken(match('=') ? TokenKind::EqEq : TokenKind::Assign, Begin,
+                     Loc);
+  case '<':
+    return makeToken(match('=') ? TokenKind::LessEq : TokenKind::Less, Begin,
+                     Loc);
+  case '>':
+    return makeToken(match('=') ? TokenKind::GreaterEq : TokenKind::Greater,
+                     Begin, Loc);
+  case '-':
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Begin, Loc);
+    return makeToken(TokenKind::Minus, Begin, Loc);
+  case '\'':
+    return lexCharLiteral(Begin, Loc);
+  case '"':
+    return lexStringLiteral(Begin, Loc);
+  default:
+    break;
+  }
+  Diags.error(Loc, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Begin, Loc);
+}

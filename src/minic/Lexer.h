@@ -1,0 +1,58 @@
+//===-- minic/Lexer.h - MiniC lexer -----------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Produces Tokens over a SourceManager
+/// buffer; supports //- and /* */-style comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_MINIC_LEXER_H
+#define SHARC_MINIC_LEXER_H
+
+#include "minic/Token.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <string_view>
+
+namespace sharc {
+namespace minic {
+
+/// Single-pass lexer with one token of lookahead managed by the parser.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, FileId File, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc currentLoc() const;
+
+  Token makeToken(TokenKind Kind, size_t Begin, SourceLoc Loc);
+  Token lexIdentifierOrKeyword(size_t Begin, SourceLoc Loc);
+  Token lexNumber(size_t Begin, SourceLoc Loc);
+  Token lexCharLiteral(size_t Begin, SourceLoc Loc);
+  Token lexStringLiteral(size_t Begin, SourceLoc Loc);
+
+  const SourceManager &SM;
+  FileId File;
+  DiagnosticEngine &Diags;
+  std::string_view Text;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace minic
+} // namespace sharc
+
+#endif // SHARC_MINIC_LEXER_H

@@ -1,0 +1,972 @@
+//===-- minic/Parser.cpp --------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Parser.h"
+
+using namespace sharc;
+using namespace sharc::minic;
+
+Parser::Parser(const SourceManager &SM, FileId File, DiagnosticEngine &Diags)
+    : SM(SM), Diags(Diags), Lex(SM, File, Diags) {
+  Tok = Lex.next();
+}
+
+Token Parser::consume() {
+  Token Current = Tok;
+  Tok = Lex.next();
+  return Current;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) +
+                           " " + Context + ", found " +
+                           tokenKindName(Tok.Kind));
+  return false;
+}
+
+void Parser::skipToRecoveryPoint() {
+  while (!check(TokenKind::Eof) && !check(TokenKind::Semi) &&
+         !check(TokenKind::RBrace))
+    consume();
+  accept(TokenKind::Semi);
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType() const {
+  if (Tok.isTypeKeyword())
+    return true;
+  if (Tok.Kind == TokenKind::Identifier)
+    return Typedefs.count(std::string(Tok.Text)) != 0;
+  return false;
+}
+
+Qual Parser::parseQualifiers() {
+  Qual Q;
+  while (Tok.isQualifierKeyword()) {
+    Token QualTok = consume();
+    if (Q.M != Mode::Unspec)
+      Diags.error(QualTok.Loc, "multiple sharing qualifiers on one type");
+    Q.Explicit = true;
+    switch (QualTok.Kind) {
+    case TokenKind::KwPrivate:
+      Q.M = Mode::Private;
+      break;
+    case TokenKind::KwReadonly:
+      Q.M = Mode::ReadOnly;
+      break;
+    case TokenKind::KwRacy:
+      Q.M = Mode::Racy;
+      break;
+    case TokenKind::KwDynamic:
+      Q.M = Mode::Dynamic;
+      break;
+    case TokenKind::KwLocked: {
+      Q.M = Mode::Locked;
+      expect(TokenKind::LParen, "after 'locked'");
+      Q.LockExpr = parseExpr();
+      expect(TokenKind::RParen, "after locked(...) expression");
+      break;
+    }
+    case TokenKind::KwRwLocked: {
+      Q.M = Mode::RwLocked;
+      expect(TokenKind::LParen, "after 'rwlocked'");
+      Q.LockExpr = parseExpr();
+      expect(TokenKind::RParen, "after rwlocked(...) expression");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+  return Q;
+}
+
+void Parser::applyQual(TypeNode *T, const Qual &Q) {
+  if (Q.M == Mode::Unspec)
+    return;
+  if (T->Q.M != Mode::Unspec) {
+    Diags.error(T->Loc, "conflicting sharing qualifiers on one type");
+    return;
+  }
+  T->Q = Q;
+}
+
+TypeNode *Parser::parseBaseType() {
+  SourceLoc Loc = Tok.Loc;
+  ASTContext &Ctx = Prog->Context;
+  switch (Tok.Kind) {
+  case TokenKind::KwInt:
+    consume();
+    return Ctx.makeType(TypeKind::Int, Loc);
+  case TokenKind::KwChar:
+    consume();
+    return Ctx.makeType(TypeKind::Char, Loc);
+  case TokenKind::KwBool:
+    consume();
+    return Ctx.makeType(TypeKind::Bool, Loc);
+  case TokenKind::KwVoid:
+    consume();
+    return Ctx.makeType(TypeKind::Void, Loc);
+  case TokenKind::KwMutex:
+    consume();
+    return Ctx.makeType(TypeKind::Mutex, Loc);
+  case TokenKind::KwCond:
+    consume();
+    return Ctx.makeType(TypeKind::Cond, Loc);
+  case TokenKind::KwStruct: {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected struct name");
+      return Ctx.makeType(TypeKind::Int, Loc);
+    }
+    std::string Name(consume().Text);
+    StructDecl *S = Prog->findStruct(Name);
+    if (!S) {
+      // Forward reference: create an undefined struct.
+      S = Ctx.makeStruct(Name, Loc);
+      Prog->Structs.push_back(S);
+    }
+    TypeNode *T = Ctx.makeType(TypeKind::Struct, Loc);
+    T->Struct = S;
+    return T;
+  }
+  case TokenKind::Identifier: {
+    auto It = Typedefs.find(std::string(Tok.Text));
+    if (It != Typedefs.end()) {
+      consume();
+      // Fresh nodes per occurrence so inference treats each use
+      // independently.
+      TypeNode *T = Ctx.cloneType(It->second);
+      T->Loc = Loc;
+      return T;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  Diags.error(Tok.Loc, std::string("expected a type, found ") +
+                           tokenKindName(Tok.Kind));
+  return Ctx.makeType(TypeKind::Int, Loc);
+}
+
+TypeNode *Parser::parseType() {
+  TypeNode *T = parseBaseType();
+  applyQual(T, parseQualifiers());
+  while (accept(TokenKind::Star)) {
+    TypeNode *Ptr = Prog->Context.makeType(TypeKind::Pointer, T->Loc);
+    Ptr->Pointee = T;
+    applyQual(Ptr, parseQualifiers());
+    T = Ptr;
+  }
+  return T;
+}
+
+std::vector<VarDecl *> Parser::parseParamList() {
+  std::vector<VarDecl *> Params;
+  if (check(TokenKind::RParen))
+    return Params;
+  // Allow (void).
+  if (check(TokenKind::KwVoid)) {
+    // Could be `void` alone or `void *x`; peek via parseType.
+    TypeNode *T = parseType();
+    if (check(TokenKind::RParen) && T->Kind == TypeKind::Void)
+      return Params;
+    std::string Name;
+    SourceLoc Loc = Tok.Loc;
+    if (check(TokenKind::Identifier))
+      Name = std::string(consume().Text);
+    Params.push_back(Prog->Context.makeVar(std::move(Name), T,
+                                           StorageKind::Param, Loc));
+    if (!accept(TokenKind::Comma))
+      return Params;
+  }
+  do {
+    TypeNode *T = parseType();
+    std::string Name;
+    SourceLoc Loc = Tok.Loc;
+    if (check(TokenKind::Identifier))
+      Name = std::string(consume().Text);
+    Params.push_back(Prog->Context.makeVar(std::move(Name), T,
+                                           StorageKind::Param, Loc));
+  } while (accept(TokenKind::Comma));
+  return Params;
+}
+
+TypeNode *Parser::parseFuncPointerSuffix(TypeNode *RetType, std::string &Name,
+                                         Qual &PtrQual) {
+  // Already consumed: '(' '*'. Grammar: qual* name ')' '(' params ')'
+  PtrQual = parseQualifiers();
+  if (check(TokenKind::Identifier))
+    Name = std::string(consume().Text);
+  expect(TokenKind::RParen, "after function pointer name");
+  expect(TokenKind::LParen, "to start function pointer parameters");
+  TypeNode *Func = Prog->Context.makeType(TypeKind::Func, RetType->Loc);
+  Func->Ret = RetType;
+  std::vector<VarDecl *> Params = parseParamList();
+  for (VarDecl *Param : Params)
+    Func->Params.push_back(Param->DeclType);
+  expect(TokenKind::RParen, "after function pointer parameters");
+  TypeNode *Ptr = Prog->Context.makeType(TypeKind::Pointer, RetType->Loc);
+  Ptr->Pointee = Func;
+  Ptr->Q = PtrQual;
+  return Ptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  Prog = std::make_unique<Program>();
+  pushScope(); // global scope
+  declareBuiltins();
+  while (!check(TokenKind::Eof))
+    parseTopLevel();
+  resolveProgram();
+  popScope();
+  return std::move(Prog);
+}
+
+void Parser::parseTopLevel() {
+  if (check(TokenKind::KwTypedef)) {
+    parseTypedef();
+    return;
+  }
+  if (check(TokenKind::KwStruct)) {
+    // Could be `struct S { ... };` (definition) or `struct S x;` (decl).
+    // Disambiguate by looking ahead: we cheat by parsing the base type and
+    // checking for '{'.
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected struct name");
+      skipToRecoveryPoint();
+      return;
+    }
+    std::string Name(consume().Text);
+    StructDecl *S = Prog->findStruct(Name);
+    if (!S) {
+      S = Prog->Context.makeStruct(Name, Loc);
+      Prog->Structs.push_back(S);
+    }
+    if (check(TokenKind::LBrace)) {
+      parseStructBody(S);
+      expect(TokenKind::Semi, "after struct definition");
+      return;
+    }
+    // Variable of struct type: continue the declarator.
+    TypeNode *T = Prog->Context.makeType(TypeKind::Struct, Loc);
+    T->Struct = S;
+    applyQual(T, parseQualifiers());
+    while (accept(TokenKind::Star)) {
+      TypeNode *Ptr = Prog->Context.makeType(TypeKind::Pointer, Loc);
+      Ptr->Pointee = T;
+      applyQual(Ptr, parseQualifiers());
+      T = Ptr;
+    }
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected declarator name");
+      skipToRecoveryPoint();
+      return;
+    }
+    std::string VarName(consume().Text);
+    if (check(TokenKind::LParen)) {
+      consume();
+      parseFunctionRest(T, std::move(VarName), Loc);
+      return;
+    }
+    if (accept(TokenKind::LBracket)) {
+      TypeNode *Arr = Prog->Context.makeType(TypeKind::Array, Loc);
+      Arr->Pointee = T;
+      if (check(TokenKind::IntLiteral))
+        Arr->ArraySize = consume().IntValue;
+      expect(TokenKind::RBracket, "after array size");
+      T = Arr;
+    }
+    VarDecl *G =
+        Prog->Context.makeVar(std::move(VarName), T, StorageKind::Global, Loc);
+    Prog->Globals.push_back(G);
+    declare(G);
+    expect(TokenKind::Semi, "after global declaration");
+    return;
+  }
+  parseVarOrFunc();
+}
+
+/// Resolves NameExprs appearing in locked(...) qualifiers of a struct's
+/// field types against sibling fields ("lock is an expression or structure
+/// field for the address of a lock").
+static void resolveLockExprsInType(TypeNode *T, StructDecl *S) {
+  if (!T)
+    return;
+  if (T->Q.M == Mode::Locked || T->Q.M == Mode::RwLocked) {
+    if (auto *Name = dyn_cast<NameExpr>(T->Q.LockExpr)) {
+      if (!Name->Var && !Name->Func)
+        if (VarDecl *Field = S->findField(Name->Name))
+          Name->Var = Field;
+    }
+  }
+  resolveLockExprsInType(T->Pointee, S);
+  resolveLockExprsInType(T->Ret, S);
+  for (TypeNode *Param : T->Params)
+    resolveLockExprsInType(Param, S);
+}
+
+void Parser::parseStructBody(StructDecl *S) {
+  expect(TokenKind::LBrace, "to start struct body");
+  if (S->IsDefined)
+    Diags.error(Tok.Loc, "struct '" + S->Name + "' redefined");
+  S->IsDefined = true;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    TypeNode *T = parseType();
+    std::string Name;
+    SourceLoc Loc = Tok.Loc;
+    if (accept(TokenKind::LParen)) {
+      // Function-pointer field: ret (*name)(params)
+      if (!expect(TokenKind::Star, "in function pointer field")) {
+        skipToRecoveryPoint();
+        continue;
+      }
+      Qual PtrQual;
+      T = parseFuncPointerSuffix(T, Name, PtrQual);
+    } else if (check(TokenKind::Identifier)) {
+      Name = std::string(consume().Text);
+      if (accept(TokenKind::LBracket)) {
+        TypeNode *Arr = Prog->Context.makeType(TypeKind::Array, Loc);
+        Arr->Pointee = T;
+        if (check(TokenKind::IntLiteral))
+          Arr->ArraySize = consume().IntValue;
+        expect(TokenKind::RBracket, "after array size");
+        T = Arr;
+      }
+    } else {
+      Diags.error(Tok.Loc, "expected field name");
+      skipToRecoveryPoint();
+      continue;
+    }
+    VarDecl *Field =
+        Prog->Context.makeVar(std::move(Name), T, StorageKind::Field, Loc);
+    Field->Parent = S;
+    Field->FieldIndex = static_cast<unsigned>(S->Fields.size());
+    S->Fields.push_back(Field);
+    expect(TokenKind::Semi, "after struct field");
+  }
+  expect(TokenKind::RBrace, "to end struct body");
+  for (VarDecl *Field : S->Fields)
+    resolveLockExprsInType(Field->DeclType, S);
+}
+
+void Parser::parseTypedef() {
+  consume(); // typedef
+  if (check(TokenKind::KwStruct)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    std::string StructName;
+    if (check(TokenKind::Identifier))
+      StructName = std::string(consume().Text);
+    StructDecl *S = nullptr;
+    if (!StructName.empty())
+      S = Prog->findStruct(StructName);
+    if (!S) {
+      S = Prog->Context.makeStruct(
+          StructName.empty() ? "<anon>" : StructName, Loc);
+      Prog->Structs.push_back(S);
+    }
+    if (check(TokenKind::LBrace))
+      parseStructBody(S);
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected typedef alias name");
+      skipToRecoveryPoint();
+      return;
+    }
+    std::string Alias(consume().Text);
+    TypeNode *T = Prog->Context.makeType(TypeKind::Struct, Loc);
+    T->Struct = S;
+    Typedefs[Alias] = T;
+    expect(TokenKind::Semi, "after typedef");
+    return;
+  }
+  TypeNode *T = parseType();
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected typedef alias name");
+    skipToRecoveryPoint();
+    return;
+  }
+  std::string Alias(consume().Text);
+  Typedefs[Alias] = T;
+  expect(TokenKind::Semi, "after typedef");
+}
+
+void Parser::parseVarOrFunc() {
+  SourceLoc Loc = Tok.Loc;
+  if (!startsType()) {
+    Diags.error(Tok.Loc, std::string("expected a declaration, found ") +
+                             tokenKindName(Tok.Kind));
+    consume();
+    skipToRecoveryPoint();
+    return;
+  }
+  TypeNode *T = parseType();
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected declarator name");
+    skipToRecoveryPoint();
+    return;
+  }
+  std::string Name(consume().Text);
+  if (accept(TokenKind::LParen)) {
+    parseFunctionRest(T, std::move(Name), Loc);
+    return;
+  }
+  if (accept(TokenKind::LBracket)) {
+    TypeNode *Arr = Prog->Context.makeType(TypeKind::Array, Loc);
+    Arr->Pointee = T;
+    if (check(TokenKind::IntLiteral))
+      Arr->ArraySize = consume().IntValue;
+    expect(TokenKind::RBracket, "after array size");
+    T = Arr;
+  }
+  VarDecl *G = Prog->Context.makeVar(std::move(Name), T, StorageKind::Global,
+                                     Loc);
+  Prog->Globals.push_back(G);
+  declare(G);
+  expect(TokenKind::Semi, "after global declaration");
+}
+
+void Parser::parseFunctionRest(TypeNode *RetType, std::string Name,
+                               SourceLoc Loc) {
+  FuncDecl *F = Prog->findFunc(Name);
+  if (F && F->Body) {
+    Diags.error(Loc, "function '" + Name + "' redefined");
+    F = nullptr;
+  }
+  if (!F) {
+    F = Prog->Context.makeFunc(Name, Loc);
+    Prog->Funcs.push_back(F);
+  }
+  F->RetType = RetType;
+  pushScope();
+  F->Params = parseParamList();
+  expect(TokenKind::RParen, "after parameter list");
+  // Build the function's type node (used for function pointers).
+  TypeNode *FT = Prog->Context.makeType(TypeKind::Func, Loc);
+  FT->Ret = RetType;
+  for (VarDecl *Param : F->Params)
+    FT->Params.push_back(Param->DeclType);
+  F->FuncType = FT;
+  if (accept(TokenKind::Semi)) {
+    popScope();
+    return; // prototype
+  }
+  for (VarDecl *Param : F->Params)
+    declare(Param);
+  F->Body = parseBlock();
+  popScope();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+BlockStmt *Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  expect(TokenKind::LBrace, "to start block");
+  pushScope();
+  std::vector<Stmt *> Body;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    Stmt *S = parseStmt();
+    if (S)
+      Body.push_back(S);
+  }
+  expect(TokenKind::RBrace, "to end block");
+  popScope();
+  return Prog->Context.makeStmt<BlockStmt>(std::move(Body), Loc);
+}
+
+Stmt *Parser::parseStmt() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile:
+    return parseWhile();
+  case TokenKind::KwFor: {
+    consume();
+    expect(TokenKind::LParen, "after 'for'");
+    Stmt *Init = nullptr;
+    if (!accept(TokenKind::Semi)) {
+      if (startsType()) {
+        Init = parseDeclStmt(); // consumes its ';'
+      } else {
+        Expr *InitExpr = parseExpr();
+        Init = Prog->Context.makeStmt<ExprStmt>(InitExpr, Loc);
+        expect(TokenKind::Semi, "after for-initializer");
+      }
+    }
+    Expr *Cond = nullptr;
+    if (!check(TokenKind::Semi))
+      Cond = parseExpr();
+    expect(TokenKind::Semi, "after for-condition");
+    Expr *Step = nullptr;
+    if (!check(TokenKind::RParen))
+      Step = parseExpr();
+    expect(TokenKind::RParen, "after for-step");
+    Stmt *Body = parseStmt();
+    return Prog->Context.makeStmt<ForStmt>(Init, Cond, Step, Body, Loc);
+  }
+  case TokenKind::KwReturn: {
+    consume();
+    Expr *Value = nullptr;
+    if (!check(TokenKind::Semi))
+      Value = parseExpr();
+    expect(TokenKind::Semi, "after return");
+    return Prog->Context.makeStmt<ReturnStmt>(Value, Loc);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    expect(TokenKind::Semi, "after break");
+    return Prog->Context.makeStmt<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    expect(TokenKind::Semi, "after continue");
+    return Prog->Context.makeStmt<ContinueStmt>(Loc);
+  case TokenKind::KwSpawn: {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected thread function name after 'spawn'");
+      skipToRecoveryPoint();
+      return nullptr;
+    }
+    std::string Callee(consume().Text);
+    expect(TokenKind::LParen, "after spawn callee");
+    Expr *Arg = nullptr;
+    if (!check(TokenKind::RParen))
+      Arg = parseExpr();
+    expect(TokenKind::RParen, "after spawn argument");
+    expect(TokenKind::Semi, "after spawn statement");
+    auto *S = Prog->Context.makeStmt<SpawnStmt>(std::move(Callee), Arg, Loc);
+    PendingSpawns.push_back(S);
+    return S;
+  }
+  case TokenKind::KwFree: {
+    consume();
+    expect(TokenKind::LParen, "after free");
+    Expr *Ptr = parseExpr();
+    expect(TokenKind::RParen, "after free argument");
+    expect(TokenKind::Semi, "after free statement");
+    return Prog->Context.makeStmt<FreeStmt>(Ptr, Loc);
+  }
+  default:
+    break;
+  }
+  if (startsType())
+    return parseDeclStmt();
+  Expr *E = parseExpr();
+  expect(TokenKind::Semi, "after expression statement");
+  return Prog->Context.makeStmt<ExprStmt>(E, Loc);
+}
+
+Stmt *Parser::parseIf() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  expect(TokenKind::LParen, "after 'if'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after if condition");
+  Stmt *Then = parseStmt();
+  Stmt *Else = nullptr;
+  if (accept(TokenKind::KwElse))
+    Else = parseStmt();
+  return Prog->Context.makeStmt<IfStmt>(Cond, Then, Else, Loc);
+}
+
+Stmt *Parser::parseWhile() {
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  expect(TokenKind::LParen, "after 'while'");
+  Expr *Cond = parseExpr();
+  expect(TokenKind::RParen, "after while condition");
+  Stmt *Body = parseStmt();
+  return Prog->Context.makeStmt<WhileStmt>(Cond, Body, Loc);
+}
+
+Stmt *Parser::parseDeclStmt() {
+  SourceLoc Loc = Tok.Loc;
+  TypeNode *T = parseType();
+  std::string Name;
+  if (accept(TokenKind::LParen)) {
+    // Local function pointer: ret (*name)(params)
+    expect(TokenKind::Star, "in function pointer declarator");
+    Qual PtrQual;
+    T = parseFuncPointerSuffix(T, Name, PtrQual);
+  } else if (check(TokenKind::Identifier)) {
+    Name = std::string(consume().Text);
+    if (accept(TokenKind::LBracket)) {
+      TypeNode *Arr = Prog->Context.makeType(TypeKind::Array, Loc);
+      Arr->Pointee = T;
+      if (check(TokenKind::IntLiteral))
+        Arr->ArraySize = consume().IntValue;
+      expect(TokenKind::RBracket, "after array size");
+      T = Arr;
+    }
+  } else {
+    Diags.error(Tok.Loc, "expected local variable name");
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+  VarDecl *Var =
+      Prog->Context.makeVar(std::move(Name), T, StorageKind::Local, Loc);
+  declare(Var);
+  Expr *Init = nullptr;
+  if (accept(TokenKind::Assign))
+    Init = parseAssign();
+  expect(TokenKind::Semi, "after declaration");
+  return Prog->Context.makeStmt<DeclStmt>(Var, Init, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseExpr() { return parseAssign(); }
+
+Expr *Parser::parseAssign() {
+  Expr *Lhs = parseBinary(0);
+  if (check(TokenKind::Assign)) {
+    SourceLoc Loc = consume().Loc;
+    Expr *Rhs = parseAssign();
+    return Prog->Context.makeExpr<AssignExpr>(Lhs, Rhs, Loc);
+  }
+  return Lhs;
+}
+
+namespace {
+struct BinOpInfo {
+  TokenKind Kind;
+  BinaryOp Op;
+  int Prec;
+};
+} // namespace
+
+static const BinOpInfo BinOps[] = {
+    {TokenKind::PipePipe, BinaryOp::Or, 1},
+    {TokenKind::AmpAmp, BinaryOp::And, 2},
+    {TokenKind::EqEq, BinaryOp::Eq, 3},
+    {TokenKind::NotEq, BinaryOp::Ne, 3},
+    {TokenKind::Less, BinaryOp::Lt, 4},
+    {TokenKind::LessEq, BinaryOp::Le, 4},
+    {TokenKind::Greater, BinaryOp::Gt, 4},
+    {TokenKind::GreaterEq, BinaryOp::Ge, 4},
+    {TokenKind::Plus, BinaryOp::Add, 5},
+    {TokenKind::Minus, BinaryOp::Sub, 5},
+    {TokenKind::Star, BinaryOp::Mul, 6},
+    {TokenKind::Slash, BinaryOp::Div, 6},
+    {TokenKind::Percent, BinaryOp::Rem, 6},
+};
+
+static const BinOpInfo *findBinOp(TokenKind Kind) {
+  for (const BinOpInfo &Info : BinOps)
+    if (Info.Kind == Kind)
+      return &Info;
+  return nullptr;
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *Lhs = parseUnary();
+  while (true) {
+    const BinOpInfo *Info = findBinOp(Tok.Kind);
+    if (!Info || Info->Prec < MinPrec)
+      return Lhs;
+    SourceLoc Loc = consume().Loc;
+    Expr *Rhs = parseBinary(Info->Prec + 1);
+    Lhs = Prog->Context.makeExpr<BinaryExpr>(Info->Op, Lhs, Rhs, Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::Star:
+    consume();
+    return Prog->Context.makeExpr<UnaryExpr>(UnaryOp::Deref, parseUnary(),
+                                             Loc);
+  case TokenKind::Amp:
+    consume();
+    return Prog->Context.makeExpr<UnaryExpr>(UnaryOp::AddrOf, parseUnary(),
+                                             Loc);
+  case TokenKind::Bang:
+    consume();
+    return Prog->Context.makeExpr<UnaryExpr>(UnaryOp::Not, parseUnary(), Loc);
+  case TokenKind::Minus:
+    consume();
+    return Prog->Context.makeExpr<UnaryExpr>(UnaryOp::Neg, parseUnary(), Loc);
+  default:
+    return parsePostfix();
+  }
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (true) {
+    SourceLoc Loc = Tok.Loc;
+    if (accept(TokenKind::Dot)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(Tok.Loc, "expected field name after '.'");
+        return E;
+      }
+      E = Prog->Context.makeExpr<MemberExpr>(E, std::string(consume().Text),
+                                             /*IsArrow=*/false, Loc);
+    } else if (accept(TokenKind::Arrow)) {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(Tok.Loc, "expected field name after '->'");
+        return E;
+      }
+      E = Prog->Context.makeExpr<MemberExpr>(E, std::string(consume().Text),
+                                             /*IsArrow=*/true, Loc);
+    } else if (accept(TokenKind::LBracket)) {
+      Expr *Idx = parseExpr();
+      expect(TokenKind::RBracket, "after index");
+      E = Prog->Context.makeExpr<IndexExpr>(E, Idx, Loc);
+    } else if (accept(TokenKind::LParen)) {
+      std::vector<Expr *> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          Args.push_back(parseAssign());
+        } while (accept(TokenKind::Comma));
+      }
+      expect(TokenKind::RParen, "after call arguments");
+      E = Prog->Context.makeExpr<CallExpr>(E, std::move(Args), Loc);
+    } else {
+      return E;
+    }
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral: {
+    Token T = consume();
+    return Prog->Context.makeExpr<IntLitExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::CharLiteral: {
+    Token T = consume();
+    return Prog->Context.makeExpr<IntLitExpr>(T.IntValue, Loc);
+  }
+  case TokenKind::StringLiteral: {
+    Token T = consume();
+    // Decode escapes; strip quotes.
+    std::string Decoded;
+    std::string_view Raw = T.Text.substr(1, T.Text.size() - 2);
+    for (size_t I = 0; I != Raw.size(); ++I) {
+      if (Raw[I] == '\\' && I + 1 != Raw.size()) {
+        ++I;
+        char C = Raw[I];
+        Decoded += C == 'n' ? '\n' : C == 't' ? '\t' : C == '0' ? '\0' : C;
+      } else {
+        Decoded += Raw[I];
+      }
+    }
+    return Prog->Context.makeExpr<StrLitExpr>(std::move(Decoded), Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return Prog->Context.makeExpr<BoolLitExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return Prog->Context.makeExpr<BoolLitExpr>(false, Loc);
+  case TokenKind::KwNull:
+    consume();
+    return Prog->Context.makeExpr<NullLitExpr>(Loc);
+  case TokenKind::KwScast: {
+    consume();
+    expect(TokenKind::LParen, "after SCAST");
+    TypeNode *Target = parseType();
+    expect(TokenKind::Comma, "between SCAST type and expression");
+    Expr *Src = parseExpr();
+    expect(TokenKind::RParen, "after SCAST");
+    return Prog->Context.makeExpr<ScastExpr>(Target, Src, Loc);
+  }
+  case TokenKind::KwNew: {
+    consume();
+    TypeNode *Elem = parseType();
+    Expr *Count = nullptr;
+    if (accept(TokenKind::LBracket)) {
+      Count = parseExpr();
+      expect(TokenKind::RBracket, "after new[] count");
+    }
+    return Prog->Context.makeExpr<NewExpr>(Elem, Count, Loc);
+  }
+  case TokenKind::KwSizeof: {
+    consume();
+    expect(TokenKind::LParen, "after sizeof");
+    TypeNode *T = parseType();
+    expect(TokenKind::RParen, "after sizeof type");
+    return Prog->Context.makeExpr<SizeofExpr>(T, Loc);
+  }
+  case TokenKind::Identifier: {
+    Token T = consume();
+    auto *Name = Prog->Context.makeExpr<NameExpr>(std::string(T.Text), Loc);
+    if (VarDecl *Var = lookup(Name->Name))
+      Name->Var = Var;
+    else
+      PendingNames.push_back(Name);
+    return Name;
+  }
+  case TokenKind::LParen: {
+    consume();
+    Expr *E = parseExpr();
+    expect(TokenKind::RParen, "after parenthesized expression");
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected an expression, found ") +
+                         tokenKindName(Tok.Kind));
+    consume();
+    return Prog->Context.makeExpr<IntLitExpr>(0, Loc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes, resolution, builtins
+//===----------------------------------------------------------------------===//
+
+void Parser::declare(VarDecl *Var) {
+  if (Var->Name.empty())
+    return;
+  auto &Scope = Scopes.back();
+  if (!Scope.emplace(Var->Name, Var).second)
+    Diags.error(Var->Loc, "redeclaration of '" + Var->Name + "'");
+}
+
+VarDecl *Parser::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Parser::resolveProgram() {
+  for (NameExpr *Name : PendingNames) {
+    if (Name->Var)
+      continue;
+    if (FuncDecl *F = Prog->findFunc(Name->Name)) {
+      Name->Func = F;
+      continue;
+    }
+    if (VarDecl *G = Prog->findGlobal(Name->Name)) {
+      Name->Var = G;
+      continue;
+    }
+    Diags.error(Name->Loc, "use of undeclared identifier '" + Name->Name +
+                               "'");
+  }
+  for (SpawnStmt *Spawn : PendingSpawns) {
+    Spawn->Callee = Prog->findFunc(Spawn->CalleeName);
+    if (!Spawn->Callee)
+      Diags.error(Spawn->Loc, "spawn of undeclared function '" +
+                                  Spawn->CalleeName + "'");
+  }
+  for (StructDecl *S : Prog->Structs)
+    if (!S->IsDefined)
+      Diags.error(S->Loc, "struct '" + S->Name + "' used but never defined");
+}
+
+void Parser::declareBuiltins() {
+  ASTContext &Ctx = Prog->Context;
+  auto MakeBuiltin = [&](const char *Name,
+                         std::vector<TypeNode *> ParamTypes,
+                         std::vector<ParamSummary> Summaries) {
+    FuncDecl *F = Ctx.makeFunc(Name, SourceLoc());
+    F->IsBuiltin = true;
+    F->RetType = Ctx.makeType(TypeKind::Void);
+    for (size_t I = 0; I != ParamTypes.size(); ++I) {
+      VarDecl *Param = Ctx.makeVar("arg" + std::to_string(I), ParamTypes[I],
+                                   StorageKind::Param, SourceLoc());
+      F->Params.push_back(Param);
+    }
+    F->Summaries = std::move(Summaries);
+    TypeNode *FT = Ctx.makeType(TypeKind::Func);
+    FT->Ret = F->RetType;
+    for (VarDecl *Param : F->Params)
+      FT->Params.push_back(Param->DeclType);
+    F->FuncType = FT;
+    Prog->Funcs.push_back(F);
+  };
+
+  auto RacyPtr = [&](TypeKind Kind) {
+    TypeNode *Base = Ctx.makeType(Kind);
+    Base->Q.M = Mode::Racy;
+    TypeNode *Ptr = Ctx.makeType(TypeKind::Pointer);
+    Ptr->Pointee = Base;
+    return Ptr;
+  };
+
+  // The pthread-flavoured builtins; mutex/cond internals are racy by
+  // nature (Section 4.1). Summaries mark their pointees read+written so
+  // any sharing mode except locked may be passed (Section 4.4).
+  MakeBuiltin("mutex_lock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+  MakeBuiltin("mutex_unlock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+  MakeBuiltin("cond_wait", {RacyPtr(TypeKind::Cond), RacyPtr(TypeKind::Mutex)},
+              {{true, true}, {true, true}});
+  MakeBuiltin("cond_signal", {RacyPtr(TypeKind::Cond)}, {{true, true}});
+  MakeBuiltin("cond_broadcast", {RacyPtr(TypeKind::Cond)}, {{true, true}});
+
+  // Reader-writer lock builtins (Section 7 extension). RW locks reuse the
+  // inherently racy mutex type.
+  MakeBuiltin("rwlock_rdlock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+  MakeBuiltin("rwlock_rdunlock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+  MakeBuiltin("rwlock_wrlock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+  MakeBuiltin("rwlock_wrunlock", {RacyPtr(TypeKind::Mutex)}, {{true, true}});
+
+  // print_int(int): no pointer arguments.
+  {
+    FuncDecl *F = Ctx.makeFunc("print_int", SourceLoc());
+    F->IsBuiltin = true;
+    F->RetType = Ctx.makeType(TypeKind::Void);
+    F->Params.push_back(Ctx.makeVar("value", Ctx.makeType(TypeKind::Int),
+                                    StorageKind::Param, SourceLoc()));
+    F->Summaries = {{false, false}};
+    TypeNode *FT = Ctx.makeType(TypeKind::Func);
+    FT->Ret = F->RetType;
+    FT->Params.push_back(F->Params[0]->DeclType);
+    F->FuncType = FT;
+    Prog->Funcs.push_back(F);
+  }
+
+  // print_str(char readonly *): reads its pointee.
+  {
+    FuncDecl *F = Ctx.makeFunc("print_str", SourceLoc());
+    F->IsBuiltin = true;
+    F->RetType = Ctx.makeType(TypeKind::Void);
+    TypeNode *Char = Ctx.makeType(TypeKind::Char);
+    TypeNode *Ptr = Ctx.makeType(TypeKind::Pointer);
+    Ptr->Pointee = Char;
+    F->Params.push_back(
+        Ctx.makeVar("str", Ptr, StorageKind::Param, SourceLoc()));
+    F->Summaries = {{true, false}};
+    TypeNode *FT = Ctx.makeType(TypeKind::Func);
+    FT->Ret = F->RetType;
+    FT->Params.push_back(Ptr);
+    F->FuncType = FT;
+    Prog->Funcs.push_back(F);
+  }
+}

@@ -1,0 +1,109 @@
+//===-- minic/Parser.h - MiniC parser ---------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC. Produces a Program whose names are
+/// resolved (locals during the parse; forward-referenced functions and
+/// globals in a post-pass) and whose types carry the user's explicit
+/// sharing-mode qualifiers; unannotated positions stay Mode::Unspec for
+/// the inference pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_MINIC_PARSER_H
+#define SHARC_MINIC_PARSER_H
+
+#include "minic/AST.h"
+#include "minic/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sharc {
+namespace minic {
+
+/// Parses one MiniC file into a Program. Errors are reported through the
+/// DiagnosticEngine; the parser recovers at statement/declaration
+/// boundaries so multiple errors surface in one run.
+class Parser {
+public:
+  Parser(const SourceManager &SM, FileId File, DiagnosticEngine &Diags);
+
+  /// Parses the whole file. \returns the program, or null if parsing
+  /// failed hard; check Diags for errors either way.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  //===--- token plumbing -------------------------------------------------===
+  const Token &peek() const { return Tok; }
+  Token consume();
+  bool check(TokenKind Kind) const { return Tok.Kind == Kind; }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToRecoveryPoint();
+
+  //===--- types ----------------------------------------------------------===
+  bool startsType() const;
+  TypeNode *parseType();
+  TypeNode *parseBaseType();
+  Qual parseQualifiers();
+  void applyQual(TypeNode *T, const Qual &Q);
+  TypeNode *parseFuncPointerSuffix(TypeNode *RetType, std::string &Name,
+                                   Qual &PtrQual);
+  std::vector<VarDecl *> parseParamList();
+
+  //===--- declarations ---------------------------------------------------===
+  void parseTopLevel();
+  void parseStructBody(StructDecl *S);
+  void parseStructDecl();
+  void parseTypedef();
+  void parseVarOrFunc();
+  void parseFunctionRest(TypeNode *RetType, std::string Name, SourceLoc Loc);
+
+  //===--- statements -----------------------------------------------------===
+  Stmt *parseStmt();
+  BlockStmt *parseBlock();
+  Stmt *parseIf();
+  Stmt *parseWhile();
+  Stmt *parseDeclStmt();
+
+  //===--- expressions ----------------------------------------------------===
+  Expr *parseExpr();
+  Expr *parseAssign();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  //===--- scopes and resolution ------------------------------------------===
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(VarDecl *Var);
+  VarDecl *lookup(const std::string &Name) const;
+  void resolveProgram();
+  void declareBuiltins();
+
+  const SourceManager &SM;
+  DiagnosticEngine &Diags;
+  Lexer Lex;
+  Token Tok;
+
+  std::unique_ptr<Program> Prog;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  std::map<std::string, TypeNode *> Typedefs; ///< alias -> template type
+  /// Name expressions and spawns that could not be resolved in place.
+  std::vector<NameExpr *> PendingNames;
+  std::vector<SpawnStmt *> PendingSpawns;
+};
+
+} // namespace minic
+} // namespace sharc
+
+#endif // SHARC_MINIC_PARSER_H

@@ -1,0 +1,196 @@
+//===-- minic/Printer.cpp -------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Printer.h"
+
+using namespace sharc;
+using namespace sharc::minic;
+
+namespace {
+
+class ProgramPrinter {
+public:
+  std::string print(const Program &Prog) {
+    for (const StructDecl *S : Prog.Structs) {
+      if (!S->IsDefined)
+        continue;
+      line("struct " + S->Name + "(q) {");
+      Indent += 2;
+      for (const VarDecl *Field : S->Fields)
+        line(printDecl(Field) + ";");
+      Indent -= 2;
+      line("};");
+      line("");
+    }
+    for (const VarDecl *G : Prog.Globals)
+      line(printDecl(G) + ";");
+    if (!Prog.Globals.empty())
+      line("");
+    for (const FuncDecl *F : Prog.Funcs) {
+      if (F->IsBuiltin || !F->Body)
+        continue;
+      std::string Sig = typeToString(F->RetType) + " " + F->Name + "(";
+      for (size_t I = 0; I != F->Params.size(); ++I) {
+        if (I)
+          Sig += ", ";
+        Sig += printDecl(F->Params[I]);
+      }
+      Sig += ")";
+      line(Sig + " {");
+      Indent += 2;
+      printStmtList(F->Body->Body);
+      Indent -= 2;
+      line("}");
+      line("");
+    }
+    return std::move(Out);
+  }
+
+private:
+  void line(const std::string &Text) {
+    if (!Text.empty())
+      Out.append(static_cast<size_t>(Indent), ' ');
+    Out += Text;
+    Out += '\n';
+  }
+
+  void printStmtList(const std::vector<Stmt *> &Body) {
+    for (const Stmt *S : Body)
+      printStmt(S);
+  }
+
+  void printStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Block: {
+      line("{");
+      Indent += 2;
+      printStmtList(cast<BlockStmt>(S)->Body);
+      Indent -= 2;
+      line("}");
+      return;
+    }
+    case StmtKind::If: {
+      auto *If = cast<IfStmt>(S);
+      line("if (" + If->Cond->spelling() + ")");
+      Indent += 2;
+      printStmt(If->Then);
+      Indent -= 2;
+      if (If->Else) {
+        line("else");
+        Indent += 2;
+        printStmt(If->Else);
+        Indent -= 2;
+      }
+      return;
+    }
+    case StmtKind::While: {
+      auto *While = cast<WhileStmt>(S);
+      line("while (" + While->Cond->spelling() + ")");
+      Indent += 2;
+      printStmt(While->Body);
+      Indent -= 2;
+      return;
+    }
+    case StmtKind::For: {
+      auto *For = cast<ForStmt>(S);
+      std::string Head = "for (";
+      if (auto *Decl = dyn_cast<DeclStmt>(For->Init)) {
+        Head += printDecl(Decl->Var);
+        if (Decl->Init)
+          Head += " = " + Decl->Init->spelling();
+      } else if (auto *ES = dyn_cast<ExprStmt>(For->Init)) {
+        Head += ES->E->spelling();
+      }
+      Head += "; ";
+      if (For->Cond)
+        Head += For->Cond->spelling();
+      Head += "; ";
+      if (For->Step)
+        Head += For->Step->spelling();
+      Head += ")";
+      line(Head);
+      Indent += 2;
+      printStmt(For->Body);
+      Indent -= 2;
+      return;
+    }
+    case StmtKind::Return: {
+      auto *Ret = cast<ReturnStmt>(S);
+      line(Ret->Value ? "return " + Ret->Value->spelling() + ";"
+                      : "return;");
+      return;
+    }
+    case StmtKind::ExprStmt:
+      line(cast<ExprStmt>(S)->E->spelling() + ";");
+      return;
+    case StmtKind::DeclStmt: {
+      auto *Decl = cast<DeclStmt>(S);
+      std::string Text = printDecl(Decl->Var);
+      if (Decl->Init)
+        Text += " = " + Decl->Init->spelling();
+      line(Text + ";");
+      return;
+    }
+    case StmtKind::Spawn: {
+      auto *Spawn = cast<SpawnStmt>(S);
+      line("spawn " + Spawn->CalleeName + "(" +
+           (Spawn->Arg ? Spawn->Arg->spelling() : "") + ");");
+      return;
+    }
+    case StmtKind::Free:
+      line("free(" + cast<FreeStmt>(S)->Ptr->spelling() + ");");
+      return;
+    case StmtKind::Break:
+      line("break;");
+      return;
+    case StmtKind::Continue:
+      line("continue;");
+      return;
+    }
+  }
+
+  std::string Out;
+  int Indent = 0;
+};
+
+} // namespace
+
+std::string sharc::minic::printDecl(const VarDecl *Var) {
+  const TypeNode *T = Var->DeclType;
+  // Function pointer: ret (*q name)(params).
+  if (T->isPointer() && T->Pointee && T->Pointee->isFunc()) {
+    const TypeNode *Fn = T->Pointee;
+    std::string S = typeToString(Fn->Ret) + " (*";
+    if (T->Q.M != Mode::Unspec) {
+      S += modeName(T->Q.M);
+      S += " ";
+    }
+    S += Var->Name + ")(";
+    for (size_t I = 0; I != Fn->Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += typeToString(Fn->Params[I]);
+    }
+    S += ")";
+    return S;
+  }
+  // Array: elem-type name[N].
+  if (T->isArray()) {
+    std::string S = typeToString(T->Pointee) + " " + Var->Name + "[";
+    if (T->ArraySize)
+      S += std::to_string(T->ArraySize);
+    S += "]";
+    return S;
+  }
+  return typeToString(T) + " " + Var->Name;
+}
+
+std::string sharc::minic::printProgram(const Program &Prog) {
+  ProgramPrinter Printer;
+  return Printer.print(Prog);
+}

@@ -1,0 +1,36 @@
+//===-- minic/Printer.h - Annotated program printer -------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a (possibly inference-annotated) program back to MiniC source,
+/// with every sharing qualifier spelled out. This is how the driver shows
+/// the user what the analysis decided (the paper's Figure 2: "the stage
+/// structure, with the annotations inferred by SharC").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_MINIC_PRINTER_H
+#define SHARC_MINIC_PRINTER_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace sharc {
+namespace minic {
+
+/// Renders one declaration "type name" with qualifiers (field/variable
+/// position, handling arrays and function pointers).
+std::string printDecl(const VarDecl *Var);
+
+/// Renders the whole program: structs, globals, and functions with
+/// annotated locals and bodies.
+std::string printProgram(const Program &Prog);
+
+} // namespace minic
+} // namespace sharc
+
+#endif // SHARC_MINIC_PRINTER_H

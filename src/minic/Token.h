@@ -1,0 +1,125 @@
+//===-- minic/Token.h - MiniC tokens ----------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniC, the C-like input language of the checker. The
+/// sharing-mode qualifiers of the paper's Section 2 are keywords.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_MINIC_TOKEN_H
+#define SHARC_MINIC_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace sharc {
+namespace minic {
+
+enum class TokenKind : uint8_t {
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Star,
+  Amp,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Assign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  Dot,
+  Arrow,
+
+  // Keywords: types.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwBool,
+  KwMutex,
+  KwCond,
+  KwStruct,
+  KwTypedef,
+
+  // Keywords: sharing-mode qualifiers (paper Section 2).
+  KwPrivate,
+  KwReadonly,
+  KwLocked,
+  KwRwLocked,
+  KwRacy,
+  KwDynamic,
+
+  // Keywords: statements and expressions.
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSpawn,
+  KwNew,
+  KwFree,
+  KwScast,
+  KwSizeof,
+  KwNull,
+  KwTrue,
+  KwFalse,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  CharLiteral,
+  StringLiteral,
+
+  Eof,
+  Error,
+};
+
+/// \returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Text views into the SourceManager buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+  int64_t IntValue = 0; ///< For IntLiteral and CharLiteral.
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isQualifierKeyword() const {
+    return Kind == TokenKind::KwPrivate || Kind == TokenKind::KwReadonly ||
+           Kind == TokenKind::KwLocked || Kind == TokenKind::KwRwLocked ||
+           Kind == TokenKind::KwRacy || Kind == TokenKind::KwDynamic;
+  }
+  bool isTypeKeyword() const {
+    return Kind == TokenKind::KwInt || Kind == TokenKind::KwChar ||
+           Kind == TokenKind::KwVoid || Kind == TokenKind::KwBool ||
+           Kind == TokenKind::KwMutex || Kind == TokenKind::KwCond ||
+           Kind == TokenKind::KwStruct;
+  }
+};
+
+} // namespace minic
+} // namespace sharc
+
+#endif // SHARC_MINIC_TOKEN_H

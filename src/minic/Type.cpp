@@ -1,0 +1,257 @@
+//===-- minic/Type.cpp ----------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Type.h"
+
+#include "minic/AST.h"
+
+using namespace sharc;
+using namespace sharc::minic;
+
+const char *sharc::minic::modeName(Mode M) {
+  switch (M) {
+  case Mode::Unspec:
+    return "";
+  case Mode::Private:
+    return "private";
+  case Mode::ReadOnly:
+    return "readonly";
+  case Mode::Locked:
+    return "locked";
+  case Mode::RwLocked:
+    return "rwlocked";
+  case Mode::Racy:
+    return "racy";
+  case Mode::Dynamic:
+    return "dynamic";
+  case Mode::Poly:
+    return "q";
+  }
+  return "";
+}
+
+const char *sharc::minic::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+bool sharc::minic::sameShape(const TypeNode *A, const TypeNode *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Bool:
+  case TypeKind::Void:
+  case TypeKind::Mutex:
+  case TypeKind::Cond:
+    return true;
+  case TypeKind::Pointer:
+    return sameShape(A->Pointee, B->Pointee);
+  case TypeKind::Array:
+    return A->ArraySize == B->ArraySize && sameShape(A->Pointee, B->Pointee);
+  case TypeKind::Struct:
+    return A->Struct == B->Struct;
+  case TypeKind::Func: {
+    if (A->Params.size() != B->Params.size())
+      return false;
+    if (!sameShape(A->Ret, B->Ret))
+      return false;
+    for (size_t I = 0; I != A->Params.size(); ++I)
+      if (!sameShape(A->Params[I], B->Params[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+/// \returns the declaration a lock expression ultimately names: a lock
+/// variable for locked(m), the lock *field* for locked(mut) inside a
+/// struct or locked(s->mut) at a use site. Field locks compare by field
+/// identity because both spellings denote "the mut field of the guarded
+/// instance".
+static const VarDecl *lockIdentity(const Expr *Lock) {
+  if (auto *Name = dyn_cast<NameExpr>(Lock))
+    return Name->Var;
+  if (auto *Member = dyn_cast<MemberExpr>(Lock))
+    return Member->Field;
+  return nullptr;
+}
+
+static bool sameLockExpr(const Expr *A, const Expr *B) {
+  if (A == B)
+    return true;
+  if (!A || !B)
+    return false;
+  const VarDecl *IdA = lockIdentity(A);
+  const VarDecl *IdB = lockIdentity(B);
+  if (IdA && IdB)
+    return IdA == IdB;
+  // Fall back to spelling for compound lock expressions.
+  return A->spelling() == B->spelling();
+}
+
+static bool sameQual(const Qual &A, const Qual &B) {
+  if (A.M != B.M)
+    return false;
+  if (A.M == Mode::Locked || A.M == Mode::RwLocked)
+    return sameLockExpr(A.LockExpr, B.LockExpr);
+  return true;
+}
+
+bool sharc::minic::sameTypeAndQuals(const TypeNode *A, const TypeNode *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind || !sameQual(A->Q, B->Q))
+    return false;
+  switch (A->Kind) {
+  case TypeKind::Int:
+  case TypeKind::Char:
+  case TypeKind::Bool:
+  case TypeKind::Void:
+  case TypeKind::Mutex:
+  case TypeKind::Cond:
+    return true;
+  case TypeKind::Pointer:
+    return sameTypeAndQuals(A->Pointee, B->Pointee);
+  case TypeKind::Array:
+    return A->ArraySize == B->ArraySize &&
+           sameTypeAndQuals(A->Pointee, B->Pointee);
+  case TypeKind::Struct:
+    return A->Struct == B->Struct;
+  case TypeKind::Func: {
+    if (A->Params.size() != B->Params.size())
+      return false;
+    if (!sameTypeAndQuals(A->Ret, B->Ret))
+      return false;
+    for (size_t I = 0; I != A->Params.size(); ++I)
+      if (!sameTypeAndQuals(A->Params[I], B->Params[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+static std::string qualToString(const Qual &Q) {
+  if (Q.M == Mode::Unspec)
+    return "";
+  if (Q.M == Mode::Locked || Q.M == Mode::RwLocked) {
+    std::string S = modeName(Q.M);
+    S += "(";
+    S += Q.LockExpr ? Q.LockExpr->spelling() : "?";
+    S += ")";
+    return S;
+  }
+  return modeName(Q.M);
+}
+
+static std::string baseName(const TypeNode *T) {
+  switch (T->Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Char:
+    return "char";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Mutex:
+    return "mutex";
+  case TypeKind::Cond:
+    return "cond";
+  case TypeKind::Struct:
+    return "struct " + (T->Struct ? T->Struct->Name : std::string("?"));
+  default:
+    return "?";
+  }
+}
+
+std::string sharc::minic::typeToString(const TypeNode *T) {
+  if (!T)
+    return "<null-type>";
+  switch (T->Kind) {
+  case TypeKind::Pointer: {
+    std::string S = typeToString(T->Pointee);
+    S += " *";
+    std::string Q = qualToString(T->Q);
+    if (!Q.empty()) {
+      S += Q;
+    }
+    return S;
+  }
+  case TypeKind::Array: {
+    std::string S = typeToString(T->Pointee);
+    S += "[";
+    if (T->ArraySize)
+      S += std::to_string(T->ArraySize);
+    S += "]";
+    return S;
+  }
+  case TypeKind::Func: {
+    std::string S = typeToString(T->Ret) + " (*)(";
+    for (size_t I = 0; I != T->Params.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += typeToString(T->Params[I]);
+    }
+    return S + ")";
+  }
+  default: {
+    std::string S = baseName(T);
+    std::string Q = qualToString(T->Q);
+    if (!Q.empty()) {
+      S += " ";
+      S += Q;
+    }
+    return S;
+  }
+  }
+}
+
+TypeNode *ASTContext::cloneType(const TypeNode *T) {
+  if (!T)
+    return nullptr;
+  TypeNode *Copy = makeType(T->Kind, T->Loc);
+  Copy->Q = T->Q;
+  Copy->ArraySize = T->ArraySize;
+  Copy->Struct = T->Struct;
+  Copy->Pointee = cloneType(T->Pointee);
+  Copy->Ret = cloneType(T->Ret);
+  for (const TypeNode *Param : T->Params)
+    Copy->Params.push_back(cloneType(Param));
+  return Copy;
+}

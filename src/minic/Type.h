@@ -1,0 +1,126 @@
+//===-- minic/Type.h - MiniC types with sharing qualifiers ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC type representation. Unlike a conventional compiler, type nodes
+/// are *not* interned: every syntactic occurrence of a type gets its own
+/// TypeNode so the sharing analysis can attach an inferred qualifier to
+/// each position independently (the paper's flow-insensitive CQual-style
+/// analysis assigns a qualifier variable per type position).
+///
+/// A TypeNode's qualifier describes the memory cells of that type:
+/// in `int dynamic * private p`, the pointer cell p is private and the
+/// pointed-to int cells are dynamic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_MINIC_TYPE_H
+#define SHARC_MINIC_TYPE_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharc {
+namespace minic {
+
+class Expr;
+class StructDecl;
+
+/// The five user-visible sharing modes plus Unspec (no annotation yet) and
+/// Poly (a struct field inheriting its instance's qualifier, the paper's
+/// qualifier variable `q`).
+enum class Mode : uint8_t {
+  Unspec,
+  Private,
+  ReadOnly,
+  Locked,
+  /// Reader-writer locked: readable under a shared or exclusive hold of
+  /// the named lock, writable only under an exclusive hold (the paper's
+  /// Section 7 "more support for locks" extension).
+  RwLocked,
+  Racy,
+  Dynamic,
+  Poly,
+};
+
+const char *modeName(Mode M);
+
+/// A sharing qualifier: a mode, the lock expression for Locked, and
+/// whether the user wrote it (vs. the analysis inferring it).
+struct Qual {
+  Mode M = Mode::Unspec;
+  Expr *LockExpr = nullptr;
+  bool Explicit = false;
+};
+
+enum class TypeKind : uint8_t {
+  Int,
+  Char,
+  Bool,
+  Void,
+  Mutex, ///< pthread-style mutex; inherently racy (Section 4.1).
+  Cond,  ///< pthread-style condition variable; inherently racy.
+  Pointer,
+  Array,
+  Struct,
+  Func,
+};
+
+/// One type occurrence. Allocated by ASTContext; referenced by raw
+/// pointer everywhere.
+class TypeNode {
+public:
+  TypeKind Kind = TypeKind::Int;
+  Qual Q;
+  SourceLoc Loc;
+
+  /// Pointer pointee or array element.
+  TypeNode *Pointee = nullptr;
+  /// Array element count (0 for unsized).
+  int64_t ArraySize = 0;
+  /// Struct definition for TypeKind::Struct.
+  StructDecl *Struct = nullptr;
+  /// Function return / parameter types for TypeKind::Func.
+  TypeNode *Ret = nullptr;
+  std::vector<TypeNode *> Params;
+
+  bool isInteger() const {
+    return Kind == TypeKind::Int || Kind == TypeKind::Char ||
+           Kind == TypeKind::Bool;
+  }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isFunc() const { return Kind == TypeKind::Func; }
+  bool isRacyByNature() const {
+    return Kind == TypeKind::Mutex || Kind == TypeKind::Cond;
+  }
+
+  /// The effective mode: the explicit or inferred qualifier.
+  Mode mode() const { return Q.M; }
+};
+
+/// \returns true if \p A and \p B have the same shape (kinds, struct
+/// identity, arity) ignoring qualifiers.
+bool sameShape(const TypeNode *A, const TypeNode *B);
+
+/// \returns true if \p A and \p B are identical including qualifiers at
+/// every level (lock expressions compared by syntactic root identity).
+bool sameTypeAndQuals(const TypeNode *A, const TypeNode *B);
+
+/// Renders the type with its qualifiers, e.g.
+/// "char locked(mut) * locked(mut)". Used by the driver to show inferred
+/// annotations (paper Figure 2) and by tests.
+std::string typeToString(const TypeNode *T);
+
+} // namespace minic
+} // namespace sharc
+
+#endif // SHARC_MINIC_TYPE_H

@@ -1,0 +1,91 @@
+//===-- racedet/Eraser.cpp ------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "racedet/Eraser.h"
+
+using namespace sharc;
+using namespace sharc::racedet;
+
+std::atomic<unsigned> DetectorThreads::NextTid{1};
+
+unsigned DetectorThreads::currentTid() {
+  thread_local unsigned Tid = NextTid.fetch_add(1);
+  return Tid;
+}
+
+namespace {
+/// Per-thread held-lock bitmask, per detector instance.
+thread_local std::unordered_map<const void *, uint64_t> HeldMasks;
+} // namespace
+
+unsigned EraserDetector::lockId(const void *Lock) {
+  std::lock_guard<std::mutex> Guard(LockIdMutex);
+  auto [It, Inserted] = LockIds.emplace(Lock, LockIds.size());
+  (void)Inserted;
+  return It->second % 64;
+}
+
+uint64_t EraserDetector::heldLockSet() const {
+  auto It = HeldMasks.find(this);
+  return It == HeldMasks.end() ? 0 : It->second;
+}
+
+void EraserDetector::onLockAcquire(const void *Lock) {
+  HeldMasks[this] |= uint64_t(1) << lockId(Lock);
+}
+
+void EraserDetector::onLockRelease(const void *Lock) {
+  HeldMasks[this] &= ~(uint64_t(1) << lockId(Lock));
+}
+
+void EraserDetector::onAccess(const void *Addr, size_t Size, bool IsWrite) {
+  unsigned Tid = DetectorThreads::currentTid();
+  uint64_t Held = heldLockSet();
+  uintptr_t Begin = reinterpret_cast<uintptr_t>(Addr) >> GranuleShift;
+  uintptr_t End =
+      (reinterpret_cast<uintptr_t>(Addr) + (Size ? Size : 1) - 1) >>
+      GranuleShift;
+  for (uintptr_t G = Begin; G <= End; ++G) {
+    Checks.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = Shards[(G * 0x9E3779B97F4A7C15ull) >> 58];
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    Cell &C = S.Cells[G];
+    switch (C.St) {
+    case State::Virgin:
+      C.St = State::Exclusive;
+      C.Owner = Tid;
+      break;
+    case State::Exclusive:
+      if (C.Owner == Tid)
+        break;
+      // First access by a second thread: enter the shared states and
+      // initialize the candidate set from the current locks.
+      C.LockSet = Held;
+      C.St = IsWrite ? State::SharedModified : State::Shared;
+      break;
+    case State::Shared:
+      C.LockSet &= Held;
+      if (IsWrite)
+        C.St = State::SharedModified;
+      // Eraser refines but does not report in the read-shared state.
+      break;
+    case State::SharedModified:
+      C.LockSet &= Held;
+      break;
+    }
+    if (C.St == State::SharedModified && C.LockSet == 0 && !C.Reported) {
+      C.Reported = true;
+      Races.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t EraserDetector::memoryFootprint() const {
+  size_t Cells = 0;
+  for (const Shard &S : Shards)
+    Cells += S.Cells.size();
+  return Cells * (sizeof(Cell) + sizeof(uintptr_t) + 3 * sizeof(void *));
+}

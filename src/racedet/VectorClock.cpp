@@ -1,0 +1,83 @@
+//===-- racedet/VectorClock.cpp -------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "racedet/VectorClock.h"
+
+#include "racedet/Eraser.h"
+
+using namespace sharc;
+using namespace sharc::racedet;
+
+HappensBeforeDetector::ThreadClock &HappensBeforeDetector::myClock() {
+  thread_local std::unordered_map<const HappensBeforeDetector *, ThreadClock>
+      Clocks;
+  ThreadClock &TC = Clocks[this];
+  if (TC.Tid == 0) {
+    TC.Tid = DetectorThreads::currentTid();
+    TC.Clock.set(TC.Tid, 1);
+  }
+  return TC;
+}
+
+void HappensBeforeDetector::threadBegin() { (void)myClock(); }
+
+void HappensBeforeDetector::onLockAcquire(const void *Lock) {
+  ThreadClock &TC = myClock();
+  std::lock_guard<std::mutex> Guard(LockMutex);
+  TC.Clock.joinWith(LockClocks[Lock]);
+}
+
+void HappensBeforeDetector::onLockRelease(const void *Lock) {
+  ThreadClock &TC = myClock();
+  std::lock_guard<std::mutex> Guard(LockMutex);
+  LockClocks[Lock] = TC.Clock;
+  // Advance this thread's component: later events are not ordered before
+  // the release.
+  TC.Clock.set(TC.Tid, TC.Clock.get(TC.Tid) + 1);
+}
+
+void HappensBeforeDetector::onAccess(const void *Addr, size_t Size,
+                                     bool IsWrite) {
+  ThreadClock &TC = myClock();
+  uintptr_t Begin = reinterpret_cast<uintptr_t>(Addr) >> GranuleShift;
+  uintptr_t End =
+      (reinterpret_cast<uintptr_t>(Addr) + (Size ? Size : 1) - 1) >>
+      GranuleShift;
+  for (uintptr_t G = Begin; G <= End; ++G) {
+    Checks.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = Shards[(G * 0x9E3779B97F4A7C15ull) >> 58];
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    Cell &C = S.Cells[G];
+    bool Race = false;
+    // The last write must happen-before this access.
+    if (C.LastWrite.Clock != 0 && C.LastWrite.Tid != TC.Tid &&
+        C.LastWrite.Clock > TC.Clock.get(C.LastWrite.Tid))
+      Race = true;
+    if (IsWrite) {
+      // All previous reads must happen-before a write.
+      if (!C.Reads.leq(TC.Clock))
+        Race = true;
+      C.LastWrite = Epoch{TC.Tid, TC.Clock.get(TC.Tid)};
+      C.Reads = VectorClock();
+    } else {
+      C.Reads.set(TC.Tid, TC.Clock.get(TC.Tid));
+    }
+    if (Race && !C.Reported) {
+      C.Reported = true;
+      Races.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t HappensBeforeDetector::memoryFootprint() const {
+  size_t Bytes = 0;
+  for (const Shard &S : Shards) {
+    for (const auto &[G, C] : S.Cells)
+      Bytes += sizeof(Cell) + C.Reads.size() * sizeof(uint64_t) +
+               sizeof(uintptr_t) + 3 * sizeof(void *);
+  }
+  return Bytes;
+}

@@ -1,0 +1,118 @@
+//===-- racedet/VectorClock.h - Happens-before detector ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector-clock happens-before race detector in the style of the
+/// "improvements to the lockset algorithm" the paper's Section 6.2
+/// surveys (Choi et al., RaceTrack, FastTrack): threads carry vector
+/// clocks, lock release/acquire edges transfer them, and each location
+/// keeps its last-write epoch plus a read vector; an access that is not
+/// ordered after the conflicting one is a race.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RACEDET_VECTORCLOCK_H
+#define SHARC_RACEDET_VECTORCLOCK_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace sharc {
+namespace racedet {
+
+/// A grow-on-demand vector clock.
+class VectorClock {
+public:
+  uint64_t get(unsigned Tid) const {
+    return Tid < Clocks.size() ? Clocks[Tid] : 0;
+  }
+  void set(unsigned Tid, uint64_t Value) {
+    if (Tid >= Clocks.size())
+      Clocks.resize(Tid + 1, 0);
+    Clocks[Tid] = Value;
+  }
+  void joinWith(const VectorClock &Other) {
+    if (Other.Clocks.size() > Clocks.size())
+      Clocks.resize(Other.Clocks.size(), 0);
+    for (size_t I = 0; I != Other.Clocks.size(); ++I)
+      Clocks[I] = std::max(Clocks[I], Other.Clocks[I]);
+  }
+  /// \returns true if this clock is pointwise <= Other.
+  bool leq(const VectorClock &Other) const {
+    for (size_t I = 0; I != Clocks.size(); ++I)
+      if (Clocks[I] > Other.get(static_cast<unsigned>(I)))
+        return false;
+    return true;
+  }
+  size_t size() const { return Clocks.size(); }
+
+private:
+  std::vector<uint64_t> Clocks;
+};
+
+/// The happens-before detector over 8-byte granules.
+class HappensBeforeDetector {
+  static constexpr unsigned NumShards = 64;
+  static constexpr unsigned GranuleShift = 3;
+
+public:
+  void onLockAcquire(const void *Lock);
+  void onLockRelease(const void *Lock);
+
+  void onRead(const void *Addr, size_t Size) {
+    onAccess(Addr, Size, /*IsWrite=*/false);
+  }
+  void onWrite(void *Addr, size_t Size) { onAccess(Addr, Size, true); }
+
+  /// Must be called by each participating thread before its first access
+  /// and after it finishes, so per-thread clocks are set up/retired.
+  void threadBegin();
+
+  uint64_t getNumRaces() const {
+    return Races.load(std::memory_order_relaxed);
+  }
+  uint64_t getNumChecks() const {
+    return Checks.load(std::memory_order_relaxed);
+  }
+  size_t memoryFootprint() const;
+
+private:
+  struct Epoch {
+    unsigned Tid = 0;
+    uint64_t Clock = 0;
+  };
+  struct Cell {
+    Epoch LastWrite;
+    VectorClock Reads;
+    bool Reported = false;
+  };
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<uintptr_t, Cell> Cells;
+  };
+  struct ThreadClock {
+    VectorClock Clock;
+    unsigned Tid = 0;
+  };
+
+  void onAccess(const void *Addr, size_t Size, bool IsWrite);
+  ThreadClock &myClock();
+
+  Shard Shards[NumShards];
+  std::mutex LockMutex;
+  std::unordered_map<const void *, VectorClock> LockClocks;
+  std::atomic<uint64_t> Races{0};
+  std::atomic<uint64_t> Checks{0};
+};
+
+} // namespace racedet
+} // namespace sharc
+
+#endif // SHARC_RACEDET_VECTORCLOCK_H

@@ -1,0 +1,42 @@
+//===-- rt/AccessSite.h - Static access-site descriptors --------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An AccessSite describes one instrumented read or write in the program
+/// text: the l-value spelling and its source position. Instrumented code
+/// passes a pointer to a static AccessSite on every check so that conflict
+/// reports can render the paper's "who(2) S->sdata @ file.c:15" lines
+/// without any per-access allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_ACCESSSITE_H
+#define SHARC_RT_ACCESSSITE_H
+
+namespace sharc {
+namespace rt {
+
+/// A static descriptor of one instrumented access in the source program.
+/// Instances are expected to have static storage duration; the runtime
+/// stores raw pointers to them in shadow diagnostics cells.
+struct AccessSite {
+  const char *LValue = "?"; ///< Spelling of the accessed l-value.
+  const char *File = "?";   ///< Source file name.
+  int Line = 0;             ///< 1-based source line.
+};
+
+/// Convenience macro creating a function-local static AccessSite for the
+/// current source position.
+#define SHARC_SITE(LVALUE)                                                     \
+  ([]() -> const ::sharc::rt::AccessSite * {                                   \
+    static const ::sharc::rt::AccessSite Site{LVALUE, __FILE__, __LINE__};     \
+    return &Site;                                                              \
+  }())
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_ACCESSSITE_H

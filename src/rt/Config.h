@@ -1,0 +1,76 @@
+//===-- rt/Config.h - Runtime configuration ---------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration knobs for the SharC runtime. Defaults correspond to the
+/// configuration evaluated in the paper: 16-byte granules with one shadow
+/// byte each (supporting 8n-1 = 7 concurrent threads), diagnostics on, and
+/// the adapted Levanoni-Petrank reference-counting algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_CONFIG_H
+#define SHARC_RT_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sharc {
+namespace rt {
+
+/// Which reference-counting engine maintains sharing-cast counts.
+enum class RcMode : uint8_t {
+  /// No reference counting; scast count checks are skipped. Used as the
+  /// "uninstrumented" end of ablation benchmarks.
+  None,
+  /// Atomically update the count table on every counted pointer write.
+  /// This is the naive scheme the paper measures at "over 60%" overhead.
+  Atomic,
+  /// The paper's adaptation of Levanoni & Petrank's concurrent algorithm:
+  /// per-thread unsynchronized logs with dirty bits, double-buffered by
+  /// epoch, with the thread that needs a count acting as the collector.
+  LevanoniPetrank,
+};
+
+/// Runtime configuration, fixed at Runtime::init() time.
+struct RuntimeConfig {
+  /// log2 of the granule size tracked by one shadow cell. The paper uses
+  /// 16-byte granules (shift 4). bench_granularity sweeps this.
+  unsigned GranuleShift = 4;
+
+  /// Number of shadow bytes per granule. Supports 8*N-1 thread ids; the
+  /// paper finds N=1 (7 threads) sufficient for its benchmarks.
+  unsigned ShadowBytesPerGranule = 1;
+
+  /// Record last-accessor provenance per granule so conflict reports can
+  /// name the previous access ("last(1) lvalue @ file:line"). Costs one
+  /// pointer-sized diag cell per granule; disable for overhead benches.
+  bool DiagMode = true;
+
+  /// Reference-counting engine.
+  RcMode Rc = RcMode::LevanoniPetrank;
+
+  /// Capacity (entries, power of two) of the open-addressing reference
+  /// count table. Entries are never removed, mirroring the paper's
+  /// tolerance of "bogus" non-pointer values flowing into counted slots.
+  size_t RcTableCapacity = 1u << 20;
+
+  /// Abort the process on the first conflict instead of recording it and
+  /// continuing. Tests and benches keep this off.
+  bool AbortOnError = false;
+
+  /// Maximum number of distinct conflict reports retained (deduplicated by
+  /// site and granule). Further conflicts only bump counters.
+  size_t MaxReports = 256;
+
+  unsigned granuleSize() const { return 1u << GranuleShift; }
+  unsigned maxThreads() const { return 8 * ShadowBytesPerGranule - 1; }
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_CONFIG_H

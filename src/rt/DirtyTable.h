@@ -1,0 +1,104 @@
+//===-- rt/DirtyTable.h - Per-slot epoch dirty bits -------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks, per reference slot and per epoch, whether the slot has already
+/// been logged this epoch ("dirty"). The paper keeps "two arrays of dirty
+/// bits"; we key by slot address in a sharded hash map so slots anywhere in
+/// memory (heap fields, globals) can be counted without registration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_DIRTYTABLE_H
+#define SHARC_RT_DIRTYTABLE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace sharc {
+namespace rt {
+
+/// Sharded slot -> {dirty-in-epoch-0, dirty-in-epoch-1} map.
+class DirtyTable {
+  static constexpr size_t NumShards = 64;
+
+public:
+  /// Marks \p Slot dirty in \p Epoch. \returns true if it was already
+  /// dirty (i.e. the caller must not log it again).
+  bool testAndSet(uintptr_t Slot, unsigned Epoch) {
+    Shard &S = shardFor(Slot);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    uint8_t &Bits = S.Map[Slot];
+    uint8_t Bit = uint8_t(1) << Epoch;
+    bool WasDirty = (Bits & Bit) != 0;
+    Bits |= Bit;
+    S.Size.store(S.Map.size(), std::memory_order_release);
+    return WasDirty;
+  }
+
+  /// \returns true if \p Slot is dirty in \p Epoch.
+  bool isDirty(uintptr_t Slot, unsigned Epoch) const {
+    const Shard &S = shardFor(Slot);
+    if (S.Size.load(std::memory_order_acquire) == 0)
+      return false;
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Map.find(Slot);
+    return It != S.Map.end() && (It->second & (uint8_t(1) << Epoch)) != 0;
+  }
+
+  /// Clears every slot's dirty bit for \p Epoch (collector only). Empty
+  /// shards are skipped without taking their locks, keeping frequent
+  /// collections (one per sharing cast) cheap.
+  void clearEpoch(unsigned Epoch) {
+    uint8_t Bit = uint8_t(1) << Epoch;
+    for (Shard &S : Shards) {
+      if (S.Size.load(std::memory_order_acquire) == 0)
+        continue;
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      for (auto It = S.Map.begin(); It != S.Map.end();) {
+        It->second &= ~Bit;
+        if (It->second == 0)
+          It = S.Map.erase(It);
+        else
+          ++It;
+      }
+      S.Size.store(S.Map.size(), std::memory_order_release);
+    }
+  }
+
+  size_t memoryFootprint() const {
+    size_t Entries = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      Entries += S.Map.size();
+    }
+    // Rough per-entry cost of an unordered_map node.
+    return Entries * (sizeof(uintptr_t) + sizeof(uint8_t) + 3 * sizeof(void *));
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::unordered_map<uintptr_t, uint8_t> Map;
+    std::atomic<size_t> Size{0};
+  };
+
+  Shard &shardFor(uintptr_t Slot) {
+    return Shards[(Slot >> 3) % NumShards];
+  }
+  const Shard &shardFor(uintptr_t Slot) const {
+    return Shards[(Slot >> 3) % NumShards];
+  }
+
+  Shard Shards[NumShards];
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_DIRTYTABLE_H

@@ -1,0 +1,80 @@
+//===-- rt/RcTable.cpp ----------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/RcTable.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sharc::rt;
+
+static size_t hashValue(uintptr_t Value) {
+  uint64_t H = static_cast<uint64_t>(Value);
+  H ^= H >> 33;
+  H *= 0xFF51AFD7ED558CCDull;
+  H ^= H >> 33;
+  return static_cast<size_t>(H);
+}
+
+RcTable::RcTable(size_t Capacity) : Capacity(Capacity) {
+  assert(Capacity != 0 && (Capacity & (Capacity - 1)) == 0 &&
+         "capacity must be a power of two");
+  Entries = std::make_unique<Entry[]>(Capacity);
+}
+
+RcTable::Entry *RcTable::findOrInsert(uintptr_t Value) {
+  assert(Value != 0 && "null is never counted");
+  size_t Mask = Capacity - 1;
+  size_t Index = hashValue(Value) & Mask;
+  for (size_t Probes = 0; Probes != Capacity; ++Probes) {
+    Entry &E = Entries[Index];
+    uintptr_t Key = E.Key.load(std::memory_order_acquire);
+    if (Key == Value)
+      return &E;
+    if (Key == 0) {
+      uintptr_t Expected = 0;
+      if (E.Key.compare_exchange_strong(Expected, Value,
+                                        std::memory_order_acq_rel)) {
+        NumEntries.fetch_add(1, std::memory_order_relaxed);
+        return &E;
+      }
+      if (Expected == Value)
+        return &E;
+    }
+    Index = (Index + 1) & Mask;
+  }
+  std::fprintf(stderr, "sharc: reference count table full (capacity %zu); "
+                       "raise RuntimeConfig::RcTableCapacity\n",
+               Capacity);
+  std::abort();
+}
+
+const RcTable::Entry *RcTable::find(uintptr_t Value) const {
+  if (Value == 0)
+    return nullptr;
+  size_t Mask = Capacity - 1;
+  size_t Index = hashValue(Value) & Mask;
+  for (size_t Probes = 0; Probes != Capacity; ++Probes) {
+    const Entry &E = Entries[Index];
+    uintptr_t Key = E.Key.load(std::memory_order_acquire);
+    if (Key == Value)
+      return &E;
+    if (Key == 0)
+      return nullptr;
+    Index = (Index + 1) & Mask;
+  }
+  return nullptr;
+}
+
+void RcTable::add(uintptr_t Value, int64_t Delta) {
+  findOrInsert(Value)->Count.fetch_add(Delta, std::memory_order_acq_rel);
+}
+
+int64_t RcTable::get(uintptr_t Value) const {
+  const Entry *E = find(Value);
+  return E ? E->Count.load(std::memory_order_acquire) : 0;
+}

@@ -1,0 +1,68 @@
+//===-- rt/RcTable.h - Reference count table --------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, insert-only, open-addressing hash table mapping a
+/// pointer-sized value to its reference count. Keying counts by *value*
+/// (rather than by a header inside the object) mirrors the paper's
+/// observation on dillo that "bogus" integers cast to pointer type still
+/// get counted; they cost table space (the paper's extra pagefaults) but
+/// never crash the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_RCTABLE_H
+#define SHARC_RT_RCTABLE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace sharc {
+namespace rt {
+
+/// Concurrent value -> signed count map. Entries are never removed; a
+/// count may drop to zero and later revive. Aborts if the table fills
+/// (capacity is configured generously; see RuntimeConfig::RcTableCapacity).
+class RcTable {
+public:
+  explicit RcTable(size_t Capacity);
+
+  RcTable(const RcTable &) = delete;
+  RcTable &operator=(const RcTable &) = delete;
+
+  /// Adds \p Delta to the count for \p Value (Value must be nonzero).
+  void add(uintptr_t Value, int64_t Delta);
+
+  /// \returns the current count for \p Value, or 0 if never seen.
+  int64_t get(uintptr_t Value) const;
+
+  /// Number of distinct values ever counted.
+  size_t getNumEntries() const {
+    return NumEntries.load(std::memory_order_relaxed);
+  }
+
+  size_t memoryFootprint() const { return Capacity * sizeof(Entry); }
+
+private:
+  struct Entry {
+    std::atomic<uintptr_t> Key{0};
+    std::atomic<int64_t> Count{0};
+  };
+
+  Entry *findOrInsert(uintptr_t Value);
+  const Entry *find(uintptr_t Value) const;
+
+  size_t Capacity; ///< Power of two.
+  std::unique_ptr<Entry[]> Entries;
+  std::atomic<size_t> NumEntries{0};
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_RCTABLE_H

@@ -1,0 +1,91 @@
+//===-- rt/Report.cpp -----------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Report.h"
+
+#include <cstdio>
+#include <functional>
+
+using namespace sharc::rt;
+
+static const char *kindName(ReportKind Kind) {
+  switch (Kind) {
+  case ReportKind::ReadConflict:
+    return "read conflict";
+  case ReportKind::WriteConflict:
+    return "write conflict";
+  case ReportKind::LockViolation:
+    return "lock violation";
+  case ReportKind::CastError:
+    return "sharing cast error";
+  case ReportKind::LiveAfterCast:
+    return "live-after-cast warning";
+  }
+  return "conflict";
+}
+
+std::string ConflictReport::format() const {
+  char Buf[512];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf), "%s(0x%llx):\n", kindName(Kind),
+                static_cast<unsigned long long>(Address));
+  Out += Buf;
+  if (WhoSite) {
+    std::snprintf(Buf, sizeof(Buf), "  who(%u)  %s @ %s: %d\n", WhoTid,
+                  WhoSite->LValue, WhoSite->File, WhoSite->Line);
+    Out += Buf;
+  } else {
+    std::snprintf(Buf, sizeof(Buf), "  who(%u)\n", WhoTid);
+    Out += Buf;
+  }
+  if (LastSite) {
+    std::snprintf(Buf, sizeof(Buf), "  last(%u) %s @ %s: %d\n", LastTid,
+                  LastSite->LValue, LastSite->File, LastSite->Line);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool ReportSink::report(const ConflictReport &Report) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++TotalViolations;
+  // Deduplicate on (kind, who-site, granule-ish address). Hash-combine into
+  // a single key; collisions merely suppress an extra copy of a report.
+  uint64_t Key = static_cast<uint64_t>(Report.Kind);
+  Key = Key * 1000003u ^ std::hash<const void *>()(Report.WhoSite);
+  Key = Key * 1000003u ^ std::hash<uintptr_t>()(Report.Address);
+  if (!Seen.insert(Key).second)
+    return false;
+  if (Reports.size() >= MaxReports)
+    return false;
+  Reports.push_back(Report);
+  return true;
+}
+
+std::vector<ConflictReport> ReportSink::takeReports() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<ConflictReport> Out = std::move(Reports);
+  Reports.clear();
+  Seen.clear();
+  return Out;
+}
+
+std::vector<ConflictReport> ReportSink::getReports() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Reports;
+}
+
+size_t ReportSink::getNumReports() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Reports.size();
+}
+
+void ReportSink::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Reports.clear();
+  Seen.clear();
+  TotalViolations = 0;
+}

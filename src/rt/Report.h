@@ -1,0 +1,89 @@
+//===-- rt/Report.h - Conflict reports --------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured conflict reports in the format of the paper's Section 2.1:
+///
+///   read conflict(0x75324464):
+///     who(2)  S->sdata @ pipeline_test.c: 15
+///     last(1) nextS->sdata @ pipeline_test.c: 27
+///
+/// Reports are collected by a ReportSink owned by the Runtime; tests
+/// assert on structured fields, tools render them with format().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_REPORT_H
+#define SHARC_RT_REPORT_H
+
+#include "rt/AccessSite.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace sharc {
+namespace rt {
+
+/// Kinds of sharing-strategy violations the runtime detects.
+enum class ReportKind : uint8_t {
+  ReadConflict,   ///< Racy read of a dynamic-mode location.
+  WriteConflict,  ///< Racy write of a dynamic-mode location.
+  LockViolation,  ///< Access to a locked-mode location without its lock.
+  CastError,      ///< Sharing cast of an object with other live references.
+  LiveAfterCast,  ///< Warning: pointer definitely live after being nulled.
+};
+
+/// One detected violation.
+struct ConflictReport {
+  ReportKind Kind = ReportKind::ReadConflict;
+  uintptr_t Address = 0;
+  /// Who performed the violating access.
+  unsigned WhoTid = 0;
+  const AccessSite *WhoSite = nullptr;
+  /// Last recorded accessor of the granule (0 / nullptr if unknown, e.g.
+  /// when DiagMode is off).
+  unsigned LastTid = 0;
+  const AccessSite *LastSite = nullptr;
+  bool LastWasWrite = false;
+
+  /// Renders the report in the paper's format.
+  std::string format() const;
+};
+
+/// Thread-safe collector of ConflictReports with per-(site, granule)
+/// deduplication and a retention cap.
+class ReportSink {
+public:
+  explicit ReportSink(size_t MaxReports) : MaxReports(MaxReports) {}
+
+  /// Records \p Report unless an identical (kind, site, granule) report was
+  /// already seen. \returns true if the report was newly retained.
+  bool report(const ConflictReport &Report);
+
+  std::vector<ConflictReport> takeReports();
+  std::vector<ConflictReport> getReports() const;
+  size_t getNumReports() const;
+
+  /// Total violations observed, including deduplicated repeats.
+  uint64_t getTotalViolations() const { return TotalViolations; }
+
+  void clear();
+
+private:
+  size_t MaxReports;
+  mutable std::mutex Mutex;
+  std::vector<ConflictReport> Reports;
+  std::unordered_set<uint64_t> Seen;
+  uint64_t TotalViolations = 0;
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_REPORT_H

@@ -1,0 +1,243 @@
+//===-- rt/Runtime.cpp ----------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Runtime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sharc::rt;
+
+namespace {
+
+/// The global runtime instance and its generation counter.
+Runtime *GlobalRuntime = nullptr;
+uint64_t NextGeneration = 1;
+
+/// Cached per-thread registration: valid only while Generation matches the
+/// live runtime's.
+struct ThreadCache {
+  uint64_t Generation = 0;
+  ThreadState *State = nullptr;
+};
+thread_local ThreadCache TlsCache;
+
+/// Deferred-free backlog size that forces a collection to release memory.
+constexpr size_t DeferredFreeThreshold = 1u << 14;
+
+} // namespace
+
+// Private constructor/destructor need access to members; defined here.
+Runtime::Runtime(const RuntimeConfig &Config)
+    : Config(Config), Sink(Config.MaxReports), Registry(Config.maxThreads()),
+      Generation(NextGeneration++) {
+  Shadow = std::make_unique<ShadowMemory>(this->Config, Stats, Sink);
+  Rc = std::make_unique<RefCountEngine>(this->Config, Stats, Registry);
+  TheHeap = std::make_unique<Heap>(this->Config, Stats, *Shadow);
+  Rc->setPostCollectHook(
+      [](void *Ctx) { static_cast<Heap *>(Ctx)->releaseDeferred(); },
+      TheHeap.get());
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::init(const RuntimeConfig &Config) {
+  assert(!GlobalRuntime && "runtime already initialized");
+  GlobalRuntime = new Runtime(Config);
+}
+
+void Runtime::shutdown() {
+  assert(GlobalRuntime && "no live runtime");
+  // Implicitly deregister the calling thread if it is registered.
+  if (TlsCache.Generation == GlobalRuntime->Generation && TlsCache.State)
+    GlobalRuntime->deregisterCurrentThread();
+  delete GlobalRuntime;
+  GlobalRuntime = nullptr;
+}
+
+Runtime &Runtime::get() {
+  assert(GlobalRuntime && "Runtime::init() has not been called");
+  return *GlobalRuntime;
+}
+
+bool Runtime::isLive() { return GlobalRuntime != nullptr; }
+
+ThreadState &Runtime::currentThread() {
+  if (TlsCache.Generation == Generation && TlsCache.State)
+    return *TlsCache.State;
+  ThreadState *State = Registry.registerThread();
+  TlsCache.Generation = Generation;
+  TlsCache.State = State;
+  return *State;
+}
+
+void Runtime::deregisterCurrentThread() {
+  if (TlsCache.Generation != Generation || !TlsCache.State)
+    return;
+  ThreadState *State = TlsCache.State;
+  // Clear this thread's reader/writer bits so a non-overlapping successor
+  // reusing the id starts clean.
+  Shadow->clearThreadBits(*State);
+  State->HeldLocks.clear();
+  State->HeldSharedLocks.clear();
+  Registry.deregisterThread(State);
+  TlsCache.State = nullptr;
+  TlsCache.Generation = 0;
+}
+
+void Runtime::onLockAcquire(const void *Lock) {
+  currentThread().HeldLocks.push_back(Lock);
+}
+
+void Runtime::onLockRelease(const void *Lock) {
+  ThreadState &TS = currentThread();
+  auto It = std::find(TS.HeldLocks.rbegin(), TS.HeldLocks.rend(), Lock);
+  assert(It != TS.HeldLocks.rend() && "releasing a lock that is not held");
+  TS.HeldLocks.erase(std::next(It).base());
+}
+
+bool Runtime::holdsLock(const void *Lock) {
+  ThreadState &TS = currentThread();
+  return std::find(TS.HeldLocks.begin(), TS.HeldLocks.end(), Lock) !=
+         TS.HeldLocks.end();
+}
+
+bool Runtime::checkLockHeld(const void *Lock, const void *Addr,
+                            const AccessSite *Site) {
+  Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
+  if (holdsLock(Lock))
+    return true;
+  Stats.LockViolations.fetch_add(1, std::memory_order_relaxed);
+  ConflictReport Report;
+  Report.Kind = ReportKind::LockViolation;
+  Report.Address = reinterpret_cast<uintptr_t>(Addr);
+  Report.WhoTid = currentThread().Tid;
+  Report.WhoSite = Site;
+  Sink.report(Report);
+  if (Config.AbortOnError) {
+    std::fprintf(stderr, "%s", Report.format().c_str());
+    std::abort();
+  }
+  return false;
+}
+
+void Runtime::onSharedLockAcquire(const void *Lock) {
+  currentThread().HeldSharedLocks.push_back(Lock);
+}
+
+void Runtime::onSharedLockRelease(const void *Lock) {
+  ThreadState &TS = currentThread();
+  auto It = std::find(TS.HeldSharedLocks.rbegin(), TS.HeldSharedLocks.rend(),
+                      Lock);
+  assert(It != TS.HeldSharedLocks.rend() &&
+         "releasing a shared lock that is not held");
+  TS.HeldSharedLocks.erase(std::next(It).base());
+}
+
+bool Runtime::holdsLockShared(const void *Lock) {
+  ThreadState &TS = currentThread();
+  return std::find(TS.HeldSharedLocks.begin(), TS.HeldSharedLocks.end(),
+                   Lock) != TS.HeldSharedLocks.end();
+}
+
+bool Runtime::checkRwLockHeldForRead(const void *Lock, const void *Addr,
+                                     const AccessSite *Site) {
+  Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
+  if (holdsLock(Lock) || holdsLockShared(Lock))
+    return true;
+  Stats.LockViolations.fetch_add(1, std::memory_order_relaxed);
+  ConflictReport Report;
+  Report.Kind = ReportKind::LockViolation;
+  Report.Address = reinterpret_cast<uintptr_t>(Addr);
+  Report.WhoTid = currentThread().Tid;
+  Report.WhoSite = Site;
+  Sink.report(Report);
+  if (Config.AbortOnError) {
+    std::fprintf(stderr, "%s", Report.format().c_str());
+    std::abort();
+  }
+  return false;
+}
+
+bool Runtime::checkRwLockHeldForWrite(const void *Lock, const void *Addr,
+                                      const AccessSite *Site) {
+  // A shared hold does not license writes.
+  return checkLockHeld(Lock, Addr, Site);
+}
+
+void *Runtime::scast(void **Slot, size_t ObjSize, const AccessSite *Site) {
+  ThreadState &TS = currentThread();
+  void *Obj = rcLoad(Slot);
+  // Null-out the source so no access path with the old sharing mode
+  // remains (Figure 7, line 2).
+  Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot), 0, TS);
+  if (!Obj)
+    return nullptr;
+  checkCast(Obj, ObjSize, Site);
+  return Obj;
+}
+
+bool Runtime::checkCast(void *Obj, size_t ObjSize, const AccessSite *Site) {
+  Stats.SharingCasts.fetch_add(1, std::memory_order_relaxed);
+  if (!Obj)
+    return true;
+  ThreadState &TS = currentThread();
+  // After the source has been nulled and accounted, any remaining counted
+  // reference means the object is reachable under its old mode: reject.
+  int64_t Count = Rc->getRefCount(reinterpret_cast<uintptr_t>(Obj), TS);
+  if (Count > 0 && Config.Rc != RcMode::None) {
+    Stats.CastErrors.fetch_add(1, std::memory_order_relaxed);
+    ConflictReport Report;
+    Report.Kind = ReportKind::CastError;
+    Report.Address = reinterpret_cast<uintptr_t>(Obj);
+    Report.WhoTid = TS.Tid;
+    Report.WhoSite = Site;
+    Sink.report(Report);
+    if (Config.AbortOnError) {
+      std::fprintf(stderr, "%s", Report.format().c_str());
+      std::abort();
+    }
+    return false;
+  }
+  // The cast succeeded: clear the object's reader/writer history ("past
+  // accesses by other threads no longer constitute unintended sharing").
+  size_t Size = ObjSize;
+  if (Size == 0 && TheHeap->isSharcObject(Obj))
+    Size = TheHeap->allocationSize(Obj);
+  if (Size != 0)
+    Shadow->clearRange(Obj, Size);
+  return true;
+}
+
+void *Runtime::allocate(size_t Size) { return TheHeap->allocate(Size); }
+
+void Runtime::deallocate(void *Ptr) {
+  TheHeap->deallocate(Ptr);
+  // Bound the deferred-free backlog: a collection releases it.
+  if (TheHeap->getNumDeferred() >= DeferredFreeThreshold) {
+    if (Config.Rc == RcMode::LevanoniPetrank)
+      Rc->collect(currentThread());
+    else
+      TheHeap->releaseDeferred();
+  }
+}
+
+StatsSnapshot Runtime::getStats() {
+  // Fold dynamic per-thread metadata (logs) into LogBytes.
+  uint64_t LogBytes = 0;
+  Registry.forEachState(
+      [&](ThreadState &S) { LogBytes += S.memoryFootprint(); });
+  Stats.LogBytes.store(LogBytes, std::memory_order_relaxed);
+  // Count the reference-count table by *touched* entries: the analog of
+  // the paper's minor-pagefault measure (untouched table slots never
+  // fault in).
+  if (Config.Rc != RcMode::None)
+    Stats.RcTableBytes.store(Rc->getTable().getNumEntries() * 16,
+                             std::memory_order_relaxed);
+  return Stats.snapshot();
+}

@@ -1,0 +1,215 @@
+//===-- rt/Runtime.h - SharC runtime facade ---------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Runtime ties the runtime subsystems together and is the single
+/// entry point instrumented code (and the annotation wrappers in
+/// rt/Annotations.h) calls into:
+///
+///   - dynamic-mode access checks (ShadowMemory, Section 4.2.1)
+///   - locked-mode lock-held checks (per-thread lock logs, Section 4.2.2)
+///   - sharing casts (null-out + sole-reference check, Section 4.2.3)
+///   - counted pointer stores (RefCountEngine, Section 4.3)
+///   - a granule-aligned heap with deferred frees
+///
+/// Lifecycle: Runtime::init(config) creates the global instance;
+/// Runtime::shutdown() destroys it (tests cycle it per fixture). Threads
+/// are registered automatically on first use or explicitly via
+/// ScopedThreadRegistration, and must deregister before the ids run out
+/// (sharc::Thread in Annotations.h handles this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_RUNTIME_H
+#define SHARC_RT_RUNTIME_H
+
+#include "rt/AccessSite.h"
+#include "rt/Config.h"
+#include "rt/Heap.h"
+#include "rt/RefCount.h"
+#include "rt/Report.h"
+#include "rt/ShadowMemory.h"
+#include "rt/Stats.h"
+#include "rt/ThreadRegistry.h"
+
+#include <memory>
+
+namespace sharc {
+namespace rt {
+
+/// The global SharC runtime.
+class Runtime {
+public:
+  /// Creates the global runtime with \p Config. Asserts if one is already
+  /// live.
+  static void init(const RuntimeConfig &Config = RuntimeConfig());
+
+  /// Destroys the global runtime. Outstanding registered threads must have
+  /// deregistered (except the calling thread, which is deregistered
+  /// implicitly).
+  static void shutdown();
+
+  /// \returns the live global runtime; asserts if none.
+  static Runtime &get();
+
+  static bool isLive();
+
+  //===--------------------------------------------------------------------===
+  // Threads
+  //===--------------------------------------------------------------------===
+
+  /// \returns this thread's state, registering it on first use.
+  ThreadState &currentThread();
+
+  /// Deregisters the calling thread: clears its shadow bits and releases
+  /// its id for reuse.
+  void deregisterCurrentThread();
+
+  //===--------------------------------------------------------------------===
+  // Dynamic-mode checks
+  //===--------------------------------------------------------------------===
+
+  bool checkRead(const void *Addr, size_t Size, const AccessSite *Site) {
+    return Shadow->checkRead(Addr, Size, currentThread(), Site);
+  }
+  bool checkWrite(const void *Addr, size_t Size, const AccessSite *Site) {
+    return Shadow->checkWrite(Addr, Size, currentThread(), Site);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Locked-mode checks
+  //===--------------------------------------------------------------------===
+
+  /// Records that the current thread acquired the lock at \p Lock.
+  void onLockAcquire(const void *Lock);
+
+  /// Records that the current thread released the lock at \p Lock.
+  void onLockRelease(const void *Lock);
+
+  /// \returns true if the current thread holds \p Lock.
+  bool holdsLock(const void *Lock);
+
+  /// Checks that \p Lock is held for an access to \p Addr, filing a
+  /// LockViolation report if not.
+  bool checkLockHeld(const void *Lock, const void *Addr,
+                     const AccessSite *Site);
+
+  //===--------------------------------------------------------------------===
+  // Reader-writer locked mode (the Section 7 "more support for locks"
+  // extension): rwlocked(L) cells are readable under a shared or
+  // exclusive hold of L and writable only under an exclusive hold.
+  //===--------------------------------------------------------------------===
+
+  void onSharedLockAcquire(const void *Lock);
+  void onSharedLockRelease(const void *Lock);
+  bool holdsLockShared(const void *Lock);
+
+  /// Read intent on an rwlocked cell: shared or exclusive hold suffices.
+  bool checkRwLockHeldForRead(const void *Lock, const void *Addr,
+                              const AccessSite *Site);
+  /// Write intent on an rwlocked cell: an exclusive hold is required.
+  bool checkRwLockHeldForWrite(const void *Lock, const void *Addr,
+                               const AccessSite *Site);
+
+  //===--------------------------------------------------------------------===
+  // Reference counting and sharing casts
+  //===--------------------------------------------------------------------===
+
+  /// Initializes a counted slot to null (no previous value accounted).
+  void rcInitSlot(void **Slot) {
+    RefCountEngine::initSlot(reinterpret_cast<uintptr_t *>(Slot));
+  }
+
+  /// Counted pointer store: *Slot = Value with RC bookkeeping.
+  void rcStore(void **Slot, void *Value) {
+    Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot),
+                 reinterpret_cast<uintptr_t>(Value), currentThread());
+  }
+
+  /// Counted pointer load.
+  void *rcLoad(void *const *Slot) const {
+    return reinterpret_cast<void *>(RefCountEngine::loadPtr(
+        reinterpret_cast<const uintptr_t *>(Slot)));
+  }
+
+  /// \returns the number of counted references to \p Value; performs a
+  /// collection first under the Levanoni-Petrank engine.
+  int64_t refCount(const void *Value) {
+    return Rc->getRefCount(reinterpret_cast<uintptr_t>(Value),
+                           currentThread());
+  }
+
+  /// The sharing cast (Figure 7): nulls *Slot, then checks that no other
+  /// counted reference to the object remains; on failure files a CastError
+  /// report. On success clears the object's reader/writer sets so past
+  /// accesses under the old mode are forgotten. \p ObjSize may be 0 for
+  /// sharc-heap objects (looked up from the allocation header).
+  /// \returns the object pointer (the cast's value), or the pointer
+  /// unchanged with a report filed if the check fails.
+  void *scast(void **Slot, size_t ObjSize, const AccessSite *Site);
+
+  /// The sole-reference check of a sharing cast, for sources that are
+  /// uncounted locals (the type system covers locals; the runtime only
+  /// counts stored references). The caller must already have nulled its
+  /// local. \returns true if no counted reference to \p Obj remains; files
+  /// a CastError report otherwise. On success clears the object's
+  /// reader/writer sets.
+  bool checkCast(void *Obj, size_t ObjSize, const AccessSite *Site);
+
+  //===--------------------------------------------------------------------===
+  // Heap
+  //===--------------------------------------------------------------------===
+
+  void *allocate(size_t Size);
+  void deallocate(void *Ptr);
+  size_t allocationSize(const void *Ptr) const {
+    return TheHeap->allocationSize(Ptr);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Introspection
+  //===--------------------------------------------------------------------===
+
+  const RuntimeConfig &getConfig() const { return Config; }
+  StatsSnapshot getStats();
+  ReportSink &getReports() { return Sink; }
+  ShadowMemory &getShadow() { return *Shadow; }
+  RefCountEngine &getRc() { return *Rc; }
+  ThreadRegistry &getRegistry() { return Registry; }
+
+private:
+  explicit Runtime(const RuntimeConfig &Config);
+  ~Runtime();
+
+  RuntimeConfig Config;
+  RuntimeStats Stats;
+  ReportSink Sink;
+  ThreadRegistry Registry;
+  std::unique_ptr<ShadowMemory> Shadow;
+  std::unique_ptr<RefCountEngine> Rc;
+  std::unique_ptr<Heap> TheHeap;
+  /// Monotonically increasing instance id; lets the thread-local state
+  /// cache detect a runtime that was shut down and re-initialized.
+  uint64_t Generation;
+};
+
+/// RAII registration of the calling thread with the global runtime.
+class ScopedThreadRegistration {
+public:
+  ScopedThreadRegistration() { (void)Runtime::get().currentThread(); }
+  ~ScopedThreadRegistration() {
+    if (Runtime::isLive())
+      Runtime::get().deregisterCurrentThread();
+  }
+  ScopedThreadRegistration(const ScopedThreadRegistration &) = delete;
+  ScopedThreadRegistration &
+  operator=(const ScopedThreadRegistration &) = delete;
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_RUNTIME_H

@@ -1,0 +1,22 @@
+//===-- rt/Sharc.h - Umbrella header for the SharC runtime ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: include this to get the whole native SharC
+/// runtime API (Runtime lifecycle, annotations, checked accesses, casts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_SHARC_H
+#define SHARC_RT_SHARC_H
+
+#include "rt/Annotations.h"
+#include "rt/Config.h"
+#include "rt/Report.h"
+#include "rt/Runtime.h"
+#include "rt/Stats.h"
+
+#endif // SHARC_RT_SHARC_H

@@ -1,0 +1,118 @@
+//===-- rt/Stats.h - Runtime statistics -------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the runtime maintains for the evaluation harness: how many
+/// accesses hit the dynamic checker, how much metadata memory (shadow
+/// pages, count table, logs) is live, and how many conflicts were found.
+/// The paper's Table 1 columns "Pagefaults" and "% dynamic Accesses" are
+/// derived from these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_STATS_H
+#define SHARC_RT_STATS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace sharc {
+namespace rt {
+
+/// A plain snapshot of RuntimeStats, safe to copy and compare.
+struct StatsSnapshot {
+  uint64_t DynamicReads = 0;
+  uint64_t DynamicWrites = 0;
+  uint64_t DynamicReadBytes = 0;
+  uint64_t DynamicWriteBytes = 0;
+  uint64_t LockChecks = 0;
+  uint64_t RcBarriers = 0;
+  uint64_t Collections = 0;
+  uint64_t SharingCasts = 0;
+  uint64_t ReadConflicts = 0;
+  uint64_t WriteConflicts = 0;
+  uint64_t LockViolations = 0;
+  uint64_t CastErrors = 0;
+  uint64_t ShadowBytes = 0;
+  uint64_t RcTableBytes = 0;
+  uint64_t LogBytes = 0;
+  uint64_t HeapPayloadBytes = 0;
+  uint64_t PeakHeapPayloadBytes = 0;
+
+  uint64_t totalConflicts() const {
+    return ReadConflicts + WriteConflicts + LockViolations + CastErrors;
+  }
+  uint64_t dynamicAccesses() const { return DynamicReads + DynamicWrites; }
+  uint64_t dynamicAccessBytes() const {
+    return DynamicReadBytes + DynamicWriteBytes;
+  }
+  uint64_t metadataBytes() const {
+    return ShadowBytes + RcTableBytes + LogBytes;
+  }
+};
+
+/// Atomic counters updated by the runtime. Hot-path counters are bumped
+/// with relaxed ordering; exactness across simultaneous snapshots is not
+/// required.
+struct RuntimeStats {
+  std::atomic<uint64_t> DynamicReads{0};
+  std::atomic<uint64_t> DynamicWrites{0};
+  std::atomic<uint64_t> DynamicReadBytes{0};
+  std::atomic<uint64_t> DynamicWriteBytes{0};
+  std::atomic<uint64_t> LockChecks{0};
+  std::atomic<uint64_t> RcBarriers{0};
+  std::atomic<uint64_t> Collections{0};
+  std::atomic<uint64_t> SharingCasts{0};
+  std::atomic<uint64_t> ReadConflicts{0};
+  std::atomic<uint64_t> WriteConflicts{0};
+  std::atomic<uint64_t> LockViolations{0};
+  std::atomic<uint64_t> CastErrors{0};
+  std::atomic<uint64_t> ShadowBytes{0};
+  std::atomic<uint64_t> RcTableBytes{0};
+  std::atomic<uint64_t> LogBytes{0};
+  std::atomic<uint64_t> HeapPayloadBytes{0};
+  std::atomic<uint64_t> PeakHeapPayloadBytes{0};
+
+  StatsSnapshot snapshot() const {
+    StatsSnapshot S;
+    S.DynamicReads = DynamicReads.load(std::memory_order_relaxed);
+    S.DynamicWrites = DynamicWrites.load(std::memory_order_relaxed);
+    S.DynamicReadBytes = DynamicReadBytes.load(std::memory_order_relaxed);
+    S.DynamicWriteBytes = DynamicWriteBytes.load(std::memory_order_relaxed);
+    S.LockChecks = LockChecks.load(std::memory_order_relaxed);
+    S.RcBarriers = RcBarriers.load(std::memory_order_relaxed);
+    S.Collections = Collections.load(std::memory_order_relaxed);
+    S.SharingCasts = SharingCasts.load(std::memory_order_relaxed);
+    S.ReadConflicts = ReadConflicts.load(std::memory_order_relaxed);
+    S.WriteConflicts = WriteConflicts.load(std::memory_order_relaxed);
+    S.LockViolations = LockViolations.load(std::memory_order_relaxed);
+    S.CastErrors = CastErrors.load(std::memory_order_relaxed);
+    S.ShadowBytes = ShadowBytes.load(std::memory_order_relaxed);
+    S.RcTableBytes = RcTableBytes.load(std::memory_order_relaxed);
+    S.LogBytes = LogBytes.load(std::memory_order_relaxed);
+    S.HeapPayloadBytes = HeapPayloadBytes.load(std::memory_order_relaxed);
+    S.PeakHeapPayloadBytes =
+        PeakHeapPayloadBytes.load(std::memory_order_relaxed);
+    return S;
+  }
+
+  /// Tracks a high-water mark for payload bytes.
+  void addHeapPayload(int64_t Delta) {
+    uint64_t Now = HeapPayloadBytes.fetch_add(static_cast<uint64_t>(Delta),
+                                              std::memory_order_relaxed) +
+                   static_cast<uint64_t>(Delta);
+    uint64_t Peak = PeakHeapPayloadBytes.load(std::memory_order_relaxed);
+    while (Now > Peak && !PeakHeapPayloadBytes.compare_exchange_weak(
+                             Peak, Now, std::memory_order_relaxed))
+      ;
+  }
+};
+
+} // namespace rt
+} // namespace sharc
+
+#endif // SHARC_RT_STATS_H

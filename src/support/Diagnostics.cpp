@@ -1,0 +1,75 @@
+//===-- support/Diagnostics.cpp -------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+using namespace sharc;
+
+void DiagnosticEngine::add(DiagLevel Level, SourceLoc Loc,
+                           std::string Message) {
+  Diags.push_back(Diagnostic{Level, Loc, std::move(Message)});
+  if (Level == DiagLevel::Error)
+    ++NumErrors;
+  else if (Level == DiagLevel::Warning)
+    ++NumWarnings;
+}
+
+void DiagnosticEngine::error(SourceLoc Loc, std::string Message) {
+  add(DiagLevel::Error, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::warning(SourceLoc Loc, std::string Message) {
+  add(DiagLevel::Warning, Loc, std::move(Message));
+}
+
+void DiagnosticEngine::note(SourceLoc Loc, std::string Message) {
+  add(DiagLevel::Note, Loc, std::move(Message));
+}
+
+bool DiagnosticEngine::containsMessage(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+static const char *levelName(DiagLevel Level) {
+  switch (Level) {
+  case DiagLevel::Note:
+    return "note";
+  case DiagLevel::Warning:
+    return "warning";
+  case DiagLevel::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += SM.formatLoc(D.Loc);
+    Out += ": ";
+    Out += levelName(D.Level);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+    if (D.Loc.isValid()) {
+      std::string_view Line = SM.getLine(D.Loc.File, D.Loc.Line);
+      if (!Line.empty()) {
+        Out += "  ";
+        Out += Line;
+        Out += "\n  ";
+        for (uint32_t I = 1; I < D.Loc.Col; ++I)
+          Out += ' ';
+        Out += "^\n";
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===-- support/Diagnostics.h - Diagnostic engine ---------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Every stage of the pipeline (parser,
+/// inference, checker, interpreter) reports through a DiagnosticEngine so
+/// tests can assert on structured diagnostics rather than scraping text.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SUPPORT_DIAGNOSTICS_H
+#define SHARC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace sharc {
+
+class SourceManager;
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One rendered diagnostic. Notes attach to the preceding warning/error.
+struct Diagnostic {
+  DiagLevel Level = DiagLevel::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for a compilation. The engine stores structured
+/// diagnostics; render() turns them into a human-readable listing with
+/// source snippets.
+class DiagnosticEngine {
+public:
+  explicit DiagnosticEngine(const SourceManager &SM) : SM(SM) {}
+
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  unsigned getNumErrors() const { return NumErrors; }
+  unsigned getNumWarnings() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors != 0; }
+
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// \returns true if any stored diagnostic message contains \p Needle.
+  bool containsMessage(const std::string &Needle) const;
+
+  /// Renders all diagnostics as "<file>:<line>:<col>: <level>: <message>"
+  /// lines followed by the offending source line and a caret.
+  std::string render() const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = NumWarnings = 0;
+  }
+
+private:
+  void add(DiagLevel Level, SourceLoc Loc, std::string Message);
+
+  const SourceManager &SM;
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+  unsigned NumWarnings = 0;
+};
+
+} // namespace sharc
+
+#endif // SHARC_SUPPORT_DIAGNOSTICS_H

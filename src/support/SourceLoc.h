@@ -1,0 +1,63 @@
+//===-- support/SourceLoc.h - Source locations ------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source-position value types shared by the MiniC frontend,
+/// the static checker, and runtime conflict reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SUPPORT_SOURCELOC_H
+#define SHARC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace sharc {
+
+/// Identifies a file registered with a SourceManager.
+using FileId = uint32_t;
+
+/// The FileId used for locations that do not come from any file (builtins,
+/// synthesized nodes).
+inline constexpr FileId InvalidFileId = ~0u;
+
+/// A single position in a source file. Line and column are 1-based; a
+/// default-constructed SourceLoc is invalid.
+struct SourceLoc {
+  FileId File = InvalidFileId;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(FileId File, uint32_t Line, uint32_t Col)
+      : File(File), Line(Line), Col(Col) {}
+
+  bool isValid() const { return File != InvalidFileId && Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.File == B.File && A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+};
+
+/// A half-open [Begin, End) region of source text.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace sharc
+
+#endif // SHARC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,72 @@
+//===-- support/SourceManager.cpp -----------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace sharc;
+
+FileId SourceManager::addBuffer(std::string Name, std::string Text) {
+  FileEntry Entry;
+  Entry.Name = std::move(Name);
+  Entry.Text = std::move(Text);
+  Entry.LineStarts.push_back(0);
+  for (size_t I = 0, E = Entry.Text.size(); I != E; ++I)
+    if (Entry.Text[I] == '\n')
+      Entry.LineStarts.push_back(I + 1);
+  Files.push_back(std::move(Entry));
+  return static_cast<FileId>(Files.size() - 1);
+}
+
+FileId SourceManager::addFile(const std::string &Path, std::string &Error) {
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "'";
+    return InvalidFileId;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return addBuffer(Path, std::move(Text));
+}
+
+std::string_view SourceManager::getFileName(FileId File) const {
+  assert(File < Files.size() && "invalid FileId");
+  return Files[File].Name;
+}
+
+std::string_view SourceManager::getText(FileId File) const {
+  assert(File < Files.size() && "invalid FileId");
+  return Files[File].Text;
+}
+
+std::string_view SourceManager::getLine(FileId File, uint32_t Line) const {
+  if (File >= Files.size() || Line == 0)
+    return {};
+  const FileEntry &Entry = Files[File];
+  if (Line > Entry.LineStarts.size())
+    return {};
+  size_t Begin = Entry.LineStarts[Line - 1];
+  size_t End = Line < Entry.LineStarts.size() ? Entry.LineStarts[Line] - 1
+                                              : Entry.Text.size();
+  return std::string_view(Entry.Text).substr(Begin, End - Begin);
+}
+
+std::string SourceManager::formatLoc(SourceLoc Loc) const {
+  if (!Loc.isValid())
+    return "<unknown>";
+  std::string Result(getFileName(Loc.File));
+  Result += ':';
+  Result += std::to_string(Loc.Line);
+  Result += ':';
+  Result += std::to_string(Loc.Col);
+  return Result;
+}

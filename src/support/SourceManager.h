@@ -1,0 +1,64 @@
+//===-- support/SourceManager.h - Owns source buffers -----------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SourceManager owns the text of every file being compiled and resolves
+/// SourceLocs back to file names and line snippets for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SUPPORT_SOURCEMANAGER_H
+#define SHARC_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharc {
+
+/// Owns source text for the duration of a compilation and maps FileIds back
+/// to names and contents. FileIds are dense indices into the managed list.
+class SourceManager {
+public:
+  /// Registers a buffer under \p Name and returns its FileId. The text is
+  /// copied into the manager.
+  FileId addBuffer(std::string Name, std::string Text);
+
+  /// Reads \p Path from disk and registers it. Returns InvalidFileId and
+  /// fills \p Error if the file cannot be read.
+  FileId addFile(const std::string &Path, std::string &Error);
+
+  /// \returns the name the file was registered under.
+  std::string_view getFileName(FileId File) const;
+
+  /// \returns the full text of the file.
+  std::string_view getText(FileId File) const;
+
+  /// \returns the text of 1-based line \p Line without its newline, or an
+  /// empty view if the line does not exist.
+  std::string_view getLine(FileId File, uint32_t Line) const;
+
+  /// Renders "file:line:col" for use in diagnostics and conflict reports.
+  std::string formatLoc(SourceLoc Loc) const;
+
+  unsigned getNumFiles() const { return static_cast<unsigned>(Files.size()); }
+
+private:
+  struct FileEntry {
+    std::string Name;
+    std::string Text;
+    /// Byte offset of the start of each line; LineStarts[0] == 0.
+    std::vector<size_t> LineStarts;
+  };
+
+  std::vector<FileEntry> Files;
+};
+
+} // namespace sharc
+
+#endif // SHARC_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,45 @@
+//===-- support/StringInterner.h - Identifier interning ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns identifier spellings so the frontend can compare names by
+/// pointer and AST nodes can hold stable string_views.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SUPPORT_STRINGINTERNER_H
+#define SHARC_SUPPORT_STRINGINTERNER_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace sharc {
+
+/// Owns one copy of every distinct string handed to intern(). Returned
+/// views remain valid for the interner's lifetime; equal strings intern to
+/// views over the same storage, so data() pointers can be compared.
+class StringInterner {
+public:
+  std::string_view intern(std::string_view Str) {
+    auto It = Pool.find(std::string(Str));
+    if (It != Pool.end())
+      return *It;
+    auto [Inserted, DidInsert] = Pool.insert(std::string(Str));
+    (void)DidInsert;
+    return *Inserted;
+  }
+
+  size_t size() const { return Pool.size(); }
+
+private:
+  std::unordered_set<std::string> Pool;
+};
+
+} // namespace sharc
+
+#endif // SHARC_SUPPORT_STRINGINTERNER_H

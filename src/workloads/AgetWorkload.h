@@ -1,0 +1,41 @@
+//===-- workloads/AgetWorkload.h - Download accelerator ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aget benchmark: "a download accelerator. It spawns several threads
+/// that each download pieces of a file." The network is simulated with
+/// deterministic latency-bound fetches (DESIGN.md substitution); like the
+/// paper's run, the workload is network bound and the instrumentation
+/// overhead should vanish in the noise.
+///
+/// SharC port: the output buffer is shared between downloader threads
+/// (disjoint regions) and is inferred dynamic; the progress counter is
+/// locked. [wrapper uses mirror the paper's 7 annotations]
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_AGETWORKLOAD_H
+#define SHARC_WORKLOADS_AGETWORKLOAD_H
+
+#include "workloads/Policy.h"
+
+namespace sharc {
+namespace workloads {
+
+struct AgetConfig {
+  unsigned NumThreads = 4;
+  uint64_t ResourceId = 7;
+  size_t TotalBytes = 1u << 20;
+  size_t ChunkBytes = 8192;
+  uint64_t LatencyNanos = 50000; ///< Per-fetch simulated network latency.
+};
+
+template <typename PolicyT> WorkloadResult runAget(const AgetConfig &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_AGETWORKLOAD_H

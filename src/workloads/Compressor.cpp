@@ -1,0 +1,415 @@
+//===-- workloads/Compressor.cpp ------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Compressor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+using namespace sharc;
+using namespace sharc::workloads;
+
+//===----------------------------------------------------------------------===//
+// BWT
+//===----------------------------------------------------------------------===//
+
+ByteVec sharc::workloads::bwtForward(const ByteVec &Input,
+                                     uint32_t &PrimaryIndex) {
+  size_t N = Input.size();
+  PrimaryIndex = 0;
+  if (N == 0)
+    return {};
+
+  // Suffix (rotation) sorting by prefix doubling over cyclic indices.
+  std::vector<uint32_t> Order(N), Rank(N), NewRank(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  for (size_t I = 0; I != N; ++I)
+    Rank[I] = Input[I];
+  for (size_t K = 1;; K *= 2) {
+    auto Cmp = [&](uint32_t A, uint32_t B) {
+      if (Rank[A] != Rank[B])
+        return Rank[A] < Rank[B];
+      uint32_t RA = Rank[(A + K) % N];
+      uint32_t RB = Rank[(B + K) % N];
+      return RA < RB;
+    };
+    std::sort(Order.begin(), Order.end(), Cmp);
+    NewRank[Order[0]] = 0;
+    for (size_t I = 1; I != N; ++I)
+      NewRank[Order[I]] =
+          NewRank[Order[I - 1]] + (Cmp(Order[I - 1], Order[I]) ? 1 : 0);
+    Rank.swap(NewRank);
+    if (Rank[Order[N - 1]] == N - 1)
+      break;
+  }
+
+  ByteVec Out(N);
+  for (size_t I = 0; I != N; ++I) {
+    uint32_t Rot = Order[I];
+    if (Rot == 0)
+      PrimaryIndex = static_cast<uint32_t>(I);
+    Out[I] = Input[(Rot + N - 1) % N];
+  }
+  return Out;
+}
+
+ByteVec sharc::workloads::bwtInverse(const ByteVec &Bwt,
+                                     uint32_t PrimaryIndex) {
+  size_t N = Bwt.size();
+  if (N == 0)
+    return {};
+  // LF mapping: Next[i] = position in Bwt of the predecessor row.
+  std::vector<uint32_t> Count(257, 0);
+  for (uint8_t B : Bwt)
+    ++Count[B + 1];
+  for (size_t I = 1; I != 257; ++I)
+    Count[I] += Count[I - 1];
+  std::vector<uint32_t> Next(N);
+  for (size_t I = 0; I != N; ++I)
+    Next[Count[Bwt[I]]++] = static_cast<uint32_t>(I);
+
+  ByteVec Out(N);
+  uint32_t P = Next[PrimaryIndex];
+  for (size_t I = 0; I != N; ++I) {
+    Out[I] = Bwt[P];
+    P = Next[P];
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Move-to-front
+//===----------------------------------------------------------------------===//
+
+ByteVec sharc::workloads::mtfForward(const ByteVec &Input) {
+  uint8_t Table[256];
+  for (unsigned I = 0; I != 256; ++I)
+    Table[I] = static_cast<uint8_t>(I);
+  ByteVec Out;
+  Out.reserve(Input.size());
+  for (uint8_t B : Input) {
+    unsigned Pos = 0;
+    while (Table[Pos] != B)
+      ++Pos;
+    Out.push_back(static_cast<uint8_t>(Pos));
+    for (unsigned I = Pos; I != 0; --I)
+      Table[I] = Table[I - 1];
+    Table[0] = B;
+  }
+  return Out;
+}
+
+ByteVec sharc::workloads::mtfInverse(const ByteVec &Input) {
+  uint8_t Table[256];
+  for (unsigned I = 0; I != 256; ++I)
+    Table[I] = static_cast<uint8_t>(I);
+  ByteVec Out;
+  Out.reserve(Input.size());
+  for (uint8_t Pos : Input) {
+    uint8_t B = Table[Pos];
+    Out.push_back(B);
+    for (unsigned I = Pos; I != 0; --I)
+      Table[I] = Table[I - 1];
+    Table[0] = B;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RLE
+//===----------------------------------------------------------------------===//
+
+ByteVec sharc::workloads::rleCompress(const ByteVec &Input) {
+  ByteVec Out;
+  Out.reserve(Input.size() + 16);
+  size_t I = 0;
+  while (I < Input.size()) {
+    uint8_t B = Input[I];
+    size_t Run = 1;
+    while (I + Run < Input.size() && Input[I + Run] == B && Run < 257)
+      ++Run;
+    if (Run >= 2) {
+      // Pair of equal bytes announces a run; the next byte is the count of
+      // *additional* repeats (0..255).
+      Out.push_back(B);
+      Out.push_back(B);
+      Out.push_back(static_cast<uint8_t>(Run - 2));
+    } else {
+      Out.push_back(B);
+    }
+    I += Run;
+  }
+  return Out;
+}
+
+ByteVec sharc::workloads::rleDecompress(const ByteVec &Input) {
+  ByteVec Out;
+  Out.reserve(Input.size());
+  size_t I = 0;
+  while (I < Input.size()) {
+    uint8_t B = Input[I++];
+    if (I < Input.size() && Input[I] == B) {
+      ++I;
+      assert(I < Input.size() && "truncated RLE run");
+      unsigned Extra = Input[I++];
+      Out.insert(Out.end(), 2 + Extra, B);
+    } else {
+      Out.push_back(B);
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical Huffman
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Computes canonical code lengths (<= 32) for the 256 byte symbols from
+/// frequencies, via the standard two-queue Huffman construction.
+void huffmanCodeLengths(const std::vector<uint64_t> &Freq,
+                        std::vector<uint8_t> &Lengths) {
+  struct Node {
+    uint64_t Weight;
+    int Left, Right; // -1 for leaves
+    int Symbol;
+  };
+  std::vector<Node> Nodes;
+  using QE = std::pair<uint64_t, int>; // (weight, node index)
+  std::priority_queue<QE, std::vector<QE>, std::greater<QE>> Queue;
+  for (int S = 0; S != 256; ++S)
+    if (Freq[S]) {
+      Nodes.push_back(Node{Freq[S], -1, -1, S});
+      Queue.push({Freq[S], static_cast<int>(Nodes.size()) - 1});
+    }
+  Lengths.assign(256, 0);
+  if (Nodes.empty())
+    return;
+  if (Nodes.size() == 1) {
+    Lengths[Nodes[0].Symbol] = 1;
+    return;
+  }
+  while (Queue.size() > 1) {
+    auto [WA, A] = Queue.top();
+    Queue.pop();
+    auto [WB, B] = Queue.top();
+    Queue.pop();
+    Nodes.push_back(Node{WA + WB, A, B, -1});
+    Queue.push({WA + WB, static_cast<int>(Nodes.size()) - 1});
+  }
+  // Depth-first assignment of depths.
+  struct StackEntry {
+    int Node;
+    uint8_t Depth;
+  };
+  std::vector<StackEntry> Stack{{Queue.top().second, 0}};
+  while (!Stack.empty()) {
+    auto [N, Depth] = Stack.back();
+    Stack.pop_back();
+    const Node &Nd = Nodes[N];
+    if (Nd.Symbol >= 0) {
+      Lengths[Nd.Symbol] = Depth == 0 ? 1 : Depth;
+      continue;
+    }
+    Stack.push_back({Nd.Left, static_cast<uint8_t>(Depth + 1)});
+    Stack.push_back({Nd.Right, static_cast<uint8_t>(Depth + 1)});
+  }
+}
+
+/// Builds canonical codes from lengths: symbols sorted by (length,
+/// symbol) receive consecutive code values.
+void canonicalCodes(const std::vector<uint8_t> &Lengths,
+                    std::vector<uint32_t> &Codes) {
+  Codes.assign(256, 0);
+  std::vector<int> Symbols;
+  for (int S = 0; S != 256; ++S)
+    if (Lengths[S])
+      Symbols.push_back(S);
+  std::sort(Symbols.begin(), Symbols.end(), [&](int A, int B) {
+    if (Lengths[A] != Lengths[B])
+      return Lengths[A] < Lengths[B];
+    return A < B;
+  });
+  uint32_t Code = 0;
+  uint8_t PrevLen = 0;
+  for (int S : Symbols) {
+    Code <<= (Lengths[S] - PrevLen);
+    Codes[S] = Code;
+    ++Code;
+    PrevLen = Lengths[S];
+  }
+}
+
+class BitWriter {
+public:
+  explicit BitWriter(ByteVec &Out) : Out(Out) {}
+  void put(uint32_t Code, uint8_t NumBits) {
+    for (int I = NumBits - 1; I >= 0; --I) {
+      Acc = (Acc << 1) | ((Code >> I) & 1);
+      if (++Used == 8) {
+        Out.push_back(Acc);
+        Acc = 0;
+        Used = 0;
+      }
+    }
+  }
+  void flush() {
+    if (Used) {
+      Out.push_back(static_cast<uint8_t>(Acc << (8 - Used)));
+      Used = 0;
+      Acc = 0;
+    }
+  }
+
+private:
+  ByteVec &Out;
+  uint8_t Acc = 0;
+  unsigned Used = 0;
+};
+
+class BitReader {
+public:
+  BitReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  int getBit() {
+    if (Pos >= Size)
+      return -1;
+    int Bit = (Data[Pos] >> (7 - Used)) & 1;
+    if (++Used == 8) {
+      Used = 0;
+      ++Pos;
+    }
+    return Bit;
+  }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  unsigned Used = 0;
+};
+
+void putU32(ByteVec &Out, uint32_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V >> 16));
+  Out.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+uint32_t getU32(const ByteVec &In, size_t Offset) {
+  return static_cast<uint32_t>(In[Offset]) |
+         (static_cast<uint32_t>(In[Offset + 1]) << 8) |
+         (static_cast<uint32_t>(In[Offset + 2]) << 16) |
+         (static_cast<uint32_t>(In[Offset + 3]) << 24);
+}
+
+} // namespace
+
+ByteVec sharc::workloads::huffmanCompress(const ByteVec &Input) {
+  ByteVec Out;
+  putU32(Out, static_cast<uint32_t>(Input.size()));
+  if (Input.empty())
+    return Out;
+
+  std::vector<uint64_t> Freq(256, 0);
+  for (uint8_t B : Input)
+    ++Freq[B];
+  std::vector<uint8_t> Lengths;
+  huffmanCodeLengths(Freq, Lengths);
+  std::vector<uint32_t> Codes;
+  canonicalCodes(Lengths, Codes);
+
+  Out.insert(Out.end(), Lengths.begin(), Lengths.end());
+  BitWriter Writer(Out);
+  for (uint8_t B : Input)
+    Writer.put(Codes[B], Lengths[B]);
+  Writer.flush();
+  return Out;
+}
+
+ByteVec sharc::workloads::huffmanDecompress(const ByteVec &Input) {
+  assert(Input.size() >= 4 && "truncated huffman stream");
+  uint32_t N = getU32(Input, 0);
+  ByteVec Out;
+  if (N == 0)
+    return Out;
+  Out.reserve(N);
+  std::vector<uint8_t> Lengths(Input.begin() + 4, Input.begin() + 4 + 256);
+  std::vector<uint32_t> Codes;
+  canonicalCodes(Lengths, Codes);
+
+  // Decode bit-by-bit against the canonical code table (adequate for a
+  // benchmark substrate; a table-driven decoder is an optimization).
+  struct Entry {
+    uint32_t Code;
+    uint8_t Len;
+    uint8_t Symbol;
+  };
+  std::vector<Entry> Table;
+  for (int S = 0; S != 256; ++S)
+    if (Lengths[S])
+      Table.push_back(
+          {Codes[S], Lengths[S], static_cast<uint8_t>(S)});
+  std::sort(Table.begin(), Table.end(), [](const Entry &A, const Entry &B) {
+    if (A.Len != B.Len)
+      return A.Len < B.Len;
+    return A.Code < B.Code;
+  });
+
+  BitReader Reader(Input.data() + 4 + 256, Input.size() - 4 - 256);
+  uint32_t Acc = 0;
+  uint8_t AccLen = 0;
+  size_t TableIndex = 0;
+  while (Out.size() < N) {
+    int Bit = Reader.getBit();
+    assert(Bit >= 0 && "truncated huffman payload");
+    Acc = (Acc << 1) | static_cast<uint32_t>(Bit);
+    ++AccLen;
+    // Advance to entries of this length and look for a match.
+    while (TableIndex < Table.size() && Table[TableIndex].Len < AccLen)
+      ++TableIndex;
+    for (size_t I = TableIndex;
+         I < Table.size() && Table[I].Len == AccLen; ++I) {
+      if (Table[I].Code == Acc) {
+        Out.push_back(Table[I].Symbol);
+        Acc = 0;
+        AccLen = 0;
+        TableIndex = 0;
+        break;
+      }
+    }
+    assert(AccLen <= 32 && "no huffman code matched");
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Whole pipeline
+//===----------------------------------------------------------------------===//
+
+ByteVec sharc::workloads::compressBlock(const ByteVec &Input) {
+  uint32_t PrimaryIndex = 0;
+  ByteVec Stage = bwtForward(Input, PrimaryIndex);
+  Stage = mtfForward(Stage);
+  Stage = rleCompress(Stage);
+  Stage = huffmanCompress(Stage);
+  ByteVec Out;
+  putU32(Out, PrimaryIndex);
+  Out.insert(Out.end(), Stage.begin(), Stage.end());
+  return Out;
+}
+
+ByteVec sharc::workloads::decompressBlock(const ByteVec &Compressed) {
+  assert(Compressed.size() >= 4 && "truncated block");
+  uint32_t PrimaryIndex = getU32(Compressed, 0);
+  ByteVec Stage(Compressed.begin() + 4, Compressed.end());
+  Stage = huffmanDecompress(Stage);
+  Stage = rleDecompress(Stage);
+  Stage = mtfInverse(Stage);
+  return bwtInverse(Stage, PrimaryIndex);
+}

@@ -1,0 +1,62 @@
+//===-- workloads/Compressor.h - Block compressor ---------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A real block compressor in the style of bzip2 -- the substrate for the
+/// pbzip2 benchmark workload. Pipeline per block:
+///
+///   BWT (cyclic suffix sorting by prefix doubling)
+///   -> move-to-front
+///   -> run-length encoding
+///   -> canonical Huffman coding
+///
+/// All functions are pure over byte vectors: blocks are *private* to the
+/// compressing thread (exactly the paper's annotation for pbzip2's
+/// (de)compression functions), so the kernel itself carries no checks in
+/// either policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_COMPRESSOR_H
+#define SHARC_WORKLOADS_COMPRESSOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sharc {
+namespace workloads {
+
+using ByteVec = std::vector<uint8_t>;
+
+/// Burrows-Wheeler transform of \p Input (cyclic rotations).
+/// \param [out] PrimaryIndex row of the original string in sorted order.
+ByteVec bwtForward(const ByteVec &Input, uint32_t &PrimaryIndex);
+
+/// Inverse BWT.
+ByteVec bwtInverse(const ByteVec &Bwt, uint32_t PrimaryIndex);
+
+/// Move-to-front coding and its inverse.
+ByteVec mtfForward(const ByteVec &Input);
+ByteVec mtfInverse(const ByteVec &Input);
+
+/// Byte-run RLE: a repeated byte pair is followed by an extra-run count.
+ByteVec rleCompress(const ByteVec &Input);
+ByteVec rleDecompress(const ByteVec &Input);
+
+/// Canonical Huffman coding. The encoded form carries a 256-entry code
+/// length header.
+ByteVec huffmanCompress(const ByteVec &Input);
+ByteVec huffmanDecompress(const ByteVec &Input);
+
+/// Whole-pipeline block compression (BWT+MTF+RLE+Huffman with a small
+/// header) and decompression.
+ByteVec compressBlock(const ByteVec &Input);
+ByteVec decompressBlock(const ByteVec &Compressed);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_COMPRESSOR_H

@@ -1,0 +1,43 @@
+//===-- workloads/DilloWorkload.h - DNS lookup thread pool ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dillo benchmark: the browser "uses threads to hide the latency of
+/// DNS lookup. It keeps a shared queue of the outstanding requests. Four
+/// worker threads read requests from the queue and initiate calls to
+/// gethostbyname." The DNS server is simulated (DESIGN.md).
+///
+/// SharC port: the request queue is locked; request objects transfer
+/// ownership to workers with sharing casts ("several functions called
+/// from the worker threads assume that they own request data, so the
+/// arguments to these functions were annotated private"). The paper's
+/// high memory overhead came from integers stored in pointer-typed slots
+/// being reference counted; the workload reproduces that by storing each
+/// resolved address into a counted slot as a bogus pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_DILLOWORKLOAD_H
+#define SHARC_WORKLOADS_DILLOWORKLOAD_H
+
+#include "workloads/Policy.h"
+
+namespace sharc {
+namespace workloads {
+
+struct DilloConfig {
+  unsigned NumWorkers = 4;
+  unsigned NumRequests = 96;
+  uint64_t LatencyNanos = 30000; ///< Simulated DNS round trip.
+  uint64_t Seed = 7;
+};
+
+template <typename PolicyT> WorkloadResult runDillo(const DilloConfig &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_DILLOWORKLOAD_H

@@ -1,0 +1,58 @@
+//===-- workloads/Fft.cpp -------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Fft.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace sharc;
+using namespace sharc::workloads;
+
+void sharc::workloads::fftInPlace(Complex *Data, size_t Size, bool Inverse) {
+  assert(Size != 0 && (Size & (Size - 1)) == 0 &&
+         "FFT size must be a power of two");
+  // Bit-reversal permutation.
+  for (size_t I = 1, J = 0; I != Size; ++I) {
+    size_t Bit = Size >> 1;
+    for (; J & Bit; Bit >>= 1)
+      J ^= Bit;
+    J ^= Bit;
+    if (I < J)
+      std::swap(Data[I], Data[J]);
+  }
+  const double Pi = 3.14159265358979323846;
+  for (size_t Len = 2; Len <= Size; Len <<= 1) {
+    double Angle = 2 * Pi / static_cast<double>(Len) * (Inverse ? 1 : -1);
+    Complex Root(std::cos(Angle), std::sin(Angle));
+    for (size_t I = 0; I < Size; I += Len) {
+      Complex W(1);
+      for (size_t J = 0; J != Len / 2; ++J) {
+        Complex U = Data[I + J];
+        Complex V = Data[I + J + Len / 2] * W;
+        Data[I + J] = U + V;
+        Data[I + J + Len / 2] = U - V;
+        W *= Root;
+      }
+    }
+  }
+  if (Inverse)
+    for (size_t I = 0; I != Size; ++I)
+      Data[I] /= static_cast<double>(Size);
+}
+
+void sharc::workloads::fftInPlace(std::vector<Complex> &Data, bool Inverse) {
+  fftInPlace(Data.data(), Data.size(), Inverse);
+}
+
+double sharc::workloads::maxAbsDiff(const std::vector<Complex> &A,
+                                    const std::vector<Complex> &B) {
+  assert(A.size() == B.size());
+  double Max = 0;
+  for (size_t I = 0; I != A.size(); ++I)
+    Max = std::max(Max, std::abs(A[I] - B[I]));
+  return Max;
+}

@@ -1,0 +1,41 @@
+//===-- workloads/Fft.h - Radix-2 FFT ---------------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An iterative radix-2 Cooley-Tukey FFT over complex doubles: the
+/// substrate for the fftw benchmark workload ("32 random FFTs", computed
+/// by dividing arrays among worker threads).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_FFT_H
+#define SHARC_WORKLOADS_FFT_H
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace sharc {
+namespace workloads {
+
+using Complex = std::complex<double>;
+
+/// In-place FFT; Size must be a power of two. Inverse = true applies the
+/// inverse transform including the 1/N scaling.
+void fftInPlace(Complex *Data, size_t Size, bool Inverse);
+
+/// Convenience overload.
+void fftInPlace(std::vector<Complex> &Data, bool Inverse);
+
+/// \returns the maximum absolute element difference, used by tests to
+/// verify round trips.
+double maxAbsDiff(const std::vector<Complex> &A,
+                  const std::vector<Complex> &B);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_FFT_H

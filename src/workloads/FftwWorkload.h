@@ -1,0 +1,41 @@
+//===-- workloads/FftwWorkload.h - Threaded random FFTs ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fftw benchmark: "32 random FFTs ... computes by dividing arrays
+/// among a fixed number of worker threads. Ownership of arrays is
+/// transferred to each thread, and then reclaimed when the threads are
+/// finished. The functions that compute over the partial arrays assume
+/// that they own that memory, so it was only necessary to annotate those
+/// arguments as private."
+///
+/// SharC port: each job's array slice moves into a worker through a
+/// counted slot with a sharing cast, is transformed privately, and is
+/// cast back to the coordinator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_FFTWWORKLOAD_H
+#define SHARC_WORKLOADS_FFTWWORKLOAD_H
+
+#include "workloads/Policy.h"
+
+namespace sharc {
+namespace workloads {
+
+struct FftwConfig {
+  unsigned NumWorkers = 3;
+  unsigned NumTransforms = 32;
+  size_t TransformSize = 2048; ///< Power of two.
+  uint64_t Seed = 99;
+};
+
+template <typename PolicyT> WorkloadResult runFftw(const FftwConfig &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_FFTWWORKLOAD_H

@@ -1,0 +1,47 @@
+//===-- workloads/Pbzip2Workload.h - Parallel block compression -*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pbzip2 benchmark: "a parallel implementation of the block-based
+/// bzip2 compression algorithm ... threads for file I/O, and an arbitrary
+/// number of threads for (de)compressing data blocks, which the
+/// file-reader thread arranges into a shared queue. The functions that
+/// perform the (de)compression assume they have ownership of the blocks,
+/// and so we annotate their arguments as private."
+///
+/// SharC port: the block queue slots are counted (ownership moves with
+/// sharing casts), queue indices are locked, and the compression kernel
+/// runs on private blocks with no checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_PBZIP2WORKLOAD_H
+#define SHARC_WORKLOADS_PBZIP2WORKLOAD_H
+
+#include "workloads/Policy.h"
+
+namespace sharc {
+namespace workloads {
+
+struct Pbzip2Config {
+  unsigned NumWorkers = 3;
+  unsigned NumBlocks = 12;
+  size_t BlockBytes = 8192;
+  uint64_t Seed = 1234;
+  bool Verify = false;     ///< Round-trip decompress and compare (tests).
+  bool Decompress = false; ///< Run the decompression pipeline: blocks are
+                           ///< pre-compressed by the reader role and the
+                           ///< workers decompress (the paper's pbzip2 has
+                           ///< threads for both directions).
+};
+
+template <typename PolicyT>
+WorkloadResult runPbzip2(const Pbzip2Config &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_PBZIP2WORKLOAD_H

@@ -1,0 +1,44 @@
+//===-- workloads/PfscanWorkload.h - Parallel file scan ---------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pfscan benchmark: "a tool that spawns multiple threads for
+/// searching through files ... one thread finds all the paths that must
+/// be searched, and an arbitrary number of threads take paths off of a
+/// shared queue protected with a mutex and search files at those paths."
+///
+/// In the SharC port the queue state is locked(mut), the match counter is
+/// locked(mut), and file contents -- shared between the enumerator and
+/// the workers -- are inferred dynamic, so the scanning reads dominate
+/// the dynamic access count (the paper reports 80% dynamic accesses).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_PFSCANWORKLOAD_H
+#define SHARC_WORKLOADS_PFSCANWORKLOAD_H
+
+#include "workloads/Policy.h"
+
+#include <string>
+
+namespace sharc {
+namespace workloads {
+
+struct PfscanConfig {
+  unsigned NumWorkers = 2;
+  unsigned NumFiles = 48;
+  size_t BytesPerFile = 16384;
+  std::string Needle = "etaoin";
+  uint64_t Seed = 42;
+};
+
+template <typename PolicyT>
+WorkloadResult runPfscan(const PfscanConfig &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_PFSCANWORKLOAD_H

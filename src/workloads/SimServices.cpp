@@ -1,0 +1,57 @@
+//===-- workloads/SimServices.cpp -----------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SimServices.h"
+
+#include <chrono>
+
+using namespace sharc;
+using namespace sharc::workloads;
+
+void sharc::workloads::spinFor(uint64_t Nanos) {
+  if (Nanos == 0)
+    return;
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(Nanos);
+  while (std::chrono::steady_clock::now() < Deadline)
+    ;
+}
+
+uint8_t SimNet::byteAt(uint64_t Resource, uint64_t Offset) {
+  uint64_t H = Resource * 0x9E3779B97F4A7C15ull + Offset;
+  H ^= H >> 33;
+  H *= 0xFF51AFD7ED558CCDull;
+  H ^= H >> 29;
+  return static_cast<uint8_t>(H);
+}
+
+void SimNet::fetch(uint64_t Resource, uint64_t Offset, uint8_t *Out,
+                   size_t Len) const {
+  spinFor(LatencyNanos);
+  for (size_t I = 0; I != Len; ++I)
+    Out[I] = byteAt(Resource, Offset + I);
+}
+
+uint32_t sharc::workloads::simDnsResolve(const std::string &Hostname,
+                                         uint64_t LatencyNanos) {
+  spinFor(LatencyNanos);
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (char C : Hostname) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 0x100000001b3ull;
+  }
+  // Keep it in private address space for flavour: 10.x.y.z.
+  return 0x0A000000u | static_cast<uint32_t>(H & 0x00FFFFFF);
+}
+
+void StreamCipher::apply(uint8_t *Data, size_t Len) {
+  for (size_t I = 0; I != Len; ++I) {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    Data[I] ^= static_cast<uint8_t>((State * 0x2545F4914F6CDD1Dull) >> 56);
+  }
+}

@@ -1,0 +1,71 @@
+//===-- workloads/SimServices.h - Simulated external services ---*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulated stand-ins for the external resources the paper's benchmarks
+/// depended on (documented as substitutions in DESIGN.md):
+///
+///   - SimNet: the network aget downloaded a kernel tarball from. Serves
+///     deterministic bytes per (resource, offset) after a configurable
+///     busy-wait latency, so the workload stays network-*shaped* (latency
+///     bound) without a real network.
+///   - simDnsResolve: the DNS server dillo queried via gethostbyname.
+///   - StreamCipher: the OpenSSL cipher stunnel wrapped connections in; a
+///     keystream cipher with the same in-place byte-transform shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_SIMSERVICES_H
+#define SHARC_WORKLOADS_SIMSERVICES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sharc {
+namespace workloads {
+
+/// Deterministic latency-bound byte server.
+class SimNet {
+public:
+  /// \param LatencyNanos busy-wait applied to every fetch call.
+  explicit SimNet(uint64_t LatencyNanos) : LatencyNanos(LatencyNanos) {}
+
+  /// Fills [Out, Out+Len) with the bytes of \p Resource at \p Offset.
+  void fetch(uint64_t Resource, uint64_t Offset, uint8_t *Out,
+             size_t Len) const;
+
+  /// The byte the server holds at a position (for verification).
+  static uint8_t byteAt(uint64_t Resource, uint64_t Offset);
+
+private:
+  uint64_t LatencyNanos;
+};
+
+/// Resolves a hostname to an IPv4-ish address after \p LatencyNanos of
+/// simulated lookup latency.
+uint32_t simDnsResolve(const std::string &Hostname, uint64_t LatencyNanos);
+
+/// Busy-waits for approximately \p Nanos nanoseconds (monotonic clock);
+/// used to model latency without descheduling on 1-core CI boxes.
+void spinFor(uint64_t Nanos);
+
+/// Symmetric keystream cipher (xorshift64* keystream).
+class StreamCipher {
+public:
+  explicit StreamCipher(uint64_t Key) : State(Key ? Key : 0x9E3779B9) {}
+
+  /// Encrypts or decrypts (same operation) in place.
+  void apply(uint8_t *Data, size_t Len);
+
+private:
+  uint64_t State;
+};
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_SIMSERVICES_H

@@ -1,0 +1,154 @@
+//===-- workloads/StunnelWorkload.cpp -------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/StunnelWorkload.h"
+
+#include "workloads/SimServices.h"
+
+#include <new>
+#include <vector>
+
+using namespace sharc;
+using namespace sharc::workloads;
+
+namespace {
+
+/// One encrypted message in flight; owned by exactly one side at a time.
+struct Message {
+  std::vector<uint8_t> Payload;
+};
+
+/// A single-slot duplex "socket" between one client and its server
+/// thread.
+template <typename P> struct Connection {
+  typename P::Mutex Mut;
+  typename P::CondVar Ready;
+  typename P::template Counted<Message> ClientToServer;
+  typename P::template Counted<Message> ServerToClient;
+  unsigned Id = 0;
+  unsigned NumMessages = 0;
+  size_t MessageBytes = 0;
+  uint64_t Key = 0;
+  uint64_t ClientChecksum = 0;
+};
+
+template <typename P> void serverBody(Connection<P> *Conn) {
+  StreamCipher Decrypt(Conn->Key + Conn->Id);
+  StreamCipher Encrypt(Conn->Key + Conn->Id + 1000);
+  for (unsigned M = 0; M != Conn->NumMessages; ++M) {
+    Message *Msg = nullptr;
+    {
+      typename P::UniqueLock Lock(Conn->Mut);
+      Conn->Ready.wait(
+          Lock, [&] { return Conn->ClientToServer.load() != nullptr; });
+      Msg = Conn->ClientToServer.castOut(SHARC_SITE("conn->c2s"));
+      Conn->Ready.notifyAll();
+    }
+    // Private: decrypt, "process" (echo), re-encrypt for the way back.
+    Decrypt.apply(Msg->Payload.data(), Msg->Payload.size());
+    Encrypt.apply(Msg->Payload.data(), Msg->Payload.size());
+    {
+      typename P::UniqueLock Lock(Conn->Mut);
+      Conn->Ready.wait(
+          Lock, [&] { return Conn->ServerToClient.load() == nullptr; });
+      Message *Transfer = Msg;
+      Msg = nullptr;
+      Conn->ServerToClient.store(P::castIn(Transfer, SHARC_SITE("msg")));
+      Conn->Ready.notifyAll();
+    }
+  }
+}
+
+template <typename P> void clientBody(Connection<P> *Conn) {
+  StreamCipher Encrypt(Conn->Key + Conn->Id);
+  StreamCipher Decrypt(Conn->Key + Conn->Id + 1000);
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (unsigned M = 0; M != Conn->NumMessages; ++M) {
+    void *Mem = P::alloc(sizeof(Message));
+    Message *Msg = new (Mem) Message();
+    Msg->Payload.resize(Conn->MessageBytes);
+    for (size_t I = 0; I != Msg->Payload.size(); ++I)
+      Msg->Payload[I] = static_cast<uint8_t>(I + M + Conn->Id);
+    Encrypt.apply(Msg->Payload.data(), Msg->Payload.size());
+    {
+      typename P::UniqueLock Lock(Conn->Mut);
+      Conn->Ready.wait(
+          Lock, [&] { return Conn->ClientToServer.load() == nullptr; });
+      Message *Transfer = Msg;
+      Msg = nullptr;
+      Conn->ClientToServer.store(P::castIn(Transfer, SHARC_SITE("msg")));
+      Conn->Ready.notifyAll();
+    }
+    Message *Reply = nullptr;
+    {
+      typename P::UniqueLock Lock(Conn->Mut);
+      Conn->Ready.wait(
+          Lock, [&] { return Conn->ServerToClient.load() != nullptr; });
+      Reply = Conn->ServerToClient.castOut(SHARC_SITE("conn->s2c"));
+      Conn->Ready.notifyAll();
+    }
+    Decrypt.apply(Reply->Payload.data(), Reply->Payload.size());
+    for (uint8_t Byte : Reply->Payload) {
+      Hash ^= Byte;
+      Hash *= 0x100000001b3ull;
+    }
+    Reply->~Message();
+    P::dealloc(Reply);
+  }
+  Conn->ClientChecksum = Hash;
+}
+
+} // namespace
+
+template <typename P>
+WorkloadResult sharc::workloads::runStunnel(const StunnelConfig &Config) {
+  // Main initializes each connection's data before spawning its threads
+  // (the paper: "the main thread initializes data for each client thread
+  // before spawning them").
+  std::vector<Connection<P> *> Connections;
+  for (unsigned C = 0; C != Config.NumClients; ++C) {
+    void *Mem = P::alloc(sizeof(Connection<P>));
+    auto *Conn = new (Mem) Connection<P>();
+    Conn->Id = C;
+    Conn->NumMessages = Config.MessagesPerClient;
+    Conn->MessageBytes = Config.MessageBytes;
+    Conn->Key = Config.Key;
+    Connections.push_back(Conn);
+  }
+
+  std::vector<typename P::Thread> Threads;
+  for (auto *Conn : Connections) {
+    Threads.emplace_back([Conn] { serverBody<P>(Conn); });
+    Threads.emplace_back([Conn] { clientBody<P>(Conn); });
+  }
+  for (auto &T : Threads)
+    T.join();
+
+  WorkloadResult Result;
+  for (auto *Conn : Connections) {
+    Result.Checksum ^= Conn->ClientChecksum;
+    Conn->~Connection();
+    P::dealloc(Conn);
+  }
+  Result.WorkUnits = static_cast<uint64_t>(Config.NumClients) *
+                     Config.MessagesPerClient * Config.MessageBytes;
+  // Each byte is generated, encrypted, decrypted, re-encrypted, decrypted
+  // and folded: ~6 passes.
+  Result.TotalMemoryAccessesEstimate = Result.WorkUnits * 6;
+  Result.PeakPayloadBytesEstimate =
+      static_cast<uint64_t>(Config.NumClients) *
+      (2 * Config.MessageBytes + sizeof(Connection<UncheckedPolicy>));
+  Result.MaxThreads = 2 * Config.NumClients + 1; // paper row: 3 concurrent
+  Result.Annotations = 20; // paper's stunnel row
+  Result.OtherChanges = 22;
+  P::quiesce();
+  return Result;
+}
+
+template WorkloadResult
+sharc::workloads::runStunnel<UncheckedPolicy>(const StunnelConfig &);
+template WorkloadResult
+sharc::workloads::runStunnel<SharcPolicy>(const StunnelConfig &);

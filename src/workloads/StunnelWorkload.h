@@ -1,0 +1,45 @@
+//===-- workloads/StunnelWorkload.h - Encrypted echo server -----*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stunnel benchmark: "a tool that allows the encryption of arbitrary
+/// TCP connections. It creates a thread for each client that it serves.
+/// The main thread initializes data for each client thread before
+/// spawning them. ... encrypting three simultaneous connections to a
+/// simple echo server with each client sending and receiving 500
+/// messages."
+///
+/// Substrate (DESIGN.md substitution): in-memory duplex channels stand in
+/// for TCP sockets and a keystream cipher stands in for OpenSSL. SharC
+/// port: per-client state is initialized private and published with a
+/// sharing cast before the client thread is spawned; messages transfer
+/// ownership through counted mailbox slots; global connection counters
+/// are locked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_STUNNELWORKLOAD_H
+#define SHARC_WORKLOADS_STUNNELWORKLOAD_H
+
+#include "workloads/Policy.h"
+
+namespace sharc {
+namespace workloads {
+
+struct StunnelConfig {
+  unsigned NumClients = 3;
+  unsigned MessagesPerClient = 100;
+  size_t MessageBytes = 256;
+  uint64_t Key = 0xfeedface;
+};
+
+template <typename PolicyT>
+WorkloadResult runStunnel(const StunnelConfig &Config);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_STUNNELWORKLOAD_H

@@ -1,0 +1,77 @@
+//===-- workloads/TextCorpus.cpp ------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TextCorpus.h"
+
+using namespace sharc;
+using namespace sharc::workloads;
+
+namespace {
+
+uint64_t nextRandom(uint64_t &State) {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1Dull;
+}
+
+} // namespace
+
+std::vector<CorpusFile>
+sharc::workloads::makeCorpus(unsigned NumFiles, size_t BytesPerFile,
+                             const std::string &Needle, uint64_t Seed) {
+  static const char Alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz      \n\netaoin shrdlu";
+  constexpr size_t AlphabetSize = sizeof(Alphabet) - 1;
+
+  std::vector<CorpusFile> Corpus;
+  Corpus.reserve(NumFiles);
+  uint64_t State = Seed ? Seed : 1;
+  for (unsigned F = 0; F != NumFiles; ++F) {
+    CorpusFile File;
+    File.Path = "corpus/dir" + std::to_string(F % 7) + "/file" +
+                std::to_string(F) + ".txt";
+    File.Contents.reserve(BytesPerFile + Needle.size());
+    while (File.Contents.size() < BytesPerFile) {
+      uint64_t R = nextRandom(State);
+      // Occasionally plant the needle (about one per 4 KiB).
+      if ((R & 0xFFF) < 1 && !Needle.empty()) {
+        File.Contents.insert(File.Contents.end(), Needle.begin(),
+                             Needle.end());
+        continue;
+      }
+      File.Contents.push_back(
+          static_cast<uint8_t>(Alphabet[R % AlphabetSize]));
+    }
+    Corpus.push_back(std::move(File));
+  }
+  return Corpus;
+}
+
+uint64_t sharc::workloads::countOccurrences(const uint8_t *Data, size_t Size,
+                                            const std::string &Needle) {
+  size_t M = Needle.size();
+  if (M == 0 || Size < M)
+    return 0;
+  // Boyer-Moore-Horspool bad-character shifts.
+  size_t Shift[256];
+  for (size_t I = 0; I != 256; ++I)
+    Shift[I] = M;
+  for (size_t I = 0; I + 1 < M; ++I)
+    Shift[static_cast<uint8_t>(Needle[I])] = M - 1 - I;
+
+  uint64_t Count = 0;
+  size_t Pos = 0;
+  while (Pos + M <= Size) {
+    size_t I = M;
+    while (I != 0 && Data[Pos + I - 1] == static_cast<uint8_t>(Needle[I - 1]))
+      --I;
+    if (I == 0)
+      ++Count;
+    Pos += Shift[Data[Pos + M - 1]];
+  }
+  return Count;
+}

@@ -1,0 +1,45 @@
+//===-- workloads/TextCorpus.h - Synthetic file tree ------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pfscan benchmark substrate: a deterministic in-memory file tree of
+/// pseudo-text (the paper searched the author's home directory, held in
+/// the OS buffer cache -- an in-memory corpus reproduces exactly that
+/// steady state), plus Boyer-Moore-Horspool substring search.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_WORKLOADS_TEXTCORPUS_H
+#define SHARC_WORKLOADS_TEXTCORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharc {
+namespace workloads {
+
+/// One synthetic file.
+struct CorpusFile {
+  std::string Path;
+  std::vector<uint8_t> Contents;
+};
+
+/// Deterministically generates \p NumFiles pseudo-text files of about
+/// \p BytesPerFile bytes each, with the needle planted at a seeded subset
+/// of positions so searches have verifiable hit counts.
+std::vector<CorpusFile> makeCorpus(unsigned NumFiles, size_t BytesPerFile,
+                                   const std::string &Needle, uint64_t Seed);
+
+/// Boyer-Moore-Horspool count of occurrences of \p Needle in
+/// [Data, Data+Size).
+uint64_t countOccurrences(const uint8_t *Data, size_t Size,
+                          const std::string &Needle);
+
+} // namespace workloads
+} // namespace sharc
+
+#endif // SHARC_WORKLOADS_TEXTCORPUS_H

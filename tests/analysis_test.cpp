@@ -1,0 +1,390 @@
+//===-- tests/analysis_test.cpp - Sharing analysis tests ------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for Section 4.1: call graph construction, thread-reachability
+/// seeding, the defaulting rules, dynamic propagation, and the paper's
+/// Figure 1 -> Figure 2 inference scenario.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/SharingAnalysis.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharc;
+using namespace sharc::minic;
+using namespace sharc::analysis;
+
+namespace {
+
+struct AnalyzedProgram {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<SharingAnalysis> Analysis;
+  bool Ok = false;
+};
+
+std::unique_ptr<AnalyzedProgram> analyze(const std::string &Source) {
+  auto R = std::make_unique<AnalyzedProgram>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  R->Analysis = std::make_unique<SharingAnalysis>(*R->Prog, *R->Diags);
+  R->Ok = R->Analysis->run();
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, DirectCallsAndSpawnRoots) {
+  auto R = analyze("void leaf(void) { }\n"
+                   "void worker(void) { leaf(); }\n"
+                   "void main_fn(void) { spawn worker(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  CallGraph CG(*R->Prog);
+  ASSERT_EQ(CG.getSpawnRoots().size(), 1u);
+  EXPECT_EQ(CG.getSpawnRoots()[0]->Name, "worker");
+  auto Reachable = CG.threadReachable();
+  EXPECT_TRUE(Reachable.count(R->Prog->findFunc("worker")));
+  EXPECT_TRUE(Reachable.count(R->Prog->findFunc("leaf")));
+  EXPECT_FALSE(Reachable.count(R->Prog->findFunc("main_fn")));
+}
+
+TEST(CallGraphTest, FunctionPointersAliasAllCompatibleFunctions) {
+  auto R = analyze("void handlerA(int private * p) { }\n"
+                   "void handlerB(int private * p) { }\n"
+                   "void other(char private * c) { }\n"
+                   "struct box { void (*fn)(int private * p); };\n"
+                   "void worker(struct box dynamic * b) { b->fn(null); }\n"
+                   "void main_fn(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  CallGraph CG(*R->Prog);
+  auto Reachable = CG.threadReachable();
+  EXPECT_TRUE(Reachable.count(R->Prog->findFunc("handlerA")));
+  EXPECT_TRUE(Reachable.count(R->Prog->findFunc("handlerB")));
+  EXPECT_FALSE(Reachable.count(R->Prog->findFunc("other")));
+}
+
+//===----------------------------------------------------------------------===//
+// Defaulting rules
+//===----------------------------------------------------------------------===//
+
+TEST(DefaultingTest, MutexAndCondAreRacyByNature) {
+  auto R = analyze("mutex * m;\ncond * c;\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_EQ(R->Prog->findGlobal("m")->DeclType->Pointee->Q.M, Mode::Racy);
+  EXPECT_EQ(R->Prog->findGlobal("c")->DeclType->Pointee->Q.M, Mode::Racy);
+}
+
+TEST(DefaultingTest, LockVariableBecomesReadonly) {
+  auto R = analyze("struct s {\n"
+                   "  mutex racy * mut;\n"
+                   "  int locked(mut) data;\n"
+                   "};\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  StructDecl *S = R->Prog->findStruct("s");
+  EXPECT_EQ(S->findField("mut")->DeclType->Q.M, Mode::ReadOnly);
+}
+
+TEST(DefaultingTest, NonReadonlyLockAnnotationIsError) {
+  auto R = analyze("struct s {\n"
+                   "  mutex racy * racy mut;\n"
+                   "  int locked(mut) data;\n"
+                   "};\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("must be readonly"));
+}
+
+TEST(DefaultingTest, UnannotatedFieldInheritsInstanceQualifier) {
+  auto R = analyze("struct s { int x; };\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_EQ(R->Prog->findStruct("s")->findField("x")->DeclType->Q.M,
+            Mode::Poly);
+}
+
+TEST(DefaultingTest, ExplicitPrivateFieldOutermostIsError) {
+  auto R = analyze("struct s { int private x; };\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("cannot be private"));
+}
+
+TEST(DefaultingTest, StructPointerTargetsDefaultDynamic) {
+  auto R = analyze("struct s { int * p; };\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  VarDecl *P = R->Prog->findStruct("s")->findField("p");
+  EXPECT_EQ(P->DeclType->Q.M, Mode::Poly);
+  EXPECT_EQ(P->DeclType->Pointee->Q.M, Mode::Dynamic);
+}
+
+TEST(DefaultingTest, LocalPointerTargetInheritsPointerMode) {
+  auto R = analyze("void f(void) { int * p; }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  FuncDecl *F = R->Prog->findFunc("f");
+  auto *Decl = dyn_cast<DeclStmt>(F->Body->Body[0]);
+  ASSERT_NE(Decl, nullptr);
+  EXPECT_EQ(Decl->Var->DeclType->Q.M, Mode::Private);
+  EXPECT_EQ(Decl->Var->DeclType->Pointee->Q.M, Mode::Private);
+}
+
+TEST(DefaultingTest, ExplicitDynamicPointerPropagatesToTarget) {
+  // (int * dynamic) becomes (int dynamic * dynamic).
+  auto R = analyze("int * dynamic g;\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  VarDecl *G = R->Prog->findGlobal("g");
+  EXPECT_EQ(G->DeclType->Q.M, Mode::Dynamic);
+  EXPECT_EQ(G->DeclType->Pointee->Q.M, Mode::Dynamic);
+}
+
+//===----------------------------------------------------------------------===//
+// Seeding and propagation
+//===----------------------------------------------------------------------===//
+
+TEST(SeedingTest, ThreadFormalPointeeIsDynamic) {
+  auto R = analyze("void worker(int * p) { }\n"
+                   "void main_fn(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  VarDecl *P = R->Prog->findFunc("worker")->Params[0];
+  EXPECT_EQ(P->DeclType->Pointee->Q.M, Mode::Dynamic);
+  // The pointer cell itself is a local: private.
+  EXPECT_EQ(P->DeclType->Q.M, Mode::Private);
+}
+
+TEST(SeedingTest, GlobalTouchedByThreadIsDynamic) {
+  auto R = analyze("int shared_counter;\n"
+                   "int main_only;\n"
+                   "void worker(void) { shared_counter = 1; }\n"
+                   "void main_fn(void) {\n"
+                   "  spawn worker();\n"
+                   "  main_only = 2;\n"
+                   "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_EQ(R->Prog->findGlobal("shared_counter")->DeclType->Q.M,
+            Mode::Dynamic);
+  EXPECT_EQ(R->Prog->findGlobal("main_only")->DeclType->Q.M, Mode::Private);
+}
+
+TEST(SeedingTest, PrivateAnnotationOnSharedGlobalIsError) {
+  auto R = analyze("int private g;\n"
+                   "void worker(void) { g = 1; }\n"
+                   "void main_fn(void) { spawn worker(); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("inherently shared"));
+}
+
+TEST(PropagationTest, DynamicFlowsThroughLocalAssignment) {
+  auto R = analyze("void worker(int * p) {\n"
+                   "  int * q;\n"
+                   "  q = p;\n"
+                   "}\n"
+                   "void main_fn(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  FuncDecl *F = R->Prog->findFunc("worker");
+  auto *Decl = dyn_cast<DeclStmt>(F->Body->Body[0]);
+  ASSERT_NE(Decl, nullptr);
+  // q's pointee aliases p's pointee: dynamic.
+  EXPECT_EQ(Decl->Var->DeclType->Pointee->Q.M, Mode::Dynamic);
+  EXPECT_EQ(Decl->Var->DeclType->Q.M, Mode::Private);
+}
+
+TEST(PropagationTest, DynamicFlowsFromActualToFormal) {
+  auto R = analyze("void helper(int * h) { }\n"
+                   "void worker(int * p) { helper(p); }\n"
+                   "void main_fn(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  VarDecl *H = R->Prog->findFunc("helper")->Params[0];
+  EXPECT_EQ(H->DeclType->Pointee->Q.M, Mode::Dynamic);
+}
+
+TEST(PropagationTest, PrivateCallerUnaffectedByOtherDynamicCaller) {
+  // helper is called with a dynamic actual from the thread and a private
+  // local from main; since helper does not store through its formal, the
+  // dynamic-in rule keeps main's buffer private.
+  auto R = analyze("void helper(int * h) { int x; x = *h; }\n"
+                   "void worker(int * p) { helper(p); }\n"
+                   "void main_fn(void) {\n"
+                   "  int * mine;\n"
+                   "  mine = new int;\n"
+                   "  helper(mine);\n"
+                   "  spawn worker(null);\n"
+                   "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  FuncDecl *Main = R->Prog->findFunc("main_fn");
+  auto *Decl = dyn_cast<DeclStmt>(Main->Body->Body[0]);
+  ASSERT_NE(Decl, nullptr);
+  EXPECT_EQ(Decl->Var->DeclType->Pointee->Q.M, Mode::Private);
+  // helper's formal is dynamic (it must check accesses).
+  EXPECT_EQ(
+      R->Prog->findFunc("helper")->Params[0]->DeclType->Pointee->Q.M,
+      Mode::Dynamic);
+}
+
+TEST(PropagationTest, StoreInvolvedFormalFlowsBack) {
+  // helper stores into a global through its formal-linked path, so dynamic
+  // flows back to the actual.
+  auto R = analyze("int dynamic * dynamic g;\n"
+                   "void helper(int * h) { g = h; }\n"
+                   "void worker(void) { int x; x = *g; }\n"
+                   "void main_fn(void) {\n"
+                   "  int * mine;\n"
+                   "  mine = new int;\n"
+                   "  helper(mine);\n"
+                   "  spawn worker();\n"
+                   "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  FuncDecl *Main = R->Prog->findFunc("main_fn");
+  auto *Decl = dyn_cast<DeclStmt>(Main->Body->Body[0]);
+  ASSERT_NE(Decl, nullptr);
+  EXPECT_EQ(Decl->Var->DeclType->Pointee->Q.M, Mode::Dynamic);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's pipeline example (Figures 1 and 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *PipelineSource =
+    "typedef struct stage {\n"
+    "  struct stage * next;\n"
+    "  cond * cv;\n"
+    "  mutex * mut;\n"
+    "  char locked(mut) * locked(mut) sdata;\n"
+    "  void (*fun)(char private * fdata);\n"
+    "} stage_t;\n"
+    "\n"
+    "int notDone;\n"
+    "\n"
+    "void thrFunc(void * d) {\n"
+    "  stage_t * S;\n"
+    "  stage_t * nextS;\n"
+    "  char private * ldata;\n"
+    "  S = SCAST(stage_t dynamic *, d);\n"
+    "  nextS = S->next;\n"
+    "  while (notDone) {\n"
+    "    mutex_lock(S->mut);\n"
+    "    while (S->sdata == null)\n"
+    "      cond_wait(S->cv, S->mut);\n"
+    "    ldata = SCAST(char private *, S->sdata);\n"
+    "    S->sdata = null;\n"
+    "    cond_signal(S->cv);\n"
+    "    mutex_unlock(S->mut);\n"
+    "    S->fun(ldata);\n"
+    "    if (nextS != null) {\n"
+    "      mutex_lock(nextS->mut);\n"
+    "      while (nextS->sdata != null)\n"
+    "        cond_wait(nextS->cv, nextS->mut);\n"
+    "      nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);\n"
+    "      cond_signal(nextS->cv);\n"
+    "      mutex_unlock(nextS->mut);\n"
+    "    }\n"
+    "  }\n"
+    "}\n"
+    "\n"
+    "void main_fn(void) {\n"
+    "  stage_t * S;\n"
+    "  S = new stage_t;\n"
+    "  spawn thrFunc(S);\n"
+    "}\n";
+
+} // namespace
+
+TEST(PipelineInferenceTest, MatchesFigure2) {
+  auto R = analyze(PipelineSource);
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  StructDecl *Stage = R->Prog->findStruct("stage");
+  ASSERT_NE(Stage, nullptr);
+
+  // struct stage dynamic *q next;
+  VarDecl *Next = Stage->findField("next");
+  EXPECT_EQ(Next->DeclType->Q.M, Mode::Poly);
+  EXPECT_EQ(Next->DeclType->Pointee->Q.M, Mode::Dynamic);
+
+  // cond racy *q cv;
+  VarDecl *Cv = Stage->findField("cv");
+  EXPECT_EQ(Cv->DeclType->Q.M, Mode::Poly);
+  EXPECT_EQ(Cv->DeclType->Pointee->Q.M, Mode::Racy);
+
+  // mutex racy *readonly mut;
+  VarDecl *Mut = Stage->findField("mut");
+  EXPECT_EQ(Mut->DeclType->Q.M, Mode::ReadOnly);
+  EXPECT_EQ(Mut->DeclType->Pointee->Q.M, Mode::Racy);
+
+  // char locked(mut) *locked(mut) sdata;
+  VarDecl *Sdata = Stage->findField("sdata");
+  EXPECT_EQ(Sdata->DeclType->Q.M, Mode::Locked);
+  EXPECT_EQ(Sdata->DeclType->Pointee->Q.M, Mode::Locked);
+
+  // void (*q fun)(char private *private fdata);
+  VarDecl *Fun = Stage->findField("fun");
+  EXPECT_EQ(Fun->DeclType->Q.M, Mode::Poly);
+  TypeNode *Fdata = Fun->DeclType->Pointee->Params[0];
+  EXPECT_EQ(Fdata->Pointee->Q.M, Mode::Private);
+
+  // thrFunc's d: void dynamic *private.
+  FuncDecl *Thr = R->Prog->findFunc("thrFunc");
+  VarDecl *D = Thr->Params[0];
+  EXPECT_EQ(D->DeclType->Q.M, Mode::Private);
+  EXPECT_EQ(D->DeclType->Pointee->Q.M, Mode::Dynamic);
+
+  // Locals: S and nextS are (stage_t dynamic * private); ldata stays
+  // private.
+  auto *Body = Thr->Body;
+  auto *SDecl = dyn_cast<DeclStmt>(Body->Body[0]);
+  auto *NextSDecl = dyn_cast<DeclStmt>(Body->Body[1]);
+  auto *LdataDecl = dyn_cast<DeclStmt>(Body->Body[2]);
+  ASSERT_NE(SDecl, nullptr);
+  ASSERT_NE(NextSDecl, nullptr);
+  ASSERT_NE(LdataDecl, nullptr);
+  EXPECT_EQ(SDecl->Var->DeclType->Q.M, Mode::Private);
+  EXPECT_EQ(SDecl->Var->DeclType->Pointee->Q.M, Mode::Dynamic);
+  EXPECT_EQ(NextSDecl->Var->DeclType->Pointee->Q.M, Mode::Dynamic);
+  EXPECT_EQ(LdataDecl->Var->DeclType->Pointee->Q.M, Mode::Private);
+
+  // notDone is touched by the thread: dynamic.
+  EXPECT_EQ(R->Prog->findGlobal("notDone")->DeclType->Q.M, Mode::Dynamic);
+}
+
+TEST(PipelineInferenceTest, NoUnspecLeftAfterInference) {
+  auto R = analyze(PipelineSource);
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  unsigned NumUnspec = 0;
+  R->Prog->Context.forEachType([&](TypeNode *T) {
+    if (T->Q.M == Mode::Unspec)
+      ++NumUnspec;
+  });
+  EXPECT_EQ(NumUnspec, 0u);
+}
+
+TEST(InferenceIdempotenceTest, SecondRunChangesNothing) {
+  auto R = analyze(PipelineSource);
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  std::vector<Mode> Before;
+  R->Prog->Context.forEachType(
+      [&](TypeNode *T) { Before.push_back(T->Q.M); });
+  SharingAnalysis Again(*R->Prog, *R->Diags);
+  EXPECT_TRUE(Again.run()) << R->Diags->render();
+  std::vector<Mode> After;
+  R->Prog->Context.forEachType(
+      [&](TypeNode *T) { After.push_back(T->Q.M); });
+  ASSERT_EQ(Before.size(), After.size());
+  for (size_t I = 0; I != Before.size(); ++I)
+    EXPECT_EQ(Before[I], After[I]) << "type " << I;
+}

@@ -1,0 +1,245 @@
+//===-- tests/checker_more_test.cpp - Additional static semantics cases ---===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Second round of static-semantics coverage: qualifier polymorphism
+/// through nested structs, cast suggestions at call/return positions,
+/// racy suppression, readonly sharing, well-formedness corners, and the
+/// dynamic-in refinement interacting with function pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharc;
+using namespace sharc::minic;
+using namespace sharc::checker;
+
+namespace {
+
+struct CheckedProgram {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<Checker> Check;
+  bool Ok = false;
+};
+
+std::unique_ptr<CheckedProgram> checkProgram(const std::string &Source) {
+  auto R = std::make_unique<CheckedProgram>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  analysis::SharingAnalysis SA(*R->Prog, *R->Diags);
+  if (!SA.run())
+    return R;
+  R->Check = std::make_unique<Checker>(*R->Prog, *R->Diags);
+  R->Ok = R->Check->run();
+  return R;
+}
+
+} // namespace
+
+TEST(PolyNestingTest, InnerStructFieldFollowsOuterInstanceMode) {
+  // x.mid.a through a dynamic instance: the Poly chain must resolve to
+  // dynamic and produce a check; through a private instance, none.
+  auto R = checkProgram(
+      "struct inner { int a; };\n"
+      "struct outer { struct inner mid; };\n"
+      "void worker(struct outer dynamic * shared) {\n"
+      "  int v;\n"
+      "  v = shared->mid.a;\n"
+      "}\n"
+      "void local_use(void) {\n"
+      "  struct outer private * mine;\n"
+      "  mine = new struct outer;\n"
+      "  mine->mid.a = 1;\n"
+      "}\n"
+      "void main(void) { spawn worker(null); local_use(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Read), 1u);
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Write), 0u);
+}
+
+TEST(CastSuggestionTest, SuggestedAtArgumentPosition) {
+  auto R = checkProgram(
+      "void consume(int private * p) { }\n"
+      "void worker(int dynamic * d) {\n"
+      "  consume(d);\n" // needs SCAST
+      "}\n"
+      "void main(void) { spawn worker(null); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ"));
+  EXPECT_TRUE(R->Diags->containsMessage("SCAST(int private *, d)"));
+}
+
+TEST(CastSuggestionTest, SuggestedAtReturnPosition) {
+  auto R = checkProgram(
+      "int dynamic * produce(void) {\n"
+      "  int private * mine;\n"
+      "  mine = new int;\n"
+      "  return mine;\n" // needs SCAST
+      "}\n"
+      "void worker(void) { int dynamic * d; d = produce(); int x; x = *d; }\n"
+      "void main(void) { spawn worker(); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ"));
+  EXPECT_TRUE(R->Diags->containsMessage("SCAST(int dynamic *, mine)"));
+}
+
+TEST(RacyModeTest, RacyCellsAreNeverInstrumented) {
+  auto R = checkProgram("int racy flag;\n"
+                        "void worker(void) {\n"
+                        "  while (flag == 0) { }\n"
+                        "  flag = 2;\n"
+                        "}\n"
+                        "void main(void) { spawn worker(); flag = 1; }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_EQ(R->Check->getInstrumentation().getNumChecks(), 0u);
+}
+
+TEST(ReadonlySharingTest, ThreadsMayReadReadonlyGlobalsFreely) {
+  auto R = checkProgram("int readonly limit;\n"
+                        "void worker(void) {\n"
+                        "  int v;\n"
+                        "  v = limit;\n"
+                        "}\n"
+                        "void main(void) { spawn worker(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  // readonly needs no runtime checks.
+  EXPECT_EQ(R->Check->getInstrumentation().getNumChecks(), 0u);
+}
+
+TEST(WellFormedTest, LockedRefToPrivateIsRejected) {
+  auto R = checkProgram("mutex m;\n"
+                        "int private * locked(&m) g;\n"
+                        "void main(void) { }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("non-private reference"));
+}
+
+TEST(WellFormedTest, RacyRefToPrivateIsRejected) {
+  auto R = checkProgram("int private * racy g;\n"
+                        "void main(void) { }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("non-private reference"));
+}
+
+TEST(DynamicInTest, FunctionPointerCalleesAreConservative) {
+  // Indirect calls back-flow conservatively: a private buffer passed
+  // through a function pointer that may also be called with dynamic
+  // actuals becomes dynamic.
+  auto R = checkProgram(
+      "struct box { void (*fn)(int * p); };\n"
+      "void handler(int * p) { *p = 1; }\n"
+      "void worker(struct box dynamic * b, int * shared_buf) {\n"
+      "  b->fn(shared_buf);\n"
+      "}\n"
+      "void main(void) {\n"
+      "  int * mine;\n"
+      "  struct box private * init;\n"
+      "  struct box dynamic * b;\n"
+      "  mine = new int;\n"
+      "  init = new struct box;\n"
+      "  init->fn = handler;\n"
+      "  b = SCAST(struct box dynamic *, init);\n"
+      "  b->fn(mine);\n"
+      "  spawn worker(null);\n"
+      "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  // mine flows into the same formal as the thread's shared buffer: it
+  // must have been inferred dynamic (conservative back-flow).
+  FuncDecl *Main = R->Prog->findFunc("main");
+  auto *MineDecl = dyn_cast<DeclStmt>(Main->Body->Body[0]);
+  ASSERT_NE(MineDecl, nullptr);
+  EXPECT_EQ(MineDecl->Var->DeclType->Pointee->Q.M, Mode::Dynamic);
+}
+
+TEST(SpawnCompatTest, PrivatePointeeArgumentToSpawnIsRejected) {
+  auto R = checkProgram("void worker(int * p) { *p = 1; }\n"
+                        "void main(void) {\n"
+                        "  int private * mine;\n"
+                        "  mine = new int;\n"
+                        "  spawn worker(mine);\n"
+                        "}\n");
+  EXPECT_FALSE(R->Ok);
+  // Either the seed (inherently shared but private) or the binding
+  // mismatch must fire.
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ") ||
+              R->Diags->containsMessage("inherently shared"));
+}
+
+TEST(ScastWriteCheckTest, CastOfLockedSourceRequiresLock) {
+  auto R = checkProgram(
+      "struct q {\n"
+      "  mutex * mut;\n"
+      "  char locked(mut) * locked(mut) slot;\n"
+      "};\n"
+      "void worker(struct q dynamic * s) {\n"
+      "  char private * mine;\n"
+      "  mine = SCAST(char private *, s->slot);\n" // no lock held: checked
+      "  free(mine);\n"
+      "}\n"
+      "void main(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  // The cast's source access carries a lock check the interpreter will
+  // enforce.
+  EXPECT_GE(R->Check->getInstrumentation().countKind(AccessCheck::Kind::Lock),
+            1u);
+}
+
+TEST(AddressOfTest, TakingAddressDoesNotCheckTheCell) {
+  auto R = checkProgram("int counter;\n"
+                        "void worker(void) { counter = 1; }\n"
+                        "void main(void) {\n"
+                        "  int dynamic * private p;\n"
+                        "  spawn worker();\n"
+                        "  p = &counter;\n" // address-of: no read of counter
+                        "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  // Only worker's write is instrumented; &counter adds nothing.
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Read), 0u);
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Write), 1u);
+}
+
+TEST(ArraySingleObjectTest, ElementModeFollowsArrayCell) {
+  // "An array is treated like a single object of the array's base type":
+  // a dynamic global array has dynamic elements.
+  auto R = checkProgram("int table[16];\n"
+                        "void worker(void) { table[3] = 1; }\n"
+                        "void main(void) { spawn worker(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  VarDecl *Table = R->Prog->findGlobal("table");
+  EXPECT_EQ(Table->DeclType->Q.M, Mode::Dynamic);
+  EXPECT_EQ(Table->DeclType->Pointee->Q.M, Mode::Dynamic);
+  EXPECT_GE(R->Check->getInstrumentation().countKind(AccessCheck::Kind::Write),
+            1u);
+}
+
+TEST(VoidStarTest, QualifierPreservedThroughVoidHandoff) {
+  // dynamic data through a void* keeps its referent mode; recovering it
+  // as private without a cast is rejected.
+  auto R = checkProgram("void worker(void * d) {\n"
+                        "  int private * p;\n"
+                        "  p = d;\n" // void dynamic * -> int private *: no
+                        "}\n"
+                        "void main(void) { spawn worker(null); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ"));
+}

@@ -1,0 +1,362 @@
+//===-- tests/checker_test.cpp - Static checker tests ---------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Figure 4 static semantics: well-formedness, assignment
+/// invariance with SCAST suggestions, readonly write rules, sharing cast
+/// restrictions, locked-mode instrumentation, and live-after-cast
+/// warnings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharc;
+using namespace sharc::minic;
+using namespace sharc::checker;
+
+namespace {
+
+struct CheckedProgram {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<Checker> Check;
+  bool Ok = false;
+};
+
+std::unique_ptr<CheckedProgram> checkProgram(const std::string &Source) {
+  auto R = std::make_unique<CheckedProgram>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  analysis::SharingAnalysis SA(*R->Prog, *R->Diags);
+  if (!SA.run())
+    return R;
+  R->Check = std::make_unique<Checker>(*R->Prog, *R->Diags);
+  R->Ok = R->Check->run();
+  return R;
+}
+
+} // namespace
+
+TEST(WellFormedTest, DynamicRefToPrivateIsError) {
+  auto R = checkProgram("int private * dynamic g;\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("non-private reference"));
+}
+
+TEST(WellFormedTest, PrivateRefToDynamicIsFine) {
+  auto R = checkProgram("void f(void) { int dynamic * private p; }\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(AssignCompatTest, MatchingModesPass) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int private * a;\n"
+                        "  int private * b;\n"
+                        "  a = b;\n"
+                        "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(AssignCompatTest, ModeMismatchSuggestsScast) {
+  auto R = checkProgram("void f(int dynamic * d) {\n"
+                        "  int private * p;\n"
+                        "  p = d;\n"
+                        "}\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ"));
+  EXPECT_TRUE(R->Diags->containsMessage("SCAST("));
+}
+
+TEST(AssignCompatTest, ScastFixesModeMismatch) {
+  auto R = checkProgram("void f(int dynamic * d) {\n"
+                        "  int private * p;\n"
+                        "  p = SCAST(int private *, d);\n"
+                        "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(AssignCompatTest, IntToPointerIsError) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int private * p;\n"
+                        "  int x;\n"
+                        "  p = x;\n"
+                        "}\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("incompatible types"));
+}
+
+TEST(ReadonlyTest, WriteToReadonlyGlobalIsError) {
+  auto R = checkProgram("int readonly cfg;\n"
+                        "void f(void) { cfg = 1; }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("readonly"));
+}
+
+TEST(ReadonlyTest, ReadonlyFieldOfPrivateStructIsWritable) {
+  // "a readonly field in a private structure is writeable" -- the
+  // initialization exception.
+  auto R = checkProgram("struct cfg { int readonly limit; };\n"
+                        "void f(void) {\n"
+                        "  struct cfg private * c;\n"
+                        "  c = new struct cfg;\n"
+                        "  c->limit = 10;\n"
+                        "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(ReadonlyTest, ReadonlyFieldOfSharedStructIsNotWritable) {
+  auto R = checkProgram(
+      "struct cfg { int readonly limit; };\n"
+      "struct cfg dynamic * dynamic shared_cfg;\n"
+      "void worker(void) { shared_cfg->limit = 5; }\n"
+      "void main_fn(void) { spawn worker(); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("readonly"));
+}
+
+TEST(ScastTest, CannotChangeDeepQualifiers) {
+  auto R = checkProgram(
+      "void f(void) {\n"
+      "  int dynamic * dynamic * private pp;\n"
+      "  int private * private * private qq;\n"
+      "  qq = SCAST(int private * private * private, pp);\n"
+      "}\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("outermost referent"));
+}
+
+TEST(ScastTest, OutermostQualifierChangeIsAllowed) {
+  auto R = checkProgram(
+      "void f(void) {\n"
+      "  int dynamic * private * private pp;\n"
+      "  int dynamic * dynamic * private qq;\n"
+      "  qq = SCAST(int dynamic * dynamic * private, pp);\n"
+      "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(ScastTest, VoidPointerQualifierChangeIsError) {
+  auto R = checkProgram("void f(void dynamic * d) {\n"
+                        "  void private * p;\n"
+                        "  p = SCAST(void private *, d);\n"
+                        "}\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("void*"));
+}
+
+TEST(ScastTest, VoidConcretizationKeepingQualifierIsAllowed) {
+  auto R = checkProgram("void f(void dynamic * d) {\n"
+                        "  int dynamic * p;\n"
+                        "  p = SCAST(int dynamic *, d);\n"
+                        "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+}
+
+TEST(ScastTest, NonLValueSourceIsError) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int private * p;\n"
+                        "  p = SCAST(int private *, new int);\n"
+                        "}\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("l-value"));
+}
+
+TEST(LiveAfterCastTest, UseAfterNulledSourceWarns) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int private * p;\n"
+                        "  int dynamic * q;\n"
+                        "  int x;\n"
+                        "  p = new int;\n"
+                        "  q = SCAST(int dynamic *, p);\n"
+                        "  x = *p;\n"
+                        "}\n");
+  EXPECT_TRUE(R->Diags->getNumWarnings() >= 1) << R->Diags->render();
+  EXPECT_TRUE(R->Diags->containsMessage("used after being nulled"));
+}
+
+TEST(LiveAfterCastTest, ReassignedSourceDoesNotWarn) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int private * p;\n"
+                        "  int dynamic * q;\n"
+                        "  int x;\n"
+                        "  p = new int;\n"
+                        "  q = SCAST(int dynamic *, p);\n"
+                        "  p = new int;\n"
+                        "  x = *p;\n"
+                        "}\n");
+  EXPECT_EQ(R->Diags->getNumWarnings(), 0u) << R->Diags->render();
+}
+
+TEST(InstrumentationTest, DynamicAccessesGetChecks) {
+  auto R = checkProgram("int counter;\n"
+                        "void worker(void) { counter = counter + 1; }\n"
+                        "void main_fn(void) { spawn worker(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  // counter is dynamic: one read check and one write check in worker.
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::Read), 1u);
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::Write), 1u);
+}
+
+TEST(InstrumentationTest, PrivateAccessesGetNoChecks) {
+  auto R = checkProgram("void f(void) {\n"
+                        "  int x;\n"
+                        "  x = x + 1;\n"
+                        "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_EQ(R->Check->getInstrumentation().getNumChecks(), 0u);
+}
+
+TEST(InstrumentationTest, LockedFieldAccessGetsLockCheck) {
+  auto R = checkProgram(
+      "struct q {\n"
+      "  mutex racy * readonly mut;\n"
+      "  int locked(mut) count;\n"
+      "};\n"
+      "void worker(struct q dynamic * s) {\n"
+      "  mutex_lock(s->mut);\n"
+      "  s->count = s->count + 1;\n"
+      "  mutex_unlock(s->mut);\n"
+      "}\n"
+      "void main_fn(void) { spawn worker(null); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::Lock), 2u);
+}
+
+TEST(InstrumentationTest, PolymorphicFieldTakesInstanceMode) {
+  auto R = checkProgram(
+      "struct pair { int x; int y; };\n"
+      "void worker(struct pair dynamic * shared) {\n"
+      "  int v;\n"
+      "  v = shared->x;\n"
+      "}\n"
+      "void priv(void) {\n"
+      "  struct pair private * mine;\n"
+      "  mine = new struct pair;\n"
+      "  mine->x = 1;\n"
+      "}\n"
+      "void main_fn(void) { spawn worker(null); priv(); }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  // Only the dynamic-instance access is checked: one read for shared->x
+  // (plus none for mine->x).
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Read), 1u);
+  EXPECT_EQ(Instr.countKind(AccessCheck::Kind::Write), 0u);
+}
+
+TEST(LockConstancyTest, ModifiedLocalLockIsError) {
+  auto R = checkProgram(
+      "struct q {\n"
+      "  mutex racy * readonly mut;\n"
+      "  int locked(mut) count;\n"
+      "};\n"
+      "void worker(struct q dynamic * s) {\n"
+      "  int v;\n"
+      "  s = s;\n" // s is modified: lock expressions using it are suspect
+      "  mutex_lock(s->mut);\n"
+      "  v = s->count;\n"
+      "  mutex_unlock(s->mut);\n"
+      "}\n"
+      "void main_fn(void) { spawn worker(null); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("verifiably constant"));
+}
+
+TEST(BuiltinSummaryTest, LockedActualToLibraryIsError) {
+  auto R = checkProgram(
+      "struct q {\n"
+      "  mutex racy * readonly mut;\n"
+      "  char locked(mut) * locked(mut) name;\n"
+      "};\n"
+      "void worker(struct q dynamic * s) {\n"
+      "  mutex_lock(s->mut);\n"
+      "  print_str(s->name);\n"
+      "  mutex_unlock(s->mut);\n"
+      "}\n"
+      "void main_fn(void) { spawn worker(null); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("locked values may not be passed"));
+}
+
+TEST(PipelineCheckTest, AnnotatedPipelineChecksClean) {
+  auto R = checkProgram(
+      "typedef struct stage {\n"
+      "  struct stage * next;\n"
+      "  cond * cv;\n"
+      "  mutex * mut;\n"
+      "  char locked(mut) * locked(mut) sdata;\n"
+      "  void (*fun)(char private * fdata);\n"
+      "} stage_t;\n"
+      "int notDone;\n"
+      "void thrFunc(void * d) {\n"
+      "  stage_t * S;\n"
+      "  stage_t * nextS;\n"
+      "  char private * ldata;\n"
+      "  S = SCAST(stage_t dynamic *, d);\n"
+      "  nextS = S->next;\n"
+      "  while (notDone) {\n"
+      "    mutex_lock(S->mut);\n"
+      "    while (S->sdata == null)\n"
+      "      cond_wait(S->cv, S->mut);\n"
+      "    ldata = SCAST(char private *, S->sdata);\n"
+      "    cond_signal(S->cv);\n"
+      "    mutex_unlock(S->mut);\n"
+      "    S->fun(ldata);\n"
+      "    if (nextS != null) {\n"
+      "      mutex_lock(nextS->mut);\n"
+      "      while (nextS->sdata != null)\n"
+      "        cond_wait(nextS->cv, nextS->mut);\n"
+      "      nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);\n"
+      "      cond_signal(nextS->cv);\n"
+      "      mutex_unlock(nextS->mut);\n"
+      "    }\n"
+      "  }\n"
+      "}\n"
+      "void main_fn(void) {\n"
+      "  stage_t * S;\n"
+      "  S = new stage_t;\n"
+      "  spawn thrFunc(S);\n"
+      "}\n");
+  EXPECT_TRUE(R->Ok) << R->Diags->render();
+  // sdata accesses are lock-checked; the casts added the needed guards.
+  const Instrumentation &Instr = R->Check->getInstrumentation();
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::Lock), 2u);
+}
+
+TEST(PipelineCheckTest, MissingCastIsRejectedWithSuggestion) {
+  auto R = checkProgram(
+      "typedef struct stage {\n"
+      "  mutex * mut;\n"
+      "  char locked(mut) * locked(mut) sdata;\n"
+      "} stage_t;\n"
+      "void thrFunc(void * d) {\n"
+      "  stage_t * S;\n"
+      "  char private * ldata;\n"
+      "  S = SCAST(stage_t dynamic *, d);\n"
+      "  mutex_lock(S->mut);\n"
+      "  ldata = S->sdata;\n" // missing SCAST
+      "  mutex_unlock(S->mut);\n"
+      "}\n"
+      "void main_fn(void) { spawn thrFunc(null); }\n");
+  EXPECT_FALSE(R->Ok);
+  EXPECT_TRUE(R->Diags->containsMessage("sharing modes differ"));
+  EXPECT_TRUE(R->Diags->containsMessage("SCAST(char private *, S->sdata)"));
+}

@@ -1,0 +1,225 @@
+//===-- tests/minic_rwlock_test.cpp - rwlocked mode in MiniC --------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the rwlocked sharing mode in the MiniC pipeline
+/// (the Section 7 "more support for locks" extension): parsing, lock-var
+/// readonly enforcement, instrumentation kinds, and runtime semantics
+/// (shared holds license reads, only exclusive holds license writes,
+/// readers run concurrently, writers exclude).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "interp/Interp.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharc;
+using namespace sharc::minic;
+using namespace sharc::interp;
+using sharc::checker::AccessCheck;
+
+namespace {
+
+struct Compiled {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<checker::Checker> Check;
+  std::unique_ptr<Interp> Interpreter;
+  bool Ok = false;
+};
+
+std::unique_ptr<Compiled> compile(const std::string &Source) {
+  auto R = std::make_unique<Compiled>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  analysis::SharingAnalysis SA(*R->Prog, *R->Diags);
+  if (!SA.run())
+    return R;
+  R->Check = std::make_unique<checker::Checker>(*R->Prog, *R->Diags);
+  if (!R->Check->run())
+    return R;
+  R->Interpreter =
+      std::make_unique<Interp>(*R->Prog, R->Check->getInstrumentation());
+  R->Ok = true;
+  return R;
+}
+
+} // namespace
+
+TEST(RwLockParseTest, QualifierParsesWithLockExpr) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "void main(void) { }\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  VarDecl *Table = C->Prog->findGlobal("table");
+  ASSERT_NE(Table, nullptr);
+  EXPECT_EQ(Table->DeclType->Q.M, Mode::RwLocked);
+  EXPECT_EQ(typeToString(Table->DeclType), "int rwlocked(&m)");
+}
+
+TEST(RwLockParseTest, FieldLockMustBeReadonly) {
+  auto C = compile("struct t {\n"
+                   "  mutex racy * racy mut;\n"
+                   "  int rwlocked(mut) data;\n"
+                   "};\n"
+                   "void main(void) { }\n");
+  EXPECT_FALSE(C->Ok);
+  EXPECT_TRUE(C->Diags->containsMessage("must be readonly"));
+}
+
+TEST(RwLockCheckTest, ReadsGetSharedChecksWritesGetExclusive) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "void worker(void) {\n"
+                   "  int v;\n"
+                   "  rwlock_rdlock(&m);\n"
+                   "  v = table;\n"
+                   "  rwlock_rdunlock(&m);\n"
+                   "  rwlock_wrlock(&m);\n"
+                   "  table = v + 1;\n"
+                   "  rwlock_wrunlock(&m);\n"
+                   "}\n"
+                   "void main(void) { spawn worker(); }\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  const auto &Instr = C->Check->getInstrumentation();
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::LockShared), 1u);
+  EXPECT_GE(Instr.countKind(AccessCheck::Kind::Lock), 1u);
+}
+
+TEST(RwLockRunTest, DisciplinedReadersAndWriterRunClean) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "int racy done;\n"
+                   "void reader(void) {\n"
+                   "  int v;\n"
+                   "  int i;\n"
+                   "  i = 0;\n"
+                   "  while (i < 20) {\n"
+                   "    rwlock_rdlock(&m);\n"
+                   "    v = table;\n"
+                   "    rwlock_rdunlock(&m);\n"
+                   "    i = i + 1;\n"
+                   "  }\n"
+                   "  done = done + 1;\n"
+                   "}\n"
+                   "void main(void) {\n"
+                   "  spawn reader();\n"
+                   "  spawn reader();\n"
+                   "  rwlock_wrlock(&m);\n"
+                   "  table = 42;\n"
+                   "  rwlock_wrunlock(&m);\n"
+                   "  while (done < 2) { }\n"
+                   "}\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult R = C->Interpreter->run(Options);
+    EXPECT_TRUE(R.Completed) << "seed " << Seed;
+    EXPECT_TRUE(R.Violations.empty())
+        << "seed " << Seed << ": " << R.Violations[0].format("test.mc");
+  }
+}
+
+TEST(RwLockRunTest, WriteUnderSharedHoldIsViolation) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "void main(void) {\n"
+                   "  rwlock_rdlock(&m);\n"
+                   "  table = 1;\n" // shared hold does not license writes
+                   "  rwlock_rdunlock(&m);\n"
+                   "}\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  InterpResult R = C->Interpreter->run(InterpOptions());
+  EXPECT_GE(R.count(Violation::Kind::LockViolation), 1u);
+}
+
+TEST(RwLockRunTest, ReadUnderExclusiveHoldIsAllowed) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "void main(void) {\n"
+                   "  int v;\n"
+                   "  rwlock_wrlock(&m);\n"
+                   "  table = 3;\n"
+                   "  v = table;\n"
+                   "  rwlock_wrunlock(&m);\n"
+                   "  print_int(v);\n"
+                   "}\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  InterpResult R = C->Interpreter->run(InterpOptions());
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.Output, "3\n");
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(RwLockRunTest, UnlockedReadIsViolation) {
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) table;\n"
+                   "void main(void) {\n"
+                   "  int v;\n"
+                   "  v = table;\n"
+                   "}\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  InterpResult R = C->Interpreter->run(InterpOptions());
+  EXPECT_GE(R.count(Violation::Kind::LockViolation), 1u);
+}
+
+TEST(RwLockRunTest, WritersExcludeEachOther) {
+  // Two writer threads incrementing under the exclusive hold: the final
+  // value proves mutual exclusion (no lost updates under any schedule).
+  auto C = compile("mutex m;\n"
+                   "int rwlocked(&m) counter;\n"
+                   "int racy done;\n"
+                   "void writer(void) {\n"
+                   "  int i;\n"
+                   "  i = 0;\n"
+                   "  while (i < 25) {\n"
+                   "    rwlock_wrlock(&m);\n"
+                   "    counter = counter + 1;\n"
+                   "    rwlock_wrunlock(&m);\n"
+                   "    i = i + 1;\n"
+                   "  }\n"
+                   "  done = done + 1;\n"
+                   "}\n"
+                   "void main(void) {\n"
+                   "  spawn writer();\n"
+                   "  spawn writer();\n"
+                   "  while (done < 2) { }\n"
+                   "  rwlock_rdlock(&m);\n"
+                   "  print_int(counter);\n"
+                   "  rwlock_rdunlock(&m);\n"
+                   "}\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    InterpOptions Options;
+    Options.Seed = Seed;
+    InterpResult R = C->Interpreter->run(Options);
+    EXPECT_TRUE(R.Completed) << "seed " << Seed;
+    EXPECT_EQ(R.Output, "50\n") << "seed " << Seed;
+    EXPECT_TRUE(R.Violations.empty()) << "seed " << Seed;
+  }
+}
+
+TEST(RwLockRunTest, RdUnlockWithoutHoldIsRuntimeError) {
+  auto C = compile("mutex m;\n"
+                   "void main(void) { rwlock_rdunlock(&m); }\n");
+  ASSERT_TRUE(C->Ok) << C->Diags->render();
+  InterpResult R = C->Interpreter->run(InterpOptions());
+  EXPECT_GE(R.count(Violation::Kind::RuntimeError), 1u);
+}

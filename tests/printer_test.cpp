@@ -1,0 +1,197 @@
+//===-- tests/printer_test.cpp - Annotated-program printer tests ----------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden tests for the program printer the driver's --infer mode uses:
+/// statements, declarators, qualifier rendering, and the print->reparse->
+/// reprint fixpoint property over assorted programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sharc;
+using namespace sharc::minic;
+
+namespace {
+
+struct Printed {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::string Text;
+  bool Ok = false;
+};
+
+std::unique_ptr<Printed> printAfterInference(const std::string &Source) {
+  auto R = std::make_unique<Printed>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  analysis::SharingAnalysis SA(*R->Prog, *R->Diags);
+  if (!SA.run())
+    return R;
+  R->Text = printProgram(*R->Prog);
+  R->Ok = true;
+  return R;
+}
+
+} // namespace
+
+TEST(PrinterTest, StatementsRenderRecognizably) {
+  auto R = printAfterInference(
+      "int racy flag;\n"
+      "void main(void) {\n"
+      "  int x;\n"
+      "  x = 0;\n"
+      "  for (int i = 0; i < 3; i = i + 1)\n"
+      "    x = x + i;\n"
+      "  while (x > 0)\n"
+      "    x = x - 1;\n"
+      "  if (x == 0)\n"
+      "    flag = 1;\n"
+      "  else\n"
+      "    flag = 2;\n"
+      "  print_int(x);\n"
+      "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_NE(R->Text.find("for (int private i = 0; i < 3; i = i + 1)"),
+            std::string::npos)
+      << R->Text;
+  EXPECT_NE(R->Text.find("while (x > 0)"), std::string::npos);
+  EXPECT_NE(R->Text.find("if (x == 0)"), std::string::npos);
+  EXPECT_NE(R->Text.find("else"), std::string::npos);
+  EXPECT_NE(R->Text.find("int racy flag;"), std::string::npos);
+}
+
+TEST(PrinterTest, SpawnFreeBreakContinueRender) {
+  auto R = printAfterInference("void worker(int * p) { free(p); }\n"
+                               "void main(void) {\n"
+                               "  while (1) {\n"
+                               "    break;\n"
+                               "  }\n"
+                               "  while (0) {\n"
+                               "    continue;\n"
+                               "  }\n"
+                               "  spawn worker(null);\n"
+                               "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_NE(R->Text.find("spawn worker(null);"), std::string::npos);
+  EXPECT_NE(R->Text.find("free(p);"), std::string::npos);
+  EXPECT_NE(R->Text.find("break;"), std::string::npos);
+  EXPECT_NE(R->Text.find("continue;"), std::string::npos);
+}
+
+TEST(PrinterTest, RwLockedQualifierRenders) {
+  auto R = printAfterInference("mutex m;\n"
+                               "int rwlocked(&m) table;\n"
+                               "void main(void) { }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_NE(R->Text.find("int rwlocked(&m) table;"), std::string::npos)
+      << R->Text;
+}
+
+TEST(PrinterTest, ArrayAndFunctionPointerDeclarators) {
+  auto R = printAfterInference(
+      "struct cbs { void (*fn)(int x); };\n"
+      "int table[8];\n"
+      "void main(void) { }\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_NE(R->Text.find("int private table[8];"), std::string::npos)
+      << R->Text;
+  EXPECT_NE(R->Text.find("(*q fn)(int private)"), std::string::npos)
+      << R->Text;
+}
+
+TEST(PrinterTest, ScastRendersWithTargetType) {
+  auto R = printAfterInference(
+      "void main(void) {\n"
+      "  int dynamic * d;\n"
+      "  int private * p;\n"
+      "  d = new int;\n"
+      "  p = SCAST(int private *, d);\n"
+      "  free(p);\n"
+      "}\n");
+  ASSERT_TRUE(R->Ok) << R->Diags->render();
+  EXPECT_NE(R->Text.find("p = SCAST(int private *private, d);"),
+            std::string::npos)
+      << R->Text;
+}
+
+namespace {
+
+/// Strips the display-only struct qualifier variables so printed output
+/// reparses (same transformation integration_test uses).
+std::string stripPolyMarkers(const std::string &Printed) {
+  std::string Source;
+  for (size_t I = 0; I < Printed.size(); ++I) {
+    if (Printed.compare(I, 3, "(q)") == 0) {
+      I += 2;
+      continue;
+    }
+    if (Printed.compare(I, 2, "*q") == 0) {
+      Source += '*';
+      ++I;
+      continue;
+    }
+    Source += Printed[I];
+  }
+  return Source;
+}
+
+} // namespace
+
+class PrintFixpointTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(PrintFixpointTest, PrintReparseReprintIsStable) {
+  auto First = printAfterInference(GetParam());
+  ASSERT_TRUE(First->Ok) << First->Diags->render();
+  auto Second = printAfterInference(stripPolyMarkers(First->Text));
+  ASSERT_TRUE(Second->Ok) << Second->Diags->render() << "\n"
+                          << stripPolyMarkers(First->Text);
+  EXPECT_EQ(First->Text, Second->Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, PrintFixpointTest,
+    ::testing::Values(
+        // Locks and rwlocks by address.
+        "mutex m;\n"
+        "int locked(&m) a;\n"
+        "int rwlocked(&m) b;\n"
+        "void main(void) { }\n",
+        // Threaded counter with inference.
+        "int counter;\n"
+        "void worker(void) { counter = counter + 1; }\n"
+        "void main(void) { spawn worker(); }\n",
+        // Structs, arrays, for loops.
+        "struct rec { int vals[4]; struct rec * next; };\n"
+        "void main(void) {\n"
+        "  struct rec private * r;\n"
+        "  r = new struct rec;\n"
+        "  for (int i = 0; i < 4; i = i + 1)\n"
+        "    r->vals[i] = i;\n"
+        "  free(r);\n"
+        "}\n",
+        // Ownership transfer.
+        "void main(void) {\n"
+        "  int dynamic * d;\n"
+        "  int private * p;\n"
+        "  d = new int;\n"
+        "  p = SCAST(int private *, d);\n"
+        "  free(p);\n"
+        "}\n"));

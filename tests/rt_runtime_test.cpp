@@ -1,0 +1,337 @@
+//===-- tests/rt_runtime_test.cpp - Runtime facade and annotations --------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the lock log (Section 4.2.2), the locked sharing mode, the
+/// C++ annotation wrappers, and the pipeline ownership-transfer pattern of
+/// the paper's Section 2.1 expressed in the native API.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rt/Sharc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sharc;
+using namespace sharc::rt;
+
+namespace {
+
+class RuntimeGuard {
+public:
+  explicit RuntimeGuard(RuntimeConfig Config = RuntimeConfig()) {
+    Runtime::init(Config);
+  }
+  ~RuntimeGuard() { Runtime::shutdown(); }
+};
+
+} // namespace
+
+TEST(LockLogTest, AcquireReleaseMaintainsLog) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  EXPECT_FALSE(RT.holdsLock(&M));
+  M.lock();
+  EXPECT_TRUE(RT.holdsLock(&M));
+  M.unlock();
+  EXPECT_FALSE(RT.holdsLock(&M));
+}
+
+TEST(LockLogTest, NestedLocksTrackedIndependently) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M1, M2;
+  M1.lock();
+  M2.lock();
+  EXPECT_TRUE(RT.holdsLock(&M1));
+  EXPECT_TRUE(RT.holdsLock(&M2));
+  M1.unlock();
+  EXPECT_FALSE(RT.holdsLock(&M1));
+  EXPECT_TRUE(RT.holdsLock(&M2));
+  M2.unlock();
+}
+
+TEST(LockLogTest, CheckLockHeldPassesUnderLock) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  int Data = 0;
+  M.lock();
+  EXPECT_TRUE(RT.checkLockHeld(&M, &Data, nullptr));
+  M.unlock();
+  EXPECT_EQ(RT.getStats().LockViolations, 0u);
+}
+
+TEST(LockLogTest, CheckLockHeldFailsWithoutLock) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  int Data = 0;
+  static const AccessSite Site{"S->sdata", "pipeline_test.c", 15};
+  EXPECT_FALSE(RT.checkLockHeld(&M, &Data, &Site));
+  EXPECT_EQ(RT.getStats().LockViolations, 1u);
+  auto Reports = RT.getReports().getReports();
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].Kind, ReportKind::LockViolation);
+  EXPECT_EQ(Reports[0].WhoSite, &Site);
+}
+
+TEST(LockLogTest, HoldingWrongLockFails) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex Right, Wrong;
+  int Data = 0;
+  Wrong.lock();
+  EXPECT_FALSE(RT.checkLockHeld(&Right, &Data, nullptr));
+  Wrong.unlock();
+}
+
+TEST(LockLogTest, LockLogIsPerThread) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  M.lock();
+  bool OtherHolds = true;
+  Thread T([&] { OtherHolds = RT.holdsLock(&M); });
+  T.join();
+  EXPECT_FALSE(OtherHolds);
+  M.unlock();
+}
+
+TEST(LockedWrapperTest, AccessUnderLockIsClean) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  Locked<int> Value(M, 0);
+  {
+    LockGuard Lock(M);
+    Value.write(42);
+    EXPECT_EQ(Value.read(), 42);
+  }
+  EXPECT_EQ(RT.getStats().LockViolations, 0u);
+}
+
+TEST(LockedWrapperTest, UnlockedAccessIsReported) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  Locked<int> Value(M, 0);
+  Value.write(7); // No lock held.
+  EXPECT_EQ(RT.getStats().LockViolations, 1u);
+}
+
+TEST(CondVarTest, WaitReacquiresInstrumentedLock) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  CondVar CV;
+  bool Ready = false;
+  Thread Producer([&] {
+    UniqueLock Lock(M);
+    Ready = true;
+    CV.notifyOne();
+  });
+  {
+    UniqueLock Lock(M);
+    CV.wait(Lock, [&] { return Ready; });
+    // After wait returns we must hold the lock again per the lock log.
+    EXPECT_TRUE(RT.holdsLock(&M));
+  }
+  Producer.join();
+}
+
+TEST(DynamicWrapperTest, SingleThreadUseIsClean) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Dynamic<int> Value(5);
+  EXPECT_EQ(Value.read(), 5);
+  Value.write(6);
+  EXPECT_EQ(Value.read(), 6);
+  EXPECT_EQ(RT.getReports().getNumReports(), 0u);
+}
+
+TEST(DynamicWrapperTest, CrossThreadWriteIsReported) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  auto *Value = sharc::alloc<Dynamic<int>>(0);
+  Value->write(1);
+  Thread T([&] { Value->write(2); });
+  T.join();
+  EXPECT_EQ(RT.getStats().WriteConflicts, 1u);
+  sharc::dealloc(Value);
+}
+
+TEST(PrivateWrapperTest, OwnerAccessSucceeds) {
+  RuntimeGuard Guard;
+  Private<std::string> Name(std::string("stage"));
+  Name.set("stage2");
+  EXPECT_EQ(Name.get(), "stage2");
+}
+
+TEST(PrivateWrapperTest, AdoptTransfersOwnership) {
+  RuntimeGuard Guard;
+  auto *Value = sharc::alloc<Private<int>>(1);
+  Value->set(2);
+  Thread T([&] {
+    Value->adopt();
+    Value->set(3);
+    EXPECT_EQ(Value->get(), 3);
+  });
+  T.join();
+  sharc::dealloc(Value);
+}
+
+TEST(ReadOnlyWrapperTest, InitThenRead) {
+  RuntimeGuard Guard;
+  ReadOnly<int> Config;
+  Config.init(99);
+  EXPECT_EQ(Config.get(), 99);
+  Thread T([&] { EXPECT_EQ(Config.get(), 99); });
+  T.join();
+}
+
+TEST(RacyWrapperTest, ConcurrentAccessIsToleratedAndUnchecked) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Racy<bool> Done(false);
+  Thread T([&] { Done.write(true); });
+  while (!Done.read())
+    ;
+  T.join();
+  // Racy accesses never touch the dynamic checker.
+  EXPECT_EQ(RT.getStats().dynamicAccesses(), 0u);
+  EXPECT_EQ(RT.getReports().getNumReports(), 0u);
+}
+
+TEST(CheckedPrimitivesTest, ReadWriteRoundTrip) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  int *Buf = static_cast<int *>(RT.allocate(4 * sizeof(int)));
+  for (int I = 0; I != 4; ++I)
+    sharc::write(&Buf[I], I * I, SHARC_SITE("buf[i]"));
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(sharc::read(&Buf[I], SHARC_SITE("buf[i]")), I * I);
+  EXPECT_EQ(RT.getReports().getNumReports(), 0u);
+  RT.deallocate(Buf);
+}
+
+namespace {
+
+/// The paper's Section 2.1 pipeline expressed in the native API: stages
+/// pass a buffer along, transferring ownership with sharing casts.
+struct Stage {
+  Stage *Next = nullptr;
+  Mutex Lock;
+  CondVar Ready;
+  Counted<char> Sdata; // char locked(mut) * sdata
+  bool Done = false;
+};
+
+void stageBody(Stage *S, int Rounds, std::vector<std::string> *Outputs) {
+  for (int Round = 0; Round != Rounds; ++Round) {
+    char *Ldata = nullptr;
+    {
+      UniqueLock Lock(S->Lock);
+      S->Ready.wait(Lock, [&] { return S->Sdata.load() != nullptr; });
+      // ldata = SCAST(char private *, S->sdata);
+      Ldata = scastOut(S->Sdata, SHARC_SITE("S->sdata"));
+      S->Ready.notifyAll();
+    }
+    // Process privately: every byte is ours now.
+    size_t Len = std::strlen(Ldata);
+    for (size_t I = 0; I != Len; ++I)
+      Ldata[I] = static_cast<char>(Ldata[I] + 1);
+    if (Outputs)
+      Outputs->push_back(std::string(Ldata));
+    if (S->Next) {
+      UniqueLock Lock(S->Next->Lock);
+      S->Next->Ready.wait(Lock,
+                          [&] { return S->Next->Sdata.load() == nullptr; });
+      // nextS->sdata = SCAST(char locked(next->mut) *, ldata);
+      char *Transfer = scastIn(Ldata, SHARC_SITE("ldata"));
+      S->Next->Sdata.store(Transfer);
+      S->Next->Ready.notifyAll();
+    } else {
+      sharc::freeBytes(Ldata);
+    }
+  }
+}
+
+} // namespace
+
+TEST(PipelineIntegrationTest, OwnershipTransferRunsClean) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  constexpr int Rounds = 8;
+
+  auto *S2 = sharc::alloc<Stage>();
+  auto *S1 = sharc::alloc<Stage>();
+  S1->Next = S2;
+
+  std::vector<std::string> Outputs;
+  Thread T1([&] { stageBody(S1, Rounds, nullptr); });
+  Thread T2([&] { stageBody(S2, Rounds, &Outputs); });
+
+  // Producer: hand buffers to stage 1.
+  for (int Round = 0; Round != Rounds; ++Round) {
+    char *Buf = static_cast<char *>(sharc::allocBytes(16));
+    std::snprintf(Buf, 16, "msg%02d", Round);
+    UniqueLock Lock(S1->Lock);
+    S1->Ready.wait(Lock, [&] { return S1->Sdata.load() == nullptr; });
+    char *Transfer = scastIn(Buf, SHARC_SITE("buf"));
+    S1->Sdata.store(Transfer);
+    S1->Ready.notifyAll();
+  }
+  T1.join();
+  T2.join();
+
+  ASSERT_EQ(Outputs.size(), static_cast<size_t>(Rounds));
+  // Two stages each advanced every character by one.
+  EXPECT_EQ(Outputs[0], "oui22");
+  EXPECT_EQ(RT.getStats().CastErrors, 0u);
+  EXPECT_EQ(RT.getStats().LockViolations, 0u);
+  EXPECT_EQ(RT.getReports().getNumReports(), 0u);
+
+  sharc::dealloc(S1);
+  sharc::dealloc(S2);
+}
+
+TEST(PipelineIntegrationTest, DoubleStoreTriggersCastError) {
+  // If a producer keeps a stored reference while casting, the sole-
+  // reference check fires.
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  char *Buf = static_cast<char *>(sharc::allocBytes(16));
+  Counted<char> Keep(Buf); // producer "accidentally" retains a reference
+  char *Local = Buf;
+  scastIn(Local, SHARC_SITE("buf"));
+  EXPECT_EQ(RT.getStats().CastErrors, 1u);
+  Keep.store(nullptr);
+  sharc::freeBytes(Buf);
+}
+
+TEST(StatsTest, SnapshotAggregatesAllCounters) {
+  RuntimeGuard Guard;
+  Runtime &RT = Runtime::get();
+  Mutex M;
+  Locked<int> L(M, 0);
+  {
+    LockGuard Lock(M);
+    L.write(1);
+  }
+  Dynamic<int> D(0);
+  D.write(2);
+  StatsSnapshot Stats = RT.getStats();
+  EXPECT_EQ(Stats.LockChecks, 1u);
+  EXPECT_EQ(Stats.DynamicWrites, 1u);
+  EXPECT_GT(Stats.metadataBytes(), 0u);
+}
