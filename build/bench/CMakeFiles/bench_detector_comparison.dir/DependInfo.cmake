@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_detector_comparison.cpp" "bench/CMakeFiles/bench_detector_comparison.dir/bench_detector_comparison.cpp.o" "gcc" "bench/CMakeFiles/bench_detector_comparison.dir/bench_detector_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/sharc_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/racedet/CMakeFiles/sharc_racedet.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sharc_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_comparison.dir/bench_detector_comparison.cpp.o"
+  "CMakeFiles/bench_detector_comparison.dir/bench_detector_comparison.cpp.o.d"
+  "bench_detector_comparison"
+  "bench_detector_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

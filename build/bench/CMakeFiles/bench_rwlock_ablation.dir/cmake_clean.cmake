@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rwlock_ablation.dir/bench_rwlock_ablation.cpp.o"
+  "CMakeFiles/bench_rwlock_ablation.dir/bench_rwlock_ablation.cpp.o.d"
+  "bench_rwlock_ablation"
+  "bench_rwlock_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rwlock_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_compress.dir/parallel_compress.cpp.o"
+  "CMakeFiles/parallel_compress.dir/parallel_compress.cpp.o.d"
+  "parallel_compress"
+  "parallel_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

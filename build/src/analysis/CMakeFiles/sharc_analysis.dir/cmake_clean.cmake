@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/sharc_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/sharc_analysis.dir/SharingAnalysis.cpp.o"
+  "CMakeFiles/sharc_analysis.dir/SharingAnalysis.cpp.o.d"
+  "libsharc_analysis.a"
+  "libsharc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

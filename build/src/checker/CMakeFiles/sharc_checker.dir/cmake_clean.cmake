@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_checker.dir/Checker.cpp.o"
+  "CMakeFiles/sharc_checker.dir/Checker.cpp.o.d"
+  "libsharc_checker.a"
+  "libsharc_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharcc.dir/sharcc.cpp.o"
+  "CMakeFiles/sharcc.dir/sharcc.cpp.o.d"
+  "sharcc"
+  "sharcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

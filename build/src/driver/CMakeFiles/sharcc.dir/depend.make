@@ -1,0 +1,2 @@
+# Empty dependencies file for sharcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_interp.dir/Interp.cpp.o"
+  "CMakeFiles/sharc_interp.dir/Interp.cpp.o.d"
+  "libsharc_interp.a"
+  "libsharc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_minic.dir/ExprTyper.cpp.o"
+  "CMakeFiles/sharc_minic.dir/ExprTyper.cpp.o.d"
+  "CMakeFiles/sharc_minic.dir/Lexer.cpp.o"
+  "CMakeFiles/sharc_minic.dir/Lexer.cpp.o.d"
+  "CMakeFiles/sharc_minic.dir/Parser.cpp.o"
+  "CMakeFiles/sharc_minic.dir/Parser.cpp.o.d"
+  "CMakeFiles/sharc_minic.dir/Printer.cpp.o"
+  "CMakeFiles/sharc_minic.dir/Printer.cpp.o.d"
+  "CMakeFiles/sharc_minic.dir/Type.cpp.o"
+  "CMakeFiles/sharc_minic.dir/Type.cpp.o.d"
+  "libsharc_minic.a"
+  "libsharc_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

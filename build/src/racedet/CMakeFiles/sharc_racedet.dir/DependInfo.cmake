@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/racedet/Eraser.cpp" "src/racedet/CMakeFiles/sharc_racedet.dir/Eraser.cpp.o" "gcc" "src/racedet/CMakeFiles/sharc_racedet.dir/Eraser.cpp.o.d"
+  "/root/repo/src/racedet/VectorClock.cpp" "src/racedet/CMakeFiles/sharc_racedet.dir/VectorClock.cpp.o" "gcc" "src/racedet/CMakeFiles/sharc_racedet.dir/VectorClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

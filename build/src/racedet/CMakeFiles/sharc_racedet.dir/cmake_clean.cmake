@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_racedet.dir/Eraser.cpp.o"
+  "CMakeFiles/sharc_racedet.dir/Eraser.cpp.o.d"
+  "CMakeFiles/sharc_racedet.dir/VectorClock.cpp.o"
+  "CMakeFiles/sharc_racedet.dir/VectorClock.cpp.o.d"
+  "libsharc_racedet.a"
+  "libsharc_racedet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_racedet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

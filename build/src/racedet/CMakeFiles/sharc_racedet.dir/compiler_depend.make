@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sharc_racedet.
+# This may be replaced when dependencies are built.

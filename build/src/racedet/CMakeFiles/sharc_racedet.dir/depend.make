@@ -1,0 +1,2 @@
+# Empty dependencies file for sharc_racedet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/Heap.cpp" "src/rt/CMakeFiles/sharc_rt.dir/Heap.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/Heap.cpp.o.d"
+  "/root/repo/src/rt/RcTable.cpp" "src/rt/CMakeFiles/sharc_rt.dir/RcTable.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/RcTable.cpp.o.d"
+  "/root/repo/src/rt/RefCount.cpp" "src/rt/CMakeFiles/sharc_rt.dir/RefCount.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/RefCount.cpp.o.d"
+  "/root/repo/src/rt/Report.cpp" "src/rt/CMakeFiles/sharc_rt.dir/Report.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/Report.cpp.o.d"
+  "/root/repo/src/rt/Runtime.cpp" "src/rt/CMakeFiles/sharc_rt.dir/Runtime.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/Runtime.cpp.o.d"
+  "/root/repo/src/rt/ShadowMemory.cpp" "src/rt/CMakeFiles/sharc_rt.dir/ShadowMemory.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/ShadowMemory.cpp.o.d"
+  "/root/repo/src/rt/ThreadRegistry.cpp" "src/rt/CMakeFiles/sharc_rt.dir/ThreadRegistry.cpp.o" "gcc" "src/rt/CMakeFiles/sharc_rt.dir/ThreadRegistry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

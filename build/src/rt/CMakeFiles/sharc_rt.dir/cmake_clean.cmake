@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_rt.dir/Heap.cpp.o"
+  "CMakeFiles/sharc_rt.dir/Heap.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/RcTable.cpp.o"
+  "CMakeFiles/sharc_rt.dir/RcTable.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/RefCount.cpp.o"
+  "CMakeFiles/sharc_rt.dir/RefCount.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/Report.cpp.o"
+  "CMakeFiles/sharc_rt.dir/Report.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/Runtime.cpp.o"
+  "CMakeFiles/sharc_rt.dir/Runtime.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/ShadowMemory.cpp.o"
+  "CMakeFiles/sharc_rt.dir/ShadowMemory.cpp.o.d"
+  "CMakeFiles/sharc_rt.dir/ThreadRegistry.cpp.o"
+  "CMakeFiles/sharc_rt.dir/ThreadRegistry.cpp.o.d"
+  "libsharc_rt.a"
+  "libsharc_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

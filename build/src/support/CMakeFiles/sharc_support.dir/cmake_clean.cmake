@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/sharc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/sharc_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/sharc_support.dir/SourceManager.cpp.o.d"
+  "libsharc_support.a"
+  "libsharc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

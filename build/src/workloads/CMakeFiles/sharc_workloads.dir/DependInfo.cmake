@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/AgetWorkload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/AgetWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/AgetWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Compressor.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/Compressor.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/Compressor.cpp.o.d"
+  "/root/repo/src/workloads/DilloWorkload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/DilloWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/DilloWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Fft.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/Fft.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/Fft.cpp.o.d"
+  "/root/repo/src/workloads/FftwWorkload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/FftwWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/FftwWorkload.cpp.o.d"
+  "/root/repo/src/workloads/Pbzip2Workload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/Pbzip2Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/Pbzip2Workload.cpp.o.d"
+  "/root/repo/src/workloads/PfscanWorkload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/PfscanWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/PfscanWorkload.cpp.o.d"
+  "/root/repo/src/workloads/SimServices.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/SimServices.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/SimServices.cpp.o.d"
+  "/root/repo/src/workloads/StunnelWorkload.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/StunnelWorkload.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/StunnelWorkload.cpp.o.d"
+  "/root/repo/src/workloads/TextCorpus.cpp" "src/workloads/CMakeFiles/sharc_workloads.dir/TextCorpus.cpp.o" "gcc" "src/workloads/CMakeFiles/sharc_workloads.dir/TextCorpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/sharc_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharc_workloads.dir/AgetWorkload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/AgetWorkload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/Compressor.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/Compressor.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/DilloWorkload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/DilloWorkload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/Fft.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/Fft.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/FftwWorkload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/FftwWorkload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/Pbzip2Workload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/Pbzip2Workload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/PfscanWorkload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/PfscanWorkload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/SimServices.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/SimServices.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/StunnelWorkload.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/StunnelWorkload.cpp.o.d"
+  "CMakeFiles/sharc_workloads.dir/TextCorpus.cpp.o"
+  "CMakeFiles/sharc_workloads.dir/TextCorpus.cpp.o.d"
+  "libsharc_workloads.a"
+  "libsharc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsharc_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_more_test.dir/checker_more_test.cpp.o"
+  "CMakeFiles/checker_more_test.dir/checker_more_test.cpp.o.d"
+  "checker_more_test"
+  "checker_more_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_lang_test.dir/interp_lang_test.cpp.o"
+  "CMakeFiles/interp_lang_test.dir/interp_lang_test.cpp.o.d"
+  "interp_lang_test"
+  "interp_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

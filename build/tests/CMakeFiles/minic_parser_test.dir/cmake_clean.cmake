@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_parser_test.dir/minic_parser_test.cpp.o"
+  "CMakeFiles/minic_parser_test.dir/minic_parser_test.cpp.o.d"
+  "minic_parser_test"
+  "minic_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

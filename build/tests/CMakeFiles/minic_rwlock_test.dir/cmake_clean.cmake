@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minic_rwlock_test.dir/minic_rwlock_test.cpp.o"
+  "CMakeFiles/minic_rwlock_test.dir/minic_rwlock_test.cpp.o.d"
+  "minic_rwlock_test"
+  "minic_rwlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minic_rwlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/racedet_test.dir/racedet_test.cpp.o"
+  "CMakeFiles/racedet_test.dir/racedet_test.cpp.o.d"
+  "racedet_test"
+  "racedet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/racedet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

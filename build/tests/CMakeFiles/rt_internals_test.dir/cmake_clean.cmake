@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_internals_test.dir/rt_internals_test.cpp.o"
+  "CMakeFiles/rt_internals_test.dir/rt_internals_test.cpp.o.d"
+  "rt_internals_test"
+  "rt_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_refcount_test.dir/rt_refcount_test.cpp.o"
+  "CMakeFiles/rt_refcount_test.dir/rt_refcount_test.cpp.o.d"
+  "rt_refcount_test"
+  "rt_refcount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_refcount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_rwlock_test.dir/rt_rwlock_test.cpp.o"
+  "CMakeFiles/rt_rwlock_test.dir/rt_rwlock_test.cpp.o.d"
+  "rt_rwlock_test"
+  "rt_rwlock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_rwlock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
