@@ -1,0 +1,29 @@
+#!/bin/sh
+# Long unattended differential-fuzzing run. Builds the tree if needed,
+# then sweeps many generated programs across many scheduler seeds,
+# minimizing and saving any failure into the regression corpus.
+#
+# usage: scripts/fuzz-nightly.sh [count] [schedules] [seed]
+#   count     programs to generate   (default 5000)
+#   seed      campaign base seed     (default: date-derived, printed)
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="$ROOT/build"
+COUNT=${1:-5000}
+SCHEDULES=${2:-16}
+SEED=${3:-$(date +%Y%m%d)}
+
+if [ ! -x "$BUILD/src/fuzz/sharc-fuzz" ]; then
+  cmake -B "$BUILD" -S "$ROOT"
+  cmake --build "$BUILD" -j "$(nproc)" --target sharc-fuzz
+fi
+
+echo "fuzz-nightly: count=$COUNT schedules=$SCHEDULES seed=$SEED"
+exec "$BUILD/src/fuzz/sharc-fuzz" \
+  --count "$COUNT" \
+  --schedules "$SCHEDULES" \
+  --seed "$SEED" \
+  --minimize \
+  --corpus-dir "$ROOT/tests/fuzz-corpus" \
+  --quiet

@@ -1,0 +1,38 @@
+//===-- fuzz/Minimizer.h - Failing-program shrinker -------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging over MiniC programs: repeatedly deletes one
+/// statement, global, struct, or function at a time, keeping a deletion
+/// whenever the caller's predicate says the shrunk program still fails
+/// the same way. Candidates that no longer compile are rejected by the
+/// predicate naturally (the oracle classifies them as a different
+/// failure kind), so the minimizer needs no validity analysis of its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_FUZZ_MINIMIZER_H
+#define SHARC_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace sharc {
+namespace fuzz {
+
+/// Shrinks \p Source while \p StillFails holds on the candidate. The
+/// predicate must be deterministic. \p MaxCandidates bounds the number
+/// of predicate evaluations. \returns the smallest failing source found
+/// (at worst \p Source itself).
+std::string
+minimizeSource(const std::string &Source,
+               const std::function<bool(const std::string &)> &StillFails,
+               unsigned MaxCandidates = 2000);
+
+} // namespace fuzz
+} // namespace sharc
+
+#endif // SHARC_FUZZ_MINIMIZER_H

@@ -1,0 +1,429 @@
+//===-- fuzz/Oracle.cpp ---------------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "fuzz/RefDetectors.h"
+#include "fuzz/Rng.h"
+#include "interp/Interp.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+#include "rt/RefCount.h"
+#include "rt/Stats.h"
+#include "rt/ThreadRegistry.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+
+using namespace sharc;
+using namespace sharc::fuzz;
+using interp::TraceEvent;
+
+const char *sharc::fuzz::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::ParseError:
+    return "parse-error";
+  case FailureKind::TypeError:
+    return "type-error";
+  case FailureKind::RoundTrip:
+    return "round-trip";
+  case FailureKind::Determinism:
+    return "determinism";
+  case FailureKind::EraserMismatch:
+    return "eraser-mismatch";
+  case FailureKind::HbMismatch:
+    return "hb-mismatch";
+  case FailureKind::RcMismatch:
+    return "rc-mismatch";
+  }
+  return "unknown";
+}
+
+std::string sharc::fuzz::stripPolyMarkers(const std::string &Printed) {
+  std::string Source;
+  for (size_t I = 0; I < Printed.size(); ++I) {
+    if (Printed.compare(I, 3, "(q)") == 0) {
+      I += 2;
+      continue;
+    }
+    if (Printed.compare(I, 2, "*q") == 0) {
+      Source += '*';
+      ++I;
+      continue;
+    }
+    Source += Printed[I];
+  }
+  return Source;
+}
+
+namespace {
+
+/// FNV-1a accumulator; everything the oracles compare flows through one
+/// of these so identical campaigns produce identical report digests.
+struct Digest {
+  uint64_t H = 0xCBF29CE484222325ull;
+
+  void bytes(const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 0x100000001B3ull;
+    }
+  }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+  void u64(uint64_t V) { bytes(&V, sizeof(V)); }
+};
+
+/// One front-end pipeline over a source buffer. Owns everything the AST
+/// points into.
+struct Frontend {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<minic::Program> Prog;
+  bool Parsed = false;
+  bool Typed = false;
+  bool Analyzed = false;
+
+  explicit Frontend(const std::string &Source) {
+    FileId File = SM.addBuffer("fuzz.mc", Source);
+    Diags = std::make_unique<DiagnosticEngine>(SM);
+    minic::Parser P(SM, File, *Diags);
+    Prog = P.parseProgram();
+    if (Diags->hasErrors())
+      return;
+    Parsed = true;
+    minic::ExprTyper Typer(*Prog, *Diags);
+    if (!Typer.run())
+      return;
+    Typed = true;
+    analysis::SharingAnalysis SA(*Prog, *Diags);
+    if (!SA.run())
+      return;
+    Analyzed = true;
+  }
+};
+
+/// Lowers an interpreter trace into detector replay events, scaling cell
+/// addresses so one interpreter cell is one 8-byte detector granule.
+/// Spawn tokens become synthetic locks: the parent releases the token
+/// (SpawnEdge), the child acquires+releases it inside its ThreadStart.
+std::vector<racedet::ReplayEvent>
+toReplayEvents(const std::vector<TraceEvent> &Trace) {
+  std::vector<racedet::ReplayEvent> Out;
+  Out.reserve(Trace.size());
+  using RK = racedet::ReplayEvent::Kind;
+  for (const TraceEvent &Ev : Trace) {
+    switch (Ev.K) {
+    case TraceEvent::Kind::Read:
+      Out.push_back({RK::Read, Ev.Tid, Ev.Addr << 3});
+      break;
+    case TraceEvent::Kind::Write:
+      Out.push_back({RK::Write, Ev.Tid, Ev.Addr << 3});
+      break;
+    case TraceEvent::Kind::LockAcquire:
+      Out.push_back({RK::LockAcquire, Ev.Tid, Ev.Addr << 3});
+      break;
+    case TraceEvent::Kind::LockRelease:
+      Out.push_back({RK::LockRelease, Ev.Tid, Ev.Addr << 3});
+      break;
+    case TraceEvent::Kind::SpawnEdge:
+      Out.push_back({RK::LockRelease, Ev.Tid, Ev.Addr << 3});
+      break;
+    case TraceEvent::Kind::ThreadStart:
+      Out.push_back({RK::ThreadStart, Ev.Tid, Ev.Addr ? Ev.Addr << 3 : 0});
+      break;
+    case TraceEvent::Kind::ThreadExit:
+      Out.push_back({RK::ThreadExit, Ev.Tid, 0});
+      break;
+    case TraceEvent::Kind::PtrStore:
+    case TraceEvent::Kind::CastQuery:
+      break; // Reference counting only; invisible to the detectors.
+    }
+  }
+  return Out;
+}
+
+std::string joinAddrs(const std::vector<uint64_t> &V, size_t Max = 8) {
+  std::ostringstream OS;
+  for (size_t I = 0; I < V.size() && I < Max; ++I)
+    OS << (I ? "," : "") << V[I];
+  if (V.size() > Max)
+    OS << ",...(" << V.size() << " total)";
+  return OS.str();
+}
+
+/// Set difference A \ B for sorted vectors.
+std::vector<uint64_t> minus(const std::vector<uint64_t> &A,
+                            const std::vector<uint64_t> &B) {
+  std::vector<uint64_t> Out;
+  std::set_difference(A.begin(), A.end(), B.begin(), B.end(),
+                      std::back_inserter(Out));
+  return Out;
+}
+
+void digestRun(Digest &D, const interp::InterpResult &R,
+               const std::vector<TraceEvent> &Trace) {
+  D.u64(R.Completed);
+  D.u64(R.Deadlocked);
+  D.u64(R.OutOfSteps);
+  D.str(R.Output);
+  D.u64(R.Stats.Steps);
+  D.u64(R.Stats.TotalAccesses);
+  D.u64(R.Stats.DynamicChecks);
+  D.u64(R.Stats.LockChecks);
+  D.u64(R.Stats.SharingCasts);
+  D.u64(R.Stats.ThreadsSpawned);
+  D.u64(R.Violations.size());
+  for (const interp::Violation &V : R.Violations)
+    D.str(V.format("fuzz.mc"));
+  D.u64(Trace.size());
+  for (const TraceEvent &Ev : Trace) {
+    D.u64(static_cast<uint64_t>(Ev.K));
+    D.u64(Ev.Tid);
+    D.u64(Ev.Addr);
+    D.u64(static_cast<uint64_t>(Ev.Value));
+  }
+}
+
+/// Replays the trace's pointer-slot stores through one RC engine and
+/// collects the count it reports at each sharing-cast query.
+std::vector<int64_t> replayRc(rt::RcMode Mode,
+                              const std::vector<TraceEvent> &Trace,
+                              size_t ArenaSize) {
+  rt::RuntimeConfig Config;
+  Config.Rc = Mode;
+  Config.RcTableCapacity = 1u << 16;
+  Config.ShadowBytesPerGranule = 8; // 63 simulated threads.
+  rt::RuntimeStats Stats;
+  rt::ThreadRegistry Registry(Config.maxThreads());
+  rt::RefCountEngine Engine(Config, Stats, Registry);
+
+  std::vector<uintptr_t> Arena(ArenaSize, 0);
+  std::map<unsigned, rt::ThreadState *> States;
+  auto stateFor = [&](unsigned Tid) -> rt::ThreadState & {
+    auto It = States.find(Tid);
+    if (It == States.end())
+      It = States.emplace(Tid, Registry.registerThread()).first;
+    return *It->second;
+  };
+
+  std::vector<int64_t> Counts;
+  for (const TraceEvent &Ev : Trace) {
+    if (Ev.K == TraceEvent::Kind::PtrStore)
+      Engine.storePtr(&Arena[Ev.Addr], static_cast<uintptr_t>(Ev.Value),
+                      stateFor(Ev.Tid));
+    else if (Ev.K == TraceEvent::Kind::CastQuery)
+      Counts.push_back(
+          Engine.getRefCount(static_cast<uintptr_t>(Ev.Addr),
+                             stateFor(Ev.Tid)));
+  }
+  return Counts;
+}
+
+} // namespace
+
+OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
+                                      const OracleConfig &Cfg,
+                                      racedet::ReplayPool &Pool) {
+  OracleOutcome Out;
+  Digest D;
+  D.str(Source);
+
+  // --- Front end. Parse/type failures break the generator's contract. ---
+  Frontend Front(Source);
+  if (!Front.Parsed) {
+    Out.Failure = FailureKind::ParseError;
+    Out.Detail = Front.Diags->render();
+    return Out;
+  }
+  if (!Front.Typed) {
+    Out.Failure = FailureKind::TypeError;
+    Out.Detail = Front.Diags->render();
+    return Out;
+  }
+  if (!Front.Analyzed) {
+    Out.AnalysisRejected = true;
+    Out.Detail = Front.Diags->render();
+    Out.Digest = D.H;
+    return Out;
+  }
+
+  // --- Oracle 1: print -> reparse -> reprint fixpoint. ---
+  std::string FirstPrint = minic::printProgram(*Front.Prog);
+  D.str(FirstPrint);
+  {
+    Frontend Again(stripPolyMarkers(FirstPrint));
+    if (!Again.Analyzed) {
+      Out.Failure = FailureKind::RoundTrip;
+      Out.Detail = "printed program no longer compiles:\n" +
+                   Again.Diags->render();
+      return Out;
+    }
+    std::string SecondPrint = minic::printProgram(*Again.Prog);
+    if (SecondPrint != FirstPrint) {
+      Out.Failure = FailureKind::RoundTrip;
+      Out.Detail = "reprint differs from first print";
+      return Out;
+    }
+  }
+
+  // --- Static checker; a rejection here is a recorded skip. ---
+  checker::Checker Check(*Front.Prog, *Front.Diags);
+  if (!Check.run()) {
+    Out.CheckerRejected = true;
+    Out.Detail = Front.Diags->render();
+    Out.Digest = D.H;
+    return Out;
+  }
+
+  // --- Schedule exploration: oracles 2-4 per scheduler seed. ---
+  interp::Interp Interp(*Front.Prog, Check.getInstrumentation());
+  for (unsigned K = 0; K < Cfg.Schedules; ++K) {
+    uint64_t SeedState = Cfg.Seed + 1000003ull * K;
+    uint64_t Seed = splitMix64(SeedState);
+    if (!Seed)
+      Seed = 1;
+
+    std::vector<TraceEvent> Trace, Trace2;
+    interp::InterpOptions Opts;
+    Opts.Seed = Seed;
+    Opts.MaxSteps = Cfg.MaxSteps;
+    Opts.Trace = &Trace;
+    interp::InterpResult R1 = Interp.run(Opts);
+    Opts.Trace = &Trace2;
+    interp::InterpResult R2 = Interp.run(Opts);
+    ++Out.SchedulesRun;
+    Out.ViolationsSeen += R1.Violations.size();
+
+    // Oracle 2: bitwise determinism per seed.
+    Digest D1, D2;
+    digestRun(D1, R1, Trace);
+    digestRun(D2, R2, Trace2);
+    if (D1.H != D2.H || Trace != Trace2) {
+      Out.Failure = FailureKind::Determinism;
+      std::ostringstream OS;
+      OS << "seed " << Seed << ": two runs differ (digest " << D1.H << " vs "
+         << D2.H << ", trace " << Trace.size() << " vs " << Trace2.size()
+         << " events)";
+      Out.Detail = OS.str();
+      return Out;
+    }
+    D.u64(Seed);
+    D.u64(D1.H);
+
+    if (Trace.size() > Cfg.MaxTraceEvents) {
+      ++Out.TraceSkips;
+      ++Out.RcSkips;
+      continue;
+    }
+
+    // Oracle 3: production detectors vs reference replays.
+    RefRaceResult Ref = referenceRaces(Trace);
+    {
+      racedet::EraserDetector Eraser;
+      racedet::HappensBeforeDetector Hb;
+      Pool.replay(toReplayEvents(Trace), Eraser, Hb);
+
+      std::vector<uint64_t> ProdEraser, ProdHb;
+      for (uintptr_t G : Eraser.racyGranules())
+        ProdEraser.push_back(G);
+      for (uintptr_t G : Hb.racyGranules())
+        ProdHb.push_back(G);
+
+      if (ProdEraser != Ref.EraserRacy) {
+        Out.Failure = FailureKind::EraserMismatch;
+        std::ostringstream OS;
+        OS << "seed " << Seed << ": production-only=["
+           << joinAddrs(minus(ProdEraser, Ref.EraserRacy))
+           << "] reference-only=["
+           << joinAddrs(minus(Ref.EraserRacy, ProdEraser)) << "]";
+        Out.Detail = OS.str();
+        return Out;
+      }
+      if (ProdHb != Ref.HbRacy) {
+        Out.Failure = FailureKind::HbMismatch;
+        std::ostringstream OS;
+        OS << "seed " << Seed << ": production-only=["
+           << joinAddrs(minus(ProdHb, Ref.HbRacy)) << "] reference-only=["
+           << joinAddrs(minus(Ref.HbRacy, ProdHb)) << "]";
+        Out.Detail = OS.str();
+        return Out;
+      }
+      std::vector<uint64_t> Agreed;
+      std::set_intersection(Ref.EraserRacy.begin(), Ref.EraserRacy.end(),
+                            Ref.HbRacy.begin(), Ref.HbRacy.end(),
+                            std::back_inserter(Agreed));
+      Out.RacyCells += Agreed.size();
+      Out.EraserOnlyRacy += minus(Ref.EraserRacy, Ref.HbRacy).size();
+      Out.HbOnlyRacy += minus(Ref.HbRacy, Ref.EraserRacy).size();
+      for (uint64_t G : Ref.EraserRacy)
+        D.u64(G);
+      for (uint64_t G : Ref.HbRacy)
+        D.u64(G ^ 0x5555555555555555ull);
+    }
+
+    // Oracle 4: RC engine agreement at every sharing-cast query.
+    {
+      std::set<unsigned> RcTids;
+      std::vector<int64_t> Expected;
+      uint64_t MaxSlot = 0;
+      bool HasPtrEvents = false;
+      for (const TraceEvent &Ev : Trace) {
+        if (Ev.K == TraceEvent::Kind::PtrStore) {
+          RcTids.insert(Ev.Tid);
+          MaxSlot = std::max(MaxSlot, Ev.Addr);
+          HasPtrEvents = true;
+        } else if (Ev.K == TraceEvent::Kind::CastQuery) {
+          RcTids.insert(Ev.Tid);
+          Expected.push_back(Ev.Value);
+          HasPtrEvents = true;
+        }
+      }
+      if (!HasPtrEvents)
+        continue;
+      if (RcTids.size() > 63) {
+        ++Out.RcSkips;
+        continue;
+      }
+      std::vector<int64_t> Atomic =
+          replayRc(rt::RcMode::Atomic, Trace, MaxSlot + 1);
+      std::vector<int64_t> Lp =
+          replayRc(rt::RcMode::LevanoniPetrank, Trace, MaxSlot + 1);
+      if (Atomic != Expected || Lp != Expected) {
+        Out.Failure = FailureKind::RcMismatch;
+        std::ostringstream OS;
+        OS << "seed " << Seed << ": counts at casts interp=[";
+        for (size_t I = 0; I < Expected.size(); ++I)
+          OS << (I ? "," : "") << Expected[I];
+        OS << "] atomic=[";
+        for (size_t I = 0; I < Atomic.size(); ++I)
+          OS << (I ? "," : "") << Atomic[I];
+        OS << "] lp=[";
+        for (size_t I = 0; I < Lp.size(); ++I)
+          OS << (I ? "," : "") << Lp[I];
+        OS << "]";
+        Out.Detail = OS.str();
+        return Out;
+      }
+      for (int64_t C : Expected)
+        D.u64(static_cast<uint64_t>(C));
+    }
+  }
+
+  Out.Digest = D.H;
+  return Out;
+}

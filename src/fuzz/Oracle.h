@@ -1,0 +1,98 @@
+//===-- fuzz/Oracle.h - Differential fuzzing oracles ------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential oracles sharc-fuzz runs over each generated program:
+///
+///   1. Round-trip: parse -> infer -> print -> reparse -> reprint must be
+///      a fixpoint (byte-identical second print).
+///   2. Determinism: two interpreter runs with the same scheduler seed
+///      must produce identical results, output, stats, and traces.
+///   3. Detector agreement: the production Eraser and vector-clock
+///      detectors, driven through the multithreaded ReplayPool, must
+///      report exactly the racy cells that independent single-threaded
+///      reference implementations report for the same trace.
+///   4. Reference-count agreement: replaying the trace's pointer-slot
+///      stores through the Atomic and Levanoni-Petrank engines must
+///      reproduce the interpreter's oneref count at every sharing cast,
+///      and both engines must agree with each other.
+///
+/// Parse/type failures on generated programs are generator-contract
+/// violations and count as failures. Analysis or checker rejections are
+/// recorded as skips (the generator aims for static validity but the
+/// oracles must not mask checker evolution). Runtime violations,
+/// deadlocks, and step exhaustion are legal program outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_FUZZ_ORACLE_H
+#define SHARC_FUZZ_ORACLE_H
+
+#include "racedet/TraceReplay.h"
+
+#include <cstdint>
+#include <string>
+
+namespace sharc {
+namespace fuzz {
+
+enum class FailureKind : uint8_t {
+  None,
+  ParseError,     ///< Generated program failed to parse.
+  TypeError,      ///< Generated program failed expression typing.
+  RoundTrip,      ///< Print->reparse->reprint not a fixpoint.
+  Determinism,    ///< Same seed, different run.
+  EraserMismatch, ///< Production Eraser != reference lockset replay.
+  HbMismatch,     ///< Production vector clocks != reference HB replay.
+  RcMismatch,     ///< Atomic / Levanoni-Petrank / interpreter counts differ.
+};
+
+const char *failureKindName(FailureKind K);
+
+struct OracleConfig {
+  uint64_t Seed = 1;       ///< Base scheduler seed.
+  unsigned Schedules = 4;  ///< Distinct scheduler seeds to explore.
+  uint64_t MaxSteps = 1u << 17;
+  size_t MaxTraceEvents = 400000; ///< Replay cutoff per schedule.
+};
+
+/// Everything one program's oracle run produced. All fields (including
+/// Detail and Digest) are deterministic functions of (source, config).
+struct OracleOutcome {
+  FailureKind Failure = FailureKind::None;
+  std::string Detail; ///< Human-readable failure description.
+
+  bool AnalysisRejected = false; ///< Sharing inference refused the program.
+  bool CheckerRejected = false;  ///< Static checker refused the program.
+  unsigned SchedulesRun = 0;
+  unsigned TraceSkips = 0; ///< Schedules whose trace exceeded the cutoff.
+  unsigned RcSkips = 0;    ///< Schedules skipped by the RC oracle.
+
+  uint64_t ViolationsSeen = 0; ///< Runtime violations across schedules.
+  uint64_t RacyCells = 0;      ///< Cells the detectors agreed are racy.
+  /// Cross-algorithm diagnostics (expected to be nonzero sometimes;
+  /// Eraser has algorithmic false negatives relative to happens-before).
+  uint64_t EraserOnlyRacy = 0;
+  uint64_t HbOnlyRacy = 0;
+
+  uint64_t Digest = 0; ///< FNV-1a over every compared artifact.
+
+  bool failed() const { return Failure != FailureKind::None; }
+};
+
+/// Runs every oracle over \p Source. \p Pool is reused across calls so
+/// detector thread ids stay bounded over a whole fuzzing campaign.
+OracleOutcome runOracles(const std::string &Source, const OracleConfig &Cfg,
+                         racedet::ReplayPool &Pool);
+
+/// Reverses the printer's poly-qualifier markers ("(q)" on struct tags,
+/// "*q" on pointer declarators) so printed programs can be reparsed.
+std::string stripPolyMarkers(const std::string &Printed);
+
+} // namespace fuzz
+} // namespace sharc
+
+#endif // SHARC_FUZZ_ORACLE_H

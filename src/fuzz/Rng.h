@@ -1,0 +1,56 @@
+//===-- fuzz/Rng.h - Deterministic PRNG for fuzzing -------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64, used for every random choice the fuzzer makes. The
+/// standard library distributions are implementation-defined, so the
+/// fuzzer never touches them: identical seeds must yield identical
+/// programs and identical reports on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_FUZZ_RNG_H
+#define SHARC_FUZZ_RNG_H
+
+#include <cstdint>
+
+namespace sharc {
+namespace fuzz {
+
+inline uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9E3779B97F4A7C15ull);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t next() { return splitMix64(State); }
+
+  /// Uniform value in [0, N). N == 0 returns 0.
+  unsigned range(unsigned N) {
+    return N ? static_cast<unsigned>(next() % N) : 0;
+  }
+
+  /// Uniform value in [Lo, Hi] (inclusive).
+  unsigned between(unsigned Lo, unsigned Hi) {
+    return Lo + range(Hi - Lo + 1);
+  }
+
+  /// True with probability Pct/100.
+  bool chance(unsigned Pct) { return range(100) < Pct; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace fuzz
+} // namespace sharc
+
+#endif // SHARC_FUZZ_RNG_H

@@ -107,6 +107,8 @@ struct Frame {
 
 struct ThreadCtx {
   unsigned Tid = 0;
+  /// Trace-unique id (never reused, unlike Tid which is recycled).
+  unsigned TraceTid = 0;
   enum class St : uint8_t {
     Runnable,
     BlockedLock,
@@ -169,6 +171,17 @@ private:
   Addr addrOfVar(ThreadCtx &T, Frame &F, const VarDecl *Var);
 
   //===--- checks -------------------------------------------------------------
+  /// Writes a cell without counting a semantic access: used for the
+  /// implicit stores (parameter copies, spawn arguments, frame death,
+  /// free) so pointer-slot mutations still reach the trace while
+  /// Stats.TotalAccesses keeps its meaning.
+  void setCellRaw(ThreadCtx &T, Addr A, int64_t V, bool IsPtr);
+  void emit(TraceEvent::Kind K, const ThreadCtx &T, uint64_t A,
+            int64_t V = 0) {
+    if (Options.Trace)
+      Options.Trace->push_back(TraceEvent{K, T.TraceTid, A, V});
+  }
+
   void chkRead(ThreadCtx &T, Addr A, const Expr *Node);
   void chkWrite(ThreadCtx &T, Addr A, const Expr *Node);
   void chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check, Addr A,
@@ -204,6 +217,8 @@ private:
   std::deque<ThreadCtx> Threads;
   std::vector<unsigned> FreeTids;
   unsigned NextTid = 1;
+  unsigned NextTraceTid = 1;
+  uint64_t NextSpawnToken = 0;
   /// Function "addresses" for function pointer values.
   std::map<const FuncDecl *, int64_t> FuncIds;
   std::map<int64_t, const FuncDecl *> FuncById;
@@ -294,8 +309,11 @@ void Machine::freeObject(ThreadCtx &T, Addr A, const Expr *At) {
   }
   // "When heap memory is deallocated with free(), it is no longer
   // considered to be accessed by any thread."
-  for (Addr C = It->first; C != It->first + It->second.Size; ++C)
+  for (Addr C = It->first; C != It->first + It->second.Size; ++C) {
+    if (Mem[C].IsPtr)
+      emit(TraceEvent::Kind::PtrStore, T, C, 0);
     Mem[C] = Cell{};
+  }
   It->second.Freed = true;
 }
 
@@ -427,16 +445,25 @@ void Machine::runChecks(ThreadCtx &T, Frame &F, const Expr *Node, Addr A) {
 
 int64_t Machine::readCell(ThreadCtx &T, Addr A, const Expr *Node) {
   (void)Node;
-  (void)T;
   ++Result.Stats.TotalAccesses;
+  emit(TraceEvent::Kind::Read, T, A);
   return Mem[A].V;
 }
 
 void Machine::storeCell(ThreadCtx &T, Addr A, int64_t V, bool IsPtr,
                         const Expr *Node) {
   (void)Node;
-  (void)T;
   ++Result.Stats.TotalAccesses;
+  emit(TraceEvent::Kind::Write, T, A);
+  if (Options.Trace && (IsPtr || Mem[A].IsPtr))
+    emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
+  Mem[A].V = V;
+  Mem[A].IsPtr = IsPtr;
+}
+
+void Machine::setCellRaw(ThreadCtx &T, Addr A, int64_t V, bool IsPtr) {
+  if (Options.Trace && (IsPtr || Mem[A].IsPtr))
+    emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
   Mem[A].V = V;
   Mem[A].IsPtr = IsPtr;
 }
@@ -675,6 +702,8 @@ int64_t Machine::evalExpr(ThreadCtx &T, Frame &F, const Expr *E) {
     if (Obj != 0) {
       // oneref (Figure 6): the cast reference must be the only one.
       uint64_t Refs = countPtrCells(Obj);
+      emit(TraceEvent::Kind::CastQuery, T, static_cast<uint64_t>(Obj),
+           static_cast<int64_t>(Refs));
       if (Refs > 1) {
         report(Violation::Kind::CastError, T, static_cast<Addr>(Obj),
                Scast->Src, nullptr,
@@ -726,6 +755,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     if (Owner == 0) {
       Owner = T.Tid;
       T.HeldLocks.push_back(Lock);
+      emit(TraceEvent::Kind::LockAcquire, T, Lock);
       return true;
     }
     if (Owner == T.Tid) {
@@ -753,6 +783,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     return true;
   }
@@ -772,6 +803,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     T.State = ThreadCtx::St::WaitingCond;
     T.WaitCond = Cond;
@@ -805,6 +837,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     }
     ++ReaderCount[Lock];
     T.HeldSharedLocks.push_back(Lock);
+    emit(TraceEvent::Kind::LockAcquire, T, Lock);
     return true;
   }
   if (Name == "rwlock_rdunlock") {
@@ -818,6 +851,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
       return true;
     }
     T.HeldSharedLocks.erase(It);
+    emit(TraceEvent::Kind::LockRelease, T, Lock);
     if (--ReaderCount[Lock] == 0)
       wakeLockWaiters(Lock); // a writer may proceed
     return true;
@@ -831,6 +865,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     }
     LockOwner[Lock] = T.Tid;
     T.HeldLocks.push_back(Lock);
+    emit(TraceEvent::Kind::LockAcquire, T, Lock);
     return true;
   }
   if (Name == "rwlock_wrunlock") {
@@ -847,6 +882,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     return true;
   }
@@ -910,8 +946,7 @@ bool Machine::execCall(ThreadCtx &T, Frame &F, const CallExpr *Call,
   Frame &Pushed = T.Frames.back();
   for (size_t I = 0; I != Callee->Params.size() && I != Args.size(); ++I) {
     Addr A = localAddr(T, Pushed, Callee->Params[I]);
-    Mem[A].V = Args[I];
-    Mem[A].IsPtr = Callee->Params[I]->DeclType->isPointer();
+    setCellRaw(T, A, Args[I], Callee->Params[I]->DeclType->isPointer());
   }
   return true;
 }
@@ -924,8 +959,11 @@ void Machine::returnFromFrame(ThreadCtx &T, int64_t Value, bool IsPtr) {
   for (auto &[Var, A] : Old.Locals) {
     auto It = Objects.find(A);
     if (It != Objects.end()) {
-      for (Addr C = It->first; C != It->first + It->second.Size; ++C)
+      for (Addr C = It->first; C != It->first + It->second.Size; ++C) {
+        if (Mem[C].IsPtr)
+          emit(TraceEvent::Kind::PtrStore, T, C, 0);
         Mem[C] = Cell{};
+      }
       It->second.Freed = true;
     }
   }
@@ -961,6 +999,7 @@ ThreadCtx &Machine::spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg) {
   Threads.emplace_back();
   ThreadCtx &T = Threads.back();
   T.Tid = allocateTid();
+  T.TraceTid = NextTraceTid++;
   ++Result.Stats.ThreadsSpawned;
   if (T.Tid == 0) {
     Violation V;
@@ -976,8 +1015,7 @@ ThreadCtx &Machine::spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg) {
   T.Frames.push_back(std::move(NewFrame));
   if (HasArg && !F->Params.empty()) {
     Addr A = localAddr(T, T.Frames.back(), F->Params[0]);
-    Mem[A].V = Arg;
-    Mem[A].IsPtr = F->Params[0]->DeclType->isPointer();
+    setCellRaw(T, A, Arg, F->Params[0]->DeclType->isPointer());
   }
   return T;
 }
@@ -993,6 +1031,7 @@ void Machine::threadExit(ThreadCtx &T) {
   }
   T.AccessLog.clear();
   T.State = ThreadCtx::St::Done;
+  emit(TraceEvent::Kind::ThreadExit, T, 0);
   FreeTids.push_back(T.Tid);
 }
 
@@ -1084,8 +1123,7 @@ void Machine::dispatchStmt(ThreadCtx &T, Frame &F, const Stmt *S) {
     auto *Decl = cast<DeclStmt>(S);
     Addr A = localAddr(T, F, Decl->Var);
     if (!Decl->Init) {
-      Mem[A].V = 0;
-      Mem[A].IsPtr = Decl->Var->DeclType->isPointer();
+      setCellRaw(T, A, 0, Decl->Var->DeclType->isPointer());
       return;
     }
     if (auto *Call = dyn_cast<CallExpr>(Decl->Init)) {
@@ -1109,8 +1147,15 @@ void Machine::dispatchStmt(ThreadCtx &T, Frame &F, const Stmt *S) {
       if (T.State == ThreadCtx::St::Failed)
         return;
     }
-    if (Spawn->Callee)
-      spawnThread(Spawn->Callee, Arg, HasArg);
+    if (Spawn->Callee) {
+      // Model the spawn happens-before edge as a release of a fresh
+      // token by the parent that the child acquires before its first
+      // event (the detectors already understand lock edges).
+      uint64_t Token = TraceTokenBase + ++NextSpawnToken;
+      emit(TraceEvent::Kind::SpawnEdge, T, Token);
+      ThreadCtx &Child = spawnThread(Spawn->Callee, Arg, HasArg);
+      emit(TraceEvent::Kind::ThreadStart, Child, Token);
+    }
     return;
   }
   case StmtKind::Free: {
@@ -1185,6 +1230,7 @@ void Machine::step(ThreadCtx &T) {
     }
     Owner = T.Tid;
     T.HeldLocks.push_back(T.ReacquireLock);
+    emit(TraceEvent::Kind::LockAcquire, T, T.ReacquireLock);
     T.ReacquireLock = 0;
     return;
   }
@@ -1207,6 +1253,8 @@ void Machine::step(ThreadCtx &T) {
 //===----------------------------------------------------------------------===//
 
 InterpResult Machine::run() {
+  if (Options.Trace)
+    Options.Trace->clear();
   Mem.resize(1); // address 0 is the null cell, never used.
 
   for (VarDecl *G : Prog.Globals)
@@ -1224,7 +1272,8 @@ InterpResult Machine::run() {
     Result.Violations.push_back(V);
     return std::move(Result);
   }
-  spawnThread(Entry, 0, false);
+  ThreadCtx &Main = spawnThread(Entry, 0, false);
+  emit(TraceEvent::Kind::ThreadStart, Main, 0);
 
   std::vector<size_t> Runnable;
   while (Result.Stats.Steps < Options.MaxSteps) {

@@ -6,6 +6,8 @@
 
 #include "racedet/Eraser.h"
 
+#include <algorithm>
+
 using namespace sharc;
 using namespace sharc::racedet;
 
@@ -82,6 +84,20 @@ void EraserDetector::onAccess(const void *Addr, size_t Size, bool IsWrite) {
     }
   }
 }
+
+std::vector<uintptr_t> EraserDetector::racyGranules() {
+  std::vector<uintptr_t> Out;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    for (const auto &[G, C] : S.Cells)
+      if (C.Reported)
+        Out.push_back(G);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void EraserDetector::threadRetire() { HeldMasks.erase(this); }
 
 size_t EraserDetector::memoryFootprint() const {
   size_t Cells = 0;

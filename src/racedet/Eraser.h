@@ -62,6 +62,17 @@ public:
     return Checks.load(std::memory_order_relaxed);
   }
 
+  /// \returns the sorted set of granules this detector has reported racy
+  /// (SharedModified with an empty candidate set). The differential fuzz
+  /// oracle compares this against an independent replay.
+  std::vector<uintptr_t> racyGranules();
+
+  /// Forgets the calling thread's held-lock state for this detector.
+  /// Pooled replay threads must call this before the instance dies;
+  /// per-thread state is keyed by detector address, so a later instance
+  /// at the same address would otherwise inherit stale locks.
+  void threadRetire();
+
   /// Approximate metadata footprint, for memory-overhead comparisons.
   size_t memoryFootprint() const;
 

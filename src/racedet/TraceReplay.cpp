@@ -1,0 +1,122 @@
+//===-- racedet/TraceReplay.cpp -------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "racedet/TraceReplay.h"
+
+#include <algorithm>
+
+using namespace sharc;
+using namespace sharc::racedet;
+
+ReplayPool::~ReplayPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    ShuttingDown = true;
+  }
+  Cond.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ReplayPool::applyLocked(const ReplayEvent &Ev) {
+  void *Addr = reinterpret_cast<void *>(static_cast<uintptr_t>(Ev.Addr));
+  switch (Ev.K) {
+  case ReplayEvent::Kind::Read:
+    Eraser->onRead(Addr, 1);
+    Hb->onRead(Addr, 1);
+    return;
+  case ReplayEvent::Kind::Write:
+    Eraser->onWrite(Addr, 1);
+    Hb->onWrite(Addr, 1);
+    return;
+  case ReplayEvent::Kind::LockAcquire:
+    Eraser->onLockAcquire(Addr);
+    Hb->onLockAcquire(Addr);
+    return;
+  case ReplayEvent::Kind::LockRelease:
+    Eraser->onLockRelease(Addr);
+    Hb->onLockRelease(Addr);
+    return;
+  case ReplayEvent::Kind::ThreadStart:
+    Hb->threadBegin();
+    if (Ev.Addr != 0) {
+      // Join the parent's spawn edge: acquire the token (transfers the
+      // parent's clock) and release it immediately so it never sits in
+      // this thread's Eraser lockset.
+      Eraser->onLockAcquire(Addr);
+      Hb->onLockAcquire(Addr);
+      Eraser->onLockRelease(Addr);
+      Hb->onLockRelease(Addr);
+    }
+    return;
+  case ReplayEvent::Kind::ThreadExit:
+    return;
+  }
+}
+
+void ReplayPool::workerMain(unsigned Slot) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    Cond.wait(Lock, [&] {
+      return ShuttingDown ||
+             (Generation != SeenGeneration && SlotTid[Slot] != 0);
+    });
+    if (ShuttingDown)
+      return;
+    SeenGeneration = Generation;
+    unsigned MyTid = SlotTid[Slot];
+    for (;;) {
+      Cond.wait(Lock, [&] {
+        return Cursor >= Events->size() || (*Events)[Cursor].Tid == MyTid;
+      });
+      if (Cursor >= Events->size())
+        break;
+      applyLocked((*Events)[Cursor]);
+      ++Cursor;
+      Cond.notify_all();
+    }
+    // Retire per-thread detector state before the instances can die.
+    Eraser->threadRetire();
+    Hb->threadRetire();
+    ++Finished;
+    Cond.notify_all();
+  }
+}
+
+void ReplayPool::replay(const std::vector<ReplayEvent> &Trace,
+                        EraserDetector &E, HappensBeforeDetector &H) {
+  // Bind each distinct tid, in first-seen order, to a pool slot.
+  std::vector<unsigned> Tids;
+  for (const ReplayEvent &Ev : Trace)
+    if (std::find(Tids.begin(), Tids.end(), Ev.Tid) == Tids.end())
+      Tids.push_back(Ev.Tid);
+  if (Tids.empty())
+    return;
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (SlotTid.size() < Tids.size())
+    SlotTid.resize(Tids.size(), 0);
+  while (Workers.size() < Tids.size()) {
+    unsigned Slot = static_cast<unsigned>(Workers.size());
+    Workers.emplace_back([this, Slot] { workerMain(Slot); });
+  }
+  Events = &Trace;
+  Eraser = &E;
+  Hb = &H;
+  Cursor = 0;
+  Active = static_cast<unsigned>(Tids.size());
+  Finished = 0;
+  for (size_t I = 0; I != SlotTid.size(); ++I)
+    SlotTid[I] = I < Tids.size() ? Tids[I] : 0;
+  ++Generation;
+  Cond.notify_all();
+  Cond.wait(Lock, [&] { return Finished == Active; });
+  Events = nullptr;
+  Eraser = nullptr;
+  Hb = nullptr;
+  std::fill(SlotTid.begin(), SlotTid.end(), 0u);
+}

@@ -1,0 +1,90 @@
+//===-- racedet/TraceReplay.h - Deterministic trace replay ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a recorded schedule trace against the production race
+/// detectors. Both detectors key their per-thread state (held locksets,
+/// vector clocks) off real OS threads, so a trace with N simulated
+/// threads is driven by N pooled worker threads taking turns through a
+/// sequence turnstile: events apply strictly in trace order, each on the
+/// worker owning its simulated tid. The pool persists across replays so
+/// detector thread ids stay bounded over thousands of fuzz iterations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RACEDET_TRACEREPLAY_H
+#define SHARC_RACEDET_TRACEREPLAY_H
+
+#include "racedet/Eraser.h"
+#include "racedet/VectorClock.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sharc {
+namespace racedet {
+
+/// One event of a replayable schedule trace. Addresses are in detector
+/// space (callers scale interpreter cell indices so one cell maps to one
+/// 8-byte granule).
+struct ReplayEvent {
+  enum class Kind : uint8_t {
+    Read,        ///< onRead(Addr, 1)
+    Write,       ///< onWrite(Addr, 1)
+    LockAcquire, ///< onLockAcquire(Addr)
+    LockRelease, ///< onLockRelease(Addr)
+    ThreadStart, ///< threadBegin(); when Addr != 0 it is a spawn token
+                 ///< the child acquires+releases to join the parent's
+                 ///< release edge without polluting Eraser locksets.
+    ThreadExit,  ///< no detector call; marks the tid quiescent
+  };
+  Kind K = Kind::Read;
+  unsigned Tid = 0; ///< Simulated thread id (dense, starting near 1).
+  uint64_t Addr = 0;
+};
+
+/// A persistent pool of worker threads that replays traces against a
+/// pair of detectors. replay() is fully synchronous and deterministic:
+/// events are applied one at a time, in order, on the worker bound to
+/// the event's simulated tid. After the last event each participating
+/// worker retires its per-thread detector state, so detector instances
+/// may be destroyed (and their heap addresses reused) between replays.
+class ReplayPool {
+public:
+  ReplayPool() = default;
+  ~ReplayPool();
+
+  ReplayPool(const ReplayPool &) = delete;
+  ReplayPool &operator=(const ReplayPool &) = delete;
+
+  void replay(const std::vector<ReplayEvent> &Events, EraserDetector &Eraser,
+              HappensBeforeDetector &Hb);
+
+private:
+  void workerMain(unsigned Slot);
+  void applyLocked(const ReplayEvent &Ev);
+
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  const std::vector<ReplayEvent> *Events = nullptr;
+  EraserDetector *Eraser = nullptr;
+  HappensBeforeDetector *Hb = nullptr;
+  size_t Cursor = 0;
+  uint64_t Generation = 0;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Workers;
+  std::vector<unsigned> SlotTid; ///< Tid a slot serves this generation.
+  unsigned Active = 0;
+  unsigned Finished = 0;
+};
+
+} // namespace racedet
+} // namespace sharc
+
+#endif // SHARC_RACEDET_TRACEREPLAY_H

@@ -8,12 +8,19 @@
 
 #include "racedet/Eraser.h"
 
+#include <algorithm>
+
 using namespace sharc;
 using namespace sharc::racedet;
 
+namespace {
+/// Per-thread clock, per detector instance.
+thread_local std::unordered_map<const HappensBeforeDetector *,
+                                HappensBeforeDetector::ThreadClock>
+    Clocks;
+} // namespace
+
 HappensBeforeDetector::ThreadClock &HappensBeforeDetector::myClock() {
-  thread_local std::unordered_map<const HappensBeforeDetector *, ThreadClock>
-      Clocks;
   ThreadClock &TC = Clocks[this];
   if (TC.Tid == 0) {
     TC.Tid = DetectorThreads::currentTid();
@@ -71,6 +78,20 @@ void HappensBeforeDetector::onAccess(const void *Addr, size_t Size,
     }
   }
 }
+
+std::vector<uintptr_t> HappensBeforeDetector::racyGranules() {
+  std::vector<uintptr_t> Out;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    for (const auto &[G, C] : S.Cells)
+      if (C.Reported)
+        Out.push_back(G);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+void HappensBeforeDetector::threadRetire() { Clocks.erase(this); }
 
 size_t HappensBeforeDetector::memoryFootprint() const {
   size_t Bytes = 0;

@@ -81,7 +81,25 @@ public:
   uint64_t getNumChecks() const {
     return Checks.load(std::memory_order_relaxed);
   }
+
+  /// \returns the sorted set of granules reported racy, for the
+  /// differential fuzz oracle.
+  std::vector<uintptr_t> racyGranules();
+
+  /// Forgets the calling thread's clock for this detector. Pooled replay
+  /// threads must call this before the instance dies; clocks are keyed
+  /// by detector address, so a later instance at the same address would
+  /// otherwise inherit a stale clock.
+  void threadRetire();
+
   size_t memoryFootprint() const;
+
+  /// Per-thread clock state (public so the thread_local registry that
+  /// keys it by detector instance can name it).
+  struct ThreadClock {
+    VectorClock Clock;
+    unsigned Tid = 0;
+  };
 
 private:
   struct Epoch {
@@ -96,10 +114,6 @@ private:
   struct Shard {
     std::mutex Mutex;
     std::unordered_map<uintptr_t, Cell> Cells;
-  };
-  struct ThreadClock {
-    VectorClock Clock;
-    unsigned Tid = 0;
   };
 
   void onAccess(const void *Addr, size_t Size, bool IsWrite);

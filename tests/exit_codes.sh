@@ -1,0 +1,39 @@
+#!/bin/sh
+# Pins sharcc's exit-code contract:
+#   2 - usage errors (no input, unknown option, unreadable file)
+#   1 - static errors, and runtime violations in both report and
+#       fail-stop modes
+#   0 - clean check and clean run
+#
+# usage: exit_codes.sh <path-to-sharcc> <examples-dir> <fixtures-dir>
+set -u
+
+SHARCC=$1
+EXAMPLES=$2
+FIXTURES=$3
+STATUS=0
+
+expect() { # <expected-exit> <description> <args...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$SHARCC" "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL: $WHAT: expected exit $WANT, got $GOT"
+    STATUS=1
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+expect 2 "no arguments"
+expect 2 "unknown option" --bogus
+expect 2 "missing file" "$EXAMPLES/does_not_exist.mc"
+expect 1 "static error" --check "$FIXTURES/static_error.mc"
+expect 1 "runtime violation, report mode" --run --quiet "$EXAMPLES/race_demo.mc"
+expect 1 "runtime violation, fail-stop" --run --fail-stop --quiet "$EXAMPLES/race_demo.mc"
+expect 0 "clean check" --check --quiet "$EXAMPLES/locked_counter.mc"
+expect 0 "clean run" --run --quiet "$EXAMPLES/locked_counter.mc"
+
+exit $STATUS

@@ -1,0 +1,93 @@
+//===-- tests/printer_roundtrip_test.cpp - Round-trip over examples -------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Print->reparse->reprint fixpoint coverage over every shipped example
+/// program (the fuzzer's oracle (a) applied to the hand-written corpus).
+/// Complements printer_test.cpp, which covers small inline fixtures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SharingAnalysis.h"
+#include "fuzz/Oracle.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace sharc;
+using namespace sharc::minic;
+
+namespace {
+
+struct Printed {
+  SourceManager SM;
+  std::unique_ptr<DiagnosticEngine> Diags;
+  std::unique_ptr<Program> Prog;
+  std::string Text;
+  bool Ok = false;
+};
+
+std::unique_ptr<Printed> printAfterInference(const std::string &Source) {
+  auto R = std::make_unique<Printed>();
+  FileId File = R->SM.addBuffer("test.mc", Source);
+  R->Diags = std::make_unique<DiagnosticEngine>(R->SM);
+  Parser P(R->SM, File, *R->Diags);
+  R->Prog = P.parseProgram();
+  if (R->Diags->hasErrors())
+    return R;
+  ExprTyper Typer(*R->Prog, *R->Diags);
+  if (!Typer.run())
+    return R;
+  analysis::SharingAnalysis SA(*R->Prog, *R->Diags);
+  if (!SA.run())
+    return R;
+  R->Text = printProgram(*R->Prog);
+  R->Ok = true;
+  return R;
+}
+
+std::vector<std::string> exampleFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(SHARC_EXAMPLES_DIR))
+    if (Entry.path().extension() == ".mc")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+} // namespace
+
+class ExampleRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ExampleRoundTripTest, PrintReparseReprintIsStable) {
+  std::ifstream In(GetParam());
+  ASSERT_TRUE(In) << GetParam();
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  auto First = printAfterInference(Buf.str());
+  ASSERT_TRUE(First->Ok) << GetParam() << "\n" << First->Diags->render();
+  std::string Reparseable = fuzz::stripPolyMarkers(First->Text);
+  auto Second = printAfterInference(Reparseable);
+  ASSERT_TRUE(Second->Ok) << GetParam() << "\n"
+                          << Second->Diags->render() << "\n"
+                          << Reparseable;
+  EXPECT_EQ(First->Text, Second->Text) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Examples, ExampleRoundTripTest,
+                         ::testing::ValuesIn(exampleFiles()),
+                         [](const auto &Info) {
+                           std::filesystem::path P(Info.param);
+                           return P.stem().string();
+                         });

@@ -1,0 +1,41 @@
+#!/bin/sh
+# Smoke-tests sharcc over every shipped example: --check must accept all
+# of them, and --run must exit 0 for the clean set and 1 for the two
+# programs that demonstrate violations by design (race_demo and the
+# unannotated pipeline of Figure 1).
+#
+# usage: smoke_examples.sh <path-to-sharcc> <examples-dir>
+set -u
+
+SHARCC=$1
+DIR=$2
+STATUS=0
+
+expect() { # <expected-exit> <description> <args...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$SHARCC" "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL: $WHAT: expected exit $WANT, got $GOT"
+    STATUS=1
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+CLEAN="bank_transfer locked_counter pfscan_mini pipeline_annotated readers_writers"
+RACY="pipeline_unannotated race_demo"
+
+for NAME in $CLEAN $RACY; do
+  expect 0 "$NAME --check" --check --quiet "$DIR/$NAME.mc"
+done
+for NAME in $CLEAN; do
+  expect 0 "$NAME --run" --run --quiet "$DIR/$NAME.mc"
+done
+for NAME in $RACY; do
+  expect 1 "$NAME --run (violations by design)" --run --quiet "$DIR/$NAME.mc"
+done
+
+exit $STATUS
