@@ -14,10 +14,15 @@
 #ifndef SHARC_BENCH_BENCHUTIL_H
 #define SHARC_BENCH_BENCHUTIL_H
 
+#include "obs/Json.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sharc {
 namespace bench {
@@ -49,6 +54,87 @@ template <typename FnT> double timeMinSeconds(FnT Fn) {
 inline double pct(double Part, double Whole) {
   return Whole > 0 ? 100.0 * Part / Whole : 0.0;
 }
+
+/// Machine-readable results for one harness, written as sharc-bench-v1
+/// JSON when --json=FILE (or --json FILE) is passed; a no-op otherwise.
+/// The text tables on stdout are untouched — the JSON rides along so
+/// BENCH_*.json files become the repo's perf trajectory
+/// (`sharc-trace check-bench` validates the schema).
+class JsonReport {
+public:
+  JsonReport(const char *Bench, int Argc, char **Argv) : Bench(Bench) {
+    for (int I = 1; I < Argc; ++I) {
+      const char *Arg = Argv[I];
+      if (std::strncmp(Arg, "--json=", 7) == 0)
+        Path = Arg + 7;
+      else if (std::strcmp(Arg, "--json") == 0 && I + 1 < Argc)
+        Path = Argv[++I];
+    }
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  void beginRow(const std::string &Name) {
+    Rows.emplace_back(Name, std::vector<std::pair<std::string, double>>());
+  }
+
+  void metric(const std::string &Key, double Value) {
+    if (Rows.empty())
+      beginRow("default");
+    Rows.back().second.emplace_back(Key, Value);
+  }
+
+  /// Writes the report (if enabled) and folds a write failure into the
+  /// harness exit code. Call as `return Report.finish(Status);`.
+  int finish(int Status) {
+    if (!enabled())
+      return Status;
+    obs::JsonWriter W;
+    W.beginObject();
+    W.key("schema");
+    W.value("sharc-bench-v1");
+    W.key("bench");
+    W.value(Bench);
+    W.key("scale");
+    W.value(static_cast<uint64_t>(scale()));
+    W.key("reps");
+    W.value(static_cast<uint64_t>(reps()));
+    W.key("rows");
+    W.beginArray();
+    for (const auto &[Name, Metrics] : Rows) {
+      W.beginObject();
+      W.key("name");
+      W.value(Name);
+      W.key("metrics");
+      W.beginObject();
+      for (const auto &[Key, Value] : Metrics) {
+        W.key(Key);
+        W.value(Value);
+      }
+      W.endObject();
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::string Text = W.take();
+    Text.push_back('\n');
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    bool Ok = F && std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+    if (F && std::fclose(F) != 0)
+      Ok = false;
+    if (!Ok) {
+      std::fprintf(stderr, "%s: cannot write '%s'\n", Bench, Path.c_str());
+      return Status ? Status : 2;
+    }
+    return Status;
+  }
+
+private:
+  const char *Bench;
+  std::string Path;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>>
+      Rows;
+};
 
 } // namespace bench
 } // namespace sharc

@@ -101,7 +101,8 @@ struct SharcDetector {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::JsonReport Report("bench_detector_comparison", Argc, Argv);
   unsigned NumThreads = 3;
   std::vector<CorpusFile> Corpus =
       makeCorpus(16 * scale(), 65536, "etaoin", 3);
@@ -163,5 +164,16 @@ int main() {
   std::printf("\nSharC's advantage is structural: modes tell it *which* "
               "accesses need checks, and its shadow fast path is one CAS; "
               "the baselines pay a locked hash-table visit per access.\n");
-  return 0;
+
+  auto Record = [&](const char *Name, double Sec, double Races) {
+    Report.beginRow(Name);
+    Report.metric("sec", Sec);
+    Report.metric("ratio_vs_none", NoneSec > 0 ? Sec / NoneSec : 0.0);
+    Report.metric("races", Races);
+  };
+  Record("none", NoneSec, 0);
+  Record("sharc", SharcSec, 0);
+  Record("eraser", EraserSec, static_cast<double>(EraserRaces));
+  Record("hb", HbSec, static_cast<double>(HbRaces));
+  return Report.finish(0);
 }

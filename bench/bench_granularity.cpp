@@ -87,7 +87,8 @@ double checkThroughputMops(unsigned GranuleShift, unsigned Iterations) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  sharc::bench::JsonReport Report("bench_granularity", Argc, Argv);
   unsigned NumObjects = 4096;
   unsigned Iterations = 1000000 * scale();
   std::printf("=== Granularity sweep (Section 4.5) ===\n");
@@ -102,10 +103,15 @@ int main() {
     std::printf("%6uB | %8u/%-5u | %13.2f%% | %10.1f%s\n", 1u << Shift,
                 Reports, NumObjects, ShadowPct, Mops,
                 Shift == 4 ? "   <- the paper's choice" : "");
+    Report.beginRow("granule-" + std::to_string(1u << Shift));
+    Report.metric("granule_bytes", 1u << Shift);
+    Report.metric("false_reports", Reports);
+    Report.metric("shadow_overhead_pct", ShadowPct);
+    Report.metric("mchecks_per_sec", Mops);
   }
   std::printf("\n16-byte granules keep shadow memory at 1/16th of payload "
               "while false sharing only affects sub-granule neighbours; "
               "SharC aligns malloc to 16 bytes so distinct heap objects "
               "never collide (Section 4.5).\n");
-  return 0;
+  return Report.finish(0);
 }

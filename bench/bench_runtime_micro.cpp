@@ -12,9 +12,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "rt/Sharc.h"
 
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <vector>
 
 using namespace sharc;
 
@@ -181,6 +185,48 @@ void BM_HeapAllocFree(benchmark::State &State) {
 }
 BENCHMARK(BM_HeapAllocFree);
 
+/// Console reporter that also records each run into a JsonReport row.
+class CapturingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit CapturingReporter(bench::JsonReport &Report) : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      Report.beginRow(R.benchmark_name());
+      Report.metric("real_ns", R.GetAdjustedRealTime());
+      Report.metric("cpu_ns", R.GetAdjustedCPUTime());
+      Report.metric("iterations", static_cast<double>(R.iterations));
+    }
+    ConsoleReporter::ReportRuns(Runs);
+  }
+
+private:
+  bench::JsonReport &Report;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  bench::JsonReport Report("bench_runtime_micro", Argc, Argv);
+  // Strip the --json flag before handing argv to google-benchmark, which
+  // owns all remaining flags (--benchmark_filter etc.).
+  std::vector<char *> Args;
+  for (int I = 0; I != Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg.substr(0, 7) == "--json=")
+      continue;
+    if (Arg == "--json") {
+      ++I;
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  int FilteredArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&FilteredArgc, Args.data());
+  CapturingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  return Report.finish(0);
+}

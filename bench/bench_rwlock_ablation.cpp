@@ -51,7 +51,8 @@ void runReaders(unsigned NumReaders, unsigned Rounds, AccessT Access) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  sharc::bench::JsonReport Report("bench_rwlock_ablation", Argc, Argv);
   unsigned NumReaders = 3;
   unsigned Rounds = 20000 * scale();
   std::printf("=== rwlocked ablation (Section 7 extension) ===\n");
@@ -140,5 +141,18 @@ int main() {
   std::printf("\nrwlocked keeps the checked-lock discipline while letting "
               "readers overlap; on a multi-core host the locked/rwlocked "
               "gap widens with reader count.\n");
-  return 0;
+
+  Report.beginRow("locked");
+  Report.metric("sec", LockedSec);
+  Report.metric("ratio_vs_locked", 1.0);
+  Report.metric("conflicts", 0);
+  Report.beginRow("rwlocked");
+  Report.metric("sec", RwSec);
+  Report.metric("ratio_vs_locked", LockedSec > 0 ? RwSec / LockedSec : 0.0);
+  Report.metric("conflicts", 0);
+  Report.beginRow("dynamic");
+  Report.metric("sec", DynSec);
+  Report.metric("ratio_vs_locked", LockedSec > 0 ? DynSec / LockedSec : 0.0);
+  Report.metric("conflicts", static_cast<double>(Conflicts));
+  return Report.finish(0);
 }

@@ -99,7 +99,8 @@ void printRow(const Row &R) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  JsonReport Report("bench_table1", Argc, Argv);
   unsigned S = scale();
   std::printf("=== Table 1: SharC overheads on the six benchmarks "
               "(scale=%u, reps=%u) ===\n",
@@ -180,11 +181,25 @@ int main() {
     MemSum += R.MemOverheadPct;
     ++Counted;
     AllClean = AllClean && R.Clean;
+    Report.beginRow(R.Name);
+    Report.metric("threads", R.Threads);
+    Report.metric("annotations", R.Annots);
+    Report.metric("changes", R.Changes);
+    Report.metric("time_orig_sec", R.OrigSec);
+    Report.metric("time_sharc_sec", R.SharcSec);
+    Report.metric("time_overhead_pct", R.timeOverheadPct());
+    Report.metric("mem_overhead_pct", R.MemOverheadPct);
+    Report.metric("dynamic_pct", R.DynamicPct);
+    Report.metric("clean", R.Clean ? 1 : 0);
   }
   std::printf("\naverages: %.1f%% time overhead, %.1f%% metadata-memory "
               "overhead (paper: 9.2%%, 26.1%%)\n",
               TimeSum / Counted, MemSum / Counted);
   std::printf("total annotations: 60, other changes: 123 "
               "(paper: 60 and 122 across 600k lines)\n");
-  return AllClean ? 0 : 1;
+  Report.beginRow("average");
+  Report.metric("time_overhead_pct", TimeSum / Counted);
+  Report.metric("mem_overhead_pct", MemSum / Counted);
+  Report.metric("clean", AllClean ? 1 : 0);
+  return Report.finish(AllClean ? 0 : 1);
 }

@@ -1,0 +1,32 @@
+#!/bin/sh
+# The full local CI pipeline: configure, build, tier-1 tests, a bounded
+# fuzz campaign, and a bench smoke pass that leaves the machine-readable
+# perf trajectory at the repo root as BENCH_table1.json (schema-checked
+# by `sharc-trace check-bench` and by the bench_smoke tier-1 test).
+#
+# usage: scripts/ci.sh [build-dir]
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "== configure =="
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1 tests =="
+(cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+
+echo "== fuzz smoke =="
+"$BUILD/src/fuzz/sharc-fuzz" --count 100 --schedules 4 --seed 1 --quiet
+
+echo "== bench smoke -> BENCH_table1.json =="
+SHARC_BENCH_SCALE=1 SHARC_BENCH_REPS=1 \
+  "$BUILD/bench/bench_table1" --json="$ROOT/BENCH_table1.json" >/dev/null \
+  || true # non-clean rows exit 1 but still write the report
+"$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_table1.json"
+
+echo "== ci.sh: all green =="

@@ -14,8 +14,10 @@
 ///   sharcc --check file.mc         static checking only
 ///   sharcc --run file.mc           run (after checking)
 ///   options: --seed N --fail-stop --entry NAME --max-steps N --quiet
+///            --trace-out FILE --metrics-out FILE
 ///
-/// Exit status: 0 clean; 1 static errors or runtime violations; 2 usage.
+/// Exit status: 0 clean; 1 static errors or runtime violations; 2 usage
+/// (including malformed numeric arguments) and output-file I/O errors.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +27,11 @@
 #include "minic/ExprTyper.h"
 #include "minic/Parser.h"
 #include "minic/Printer.h"
+#include "obs/Json.h"
+#include "obs/MetricsJson.h"
+#include "obs/TraceFile.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,20 +47,58 @@ struct DriverOptions {
   bool CheckOnly = false;
   bool Run = false;
   bool Quiet = false;
+  std::string TraceOut;   ///< --trace-out: binary .strc event trace.
+  std::string MetricsOut; ///< --metrics-out: sharc-metrics-v1 JSON.
   interp::InterpOptions Interp;
 };
 
-void printUsage() {
+void printUsage(std::FILE *To) {
   std::fprintf(
-      stderr,
+      To,
       "usage: sharcc [--infer|--check|--run] [--seed N] [--fail-stop]\n"
-      "              [--entry NAME] [--max-steps N] [--quiet] file.mc\n");
+      "              [--entry NAME] [--max-steps N] [--quiet]\n"
+      "              [--trace-out FILE] [--metrics-out FILE] file.mc\n"
+      "\n"
+      "modes (default: --run):\n"
+      "  --infer            print the program with inferred annotations\n"
+      "  --check            static checking only\n"
+      "  --run              run under the checked interpreter\n"
+      "\n"
+      "run options:\n"
+      "  --seed N           scheduler seed (default 1)\n"
+      "  --max-steps N      step budget before reporting livelock\n"
+      "  --fail-stop        stop a thread at its first violation\n"
+      "  --entry NAME       entry function (default main)\n"
+      "  --quiet            suppress the summary line\n"
+      "  --trace-out FILE   record the run as a binary .strc event trace\n"
+      "                     (analyze with sharc-trace)\n"
+      "  --metrics-out FILE write run statistics as sharc-metrics-v1 JSON\n"
+      "\n"
+      "exit status: 0 clean; 1 static errors or runtime violations; 2\n"
+      "usage or output I/O errors\n");
 }
 
-bool parseArgs(int Argc, char **Argv, DriverOptions &Options) {
+/// Strict unsigned parse for numeric flags: the whole argument must be
+/// digits (std::from_chars, base 10), no trailing garbage, no sign.
+bool parseU64Arg(const char *Flag, const char *Text, uint64_t &Out) {
+  const char *End = Text + std::strlen(Text);
+  auto [Ptr, Ec] = std::from_chars(Text, End, Out, 10);
+  if (Ec != std::errc() || Ptr != End || Text == End) {
+    std::fprintf(stderr, "sharcc: %s expects an unsigned integer, got '%s'\n",
+                 Flag, Text);
+    return false;
+  }
+  return true;
+}
+
+/// 0 = parsed; 1 = parsed and exit 0 requested (--help); 2 = usage error.
+int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg == "--infer") {
+    if (Arg == "--help" || Arg == "-h") {
+      printUsage(stdout);
+      return 1;
+    } else if (Arg == "--infer") {
       Options.Infer = true;
     } else if (Arg == "--check") {
       Options.CheckOnly = true;
@@ -64,37 +108,145 @@ bool parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       Options.Interp.FailStop = true;
     } else if (Arg == "--quiet") {
       Options.Quiet = true;
-    } else if (Arg == "--seed" && I + 1 < Argc) {
-      Options.Interp.Seed = std::strtoull(Argv[++I], nullptr, 10);
-    } else if (Arg == "--max-steps" && I + 1 < Argc) {
-      Options.Interp.MaxSteps = std::strtoull(Argv[++I], nullptr, 10);
-    } else if (Arg == "--entry" && I + 1 < Argc) {
+    } else if (Arg == "--seed") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharcc: --seed needs a value\n");
+        return 2;
+      }
+      if (!parseU64Arg("--seed", Argv[++I], Options.Interp.Seed))
+        return 2;
+    } else if (Arg == "--max-steps") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharcc: --max-steps needs a value\n");
+        return 2;
+      }
+      if (!parseU64Arg("--max-steps", Argv[++I], Options.Interp.MaxSteps))
+        return 2;
+    } else if (Arg == "--entry") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharcc: --entry needs a value\n");
+        return 2;
+      }
       Options.Interp.EntryPoint = Argv[++I];
+    } else if (Arg == "--trace-out") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharcc: --trace-out needs a file\n");
+        return 2;
+      }
+      Options.TraceOut = Argv[++I];
+    } else if (Arg == "--metrics-out") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharcc: --metrics-out needs a file\n");
+        return 2;
+      }
+      Options.MetricsOut = Argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "sharcc: unknown option '%s'\n", Arg.c_str());
-      return false;
+      return 2;
     } else if (Options.InputPath.empty()) {
       Options.InputPath = Arg;
     } else {
       std::fprintf(stderr, "sharcc: multiple input files\n");
-      return false;
+      return 2;
     }
   }
   if (Options.InputPath.empty()) {
     std::fprintf(stderr, "sharcc: no input file\n");
-    return false;
+    return 2;
   }
   if (!Options.Infer && !Options.CheckOnly && !Options.Run)
     Options.Run = true; // default: check and run
-  return true;
+  if ((Options.Infer || Options.CheckOnly) &&
+      (!Options.TraceOut.empty() || !Options.MetricsOut.empty())) {
+    std::fprintf(stderr,
+                 "sharcc: --trace-out/--metrics-out require a run mode\n");
+    return 2;
+  }
+  return 0;
+}
+
+/// Writes the sharc-metrics-v1 document for a completed run.
+std::string renderMetrics(const DriverOptions &Options,
+                          const interp::InterpResult &Result) {
+  using interp::Violation;
+  obs::JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("sharc-metrics-v1");
+  W.key("source");
+  W.value(Options.InputPath);
+  W.key("seed");
+  W.value(Options.Interp.Seed);
+  W.key("entry");
+  W.value(Options.Interp.EntryPoint);
+  W.key("fail_stop");
+  W.value(Options.Interp.FailStop);
+  W.key("completed");
+  W.value(Result.Completed);
+  W.key("deadlocked");
+  W.value(Result.Deadlocked);
+  W.key("out_of_steps");
+  W.value(Result.OutOfSteps);
+  W.key("steps");
+  W.value(Result.Stats.Steps);
+  W.key("threads_spawned");
+  W.value(Result.Stats.ThreadsSpawned);
+  W.key("accesses");
+  W.value(Result.Stats.TotalAccesses);
+  W.key("reads");
+  W.value(Result.Stats.Reads);
+  W.key("writes");
+  W.value(Result.Stats.Writes);
+  W.key("dynamic_checks");
+  W.value(Result.Stats.DynamicChecks);
+  W.key("lock_checks");
+  W.value(Result.Stats.LockChecks);
+  W.key("sharing_casts");
+  W.value(Result.Stats.SharingCasts);
+  W.key("violations");
+  W.beginObject();
+  W.key("total");
+  W.value(static_cast<uint64_t>(Result.Violations.size()));
+  W.key("read_conflicts");
+  W.value(Result.count(Violation::Kind::ReadConflict));
+  W.key("write_conflicts");
+  W.value(Result.count(Violation::Kind::WriteConflict));
+  W.key("lock_violations");
+  W.value(Result.count(Violation::Kind::LockViolation));
+  W.key("cast_errors");
+  W.value(Result.count(Violation::Kind::CastError));
+  W.key("runtime_errors");
+  W.value(Result.count(Violation::Kind::RuntimeError));
+  W.endObject();
+  W.key("stats");
+  appendStatsJson(W, interp::toStatsSnapshot(Result));
+  W.endObject();
+  std::string Out = W.take();
+  Out.push_back('\n');
+  return Out;
+}
+
+bool writeTextFile(const std::string &Path, const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  return Ok;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   DriverOptions Options;
-  if (!parseArgs(Argc, Argv, Options)) {
-    printUsage();
+  switch (parseArgs(Argc, Argv, Options)) {
+  case 0:
+    break;
+  case 1:
+    return 0; // --help
+  default:
+    printUsage(stderr);
     return 2;
   }
 
@@ -152,6 +304,10 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  obs::TraceWriter Trace;
+  if (!Options.TraceOut.empty())
+    Options.Interp.Sink = &Trace;
+
   interp::Interp Interp(*Prog, Check.getInstrumentation());
   interp::InterpResult Result = Interp.run(Options.Interp);
   std::printf("%s", Result.Output.c_str());
@@ -159,6 +315,23 @@ int main(int Argc, char **Argv) {
   std::string FileName(SM.getFileName(File));
   for (const interp::Violation &V : Result.Violations)
     std::fprintf(stderr, "%s", V.format(FileName).c_str());
+
+  if (!Options.TraceOut.empty()) {
+    // Close the trace with a final stats sample so `sharc-trace metrics`
+    // and the summary's footer see the run's counters.
+    Trace.stats(interp::toStatsSnapshot(Result));
+    std::string TraceError;
+    if (!Trace.writeToFile(Options.TraceOut, TraceError)) {
+      std::fprintf(stderr, "sharcc: %s\n", TraceError.c_str());
+      return 2;
+    }
+  }
+  if (!Options.MetricsOut.empty() &&
+      !writeTextFile(Options.MetricsOut, renderMetrics(Options, Result))) {
+    std::fprintf(stderr, "sharcc: cannot write '%s'\n",
+                 Options.MetricsOut.c_str());
+    return 2;
+  }
 
   if (!Options.Quiet) {
     double DynPct =

@@ -14,6 +14,8 @@
 #include "minic/ExprTyper.h"
 #include "minic/Parser.h"
 #include "minic/Printer.h"
+#include "obs/Summary.h"
+#include "obs/TraceFile.h"
 #include "rt/RefCount.h"
 #include "rt/Stats.h"
 #include "rt/ThreadRegistry.h"
@@ -46,6 +48,8 @@ const char *sharc::fuzz::failureKindName(FailureKind K) {
     return "hb-mismatch";
   case FailureKind::RcMismatch:
     return "rc-mismatch";
+  case FailureKind::TraceMismatch:
+    return "trace-mismatch";
   }
   return "unknown";
 }
@@ -234,6 +238,83 @@ std::vector<int64_t> replayRc(rt::RcMode Mode,
   return Counts;
 }
 
+/// Oracle 5: parse back the bytes the TraceWriter collected alongside
+/// run \p R and check them against the legacy trace vector, the
+/// violation list, and the aggregate stats. Returns an empty string on
+/// agreement, a description of the first disagreement otherwise.
+std::string checkTraceRoundTrip(obs::TraceWriter &Writer,
+                                const interp::InterpResult &R,
+                                const std::vector<TraceEvent> &Trace) {
+  rt::StatsSnapshot Snapshot = interp::toStatsSnapshot(R);
+  Writer.stats(Snapshot);
+
+  obs::TraceData Data;
+  std::string Error;
+  if (!obs::parseTrace(Writer.buffer(), Data, Error))
+    return "serialised trace does not parse back: " + Error;
+
+  std::ostringstream OS;
+  size_t Legacy = 0;
+  uint64_t Conflicts = 0;
+  for (size_t I = 0; I < Data.Events.size(); ++I) {
+    const obs::Event &Ev = Data.Events[I];
+    if (Ev.K == obs::EventKind::Conflict) {
+      ++Conflicts;
+      continue;
+    }
+    if (Ev.K > obs::LastInterpKind) {
+      OS << "unexpected " << obs::eventKindName(Ev.K) << " event at record "
+         << I;
+      return OS.str();
+    }
+    if (Legacy == Trace.size()) {
+      OS << "parsed trace has extra " << obs::eventKindName(Ev.K)
+         << " event at record " << I;
+      return OS.str();
+    }
+    const TraceEvent &Want = Trace[Legacy++];
+    if (static_cast<obs::EventKind>(Want.K) != Ev.K || Want.Tid != Ev.Tid ||
+        Want.Addr != Ev.Addr || Want.Value != Ev.Value) {
+      OS << "record " << I << " (" << obs::eventKindName(Ev.K)
+         << " tid " << Ev.Tid << " addr " << Ev.Addr
+         << ") differs from legacy trace event " << (Legacy - 1);
+      return OS.str();
+    }
+  }
+  if (Legacy != Trace.size()) {
+    OS << "parsed trace carries " << Legacy << " schedule events, legacy "
+       << "trace has " << Trace.size();
+    return OS.str();
+  }
+  if (Conflicts != R.Violations.size()) {
+    OS << Conflicts << " conflict records for " << R.Violations.size()
+       << " violations";
+    return OS.str();
+  }
+
+  obs::TraceSummary Sum = obs::summarize(Data);
+  uint64_t Accesses =
+      Sum.CountByKind[static_cast<size_t>(obs::EventKind::Read)] +
+      Sum.CountByKind[static_cast<size_t>(obs::EventKind::Write)];
+  if (Accesses != R.Stats.TotalAccesses) {
+    OS << "summary counts " << Accesses << " accesses, run reports "
+       << R.Stats.TotalAccesses;
+    return OS.str();
+  }
+  uint64_t Starts =
+      Sum.CountByKind[static_cast<size_t>(obs::EventKind::ThreadStart)];
+  // ThreadsSpawned counts every spawnThread call (the entry thread too),
+  // and each one emits exactly one ThreadStart.
+  if (Starts != R.Stats.ThreadsSpawned) {
+    OS << Starts << " thread-start records for " << R.Stats.ThreadsSpawned
+       << " spawned threads";
+    return OS.str();
+  }
+  if (Data.Samples.size() != 1 || Data.Samples.back() != Snapshot)
+    return "final stats sample does not round-trip";
+  return std::string();
+}
+
 } // namespace
 
 OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
@@ -299,12 +380,15 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
       Seed = 1;
 
     std::vector<TraceEvent> Trace, Trace2;
+    obs::TraceWriter Writer;
     interp::InterpOptions Opts;
     Opts.Seed = Seed;
     Opts.MaxSteps = Cfg.MaxSteps;
     Opts.Trace = &Trace;
+    Opts.Sink = &Writer; // oracle 5 watches the first run
     interp::InterpResult R1 = Interp.run(Opts);
     Opts.Trace = &Trace2;
+    Opts.Sink = nullptr;
     interp::InterpResult R2 = Interp.run(Opts);
     ++Out.SchedulesRun;
     Out.ViolationsSeen += R1.Violations.size();
@@ -324,6 +408,16 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
     }
     D.u64(Seed);
     D.u64(D1.H);
+
+    // Oracle 5: the binary trace round-trip must reproduce the run.
+    if (std::string Mismatch = checkTraceRoundTrip(Writer, R1, Trace);
+        !Mismatch.empty()) {
+      Out.Failure = FailureKind::TraceMismatch;
+      std::ostringstream OS;
+      OS << "seed " << Seed << ": " << Mismatch;
+      Out.Detail = OS.str();
+      return Out;
+    }
 
     if (Trace.size() > Cfg.MaxTraceEvents) {
       ++Out.TraceSkips;

@@ -19,6 +19,11 @@
 ///      stores through the Atomic and Levanoni-Petrank engines must
 ///      reproduce the interpreter's oneref count at every sharing cast,
 ///      and both engines must agree with each other.
+///   5. Trace round-trip: serialising the run through the obs
+///      TraceWriter and parsing the bytes back must reproduce the legacy
+///      schedule trace event-for-event, carry one Conflict record per
+///      violation, agree with the run's aggregate stats, and end with a
+///      final StatsSnapshot sample equal to toStatsSnapshot(run).
 ///
 /// Parse/type failures on generated programs are generator-contract
 /// violations and count as failures. Analysis or checker rejections are
@@ -48,6 +53,7 @@ enum class FailureKind : uint8_t {
   EraserMismatch, ///< Production Eraser != reference lockset replay.
   HbMismatch,     ///< Production vector clocks != reference HB replay.
   RcMismatch,     ///< Atomic / Levanoni-Petrank / interpreter counts differ.
+  TraceMismatch,  ///< obs trace round-trip disagrees with the run.
 };
 
 const char *failureKindName(FailureKind K);

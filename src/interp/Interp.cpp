@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "obs/Sink.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -14,6 +16,37 @@ using namespace sharc;
 using namespace sharc::interp;
 using namespace sharc::minic;
 using sharc::checker::AccessCheck;
+
+// The obs event vocabulary embeds TraceEvent::Kind as a prefix so the
+// two streams convert by cast. A reorder on either side must keep this
+// table true (the fuzzer's trace oracle also pins it at runtime).
+#define SHARC_CHECK_KIND(K)                                                    \
+  static_assert(static_cast<int>(obs::EventKind::K) ==                         \
+                static_cast<int>(TraceEvent::Kind::K))
+SHARC_CHECK_KIND(Read);
+SHARC_CHECK_KIND(Write);
+SHARC_CHECK_KIND(LockAcquire);
+SHARC_CHECK_KIND(LockRelease);
+SHARC_CHECK_KIND(SpawnEdge);
+SHARC_CHECK_KIND(ThreadStart);
+SHARC_CHECK_KIND(ThreadExit);
+SHARC_CHECK_KIND(PtrStore);
+SHARC_CHECK_KIND(CastQuery);
+#undef SHARC_CHECK_KIND
+static_assert(static_cast<int>(obs::LastInterpKind) ==
+              static_cast<int>(TraceEvent::Kind::CastQuery));
+
+// Violation kinds likewise embed into obs::ConflictKind by cast.
+static_assert(static_cast<int>(obs::ConflictKind::ReadConflict) ==
+              static_cast<int>(Violation::Kind::ReadConflict));
+static_assert(static_cast<int>(obs::ConflictKind::WriteConflict) ==
+              static_cast<int>(Violation::Kind::WriteConflict));
+static_assert(static_cast<int>(obs::ConflictKind::LockViolation) ==
+              static_cast<int>(Violation::Kind::LockViolation));
+static_assert(static_cast<int>(obs::ConflictKind::CastError) ==
+              static_cast<int>(Violation::Kind::CastError));
+static_assert(static_cast<int>(obs::ConflictKind::RuntimeError) ==
+              static_cast<int>(Violation::Kind::RuntimeError));
 
 std::string Violation::format(const std::string &FileName) const {
   const char *KindName = "violation";
@@ -176,10 +209,33 @@ private:
   /// free) so pointer-slot mutations still reach the trace while
   /// Stats.TotalAccesses keeps its meaning.
   void setCellRaw(ThreadCtx &T, Addr A, int64_t V, bool IsPtr);
+  /// True when any consumer wants the event stream; gates the implicit
+  /// PtrStore bookkeeping so disabled runs skip it entirely.
+  bool tracing() const { return Options.Trace || Options.Sink; }
+
   void emit(TraceEvent::Kind K, const ThreadCtx &T, uint64_t A,
             int64_t V = 0) {
     if (Options.Trace)
       Options.Trace->push_back(TraceEvent{K, T.TraceTid, A, V});
+    if (Options.Sink)
+      Options.Sink->event(obs::Event{static_cast<obs::EventKind>(K),
+                                     T.TraceTid, A, V, 0});
+  }
+
+  /// Publishes a Conflict event for a just-recorded violation. Null T
+  /// means the machine itself (thread limit, deadlock, step budget);
+  /// those carry tid 0.
+  void emitConflict(const Violation &V, const ThreadCtx *T) {
+    if (!Options.Sink)
+      return;
+    obs::Event Ev;
+    Ev.K = obs::EventKind::Conflict;
+    Ev.Tid = T ? T->TraceTid : 0;
+    Ev.Addr = V.Address;
+    Ev.Value = static_cast<int64_t>(V.LastTid);
+    Ev.Extra = obs::makeConflictExtra(
+        static_cast<obs::ConflictKind>(V.K), V.WhoLine, V.LastLine);
+    Options.Sink->event(Ev);
   }
 
   void chkRead(ThreadCtx &T, Addr A, const Expr *Node);
@@ -348,6 +404,7 @@ void Machine::report(Violation::Kind K, ThreadCtx &T, Addr A,
   }
   V.Detail = std::move(Detail);
   Result.Violations.push_back(std::move(V));
+  emitConflict(Result.Violations.back(), &T);
   if (Options.FailStop)
     T.State = ThreadCtx::St::Failed;
 }
@@ -446,6 +503,7 @@ void Machine::runChecks(ThreadCtx &T, Frame &F, const Expr *Node, Addr A) {
 int64_t Machine::readCell(ThreadCtx &T, Addr A, const Expr *Node) {
   (void)Node;
   ++Result.Stats.TotalAccesses;
+  ++Result.Stats.Reads;
   emit(TraceEvent::Kind::Read, T, A);
   return Mem[A].V;
 }
@@ -454,15 +512,16 @@ void Machine::storeCell(ThreadCtx &T, Addr A, int64_t V, bool IsPtr,
                         const Expr *Node) {
   (void)Node;
   ++Result.Stats.TotalAccesses;
+  ++Result.Stats.Writes;
   emit(TraceEvent::Kind::Write, T, A);
-  if (Options.Trace && (IsPtr || Mem[A].IsPtr))
+  if (tracing() && (IsPtr || Mem[A].IsPtr))
     emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
   Mem[A].V = V;
   Mem[A].IsPtr = IsPtr;
 }
 
 void Machine::setCellRaw(ThreadCtx &T, Addr A, int64_t V, bool IsPtr) {
-  if (Options.Trace && (IsPtr || Mem[A].IsPtr))
+  if (tracing() && (IsPtr || Mem[A].IsPtr))
     emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
   Mem[A].V = V;
   Mem[A].IsPtr = IsPtr;
@@ -1006,6 +1065,7 @@ ThreadCtx &Machine::spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg) {
     V.K = Violation::Kind::RuntimeError;
     V.Detail = "thread limit (62 concurrent) exceeded";
     Result.Violations.push_back(V);
+    emitConflict(Result.Violations.back(), &T);
     T.State = ThreadCtx::St::Failed;
     return T;
   }
@@ -1270,6 +1330,7 @@ InterpResult Machine::run() {
     V.K = Violation::Kind::RuntimeError;
     V.Detail = "no entry point '" + Options.EntryPoint + "'";
     Result.Violations.push_back(V);
+    emitConflict(Result.Violations.back(), nullptr);
     return std::move(Result);
   }
   ThreadCtx &Main = spawnThread(Entry, 0, false);
@@ -1308,6 +1369,7 @@ InterpResult Machine::run() {
         V.K = Violation::Kind::RuntimeError;
         V.Detail = "deadlock: all live threads are blocked";
         Result.Violations.push_back(V);
+        emitConflict(Result.Violations.back(), nullptr);
       }
       return std::move(Result);
     }
@@ -1320,10 +1382,27 @@ InterpResult Machine::run() {
   V.K = Violation::Kind::RuntimeError;
   V.Detail = "step budget exhausted (possible livelock)";
   Result.Violations.push_back(V);
+  emitConflict(Result.Violations.back(), nullptr);
   return std::move(Result);
 }
 
 } // namespace
+
+rt::StatsSnapshot interp::toStatsSnapshot(const InterpResult &R) {
+  constexpr uint64_t CellBytes = 8;
+  rt::StatsSnapshot S;
+  S.DynamicReads = R.Stats.Reads;
+  S.DynamicWrites = R.Stats.Writes;
+  S.DynamicReadBytes = R.Stats.Reads * CellBytes;
+  S.DynamicWriteBytes = R.Stats.Writes * CellBytes;
+  S.LockChecks = R.Stats.LockChecks;
+  S.SharingCasts = R.Stats.SharingCasts;
+  S.ReadConflicts = R.count(Violation::Kind::ReadConflict);
+  S.WriteConflicts = R.count(Violation::Kind::WriteConflict);
+  S.LockViolations = R.count(Violation::Kind::LockViolation);
+  S.CastErrors = R.count(Violation::Kind::CastError);
+  return S;
+}
 
 InterpResult Interp::run(const InterpOptions &Options) {
   Machine M(Prog, Instr, Options);

@@ -36,6 +36,7 @@
 
 #include "checker/Instrumentation.h"
 #include "minic/AST.h"
+#include "rt/Stats.h"
 
 #include <cstdint>
 #include <deque>
@@ -45,6 +46,10 @@
 #include <vector>
 
 namespace sharc {
+namespace obs {
+class Sink;
+} // namespace obs
+
 namespace interp {
 
 /// A detected sharing-strategy violation, rendered in the paper's report
@@ -116,12 +121,19 @@ struct InterpOptions {
   /// The vector is cleared first. Null (the default) records nothing
   /// and costs nothing.
   std::vector<TraceEvent> *Trace = nullptr;
+  /// When non-null, every trace event is also published here as an
+  /// obs::Event (plus obs-only kinds: Conflict records for each
+  /// violation). The sink sees the same total order the Trace vector
+  /// records. Null (the default) publishes nothing and costs nothing.
+  obs::Sink *Sink = nullptr;
 };
 
 /// Execution statistics, used by tests and the driver's summary.
 struct InterpStats {
   uint64_t Steps = 0;
   uint64_t TotalAccesses = 0;
+  uint64_t Reads = 0;  ///< Cell reads (Reads + Writes == TotalAccesses).
+  uint64_t Writes = 0; ///< Cell writes.
   uint64_t DynamicChecks = 0;
   uint64_t LockChecks = 0;
   uint64_t SharingCasts = 0;
@@ -165,6 +177,14 @@ private:
   minic::Program &Prog;
   const checker::Instrumentation &Instr;
 };
+
+/// Projects an interpreter result onto the runtime's counter schema so
+/// one metrics pipeline (obs::statsToJson, trace stats samples) serves
+/// both execution engines. Mapping notes: the interpreter checks every
+/// cell access, so Reads/Writes land in DynamicReads/DynamicWrites
+/// (byte counts use the 8-byte cell size); RuntimeError violations have
+/// no snapshot counter and are excluded from the conflict fields.
+rt::StatsSnapshot toStatsSnapshot(const InterpResult &R);
 
 } // namespace interp
 } // namespace sharc

@@ -1,0 +1,90 @@
+#include "obs/Collector.h"
+
+namespace sharc::obs {
+
+namespace {
+
+std::atomic<uint64_t> NextCollectorId{1};
+
+size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+// Thread-local cache mapping live Collector instances to this thread's
+// ring. Entries for destroyed collectors are invalidated by the Id
+// check (ids are never reused).
+struct TlsEntry {
+  const void *C;
+  uint64_t Id;
+  void *Ring;
+};
+
+thread_local std::vector<TlsEntry> TlsRings;
+
+} // namespace
+
+Collector::Collector(Sink &Downstream, size_t RingCapacity)
+    : Downstream(Downstream),
+      Capacity(roundUpPow2(RingCapacity < 2 ? 2 : RingCapacity)),
+      Id(NextCollectorId.fetch_add(1, std::memory_order_relaxed)) {}
+
+Collector::~Collector() { flush(); }
+
+Collector::Ring &Collector::myRing() {
+  for (const TlsEntry &E : TlsRings)
+    if (E.C == this && E.Id == Id)
+      return *static_cast<Ring *>(E.Ring);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Rings.push_back(std::make_unique<Ring>(Capacity));
+  Ring *R = Rings.back().get();
+  TlsRings.push_back(TlsEntry{this, Id, R});
+  return *R;
+}
+
+void Collector::event(const Event &Ev) {
+  Ring &R = myRing();
+  size_t Head = R.Head.load(std::memory_order_relaxed);
+  if (Head - R.Tail.load(std::memory_order_acquire) == R.Buf.size()) {
+    // Ring full: the producer drains its own ring under the collector
+    // mutex. Back-pressure instead of drops keeps every record.
+    std::lock_guard<std::mutex> Lock(Mu);
+    drainLocked(R);
+  }
+  R.Buf[Head & R.Mask] = Ev;
+  R.Head.store(Head + 1, std::memory_order_release);
+}
+
+void Collector::stats(const rt::StatsSnapshot &S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Drain first so the sample lands after this thread's queued events.
+  for (auto &R : Rings)
+    drainLocked(*R);
+  Downstream.stats(S);
+}
+
+void Collector::flush() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &R : Rings)
+    drainLocked(*R);
+  Downstream.flush();
+}
+
+void Collector::drainLocked(Ring &R) {
+  size_t Tail = R.Tail.load(std::memory_order_relaxed);
+  size_t Head = R.Head.load(std::memory_order_acquire);
+  while (Tail != Head) {
+    Downstream.event(R.Buf[Tail & R.Mask]);
+    ++Tail;
+  }
+  R.Tail.store(Tail, std::memory_order_release);
+}
+
+size_t Collector::ringCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Rings.size();
+}
+
+} // namespace sharc::obs

@@ -1,0 +1,472 @@
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sharc::obs {
+
+//===----------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------===//
+
+void appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Esc[8];
+        std::snprintf(Esc, sizeof(Esc), "\\u%04x", C);
+        Out += Esc;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+}
+
+void JsonWriter::comma() {
+  if (PendingKey) {
+    PendingKey = false;
+    return;
+  }
+  if (NeedComma.back())
+    Out.push_back(',');
+  NeedComma.back() = true;
+}
+
+void JsonWriter::literal(std::string_view Text) {
+  comma();
+  Out += Text;
+}
+
+void JsonWriter::beginObject() {
+  comma();
+  Out.push_back('{');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  assert(NeedComma.size() > 1 && "endObject without beginObject");
+  NeedComma.pop_back();
+  Out.push_back('}');
+}
+
+void JsonWriter::beginArray() {
+  comma();
+  Out.push_back('[');
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  assert(NeedComma.size() > 1 && "endArray without beginArray");
+  NeedComma.pop_back();
+  Out.push_back(']');
+}
+
+void JsonWriter::key(std::string_view K) {
+  comma();
+  Out.push_back('"');
+  appendJsonEscaped(Out, K);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(std::string_view S) {
+  comma();
+  Out.push_back('"');
+  appendJsonEscaped(Out, S);
+  Out.push_back('"');
+}
+
+void JsonWriter::value(double D) {
+  char Buf[40];
+  if (std::isfinite(D))
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+  else
+    std::snprintf(Buf, sizeof(Buf), "null"); // JSON has no inf/nan
+  literal(Buf);
+}
+
+void JsonWriter::value(uint64_t U) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, U);
+  literal(Buf);
+}
+
+void JsonWriter::value(int64_t I) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, I);
+  literal(Buf);
+}
+
+void JsonWriter::value(bool B) { literal(B ? "true" : "false"); }
+
+void JsonWriter::null() { literal("null"); }
+
+//===----------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (T != Type::Object)
+    return nullptr;
+  for (const auto &[K, V] : Obj)
+    if (K == Key)
+      return &V;
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view Text;
+  size_t Pos = 0;
+  std::string Error;
+  unsigned Depth = 0;
+  static constexpr unsigned MaxDepth = 64;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string &Out) {
+    if (!consume('"'))
+      return fail("expected string");
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("control character in string");
+      if (C != '\\') {
+        Out.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out.push_back('"');
+        break;
+      case '\\':
+        Out.push_back('\\');
+        break;
+      case '/':
+        Out.push_back('/');
+        break;
+      case 'b':
+        Out.push_back('\b');
+        break;
+      case 'f':
+        Out.push_back('\f');
+        break;
+      case 'n':
+        Out.push_back('\n');
+        break;
+      case 'r':
+        Out.push_back('\r');
+        break;
+      case 't':
+        Out.push_back('\t');
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs are passed
+        // through as two 3-byte sequences — good enough for metrics).
+        if (Code < 0x80) {
+          Out.push_back(static_cast<char>(Code));
+        } else if (Code < 0x800) {
+          Out.push_back(static_cast<char>(0xc0 | (Code >> 6)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3f)));
+        } else {
+          Out.push_back(static_cast<char>(0xe0 | (Code >> 12)));
+          Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3f)));
+          Out.push_back(static_cast<char>(0x80 | (Code & 0x3f)));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    bool Ok = parseValueInner(Out);
+    --Depth;
+    return Ok;
+  }
+
+  bool parseValueInner(JsonValue &Out) {
+    char C = Text[Pos];
+    if (C == '{') {
+      ++Pos;
+      Out.T = JsonValue::Type::Object;
+      skipWs();
+      if (consume('}'))
+        return true;
+      while (true) {
+        std::string Key;
+        if (!parseString(Key))
+          return false;
+        if (!consume(':'))
+          return fail("expected ':'");
+        JsonValue Member;
+        if (!parseValue(Member))
+          return false;
+        Out.Obj.emplace_back(std::move(Key), std::move(Member));
+        if (consume(','))
+          continue;
+        if (consume('}'))
+          return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (C == '[') {
+      ++Pos;
+      Out.T = JsonValue::Type::Array;
+      skipWs();
+      if (consume(']'))
+        return true;
+      while (true) {
+        JsonValue Elem;
+        if (!parseValue(Elem))
+          return false;
+        Out.Arr.push_back(std::move(Elem));
+        if (consume(','))
+          continue;
+        if (consume(']'))
+          return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (C == '"') {
+      Out.T = JsonValue::Type::String;
+      return parseString(Out.Str);
+    }
+    if (Text.substr(Pos, 4) == "true") {
+      Pos += 4;
+      Out.T = JsonValue::Type::Bool;
+      Out.B = true;
+      return true;
+    }
+    if (Text.substr(Pos, 5) == "false") {
+      Pos += 5;
+      Out.T = JsonValue::Type::Bool;
+      Out.B = false;
+      return true;
+    }
+    if (Text.substr(Pos, 4) == "null") {
+      Pos += 4;
+      Out.T = JsonValue::Type::Null;
+      return true;
+    }
+    // Number.
+    size_t Start = Pos;
+    if (C == '-')
+      ++Pos;
+    // JSON forbids leading zeros ("01"); a lone 0 must be followed by
+    // '.', 'e', or a delimiter.
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        std::isdigit(static_cast<unsigned char>(Text[Pos + 1])))
+      return fail("leading zero in number");
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("unexpected character");
+    std::string Num(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0')
+      return fail("malformed number");
+    Out.T = JsonValue::Type::Number;
+    Out.Num = D;
+    return true;
+  }
+};
+
+} // namespace
+
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error) {
+  Parser P;
+  P.Text = Text;
+  Out = JsonValue();
+  if (!P.parseValue(Out)) {
+    Error = P.Error;
+    return false;
+  }
+  P.skipWs();
+  if (P.Pos != Text.size()) {
+    Error = "trailing garbage at offset " + std::to_string(P.Pos);
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------===//
+// Schema validation
+//===----------------------------------------------------------------===//
+
+namespace {
+
+bool requireString(const JsonValue &Doc, const char *Key,
+                   const char *Expected, std::string &Error) {
+  const JsonValue *V = Doc.get(Key);
+  if (!V || !V->isString()) {
+    Error = std::string("missing string field \"") + Key + "\"";
+    return false;
+  }
+  if (Expected && V->Str != Expected) {
+    Error = std::string("field \"") + Key + "\" is \"" + V->Str +
+            "\", expected \"" + Expected + "\"";
+    return false;
+  }
+  return true;
+}
+
+bool requireNumber(const JsonValue &Doc, const char *Key,
+                   std::string &Error) {
+  const JsonValue *V = Doc.get(Key);
+  if (!V || !V->isNumber()) {
+    Error = std::string("missing numeric field \"") + Key + "\"";
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
+  if (!Doc.isObject()) {
+    Error = "top level is not an object";
+    return false;
+  }
+  if (!requireString(Doc, "schema", "sharc-bench-v1", Error) ||
+      !requireString(Doc, "bench", nullptr, Error) ||
+      !requireNumber(Doc, "scale", Error) ||
+      !requireNumber(Doc, "reps", Error))
+    return false;
+  const JsonValue *Rows = Doc.get("rows");
+  if (!Rows || !Rows->isArray()) {
+    Error = "missing array field \"rows\"";
+    return false;
+  }
+  if (Rows->Arr.empty()) {
+    Error = "\"rows\" is empty";
+    return false;
+  }
+  for (size_t I = 0; I < Rows->Arr.size(); ++I) {
+    const JsonValue &Row = Rows->Arr[I];
+    std::string Where = "rows[" + std::to_string(I) + "]";
+    if (!Row.isObject()) {
+      Error = Where + " is not an object";
+      return false;
+    }
+    if (!requireString(Row, "name", nullptr, Error)) {
+      Error = Where + ": " + Error;
+      return false;
+    }
+    const JsonValue *Metrics = Row.get("metrics");
+    if (!Metrics || !Metrics->isObject()) {
+      Error = Where + ": missing object field \"metrics\"";
+      return false;
+    }
+    for (const auto &[K, V] : Metrics->Obj)
+      if (!V.isNumber()) {
+        Error = Where + ": metric \"" + K + "\" is not a number";
+        return false;
+      }
+  }
+  return true;
+}
+
+bool validateMetricsJson(const JsonValue &Doc, std::string &Error) {
+  if (!Doc.isObject()) {
+    Error = "top level is not an object";
+    return false;
+  }
+  if (!requireString(Doc, "schema", "sharc-metrics-v1", Error) ||
+      !requireString(Doc, "source", nullptr, Error) ||
+      !requireNumber(Doc, "seed", Error) ||
+      !requireNumber(Doc, "steps", Error) ||
+      !requireNumber(Doc, "accesses", Error) ||
+      !requireNumber(Doc, "threads_spawned", Error))
+    return false;
+  const JsonValue *Violations = Doc.get("violations");
+  if (!Violations || !Violations->isObject()) {
+    Error = "missing object field \"violations\"";
+    return false;
+  }
+  if (!requireNumber(*Violations, "total", Error))
+    return false;
+  for (const auto &[K, V] : Violations->Obj)
+    if (!V.isNumber()) {
+      Error = "violations." + K + " is not a number";
+      return false;
+    }
+  return true;
+}
+
+} // namespace sharc::obs

@@ -1,0 +1,89 @@
+// Minimal JSON support for the observability layer: a streaming writer
+// (used by the metrics exporter and the bench harnesses) and a strict
+// recursive-descent parser (used by `sharc-trace check-bench` /
+// `check-metrics` to validate emitted files). Deliberately tiny — no
+// external dependencies, no incremental parsing, everything in memory.
+#ifndef SHARC_OBS_JSON_H
+#define SHARC_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sharc::obs {
+
+/// Streaming JSON writer. Emits compact output with correct comma and
+/// string-escape handling; the caller is responsible for well-formed
+/// nesting (begin/end pairing), which asserts in debug builds.
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+
+  /// Emits the key of the next object member.
+  void key(std::string_view K);
+
+  void value(std::string_view S);
+  void value(const char *S) { value(std::string_view(S)); }
+  void value(double D);
+  void value(uint64_t U);
+  void value(int64_t I);
+  void value(unsigned U) { value(static_cast<uint64_t>(U)); }
+  void value(int I) { value(static_cast<int64_t>(I)); }
+  void value(bool B);
+  void null();
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void comma();
+  void literal(std::string_view Text);
+
+  std::string Out;
+  // One flag per open container: true once a value has been written at
+  // that level (so the next one needs a comma). PendingKey suppresses
+  // the comma between a key and its value.
+  std::vector<bool> NeedComma = {false};
+  bool PendingKey = false;
+};
+
+void appendJsonEscaped(std::string &Out, std::string_view S);
+
+/// Parsed JSON value (object keys keep insertion order).
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type T = Type::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return T == Type::Object; }
+  bool isArray() const { return T == Type::Array; }
+  bool isNumber() const { return T == Type::Number; }
+  bool isString() const { return T == Type::String; }
+
+  /// Object member lookup; null if absent or not an object.
+  const JsonValue *get(std::string_view Key) const;
+};
+
+/// Strict parse of a complete document (trailing garbage rejected).
+bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error);
+
+/// Validates a bench harness report against the sharc-bench-v1 schema:
+///   { "schema": "sharc-bench-v1", "bench": str, "scale": num,
+///     "reps": num, "rows": [ { "name": str, "metrics": {str: num} } ] }
+bool validateBenchJson(const JsonValue &Doc, std::string &Error);
+
+/// Validates a sharcc --metrics-out file against sharc-metrics-v1.
+bool validateMetricsJson(const JsonValue &Doc, std::string &Error);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_JSON_H

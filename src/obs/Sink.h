@@ -1,0 +1,77 @@
+// obs::Sink — the single seam every event producer publishes through.
+//
+// Producers hold a `Sink *` that is null by default; the fast-path cost
+// of disabled observability is exactly one predictable branch
+// (`if (Sink)`), which bench_runtime_micro pins as unmeasurable.
+#ifndef SHARC_OBS_SINK_H
+#define SHARC_OBS_SINK_H
+
+#include "obs/Event.h"
+#include "rt/Stats.h"
+
+#include <vector>
+
+namespace sharc::obs {
+
+class Sink {
+public:
+  virtual ~Sink() = default;
+
+  // Publish one event.  Must be safe to call from any thread for sinks
+  // used by the native runtime; single-threaded producers (the MiniC
+  // interpreter) may use non-thread-safe sinks directly.
+  virtual void event(const Event &Ev) = 0;
+
+  // Publish a periodic counter sample.  Rare; default ignores it.
+  virtual void stats(const rt::StatsSnapshot &S) { (void)S; }
+
+  // Drain any buffering.  Default is a no-op.
+  virtual void flush() {}
+};
+
+// Collects everything into vectors.  Not thread-safe; wrap it in a
+// Collector for multi-threaded producers.
+class VectorSink final : public Sink {
+public:
+  void event(const Event &Ev) override { Events.push_back(Ev); }
+  void stats(const rt::StatsSnapshot &S) override { Samples.push_back(S); }
+
+  std::vector<Event> Events;
+  std::vector<rt::StatsSnapshot> Samples;
+};
+
+// Fans one stream out to two sinks (e.g. a trace file plus a live
+// summary).  Either side may be null.
+class TeeSink final : public Sink {
+public:
+  TeeSink(Sink *First, Sink *Second) : A(First), B(Second) {}
+
+  void event(const Event &Ev) override {
+    if (A)
+      A->event(Ev);
+    if (B)
+      B->event(Ev);
+  }
+
+  void stats(const rt::StatsSnapshot &S) override {
+    if (A)
+      A->stats(S);
+    if (B)
+      B->stats(S);
+  }
+
+  void flush() override {
+    if (A)
+      A->flush();
+    if (B)
+      B->flush();
+  }
+
+private:
+  Sink *A;
+  Sink *B;
+};
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_SINK_H

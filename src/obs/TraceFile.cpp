@@ -1,0 +1,241 @@
+#include "obs/TraceFile.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sharc::obs {
+
+void appendVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>((V & 0x7f) | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+void appendZigzag(std::string &Out, int64_t V) {
+  appendVarint(Out, (static_cast<uint64_t>(V) << 1) ^
+                        static_cast<uint64_t>(V >> 63));
+}
+
+bool readVarint(std::string_view Buf, size_t &Pos, uint64_t &Out) {
+  uint64_t V = 0;
+  for (unsigned Shift = 0; Shift < 70; Shift += 7) {
+    if (Pos >= Buf.size())
+      return false;
+    uint8_t B = static_cast<uint8_t>(Buf[Pos++]);
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if (!(B & 0x80)) {
+      Out = V;
+      return true;
+    }
+  }
+  return false; // over-long varint
+}
+
+bool readZigzag(std::string_view Buf, size_t &Pos, int64_t &Out) {
+  uint64_t Raw;
+  if (!readVarint(Buf, Pos, Raw))
+    return false;
+  Out = static_cast<int64_t>((Raw >> 1) ^ (~(Raw & 1) + 1));
+  return true;
+}
+
+namespace {
+
+// StatsSnapshot counters in declaration order; keep in sync with
+// rt/Stats.h.
+constexpr unsigned NumStatsFields = 17;
+
+void statsToFields(const rt::StatsSnapshot &S,
+                   uint64_t (&F)[NumStatsFields]) {
+  uint64_t Tmp[NumStatsFields] = {
+      S.DynamicReads,   S.DynamicWrites, S.DynamicReadBytes,
+      S.DynamicWriteBytes, S.LockChecks, S.RcBarriers,
+      S.Collections,    S.SharingCasts,  S.ReadConflicts,
+      S.WriteConflicts, S.LockViolations, S.CastErrors,
+      S.ShadowBytes,    S.RcTableBytes,  S.LogBytes,
+      S.HeapPayloadBytes, S.PeakHeapPayloadBytes};
+  std::memcpy(F, Tmp, sizeof(Tmp));
+}
+
+void fieldsToStats(const uint64_t (&F)[NumStatsFields],
+                   rt::StatsSnapshot &S) {
+  S.DynamicReads = F[0];
+  S.DynamicWrites = F[1];
+  S.DynamicReadBytes = F[2];
+  S.DynamicWriteBytes = F[3];
+  S.LockChecks = F[4];
+  S.RcBarriers = F[5];
+  S.Collections = F[6];
+  S.SharingCasts = F[7];
+  S.ReadConflicts = F[8];
+  S.WriteConflicts = F[9];
+  S.LockViolations = F[10];
+  S.CastErrors = F[11];
+  S.ShadowBytes = F[12];
+  S.RcTableBytes = F[13];
+  S.LogBytes = F[14];
+  S.HeapPayloadBytes = F[15];
+  S.PeakHeapPayloadBytes = F[16];
+}
+
+} // namespace
+
+TraceWriter::TraceWriter() {
+  Buf.append(TraceMagic, sizeof(TraceMagic));
+  for (unsigned I = 0; I < 4; ++I)
+    Buf.push_back(static_cast<char>((TraceVersion >> (8 * I)) & 0xff));
+}
+
+void TraceWriter::event(const Event &Ev) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(static_cast<uint8_t>(Ev.K) + 1));
+  appendVarint(Buf, Ev.Tid);
+  appendVarint(Buf, Ev.Addr);
+  appendZigzag(Buf, Ev.Value);
+  appendVarint(Buf, Ev.Extra);
+  ++Records;
+}
+
+void TraceWriter::stats(const rt::StatsSnapshot &S) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(StatsRecordTag));
+  uint64_t F[NumStatsFields];
+  statsToFields(S, F);
+  for (uint64_t V : F)
+    appendVarint(Buf, V);
+  ++Records;
+}
+
+void TraceWriter::finish() {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(EndRecordTag));
+  appendVarint(Buf, Records);
+  Finished = true;
+}
+
+const std::string &TraceWriter::buffer() {
+  finish();
+  return Buf;
+}
+
+bool TraceWriter::writeToFile(const std::string &Path, std::string &Error) {
+  finish();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Error = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
+  Out = TraceData();
+  if (Buf.size() < sizeof(TraceMagic) + 4) {
+    Error = "trace too short for header";
+    return false;
+  }
+  if (std::memcmp(Buf.data(), TraceMagic, sizeof(TraceMagic)) != 0) {
+    Error = "bad magic (not a SharC trace)";
+    return false;
+  }
+  uint32_t Version = 0;
+  for (unsigned I = 0; I < 4; ++I)
+    Version |= static_cast<uint32_t>(
+                   static_cast<uint8_t>(Buf[sizeof(TraceMagic) + I]))
+               << (8 * I);
+  if (Version != TraceVersion) {
+    Error = "unsupported trace version " + std::to_string(Version) +
+            " (expected " + std::to_string(TraceVersion) + ")";
+    return false;
+  }
+
+  size_t Pos = sizeof(TraceMagic) + 4;
+  uint64_t Records = 0;
+  while (true) {
+    if (Pos >= Buf.size()) {
+      Error = "truncated trace: missing end record";
+      return false;
+    }
+    uint8_t Tag = static_cast<uint8_t>(Buf[Pos++]);
+    if (Tag == EndRecordTag) {
+      uint64_t Declared;
+      if (!readVarint(Buf, Pos, Declared)) {
+        Error = "truncated trace: unreadable end record";
+        return false;
+      }
+      if (Declared != Records) {
+        Error = "corrupt trace: end record declares " +
+                std::to_string(Declared) + " records, saw " +
+                std::to_string(Records);
+        return false;
+      }
+      if (Pos != Buf.size()) {
+        Error = "corrupt trace: trailing bytes after end record";
+        return false;
+      }
+      return true;
+    }
+    if (Tag == StatsRecordTag) {
+      uint64_t F[17];
+      for (uint64_t &V : F)
+        if (!readVarint(Buf, Pos, V)) {
+          Error = "truncated trace: cut mid stats record";
+          return false;
+        }
+      rt::StatsSnapshot S;
+      fieldsToStats(F, S);
+      Out.Samples.push_back(S);
+      Out.SamplePos.push_back(Out.Events.size());
+      ++Records;
+      continue;
+    }
+    if (Tag == 0 || Tag > NumEventKinds) {
+      Error = "corrupt trace: unknown record tag " + std::to_string(Tag);
+      return false;
+    }
+    Event Ev;
+    Ev.K = static_cast<EventKind>(Tag - 1);
+    uint64_t Tid;
+    if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, Ev.Addr) ||
+        !readZigzag(Buf, Pos, Ev.Value) || !readVarint(Buf, Pos, Ev.Extra)) {
+      Error = "truncated trace: cut mid event record";
+      return false;
+    }
+    Ev.Tid = static_cast<uint32_t>(Tid);
+    Out.Events.push_back(Ev);
+    ++Records;
+  }
+}
+
+bool loadTraceFile(const std::string &Path, TraceData &Out,
+                   std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::string Buf;
+  char Chunk[1 << 16];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Buf.append(Chunk, N);
+  bool ReadErr = std::ferror(F) != 0;
+  std::fclose(F);
+  if (ReadErr) {
+    Error = "read error on '" + Path + "'";
+    return false;
+  }
+  return parseTrace(Buf, Out, Error);
+}
+
+} // namespace sharc::obs

@@ -1,0 +1,95 @@
+// Compact, versioned binary trace format (.strc) — DESIGN.md §10.
+//
+// Layout:
+//   8-byte magic "SHARCTRC"
+//   u32 little-endian version (currently 1)
+//   a sequence of records, each introduced by a tag byte:
+//     0x01..0x0d  event record: tag = EventKind + 1, then varint Tid,
+//                 varint Addr, zigzag-varint Value, varint Extra
+//     0x40        stats record: the 17 StatsSnapshot counters as varints,
+//                 in declaration order
+//     0xff        end record: varint total record count (events + samples)
+//   The end record is mandatory; a trace without it is reported as
+//   truncated, which is how mid-write crashes and chopped files are
+//   detected.
+//
+// All varints are LEB128; signed values use zigzag. The writer buffers
+// in memory (traces from bounded interpreter runs are small) and is NOT
+// thread-safe on its own — multi-threaded producers go through
+// obs::Collector, which serialises the downstream sink.
+#ifndef SHARC_OBS_TRACEFILE_H
+#define SHARC_OBS_TRACEFILE_H
+
+#include "obs/Sink.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sharc::obs {
+
+inline constexpr char TraceMagic[8] = {'S', 'H', 'A', 'R', 'C', 'T', 'R', 'C'};
+inline constexpr uint32_t TraceVersion = 1;
+inline constexpr uint8_t StatsRecordTag = 0x40;
+inline constexpr uint8_t EndRecordTag = 0xff;
+
+// Appends a LEB128 varint / zigzag varint to Out.
+void appendVarint(std::string &Out, uint64_t V);
+void appendZigzag(std::string &Out, int64_t V);
+
+// Reads a varint from Buf at Pos; returns false on truncation or a
+// varint longer than 10 bytes.
+bool readVarint(std::string_view Buf, size_t &Pos, uint64_t &Out);
+bool readZigzag(std::string_view Buf, size_t &Pos, int64_t &Out);
+
+/// Serialising sink. Events and stats samples are encoded as they
+/// arrive; call finish() (idempotent) to append the end record before
+/// inspecting buffer() or saving.
+class TraceWriter final : public Sink {
+public:
+  TraceWriter();
+
+  void event(const Event &Ev) override;
+  void stats(const rt::StatsSnapshot &S) override;
+
+  /// Appends the end record. Further events are rejected (dropped)
+  /// after this; calling it again is a no-op.
+  void finish();
+
+  /// finish() + the encoded bytes.
+  const std::string &buffer();
+
+  /// finish() + write the encoded bytes to Path. Returns false and sets
+  /// Error on I/O failure.
+  bool writeToFile(const std::string &Path, std::string &Error);
+
+  uint64_t recordCount() const { return Records; }
+
+private:
+  std::string Buf;
+  uint64_t Records = 0;
+  bool Finished = false;
+};
+
+/// A fully decoded trace. SamplePos[i] is the number of events that
+/// preceded Samples[i] in the record stream, so samples can be placed
+/// on the event timeline.
+struct TraceData {
+  std::vector<Event> Events;
+  std::vector<rt::StatsSnapshot> Samples;
+  std::vector<size_t> SamplePos;
+};
+
+/// Decodes a complete trace image. Returns false and sets Error on bad
+/// magic, unsupported version, unknown tags, truncation (including a
+/// missing end record), or a record-count mismatch.
+bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error);
+
+/// Reads Path and parses it.
+bool loadTraceFile(const std::string &Path, TraceData &Out,
+                   std::string &Error);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_TRACEFILE_H

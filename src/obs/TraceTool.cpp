@@ -1,0 +1,149 @@
+//===-- obs/TraceTool.cpp - sharc-trace CLI ---------------------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `sharc-trace` — offline analysis of .strc traces recorded by
+/// `sharcc --trace-out` (or any obs::TraceWriter user), plus schema
+/// validation for the JSON the bench harnesses and `--metrics-out`
+/// emit. Exit codes follow sharcc's contract: 0 success, 1 a check
+/// failed or the input is malformed, 2 usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/MetricsJson.h"
+#include "obs/Summary.h"
+#include "obs/TraceFile.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace sharc;
+
+namespace {
+
+void printUsage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: sharc-trace <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  summarize FILE.strc    totals, per-thread histogram, lock\n"
+      "                         contention, hottest granules, conflict\n"
+      "                         timeline\n"
+      "  dump FILE.strc         every record, one per line\n"
+      "  schedule FILE.strc     re-emit as the fuzzer's replay schedule\n"
+      "  metrics FILE.strc      final stats sample as sharc-stats-v1 JSON\n"
+      "  check-bench FILE...    validate sharc-bench-v1 JSON reports\n"
+      "  check-metrics FILE...  validate sharc-metrics-v1 JSON reports\n"
+      "  --help                 print this message\n"
+      "\n"
+      "exit codes: 0 success, 1 malformed input or failed check, 2 usage\n");
+}
+
+bool loadOrComplain(const char *Path, obs::TraceData &Data) {
+  std::string Error;
+  if (!obs::loadTraceFile(Path, Data, Error)) {
+    std::fprintf(stderr, "sharc-trace: %s: %s\n", Path, Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  char Chunk[1 << 16];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Out.append(Chunk, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+int checkJsonFiles(int Argc, char **Argv, int First,
+                   bool (*Validate)(const obs::JsonValue &, std::string &),
+                   const char *What) {
+  if (First >= Argc) {
+    std::fprintf(stderr, "sharc-trace: %s needs at least one file\n", What);
+    return 2;
+  }
+  int Status = 0;
+  for (int I = First; I < Argc; ++I) {
+    std::string Text;
+    if (!readFile(Argv[I], Text)) {
+      std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Argv[I]);
+      Status = 1;
+      continue;
+    }
+    obs::JsonValue Doc;
+    std::string Error;
+    if (!parseJson(Text, Doc, Error) || !Validate(Doc, Error)) {
+      std::fprintf(stderr, "sharc-trace: %s: %s\n", Argv[I], Error.c_str());
+      Status = 1;
+      continue;
+    }
+    std::printf("ok: %s\n", Argv[I]);
+  }
+  return Status;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage(stderr);
+    return 2;
+  }
+  std::string Cmd = Argv[1];
+  if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
+    printUsage(stdout);
+    return 0;
+  }
+
+  if (Cmd == "summarize" || Cmd == "dump" || Cmd == "schedule" ||
+      Cmd == "metrics") {
+    if (Argc != 3) {
+      std::fprintf(stderr, "sharc-trace: %s takes exactly one trace file\n",
+                   Cmd.c_str());
+      return 2;
+    }
+    obs::TraceData Data;
+    if (!loadOrComplain(Argv[2], Data))
+      return 1;
+    if (Cmd == "summarize") {
+      obs::TraceSummary Sum = obs::summarize(Data);
+      std::fputs(obs::renderSummary(Sum, Data).c_str(), stdout);
+    } else if (Cmd == "dump") {
+      std::fputs(obs::renderDump(Data).c_str(), stdout);
+    } else if (Cmd == "schedule") {
+      std::fputs(obs::renderSchedule(Data).c_str(), stdout);
+    } else { // metrics
+      if (Data.Samples.empty()) {
+        std::fprintf(stderr,
+                     "sharc-trace: %s has no stats samples to export\n",
+                     Argv[2]);
+        return 1;
+      }
+      std::fputs(obs::statsToJson(Data.Samples.back()).c_str(), stdout);
+    }
+    return 0;
+  }
+
+  if (Cmd == "check-bench")
+    return checkJsonFiles(Argc, Argv, 2, obs::validateBenchJson,
+                          "check-bench");
+  if (Cmd == "check-metrics")
+    return checkJsonFiles(Argc, Argv, 2, obs::validateMetricsJson,
+                          "check-metrics");
+
+  std::fprintf(stderr, "sharc-trace: unknown command '%s'\n", Cmd.c_str());
+  printUsage(stderr);
+  return 2;
+}

@@ -19,6 +19,10 @@
 #include <cstdint>
 
 namespace sharc {
+namespace obs {
+class Sink;
+} // namespace obs
+
 namespace rt {
 
 /// Which reference-counting engine maintains sharing-cast counts.
@@ -65,6 +69,13 @@ struct RuntimeConfig {
   /// Maximum number of distinct conflict reports retained (deduplicated by
   /// site and granule). Further conflicts only bump counters.
   size_t MaxReports = 256;
+
+  /// Observability sink. When non-null the runtime publishes structured
+  /// events (accesses, lock transitions, sharing casts, conflicts, stats
+  /// samples) to it; the sink must be thread-safe (obs::Collector) and
+  /// outlive the runtime. Null (the default) costs one predictable
+  /// branch on the paths that would publish.
+  obs::Sink *Obs = nullptr;
 
   unsigned granuleSize() const { return 1u << GranuleShift; }
   unsigned maxThreads() const { return 8 * ShadowBytesPerGranule - 1; }

@@ -6,10 +6,29 @@
 
 #include "rt/Report.h"
 
+#include "obs/Sink.h"
+
 #include <cstdio>
 #include <functional>
 
 using namespace sharc::rt;
+
+static sharc::obs::ConflictKind toConflictKind(ReportKind Kind) {
+  using CK = sharc::obs::ConflictKind;
+  switch (Kind) {
+  case ReportKind::ReadConflict:
+    return CK::ReadConflict;
+  case ReportKind::WriteConflict:
+    return CK::WriteConflict;
+  case ReportKind::LockViolation:
+    return CK::LockViolation;
+  case ReportKind::CastError:
+    return CK::CastError;
+  case ReportKind::LiveAfterCast:
+    return CK::LiveAfterCast;
+  }
+  return CK::RuntimeError;
+}
 
 static const char *kindName(ReportKind Kind) {
   switch (Kind) {
@@ -50,6 +69,18 @@ std::string ConflictReport::format() const {
 }
 
 bool ReportSink::report(const ConflictReport &Report) {
+  if (Obs) {
+    sharc::obs::Event Ev;
+    Ev.K = sharc::obs::EventKind::Conflict;
+    Ev.Tid = Report.WhoTid;
+    Ev.Addr = Report.Address;
+    Ev.Value = static_cast<int64_t>(Report.LastTid);
+    Ev.Extra = sharc::obs::makeConflictExtra(
+        toConflictKind(Report.Kind),
+        Report.WhoSite ? static_cast<uint32_t>(Report.WhoSite->Line) : 0,
+        Report.LastSite ? static_cast<uint32_t>(Report.LastSite->Line) : 0);
+    Obs->event(Ev);
+  }
   std::lock_guard<std::mutex> Lock(Mutex);
   ++TotalViolations;
   // Deduplicate on (kind, who-site, granule-ish address). Hash-combine into

@@ -28,6 +28,10 @@
 #include <vector>
 
 namespace sharc {
+namespace obs {
+class Sink;
+} // namespace obs
+
 namespace rt {
 
 /// Kinds of sharing-strategy violations the runtime detects.
@@ -73,10 +77,15 @@ public:
   /// Total violations observed, including deduplicated repeats.
   uint64_t getTotalViolations() const { return TotalViolations; }
 
+  /// When non-null, every report() call (including deduplicated repeats)
+  /// is also published as an obs Conflict event.
+  void setObs(obs::Sink *Sink) { Obs = Sink; }
+
   void clear();
 
 private:
   size_t MaxReports;
+  obs::Sink *Obs = nullptr;
   mutable std::mutex Mutex;
   std::vector<ConflictReport> Reports;
   std::unordered_set<uint64_t> Seen;

@@ -6,6 +6,8 @@
 
 #include "rt/Runtime.h"
 
+#include "obs/Sink.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -42,6 +44,30 @@ Runtime::Runtime(const RuntimeConfig &Config)
   Rc->setPostCollectHook(
       [](void *Ctx) { static_cast<Heap *>(Ctx)->releaseDeferred(); },
       TheHeap.get());
+  // Conflict reports reach the obs stream through the ReportSink, so
+  // every detector (shadow memory, lock checks, cast checks) publishes
+  // without knowing about observability.
+  Sink.setObs(this->Config.Obs);
+}
+
+void Runtime::publishAccess(obs::EventKind K, const void *Addr, size_t Size,
+                            unsigned Tid) {
+  obs::Event Ev;
+  Ev.K = K;
+  Ev.Tid = Tid;
+  Ev.Addr = reinterpret_cast<uintptr_t>(Addr);
+  Ev.Value = static_cast<int64_t>(Size);
+  Config.Obs->event(Ev);
+}
+
+void Runtime::publishEvent(obs::EventKind K, const void *Addr,
+                           int64_t Value) {
+  obs::Event Ev;
+  Ev.K = K;
+  Ev.Tid = currentThread().Tid;
+  Ev.Addr = reinterpret_cast<uintptr_t>(Addr);
+  Ev.Value = Value;
+  Config.Obs->event(Ev);
 }
 
 Runtime::~Runtime() = default;
@@ -92,6 +118,8 @@ void Runtime::deregisterCurrentThread() {
 
 void Runtime::onLockAcquire(const void *Lock) {
   currentThread().HeldLocks.push_back(Lock);
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::LockAcquire, Lock, 0);
 }
 
 void Runtime::onLockRelease(const void *Lock) {
@@ -99,6 +127,8 @@ void Runtime::onLockRelease(const void *Lock) {
   auto It = std::find(TS.HeldLocks.rbegin(), TS.HeldLocks.rend(), Lock);
   assert(It != TS.HeldLocks.rend() && "releasing a lock that is not held");
   TS.HeldLocks.erase(std::next(It).base());
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::LockRelease, Lock, 0);
 }
 
 bool Runtime::holdsLock(const void *Lock) {
@@ -128,6 +158,8 @@ bool Runtime::checkLockHeld(const void *Lock, const void *Addr,
 
 void Runtime::onSharedLockAcquire(const void *Lock) {
   currentThread().HeldSharedLocks.push_back(Lock);
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::SharedLockAcquire, Lock, 0);
 }
 
 void Runtime::onSharedLockRelease(const void *Lock) {
@@ -137,6 +169,8 @@ void Runtime::onSharedLockRelease(const void *Lock) {
   assert(It != TS.HeldSharedLocks.rend() &&
          "releasing a shared lock that is not held");
   TS.HeldSharedLocks.erase(std::next(It).base());
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::SharedLockRelease, Lock, 0);
 }
 
 bool Runtime::holdsLockShared(const void *Lock) {
@@ -190,6 +224,8 @@ bool Runtime::checkCast(void *Obj, size_t ObjSize, const AccessSite *Site) {
   // After the source has been nulled and accounted, any remaining counted
   // reference means the object is reachable under its old mode: reject.
   int64_t Count = Rc->getRefCount(reinterpret_cast<uintptr_t>(Obj), TS);
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::SharingCast, Obj, Count);
   if (Count > 0 && Config.Rc != RcMode::None) {
     Stats.CastErrors.fetch_add(1, std::memory_order_relaxed);
     ConflictReport Report;
@@ -239,5 +275,9 @@ StatsSnapshot Runtime::getStats() {
   if (Config.Rc != RcMode::None)
     Stats.RcTableBytes.store(Rc->getTable().getNumEntries() * 16,
                              std::memory_order_relaxed);
-  return Stats.snapshot();
+  StatsSnapshot Snapshot = Stats.snapshot();
+  // Every stats poll doubles as a periodic sample on the event stream.
+  if (Config.Obs) [[unlikely]]
+    Config.Obs->stats(Snapshot);
+  return Snapshot;
 }

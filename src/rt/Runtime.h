@@ -26,6 +26,7 @@
 #ifndef SHARC_RT_RUNTIME_H
 #define SHARC_RT_RUNTIME_H
 
+#include "obs/Event.h"
 #include "rt/AccessSite.h"
 #include "rt/Config.h"
 #include "rt/Heap.h"
@@ -73,10 +74,18 @@ public:
   //===--------------------------------------------------------------------===
 
   bool checkRead(const void *Addr, size_t Size, const AccessSite *Site) {
-    return Shadow->checkRead(Addr, Size, currentThread(), Site);
+    ThreadState &T = currentThread();
+    bool Ok = Shadow->checkRead(Addr, Size, T, Site);
+    if (Config.Obs) [[unlikely]]
+      publishAccess(obs::EventKind::Read, Addr, Size, T.Tid);
+    return Ok;
   }
   bool checkWrite(const void *Addr, size_t Size, const AccessSite *Site) {
-    return Shadow->checkWrite(Addr, Size, currentThread(), Site);
+    ThreadState &T = currentThread();
+    bool Ok = Shadow->checkWrite(Addr, Size, T, Site);
+    if (Config.Obs) [[unlikely]]
+      publishAccess(obs::EventKind::Write, Addr, Size, T.Tid);
+    return Ok;
   }
 
   //===--------------------------------------------------------------------===
@@ -183,6 +192,12 @@ public:
 private:
   explicit Runtime(const RuntimeConfig &Config);
   ~Runtime();
+
+  /// Out-of-line cold path: forwards one access event to Config.Obs.
+  void publishAccess(obs::EventKind K, const void *Addr, size_t Size,
+                     unsigned Tid);
+  /// Same, for lock transitions and sharing casts.
+  void publishEvent(obs::EventKind K, const void *Addr, int64_t Value);
 
   RuntimeConfig Config;
   RuntimeStats Stats;

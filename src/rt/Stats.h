@@ -43,6 +43,8 @@ struct StatsSnapshot {
   uint64_t HeapPayloadBytes = 0;
   uint64_t PeakHeapPayloadBytes = 0;
 
+  bool operator==(const StatsSnapshot &) const = default;
+
   uint64_t totalConflicts() const {
     return ReadConflicts + WriteConflicts + LockViolations + CastErrors;
   }

@@ -1,0 +1,96 @@
+#!/bin/sh
+# End-to-end contract for the observability CLI surface:
+#   - `sharcc --run --trace-out T --metrics-out M` produces a trace whose
+#     `sharc-trace summarize` conflict count equals the violation count
+#     sharcc itself reports on stderr, and a metrics file that passes
+#     `sharc-trace check-metrics`.
+#   - sharcc's new flag parsing: --help exits 0, malformed numeric
+#     arguments exit 2.
+#   - sharc-trace's own usage contract: help 0, bad usage 2, bad file 1.
+#
+# usage: trace_cli.sh <path-to-sharcc> <path-to-sharc-trace> <examples-dir>
+set -u
+
+SHARCC=$1
+TRACE=$2
+EXAMPLES=$3
+STATUS=0
+WORK="${TMPDIR:-/tmp}/sharc_trace_cli_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1"
+  STATUS=1
+}
+
+expect_exit() { # <expected> <description> <cmd...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT: expected exit $WANT, got $GOT"
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+# --- acceptance: trace conflicts == sharcc's reported violations ---
+"$SHARCC" --run --seed 3 --trace-out "$WORK/t.strc" \
+  --metrics-out "$WORK/m.json" "$EXAMPLES/pipeline_unannotated.mc" \
+  > /dev/null 2> "$WORK/stderr.txt"
+[ $? -eq 1 ] || fail "pipeline_unannotated run should exit 1"
+VIOLATIONS=$(sed -n 's/^sharcc: .* \([0-9][0-9]*\) violations$/\1/p' "$WORK/stderr.txt" | head -1)
+[ -n "$VIOLATIONS" ] || fail "no violation count on sharcc stderr"
+CONFLICTS=$("$TRACE" summarize "$WORK/t.strc" | sed -n 's/^conflicts: \([0-9][0-9]*\)$/\1/p')
+[ -n "$CONFLICTS" ] || fail "no conflict count in summarize output"
+if [ "x$VIOLATIONS" = "x$CONFLICTS" ]; then
+  echo "ok: summarize reports $CONFLICTS conflicts == sharcc's $VIOLATIONS violations"
+else
+  fail "summarize reports '$CONFLICTS' conflicts, sharcc reported '$VIOLATIONS'"
+fi
+
+expect_exit 0 "check-metrics accepts sharcc --metrics-out" \
+  "$TRACE" check-metrics "$WORK/m.json"
+expect_exit 0 "dump runs" "$TRACE" dump "$WORK/t.strc"
+expect_exit 0 "schedule runs" "$TRACE" schedule "$WORK/t.strc"
+expect_exit 0 "metrics runs" "$TRACE" metrics "$WORK/t.strc"
+
+# A clean program yields a zero-conflict trace.
+"$SHARCC" --run --quiet --trace-out "$WORK/clean.strc" \
+  "$EXAMPLES/locked_counter.mc" > /dev/null 2>&1
+[ $? -eq 0 ] || fail "locked_counter with --trace-out should exit 0"
+CLEAN=$("$TRACE" summarize "$WORK/clean.strc" | sed -n 's/^conflicts: \([0-9][0-9]*\)$/\1/p')
+if [ "x$CLEAN" = "x0" ]; then
+  echo "ok: clean run traces 0 conflicts"
+else
+  fail "clean run traced '$CLEAN' conflicts"
+fi
+
+# --- sharcc flag contract ---
+expect_exit 0 "sharcc --help" "$SHARCC" --help
+expect_exit 2 "trailing garbage in --seed" \
+  "$SHARCC" --run --seed 12x "$EXAMPLES/locked_counter.mc"
+expect_exit 2 "non-numeric --max-steps" \
+  "$SHARCC" --run --max-steps many "$EXAMPLES/locked_counter.mc"
+expect_exit 2 "--seed without value" "$SHARCC" --run --seed
+expect_exit 2 "--trace-out without value" "$SHARCC" --run --trace-out
+expect_exit 2 "--trace-out with --check" \
+  "$SHARCC" --check --trace-out "$WORK/x.strc" "$EXAMPLES/locked_counter.mc"
+expect_exit 2 "unwritable --trace-out" \
+  "$SHARCC" --run --quiet --trace-out "$WORK/no/such/dir/t.strc" \
+  "$EXAMPLES/locked_counter.mc"
+
+# --- sharc-trace usage contract ---
+expect_exit 0 "sharc-trace --help" "$TRACE" --help
+expect_exit 2 "sharc-trace no arguments" "$TRACE"
+expect_exit 2 "sharc-trace unknown command" "$TRACE" frobnicate "$WORK/t.strc"
+expect_exit 2 "summarize without file" "$TRACE" summarize
+expect_exit 1 "summarize on missing file" "$TRACE" summarize "$WORK/nope.strc"
+printf 'not a trace' > "$WORK/bad.strc"
+expect_exit 1 "summarize on garbage file" "$TRACE" summarize "$WORK/bad.strc"
+expect_exit 1 "check-bench on metrics file" "$TRACE" check-bench "$WORK/m.json"
+
+exit $STATUS
