@@ -21,6 +21,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -53,6 +54,45 @@ template <typename FnT> double timeMinSeconds(FnT Fn) {
 
 inline double pct(double Part, double Whole) {
   return Whole > 0 ? 100.0 * Part / Whole : 0.0;
+}
+
+/// Host metadata stamped into every sharc-bench-v1 report so the
+/// BENCH_*.json perf trajectory stays comparable across machines:
+/// numbers from a 4-core debug build mean nothing next to a 32-core
+/// release build unless the report says which is which.
+inline std::string compilerId() {
+#if defined(__clang__)
+  return "clang " + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+inline const char *buildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// Git revision: the SHARC_GIT_REV environment variable (scripts/ci.sh
+/// exports it), falling back to a compile-time -DSHARC_GIT_REV if the
+/// build system provides one, then "unknown".
+inline std::string gitRev() {
+  if (const char *Env = std::getenv("SHARC_GIT_REV"); Env && *Env)
+    return Env;
+#ifdef SHARC_GIT_REV
+  return SHARC_GIT_REV;
+#else
+  return "unknown";
+#endif
 }
 
 /// Machine-readable results for one harness, written as sharc-bench-v1
@@ -99,6 +139,17 @@ public:
     W.value(static_cast<uint64_t>(scale()));
     W.key("reps");
     W.value(static_cast<uint64_t>(reps()));
+    W.key("host");
+    W.beginObject();
+    W.key("cpus");
+    W.value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    W.key("compiler");
+    W.value(compilerId());
+    W.key("build");
+    W.value(buildType());
+    W.key("git_rev");
+    W.value(gitRev());
+    W.endObject();
     W.key("rows");
     W.beginArray();
     for (const auto &[Name, Metrics] : Rows) {

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "obs/Sink.h"
 #include "rt/Sharc.h"
 
 #include <benchmark/benchmark.h>
@@ -24,7 +25,26 @@ using namespace sharc;
 
 namespace {
 
+/// Discards everything. Trivially thread-safe; gives profiling runs a
+/// sink without measuring serialization cost.
+class NullSink final : public obs::Sink {
+public:
+  void event(const obs::Event &) override {}
+};
+
+NullSink TheNullSink;
+
 /// Creates a runtime for the benchmark's lifetime.
+///
+/// SHARC_BENCH_PROFILE (env) drives the ci.sh overhead gate:
+///   unset/0  observability compiled in but disabled — the fast path the
+///            2% regression gate protects.
+///   1        profiling *armed* (Config.Profile set) but with no sink:
+///            profiling requires obs, so this still executes the
+///            disabled path. Comparing this run against an unset run
+///            pins "arming the profiler costs one predicted branch".
+///   2        profiling fully enabled against a null sink — the
+///            informational profiling-cost run ci.sh archives.
 class RuntimeScope {
 public:
   explicit RuntimeScope(rt::RcMode Mode = rt::RcMode::LevanoniPetrank,
@@ -32,6 +52,11 @@ public:
     rt::RuntimeConfig Config;
     Config.Rc = Mode;
     Config.DiagMode = Diag;
+    unsigned Profile = bench::envUnsigned("SHARC_BENCH_PROFILE", 0);
+    if (Profile >= 1)
+      Config.Profile = true;
+    if (Profile >= 2)
+      Config.Obs = &TheNullSink;
     rt::Runtime::init(Config);
   }
   ~RuntimeScope() { rt::Runtime::shutdown(); }

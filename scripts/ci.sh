@@ -11,6 +11,11 @@ ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD=${1:-"$ROOT/build"}
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# Stamp bench reports with the revision they measured (BenchUtil.h reads
+# this; "unknown" when the tree is not a git checkout).
+SHARC_GIT_REV=$(git -C "$ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)
+export SHARC_GIT_REV
+
 echo "== configure =="
 cmake -B "$BUILD" -S "$ROOT" >/dev/null
 
@@ -28,5 +33,27 @@ SHARC_BENCH_SCALE=1 SHARC_BENCH_REPS=1 \
   "$BUILD/bench/bench_table1" --json="$ROOT/BENCH_table1.json" >/dev/null \
   || true # non-clean rows exit 1 but still write the report
 "$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_table1.json"
+
+echo "== profiler overhead gate =="
+# sharc-prof must keep the disabled fast path at one predicted branch
+# (ISSUE 3 / DESIGN.md §11): run the check-path microbenchmarks with
+# observability disabled, again with profiling *armed* but sinkless
+# (same machine code path — profiling requires an obs sink), and fail
+# if arming the profiler regressed the disabled path by more than 2%.
+# A third, fully-profiled run is archived next to BENCH_table1.json as
+# the measured cost of profiling itself.
+MICRO="$BUILD/bench/bench_runtime_micro"
+GATE_FILTER='BM_ChkReadHit|BM_ChkWriteHit|BM_LockLogCheck|BM_CountedStore'
+"$MICRO" --benchmark_filter="$GATE_FILTER" --benchmark_min_time=0.1 \
+  --json="$BUILD/bench_micro_disabled.json" >/dev/null
+SHARC_BENCH_PROFILE=1 \
+  "$MICRO" --benchmark_filter="$GATE_FILTER" --benchmark_min_time=0.1 \
+  --json="$BUILD/bench_micro_armed.json" >/dev/null
+SHARC_BENCH_PROFILE=2 \
+  "$MICRO" --benchmark_filter="$GATE_FILTER" --benchmark_min_time=0.1 \
+  --json="$ROOT/BENCH_profile_micro.json" >/dev/null
+"$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_profile_micro.json"
+"$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
+  "$BUILD/bench_micro_disabled.json" "$BUILD/bench_micro_armed.json"
 
 echo "== ci.sh: all green =="

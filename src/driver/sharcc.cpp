@@ -14,7 +14,7 @@
 ///   sharcc --check file.mc         static checking only
 ///   sharcc --run file.mc           run (after checking)
 ///   options: --seed N --fail-stop --entry NAME --max-steps N --quiet
-///            --trace-out FILE --metrics-out FILE
+///            --trace-out FILE --metrics-out FILE --profile
 ///
 /// Exit status: 0 clean; 1 static errors or runtime violations; 2 usage
 /// (including malformed numeric arguments) and output-file I/O errors.
@@ -57,7 +57,8 @@ void printUsage(std::FILE *To) {
       To,
       "usage: sharcc [--infer|--check|--run] [--seed N] [--fail-stop]\n"
       "              [--entry NAME] [--max-steps N] [--quiet]\n"
-      "              [--trace-out FILE] [--metrics-out FILE] file.mc\n"
+      "              [--trace-out FILE] [--metrics-out FILE] [--profile]\n"
+      "              file.mc\n"
       "\n"
       "modes (default: --run):\n"
       "  --infer            print the program with inferred annotations\n"
@@ -73,6 +74,9 @@ void printUsage(std::FILE *To) {
       "  --trace-out FILE   record the run as a binary .strc event trace\n"
       "                     (analyze with sharc-trace)\n"
       "  --metrics-out FILE write run statistics as sharc-metrics-v1 JSON\n"
+      "  --profile          record per-site check costs and lock\n"
+      "                     contention into the trace (requires\n"
+      "                     --trace-out; analyze with sharc-trace profile)\n"
       "\n"
       "exit status: 0 clean; 1 static errors or runtime violations; 2\n"
       "usage or output I/O errors\n");
@@ -108,6 +112,8 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       Options.Interp.FailStop = true;
     } else if (Arg == "--quiet") {
       Options.Quiet = true;
+    } else if (Arg == "--profile") {
+      Options.Interp.Profile = true;
     } else if (Arg == "--seed") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "sharcc: --seed needs a value\n");
@@ -160,6 +166,12 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       (!Options.TraceOut.empty() || !Options.MetricsOut.empty())) {
     std::fprintf(stderr,
                  "sharcc: --trace-out/--metrics-out require a run mode\n");
+    return 2;
+  }
+  if (Options.Interp.Profile &&
+      (Options.Infer || Options.CheckOnly || Options.TraceOut.empty())) {
+    std::fprintf(stderr,
+                 "sharcc: --profile requires a run mode and --trace-out\n");
     return 2;
   }
   return 0;
@@ -307,6 +319,8 @@ int main(int Argc, char **Argv) {
   obs::TraceWriter Trace;
   if (!Options.TraceOut.empty())
     Options.Interp.Sink = &Trace;
+  if (Options.Interp.Profile)
+    Options.Interp.SourceName = std::string(SM.getFileName(File));
 
   interp::Interp Interp(*Prog, Check.getInstrumentation());
   interp::InterpResult Result = Interp.run(Options.Interp);

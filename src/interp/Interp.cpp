@@ -11,6 +11,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
+#include <tuple>
 
 using namespace sharc;
 using namespace sharc::interp;
@@ -156,6 +158,21 @@ struct ThreadCtx {
   std::vector<Addr> AccessLog;
   std::vector<Addr> HeldLocks;
   std::vector<Addr> HeldSharedLocks; ///< rwlock read holds
+
+  //===--- profiling (InterpOptions::Profile) -------------------------------
+  /// Step count when this thread first blocked on its pending lock
+  /// acquisition; 0 while not waiting. Survives wake/re-block cycles so
+  /// the wait covers the whole contended acquisition.
+  uint64_t BlockStartStep = 0;
+  /// Line of the cond_wait call, attributed to the wakeup reacquire.
+  uint32_t ReacquireLine = 0;
+  /// Open lock holds: (lock, acquire step, acquirer line).
+  struct ProfHold {
+    Addr Lock = 0;
+    uint64_t Step = 0;
+    uint32_t Line = 0;
+  };
+  std::vector<ProfHold> ProfHolds;
 };
 
 /// The whole machine state for one run.
@@ -163,11 +180,13 @@ class Machine {
 public:
   Machine(Program &Prog, const checker::Instrumentation &Instr,
           const InterpOptions &Options)
-      : Prog(Prog), Instr(Instr), Options(Options), Rng(Options.Seed) {}
+      : Prog(Prog), Instr(Instr), Options(Options), Rng(Options.Seed),
+        Profiling(Options.Profile && Options.Sink != nullptr) {}
 
   InterpResult run();
 
 private:
+  InterpResult runImpl();
   //===--- memory ----------------------------------------------------------
   Addr alloc(uint64_t SizeCells);
   void freeObject(ThreadCtx &T, Addr A, const Expr *At);
@@ -238,6 +257,24 @@ private:
     Options.Sink->event(Ev);
   }
 
+  //===--- profiling ---------------------------------------------------------
+  /// Counts one check at \p Node's site. Null \p Node is the "<implicit>"
+  /// pseudo-site (parameter copies, returns into declared variables) so
+  /// profile totals still equal the run's final stats exactly.
+  void profRecord(obs::CheckKind K, const ThreadCtx &T, const Expr *Node,
+                  uint64_t Bytes) {
+    if (!Profiling)
+      return;
+    ++ProfOps;
+    auto &Agg = ProfSites[std::make_tuple(T.TraceTid, uint8_t(K), Node)];
+    ++Agg.Count;
+    Agg.Bytes += Bytes;
+  }
+  void profLockBlocked(ThreadCtx &T, Addr Lock, uint32_t Line);
+  void profLockAcquired(ThreadCtx &T, Addr Lock, uint32_t Line);
+  void profLockReleased(ThreadCtx &T, Addr Lock);
+  void publishProfile();
+
   void chkRead(ThreadCtx &T, Addr A, const Expr *Node);
   void chkWrite(ThreadCtx &T, Addr A, const Expr *Node);
   void chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check, Addr A,
@@ -278,6 +315,28 @@ private:
   /// Function "addresses" for function pointer values.
   std::map<const FuncDecl *, int64_t> FuncIds;
   std::map<int64_t, const FuncDecl *> FuncById;
+
+  //===--- profiling state ---------------------------------------------------
+  const bool Profiling;
+  struct SiteAgg {
+    uint64_t Count = 0;
+    uint64_t Bytes = 0;
+  };
+  /// Keyed by (trace tid, check kind, site node); sites sharing a
+  /// file:line merge at publish time so the record stream is
+  /// deterministic regardless of AST pointer values.
+  std::map<std::tuple<unsigned, uint8_t, const Expr *>, SiteAgg> ProfSites;
+  struct LockAgg {
+    uint64_t Acquires = 0;
+    uint64_t Contended = 0;
+    uint64_t WaitSteps = 0;
+    uint64_t HoldSteps = 0;
+    uint64_t WaitHist[obs::NumHistBuckets] = {};
+    uint64_t HoldHist[obs::NumHistBuckets] = {};
+  };
+  /// Keyed by (trace tid, lock address, acquirer line).
+  std::map<std::tuple<unsigned, Addr, uint32_t>, LockAgg> ProfLocks;
+  uint64_t ProfOps = 0;
 
   InterpResult Result;
 };
@@ -440,6 +499,7 @@ void Machine::chkWrite(ThreadCtx &T, Addr A, const Expr *Node) {
 void Machine::chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check,
                       Addr A, const Expr *Node) {
   ++Result.Stats.LockChecks;
+  profRecord(obs::CheckKind::LockCheck, T, Node, 0);
   // Resolve the lock value. A field lock (locked(mut)) is read from the
   // access's instance; other lock expressions evaluate directly.
   int64_t LockValue = 0;
@@ -501,18 +561,18 @@ void Machine::runChecks(ThreadCtx &T, Frame &F, const Expr *Node, Addr A) {
 //===----------------------------------------------------------------------===//
 
 int64_t Machine::readCell(ThreadCtx &T, Addr A, const Expr *Node) {
-  (void)Node;
   ++Result.Stats.TotalAccesses;
   ++Result.Stats.Reads;
+  profRecord(obs::CheckKind::DynamicRead, T, Node, 8);
   emit(TraceEvent::Kind::Read, T, A);
   return Mem[A].V;
 }
 
 void Machine::storeCell(ThreadCtx &T, Addr A, int64_t V, bool IsPtr,
                         const Expr *Node) {
-  (void)Node;
   ++Result.Stats.TotalAccesses;
   ++Result.Stats.Writes;
+  profRecord(obs::CheckKind::DynamicWrite, T, Node, 8);
   emit(TraceEvent::Kind::Write, T, A);
   if (tracing() && (IsPtr || Mem[A].IsPtr))
     emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
@@ -753,6 +813,7 @@ int64_t Machine::evalExpr(ThreadCtx &T, Frame &F, const Expr *E) {
   case ExprKind::Scast: {
     auto *Scast = cast<ScastExpr>(E);
     ++Result.Stats.SharingCasts;
+    profRecord(obs::CheckKind::SharingCast, T, Scast->Src, 0);
     Addr SrcAddr = evalLValue(T, F, Scast->Src);
     if (T.State == ThreadCtx::St::Failed)
       return 0;
@@ -801,6 +862,60 @@ int64_t Machine::evalExpr(ThreadCtx &T, Frame &F, const Expr *E) {
 }
 
 //===----------------------------------------------------------------------===//
+// Lock profiling
+//===----------------------------------------------------------------------===//
+
+void Machine::profLockBlocked(ThreadCtx &T, Addr Lock, uint32_t Line) {
+  if (!Profiling)
+    return;
+  // First block of this acquisition starts the wait clock; re-blocks
+  // after losing a wakeup race extend the same wait.
+  if (T.BlockStartStep == 0)
+    T.BlockStartStep = Result.Stats.Steps;
+  // LockWait is an obs-only event kind (never in the Trace vector).
+  obs::Event Ev;
+  Ev.K = obs::EventKind::LockWait;
+  Ev.Tid = T.TraceTid;
+  Ev.Addr = Lock;
+  Ev.Extra = Line;
+  Options.Sink->event(Ev);
+}
+
+void Machine::profLockAcquired(ThreadCtx &T, Addr Lock, uint32_t Line) {
+  if (!Profiling)
+    return;
+  uint64_t Wait = 0;
+  bool Contended = false;
+  if (T.BlockStartStep != 0) {
+    Wait = Result.Stats.Steps - T.BlockStartStep;
+    Contended = true;
+    T.BlockStartStep = 0;
+  }
+  LockAgg &L = ProfLocks[std::make_tuple(T.TraceTid, Lock, Line)];
+  ++L.Acquires;
+  if (Contended)
+    ++L.Contended;
+  L.WaitSteps += Wait;
+  ++L.WaitHist[obs::histBucket(Wait)];
+  T.ProfHolds.push_back(ThreadCtx::ProfHold{Lock, Result.Stats.Steps, Line});
+}
+
+void Machine::profLockReleased(ThreadCtx &T, Addr Lock) {
+  if (!Profiling)
+    return;
+  for (auto It = T.ProfHolds.rbegin(); It != T.ProfHolds.rend(); ++It) {
+    if (It->Lock != Lock)
+      continue;
+    uint64_t Held = Result.Stats.Steps - It->Step;
+    LockAgg &L = ProfLocks[std::make_tuple(T.TraceTid, Lock, It->Line)];
+    L.HoldSteps += Held;
+    ++L.HoldHist[obs::histBucket(Held)];
+    T.ProfHolds.erase(std::next(It).base());
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Calls, builtins, threads
 //===----------------------------------------------------------------------===//
 
@@ -815,6 +930,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
       Owner = T.Tid;
       T.HeldLocks.push_back(Lock);
       emit(TraceEvent::Kind::LockAcquire, T, Lock);
+      profLockAcquired(T, Lock, Call->Loc.Line);
       return true;
     }
     if (Owner == T.Tid) {
@@ -825,6 +941,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     }
     T.State = ThreadCtx::St::BlockedLock;
     T.BlockLock = Lock;
+    profLockBlocked(T, Lock, Call->Loc.Line);
     return false;
   }
   if (Name == "mutex_unlock") {
@@ -842,6 +959,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    profLockReleased(T, Lock);
     emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     return true;
@@ -862,11 +980,13 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    profLockReleased(T, Lock);
     emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     T.State = ThreadCtx::St::WaitingCond;
     T.WaitCond = Cond;
     T.ReacquireLock = Lock;
+    T.ReacquireLine = Call->Loc.Line;
     CondWaiters[Cond].push_back(T.Tid);
     return true; // consumed; the thread resumes after signal + reacquire
   }
@@ -892,11 +1012,13 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     if (LockOwner[Lock] != 0) { // a writer holds it
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = Lock;
+      profLockBlocked(T, Lock, Call->Loc.Line);
       return false;
     }
     ++ReaderCount[Lock];
     T.HeldSharedLocks.push_back(Lock);
     emit(TraceEvent::Kind::LockAcquire, T, Lock);
+    profLockAcquired(T, Lock, Call->Loc.Line);
     return true;
   }
   if (Name == "rwlock_rdunlock") {
@@ -910,6 +1032,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
       return true;
     }
     T.HeldSharedLocks.erase(It);
+    profLockReleased(T, Lock);
     emit(TraceEvent::Kind::LockRelease, T, Lock);
     if (--ReaderCount[Lock] == 0)
       wakeLockWaiters(Lock); // a writer may proceed
@@ -920,11 +1043,13 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     if (LockOwner[Lock] != 0 || ReaderCount[Lock] != 0) {
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = Lock;
+      profLockBlocked(T, Lock, Call->Loc.Line);
       return false;
     }
     LockOwner[Lock] = T.Tid;
     T.HeldLocks.push_back(Lock);
     emit(TraceEvent::Kind::LockAcquire, T, Lock);
+    profLockAcquired(T, Lock, Call->Loc.Line);
     return true;
   }
   if (Name == "rwlock_wrunlock") {
@@ -941,6 +1066,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
         T.HeldLocks.erase(It);
         break;
       }
+    profLockReleased(T, Lock);
     emit(TraceEvent::Kind::LockRelease, T, Lock);
     wakeLockWaiters(Lock);
     return true;
@@ -1286,12 +1412,15 @@ void Machine::step(ThreadCtx &T) {
     if (Owner != 0 && Owner != T.Tid) {
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = T.ReacquireLock;
+      profLockBlocked(T, T.ReacquireLock, T.ReacquireLine);
       return;
     }
     Owner = T.Tid;
     T.HeldLocks.push_back(T.ReacquireLock);
     emit(TraceEvent::Kind::LockAcquire, T, T.ReacquireLock);
+    profLockAcquired(T, T.ReacquireLock, T.ReacquireLine);
     T.ReacquireLock = 0;
+    T.ReacquireLine = 0;
     return;
   }
   if (T.Frames.empty()) {
@@ -1313,6 +1442,68 @@ void Machine::step(ThreadCtx &T) {
 //===----------------------------------------------------------------------===//
 
 InterpResult Machine::run() {
+  InterpResult R = runImpl();
+  // Profile records publish after every event of the run, mirroring the
+  // compiled runtime where threads drain their tables at retirement.
+  publishProfile();
+  return R;
+}
+
+void Machine::publishProfile() {
+  if (!Profiling)
+    return;
+  // Merge the AST-pointer-keyed aggregates under (tid, kind, line,
+  // lvalue) so distinct nodes on one line coalesce and the record
+  // stream is deterministic regardless of AST pointer values.
+  std::map<std::tuple<unsigned, uint8_t, uint32_t, std::string>, SiteAgg>
+      Merged;
+  for (const auto &[Key, Agg] : ProfSites) {
+    const Expr *Node = std::get<2>(Key);
+    SiteAgg &M = Merged[std::make_tuple(
+        std::get<0>(Key), std::get<1>(Key), Node ? Node->Loc.Line : 0,
+        Node ? Node->spelling() : std::string())];
+    M.Count += Agg.Count;
+    M.Bytes += Agg.Bytes;
+  }
+  for (const auto &[Key, Agg] : Merged) {
+    obs::SiteProfileRecord R;
+    R.Tid = std::get<0>(Key);
+    R.Kind = static_cast<obs::CheckKind>(std::get<1>(Key));
+    R.Line = std::get<2>(Key);
+    R.LValue = std::get<3>(Key);
+    if (R.Line != 0 || !R.LValue.empty())
+      R.File = Options.SourceName;
+    R.Count = Agg.Count;
+    R.Bytes = Agg.Bytes;
+    Options.Sink->siteProfile(R);
+  }
+  for (const auto &[Key, Agg] : ProfLocks) {
+    obs::LockProfileRecord R;
+    R.Tid = std::get<0>(Key);
+    R.Lock = std::get<1>(Key);
+    R.Line = std::get<2>(Key);
+    if (R.Line != 0)
+      R.File = Options.SourceName;
+    R.Acquires = Agg.Acquires;
+    R.Contended = Agg.Contended;
+    R.WaitCycles = Agg.WaitSteps;
+    R.HoldCycles = Agg.HoldSteps;
+    std::memcpy(R.WaitHist, Agg.WaitHist, sizeof(R.WaitHist));
+    std::memcpy(R.HoldHist, Agg.HoldHist, sizeof(R.HoldHist));
+    Options.Sink->lockProfile(R);
+  }
+  // One machine-wide overhead record: the interpreter does not sample
+  // cycles (its clock is the scheduler step), so only the bookkeeping
+  // volume is reported.
+  obs::SelfOverheadRecord O;
+  O.Tid = 0;
+  O.Ops = ProfOps;
+  O.TableBytes =
+      ProfSites.size() * (sizeof(SiteAgg) + 48) + ProfLocks.size() * sizeof(LockAgg);
+  Options.Sink->selfOverhead(O);
+}
+
+InterpResult Machine::runImpl() {
   if (Options.Trace)
     Options.Trace->clear();
   Mem.resize(1); // address 0 is the null cell, never used.

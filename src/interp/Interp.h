@@ -126,6 +126,17 @@ struct InterpOptions {
   /// violation). The sink sees the same total order the Trace vector
   /// records. Null (the default) publishes nothing and costs nothing.
   obs::Sink *Sink = nullptr;
+  /// Per-site cost profiling (sharc-prof): aggregate every dynamic,
+  /// lock, and cast check per file:line site during the run and publish
+  /// SiteProfile / LockProfile / SelfOverhead records to Sink when it
+  /// ends, so interpreter runs profile identically to compiled ones.
+  /// Requires Sink. Lock wait and hold durations are measured in
+  /// scheduler steps (the interpreter's only clock); LockWait events
+  /// mark blocking acquisitions.
+  bool Profile = false;
+  /// Source file name stamped into profile records (interpreter sites
+  /// are file:line positions in the MiniC source).
+  std::string SourceName;
 };
 
 /// Execution statistics, used by tests and the driver's summary.

@@ -1,0 +1,225 @@
+#include "obs/ChromeTrace.h"
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace sharc::obs {
+
+namespace {
+
+constexpr uint64_t ChromePid = 1;
+
+std::string hexAddr(uint64_t Addr) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", (unsigned long long)Addr);
+  return Buf;
+}
+
+void beginEvent(JsonWriter &W, const char *Name, const char *Ph,
+                const char *Cat, uint64_t Ts, uint32_t Tid) {
+  W.beginObject();
+  W.key("name");
+  W.value(Name);
+  W.key("ph");
+  W.value(Ph);
+  W.key("cat");
+  W.value(Cat);
+  W.key("ts");
+  W.value(Ts);
+  W.key("pid");
+  W.value(ChromePid);
+  W.key("tid");
+  W.value(uint64_t(Tid));
+}
+
+void slice(JsonWriter &W, const std::string &Name, const char *Cat,
+           uint64_t Start, uint64_t End, uint32_t Tid, uint64_t Addr) {
+  beginEvent(W, Name.c_str(), "X", Cat, Start, Tid);
+  W.key("dur");
+  W.value(End > Start ? End - Start : 1);
+  W.key("args");
+  W.beginObject();
+  W.key("lock");
+  W.value(hexAddr(Addr));
+  W.endObject();
+  W.endObject();
+}
+
+} // namespace
+
+std::string renderChromeTrace(const TraceData &Data) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("displayTimeUnit");
+  W.value("ms");
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Name the process and every thread track up front.
+  std::set<uint32_t> Tids;
+  for (const Event &Ev : Data.Events)
+    Tids.insert(Ev.Tid);
+  {
+    beginEvent(W, "process_name", "M", "__metadata", 0, 0);
+    W.key("args");
+    W.beginObject();
+    W.key("name");
+    W.value("sharc");
+    W.endObject();
+    W.endObject();
+  }
+  for (uint32_t Tid : Tids) {
+    beginEvent(W, "thread_name", "M", "__metadata", 0, Tid);
+    W.key("args");
+    W.beginObject();
+    W.key("name");
+    W.value("thread " + std::to_string(Tid));
+    W.endObject();
+    W.endObject();
+  }
+
+  // Open intervals keyed by (tid, lock). Shared (rwlock read side)
+  // holds nest per thread exactly like exclusive ones here because a
+  // thread holds each lock at most once.
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> HoldStart;
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> WaitStart;
+  uint64_t End = Data.Events.size();
+
+  for (size_t I = 0; I < Data.Events.size(); ++I) {
+    const Event &Ev = Data.Events[I];
+    uint64_t Ts = I;
+    auto Key = std::make_pair(Ev.Tid, Ev.Addr);
+    switch (Ev.K) {
+    case EventKind::LockWait:
+      WaitStart[Key] = Ts;
+      break;
+    case EventKind::LockAcquire:
+    case EventKind::SharedLockAcquire: {
+      auto Wait = WaitStart.find(Key);
+      if (Wait != WaitStart.end()) {
+        slice(W, "wait " + hexAddr(Ev.Addr), "lock-wait", Wait->second, Ts,
+              Ev.Tid, Ev.Addr);
+        WaitStart.erase(Wait);
+      }
+      HoldStart[Key] = Ts;
+      break;
+    }
+    case EventKind::LockRelease:
+    case EventKind::SharedLockRelease: {
+      auto Hold = HoldStart.find(Key);
+      if (Hold != HoldStart.end()) {
+        slice(W, "hold " + hexAddr(Ev.Addr), "lock", Hold->second, Ts,
+              Ev.Tid, Ev.Addr);
+        HoldStart.erase(Hold);
+      }
+      break;
+    }
+    case EventKind::Conflict: {
+      std::string Name =
+          std::string(conflictKindName(conflictKindOf(Ev.Extra)));
+      beginEvent(W, Name.c_str(), "i", "conflict", Ts, Ev.Tid);
+      W.key("s");
+      W.value("t"); // thread-scoped instant
+      W.key("args");
+      W.beginObject();
+      W.key("addr");
+      W.value(hexAddr(Ev.Addr));
+      if (uint32_t Line = conflictWhoLine(Ev.Extra)) {
+        W.key("line");
+        W.value(uint64_t(Line));
+      }
+      if (uint32_t Line = conflictLastLine(Ev.Extra)) {
+        W.key("prev_line");
+        W.value(uint64_t(Line));
+      }
+      W.endObject();
+      W.endObject();
+      break;
+    }
+    case EventKind::SharingCast:
+    case EventKind::CastQuery: {
+      beginEvent(W, Ev.K == EventKind::SharingCast ? "sharing-cast"
+                                                   : "cast-query",
+                 "i", "cast", Ts, Ev.Tid);
+      W.key("s");
+      W.value("t");
+      W.key("args");
+      W.beginObject();
+      W.key("addr");
+      W.value(hexAddr(Ev.Addr));
+      W.key("refcount");
+      W.value(int64_t(Ev.Value));
+      W.endObject();
+      W.endObject();
+      break;
+    }
+    default:
+      break; // reads/writes/spawns are too dense to plot as slices
+    }
+  }
+
+  // Close whatever is still open so the view does not lose it.
+  for (const auto &[Key, Start] : WaitStart)
+    slice(W, "wait " + hexAddr(Key.second), "lock-wait", Start, End,
+          Key.first, Key.second);
+  for (const auto &[Key, Start] : HoldStart)
+    slice(W, "hold " + hexAddr(Key.second), "lock", Start, End, Key.first,
+          Key.second);
+
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+bool validateChromeJson(std::string_view Text, std::string &Error) {
+  JsonValue Doc;
+  if (!parseJson(Text, Doc, Error))
+    return false;
+  if (!Doc.isObject()) {
+    Error = "top level is not an object";
+    return false;
+  }
+  const JsonValue *Events = Doc.get("traceEvents");
+  if (!Events || !Events->isArray()) {
+    Error = "missing traceEvents array";
+    return false;
+  }
+  for (size_t I = 0; I < Events->Arr.size(); ++I) {
+    const JsonValue &Ev = Events->Arr[I];
+    std::string Where = "traceEvents[" + std::to_string(I) + "]";
+    if (!Ev.isObject()) {
+      Error = Where + " is not an object";
+      return false;
+    }
+    for (const char *Key : {"name", "ph", "cat"}) {
+      const JsonValue *V = Ev.get(Key);
+      if (!V || !V->isString()) {
+        Error = Where + " lacks string " + Key;
+        return false;
+      }
+    }
+    for (const char *Key : {"ts", "pid", "tid"}) {
+      const JsonValue *V = Ev.get(Key);
+      if (!V || !V->isNumber()) {
+        Error = Where + " lacks numeric " + Key;
+        return false;
+      }
+    }
+    const JsonValue *Ph = Ev.get("ph");
+    if (Ph->Str == "X") {
+      const JsonValue *Dur = Ev.get("dur");
+      if (!Dur || !Dur->isNumber()) {
+        Error = Where + " is an X slice without numeric dur";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace sharc::obs

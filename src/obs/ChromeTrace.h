@@ -1,0 +1,33 @@
+// Chrome trace-event (Perfetto-loadable) export — DESIGN.md §11.5.
+//
+// Turns a decoded .strc trace into the JSON Array/Object format that
+// chrome://tracing and ui.perfetto.dev consume: one track per thread,
+// "X" duration slices for lock hold (and, when profiling recorded
+// LockWait events, lock wait) intervals, and "i" instant events for
+// conflicts and sharing casts. The .strc format carries no wall-clock
+// timestamps — per-thread order is exact, cross-thread order is drain
+// order — so the event's stream index serves as the microsecond
+// timestamp. Durations are therefore in "events", not time; the shape
+// of the interleaving is what the view is for.
+#ifndef SHARC_OBS_CHROMETRACE_H
+#define SHARC_OBS_CHROMETRACE_H
+
+#include "obs/TraceFile.h"
+
+#include <string>
+
+namespace sharc::obs {
+
+/// Renders Data as a Chrome trace-event JSON document:
+///   { "displayTimeUnit": "ms", "traceEvents": [ ... ] }
+std::string renderChromeTrace(const TraceData &Data);
+
+/// Validates a rendered document against the subset of the trace-event
+/// schema we emit: top-level object with a traceEvents array whose
+/// entries carry string name/ph/cat, numeric ts/pid/tid, and a numeric
+/// dur on every "X" slice. Returns false and sets Error otherwise.
+bool validateChromeJson(std::string_view Text, std::string &Error);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_CHROMETRACE_H

@@ -65,6 +65,30 @@ void Collector::stats(const rt::StatsSnapshot &S) {
   Downstream.stats(S);
 }
 
+// Profile records arrive at thread retire — rare enough to take the
+// mutex directly. Rings drain first so the records land after every
+// event the retiring thread already published.
+void Collector::siteProfile(const SiteProfileRecord &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &Ring : Rings)
+    drainLocked(*Ring);
+  Downstream.siteProfile(R);
+}
+
+void Collector::lockProfile(const LockProfileRecord &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &Ring : Rings)
+    drainLocked(*Ring);
+  Downstream.lockProfile(R);
+}
+
+void Collector::selfOverhead(const SelfOverheadRecord &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &Ring : Rings)
+    drainLocked(*Ring);
+  Downstream.selfOverhead(R);
+}
+
 void Collector::flush() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (auto &R : Rings)

@@ -34,6 +34,9 @@ public:
 
   void event(const Event &Ev) override;
   void stats(const rt::StatsSnapshot &S) override;
+  void siteProfile(const SiteProfileRecord &R) override;
+  void lockProfile(const LockProfileRecord &R) override;
+  void selfOverhead(const SelfOverheadRecord &R) override;
 
   /// Drains every registered ring into the downstream sink and flushes
   /// it. Safe to call while producers are still running; events

@@ -31,9 +31,14 @@ enum class EventKind : uint8_t {
   SharedLockRelease,
   SharingCast,
   Conflict,
+  // Emitted only when profiling is enabled (never during fuzz runs,
+  // whose trace oracle rejects unexpected obs-only kinds): marks the
+  // start of a blocking lock acquisition, paired with the following
+  // LockAcquire on the same thread/lock to form a wait interval.
+  LockWait,
 };
 
-inline constexpr unsigned NumEventKinds = 13;
+inline constexpr unsigned NumEventKinds = 14;
 inline constexpr EventKind LastInterpKind = EventKind::CastQuery;
 
 inline const char *eventKindName(EventKind K) {
@@ -64,6 +69,8 @@ inline const char *eventKindName(EventKind K) {
     return "sharing-cast";
   case EventKind::Conflict:
     return "conflict";
+  case EventKind::LockWait:
+    return "lock-wait";
   }
   return "?";
 }
@@ -133,6 +140,7 @@ inline uint32_t conflictLastLine(uint64_t Extra) {
 //   SharingCast           Addr = object address, Value = refcount seen
 //   Conflict              Addr = address, Value = previous thread id,
 //                         Extra = makeConflictExtra(...)
+//   LockWait              Addr = lock address, Extra = acquirer line
 struct Event {
   EventKind K = EventKind::Read;
   uint32_t Tid = 0;

@@ -408,6 +408,20 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
       !requireNumber(Doc, "scale", Error) ||
       !requireNumber(Doc, "reps", Error))
     return false;
+  // Host metadata (cpu count, compiler, build type, git revision) keeps
+  // reports comparable across machines; bench/BenchUtil.h emits it.
+  const JsonValue *Host = Doc.get("host");
+  if (!Host || !Host->isObject()) {
+    Error = "missing object field \"host\"";
+    return false;
+  }
+  if (!requireNumber(*Host, "cpus", Error) ||
+      !requireString(*Host, "compiler", nullptr, Error) ||
+      !requireString(*Host, "build", nullptr, Error) ||
+      !requireString(*Host, "git_rev", nullptr, Error)) {
+    Error = "host: " + Error;
+    return false;
+  }
   const JsonValue *Rows = Doc.get("rows");
   if (!Rows || !Rows->isArray()) {
     Error = "missing array field \"rows\"";

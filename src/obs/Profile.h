@@ -1,0 +1,125 @@
+// Profile aggregation and the §6 annotation advisor (DESIGN.md §11).
+//
+// Pure functions from a decoded TraceData to aggregate tables, exactly
+// like Summary.h: `sharc-trace profile` and the tests share one
+// implementation. The advisor reproduces the paper's tuning loop —
+// rank the sites burning dynamic-check time, then propose the cheapest
+// sharing mode the observed behaviour permits. Static validation of a
+// proposal (re-running the checker with the annotation applied) lives
+// in the CLI, which links the front end; this layer only filters on
+// dynamic evidence (single accessor, no conflicts).
+#ifndef SHARC_OBS_PROFILE_H
+#define SHARC_OBS_PROFILE_H
+
+#include "obs/TraceFile.h"
+
+#include <string>
+#include <vector>
+
+namespace sharc::obs {
+
+struct ProfileReport {
+  /// One source site × check kind, merged across threads.
+  struct Site {
+    std::string File;   // "" when the producer had no site descriptor
+    std::string LValue;
+    uint32_t Line = 0;
+    CheckKind Kind = CheckKind::DynamicRead;
+    uint64_t Count = 0;
+    uint64_t Bytes = 0;
+    uint64_t Cycles = 0;
+    uint64_t Samples = 0;
+    std::vector<uint32_t> Tids; // distinct accessor threads, sorted
+
+    bool known() const { return !File.empty() || Line != 0; }
+
+    /// Estimated total cost: sampled cycles scaled up to the full
+    /// count when TSC samples exist, otherwise the raw check count
+    /// (the interpreter's unit-cost model).
+    uint64_t cost() const {
+      return Samples ? Cycles * (double(Count) / double(Samples)) : Count;
+    }
+  };
+
+  /// One lock, merged across threads and acquirer sites.
+  struct Lock {
+    uint64_t Lock = 0;
+    uint64_t Acquires = 0;
+    uint64_t Contended = 0;
+    uint64_t WaitCycles = 0;
+    uint64_t HoldCycles = 0;
+    uint64_t WaitHist[NumHistBuckets] = {};
+    uint64_t HoldHist[NumHistBuckets] = {};
+    std::vector<uint32_t> Tids;
+
+    struct Acquirer {
+      std::string File;
+      uint32_t Line = 0;
+      uint64_t Acquires = 0;
+      uint64_t WaitCycles = 0;
+    };
+    std::vector<Acquirer> Acquirers; // sorted by WaitCycles, descending
+  };
+
+  std::vector<Site> Sites; // sorted by cost, descending
+  std::vector<Lock> Locks; // sorted by WaitCycles, descending
+
+  // Per-kind totals; must exactly equal the run's final StatsSnapshot
+  // (sharc-trace profile cross-checks and reports).
+  uint64_t KindCount[NumCheckKinds] = {};
+  uint64_t KindBytes[NumCheckKinds] = {};
+  uint64_t KindCost[NumCheckKinds] = {};
+
+  // Profiler self-accounting, summed over threads.
+  SelfOverheadRecord Overhead;
+  uint64_t OverheadRecords = 0;
+
+  // Source lines that appear as the faulting access of a Conflict
+  // event (sorted, distinct) — dynamic evidence against weakening.
+  std::vector<uint32_t> ConflictLines;
+
+  uint64_t totalCount() const;
+  uint64_t dynCost() const; // DynamicRead + DynamicWrite cost
+  /// Checks attributed to a concrete site / all checks, as counts.
+  uint64_t attributedCount() const;
+};
+
+ProfileReport buildProfile(const TraceData &Data);
+
+/// A proposed annotation change.
+struct Suggestion {
+  enum class Action {
+    MakePrivate, // single-thread hot dynamic site -> `private`
+    CoarsenLock, // contended lock -> widen the locked region
+  };
+  Action A = Action::MakePrivate;
+  std::string LValue;
+  std::string File;
+  uint32_t Line = 0;
+  double CostPct = 0; // share of the relevant cost category
+  uint32_t Tid = 0;   // the sole accessor (MakePrivate)
+  uint64_t Lock = 0;  // the lock (CoarsenLock)
+  std::string Rationale;
+};
+
+/// The advisor rules (DESIGN.md §11.4). MinSitePct gates how hot a
+/// dynamic site must be before a mode change is worth suggesting;
+/// MinLockPct gates the wait-time share for lock coarsening.
+std::vector<Suggestion> advise(const ProfileReport &R,
+                               double MinSitePct = 5.0,
+                               double MinLockPct = 25.0);
+
+/// Human-readable report: per-kind cost table, ranked hot sites, lock
+/// contention with acquirer attribution, self-overhead, attribution
+/// coverage, and the exact-match cross-check against the trace's final
+/// stats sample (when one is present).
+std::string renderProfile(const ProfileReport &R, const TraceData &Data,
+                          size_t TopSites = 20);
+
+/// One suggestion as a stable one-line string (shared by the CLI and
+/// the walkthrough docs).
+std::string renderSuggestion(const Suggestion &S);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_PROFILE_H

@@ -1,0 +1,121 @@
+// Profiling records for the sharc-prof attribution pipeline
+// (DESIGN.md §11).
+//
+// Three record shapes flow through obs::Sink next to the event stream:
+//
+//   SiteProfileRecord  per-(thread, site, check-kind) cost counters.
+//                      The native runtime keys sites by AccessSite
+//                      {lvalue, file, line}; the interpreter keys them
+//                      by MiniC file:line, so both engines profile
+//                      identically. Cycles are sampled TSC deltas on
+//                      the native runtime and scheduler steps in the
+//                      interpreter.
+//   LockProfileRecord  per-(thread, lock, acquirer-site) contention
+//                      counters with log-scale wait/hold histograms.
+//   SelfOverheadRecord one per retiring thread: what the profiler
+//                      itself cost, so the instrumentation is
+//                      self-accounting (the LLOV adoptability point —
+//                      overhead must be visible to be controllable).
+//
+// Records are published at thread retire (native) or end of run
+// (interpreter), so they are rare: sinks may treat them like stats
+// samples, not like events.
+#ifndef SHARC_OBS_PROFILERECORD_H
+#define SHARC_OBS_PROFILERECORD_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace sharc::obs {
+
+/// The check kinds whose cost the profiler attributes. Mirrors the
+/// cost taxonomy of StatsSnapshot: dynamic read/write checks, lock-held
+/// checks, refcount barriers, and sharing casts.
+enum class CheckKind : uint8_t {
+  DynamicRead = 0,
+  DynamicWrite,
+  LockCheck,
+  RcBarrier,
+  SharingCast,
+};
+
+inline constexpr unsigned NumCheckKinds = 5;
+
+inline const char *checkKindName(CheckKind K) {
+  switch (K) {
+  case CheckKind::DynamicRead:
+    return "dyn-read";
+  case CheckKind::DynamicWrite:
+    return "dyn-write";
+  case CheckKind::LockCheck:
+    return "lock-check";
+  case CheckKind::RcBarrier:
+    return "rc-barrier";
+  case CheckKind::SharingCast:
+    return "sharing-cast";
+  }
+  return "?";
+}
+
+/// Wait/hold histograms use power-of-four buckets: bucket 0 holds the
+/// value 0, bucket B >= 1 holds values in [4^(B-1), 4^B). Sixteen
+/// buckets cover up to 4^15 ≈ 1.07e9 cycles (~0.3 s at 3 GHz); larger
+/// values clamp into the last bucket.
+inline constexpr unsigned NumHistBuckets = 16;
+
+inline unsigned histBucket(uint64_t V) {
+  if (V == 0)
+    return 0;
+  unsigned B = (std::bit_width(V) + 1) / 2;
+  return B < NumHistBuckets ? B : NumHistBuckets - 1;
+}
+
+/// Lower bound of a histogram bucket, for rendering.
+inline uint64_t histBucketLow(unsigned B) {
+  return B == 0 ? 0 : uint64_t(1) << (2 * (B - 1));
+}
+
+struct SiteProfileRecord {
+  uint32_t Tid = 0;
+  CheckKind Kind = CheckKind::DynamicRead;
+  uint32_t Line = 0;   // 0 = site unknown ("<implicit>")
+  std::string File;    // "" = site unknown
+  std::string LValue;  // source spelling of the access, "" if unknown
+  uint64_t Count = 0;  // checks executed
+  uint64_t Bytes = 0;  // bytes covered by those checks
+  uint64_t Cycles = 0; // summed sampled cost (TSC cycles / interp steps)
+  uint64_t Samples = 0; // how many of Count contributed to Cycles
+
+  bool operator==(const SiteProfileRecord &) const = default;
+};
+
+struct LockProfileRecord {
+  uint32_t Tid = 0;
+  uint64_t Lock = 0;  // lock identity: native address or interp cell
+  uint32_t Line = 0;  // acquirer site line, 0 = unknown
+  std::string File;   // acquirer site file, "" = unknown
+  uint64_t Acquires = 0;
+  uint64_t Contended = 0;   // acquires that had to wait
+  uint64_t WaitCycles = 0;  // total cycles/steps spent waiting
+  uint64_t HoldCycles = 0;  // total cycles/steps the lock was held
+  uint64_t WaitHist[NumHistBuckets] = {};
+  uint64_t HoldHist[NumHistBuckets] = {};
+
+  bool operator==(const LockProfileRecord &) const = default;
+};
+
+struct SelfOverheadRecord {
+  uint32_t Tid = 0;
+  uint64_t Ops = 0;         // profiled operations recorded by this thread
+  uint64_t Cycles = 0;      // sampled cycles spent inside the profiler
+  uint64_t Samples = 0;     // ops that contributed to Cycles
+  uint64_t DrainCycles = 0; // cost of draining the table at retire
+  uint64_t TableBytes = 0;  // site-table footprint at retire
+
+  bool operator==(const SelfOverheadRecord &) const = default;
+};
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_PROFILERECORD_H

@@ -7,6 +7,7 @@
 #define SHARC_OBS_SINK_H
 
 #include "obs/Event.h"
+#include "obs/ProfileRecord.h"
 #include "rt/Stats.h"
 
 #include <vector>
@@ -25,6 +26,12 @@ public:
   // Publish a periodic counter sample.  Rare; default ignores it.
   virtual void stats(const rt::StatsSnapshot &S) { (void)S; }
 
+  // Profiling records, published at thread retire / end of run when
+  // profiling is enabled.  Rare; defaults ignore them.
+  virtual void siteProfile(const SiteProfileRecord &R) { (void)R; }
+  virtual void lockProfile(const LockProfileRecord &R) { (void)R; }
+  virtual void selfOverhead(const SelfOverheadRecord &R) { (void)R; }
+
   // Drain any buffering.  Default is a no-op.
   virtual void flush() {}
 };
@@ -35,9 +42,21 @@ class VectorSink final : public Sink {
 public:
   void event(const Event &Ev) override { Events.push_back(Ev); }
   void stats(const rt::StatsSnapshot &S) override { Samples.push_back(S); }
+  void siteProfile(const SiteProfileRecord &R) override {
+    Sites.push_back(R);
+  }
+  void lockProfile(const LockProfileRecord &R) override {
+    Locks.push_back(R);
+  }
+  void selfOverhead(const SelfOverheadRecord &R) override {
+    Overheads.push_back(R);
+  }
 
   std::vector<Event> Events;
   std::vector<rt::StatsSnapshot> Samples;
+  std::vector<SiteProfileRecord> Sites;
+  std::vector<LockProfileRecord> Locks;
+  std::vector<SelfOverheadRecord> Overheads;
 };
 
 // Fans one stream out to two sinks (e.g. a trace file plus a live
@@ -58,6 +77,27 @@ public:
       A->stats(S);
     if (B)
       B->stats(S);
+  }
+
+  void siteProfile(const SiteProfileRecord &R) override {
+    if (A)
+      A->siteProfile(R);
+    if (B)
+      B->siteProfile(R);
+  }
+
+  void lockProfile(const LockProfileRecord &R) override {
+    if (A)
+      A->lockProfile(R);
+    if (B)
+      B->lockProfile(R);
+  }
+
+  void selfOverhead(const SelfOverheadRecord &R) override {
+    if (A)
+      A->selfOverhead(R);
+    if (B)
+      B->selfOverhead(R);
   }
 
   void flush() override {

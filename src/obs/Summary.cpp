@@ -207,6 +207,7 @@ std::string renderSchedule(const TraceData &Data) {
     case EventKind::CastQuery:
     case EventKind::SharingCast:
     case EventKind::Conflict:
+    case EventKind::LockWait:
       break; // invisible to the detectors
     }
   }

@@ -41,6 +41,22 @@ bool readZigzag(std::string_view Buf, size_t &Pos, int64_t &Out) {
   return true;
 }
 
+void appendString(std::string &Out, std::string_view S) {
+  appendVarint(Out, S.size());
+  Out.append(S.data(), S.size());
+}
+
+bool readString(std::string_view Buf, size_t &Pos, std::string &Out) {
+  uint64_t Len;
+  if (!readVarint(Buf, Pos, Len))
+    return false;
+  if (Len > (1u << 20) || Pos + Len > Buf.size())
+    return false;
+  Out.assign(Buf.data() + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
 namespace {
 
 // StatsSnapshot counters in declaration order; keep in sync with
@@ -110,6 +126,54 @@ void TraceWriter::stats(const rt::StatsSnapshot &S) {
   ++Records;
 }
 
+void TraceWriter::siteProfile(const SiteProfileRecord &R) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(SiteProfileTag));
+  appendVarint(Buf, R.Tid);
+  appendVarint(Buf, static_cast<uint8_t>(R.Kind));
+  appendVarint(Buf, R.Line);
+  appendString(Buf, R.File);
+  appendString(Buf, R.LValue);
+  appendVarint(Buf, R.Count);
+  appendVarint(Buf, R.Bytes);
+  appendVarint(Buf, R.Cycles);
+  appendVarint(Buf, R.Samples);
+  ++Records;
+}
+
+void TraceWriter::lockProfile(const LockProfileRecord &R) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(LockProfileTag));
+  appendVarint(Buf, R.Tid);
+  appendVarint(Buf, R.Lock);
+  appendVarint(Buf, R.Line);
+  appendString(Buf, R.File);
+  appendVarint(Buf, R.Acquires);
+  appendVarint(Buf, R.Contended);
+  appendVarint(Buf, R.WaitCycles);
+  appendVarint(Buf, R.HoldCycles);
+  for (uint64_t V : R.WaitHist)
+    appendVarint(Buf, V);
+  for (uint64_t V : R.HoldHist)
+    appendVarint(Buf, V);
+  ++Records;
+}
+
+void TraceWriter::selfOverhead(const SelfOverheadRecord &R) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(SelfOverheadTag));
+  appendVarint(Buf, R.Tid);
+  appendVarint(Buf, R.Ops);
+  appendVarint(Buf, R.Cycles);
+  appendVarint(Buf, R.Samples);
+  appendVarint(Buf, R.DrainCycles);
+  appendVarint(Buf, R.TableBytes);
+  ++Records;
+}
+
 void TraceWriter::finish() {
   if (Finished)
     return;
@@ -153,9 +217,10 @@ bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
     Version |= static_cast<uint32_t>(
                    static_cast<uint8_t>(Buf[sizeof(TraceMagic) + I]))
                << (8 * I);
-  if (Version != TraceVersion) {
+  if (Version < MinTraceVersion || Version > TraceVersion) {
     Error = "unsupported trace version " + std::to_string(Version) +
-            " (expected " + std::to_string(TraceVersion) + ")";
+            " (supported: " + std::to_string(MinTraceVersion) + ".." +
+            std::to_string(TraceVersion) + ")";
     return false;
   }
 
@@ -196,6 +261,70 @@ bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
       fieldsToStats(F, S);
       Out.Samples.push_back(S);
       Out.SamplePos.push_back(Out.Events.size());
+      ++Records;
+      continue;
+    }
+    if (Tag == SiteProfileTag) {
+      SiteProfileRecord R;
+      uint64_t Tid, Kind, Line, Count, Bytes, Cycles, Samples;
+      if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, Kind) ||
+          !readVarint(Buf, Pos, Line) || !readString(Buf, Pos, R.File) ||
+          !readString(Buf, Pos, R.LValue) || !readVarint(Buf, Pos, Count) ||
+          !readVarint(Buf, Pos, Bytes) || !readVarint(Buf, Pos, Cycles) ||
+          !readVarint(Buf, Pos, Samples)) {
+        Error = "truncated trace: cut mid site-profile record";
+        return false;
+      }
+      if (Kind >= NumCheckKinds) {
+        Error = "corrupt trace: unknown check kind " + std::to_string(Kind);
+        return false;
+      }
+      R.Tid = static_cast<uint32_t>(Tid);
+      R.Kind = static_cast<CheckKind>(Kind);
+      R.Line = static_cast<uint32_t>(Line);
+      R.Count = Count;
+      R.Bytes = Bytes;
+      R.Cycles = Cycles;
+      R.Samples = Samples;
+      Out.Sites.push_back(std::move(R));
+      ++Records;
+      continue;
+    }
+    if (Tag == LockProfileTag) {
+      LockProfileRecord R;
+      uint64_t Tid, Line;
+      bool Ok = readVarint(Buf, Pos, Tid) && readVarint(Buf, Pos, R.Lock) &&
+                readVarint(Buf, Pos, Line) && readString(Buf, Pos, R.File) &&
+                readVarint(Buf, Pos, R.Acquires) &&
+                readVarint(Buf, Pos, R.Contended) &&
+                readVarint(Buf, Pos, R.WaitCycles) &&
+                readVarint(Buf, Pos, R.HoldCycles);
+      for (uint64_t &V : R.WaitHist)
+        Ok = Ok && readVarint(Buf, Pos, V);
+      for (uint64_t &V : R.HoldHist)
+        Ok = Ok && readVarint(Buf, Pos, V);
+      if (!Ok) {
+        Error = "truncated trace: cut mid lock-profile record";
+        return false;
+      }
+      R.Tid = static_cast<uint32_t>(Tid);
+      R.Line = static_cast<uint32_t>(Line);
+      Out.Locks.push_back(std::move(R));
+      ++Records;
+      continue;
+    }
+    if (Tag == SelfOverheadTag) {
+      SelfOverheadRecord R;
+      uint64_t Tid;
+      if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, R.Ops) ||
+          !readVarint(Buf, Pos, R.Cycles) || !readVarint(Buf, Pos, R.Samples) ||
+          !readVarint(Buf, Pos, R.DrainCycles) ||
+          !readVarint(Buf, Pos, R.TableBytes)) {
+        Error = "truncated trace: cut mid self-overhead record";
+        return false;
+      }
+      R.Tid = static_cast<uint32_t>(Tid);
+      Out.Overheads.push_back(R);
       ++Records;
       continue;
     }

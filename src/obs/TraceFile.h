@@ -1,14 +1,24 @@
-// Compact, versioned binary trace format (.strc) — DESIGN.md §10.
+// Compact, versioned binary trace format (.strc) — DESIGN.md §10, §11.
 //
 // Layout:
 //   8-byte magic "SHARCTRC"
-//   u32 little-endian version (currently 1)
+//   u32 little-endian version (currently 2; version-1 traces are still
+//   parsed — version 2 only adds the profile record tags below)
 //   a sequence of records, each introduced by a tag byte:
-//     0x01..0x0d  event record: tag = EventKind + 1, then varint Tid,
+//     0x01..0x0e  event record: tag = EventKind + 1, then varint Tid,
 //                 varint Addr, zigzag-varint Value, varint Extra
 //     0x40        stats record: the 17 StatsSnapshot counters as varints,
 //                 in declaration order
-//     0xff        end record: varint total record count (events + samples)
+//     0x41        site-profile record: varint Tid, Kind, Line, string
+//                 File, string LValue, varints Count/Bytes/Cycles/Samples
+//     0x42        lock-profile record: varint Tid, Lock, Line, string
+//                 File, varints Acquires/Contended/WaitCycles/HoldCycles,
+//                 16 wait-histogram varints, 16 hold-histogram varints
+//     0x43        self-overhead record: varint Tid, Ops, Cycles,
+//                 Samples, DrainCycles, TableBytes
+//     0xff        end record: varint total record count (every record
+//                 above, of any tag)
+//   Strings are a varint length followed by raw bytes.
 //   The end record is mandatory; a trace without it is reported as
 //   truncated, which is how mid-write crashes and chopped files are
 //   detected.
@@ -30,8 +40,12 @@
 namespace sharc::obs {
 
 inline constexpr char TraceMagic[8] = {'S', 'H', 'A', 'R', 'C', 'T', 'R', 'C'};
-inline constexpr uint32_t TraceVersion = 1;
+inline constexpr uint32_t TraceVersion = 2;
+inline constexpr uint32_t MinTraceVersion = 1;
 inline constexpr uint8_t StatsRecordTag = 0x40;
+inline constexpr uint8_t SiteProfileTag = 0x41;
+inline constexpr uint8_t LockProfileTag = 0x42;
+inline constexpr uint8_t SelfOverheadTag = 0x43;
 inline constexpr uint8_t EndRecordTag = 0xff;
 
 // Appends a LEB128 varint / zigzag varint to Out.
@@ -43,6 +57,12 @@ void appendZigzag(std::string &Out, int64_t V);
 bool readVarint(std::string_view Buf, size_t &Pos, uint64_t &Out);
 bool readZigzag(std::string_view Buf, size_t &Pos, int64_t &Out);
 
+// Length-prefixed string coding. readString rejects truncation and
+// lengths over 1 MiB (no .strc string is remotely that long; the cap
+// bounds allocations on corrupt input).
+void appendString(std::string &Out, std::string_view S);
+bool readString(std::string_view Buf, size_t &Pos, std::string &Out);
+
 /// Serialising sink. Events and stats samples are encoded as they
 /// arrive; call finish() (idempotent) to append the end record before
 /// inspecting buffer() or saving.
@@ -52,6 +72,9 @@ public:
 
   void event(const Event &Ev) override;
   void stats(const rt::StatsSnapshot &S) override;
+  void siteProfile(const SiteProfileRecord &R) override;
+  void lockProfile(const LockProfileRecord &R) override;
+  void selfOverhead(const SelfOverheadRecord &R) override;
 
   /// Appends the end record. Further events are rejected (dropped)
   /// after this; calling it again is a no-op.
@@ -79,6 +102,9 @@ struct TraceData {
   std::vector<Event> Events;
   std::vector<rt::StatsSnapshot> Samples;
   std::vector<size_t> SamplePos;
+  std::vector<SiteProfileRecord> Sites;
+  std::vector<LockProfileRecord> Locks;
+  std::vector<SelfOverheadRecord> Overheads;
 };
 
 /// Decodes a complete trace image. Returns false and sets Error on bad

@@ -8,19 +8,33 @@
 /// `sharc-trace` — offline analysis of .strc traces recorded by
 /// `sharcc --trace-out` (or any obs::TraceWriter user), plus schema
 /// validation for the JSON the bench harnesses and `--metrics-out`
-/// emit. Exit codes follow sharcc's contract: 0 success, 1 a check
-/// failed or the input is malformed, 2 usage errors.
+/// emit. The `profile` subcommand is the paper-§6 tuning loop: ranked
+/// per-site check costs, lock contention, and annotation advice that —
+/// when the MiniC source is available — is re-checked against the
+/// static semantics before being shown. Exit codes follow sharcc's
+/// contract: 0 success, 1 a check failed or the input is malformed,
+/// 2 usage errors.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/SharingAnalysis.h"
+#include "checker/Checker.h"
+#include "minic/ExprTyper.h"
+#include "minic/Parser.h"
+#include "obs/ChromeTrace.h"
 #include "obs/Json.h"
 #include "obs/MetricsJson.h"
+#include "obs/Profile.h"
 #include "obs/Summary.h"
 #include "obs/TraceFile.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 using namespace sharc;
 
@@ -38,8 +52,25 @@ void printUsage(std::FILE *To) {
       "  dump FILE.strc         every record, one per line\n"
       "  schedule FILE.strc     re-emit as the fuzzer's replay schedule\n"
       "  metrics FILE.strc      final stats sample as sharc-stats-v1 JSON\n"
+      "  metrics --delta A.strc B.strc\n"
+      "                         B's final sample minus A's (saturating),\n"
+      "                         for before/after annotation tuning\n"
+      "  profile FILE.strc [--source FILE.mc]\n"
+      "                         ranked per-site check costs, lock\n"
+      "                         contention, and annotation advice from a\n"
+      "                         profiling run (sharcc --profile); with\n"
+      "                         --source every suggestion is re-checked\n"
+      "                         against the static checker\n"
+      "  export-chrome FILE.strc [OUT.json]\n"
+      "                         Chrome trace-event JSON for\n"
+      "                         chrome://tracing / ui.perfetto.dev\n"
+      "                         (stdout when OUT is omitted)\n"
       "  check-bench FILE...    validate sharc-bench-v1 JSON reports\n"
       "  check-metrics FILE...  validate sharc-metrics-v1 JSON reports\n"
+      "  check-overhead A.json B.json [--max-pct P]\n"
+      "                         compare two sharc-bench-v1 reports row by\n"
+      "                         row; fail if any shared row regressed by\n"
+      "                         more than P%% (default 2)\n"
       "  --help                 print this message\n"
       "\n"
       "exit codes: 0 success, 1 malformed input or failed check, 2 usage\n");
@@ -94,6 +125,424 @@ int checkJsonFiles(int Argc, char **Argv, int First,
   return Status;
 }
 
+//===----------------------------------------------------------------------===//
+// Advisor validation: re-run the static pipeline with a suggestion applied
+//===----------------------------------------------------------------------===//
+
+/// Visits every expression (including subexpressions) reachable from the
+/// program's function bodies. The AST has no generic walker — the only
+/// existing traversal is ASTContext::forEachType — so the advisor brings
+/// its own.
+template <typename FnT> void forEachExpr(minic::Expr *E, FnT &Fn) {
+  using namespace minic;
+  if (!E)
+    return;
+  Fn(E);
+  switch (E->Kind) {
+  case ExprKind::Unary:
+    forEachExpr(cast<UnaryExpr>(E)->Sub, Fn);
+    break;
+  case ExprKind::Binary:
+    forEachExpr(cast<BinaryExpr>(E)->Lhs, Fn);
+    forEachExpr(cast<BinaryExpr>(E)->Rhs, Fn);
+    break;
+  case ExprKind::Assign:
+    forEachExpr(cast<AssignExpr>(E)->Lhs, Fn);
+    forEachExpr(cast<AssignExpr>(E)->Rhs, Fn);
+    break;
+  case ExprKind::Call: {
+    auto *Call = cast<CallExpr>(E);
+    forEachExpr(Call->Callee, Fn);
+    for (Expr *Arg : Call->Args)
+      forEachExpr(Arg, Fn);
+    break;
+  }
+  case ExprKind::Member:
+    forEachExpr(cast<MemberExpr>(E)->Base, Fn);
+    break;
+  case ExprKind::Index:
+    forEachExpr(cast<IndexExpr>(E)->Base, Fn);
+    forEachExpr(cast<IndexExpr>(E)->Idx, Fn);
+    break;
+  case ExprKind::Scast:
+    forEachExpr(cast<ScastExpr>(E)->Src, Fn);
+    break;
+  case ExprKind::New:
+    forEachExpr(cast<NewExpr>(E)->Count, Fn);
+    break;
+  default:
+    break;
+  }
+}
+
+template <typename FnT> void forEachExprInStmt(minic::Stmt *S, FnT &Fn) {
+  using namespace minic;
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Block:
+    for (Stmt *Sub : cast<BlockStmt>(S)->Body)
+      forEachExprInStmt(Sub, Fn);
+    break;
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    forEachExpr(If->Cond, Fn);
+    forEachExprInStmt(If->Then, Fn);
+    forEachExprInStmt(If->Else, Fn);
+    break;
+  }
+  case StmtKind::While: {
+    auto *While = cast<WhileStmt>(S);
+    forEachExpr(While->Cond, Fn);
+    forEachExprInStmt(While->Body, Fn);
+    break;
+  }
+  case StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    forEachExprInStmt(For->Init, Fn);
+    forEachExpr(For->Cond, Fn);
+    forEachExpr(For->Step, Fn);
+    forEachExprInStmt(For->Body, Fn);
+    break;
+  }
+  case StmtKind::Return:
+    forEachExpr(cast<ReturnStmt>(S)->Value, Fn);
+    break;
+  case StmtKind::ExprStmt:
+    forEachExpr(cast<ExprStmt>(S)->E, Fn);
+    break;
+  case StmtKind::DeclStmt:
+    forEachExpr(cast<DeclStmt>(S)->Init, Fn);
+    break;
+  case StmtKind::Spawn:
+    forEachExpr(cast<SpawnStmt>(S)->Arg, Fn);
+    break;
+  case StmtKind::Free:
+    forEachExpr(cast<FreeStmt>(S)->Ptr, Fn);
+    break;
+  default:
+    break;
+  }
+}
+
+enum class Verdict {
+  Ok,           ///< applied annotation passes analysis + checker
+  Rejected,     ///< static semantics reject the proposed mode
+  SiteNotFound, ///< no expression matches the profile's (line, lvalue)
+  SourceError,  ///< source missing or does not parse/type on its own
+};
+
+/// Statically validates one MakePrivate suggestion: re-parse the source,
+/// locate the profiled expression by line and spelling, stamp `private`
+/// on the type position the expression denotes (expression types ARE the
+/// declaration-position TypeNodes, see ExprTyper.h), and re-run the
+/// sharing analysis and checker. Each call works on a fresh AST so
+/// validations cannot contaminate each other.
+Verdict validateMakePrivate(const obs::Suggestion &S, const char *SourcePath,
+                            std::string &Detail) {
+  SourceManager SM;
+  std::string Error;
+  FileId File = SM.addFile(SourcePath, Error);
+  if (File == InvalidFileId) {
+    Detail = Error;
+    return Verdict::SourceError;
+  }
+  DiagnosticEngine Diags(SM);
+  minic::Parser Parser(SM, File, Diags);
+  auto Prog = Parser.parseProgram();
+  if (Diags.hasErrors()) {
+    Detail = "source does not parse";
+    return Verdict::SourceError;
+  }
+  minic::ExprTyper Typer(*Prog, Diags);
+  if (!Typer.run()) {
+    Detail = "source does not type-check";
+    return Verdict::SourceError;
+  }
+
+  // Every expression on the suggested line whose spelling matches the
+  // profiled l-value denotes the same cell; annotate them all (their
+  // ExprTypes usually alias one declaration node anyway).
+  std::vector<minic::TypeNode *> Positions;
+  auto Match = [&](minic::Expr *E) {
+    if (E->Loc.Line == S.Line && E->ExprType && E->spelling() == S.LValue)
+      Positions.push_back(E->ExprType);
+  };
+  for (minic::FuncDecl *F : Prog->Funcs)
+    forEachExprInStmt(F->Body, Match);
+  if (Positions.empty()) {
+    Detail = "site not found in source";
+    return Verdict::SiteNotFound;
+  }
+  for (minic::TypeNode *T : Positions)
+    T->Q = {minic::Mode::Private, nullptr, /*Explicit=*/true};
+
+  analysis::SharingAnalysis Analysis(*Prog, Diags);
+  if (!Analysis.run()) {
+    Detail = "sharing analysis rejects private here";
+    return Verdict::Rejected;
+  }
+  checker::Checker Check(*Prog, Diags);
+  if (!Check.run()) {
+    Detail = "checker rejects private here";
+    return Verdict::Rejected;
+  }
+  return Verdict::Ok;
+}
+
+int cmdProfile(int Argc, char **Argv) {
+  const char *TracePath = nullptr;
+  const char *SourcePath = nullptr;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--source") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharc-trace: --source needs a file\n");
+        return 2;
+      }
+      SourcePath = Argv[++I];
+    } else if (!TracePath) {
+      TracePath = Argv[I];
+    } else {
+      std::fprintf(stderr, "sharc-trace: profile takes one trace file\n");
+      return 2;
+    }
+  }
+  if (!TracePath) {
+    std::fprintf(stderr,
+                 "sharc-trace: profile FILE.strc [--source FILE.mc]\n");
+    return 2;
+  }
+  obs::TraceData Data;
+  if (!loadOrComplain(TracePath, Data))
+    return 1;
+  obs::ProfileReport R = obs::buildProfile(Data);
+  std::fputs(obs::renderProfile(R, Data).c_str(), stdout);
+
+  std::vector<obs::Suggestion> Suggestions = obs::advise(R);
+  if (Suggestions.empty()) {
+    std::printf("\nadvice: none (no site clears the suggestion "
+                "thresholds)\n");
+    return 0;
+  }
+  // The advisor must never suggest a mode the static semantics would
+  // reject: with the source at hand, each MakePrivate proposal is
+  // applied to a fresh AST and re-checked, and rejected ones are
+  // withheld from the advice list (shown separately for transparency).
+  std::vector<std::string> Advice, Withheld;
+  for (const obs::Suggestion &S : Suggestions) {
+    std::string Line = "  " + obs::renderSuggestion(S);
+    if (SourcePath && S.A == obs::Suggestion::Action::MakePrivate) {
+      std::string Detail;
+      switch (validateMakePrivate(S, SourcePath, Detail)) {
+      case Verdict::Ok:
+        Advice.push_back(Line + "  [checker: ok]");
+        break;
+      case Verdict::Rejected:
+        Withheld.push_back(Line + "  [" + Detail + "]");
+        break;
+      case Verdict::SiteNotFound:
+      case Verdict::SourceError:
+        Advice.push_back(Line + "  [checker: skipped — " + Detail + "]");
+        break;
+      }
+    } else {
+      Advice.push_back(std::move(Line));
+    }
+  }
+  std::printf("\nadvice:%s\n", Advice.empty() ? " none survived the static"
+                                                " checker" : "");
+  for (const std::string &Line : Advice)
+    std::printf("%s\n", Line.c_str());
+  if (!Withheld.empty()) {
+    std::printf("\nwithheld (static checker rejects the mode change):\n");
+    for (const std::string &Line : Withheld)
+      std::printf("%s\n", Line.c_str());
+  }
+  return 0;
+}
+
+int cmdExportChrome(int Argc, char **Argv) {
+  if (Argc != 3 && Argc != 4) {
+    std::fprintf(stderr,
+                 "sharc-trace: export-chrome FILE.strc [OUT.json]\n");
+    return 2;
+  }
+  obs::TraceData Data;
+  if (!loadOrComplain(Argv[2], Data))
+    return 1;
+  std::string Json = obs::renderChromeTrace(Data);
+  std::string Error;
+  if (!obs::validateChromeJson(Json, Error)) {
+    std::fprintf(stderr, "sharc-trace: internal error: emitted JSON "
+                         "fails self-validation: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  Json.push_back('\n');
+  if (Argc == 4) {
+    std::FILE *F = std::fopen(Argv[3], "wb");
+    bool Ok =
+        F && std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+    if (F && std::fclose(F) != 0)
+      Ok = false;
+    if (!Ok) {
+      std::fprintf(stderr, "sharc-trace: cannot write '%s'\n", Argv[3]);
+      return 1;
+    }
+  } else {
+    std::fputs(Json.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdMetricsDelta(const char *PathA, const char *PathB) {
+  obs::TraceData A, B;
+  if (!loadOrComplain(PathA, A) || !loadOrComplain(PathB, B))
+    return 1;
+  if (A.Samples.empty() || B.Samples.empty()) {
+    std::fprintf(stderr,
+                 "sharc-trace: %s has no stats samples to diff\n",
+                 A.Samples.empty() ? PathA : PathB);
+    return 1;
+  }
+  std::fputs(
+      obs::statsToJson(B.Samples.back() - A.Samples.back()).c_str(),
+      stdout);
+  return 0;
+}
+
+/// One bench row flattened to name -> metric map for comparison.
+struct BenchRows {
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      Rows;
+
+  const std::vector<std::pair<std::string, double>> *
+  find(const std::string &Name) const {
+    for (const auto &[RowName, Metrics] : Rows)
+      if (RowName == Name)
+        return &Metrics;
+    return nullptr;
+  }
+};
+
+bool loadBenchRows(const char *Path, BenchRows &Out) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Path);
+    return false;
+  }
+  obs::JsonValue Doc;
+  std::string Error;
+  if (!parseJson(Text, Doc, Error) ||
+      !obs::validateBenchJson(Doc, Error)) {
+    std::fprintf(stderr, "sharc-trace: %s: %s\n", Path, Error.c_str());
+    return false;
+  }
+  for (const obs::JsonValue &Row : Doc.get("rows")->Arr) {
+    std::vector<std::pair<std::string, double>> Metrics;
+    for (const auto &[Key, Value] : Row.get("metrics")->Obj)
+      Metrics.emplace_back(Key, Value.Num);
+    Out.Rows.emplace_back(Row.get("name")->Str, std::move(Metrics));
+  }
+  return true;
+}
+
+/// The timing metric a row is compared on: cpu_ns for google-benchmark
+/// harnesses, falling back to real_ns, then to the first metric whose
+/// name suggests a duration.
+const double *timingMetric(
+    const std::vector<std::pair<std::string, double>> &Metrics,
+    std::string &Name) {
+  for (const char *Want : {"cpu_ns", "real_ns"})
+    for (const auto &[Key, Value] : Metrics)
+      if (Key == Want) {
+        Name = Key;
+        return &Value;
+      }
+  for (const auto &[Key, Value] : Metrics)
+    if (Key.find("_ns") != std::string::npos ||
+        Key.find("_sec") != std::string::npos ||
+        Key.find("seconds") != std::string::npos) {
+      Name = Key;
+      return &Value;
+    }
+  return nullptr;
+}
+
+int cmdCheckOverhead(int Argc, char **Argv) {
+  double MaxPct = 2.0;
+  const char *PathA = nullptr, *PathB = nullptr;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--max-pct") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "sharc-trace: --max-pct needs a value\n");
+        return 2;
+      }
+      char *End = nullptr;
+      MaxPct = std::strtod(Argv[++I], &End);
+      if (!End || *End != '\0' || MaxPct < 0) {
+        std::fprintf(stderr,
+                     "sharc-trace: --max-pct expects a number, got '%s'\n",
+                     Argv[I]);
+        return 2;
+      }
+    } else if (!PathA) {
+      PathA = Argv[I];
+    } else if (!PathB) {
+      PathB = Argv[I];
+    } else {
+      std::fprintf(stderr, "sharc-trace: check-overhead takes two files\n");
+      return 2;
+    }
+  }
+  if (!PathA || !PathB) {
+    std::fprintf(
+        stderr,
+        "sharc-trace: check-overhead BASE.json CAND.json [--max-pct P]\n");
+    return 2;
+  }
+  BenchRows Base, Cand;
+  if (!loadBenchRows(PathA, Base) || !loadBenchRows(PathB, Cand))
+    return 1;
+
+  int Status = 0;
+  unsigned Compared = 0;
+  for (const auto &[Name, BaseMetrics] : Base.Rows) {
+    const auto *CandMetrics = Cand.find(Name);
+    if (!CandMetrics)
+      continue;
+    std::string MetricName;
+    const double *BaseVal = timingMetric(BaseMetrics, MetricName);
+    if (!BaseVal)
+      continue;
+    const double *CandVal = nullptr;
+    for (const auto &[Key, Value] : *CandMetrics)
+      if (Key == MetricName)
+        CandVal = &Value;
+    if (!CandVal || *BaseVal <= 0)
+      continue;
+    ++Compared;
+    double Pct = 100.0 * (*CandVal - *BaseVal) / *BaseVal;
+    if (Pct > MaxPct) {
+      std::printf("FAIL %-32s %s %.1f -> %.1f (%+.2f%% > %.2f%%)\n",
+                  Name.c_str(), MetricName.c_str(), *BaseVal, *CandVal,
+                  Pct, MaxPct);
+      Status = 1;
+    } else {
+      std::printf("ok   %-32s %s %.1f -> %.1f (%+.2f%%)\n", Name.c_str(),
+                  MetricName.c_str(), *BaseVal, *CandVal, Pct);
+    }
+  }
+  if (Compared == 0) {
+    std::fprintf(stderr,
+                 "sharc-trace: no comparable rows between '%s' and '%s'\n",
+                 PathA, PathB);
+    return 1;
+  }
+  return Status;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -105,6 +554,15 @@ int main(int Argc, char **Argv) {
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
     printUsage(stdout);
     return 0;
+  }
+
+  if (Cmd == "metrics" && Argc >= 3 && std::strcmp(Argv[2], "--delta") == 0) {
+    if (Argc != 5) {
+      std::fprintf(stderr,
+                   "sharc-trace: metrics --delta takes two trace files\n");
+      return 2;
+    }
+    return cmdMetricsDelta(Argv[3], Argv[4]);
   }
 
   if (Cmd == "summarize" || Cmd == "dump" || Cmd == "schedule" ||
@@ -135,6 +593,13 @@ int main(int Argc, char **Argv) {
     }
     return 0;
   }
+
+  if (Cmd == "profile")
+    return cmdProfile(Argc, Argv);
+  if (Cmd == "export-chrome")
+    return cmdExportChrome(Argc, Argv);
+  if (Cmd == "check-overhead")
+    return cmdCheckOverhead(Argc, Argv);
 
   if (Cmd == "check-bench")
     return checkJsonFiles(Argc, Argv, 2, obs::validateBenchJson,

@@ -75,12 +75,24 @@ private:
 };
 
 /// Mutex whose acquire/release maintain the per-thread lock log the
-/// locked-mode check consults (Section 4.2.2).
+/// locked-mode check consults (Section 4.2.2). When profiling is on,
+/// acquires go through a timed path that measures wait cycles and
+/// attributes them to the acquiring site (or the declaration site).
 class Mutex {
 public:
-  void lock() {
+  Mutex() = default;
+  /// \p Site names where the lock lives; contention with no per-acquire
+  /// site falls back to it in profiles.
+  explicit Mutex(const AccessSite *Site) : DeclSite(Site) {}
+
+  void lock(const AccessSite *Site = nullptr) {
+    rt::Runtime &RT = rt::Runtime::get();
+    if (RT.profilingEnabled()) [[unlikely]] {
+      lockProfiled(RT, Site);
+      return;
+    }
     Impl.lock();
-    rt::Runtime::get().onLockAcquire(this);
+    RT.onLockAcquire(this);
   }
   void unlock() {
     rt::Runtime::get().onLockRelease(this);
@@ -89,12 +101,32 @@ public:
   bool try_lock() {
     if (!Impl.try_lock())
       return false;
-    rt::Runtime::get().onLockAcquire(this);
+    rt::Runtime &RT = rt::Runtime::get();
+    if (RT.profilingEnabled()) [[unlikely]]
+      RT.onLockAcquireProfiled(this, site(nullptr), 0, false);
+    else
+      RT.onLockAcquire(this);
     return true;
   }
 
 private:
+  const AccessSite *site(const AccessSite *S) const {
+    return S ? S : DeclSite;
+  }
+
+  void lockProfiled(rt::Runtime &RT, const AccessSite *S) {
+    uint64_t Start = rt::readTsc();
+    bool Contended = !Impl.try_lock();
+    if (Contended) {
+      RT.onLockWait(this, site(S));
+      Impl.lock();
+    }
+    RT.onLockAcquireProfiled(this, site(S),
+                             Contended ? rt::readTsc() - Start : 0, Contended);
+  }
+
   std::mutex Impl;
+  const AccessSite *DeclSite = nullptr;
 };
 
 using LockGuard = std::lock_guard<Mutex>;
@@ -105,17 +137,46 @@ using UniqueLock = std::unique_lock<Mutex>;
 /// Supports the rwlocked sharing mode (a Section 7 extension).
 class SharedMutex {
 public:
-  void lock() {
+  SharedMutex() = default;
+  explicit SharedMutex(const AccessSite *Site) : DeclSite(Site) {}
+
+  void lock(const AccessSite *Site = nullptr) {
+    rt::Runtime &RT = rt::Runtime::get();
+    if (RT.profilingEnabled()) [[unlikely]] {
+      uint64_t Start = rt::readTsc();
+      bool Contended = !Impl.try_lock();
+      if (Contended) {
+        RT.onLockWait(this, site(Site));
+        Impl.lock();
+      }
+      RT.onLockAcquireProfiled(this, site(Site),
+                               Contended ? rt::readTsc() - Start : 0,
+                               Contended);
+      return;
+    }
     Impl.lock();
-    rt::Runtime::get().onLockAcquire(this);
+    RT.onLockAcquire(this);
   }
   void unlock() {
     rt::Runtime::get().onLockRelease(this);
     Impl.unlock();
   }
-  void lock_shared() {
+  void lock_shared(const AccessSite *Site = nullptr) {
+    rt::Runtime &RT = rt::Runtime::get();
+    if (RT.profilingEnabled()) [[unlikely]] {
+      uint64_t Start = rt::readTsc();
+      bool Contended = !Impl.try_lock_shared();
+      if (Contended) {
+        RT.onLockWait(this, site(Site));
+        Impl.lock_shared();
+      }
+      RT.onSharedLockAcquireProfiled(this, site(Site),
+                                     Contended ? rt::readTsc() - Start : 0,
+                                     Contended);
+      return;
+    }
     Impl.lock_shared();
-    rt::Runtime::get().onSharedLockAcquire(this);
+    RT.onSharedLockAcquire(this);
   }
   void unlock_shared() {
     rt::Runtime::get().onSharedLockRelease(this);
@@ -123,7 +184,12 @@ public:
   }
 
 private:
+  const AccessSite *site(const AccessSite *S) const {
+    return S ? S : DeclSite;
+  }
+
   std::shared_mutex Impl;
+  const AccessSite *DeclSite = nullptr;
 };
 
 using SharedLockGuard = std::shared_lock<SharedMutex>;
@@ -355,7 +421,9 @@ public:
   Counted(const Counted &) = delete;
   Counted &operator=(const Counted &) = delete;
 
-  void store(T *Value) { rt::Runtime::get().rcStore(slot(), Value); }
+  void store(T *Value, const AccessSite *Site = nullptr) {
+    rt::Runtime::get().rcStore(slot(), Value, Site);
+  }
   T *load() const {
     return static_cast<T *>(rt::Runtime::get().rcLoad(
         const_cast<void *const *>(slot())));

@@ -77,6 +77,18 @@ struct RuntimeConfig {
   /// branch on the paths that would publish.
   obs::Sink *Obs = nullptr;
 
+  /// Per-site cost profiling (sharc-prof, DESIGN.md §11). Requires Obs:
+  /// each retiring thread drains its site table into SiteProfile /
+  /// LockProfile / SelfOverhead records on the sink. Off (the default)
+  /// costs one predictable branch on the check paths — the ci.sh
+  /// overhead gate pins the disabled-path regression under 2%.
+  bool Profile = false;
+
+  /// log2 of the TSC sampling interval when profiling: one in
+  /// 2^ProfileSampleShift profiled operations is timed. 0 times every
+  /// operation (tests); the default keeps timing cost ~1/64 of ops.
+  unsigned ProfileSampleShift = 6;
+
   unsigned granuleSize() const { return 1u << GranuleShift; }
   unsigned maxThreads() const { return 8 * ShadowBytesPerGranule - 1; }
 };

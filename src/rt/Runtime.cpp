@@ -70,7 +70,60 @@ void Runtime::publishEvent(obs::EventKind K, const void *Addr,
   Config.Obs->event(Ev);
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  // Threads that registered but never deregistered (tests cycling the
+  // runtime, detached workers) still owe their profile records.
+  if (Config.Obs)
+    Registry.forEachState([&](ThreadState &S) {
+      if (S.Prof) {
+        S.Prof->drainTo(*Config.Obs, S.Tid);
+        S.Prof.reset();
+      }
+    });
+}
+
+bool Runtime::observedCheckRead(ThreadState &T, const void *Addr, size_t Size,
+                                const AccessSite *Site) {
+  if (T.Prof) [[unlikely]] {
+    uint64_t T0 = T.Prof->begin();
+    bool Ok = Shadow->checkRead(Addr, Size, T, Site);
+    T.Prof->commit(Site, obs::CheckKind::DynamicRead, Size ? Size : 1, T0);
+    publishAccess(obs::EventKind::Read, Addr, Size, T.Tid);
+    return Ok;
+  }
+  bool Ok = Shadow->checkRead(Addr, Size, T, Site);
+  publishAccess(obs::EventKind::Read, Addr, Size, T.Tid);
+  return Ok;
+}
+
+bool Runtime::observedCheckWrite(ThreadState &T, const void *Addr, size_t Size,
+                                 const AccessSite *Site) {
+  if (T.Prof) [[unlikely]] {
+    uint64_t T0 = T.Prof->begin();
+    bool Ok = Shadow->checkWrite(Addr, Size, T, Site);
+    T.Prof->commit(Site, obs::CheckKind::DynamicWrite, Size ? Size : 1, T0);
+    publishAccess(obs::EventKind::Write, Addr, Size, T.Tid);
+    return Ok;
+  }
+  bool Ok = Shadow->checkWrite(Addr, Size, T, Site);
+  publishAccess(obs::EventKind::Write, Addr, Size, T.Tid);
+  return Ok;
+}
+
+void Runtime::rcStoreProfiled(void **Slot, void *Value, const AccessSite *Site,
+                              ThreadState &T) {
+  // RcMode::None never bumps Stats.RcBarriers, so profiling nothing here
+  // keeps profile totals exactly equal to the final StatsSnapshot.
+  if (Config.Rc == RcMode::None) {
+    Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot),
+                 reinterpret_cast<uintptr_t>(Value), T);
+    return;
+  }
+  uint64_t T0 = T.Prof->begin();
+  Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot),
+               reinterpret_cast<uintptr_t>(Value), T);
+  T.Prof->commit(Site, obs::CheckKind::RcBarrier, sizeof(void *), T0);
+}
 
 void Runtime::init(const RuntimeConfig &Config) {
   assert(!GlobalRuntime && "runtime already initialized");
@@ -97,6 +150,8 @@ ThreadState &Runtime::currentThread() {
   if (TlsCache.Generation == Generation && TlsCache.State)
     return *TlsCache.State;
   ThreadState *State = Registry.registerThread();
+  if (profilingEnabled())
+    State->Prof = std::make_unique<ThreadProfile>(Config.ProfileSampleShift);
   TlsCache.Generation = Generation;
   TlsCache.State = State;
   return *State;
@@ -106,6 +161,12 @@ void Runtime::deregisterCurrentThread() {
   if (TlsCache.Generation != Generation || !TlsCache.State)
     return;
   ThreadState *State = TlsCache.State;
+  // Retiring is the drain point for the thread's profile: its records
+  // land in the obs stream after all of its queued events.
+  if (State->Prof && Config.Obs) {
+    State->Prof->drainTo(*Config.Obs, State->Tid);
+    State->Prof.reset();
+  }
   // Clear this thread's reader/writer bits so a non-overlapping successor
   // reusing the id starts clean.
   Shadow->clearThreadBits(*State);
@@ -122,8 +183,31 @@ void Runtime::onLockAcquire(const void *Lock) {
     publishEvent(obs::EventKind::LockAcquire, Lock, 0);
 }
 
+void Runtime::onLockWait(const void *Lock, const AccessSite *Site) {
+  if (Config.Obs) [[unlikely]] {
+    obs::Event Ev;
+    Ev.K = obs::EventKind::LockWait;
+    Ev.Tid = currentThread().Tid;
+    Ev.Addr = reinterpret_cast<uintptr_t>(Lock);
+    Ev.Extra = Site && Site->Line > 0 ? uint64_t(Site->Line) : 0;
+    Config.Obs->event(Ev);
+  }
+}
+
+void Runtime::onLockAcquireProfiled(const void *Lock, const AccessSite *Site,
+                                    uint64_t WaitCycles, bool Contended) {
+  ThreadState &TS = currentThread();
+  TS.HeldLocks.push_back(Lock);
+  if (TS.Prof)
+    TS.Prof->lockAcquired(Lock, Site, WaitCycles, Contended);
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::LockAcquire, Lock, 0);
+}
+
 void Runtime::onLockRelease(const void *Lock) {
   ThreadState &TS = currentThread();
+  if (TS.Prof) [[unlikely]]
+    TS.Prof->lockReleased(Lock);
   auto It = std::find(TS.HeldLocks.rbegin(), TS.HeldLocks.rend(), Lock);
   assert(It != TS.HeldLocks.rend() && "releasing a lock that is not held");
   TS.HeldLocks.erase(std::next(It).base());
@@ -139,6 +223,18 @@ bool Runtime::holdsLock(const void *Lock) {
 
 bool Runtime::checkLockHeld(const void *Lock, const void *Addr,
                             const AccessSite *Site) {
+  ThreadState &TS = currentThread();
+  if (TS.Prof) [[unlikely]] {
+    uint64_t T0 = TS.Prof->begin();
+    bool Ok = checkLockHeldImpl(Lock, Addr, Site);
+    TS.Prof->commit(Site, obs::CheckKind::LockCheck, 0, T0);
+    return Ok;
+  }
+  return checkLockHeldImpl(Lock, Addr, Site);
+}
+
+bool Runtime::checkLockHeldImpl(const void *Lock, const void *Addr,
+                                const AccessSite *Site) {
   Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
   if (holdsLock(Lock))
     return true;
@@ -162,8 +258,22 @@ void Runtime::onSharedLockAcquire(const void *Lock) {
     publishEvent(obs::EventKind::SharedLockAcquire, Lock, 0);
 }
 
+void Runtime::onSharedLockAcquireProfiled(const void *Lock,
+                                          const AccessSite *Site,
+                                          uint64_t WaitCycles,
+                                          bool Contended) {
+  ThreadState &TS = currentThread();
+  TS.HeldSharedLocks.push_back(Lock);
+  if (TS.Prof)
+    TS.Prof->lockAcquired(Lock, Site, WaitCycles, Contended);
+  if (Config.Obs) [[unlikely]]
+    publishEvent(obs::EventKind::SharedLockAcquire, Lock, 0);
+}
+
 void Runtime::onSharedLockRelease(const void *Lock) {
   ThreadState &TS = currentThread();
+  if (TS.Prof) [[unlikely]]
+    TS.Prof->lockReleased(Lock);
   auto It = std::find(TS.HeldSharedLocks.rbegin(), TS.HeldSharedLocks.rend(),
                       Lock);
   assert(It != TS.HeldSharedLocks.rend() &&
@@ -181,6 +291,18 @@ bool Runtime::holdsLockShared(const void *Lock) {
 
 bool Runtime::checkRwLockHeldForRead(const void *Lock, const void *Addr,
                                      const AccessSite *Site) {
+  ThreadState &TS = currentThread();
+  if (TS.Prof) [[unlikely]] {
+    uint64_t T0 = TS.Prof->begin();
+    bool Ok = checkRwLockHeldForReadImpl(Lock, Addr, Site);
+    TS.Prof->commit(Site, obs::CheckKind::LockCheck, 0, T0);
+    return Ok;
+  }
+  return checkRwLockHeldForReadImpl(Lock, Addr, Site);
+}
+
+bool Runtime::checkRwLockHeldForReadImpl(const void *Lock, const void *Addr,
+                                         const AccessSite *Site) {
   Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
   if (holdsLock(Lock) || holdsLockShared(Lock))
     return true;
@@ -208,8 +330,12 @@ void *Runtime::scast(void **Slot, size_t ObjSize, const AccessSite *Site) {
   ThreadState &TS = currentThread();
   void *Obj = rcLoad(Slot);
   // Null-out the source so no access path with the old sharing mode
-  // remains (Figure 7, line 2).
-  Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot), 0, TS);
+  // remains (Figure 7, line 2). The store goes through the RC barrier,
+  // so profiled runs attribute it like any other counted store.
+  if (TS.Prof) [[unlikely]]
+    rcStoreProfiled(Slot, nullptr, Site, TS);
+  else
+    Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot), 0, TS);
   if (!Obj)
     return nullptr;
   checkCast(Obj, ObjSize, Site);
@@ -217,6 +343,17 @@ void *Runtime::scast(void **Slot, size_t ObjSize, const AccessSite *Site) {
 }
 
 bool Runtime::checkCast(void *Obj, size_t ObjSize, const AccessSite *Site) {
+  ThreadState &TS = currentThread();
+  if (TS.Prof) [[unlikely]] {
+    uint64_t T0 = TS.Prof->begin();
+    bool Ok = checkCastImpl(Obj, ObjSize, Site);
+    TS.Prof->commit(Site, obs::CheckKind::SharingCast, 0, T0);
+    return Ok;
+  }
+  return checkCastImpl(Obj, ObjSize, Site);
+}
+
+bool Runtime::checkCastImpl(void *Obj, size_t ObjSize, const AccessSite *Site) {
   Stats.SharingCasts.fetch_add(1, std::memory_order_relaxed);
   if (!Obj)
     return true;

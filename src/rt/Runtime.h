@@ -73,19 +73,20 @@ public:
   // Dynamic-mode checks
   //===--------------------------------------------------------------------===
 
+  // The disabled fast path is one predicted branch, profiling included:
+  // ThreadState::Prof is only tested on the cold observed path, which
+  // is also where profiled runs time the shadow check (rt/Profile.h).
   bool checkRead(const void *Addr, size_t Size, const AccessSite *Site) {
     ThreadState &T = currentThread();
-    bool Ok = Shadow->checkRead(Addr, Size, T, Site);
     if (Config.Obs) [[unlikely]]
-      publishAccess(obs::EventKind::Read, Addr, Size, T.Tid);
-    return Ok;
+      return observedCheckRead(T, Addr, Size, Site);
+    return Shadow->checkRead(Addr, Size, T, Site);
   }
   bool checkWrite(const void *Addr, size_t Size, const AccessSite *Site) {
     ThreadState &T = currentThread();
-    bool Ok = Shadow->checkWrite(Addr, Size, T, Site);
     if (Config.Obs) [[unlikely]]
-      publishAccess(obs::EventKind::Write, Addr, Size, T.Tid);
-    return Ok;
+      return observedCheckWrite(T, Addr, Size, Site);
+    return Shadow->checkWrite(Addr, Size, T, Site);
   }
 
   //===--------------------------------------------------------------------===
@@ -97,6 +98,25 @@ public:
 
   /// Records that the current thread released the lock at \p Lock.
   void onLockRelease(const void *Lock);
+
+  /// True when per-site cost profiling is on (sharc::Mutex switches to
+  /// its timed acquire path). Profiling requires an obs sink to drain
+  /// into; without one the flag is ignored.
+  bool profilingEnabled() const { return Config.Profile && Config.Obs; }
+
+  /// Profiling-only: announces that the current thread is about to
+  /// block on \p Lock (publishes a LockWait event for wait slices in
+  /// the Chrome export; Extra carries the acquirer's line).
+  void onLockWait(const void *Lock, const AccessSite *Site = nullptr);
+
+  /// onLockAcquire plus contention accounting: \p WaitCycles of TSC
+  /// time was spent before the lock was obtained, \p Site names the
+  /// acquirer (null falls back to the lock's declaration site, if the
+  /// caller tracked one).
+  void onLockAcquireProfiled(const void *Lock, const AccessSite *Site,
+                             uint64_t WaitCycles, bool Contended);
+  void onSharedLockAcquireProfiled(const void *Lock, const AccessSite *Site,
+                                   uint64_t WaitCycles, bool Contended);
 
   /// \returns true if the current thread holds \p Lock.
   bool holdsLock(const void *Lock);
@@ -132,10 +152,16 @@ public:
     RefCountEngine::initSlot(reinterpret_cast<uintptr_t *>(Slot));
   }
 
-  /// Counted pointer store: *Slot = Value with RC bookkeeping.
-  void rcStore(void **Slot, void *Value) {
+  /// Counted pointer store: *Slot = Value with RC bookkeeping. \p Site
+  /// attributes the barrier cost when profiling; null is fine.
+  void rcStore(void **Slot, void *Value, const AccessSite *Site = nullptr) {
+    ThreadState &T = currentThread();
+    if (T.Prof) [[unlikely]] {
+      rcStoreProfiled(Slot, Value, Site, T);
+      return;
+    }
     Rc->storePtr(reinterpret_cast<uintptr_t *>(Slot),
-                 reinterpret_cast<uintptr_t>(Value), currentThread());
+                 reinterpret_cast<uintptr_t>(Value), T);
   }
 
   /// Counted pointer load.
@@ -198,6 +224,20 @@ private:
                      unsigned Tid);
   /// Same, for lock transitions and sharing casts.
   void publishEvent(obs::EventKind K, const void *Addr, int64_t Value);
+
+  /// Cold observed paths: profiling (when ThreadState::Prof is live)
+  /// plus event publication, in program order.
+  bool observedCheckRead(ThreadState &T, const void *Addr, size_t Size,
+                         const AccessSite *Site);
+  bool observedCheckWrite(ThreadState &T, const void *Addr, size_t Size,
+                          const AccessSite *Site);
+  void rcStoreProfiled(void **Slot, void *Value, const AccessSite *Site,
+                       ThreadState &T);
+  bool checkLockHeldImpl(const void *Lock, const void *Addr,
+                         const AccessSite *Site);
+  bool checkRwLockHeldForReadImpl(const void *Lock, const void *Addr,
+                                  const AccessSite *Site);
+  bool checkCastImpl(void *Obj, size_t ObjSize, const AccessSite *Site);
 
   RuntimeConfig Config;
   RuntimeStats Stats;

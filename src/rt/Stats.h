@@ -45,6 +45,33 @@ struct StatsSnapshot {
 
   bool operator==(const StatsSnapshot &) const = default;
 
+  /// Per-field saturating difference, for before/after annotation-tuning
+  /// comparisons (`sharc-trace metrics --delta`). Saturation keeps a
+  /// swapped argument order from producing absurd wrapped counters.
+  StatsSnapshot operator-(const StatsSnapshot &O) const {
+    auto Sub = [](uint64_t A, uint64_t B) { return A > B ? A - B : 0; };
+    StatsSnapshot D;
+    D.DynamicReads = Sub(DynamicReads, O.DynamicReads);
+    D.DynamicWrites = Sub(DynamicWrites, O.DynamicWrites);
+    D.DynamicReadBytes = Sub(DynamicReadBytes, O.DynamicReadBytes);
+    D.DynamicWriteBytes = Sub(DynamicWriteBytes, O.DynamicWriteBytes);
+    D.LockChecks = Sub(LockChecks, O.LockChecks);
+    D.RcBarriers = Sub(RcBarriers, O.RcBarriers);
+    D.Collections = Sub(Collections, O.Collections);
+    D.SharingCasts = Sub(SharingCasts, O.SharingCasts);
+    D.ReadConflicts = Sub(ReadConflicts, O.ReadConflicts);
+    D.WriteConflicts = Sub(WriteConflicts, O.WriteConflicts);
+    D.LockViolations = Sub(LockViolations, O.LockViolations);
+    D.CastErrors = Sub(CastErrors, O.CastErrors);
+    D.ShadowBytes = Sub(ShadowBytes, O.ShadowBytes);
+    D.RcTableBytes = Sub(RcTableBytes, O.RcTableBytes);
+    D.LogBytes = Sub(LogBytes, O.LogBytes);
+    D.HeapPayloadBytes = Sub(HeapPayloadBytes, O.HeapPayloadBytes);
+    D.PeakHeapPayloadBytes =
+        Sub(PeakHeapPayloadBytes, O.PeakHeapPayloadBytes);
+    return D;
+  }
+
   uint64_t totalConflicts() const {
     return ReadConflicts + WriteConflicts + LockViolations + CastErrors;
   }

@@ -16,6 +16,7 @@
 #ifndef SHARC_RT_THREADREGISTRY_H
 #define SHARC_RT_THREADREGISTRY_H
 
+#include "rt/Profile.h"
 #include "rt/RcLog.h"
 
 #include <atomic>
@@ -59,10 +60,16 @@ struct ThreadState {
   /// their RC logs have been collected.
   bool Retired = false;
 
+  /// Per-site cost profile (sharc-prof). Allocated at registration when
+  /// RuntimeConfig::Profile is set, null otherwise — the disabled check
+  /// paths test this pointer, nothing more.
+  std::unique_ptr<ThreadProfile> Prof;
+
   size_t memoryFootprint() const {
     return AccessLog.capacity() * sizeof(uintptr_t) +
            RcLogs[0].memoryFootprint() + RcLogs[1].memoryFootprint() +
-           HeldLocks.capacity() * sizeof(void *);
+           HeldLocks.capacity() * sizeof(void *) +
+           (Prof ? Prof->tableBytes() : 0);
   }
 };
 

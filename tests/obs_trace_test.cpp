@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/ChromeTrace.h"
 #include "obs/Collector.h"
 #include "obs/Json.h"
 #include "obs/MetricsJson.h"
@@ -206,6 +207,131 @@ TEST(ObsTraceFile, RecordCountMismatchRejected) {
   EXPECT_FALSE(parseTrace(Forged, Data, Error));
 }
 
+//===----------------------------------------------------------------------===//
+// Profile records (version-2 tags 0x41..0x43)
+//===----------------------------------------------------------------------===//
+
+std::vector<SiteProfileRecord> sampleSiteRecords() {
+  std::vector<SiteProfileRecord> Out;
+  // One per check kind, with distinct field values.
+  for (unsigned K = 0; K != NumCheckKinds; ++K) {
+    SiteProfileRecord R;
+    R.Tid = K + 1;
+    R.Kind = static_cast<CheckKind>(K);
+    R.Line = 10 * K + 3;
+    R.File = "worker.mc";
+    R.LValue = "*S->sdata";
+    R.Count = 100 * K + 7;
+    R.Bytes = 8 * R.Count;
+    R.Cycles = 1000 * K + 13;
+    R.Samples = K + 1;
+    Out.push_back(R);
+  }
+  // An unknown site (empty strings, line 0) with extreme counters.
+  SiteProfileRecord X;
+  X.Tid = UINT32_MAX;
+  X.Kind = CheckKind::SharingCast;
+  X.Count = UINT64_MAX;
+  X.Bytes = UINT64_MAX;
+  X.Cycles = UINT64_MAX;
+  X.Samples = UINT64_MAX;
+  Out.push_back(X);
+  return Out;
+}
+
+LockProfileRecord sampleLockRecord() {
+  LockProfileRecord R;
+  R.Tid = 3;
+  R.Lock = uint64_t(0xDEAD) << 32 | 0xBEEF;
+  R.Line = 27;
+  R.File = "locked_counter.mc";
+  R.Acquires = 41;
+  R.Contended = 5;
+  R.WaitCycles = 123456789;
+  R.HoldCycles = UINT64_MAX;
+  for (unsigned B = 0; B != NumHistBuckets; ++B) {
+    R.WaitHist[B] = B * B + 1;
+    R.HoldHist[B] = UINT64_MAX - B;
+  }
+  return R;
+}
+
+SelfOverheadRecord sampleOverheadRecord() {
+  SelfOverheadRecord R;
+  R.Tid = 9;
+  R.Ops = 1 << 20;
+  R.Cycles = 987654321;
+  R.Samples = 1 << 14;
+  R.DrainCycles = 4242;
+  R.TableBytes = 64 * 1024;
+  return R;
+}
+
+TEST(ObsTraceFile, ProfileRecordsRoundTrip) {
+  TraceWriter W;
+  std::vector<Event> Events = allKindsEvents();
+  for (const Event &Ev : Events)
+    W.event(Ev);
+  std::vector<SiteProfileRecord> Sites = sampleSiteRecords();
+  for (const SiteProfileRecord &R : Sites)
+    W.siteProfile(R);
+  LockProfileRecord Lock = sampleLockRecord();
+  W.lockProfile(Lock);
+  SelfOverheadRecord Overhead = sampleOverheadRecord();
+  W.selfOverhead(Overhead);
+  rt::StatsSnapshot S = sampleStats();
+  W.stats(S);
+
+  TraceData Data;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(W.buffer(), Data, Error)) << Error;
+  EXPECT_EQ(Data.Events, Events);
+  EXPECT_EQ(Data.Sites, Sites);
+  ASSERT_EQ(Data.Locks.size(), 1u);
+  EXPECT_EQ(Data.Locks[0], Lock);
+  ASSERT_EQ(Data.Overheads.size(), 1u);
+  EXPECT_EQ(Data.Overheads[0], Overhead);
+  ASSERT_EQ(Data.Samples.size(), 1u);
+  EXPECT_EQ(Data.Samples[0], S);
+}
+
+TEST(ObsTraceFile, ProfileEveryTruncationRejected) {
+  // A trace containing all three profile record shapes must reject every
+  // proper prefix, exactly like the event-only trace does: mid-string
+  // cuts, mid-histogram cuts, and a chopped end record all count.
+  TraceWriter W;
+  W.event({EventKind::Read, 1, 2, 3, 0});
+  for (const SiteProfileRecord &R : sampleSiteRecords())
+    W.siteProfile(R);
+  W.lockProfile(sampleLockRecord());
+  W.selfOverhead(sampleOverheadRecord());
+  const std::string &Full = W.buffer();
+  TraceData Data;
+  std::string Error;
+  for (size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    EXPECT_FALSE(
+        parseTrace(std::string_view(Full).substr(0, Cut), Data, Error))
+        << "prefix of " << Cut << " bytes accepted";
+  }
+  EXPECT_TRUE(parseTrace(Full, Data, Error)) << Error;
+}
+
+TEST(ObsTraceFile, OversizedProfileStringRejected) {
+  // A corrupt site record claiming a >1 MiB file name must not allocate;
+  // hand-encode the record so the length lie survives the writer.
+  std::string Buf(TraceMagic, sizeof(TraceMagic));
+  Buf += std::string("\x02\x00\x00\x00", 4); // version 2 LE
+  Buf += char(SiteProfileTag);
+  appendVarint(Buf, 1);                // Tid
+  appendVarint(Buf, 0);                // Kind
+  appendVarint(Buf, 10);               // Line
+  appendVarint(Buf, (1 << 20) + 1);    // File length: over the cap
+  Buf += "x";                          // ...with almost no bytes behind it
+  TraceData Data;
+  std::string Error;
+  EXPECT_FALSE(parseTrace(Buf, Data, Error));
+}
+
 TEST(ObsTraceFile, FileRoundTrip) {
   std::string Path = testing::TempDir() + "/obs_trace_test.strc";
   TraceWriter W;
@@ -338,8 +464,12 @@ TEST(ObsJson, ParserRejectsGarbage) {
 TEST(ObsJson, BenchSchemaValidation) {
   JsonValue Doc;
   std::string Error;
+  std::string Host = "\"host\":{\"cpus\":8,\"compiler\":\"gcc 12.2.0\","
+                     "\"build\":\"release\",\"git_rev\":\"abc1234\"}";
   std::string Good = "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\","
-                     "\"scale\":1,\"reps\":2,\"rows\":[{\"name\":\"r\","
+                     "\"scale\":1,\"reps\":2," +
+                     Host +
+                     ",\"rows\":[{\"name\":\"r\","
                      "\"metrics\":{\"sec\":0.5}}]}";
   ASSERT_TRUE(parseJson(Good, Doc, Error)) << Error;
   EXPECT_TRUE(validateBenchJson(Doc, Error)) << Error;
@@ -350,14 +480,46 @@ TEST(ObsJson, BenchSchemaValidation) {
   EXPECT_FALSE(validateBenchJson(Doc, Error));
 
   std::string NoRows = "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\","
-                       "\"scale\":1,\"reps\":2,\"rows\":[]}";
+                       "\"scale\":1,\"reps\":2," +
+                       Host + ",\"rows\":[]}";
   ASSERT_TRUE(parseJson(NoRows, Doc, Error));
   EXPECT_FALSE(validateBenchJson(Doc, Error));
 
   std::string BadMetric = "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\","
-                          "\"scale\":1,\"reps\":2,\"rows\":[{\"name\":\"r\","
+                          "\"scale\":1,\"reps\":2," +
+                          Host +
+                          ",\"rows\":[{\"name\":\"r\","
                           "\"metrics\":{\"sec\":\"fast\"}}]}";
   ASSERT_TRUE(parseJson(BadMetric, Doc, Error));
+  EXPECT_FALSE(validateBenchJson(Doc, Error));
+}
+
+TEST(ObsJson, BenchSchemaRequiresHostMetadata) {
+  // Reports without the provenance block (or with a mistyped field) are
+  // not comparable across machines and must be rejected.
+  JsonValue Doc;
+  std::string Error;
+  std::string NoHost = "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\","
+                       "\"scale\":1,\"reps\":2,\"rows\":[{\"name\":\"r\","
+                       "\"metrics\":{\"sec\":0.5}}]}";
+  ASSERT_TRUE(parseJson(NoHost, Doc, Error)) << Error;
+  EXPECT_FALSE(validateBenchJson(Doc, Error));
+  EXPECT_NE(Error.find("host"), std::string::npos) << Error;
+
+  std::string BadCpus =
+      "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\",\"scale\":1,"
+      "\"reps\":2,\"host\":{\"cpus\":\"eight\",\"compiler\":\"gcc\","
+      "\"build\":\"release\",\"git_rev\":\"abc\"},"
+      "\"rows\":[{\"name\":\"r\",\"metrics\":{\"sec\":0.5}}]}";
+  ASSERT_TRUE(parseJson(BadCpus, Doc, Error)) << Error;
+  EXPECT_FALSE(validateBenchJson(Doc, Error));
+
+  std::string NoGitRev =
+      "{\"schema\":\"sharc-bench-v1\",\"bench\":\"b\",\"scale\":1,"
+      "\"reps\":2,\"host\":{\"cpus\":8,\"compiler\":\"gcc\","
+      "\"build\":\"release\"},"
+      "\"rows\":[{\"name\":\"r\",\"metrics\":{\"sec\":0.5}}]}";
+  ASSERT_TRUE(parseJson(NoGitRev, Doc, Error)) << Error;
   EXPECT_FALSE(validateBenchJson(Doc, Error));
 }
 
@@ -383,6 +545,22 @@ TEST(ObsJson, MetricsSchemaValidation) {
       "\"violations\":{\"total\":\"none\"}}";
   ASSERT_TRUE(parseJson(BadTotal, Doc, Error));
   EXPECT_FALSE(validateMetricsJson(Doc, Error));
+}
+
+TEST(ObsStats, DeltaSaturatesPerField) {
+  rt::StatsSnapshot A = sampleStats();
+  rt::StatsSnapshot B = A;
+  B.DynamicReads += 5;
+  B.DynamicWrites += 1;
+  B.LockChecks = 2; // went "backwards" (e.g. swapped arguments)
+  rt::StatsSnapshot D = B - A;
+  EXPECT_EQ(D.DynamicReads, 5u);
+  EXPECT_EQ(D.DynamicWrites, 1u);
+  EXPECT_EQ(D.LockChecks, 0u); // saturates, never wraps
+  EXPECT_EQ(D.SharingCasts, 0u);
+  EXPECT_EQ(D.ShadowBytes, 0u);
+  // Self-difference is all-zero.
+  EXPECT_EQ(A - A, rt::StatsSnapshot());
 }
 
 TEST(ObsJson, StatsToJsonIsValidAndComplete) {
@@ -459,6 +637,66 @@ TEST(ObsSummary, AggregatesSmallTrace) {
   std::string Text = renderSummary(Sum, Data);
   EXPECT_NE(Text.find("conflicts: 1"), std::string::npos) << Text;
   EXPECT_NE(Text.find("write-conflict"), std::string::npos) << Text;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace-event export
+//===----------------------------------------------------------------------===//
+
+TEST(ObsChrome, RenderedExportSelfValidates) {
+  TraceData Data = smallTrace();
+  // Give thread 2 a LockWait..LockAcquire wait interval so the export
+  // contains an "X" wait slice alongside the hold slices.
+  for (size_t I = 0; I != Data.Events.size(); ++I) {
+    if (Data.Events[I].K == EventKind::LockAcquire &&
+        Data.Events[I].Tid == 2) {
+      Data.Events.insert(Data.Events.begin() + I,
+                         {EventKind::LockWait, 2, 100, 0, 0});
+      break;
+    }
+  }
+  std::string Text = renderChromeTrace(Data);
+  std::string Error;
+  EXPECT_TRUE(validateChromeJson(Text, Error)) << Error << "\n" << Text;
+
+  JsonValue Doc;
+  ASSERT_TRUE(parseJson(Text, Doc, Error)) << Error;
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_FALSE(Events->Arr.empty());
+}
+
+TEST(ObsChrome, ValidatorRejectsNonConformingDocuments) {
+  std::string Error;
+  EXPECT_FALSE(validateChromeJson("[]", Error));
+  EXPECT_FALSE(validateChromeJson("{\"traceEvents\":0}", Error));
+  // An "X" slice without dur violates the slice contract.
+  EXPECT_FALSE(validateChromeJson(
+      "{\"traceEvents\":[{\"name\":\"n\",\"ph\":\"X\",\"cat\":\"c\","
+      "\"ts\":1,\"pid\":1,\"tid\":1}]}",
+      Error));
+  EXPECT_TRUE(validateChromeJson(
+      "{\"traceEvents\":[{\"name\":\"n\",\"ph\":\"X\",\"cat\":\"c\","
+      "\"ts\":1,\"pid\":1,\"tid\":1,\"dur\":2}]}",
+      Error))
+      << Error;
+}
+
+TEST(ObsCollector, ForwardsProfileRecordsAfterPendingEvents) {
+  VectorSink Downstream;
+  Collector C(Downstream, 64);
+  C.event({EventKind::Read, 1, 2, 3, 0});
+  SiteProfileRecord Site = sampleSiteRecords()[0];
+  C.siteProfile(Site);
+  C.lockProfile(sampleLockRecord());
+  C.selfOverhead(sampleOverheadRecord());
+  // Profile records drain buffered events first so a downstream trace
+  // writer keeps per-thread program order.
+  ASSERT_EQ(Downstream.Events.size(), 1u);
+  ASSERT_EQ(Downstream.Sites.size(), 1u);
+  EXPECT_EQ(Downstream.Sites[0], Site);
+  EXPECT_EQ(Downstream.Locks.size(), 1u);
+  EXPECT_EQ(Downstream.Overheads.size(), 1u);
 }
 
 TEST(ObsSummary, ScheduleMatchesFuzzerMapping) {

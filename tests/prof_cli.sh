@@ -1,0 +1,149 @@
+#!/bin/sh
+# End-to-end contract for the sharc-prof CLI surface (DESIGN.md §11,
+# EXPERIMENTS.md §6):
+#   - `sharcc --run --profile --trace-out T` produces a trace whose
+#     `sharc-trace profile` report attributes >= 95% of checks to
+#     concrete file:line sites and whose per-kind totals exactly match
+#     the final stats sample.
+#   - The advisor never *advises* a mode change the static checker
+#     rejects: with --source, every MakePrivate line in the advice
+#     section carries "[checker: ok]"; rejected ones live under
+#     "withheld".
+#   - `export-chrome` emits a schema-valid document, `metrics --delta`
+#     diffs two traces, `check-overhead` gates bench-report pairs.
+#   - Usage errors exit 2, bad inputs exit 1 (the sharc-trace contract
+#     trace_cli.sh pins for the older subcommands).
+#
+# usage: prof_cli.sh <path-to-sharcc> <path-to-sharc-trace> <examples-dir>
+set -u
+
+SHARCC=$1
+TRACE=$2
+EXAMPLES=$3
+STATUS=0
+WORK="${TMPDIR:-/tmp}/sharc_prof_cli_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1"
+  STATUS=1
+}
+
+expect_exit() { # <expected> <description> <cmd...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT: expected exit $WANT, got $GOT"
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+SRC="$EXAMPLES/prof_tuning.mc"
+
+# --- acceptance: profile a clean run of the §6 walkthrough program ---
+"$SHARCC" --run --quiet --seed 1 --profile --trace-out "$WORK/t.strc" \
+  "$SRC" > /dev/null 2>&1
+[ $? -eq 0 ] || fail "prof_tuning with --profile should exit 0"
+
+"$TRACE" profile "$WORK/t.strc" --source "$SRC" > "$WORK/prof.txt" 2>&1
+[ $? -eq 0 ] || fail "sharc-trace profile should exit 0"
+
+grep -q "totals: exact match with final stats sample" "$WORK/prof.txt" \
+  || fail "profile totals do not match the final stats sample"
+
+# Attribution: the report prints "attribution: N of M checks at concrete
+# sites (P%)"; the acceptance bar is >= 95%.
+PCT=$(sed -n 's/^attribution: .*(\([0-9][0-9]*\)\(\.[0-9]*\)\{0,1\}%)$/\1/p' \
+  "$WORK/prof.txt")
+if [ -z "$PCT" ]; then
+  fail "no attribution line in profile output"
+elif [ "$PCT" -lt 95 ]; then
+  fail "attribution $PCT% is below the 95% bar"
+else
+  echo "ok: attribution $PCT% >= 95%"
+fi
+
+# Advisor cross-check: every suggestion in the advice section must have
+# passed the static checker; rejected ones may only appear as withheld.
+ADVICE=$(sed -n '/^advice:/,/^withheld/p' "$WORK/prof.txt")
+if echo "$ADVICE" | grep -q "suggest private"; then
+  if echo "$ADVICE" | grep "suggest private" | grep -qv "\[checker: ok\]"; then
+    fail "advice section contains a non-checker-verified private suggestion"
+  else
+    echo "ok: all private advice is checker-verified"
+  fi
+else
+  fail "no private suggestion for prof_tuning.mc's dynamic accumulator"
+fi
+if echo "$ADVICE" | grep -q "checker: rejected"; then
+  fail "a checker-rejected suggestion leaked into the advice section"
+fi
+
+# The top suggestion targets the over-annotated accumulator.
+echo "$ADVICE" | grep "suggest private" | head -1 | grep -q "acc" \
+  || fail "top private suggestion does not name the accumulator"
+
+# Without --source the report still renders (advice is unvalidated).
+expect_exit 0 "profile without --source" "$TRACE" profile "$WORK/t.strc"
+
+# --- export-chrome ---
+expect_exit 0 "export-chrome to file" \
+  "$TRACE" export-chrome "$WORK/t.strc" "$WORK/t.json"
+grep -q '"traceEvents"' "$WORK/t.json" \
+  || fail "chrome export lacks a traceEvents array"
+expect_exit 0 "export-chrome to stdout" "$TRACE" export-chrome "$WORK/t.strc"
+expect_exit 1 "export-chrome to unwritable path" \
+  "$TRACE" export-chrome "$WORK/t.strc" "$WORK/no/such/dir/t.json"
+
+# --- metrics --delta ---
+"$SHARCC" --run --quiet --seed 2 --trace-out "$WORK/t2.strc" "$SRC" \
+  > /dev/null 2>&1
+expect_exit 0 "metrics --delta on two traces" \
+  "$TRACE" metrics --delta "$WORK/t.strc" "$WORK/t2.strc"
+expect_exit 2 "metrics --delta with one trace" \
+  "$TRACE" metrics --delta "$WORK/t.strc"
+
+# --- check-overhead ---
+bench_json() { # <path> <cpu_ns for row a> <cpu_ns for row b>
+  printf '{"schema":"sharc-bench-v1","bench":"micro","scale":1,"reps":1,' \
+    > "$1"
+  printf '"host":{"cpus":1,"compiler":"cc","build":"release",' >> "$1"
+  printf '"git_rev":"test"},' >> "$1"
+  printf '"rows":[{"name":"a","metrics":{"cpu_ns":%s}},' "$2" >> "$1"
+  printf '{"name":"b","metrics":{"cpu_ns":%s}}]}\n' "$3" >> "$1"
+}
+bench_json "$WORK/base.json" 100.0 200.0
+bench_json "$WORK/ok.json" 101.0 201.0    # ~1% up: inside a 2% gate
+bench_json "$WORK/slow.json" 150.0 200.0  # 50% up on row a: outside
+expect_exit 0 "check-overhead within the gate" \
+  "$TRACE" check-overhead --max-pct 2 "$WORK/base.json" "$WORK/ok.json"
+expect_exit 1 "check-overhead catches a regression" \
+  "$TRACE" check-overhead --max-pct 2 "$WORK/base.json" "$WORK/slow.json"
+expect_exit 2 "check-overhead with one file" \
+  "$TRACE" check-overhead "$WORK/base.json"
+expect_exit 2 "check-overhead with malformed --max-pct" \
+  "$TRACE" check-overhead --max-pct fast "$WORK/base.json" "$WORK/ok.json"
+
+# --- sharcc --profile flag contract ---
+expect_exit 2 "--profile without --trace-out" \
+  "$SHARCC" --run --profile "$SRC"
+expect_exit 2 "--profile with --check" \
+  "$SHARCC" --check --profile --trace-out "$WORK/x.strc" "$SRC"
+
+# --- sharc-trace usage contract for the new subcommands ---
+expect_exit 0 "sharc-trace --help still exits 0" "$TRACE" --help
+expect_exit 2 "profile without file" "$TRACE" profile
+expect_exit 1 "profile on missing file" "$TRACE" profile "$WORK/nope.strc"
+expect_exit 2 "profile with unknown flag" \
+  "$TRACE" profile "$WORK/t.strc" --sauce "$SRC"
+expect_exit 2 "export-chrome without file" "$TRACE" export-chrome
+expect_exit 1 "export-chrome on garbage file" sh -c \
+  "printf 'not a trace' > '$WORK/bad.strc' && \
+   '$TRACE' export-chrome '$WORK/bad.strc'"
+
+exit $STATUS
