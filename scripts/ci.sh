@@ -25,8 +25,17 @@ cmake --build "$BUILD" -j "$JOBS"
 echo "== tier-1 tests =="
 (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
 
+echo "== fault-injection sweep =="
+# The guard tests (DESIGN.md §12) exercise every SHARC_FAULT directive,
+# the policy exit codes, and the crashed-trace truncation sweep.
+(cd "$BUILD" && ctest -R guard --output-on-failure)
+
 echo "== fuzz smoke =="
 "$BUILD/src/fuzz/sharc-fuzz" --count 100 --schedules 4 --seed 1 --quiet
+# Once more under the continue policy: the base interpreter runs keep
+# their historical semantics and the policy-agreement oracle stays armed.
+SHARC_POLICY=continue \
+  "$BUILD/src/fuzz/sharc-fuzz" --count 50 --schedules 4 --seed 1 --quiet
 
 echo "== bench smoke -> BENCH_table1.json =="
 SHARC_BENCH_SCALE=1 SHARC_BENCH_REPS=1 \
@@ -55,5 +64,16 @@ SHARC_BENCH_PROFILE=2 \
 "$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_profile_micro.json"
 "$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
   "$BUILD/bench_micro_disabled.json" "$BUILD/bench_micro_armed.json"
+
+echo "== guard overhead gate =="
+# The guard layer's hot-path cost (DESIGN.md §12): the check-path
+# microbenchmarks under the paper-faithful abort policy must stay
+# within 2% of the library-default continue policy. Clean checks never
+# reach the dispatcher, so the expected delta is ~0%.
+SHARC_POLICY=abort \
+  "$MICRO" --benchmark_filter="$GATE_FILTER" --benchmark_min_time=0.1 \
+  --json="$BUILD/bench_micro_abort.json" >/dev/null
+"$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
+  "$BUILD/bench_micro_disabled.json" "$BUILD/bench_micro_abort.json"
 
 echo "== ci.sh: all green =="

@@ -15,9 +15,15 @@
 ///   sharcc --run file.mc           run (after checking)
 ///   options: --seed N --fail-stop --entry NAME --max-steps N --quiet
 ///            --trace-out FILE --metrics-out FILE --profile
+///            --on-violation abort|continue|quarantine
 ///
-/// Exit status: 0 clean; 1 static errors or runtime violations; 2 usage
-/// (including malformed numeric arguments) and output-file I/O errors.
+/// Exit status (pinned by tests/exit_codes.sh):
+///   0  clean — including completed runs whose violations were permitted
+///      by --on-violation=continue/quarantine
+///   1  static errors, or runtime violations under the (default) abort
+///      policy, or a run that deadlocked / ran out of steps
+///   2  usage (malformed flags or SHARC_POLICY) and output I/O errors
+///   3  internal errors and injected faults (SHARC_FAULT)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +36,7 @@
 #include "obs/Json.h"
 #include "obs/MetricsJson.h"
 #include "obs/TraceFile.h"
+#include "rt/Guard.h"
 
 #include <charconv>
 #include <cstdio>
@@ -58,6 +65,7 @@ void printUsage(std::FILE *To) {
       "usage: sharcc [--infer|--check|--run] [--seed N] [--fail-stop]\n"
       "              [--entry NAME] [--max-steps N] [--quiet]\n"
       "              [--trace-out FILE] [--metrics-out FILE] [--profile]\n"
+      "              [--on-violation abort|continue|quarantine]\n"
       "              file.mc\n"
       "\n"
       "modes (default: --run):\n"
@@ -71,15 +79,28 @@ void printUsage(std::FILE *To) {
       "  --fail-stop        stop a thread at its first violation\n"
       "  --entry NAME       entry function (default main)\n"
       "  --quiet            suppress the summary line\n"
+      "  --on-violation P   what a sharing violation does (default abort):\n"
+      "                     abort      stop the run at the first violation\n"
+      "                     continue   record (dedup + cap) and keep going\n"
+      "                     quarantine continue, and demote the offending\n"
+      "                                location so it stops re-firing\n"
+      "                     (the SHARC_POLICY env var sets the default;\n"
+      "                     the flag wins)\n"
       "  --trace-out FILE   record the run as a binary .strc event trace\n"
-      "                     (analyze with sharc-trace)\n"
+      "                     (analyze with sharc-trace); flushed with an\n"
+      "                     abnormal-end record if the run dies\n"
       "  --metrics-out FILE write run statistics as sharc-metrics-v1 JSON\n"
       "  --profile          record per-site check costs and lock\n"
       "                     contention into the trace (requires\n"
       "                     --trace-out; analyze with sharc-trace profile)\n"
       "\n"
-      "exit status: 0 clean; 1 static errors or runtime violations; 2\n"
-      "usage or output I/O errors\n");
+      "environment: SHARC_POLICY=abort|continue|quarantine sets the\n"
+      "default violation policy; SHARC_FAULT=oom:N,thread-reg,\n"
+      "torn-write:K,lock-timeout,crash:N injects rare failures (tests).\n"
+      "\n"
+      "exit status: 0 clean (violations permitted by continue/quarantine\n"
+      "included); 1 static errors or violations under the abort policy;\n"
+      "2 usage or output I/O errors; 3 internal or fault-injected errors\n");
 }
 
 /// Strict unsigned parse for numeric flags: the whole argument must be
@@ -97,11 +118,42 @@ bool parseU64Arg(const char *Flag, const char *Text, uint64_t &Out) {
 
 /// 0 = parsed; 1 = parsed and exit 0 requested (--help); 2 = usage error.
 int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
+  // The paper's fail-fast semantics is sharcc's default; SHARC_POLICY
+  // overrides it, an explicit --on-violation overrides both.
+  Options.Interp.Guard.OnViolation = guard::Policy::Abort;
+  if (const char *Env = std::getenv("SHARC_POLICY")) {
+    if (!guard::parsePolicy(Env, Options.Interp.Guard.OnViolation)) {
+      std::fprintf(stderr,
+                   "sharcc: SHARC_POLICY must be abort, continue, or "
+                   "quarantine; got '%s'\n",
+                   Env);
+      return 2;
+    }
+  }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
       printUsage(stdout);
       return 1;
+    } else if (Arg == "--on-violation" ||
+               Arg.compare(0, 15, "--on-violation=") == 0) {
+      const char *Value;
+      if (Arg == "--on-violation") {
+        if (I + 1 >= Argc) {
+          std::fprintf(stderr, "sharcc: --on-violation needs a policy\n");
+          return 2;
+        }
+        Value = Argv[++I];
+      } else {
+        Value = Argv[I] + 15;
+      }
+      if (!guard::parsePolicy(Value, Options.Interp.Guard.OnViolation)) {
+        std::fprintf(stderr,
+                     "sharcc: --on-violation must be abort, continue, or "
+                     "quarantine; got '%s'\n",
+                     Value);
+        return 2;
+      }
     } else if (Arg == "--infer") {
       Options.Infer = true;
     } else if (Arg == "--check") {
@@ -248,6 +300,22 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   return Ok;
 }
 
+// Crash-safe tracing: while a traced run is in flight these point at the
+// live writer, and the registered crash hook appends an abnormal-end
+// record and flushes the buffer to disk, so `sharc-trace summarize`
+// reconstructs the dying run instead of reporting a truncated file.
+obs::TraceWriter *LiveTrace = nullptr;
+std::string LiveTracePath;
+uint8_t LivePolicy = 0;
+
+void crashFlushTrace(int Signal, void *) {
+  if (!LiveTrace || LiveTracePath.empty())
+    return;
+  LiveTrace->finishAbnormal(static_cast<uint32_t>(Signal), LivePolicy);
+  std::string IgnoredError;
+  LiveTrace->writeToFile(LiveTracePath, IgnoredError);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -316,9 +384,23 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Fault injection (SHARC_FAULT=): a malformed spec is a fatalInternal
+  // (exit 3) — a mistyped fault plan must not silently pass.
+  guard::initFaultsFromEnv();
+  Options.Interp.CrashAtStep = guard::faults().CrashAtStep;
+
   obs::TraceWriter Trace;
-  if (!Options.TraceOut.empty())
+  if (guard::faults().HasTornWrite)
+    Trace.setFaultTruncate(guard::faults().TornWriteBytes);
+  if (!Options.TraceOut.empty()) {
     Options.Interp.Sink = &Trace;
+    // Arm the crash-safe flush path before any interpreted code runs.
+    LiveTrace = &Trace;
+    LiveTracePath = Options.TraceOut;
+    LivePolicy = static_cast<uint8_t>(Options.Interp.Guard.OnViolation);
+    guard::installCrashHandlers();
+    guard::addCrashHook(crashFlushTrace, nullptr);
+  }
   if (Options.Interp.Profile)
     Options.Interp.SourceName = std::string(SM.getFileName(File));
 
@@ -336,9 +418,15 @@ int main(int Argc, char **Argv) {
     Trace.stats(interp::toStatsSnapshot(Result));
     std::string TraceError;
     if (!Trace.writeToFile(Options.TraceOut, TraceError)) {
+      // The run itself is complete; disarm the crash hook so the torn /
+      // failed image is not overwritten on the way out.
+      LiveTrace = nullptr;
+      if (guard::faults().HasTornWrite)
+        guard::fatalInternal("%s", TraceError.c_str());
       std::fprintf(stderr, "sharcc: %s\n", TraceError.c_str());
       return 2;
     }
+    LiveTrace = nullptr;
   }
   if (!Options.MetricsOut.empty() &&
       !writeTextFile(Options.MetricsOut, renderMetrics(Options, Result))) {
@@ -363,10 +451,18 @@ int main(int Argc, char **Argv) {
                  DynPct,
                  static_cast<unsigned long long>(Result.Stats.LockChecks),
                  static_cast<unsigned long long>(Result.Stats.SharingCasts),
-                 Result.Violations.size());
+                 static_cast<size_t>(Result.TotalViolations));
   }
 
-  if (!Result.Violations.empty())
+  // Exit-code contract: under the abort policy any violation is fatal
+  // (the paper's semantics); under continue/quarantine a run that made
+  // it to completion exits 0 even if violations were recorded, and only
+  // engine-level failures (deadlock, livelock, fail-stop threads)
+  // remain fatal.
+  if (Result.PolicyHalted)
+    return 1;
+  if (Options.Interp.Guard.OnViolation == guard::Policy::Abort &&
+      Result.TotalViolations != 0)
     return 1;
   if (Result.Deadlocked || Result.OutOfSteps || !Result.Completed)
     return 1;

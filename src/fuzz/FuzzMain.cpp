@@ -30,6 +30,7 @@
 #include "fuzz/ProgramGen.h"
 #include "fuzz/Rng.h"
 #include "racedet/TraceReplay.h"
+#include "rt/Guard.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -52,6 +53,7 @@ struct FuzzOptions {
   unsigned Schedules = 4;
   uint64_t Seed = 1;
   uint64_t MaxSteps = 1u << 17;
+  guard::Policy Policy = guard::Policy::Continue;
   std::string CorpusDir;
   std::string ReplayFile;
   std::string ReplayDir;
@@ -66,6 +68,9 @@ int usage(const char *Argv0) {
       << "  --schedules K   scheduler seeds per program (default 4)\n"
       << "  --seed S        campaign base seed (default 1)\n"
       << "  --max-steps N   interpreter step budget per run\n"
+      << "  --policy P      violation policy for the base runs: abort,\n"
+      << "                  continue (default), quarantine; SHARC_POLICY\n"
+      << "                  sets the same knob, the flag wins\n"
       << "  --corpus-dir D  write failing programs to D as reproducers\n"
       << "  --replay FILE   re-run the oracles over one saved program\n"
       << "  --replay-dir D  re-run the oracles over every .mc file in D\n"
@@ -94,6 +99,7 @@ struct Campaign {
   uint64_t CheckerRejected = 0;
   uint64_t TraceSkips = 0;
   uint64_t RcSkips = 0;
+  uint64_t PolicyChecks = 0;
   uint64_t ViolationsSeen = 0;
   uint64_t RacyCells = 0;
   uint64_t EraserOnlyRacy = 0;
@@ -105,6 +111,7 @@ struct Campaign {
     Cfg.Seed = OracleSeed;
     Cfg.Schedules = Opts.Schedules;
     Cfg.MaxSteps = Opts.MaxSteps;
+    Cfg.Policy = Opts.Policy;
     return Cfg;
   }
 
@@ -115,6 +122,7 @@ struct Campaign {
     CheckerRejected += Out.CheckerRejected ? 1 : 0;
     TraceSkips += Out.TraceSkips;
     RcSkips += Out.RcSkips;
+    PolicyChecks += Out.PolicyChecks;
     ViolationsSeen += Out.ViolationsSeen;
     RacyCells += Out.RacyCells;
     EraserOnlyRacy += Out.EraserOnlyRacy;
@@ -177,6 +185,8 @@ struct Campaign {
               << "  skips: analysis=" << AnalysisRejected
               << " checker=" << CheckerRejected << " trace=" << TraceSkips
               << " rc=" << RcSkips << "\n"
+              << "  policy=" << guard::policyName(Opts.Policy)
+              << " policy-checks=" << PolicyChecks << "\n"
               << "  runtime violations=" << ViolationsSeen
               << " racy-cells=" << RacyCells
               << " eraser-only=" << EraserOnlyRacy
@@ -265,6 +275,14 @@ int runReplay(Campaign &C) {
 int main(int Argc, char **Argv) {
   Campaign C;
   FuzzOptions &Opts = C.Opts;
+  // SHARC_POLICY selects the base-run policy like it does for sharcc;
+  // an explicit --policy flag (parsed later) wins.
+  if (const char *Env = std::getenv("SHARC_POLICY"))
+    if (!guard::parsePolicy(Env, Opts.Policy)) {
+      std::cerr << "sharc-fuzz: bad SHARC_POLICY '" << Env
+                << "' (want abort, continue, or quarantine)\n";
+      return 2;
+    }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto needValue = [&]() -> const char * {
@@ -287,6 +305,10 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--max-steps") {
       const char *V = needValue();
       if (!V || !parseU64(V, Opts.MaxSteps) || Opts.MaxSteps == 0)
+        return usage(Argv[0]);
+    } else if (Arg == "--policy") {
+      const char *V = needValue();
+      if (!V || !guard::parsePolicy(V, Opts.Policy))
         return usage(Argv[0]);
     } else if (Arg == "--corpus-dir") {
       const char *V = needValue();

@@ -16,7 +16,9 @@
 #include "minic/Printer.h"
 #include "obs/Summary.h"
 #include "obs/TraceFile.h"
+#include "rt/Guard.h"
 #include "rt/RefCount.h"
+#include "rt/Report.h"
 #include "rt/Stats.h"
 #include "rt/ThreadRegistry.h"
 
@@ -25,6 +27,7 @@
 #include <memory>
 #include <set>
 #include <sstream>
+#include <tuple>
 
 using namespace sharc;
 using namespace sharc::fuzz;
@@ -50,6 +53,8 @@ const char *sharc::fuzz::failureKindName(FailureKind K) {
     return "rc-mismatch";
   case FailureKind::TraceMismatch:
     return "trace-mismatch";
+  case FailureKind::PolicyMismatch:
+    return "policy-mismatch";
   }
   return "unknown";
 }
@@ -315,6 +320,114 @@ std::string checkTraceRoundTrip(obs::TraceWriter &Writer,
   return std::string();
 }
 
+/// Oracle 6: the guard layer must agree across engines and policies.
+/// \p R1 is the base run under Policy::Continue with no cap — the full
+/// violation multiset. Returns an empty string on agreement.
+std::string checkPolicyAgreement(interp::Interp &Interp,
+                                 const interp::InterpOptions &BaseOpts,
+                                 const interp::InterpResult &R1, Digest &D) {
+  std::ostringstream OS;
+
+  // (a) Replay the interpreter's violations through the rt runtime's
+  // central dispatcher under `continue`: the two engines must agree on
+  // the total violation count, and the dispatcher must permit every
+  // access. RuntimeError violations (null deref, deadlock, livelock)
+  // have no rt report kind and are excluded on both sides.
+  rt::ReportSink Sink(/*MaxReports=*/1u << 20);
+  guard::GuardConfig Cont; // Policy::Continue, no cap: the rt default.
+  uint64_t Replayed = 0;
+  for (const interp::Violation &V : R1.Violations) {
+    rt::ReportKind RK = rt::ReportKind::ReadConflict;
+    switch (V.K) {
+    case interp::Violation::Kind::ReadConflict:
+      RK = rt::ReportKind::ReadConflict;
+      break;
+    case interp::Violation::Kind::WriteConflict:
+      RK = rt::ReportKind::WriteConflict;
+      break;
+    case interp::Violation::Kind::LockViolation:
+      RK = rt::ReportKind::LockViolation;
+      break;
+    case interp::Violation::Kind::CastError:
+      RK = rt::ReportKind::CastError;
+      break;
+    case interp::Violation::Kind::RuntimeError:
+      continue;
+    }
+    rt::ConflictReport Rep;
+    Rep.Kind = RK;
+    Rep.Address = static_cast<uintptr_t>(V.Address);
+    Rep.WhoTid = V.WhoTid;
+    Rep.LastTid = V.LastTid;
+    if (guard::onViolation(Cont, Rep, Sink) != guard::Verdict::Proceed)
+      return "rt dispatcher blocked an access under continue policy";
+    ++Replayed;
+  }
+  if (Sink.getTotalViolations() != Replayed) {
+    OS << "rt dispatcher counted " << Sink.getTotalViolations()
+       << " violations, interpreter reported " << Replayed;
+    return OS.str();
+  }
+
+  // (b) The same schedule under `quarantine` must run to the same end
+  // with the same output; demoting cells can only suppress re-fires, so
+  // its violation multiset is contained in the continue run's.
+  interp::InterpOptions QOpts = BaseOpts;
+  QOpts.Trace = nullptr;
+  QOpts.Sink = nullptr;
+  QOpts.Guard.OnViolation = guard::Policy::Quarantine;
+  interp::InterpResult Q = Interp.run(QOpts);
+  if (Q.Output != R1.Output)
+    return "quarantine run produced different output";
+  if (Q.Completed != R1.Completed || Q.Deadlocked != R1.Deadlocked ||
+      Q.OutOfSteps != R1.OutOfSteps || Q.Stats.Steps != R1.Stats.Steps) {
+    OS << "quarantine run ended differently (completed " << Q.Completed
+       << "/" << R1.Completed << ", steps " << Q.Stats.Steps << "/"
+       << R1.Stats.Steps << ")";
+    return OS.str();
+  }
+  if (Q.TotalViolations > R1.TotalViolations) {
+    OS << "quarantine run reported " << Q.TotalViolations
+       << " violations, continue run only " << R1.TotalViolations;
+    return OS.str();
+  }
+  std::multiset<std::tuple<uint8_t, uint64_t, uint32_t>> ContSet;
+  for (const interp::Violation &V : R1.Violations)
+    ContSet.insert({static_cast<uint8_t>(V.K), V.Address, V.WhoLine});
+  for (const interp::Violation &V : Q.Violations) {
+    auto It = ContSet.find({static_cast<uint8_t>(V.K), V.Address, V.WhoLine});
+    if (It == ContSet.end()) {
+      OS << "quarantine run reported a violation the continue run did not"
+         << " (addr " << V.Address << " line " << V.WhoLine << ")";
+      return OS.str();
+    }
+    ContSet.erase(It);
+  }
+
+  // (c) A per-kind-capped continue run must not change execution or the
+  // total count — the cap governs retention only.
+  interp::InterpOptions COpts = BaseOpts;
+  COpts.Trace = nullptr;
+  COpts.Sink = nullptr;
+  COpts.Guard.MaxReportsPerKind = 1;
+  interp::InterpResult C = Interp.run(COpts);
+  if (C.Output != R1.Output || C.TotalViolations != R1.TotalViolations) {
+    OS << "capped run diverged (total " << C.TotalViolations << "/"
+       << R1.TotalViolations << ")";
+    return OS.str();
+  }
+  if (C.Violations.size() > 5) { // one per interp violation kind
+    OS << "capped run retained " << C.Violations.size()
+       << " reports with a per-kind cap of 1";
+    return OS.str();
+  }
+
+  D.u64(Sink.getTotalViolations());
+  D.u64(Q.TotalViolations);
+  D.u64(C.Violations.size());
+  return std::string();
+}
+
 } // namespace
 
 OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
@@ -384,6 +497,7 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
     interp::InterpOptions Opts;
     Opts.Seed = Seed;
     Opts.MaxSteps = Cfg.MaxSteps;
+    Opts.Guard.OnViolation = Cfg.Policy;
     Opts.Trace = &Trace;
     Opts.Sink = &Writer; // oracle 5 watches the first run
     interp::InterpResult R1 = Interp.run(Opts);
@@ -417,6 +531,25 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
       OS << "seed " << Seed << ": " << Mismatch;
       Out.Detail = OS.str();
       return Out;
+    }
+
+    // Oracle 6: policy agreement across engines. First schedule only
+    // (the checks re-run the interpreter twice), and only when the base
+    // runs use `continue` — the oracle needs their full violation
+    // multiset as its reference.
+    if (K == 0 && Cfg.Policy == guard::Policy::Continue) {
+      interp::InterpOptions Base;
+      Base.Seed = Seed;
+      Base.MaxSteps = Cfg.MaxSteps;
+      if (std::string Mismatch = checkPolicyAgreement(Interp, Base, R1, D);
+          !Mismatch.empty()) {
+        Out.Failure = FailureKind::PolicyMismatch;
+        std::ostringstream OS;
+        OS << "seed " << Seed << ": " << Mismatch;
+        Out.Detail = OS.str();
+        return Out;
+      }
+      ++Out.PolicyChecks;
     }
 
     if (Trace.size() > Cfg.MaxTraceEvents) {

@@ -24,6 +24,13 @@
 ///      schedule trace event-for-event, carry one Conflict record per
 ///      violation, agree with the run's aggregate stats, and end with a
 ///      final StatsSnapshot sample equal to toStatsSnapshot(run).
+///   6. Policy agreement (first schedule): the guard layer must behave
+///      identically across engines. Replaying the run's violations
+///      through the rt dispatcher under `continue` must preserve the
+///      total count; re-running the schedule under `quarantine` must
+///      produce the same output and completion with a violation multiset
+///      contained in the continue run's; a per-kind-capped run must keep
+///      the total while retaining at most cap-per-kind reports.
 ///
 /// Parse/type failures on generated programs are generator-contract
 /// violations and count as failures. Analysis or checker rejections are
@@ -37,6 +44,7 @@
 #define SHARC_FUZZ_ORACLE_H
 
 #include "racedet/TraceReplay.h"
+#include "rt/Guard.h"
 
 #include <cstdint>
 #include <string>
@@ -54,6 +62,7 @@ enum class FailureKind : uint8_t {
   HbMismatch,     ///< Production vector clocks != reference HB replay.
   RcMismatch,     ///< Atomic / Levanoni-Petrank / interpreter counts differ.
   TraceMismatch,  ///< obs trace round-trip disagrees with the run.
+  PolicyMismatch, ///< Guard policies disagree across engines or runs.
 };
 
 const char *failureKindName(FailureKind K);
@@ -63,6 +72,11 @@ struct OracleConfig {
   unsigned Schedules = 4;  ///< Distinct scheduler seeds to explore.
   uint64_t MaxSteps = 1u << 17;
   size_t MaxTraceEvents = 400000; ///< Replay cutoff per schedule.
+  /// Violation policy for the base interpreter runs (sharc-fuzz --policy
+  /// or SHARC_POLICY). The policy-agreement oracle needs the continue
+  /// run's full violation multiset as its reference, so it only fires
+  /// when this is Policy::Continue (the default).
+  guard::Policy Policy = guard::Policy::Continue;
 };
 
 /// Everything one program's oracle run produced. All fields (including
@@ -76,6 +90,7 @@ struct OracleOutcome {
   unsigned SchedulesRun = 0;
   unsigned TraceSkips = 0; ///< Schedules whose trace exceeded the cutoff.
   unsigned RcSkips = 0;    ///< Schedules skipped by the RC oracle.
+  unsigned PolicyChecks = 0; ///< Schedules the policy oracle covered.
 
   uint64_t ViolationsSeen = 0; ///< Runtime violations across schedules.
   uint64_t RacyCells = 0;      ///< Cells the detectors agreed are racy.

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <tuple>
@@ -281,6 +282,13 @@ private:
                const Expr *Node);
   void report(Violation::Kind K, ThreadCtx &T, Addr A, const Expr *Node,
               const Cell *Last = nullptr, std::string Detail = "");
+  /// Under Policy::Quarantine, cells that already reported once stop
+  /// firing (the location has been demoted to racy-equivalent). The
+  /// policy-byte compare keeps the other policies at zero added cost.
+  bool isCellQuarantined(Addr A) const {
+    return Options.Guard.OnViolation == guard::Policy::Quarantine &&
+           QuarCells.count(A) != 0;
+  }
 
   bool exprIsPointer(const Expr *E) const {
     return E->ExprType && (E->ExprType->isPointer() || E->ExprType->isFunc());
@@ -337,6 +345,18 @@ private:
   /// Keyed by (trace tid, lock address, acquirer line).
   std::map<std::tuple<unsigned, Addr, uint32_t>, LockAgg> ProfLocks;
   uint64_t ProfOps = 0;
+
+  //===--- failure semantics (sharc-guard) -----------------------------------
+  static constexpr unsigned NumViolationKinds = 5;
+  /// Policy::Abort saw a violation; the scheduler stops before its next
+  /// step.
+  bool PolicyHalt = false;
+  /// Cells demoted by Policy::Quarantine.
+  std::set<Addr> QuarCells;
+  /// Dedup keys (kind, address, who-line) — populated only when
+  /// GuardConfig::MaxReportsPerKind is nonzero.
+  std::set<std::tuple<uint8_t, Addr, uint32_t>> SeenViolations;
+  uint64_t RetainedPerKind[NumViolationKinds] = {};
 
   InterpResult Result;
 };
@@ -462,8 +482,62 @@ void Machine::report(Violation::Kind K, ThreadCtx &T, Addr A,
     V.LastLine = Last->LastLine;
   }
   V.Detail = std::move(Detail);
-  Result.Violations.push_back(std::move(V));
-  emitConflict(Result.Violations.back(), &T);
+
+  // Every violation is counted and published to the obs stream; dedup
+  // and the per-kind cap only govern what Violations retains. With the
+  // default config (no cap) retention is unconditional, preserving the
+  // interpreter's historical behaviour byte for byte.
+  ++Result.TotalViolations;
+  bool Retain = true;
+  if (Options.Guard.MaxReportsPerKind != 0) {
+    unsigned Idx = static_cast<unsigned>(K) % NumViolationKinds;
+    if (!SeenViolations
+             .insert(std::make_tuple(static_cast<uint8_t>(K), A, V.WhoLine))
+             .second)
+      Retain = false;
+    else if (RetainedPerKind[Idx] >= Options.Guard.MaxReportsPerKind)
+      Retain = false;
+    else
+      ++RetainedPerKind[Idx];
+  }
+  if (Retain)
+    Result.Violations.push_back(V);
+  emitConflict(V, &T);
+
+  switch (Options.Guard.OnViolation) {
+  case guard::Policy::Abort:
+    // Halt the whole run at the first violation (the paper's fail-fast
+    // semantics, mirrored from the native runtime's abort policy). The
+    // scheduler loop notices PolicyHalt before the next step.
+    PolicyHalt = true;
+    T.State = ThreadCtx::St::Failed;
+    return;
+  case guard::Policy::Continue:
+    break;
+  case guard::Policy::Quarantine:
+    // Demote the offending location so this one bad site cannot re-fire
+    // forever: reader/writer history is discarded and the cell joins the
+    // quarantine set the checks consult.
+    switch (K) {
+    case Violation::Kind::ReadConflict:
+    case Violation::Kind::WriteConflict:
+      Mem[A].Readers = 0;
+      Mem[A].Writers = 0;
+      Mem[A].LastTid = 0;
+      Mem[A].LastExpr = nullptr;
+      QuarCells.insert(A);
+      break;
+    case Violation::Kind::LockViolation:
+      QuarCells.insert(A);
+      break;
+    case Violation::Kind::CastError:
+      clearObjectSets(A);
+      break;
+    case Violation::Kind::RuntimeError:
+      break;
+    }
+    break;
+  }
   if (Options.FailStop)
     T.State = ThreadCtx::St::Failed;
 }
@@ -472,7 +546,7 @@ void Machine::chkRead(ThreadCtx &T, Addr A, const Expr *Node) {
   ++Result.Stats.DynamicChecks;
   Cell &C = Mem[A];
   uint64_t Bit = uint64_t(1) << T.Tid;
-  if ((C.Writers & ~Bit) != 0)
+  if ((C.Writers & ~Bit) != 0 && !isCellQuarantined(A))
     report(Violation::Kind::ReadConflict, T, A, Node, &C);
   if ((C.Readers & Bit) == 0 && (C.Writers & Bit) == 0)
     T.AccessLog.push_back(A);
@@ -486,7 +560,7 @@ void Machine::chkWrite(ThreadCtx &T, Addr A, const Expr *Node) {
   ++Result.Stats.DynamicChecks;
   Cell &C = Mem[A];
   uint64_t Bit = uint64_t(1) << T.Tid;
-  if (((C.Readers | C.Writers) & ~Bit) != 0)
+  if (((C.Readers | C.Writers) & ~Bit) != 0 && !isCellQuarantined(A))
     report(Violation::Kind::WriteConflict, T, A, Node, &C);
   if ((C.Readers & Bit) == 0 && (C.Writers & Bit) == 0)
     T.AccessLog.push_back(A);
@@ -530,6 +604,8 @@ void Machine::chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check,
     for (Addr Held : T.HeldSharedLocks)
       if (Held == Lock)
         return;
+  if (isCellQuarantined(A))
+    return;
   report(Violation::Kind::LockViolation, T, A, Node, nullptr,
          Check.K == AccessCheck::Kind::LockShared
              ? "required lock is not held (shared or exclusive)"
@@ -1520,6 +1596,7 @@ InterpResult Machine::runImpl() {
     Violation V;
     V.K = Violation::Kind::RuntimeError;
     V.Detail = "no entry point '" + Options.EntryPoint + "'";
+    ++Result.TotalViolations;
     Result.Violations.push_back(V);
     emitConflict(Result.Violations.back(), nullptr);
     return std::move(Result);
@@ -1558,7 +1635,23 @@ InterpResult Machine::runImpl() {
         Result.Deadlocked = true;
         Violation V;
         V.K = Violation::Kind::RuntimeError;
-        V.Detail = "deadlock: all live threads are blocked";
+        // Structured stall report: name every blocked thread, what it
+        // waits on, and (for locks) which thread holds it.
+        std::string D = "deadlock: all live threads are blocked";
+        for (const ThreadCtx &T : Threads) {
+          if (T.State == ThreadCtx::St::BlockedLock) {
+            D += "; tid " + std::to_string(T.Tid) + " waits on lock " +
+                 std::to_string(T.BlockLock);
+            auto Holder = LockOwner.find(T.BlockLock);
+            if (Holder != LockOwner.end())
+              D += " held by tid " + std::to_string(Holder->second);
+          } else if (T.State == ThreadCtx::St::WaitingCond) {
+            D += "; tid " + std::to_string(T.Tid) + " waits on cond " +
+                 std::to_string(T.WaitCond);
+          }
+        }
+        V.Detail = std::move(D);
+        ++Result.TotalViolations;
         Result.Violations.push_back(V);
         emitConflict(Result.Violations.back(), nullptr);
       }
@@ -1566,12 +1659,23 @@ InterpResult Machine::runImpl() {
     }
     size_t Pick = Runnable[nextRandom() % Runnable.size()];
     ++Result.Stats.Steps;
+    if (Options.CrashAtStep != 0 &&
+        Result.Stats.Steps >= Options.CrashAtStep) {
+      // Fault injection (SHARC_FAULT=crash:N): die by SIGSEGV mid-run so
+      // tests can pin that the crash hooks leave a readable trace.
+      std::raise(SIGSEGV);
+    }
     step(Threads[Pick]);
+    if (PolicyHalt) {
+      Result.PolicyHalted = true;
+      return std::move(Result);
+    }
   }
   Result.OutOfSteps = true;
   Violation V;
   V.K = Violation::Kind::RuntimeError;
   V.Detail = "step budget exhausted (possible livelock)";
+  ++Result.TotalViolations;
   Result.Violations.push_back(V);
   emitConflict(Result.Violations.back(), nullptr);
   return std::move(Result);

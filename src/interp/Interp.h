@@ -36,6 +36,7 @@
 
 #include "checker/Instrumentation.h"
 #include "minic/AST.h"
+#include "rt/Guard.h"
 #include "rt/Stats.h"
 
 #include <cstdint>
@@ -137,6 +138,18 @@ struct InterpOptions {
   /// Source file name stamped into profile records (interpreter sites
   /// are file:line positions in the MiniC source).
   std::string SourceName;
+  /// Failure semantics (sharc-guard), mirroring the native runtime's
+  /// GuardConfig. The default — Policy::Continue, no per-kind cap —
+  /// reproduces the interpreter's historical behaviour exactly (fuzz
+  /// determinism digests depend on it). Policy::Abort halts the run at
+  /// the first violation (Completed stays false); Policy::Quarantine
+  /// demotes offending cells so they stop re-firing. Uses only the
+  /// header-only part of rt/Guard.h; no sharc_rt link is required.
+  guard::GuardConfig Guard;
+  /// Fault injection: raise SIGSEGV when the scheduler reaches this step
+  /// (1-based; 0 = off). Wired from SHARC_FAULT=crash:N by the driver to
+  /// test crash-safe trace flushing.
+  uint64_t CrashAtStep = 0;
 };
 
 /// Execution statistics, used by tests and the driver's summary.
@@ -156,7 +169,12 @@ struct InterpResult {
   bool Completed = false;   ///< All threads reached done.
   bool Deadlocked = false;  ///< No runnable thread remained.
   bool OutOfSteps = false;  ///< MaxSteps exhausted.
+  bool PolicyHalted = false; ///< Policy::Abort stopped the run.
   std::vector<Violation> Violations;
+  /// Every violation detected, including ones dropped from Violations by
+  /// dedup/per-kind capping (equal to Violations.size() when
+  /// GuardConfig::MaxReportsPerKind is 0).
+  uint64_t TotalViolations = 0;
   std::string Output; ///< print_int / print_str output.
   InterpStats Stats;
 

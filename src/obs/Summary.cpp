@@ -1,7 +1,11 @@
 #include "obs/Summary.h"
 
+#include "rt/Guard.h"
+
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -106,6 +110,23 @@ std::string renderSummary(const TraceSummary &Sum, const TraceData &Data) {
   std::ostringstream OS;
   OS << "trace: " << Sum.TotalEvents << " events, " << Data.Samples.size()
      << " stats samples, " << Sum.Threads.size() << " threads\n";
+
+  if (Data.AbnormalEnd) {
+    OS << "\nABNORMAL END: the producing process died mid-run";
+    if (Data.AbnormalSignal)
+      OS << " (signal " << Data.AbnormalSignal << ", "
+         << strsignal(static_cast<int>(Data.AbnormalSignal)) << ")";
+    else
+      OS << " (violation policy / internal error, no signal)";
+    OS << "\n  policy: "
+       << guard::policyName(static_cast<guard::Policy>(Data.AbnormalPolicy))
+       << ", violations before death: " << Data.AbnormalTotalViolations
+       << "\n";
+    for (unsigned K = 0; K < NumConflictKinds; ++K)
+      if (Data.AbnormalConflictCounts[K])
+        OS << "    " << conflictKindName(static_cast<ConflictKind>(K)) << ": "
+           << Data.AbnormalConflictCounts[K] << "\n";
+  }
 
   OS << "\nevents by kind:\n";
   for (unsigned K = 0; K < NumEventKinds; ++K)

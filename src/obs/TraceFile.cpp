@@ -113,6 +113,14 @@ void TraceWriter::event(const Event &Ev) {
   appendZigzag(Buf, Ev.Value);
   appendVarint(Buf, Ev.Extra);
   ++Records;
+  // Keep a running violation summary so finishAbnormal() can write a
+  // self-contained abnormal-end record from a crash hook.
+  if (Ev.K == EventKind::Conflict) {
+    ++TotalConflicts;
+    unsigned Kind = static_cast<unsigned>(conflictKindOf(Ev.Extra));
+    if (Kind < NumConflictKinds)
+      ++ConflictCounts[Kind];
+  }
 }
 
 void TraceWriter::stats(const rt::StatsSnapshot &S) {
@@ -182,6 +190,19 @@ void TraceWriter::finish() {
   Finished = true;
 }
 
+void TraceWriter::finishAbnormal(uint32_t Signal, uint8_t Policy) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(AbnormalEndTag));
+  appendVarint(Buf, Signal);
+  appendVarint(Buf, Policy);
+  appendVarint(Buf, TotalConflicts);
+  for (uint64_t C : ConflictCounts)
+    appendVarint(Buf, C);
+  ++Records;
+  finish();
+}
+
 const std::string &TraceWriter::buffer() {
   finish();
   return Buf;
@@ -189,17 +210,27 @@ const std::string &TraceWriter::buffer() {
 
 bool TraceWriter::writeToFile(const std::string &Path, std::string &Error) {
   finish();
+  size_t ToWrite = Buf.size();
+  if (HasFaultTruncate && FaultTruncate < ToWrite)
+    ToWrite = static_cast<size_t>(FaultTruncate);
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F) {
     Error = "cannot open '" + Path + "' for writing";
     return false;
   }
-  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size();
+  bool Ok = std::fwrite(Buf.data(), 1, ToWrite, F) == ToWrite;
   if (std::fclose(F) != 0)
     Ok = false;
-  if (!Ok)
+  if (!Ok) {
     Error = "short write to '" + Path + "'";
-  return Ok;
+    return false;
+  }
+  if (HasFaultTruncate) {
+    Error = "fault-injected torn write: wrote " + std::to_string(ToWrite) +
+            " of " + std::to_string(Buf.size()) + " bytes to '" + Path + "'";
+    return false;
+  }
+  return true;
 }
 
 bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
@@ -310,6 +341,25 @@ bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
       R.Tid = static_cast<uint32_t>(Tid);
       R.Line = static_cast<uint32_t>(Line);
       Out.Locks.push_back(std::move(R));
+      ++Records;
+      continue;
+    }
+    if (Tag == AbnormalEndTag) {
+      uint64_t Signal, Policy, Total;
+      if (!readVarint(Buf, Pos, Signal) || !readVarint(Buf, Pos, Policy) ||
+          !readVarint(Buf, Pos, Total)) {
+        Error = "truncated trace: cut mid abnormal-end record";
+        return false;
+      }
+      for (uint64_t &C : Out.AbnormalConflictCounts)
+        if (!readVarint(Buf, Pos, C)) {
+          Error = "truncated trace: cut mid abnormal-end record";
+          return false;
+        }
+      Out.AbnormalEnd = true;
+      Out.AbnormalSignal = static_cast<uint32_t>(Signal);
+      Out.AbnormalPolicy = static_cast<uint8_t>(Policy);
+      Out.AbnormalTotalViolations = Total;
       ++Records;
       continue;
     }

@@ -2,8 +2,9 @@
 //
 // Layout:
 //   8-byte magic "SHARCTRC"
-//   u32 little-endian version (currently 2; version-1 traces are still
-//   parsed — version 2 only adds the profile record tags below)
+//   u32 little-endian version (currently 3; version-1/2 traces are still
+//   parsed — version 2 added the profile record tags, version 3 the
+//   abnormal-end record below)
 //   a sequence of records, each introduced by a tag byte:
 //     0x01..0x0e  event record: tag = EventKind + 1, then varint Tid,
 //                 varint Addr, zigzag-varint Value, varint Extra
@@ -16,12 +17,19 @@
 //                 16 wait-histogram varints, 16 hold-histogram varints
 //     0x43        self-overhead record: varint Tid, Ops, Cycles,
 //                 Samples, DrainCycles, TableBytes
+//     0x44        abnormal-end record (v3): varint Signal (0 = policy or
+//                 internal death, not a signal), varint violation policy
+//                 (guard::Policy), varint total Conflict events, then
+//                 NumConflictKinds varints of per-kind Conflict counts.
+//                 Written by crash hooks so a dying process leaves a
+//                 parseable trace that says *how* it died.
 //     0xff        end record: varint total record count (every record
 //                 above, of any tag)
 //   Strings are a varint length followed by raw bytes.
 //   The end record is mandatory; a trace without it is reported as
 //   truncated, which is how mid-write crashes and chopped files are
-//   detected.
+//   detected. A crashed run that got through its crash hooks ends with
+//   abnormal-end + end records instead and parses cleanly.
 //
 // All varints are LEB128; signed values use zigzag. The writer buffers
 // in memory (traces from bounded interpreter runs are small) and is NOT
@@ -40,12 +48,13 @@
 namespace sharc::obs {
 
 inline constexpr char TraceMagic[8] = {'S', 'H', 'A', 'R', 'C', 'T', 'R', 'C'};
-inline constexpr uint32_t TraceVersion = 2;
+inline constexpr uint32_t TraceVersion = 3;
 inline constexpr uint32_t MinTraceVersion = 1;
 inline constexpr uint8_t StatsRecordTag = 0x40;
 inline constexpr uint8_t SiteProfileTag = 0x41;
 inline constexpr uint8_t LockProfileTag = 0x42;
 inline constexpr uint8_t SelfOverheadTag = 0x43;
+inline constexpr uint8_t AbnormalEndTag = 0x44;
 inline constexpr uint8_t EndRecordTag = 0xff;
 
 // Appends a LEB128 varint / zigzag varint to Out.
@@ -80,12 +89,28 @@ public:
   /// after this; calling it again is a no-op.
   void finish();
 
+  /// Appends an abnormal-end record — \p Signal is the fatal signal (0
+  /// for policy/internal deaths), \p Policy the active guard::Policy —
+  /// followed by the ordinary end record. The violation summary inside
+  /// it is tallied internally from the Conflict events this writer saw,
+  /// so crash hooks need no external state. No-op once finished; safe
+  /// to call from a signal context (appends to the in-memory buffer).
+  void finishAbnormal(uint32_t Signal, uint8_t Policy);
+
   /// finish() + the encoded bytes.
   const std::string &buffer();
 
   /// finish() + write the encoded bytes to Path. Returns false and sets
-  /// Error on I/O failure.
+  /// Error on I/O failure. With a torn-write fault armed
+  /// (setFaultTruncate), writes only the fault's byte prefix and fails.
   bool writeToFile(const std::string &Path, std::string &Error);
+
+  /// Arms the torn-write fault (SHARC_FAULT=torn-write:K, wired by the
+  /// driver): the next writeToFile truncates the image to \p Bytes.
+  void setFaultTruncate(uint64_t Bytes) {
+    FaultTruncate = Bytes;
+    HasFaultTruncate = true;
+  }
 
   uint64_t recordCount() const { return Records; }
 
@@ -93,6 +118,10 @@ private:
   std::string Buf;
   uint64_t Records = 0;
   bool Finished = false;
+  uint64_t TotalConflicts = 0;
+  uint64_t ConflictCounts[NumConflictKinds] = {};
+  uint64_t FaultTruncate = 0;
+  bool HasFaultTruncate = false;
 };
 
 /// A fully decoded trace. SamplePos[i] is the number of events that
@@ -105,6 +134,13 @@ struct TraceData {
   std::vector<SiteProfileRecord> Sites;
   std::vector<LockProfileRecord> Locks;
   std::vector<SelfOverheadRecord> Overheads;
+  /// Abnormal-end record (v3), present when the producing process died
+  /// mid-run but its crash hooks flushed the trace.
+  bool AbnormalEnd = false;
+  uint32_t AbnormalSignal = 0; ///< 0 = policy/internal death.
+  uint8_t AbnormalPolicy = 0;  ///< guard::Policy at death.
+  uint64_t AbnormalTotalViolations = 0;
+  uint64_t AbnormalConflictCounts[NumConflictKinds] = {};
 };
 
 /// Decodes a complete trace image. Returns false and sets Error on bad

@@ -32,9 +32,11 @@
 #ifndef SHARC_RT_ANNOTATIONS_H
 #define SHARC_RT_ANNOTATIONS_H
 
+#include "rt/Guard.h"
 #include "rt/Runtime.h"
 
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <new>
@@ -78,6 +80,11 @@ private:
 /// locked-mode check consults (Section 4.2.2). When profiling is on,
 /// acquires go through a timed path that measures wait cycles and
 /// attributes them to the acquiring site (or the declaration site).
+/// When the guard watchdog is armed (GuardConfig::WatchdogMillis or
+/// SHARC_WATCHDOG_MS), acquires go through a timed path that reports a
+/// stall -- naming the holder -- if the lock is not obtained within the
+/// watchdog interval, then keep waiting (the watchdog diagnoses hangs,
+/// it does not break them).
 class Mutex {
 public:
   Mutex() = default;
@@ -87,6 +94,10 @@ public:
 
   void lock(const AccessSite *Site = nullptr) {
     rt::Runtime &RT = rt::Runtime::get();
+    if (RT.watchdogMillis() != 0) [[unlikely]] {
+      lockGuarded(RT, Site);
+      return;
+    }
     if (RT.profilingEnabled()) [[unlikely]] {
       lockProfiled(RT, Site);
       return;
@@ -102,6 +113,8 @@ public:
     if (!Impl.try_lock())
       return false;
     rt::Runtime &RT = rt::Runtime::get();
+    if (RT.watchdogMillis() != 0) [[unlikely]]
+      RT.noteLockHolder(this, site(nullptr));
     if (RT.profilingEnabled()) [[unlikely]]
       RT.onLockAcquireProfiled(this, site(nullptr), 0, false);
     else
@@ -125,6 +138,30 @@ private:
                              Contended ? rt::readTsc() - Start : 0, Contended);
   }
 
+  void lockGuarded(rt::Runtime &RT, const AccessSite *S) {
+    if (!guard::faultLockTimeout()) {
+      auto Deadline = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(RT.watchdogMillis());
+      for (;;) {
+        if (Impl.try_lock()) {
+          RT.noteLockHolder(this, site(S));
+          RT.onLockAcquire(this);
+          return;
+        }
+        if (std::chrono::steady_clock::now() >= Deadline)
+          break;
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    // Watchdog expired (or an injected lock-timeout fault fired): report
+    // the stall with holder attribution, then fall back to a plain
+    // blocking acquire.
+    RT.reportLockStall(this, site(S));
+    Impl.lock();
+    RT.noteLockHolder(this, site(S));
+    RT.onLockAcquire(this);
+  }
+
   std::mutex Impl;
   const AccessSite *DeclSite = nullptr;
 };
@@ -142,6 +179,27 @@ public:
 
   void lock(const AccessSite *Site = nullptr) {
     rt::Runtime &RT = rt::Runtime::get();
+    if (RT.watchdogMillis() != 0) [[unlikely]] {
+      if (!guard::faultLockTimeout()) {
+        auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(RT.watchdogMillis());
+        for (;;) {
+          if (Impl.try_lock()) {
+            RT.noteLockHolder(this, site(Site));
+            RT.onLockAcquire(this);
+            return;
+          }
+          if (std::chrono::steady_clock::now() >= Deadline)
+            break;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      RT.reportLockStall(this, site(Site));
+      Impl.lock();
+      RT.noteLockHolder(this, site(Site));
+      RT.onLockAcquire(this);
+      return;
+    }
     if (RT.profilingEnabled()) [[unlikely]] {
       uint64_t Start = rt::readTsc();
       bool Contended = !Impl.try_lock();
@@ -163,6 +221,25 @@ public:
   }
   void lock_shared(const AccessSite *Site = nullptr) {
     rt::Runtime &RT = rt::Runtime::get();
+    if (RT.watchdogMillis() != 0) [[unlikely]] {
+      if (!guard::faultLockTimeout()) {
+        auto Deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(RT.watchdogMillis());
+        for (;;) {
+          if (Impl.try_lock_shared()) {
+            RT.onSharedLockAcquire(this);
+            return;
+          }
+          if (std::chrono::steady_clock::now() >= Deadline)
+            break;
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      RT.reportLockStall(this, site(Site));
+      Impl.lock_shared();
+      RT.onSharedLockAcquire(this);
+      return;
+    }
     if (RT.profilingEnabled()) [[unlikely]] {
       uint64_t Start = rt::readTsc();
       bool Contended = !Impl.try_lock_shared();

@@ -15,6 +15,8 @@
 #ifndef SHARC_RT_CONFIG_H
 #define SHARC_RT_CONFIG_H
 
+#include "rt/Guard.h"
+
 #include <cstddef>
 #include <cstdint>
 
@@ -63,8 +65,15 @@ struct RuntimeConfig {
   size_t RcTableCapacity = 1u << 20;
 
   /// Abort the process on the first conflict instead of recording it and
-  /// continuing. Tests and benches keep this off.
+  /// continuing. Tests and benches keep this off. Kept for source
+  /// compatibility: Runtime::init() folds it into Guard.OnViolation
+  /// (AbortOnError == Guard.OnViolation = Policy::Abort).
   bool AbortOnError = false;
+
+  /// Failure semantics: violation policy, per-kind report cap, and the
+  /// stall watchdog (DESIGN.md §12). Runtime::init() additionally honors
+  /// SHARC_POLICY from the environment, which overrides OnViolation.
+  guard::GuardConfig Guard;
 
   /// Maximum number of distinct conflict reports retained (deduplicated by
   /// site and granule). Further conflicts only bump counters.

@@ -6,6 +6,7 @@
 
 #include "rt/Heap.h"
 
+#include "rt/Guard.h"
 #include "rt/ShadowMemory.h"
 
 #include <cassert>
@@ -29,8 +30,8 @@ struct Heap::Header {
 };
 
 Heap::Heap(const RuntimeConfig &Config, RuntimeStats &Stats,
-           ShadowMemory &Shadow)
-    : Config(Config), Stats(Stats), Shadow(Shadow) {
+           ShadowMemory &Shadow, ReportSink &Sink)
+    : Config(Config), Stats(Stats), Shadow(Shadow), Sink(Sink) {
   size_t Granule = Config.granuleSize();
   HeaderBytes = sizeof(Header);
   if (HeaderBytes % Granule != 0)
@@ -49,11 +50,23 @@ void *Heap::allocate(size_t Size) {
   size_t Payload = (Size + Granule - 1) & ~(Granule - 1);
   if (Payload == 0)
     Payload = Granule;
-  void *Raw = std::aligned_alloc(Granule < 16 ? 16 : Granule,
-                                 HeaderBytes + Payload);
+  void *Raw = guard::faultTickOom()
+                  ? nullptr
+                  : std::aligned_alloc(Granule < 16 ? 16 : Granule,
+                                       HeaderBytes + Payload);
   if (!Raw) {
-    std::fprintf(stderr, "sharc: out of memory allocating %zu bytes\n", Size);
-    std::abort();
+    // Route through the guard so the failure is both visible in the
+    // report stream (with size/thread diagnostics) and crash-safe: the
+    // hooks flush live traces before the process exits with status 3.
+    ConflictReport Report;
+    Report.Kind = ReportKind::ResourceExhausted;
+    Report.Address = Size;
+    Sink.report(Report);
+    guard::fatalInternal(
+        "out of memory allocating %zu bytes (%zu with header/rounding); "
+        "heap payload in use: %llu bytes",
+        Size, HeaderBytes + Payload,
+        static_cast<unsigned long long>(Stats.snapshot().HeapPayloadBytes));
   }
   auto *H = static_cast<Header *>(Raw);
   H->Magic = HeaderMagicLive;

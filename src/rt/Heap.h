@@ -21,6 +21,7 @@
 #define SHARC_RT_HEAP_H
 
 #include "rt/Config.h"
+#include "rt/Report.h"
 #include "rt/Stats.h"
 
 #include <cstddef>
@@ -35,15 +36,16 @@ class ShadowMemory;
 /// Granule-aligned allocator with size headers and deferred frees.
 class Heap {
 public:
-  Heap(const RuntimeConfig &Config, RuntimeStats &Stats,
-       ShadowMemory &Shadow);
+  Heap(const RuntimeConfig &Config, RuntimeStats &Stats, ShadowMemory &Shadow,
+       ReportSink &Sink);
   ~Heap();
 
   Heap(const Heap &) = delete;
   Heap &operator=(const Heap &) = delete;
 
   /// Allocates \p Size bytes aligned to the granule size. Never returns
-  /// null (aborts on OOM, like xmalloc).
+  /// null: OOM files a ResourceExhausted report and dies through
+  /// guard::fatalInternal (exit 3, crash hooks flushed).
   void *allocate(size_t Size);
 
   /// Logically frees \p Ptr: clears its shadow state immediately and
@@ -71,6 +73,7 @@ private:
   const RuntimeConfig &Config;
   RuntimeStats &Stats;
   ShadowMemory &Shadow;
+  ReportSink &Sink;
   size_t HeaderBytes;
 
   mutable std::mutex Mutex;

@@ -6,6 +6,8 @@
 
 #include "rt/RcTable.h"
 
+#include "rt/Guard.h"
+
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -47,10 +49,22 @@ RcTable::Entry *RcTable::findOrInsert(uintptr_t Value) {
     }
     Index = (Index + 1) & Mask;
   }
-  std::fprintf(stderr, "sharc: reference count table full (capacity %zu); "
-                       "raise RuntimeConfig::RcTableCapacity\n",
-               Capacity);
-  std::abort();
+  // Capacity exhausted. There is no RuntimeConfig in reach here, so the
+  // process-global guard policy decides: Abort dies through
+  // guard::fatalInternal (exit 3, crash hooks flushed); Continue and
+  // Quarantine degrade gracefully — the value's count is dropped (warned
+  // once), which callers treat as "uncounted", the racy-equivalent state.
+  if (guard::globalPolicy() == guard::Policy::Abort)
+    guard::fatalInternal("reference count table full (capacity %zu, %llu "
+                         "entries); raise RuntimeConfig::RcTableCapacity",
+                         Capacity,
+                         static_cast<unsigned long long>(getNumEntries()));
+  if (!WarnedFull.exchange(true, std::memory_order_relaxed))
+    std::fprintf(stderr,
+                 "sharc: warning: reference count table full (capacity %zu); "
+                 "further counts are dropped\n",
+                 Capacity);
+  return nullptr;
 }
 
 const RcTable::Entry *RcTable::find(uintptr_t Value) const {
@@ -71,7 +85,8 @@ const RcTable::Entry *RcTable::find(uintptr_t Value) const {
 }
 
 void RcTable::add(uintptr_t Value, int64_t Delta) {
-  findOrInsert(Value)->Count.fetch_add(Delta, std::memory_order_acq_rel);
+  if (Entry *E = findOrInsert(Value))
+    E->Count.fetch_add(Delta, std::memory_order_acq_rel);
 }
 
 int64_t RcTable::get(uintptr_t Value) const {

@@ -26,8 +26,10 @@ namespace sharc {
 namespace rt {
 
 /// Concurrent value -> signed count map. Entries are never removed; a
-/// count may drop to zero and later revive. Aborts if the table fills
-/// (capacity is configured generously; see RuntimeConfig::RcTableCapacity).
+/// count may drop to zero and later revive. If the table fills (capacity
+/// is configured generously; see RuntimeConfig::RcTableCapacity) the
+/// guard's global policy decides: Abort exits through fatalInternal,
+/// Continue/Quarantine drop further counts with a one-shot warning.
 class RcTable {
 public:
   explicit RcTable(size_t Capacity);
@@ -60,6 +62,7 @@ private:
   size_t Capacity; ///< Power of two.
   std::unique_ptr<Entry[]> Entries;
   std::atomic<size_t> NumEntries{0};
+  std::atomic<bool> WarnedFull{false};
 };
 
 } // namespace rt

@@ -26,6 +26,9 @@ static sharc::obs::ConflictKind toConflictKind(ReportKind Kind) {
     return CK::CastError;
   case ReportKind::LiveAfterCast:
     return CK::LiveAfterCast;
+  case ReportKind::StallTimeout:
+  case ReportKind::ResourceExhausted:
+    return CK::RuntimeError;
   }
   return CK::RuntimeError;
 }
@@ -42,6 +45,10 @@ static const char *kindName(ReportKind Kind) {
     return "sharing cast error";
   case ReportKind::LiveAfterCast:
     return "live-after-cast warning";
+  case ReportKind::StallTimeout:
+    return "stall timeout";
+  case ReportKind::ResourceExhausted:
+    return "resource exhaustion";
   }
   return "conflict";
 }
@@ -92,6 +99,10 @@ bool ReportSink::report(const ConflictReport &Report) {
     return false;
   if (Reports.size() >= MaxReports)
     return false;
+  size_t KindIdx = static_cast<size_t>(Report.Kind) % NumReportKinds;
+  if (MaxPerKind && RetainedPerKind[KindIdx] >= MaxPerKind)
+    return false;
+  ++RetainedPerKind[KindIdx];
   Reports.push_back(Report);
   return true;
 }
@@ -101,6 +112,8 @@ std::vector<ConflictReport> ReportSink::takeReports() {
   std::vector<ConflictReport> Out = std::move(Reports);
   Reports.clear();
   Seen.clear();
+  for (size_t &N : RetainedPerKind)
+    N = 0;
   return Out;
 }
 
@@ -119,4 +132,6 @@ void ReportSink::clear() {
   Reports.clear();
   Seen.clear();
   TotalViolations = 0;
+  for (size_t &N : RetainedPerKind)
+    N = 0;
 }

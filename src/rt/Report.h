@@ -41,7 +41,11 @@ enum class ReportKind : uint8_t {
   LockViolation,  ///< Access to a locked-mode location without its lock.
   CastError,      ///< Sharing cast of an object with other live references.
   LiveAfterCast,  ///< Warning: pointer definitely live after being nulled.
+  StallTimeout,   ///< Watchdog: a lock wait or cast drain exceeded its budget.
+  ResourceExhausted, ///< OOM / capacity failure routed through the guard.
 };
+
+constexpr size_t NumReportKinds = 7;
 
 /// One detected violation.
 struct ConflictReport {
@@ -81,15 +85,21 @@ public:
   /// is also published as an obs Conflict event.
   void setObs(obs::Sink *Sink) { Obs = Sink; }
 
+  /// Retain at most \p N deduplicated reports per ReportKind (the guard
+  /// layer's Continue/Quarantine cap). 0 = unlimited.
+  void setMaxPerKind(size_t N) { MaxPerKind = N; }
+
   void clear();
 
 private:
   size_t MaxReports;
+  size_t MaxPerKind = 0;
   obs::Sink *Obs = nullptr;
   mutable std::mutex Mutex;
   std::vector<ConflictReport> Reports;
   std::unordered_set<uint64_t> Seen;
   uint64_t TotalViolations = 0;
+  size_t RetainedPerKind[NumReportKinds] = {};
 };
 
 } // namespace rt

@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 using namespace sharc::rt;
 
@@ -38,9 +40,28 @@ constexpr size_t DeferredFreeThreshold = 1u << 14;
 Runtime::Runtime(const RuntimeConfig &Config)
     : Config(Config), Sink(Config.MaxReports), Registry(Config.maxThreads()),
       Generation(NextGeneration++) {
+  // Failure-semantics resolution (DESIGN.md §12): the legacy AbortOnError
+  // flag folds into the guard policy, then SHARC_POLICY overrides both so
+  // deployed binaries can switch policies without a rebuild. The global
+  // policy (config-less paths like RcTable exhaustion) follows suit, and
+  // SHARC_FAULT is parsed once so fault injection reaches every subsystem.
+  if (this->Config.AbortOnError)
+    this->Config.Guard.OnViolation = guard::Policy::Abort;
+  guard::policyFromEnv(this->Config.Guard.OnViolation);
+  this->Config.AbortOnError =
+      this->Config.Guard.OnViolation == guard::Policy::Abort;
+  guard::setGlobalPolicy(this->Config.Guard.OnViolation);
+  if (const char *Env = std::getenv("SHARC_WATCHDOG_MS")) {
+    char *End = nullptr;
+    unsigned long long Ms = std::strtoull(Env, &End, 10);
+    if (End && End != Env && *End == '\0')
+      this->Config.Guard.WatchdogMillis = Ms;
+  }
+  guard::initFaultsFromEnv();
+  Sink.setMaxPerKind(this->Config.Guard.MaxReportsPerKind);
   Shadow = std::make_unique<ShadowMemory>(this->Config, Stats, Sink);
   Rc = std::make_unique<RefCountEngine>(this->Config, Stats, Registry);
-  TheHeap = std::make_unique<Heap>(this->Config, Stats, *Shadow);
+  TheHeap = std::make_unique<Heap>(this->Config, Stats, *Shadow, Sink);
   Rc->setPostCollectHook(
       [](void *Ctx) { static_cast<Heap *>(Ctx)->releaseDeferred(); },
       TheHeap.get());
@@ -208,6 +229,10 @@ void Runtime::onLockRelease(const void *Lock) {
   ThreadState &TS = currentThread();
   if (TS.Prof) [[unlikely]]
     TS.Prof->lockReleased(Lock);
+  if (Config.Guard.WatchdogMillis != 0) [[unlikely]] {
+    std::lock_guard<std::mutex> G(GuardMutex);
+    LockHolders.erase(reinterpret_cast<uintptr_t>(Lock));
+  }
   auto It = std::find(TS.HeldLocks.rbegin(), TS.HeldLocks.rend(), Lock);
   assert(It != TS.HeldLocks.rend() && "releasing a lock that is not held");
   TS.HeldLocks.erase(std::next(It).base());
@@ -219,6 +244,68 @@ bool Runtime::holdsLock(const void *Lock) {
   ThreadState &TS = currentThread();
   return std::find(TS.HeldLocks.begin(), TS.HeldLocks.end(), Lock) !=
          TS.HeldLocks.end();
+}
+
+//===----------------------------------------------------------------------===//
+// Stall watchdog and quarantine (sharc-guard, DESIGN.md §12)
+//===----------------------------------------------------------------------===//
+
+void Runtime::noteLockHolder(const void *Lock, const AccessSite *Site) {
+  unsigned Tid = currentThread().Tid;
+  std::lock_guard<std::mutex> G(GuardMutex);
+  LockHolders[reinterpret_cast<uintptr_t>(Lock)] = LockHolderInfo{Tid, Site};
+}
+
+void Runtime::reportLockStall(const void *Lock, const AccessSite *Site) {
+  LockHolderInfo Holder;
+  {
+    std::lock_guard<std::mutex> G(GuardMutex);
+    auto It = LockHolders.find(reinterpret_cast<uintptr_t>(Lock));
+    if (It != LockHolders.end())
+      Holder = It->second;
+  }
+  if (Holder.Tid == 0) {
+    // The holder acquired before the watchdog was armed (or through an
+    // unguarded path): attribute via the per-thread lock logs.
+    Registry.forEachState([&](ThreadState &S) {
+      if (std::find(S.HeldLocks.begin(), S.HeldLocks.end(), Lock) !=
+          S.HeldLocks.end())
+        Holder.Tid = S.Tid;
+    });
+  }
+  // The wait slice feeds the PR 3 contention tables.
+  onLockWait(Lock, Site);
+  ConflictReport Report;
+  Report.Kind = ReportKind::StallTimeout;
+  Report.Address = reinterpret_cast<uintptr_t>(Lock);
+  Report.WhoTid = currentThread().Tid;
+  Report.WhoSite = Site;
+  Report.LastTid = Holder.Tid;
+  Report.LastSite = Holder.Site;
+  // The verdict is moot for a stall — the waiter keeps waiting either
+  // way — but Policy::Abort still dies here, report printed.
+  (void)guard::onViolation(Config.Guard, Report, Sink);
+}
+
+void Runtime::reportCastStall(const void *Obj, const AccessSite *Site,
+                              int64_t RemainingCount) {
+  ConflictReport Report;
+  Report.Kind = ReportKind::StallTimeout;
+  Report.Address = reinterpret_cast<uintptr_t>(Obj);
+  Report.WhoTid = currentThread().Tid;
+  Report.WhoSite = Site;
+  Report.LastTid = static_cast<unsigned>(RemainingCount);
+  (void)guard::onViolation(Config.Guard, Report, Sink);
+}
+
+bool Runtime::isAddrQuarantined(const void *Addr) {
+  std::lock_guard<std::mutex> G(GuardMutex);
+  return QuarantinedAddrs.count(reinterpret_cast<uintptr_t>(Addr)) != 0;
+}
+
+void Runtime::quarantineAddr(const void *Addr) {
+  std::lock_guard<std::mutex> G(GuardMutex);
+  QuarantinedAddrs.insert(reinterpret_cast<uintptr_t>(Addr));
 }
 
 bool Runtime::checkLockHeld(const void *Lock, const void *Addr,
@@ -238,17 +325,18 @@ bool Runtime::checkLockHeldImpl(const void *Lock, const void *Addr,
   Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
   if (holdsLock(Lock))
     return true;
+  if (Config.Guard.OnViolation == guard::Policy::Quarantine &&
+      isAddrQuarantined(Addr))
+    return true;
   Stats.LockViolations.fetch_add(1, std::memory_order_relaxed);
   ConflictReport Report;
   Report.Kind = ReportKind::LockViolation;
   Report.Address = reinterpret_cast<uintptr_t>(Addr);
   Report.WhoTid = currentThread().Tid;
   Report.WhoSite = Site;
-  Sink.report(Report);
-  if (Config.AbortOnError) {
-    std::fprintf(stderr, "%s", Report.format().c_str());
-    std::abort();
-  }
+  if (guard::onViolation(Config.Guard, Report, Sink) ==
+      guard::Verdict::Quarantine)
+    quarantineAddr(Addr);
   return false;
 }
 
@@ -306,17 +394,18 @@ bool Runtime::checkRwLockHeldForReadImpl(const void *Lock, const void *Addr,
   Stats.LockChecks.fetch_add(1, std::memory_order_relaxed);
   if (holdsLock(Lock) || holdsLockShared(Lock))
     return true;
+  if (Config.Guard.OnViolation == guard::Policy::Quarantine &&
+      isAddrQuarantined(Addr))
+    return true;
   Stats.LockViolations.fetch_add(1, std::memory_order_relaxed);
   ConflictReport Report;
   Report.Kind = ReportKind::LockViolation;
   Report.Address = reinterpret_cast<uintptr_t>(Addr);
   Report.WhoTid = currentThread().Tid;
   Report.WhoSite = Site;
-  Sink.report(Report);
-  if (Config.AbortOnError) {
-    std::fprintf(stderr, "%s", Report.format().c_str());
-    std::abort();
-  }
+  if (guard::onViolation(Config.Guard, Report, Sink) ==
+      guard::Verdict::Quarantine)
+    quarantineAddr(Addr);
   return false;
 }
 
@@ -361,6 +450,20 @@ bool Runtime::checkCastImpl(void *Obj, size_t ObjSize, const AccessSite *Site) {
   // After the source has been nulled and accounted, any remaining counted
   // reference means the object is reachable under its old mode: reject.
   int64_t Count = Rc->getRefCount(reinterpret_cast<uintptr_t>(Obj), TS);
+  // Watchdog: a transient handoff may still hold a counted reference in
+  // another thread. Poll the count down until the drain budget expires,
+  // then file a stall report before the cast verdict (DESIGN.md §12).
+  if (Count > 0 && Config.Rc != RcMode::None &&
+      Config.Guard.WatchdogMillis != 0) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(Config.Guard.WatchdogMillis);
+    while (Count > 0 && std::chrono::steady_clock::now() < Deadline) {
+      std::this_thread::yield();
+      Count = Rc->getRefCount(reinterpret_cast<uintptr_t>(Obj), TS);
+    }
+    if (Count > 0)
+      reportCastStall(Obj, Site, Count);
+  }
   if (Config.Obs) [[unlikely]]
     publishEvent(obs::EventKind::SharingCast, Obj, Count);
   if (Count > 0 && Config.Rc != RcMode::None) {
@@ -370,10 +473,15 @@ bool Runtime::checkCastImpl(void *Obj, size_t ObjSize, const AccessSite *Site) {
     Report.Address = reinterpret_cast<uintptr_t>(Obj);
     Report.WhoTid = TS.Tid;
     Report.WhoSite = Site;
-    Sink.report(Report);
-    if (Config.AbortOnError) {
-      std::fprintf(stderr, "%s", Report.format().c_str());
-      std::abort();
+    if (guard::onViolation(Config.Guard, Report, Sink) ==
+        guard::Verdict::Quarantine) {
+      // Demote: treat the object as racy-equivalent by forgetting its
+      // access history, exactly as a successful cast would.
+      size_t Size = ObjSize;
+      if (Size == 0 && TheHeap->isSharcObject(Obj))
+        Size = TheHeap->allocationSize(Obj);
+      if (Size != 0)
+        Shadow->clearRange(Obj, Size);
     }
     return false;
   }

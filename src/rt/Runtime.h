@@ -29,6 +29,7 @@
 #include "obs/Event.h"
 #include "rt/AccessSite.h"
 #include "rt/Config.h"
+#include "rt/Guard.h"
 #include "rt/Heap.h"
 #include "rt/RefCount.h"
 #include "rt/Report.h"
@@ -36,7 +37,10 @@
 #include "rt/Stats.h"
 #include "rt/ThreadRegistry.h"
 
+#include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 
 namespace sharc {
 namespace rt {
@@ -120,6 +124,29 @@ public:
 
   /// \returns true if the current thread holds \p Lock.
   bool holdsLock(const void *Lock);
+
+  //===--------------------------------------------------------------------===
+  // Stall watchdog (sharc-guard, DESIGN.md §12)
+  //===--------------------------------------------------------------------===
+
+  /// Non-zero when timed lock acquisition / cast-drain waits are armed;
+  /// sharc::Mutex switches to its guarded acquire path.
+  uint64_t watchdogMillis() const { return Config.Guard.WatchdogMillis; }
+
+  /// Records the current thread as the holder of \p Lock with its
+  /// acquisition site, so a later stall report can name it. Called only
+  /// from the watchdog-armed acquire path (cold).
+  void noteLockHolder(const void *Lock, const AccessSite *Site);
+
+  /// Files a StallTimeout report for a lock wait that exceeded the
+  /// watchdog budget: who = the waiter at \p Site, last = the recorded
+  /// holder and its acquisition site. Applies the violation policy
+  /// (under Policy::Abort this does not return).
+  void reportLockStall(const void *Lock, const AccessSite *Site);
+
+  /// Same, for a sharing-cast refcount drain that never reached zero.
+  void reportCastStall(const void *Obj, const AccessSite *Site,
+                       int64_t RemainingCount);
 
   /// Checks that \p Lock is held for an access to \p Addr, filing a
   /// LockViolation report if not.
@@ -239,6 +266,12 @@ private:
                                   const AccessSite *Site);
   bool checkCastImpl(void *Obj, size_t ObjSize, const AccessSite *Site);
 
+  /// Quarantine bookkeeping for lock-check violations (shadow-granule
+  /// quarantine lives in ShadowMemory). Both are consulted only under
+  /// Policy::Quarantine, behind one predictable config-byte compare.
+  bool isAddrQuarantined(const void *Addr);
+  void quarantineAddr(const void *Addr);
+
   RuntimeConfig Config;
   RuntimeStats Stats;
   ReportSink Sink;
@@ -246,6 +279,15 @@ private:
   std::unique_ptr<ShadowMemory> Shadow;
   std::unique_ptr<RefCountEngine> Rc;
   std::unique_ptr<Heap> TheHeap;
+  /// Guard-layer cold state: quarantined lock-check addresses and, when
+  /// the watchdog is armed, who holds which lock (for stall reports).
+  std::mutex GuardMutex;
+  std::unordered_set<uintptr_t> QuarantinedAddrs;
+  struct LockHolderInfo {
+    unsigned Tid = 0;
+    const AccessSite *Site = nullptr;
+  };
+  std::map<uintptr_t, LockHolderInfo> LockHolders;
   /// Monotonically increasing instance id; lets the thread-local state
   /// cache detect a runtime that was shut down and re-initialized.
   uint64_t Generation;

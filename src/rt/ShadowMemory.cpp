@@ -183,8 +183,14 @@ bool ShadowMemory::checkAccessImpl(uintptr_t Addr, size_t Size, bool IsWrite,
         }
 
         if (Conflict) {
-          Ok = false;
-          reportConflict(IsWrite, GranuleAddr, TS, Site, P, Index);
+          if (Config.Guard.OnViolation == guard::Policy::Quarantine &&
+              isGranuleQuarantined(GranuleAddr)) {
+            // Demoted to racy-equivalent: the access proceeds unchecked.
+            Conflict = false;
+          } else {
+            Ok = false;
+            reportConflict(IsWrite, GranuleAddr, TS, Site, P, Index);
+          }
         }
         if (FirstAccess)
           TS.AccessLog.push_back(GranuleAddr);
@@ -217,11 +223,19 @@ void ShadowMemory::reportConflict(bool IsWrite, uintptr_t Addr,
     Stats.WriteConflicts.fetch_add(1, std::memory_order_relaxed);
   else
     Stats.ReadConflicts.fetch_add(1, std::memory_order_relaxed);
-  Sink.report(Report);
-  if (Config.AbortOnError) {
-    std::fprintf(stderr, "%s", Report.format().c_str());
-    std::abort();
-  }
+  if (guard::onViolation(Config.Guard, Report, Sink) ==
+      guard::Verdict::Quarantine)
+    quarantineGranule(Addr);
+}
+
+bool ShadowMemory::isGranuleQuarantined(uintptr_t GranuleAddr) {
+  std::lock_guard<std::mutex> Lock(QuarantineMutex);
+  return QuarantinedGranules.count(GranuleAddr) != 0;
+}
+
+void ShadowMemory::quarantineGranule(uintptr_t GranuleAddr) {
+  std::lock_guard<std::mutex> Lock(QuarantineMutex);
+  QuarantinedGranules.insert(GranuleAddr);
 }
 
 bool ShadowMemory::checkRead(const void *Addr, size_t Size, ThreadState &TS,

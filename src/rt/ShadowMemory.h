@@ -32,6 +32,7 @@
 
 #include "rt/AccessSite.h"
 #include "rt/Config.h"
+#include "rt/Guard.h"
 #include "rt/Report.h"
 #include "rt/Stats.h"
 #include "rt/ThreadRegistry.h"
@@ -39,6 +40,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <unordered_set>
 
 namespace sharc {
 namespace rt {
@@ -97,6 +100,12 @@ private:
   void reportConflict(bool IsWrite, uintptr_t Addr, ThreadState &TS,
                       const AccessSite *Site, Page *P, size_t GranuleIndex);
 
+  /// Quarantine (guard::Policy::Quarantine only): granules demoted to
+  /// racy-equivalent stop firing. Consulted exclusively on the conflict
+  /// (cold) path, behind a config-byte compare.
+  bool isGranuleQuarantined(uintptr_t GranuleAddr);
+  void quarantineGranule(uintptr_t GranuleAddr);
+
   const RuntimeConfig &Config;
   RuntimeStats &Stats;
   ReportSink &Sink;
@@ -107,6 +116,8 @@ private:
 
   size_t GranulesPerPage;
   std::unique_ptr<std::atomic<Page *>[]> Buckets;
+  std::mutex QuarantineMutex;
+  std::unordered_set<uintptr_t> QuarantinedGranules;
 };
 
 } // namespace rt

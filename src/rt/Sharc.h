@@ -15,6 +15,7 @@
 
 #include "rt/Annotations.h"
 #include "rt/Config.h"
+#include "rt/Guard.h"
 #include "rt/Report.h"
 #include "rt/Runtime.h"
 #include "rt/Stats.h"

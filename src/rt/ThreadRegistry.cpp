@@ -6,6 +6,8 @@
 
 #include "rt/ThreadRegistry.h"
 
+#include "rt/Guard.h"
+
 #include <cassert>
 
 using namespace sharc::rt;
@@ -17,6 +19,10 @@ ThreadRegistry::ThreadRegistry(unsigned MaxThreads) : MaxThreads(MaxThreads) {
 ThreadRegistry::~ThreadRegistry() = default;
 
 ThreadState *ThreadRegistry::registerThread() {
+  if (guard::faultThreadReg())
+    guard::fatalInternal(
+        "thread registration failed (injected fault); %u of %u ids in use",
+        getNumLive(), MaxThreads);
   std::lock_guard<std::mutex> Lock(Mutex);
   for (unsigned I = 0; I != MaxThreads; ++I) {
     if (Live[I])
@@ -33,8 +39,12 @@ ThreadState *ThreadRegistry::registerThread() {
       PeakLive = NumLive;
     return Result;
   }
-  assert(false && "thread limit exceeded: raise ShadowBytesPerGranule");
-  return nullptr;
+  // Out of thread ids. This used to be a debug-only assert; in release
+  // builds it would have returned null into code that never checks. Die
+  // with a real diagnostic instead (exit 3, crash hooks flushed).
+  guard::fatalInternal("thread limit exceeded: all %u ids in use; raise "
+                       "RuntimeConfig::ShadowBytesPerGranule",
+                       MaxThreads);
 }
 
 void ThreadRegistry::deregisterThread(ThreadState *State) {

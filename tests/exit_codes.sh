@@ -1,9 +1,13 @@
 #!/bin/sh
 # Pins sharcc's exit-code contract:
-#   2 - usage errors (no input, unknown option, unreadable file)
+#   3 - internal errors and injected faults (malformed SHARC_FAULT,
+#       torn trace writes)
+#   2 - usage errors (no input, unknown option, unreadable file,
+#       malformed policy selection)
 #   1 - static errors, and runtime violations in both report and
-#       fail-stop modes
-#   0 - clean check and clean run
+#       fail-stop modes under the default abort policy
+#   0 - clean check, clean run, and completed runs whose violations
+#       were permitted by --on-violation=continue/quarantine
 #
 # usage: exit_codes.sh <path-to-sharcc> <examples-dir> <fixtures-dir>
 set -u
@@ -35,5 +39,32 @@ expect 1 "runtime violation, report mode" --run --quiet "$EXAMPLES/race_demo.mc"
 expect 1 "runtime violation, fail-stop" --run --fail-stop --quiet "$EXAMPLES/race_demo.mc"
 expect 0 "clean check" --check --quiet "$EXAMPLES/locked_counter.mc"
 expect 0 "clean run" --run --quiet "$EXAMPLES/locked_counter.mc"
+
+expect 0 "violations permitted by continue policy" \
+  --run --quiet --on-violation=continue "$EXAMPLES/race_demo.mc"
+expect 0 "violations permitted by quarantine policy" \
+  --run --quiet --on-violation=quarantine "$EXAMPLES/race_demo.mc"
+expect 2 "malformed --on-violation" \
+  --run --quiet --on-violation=never "$EXAMPLES/race_demo.mc"
+
+expect_env() { # <env-assignment> <expected-exit> <description> <args...>
+  ENVSET=$1
+  WANT=$2
+  WHAT=$3
+  shift 3
+  env "$ENVSET" "$SHARCC" "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    echo "FAIL: $WHAT: expected exit $WANT, got $GOT"
+    STATUS=1
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+expect_env SHARC_POLICY=bogus 2 "malformed SHARC_POLICY" \
+  --run --quiet "$EXAMPLES/race_demo.mc"
+expect_env SHARC_FAULT=bogus 3 "malformed SHARC_FAULT" \
+  --run --quiet --on-violation=continue "$EXAMPLES/race_demo.mc"
 
 exit $STATUS

@@ -1,0 +1,131 @@
+#!/bin/sh
+# End-to-end contract for sharc-guard (DESIGN.md §12):
+#   - violation policies: a racy program dies with exit 1 under the
+#     default abort policy, completes with exit 0 under continue and
+#     quarantine; SHARC_POLICY selects the policy, --on-violation wins;
+#   - fault injection: malformed SHARC_FAULT and torn trace writes exit 3,
+#     crash:N kills the run with SIGSEGV yet leaves a summarizable trace
+#     ending in an AbnormalEnd record;
+#   - partial-trace recovery: summarize/profile over every truncation
+#     prefix of a crashed trace either succeeds or fails with a
+#     diagnostic — never a crash.
+#
+# usage: guard_cli.sh <path-to-sharcc> <path-to-sharc-trace> <examples-dir>
+set -u
+
+SHARCC=$1
+TRACE=$2
+EXAMPLES=$3
+RACY="$EXAMPLES/race_demo.mc"
+STATUS=0
+WORK="${TMPDIR:-/tmp}/sharc_guard_cli_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "FAIL: $1"
+  STATUS=1
+}
+
+expect_exit() { # <expected> <description> <cmd...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT: expected exit $WANT, got $GOT"
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+# --- violation policies ---
+expect_exit 1 "racy run, default abort policy" \
+  "$SHARCC" --run --quiet "$RACY"
+expect_exit 0 "racy run, --on-violation=continue" \
+  "$SHARCC" --run --quiet --on-violation=continue "$RACY"
+expect_exit 0 "racy run, --on-violation=quarantine" \
+  "$SHARCC" --run --quiet --on-violation=quarantine "$RACY"
+expect_exit 2 "malformed --on-violation" \
+  "$SHARCC" --run --quiet --on-violation=sometimes "$RACY"
+
+expect_exit 0 "SHARC_POLICY=continue overrides default" \
+  env SHARC_POLICY=continue "$SHARCC" --run --quiet "$RACY"
+expect_exit 1 "--on-violation=abort beats SHARC_POLICY" \
+  env SHARC_POLICY=continue "$SHARCC" --run --quiet --on-violation=abort "$RACY"
+expect_exit 2 "malformed SHARC_POLICY" \
+  env SHARC_POLICY=bogus "$SHARCC" --run --quiet "$RACY"
+
+# Continue and quarantine still report their violations on stderr.
+"$SHARCC" --run --on-violation=continue "$RACY" >/dev/null 2>"$WORK/cont.txt"
+CONT=$(sed -n 's/^sharcc: .* \([0-9][0-9]*\) violations$/\1/p' "$WORK/cont.txt" | head -1)
+if [ -n "$CONT" ] && [ "$CONT" -gt 0 ]; then
+  echo "ok: continue run reported $CONT violations"
+else
+  fail "continue run reported no violation count"
+fi
+"$SHARCC" --run --on-violation=quarantine "$RACY" >/dev/null 2>"$WORK/quar.txt"
+QUAR=$(sed -n 's/^sharcc: .* \([0-9][0-9]*\) violations$/\1/p' "$WORK/quar.txt" | head -1)
+if [ -n "$QUAR" ] && [ "$QUAR" -gt 0 ] && [ "$QUAR" -le "$CONT" ]; then
+  echo "ok: quarantine run reported $QUAR violations (<= continue's $CONT)"
+else
+  fail "quarantine run reported '$QUAR' violations (continue saw '$CONT')"
+fi
+
+# --- fault injection ---
+expect_exit 3 "malformed SHARC_FAULT" \
+  env SHARC_FAULT=bogus "$SHARCC" --run --quiet --on-violation=continue "$RACY"
+expect_exit 3 "torn trace write" \
+  env SHARC_FAULT=torn-write:40 "$SHARCC" --run --quiet --on-violation=continue \
+  --trace-out "$WORK/torn.strc" "$RACY"
+TORN_SIZE=$(wc -c < "$WORK/torn.strc")
+if [ "$TORN_SIZE" -eq 40 ]; then
+  echo "ok: torn write left a 40-byte prefix"
+else
+  fail "torn write left $TORN_SIZE bytes, expected 40"
+fi
+expect_exit 1 "summarize diagnoses the torn trace" \
+  "$TRACE" summarize "$WORK/torn.strc"
+
+# --- crash-safe traces ---
+SHARC_FAULT=crash:40 "$SHARCC" --run --quiet --on-violation=continue \
+  --trace-out "$WORK/crash.strc" "$RACY" >/dev/null 2>&1
+GOT=$?
+if [ "$GOT" -gt 128 ]; then
+  echo "ok: crash:40 died by signal (exit $GOT)"
+else
+  fail "crash:40 should die by signal, got exit $GOT"
+fi
+[ -s "$WORK/crash.strc" ] || fail "crashed run left no trace file"
+"$TRACE" summarize "$WORK/crash.strc" > "$WORK/crash_sum.txt" 2>&1
+[ $? -eq 0 ] || fail "summarize failed on the crashed trace"
+if grep -q "ABNORMAL END" "$WORK/crash_sum.txt"; then
+  echo "ok: summarize reconstructs the abnormal end"
+else
+  fail "summarize output lacks the ABNORMAL END note"
+fi
+
+# --- partial-trace recovery: every truncation prefix of the crashed ---
+# --- trace summarizes cleanly or fails with a diagnostic.           ---
+FULL=$(wc -c < "$WORK/crash.strc")
+N=0
+SWEEP_OK=1
+while [ "$N" -le "$FULL" ]; do
+  head -c "$N" "$WORK/crash.strc" > "$WORK/prefix.strc"
+  for CMD in summarize profile; do
+    OUT=$("$TRACE" "$CMD" "$WORK/prefix.strc" 2>&1)
+    RC=$?
+    if [ "$RC" -gt 2 ]; then
+      fail "$CMD crashed on a $N-byte prefix (exit $RC)"
+      SWEEP_OK=0
+    elif [ "$RC" -ne 0 ] && [ -z "$OUT" ]; then
+      fail "$CMD failed silently on a $N-byte prefix"
+      SWEEP_OK=0
+    fi
+  done
+  N=$((N + 1))
+done
+[ "$SWEEP_OK" -eq 1 ] && echo "ok: truncation sweep over $FULL bytes"
+
+exit $STATUS
