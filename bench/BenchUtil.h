@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <utility>
@@ -149,6 +150,10 @@ public:
     W.value(buildType());
     W.key("git_rev");
     W.value(gitRev());
+    // Wall-clock stamp so `sharc-trace compare-runs` can order archived
+    // runs chronologically even when file names collide across branches.
+    W.key("unix_time");
+    W.value(static_cast<uint64_t>(std::time(nullptr)));
     W.endObject();
     W.key("rows");
     W.beginArray();

@@ -37,12 +37,17 @@
 #include "obs/MetricsJson.h"
 #include "obs/TraceFile.h"
 #include "rt/Guard.h"
+#include "rt/LiveStats.h"
+#include "rt/StatsServer.h"
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 using namespace sharc;
 
@@ -56,6 +61,9 @@ struct DriverOptions {
   bool Quiet = false;
   std::string TraceOut;   ///< --trace-out: binary .strc event trace.
   std::string MetricsOut; ///< --metrics-out: sharc-metrics-v1 JSON.
+  std::string StatsAddr;  ///< --stats-addr: HOST:PORT live endpoint.
+  uint64_t StatsLingerMs = 0;   ///< --stats-linger-ms: serve after run.
+  uint64_t StatsPollSteps = 1024; ///< --stats-poll-steps: publish rate.
   interp::InterpOptions Interp;
 };
 
@@ -66,6 +74,8 @@ void printUsage(std::FILE *To) {
       "              [--entry NAME] [--max-steps N] [--quiet]\n"
       "              [--trace-out FILE] [--metrics-out FILE] [--profile]\n"
       "              [--on-violation abort|continue|quarantine]\n"
+      "              [--stats-addr HOST:PORT] [--stats-linger-ms N]\n"
+      "              [--stats-poll-steps N]\n"
       "              file.mc\n"
       "\n"
       "modes (default: --run):\n"
@@ -93,9 +103,18 @@ void printUsage(std::FILE *To) {
       "  --profile          record per-site check costs and lock\n"
       "                     contention into the trace (requires\n"
       "                     --trace-out; analyze with sharc-trace profile)\n"
+      "  --stats-addr A     serve live Prometheus metrics (/metrics) and\n"
+      "                     a JSON health document (/health) on HOST:PORT\n"
+      "                     while the run is in flight (sharc-live; port\n"
+      "                     0 picks a free port, printed on stderr)\n"
+      "  --stats-linger-ms N keep serving N ms after the run finishes so\n"
+      "                     a scraper can read the final counters\n"
+      "  --stats-poll-steps N publish a fresh snapshot every N scheduler\n"
+      "                     steps (default 1024; 0 = every step)\n"
       "\n"
       "environment: SHARC_POLICY=abort|continue|quarantine sets the\n"
-      "default violation policy; SHARC_FAULT=oom:N,thread-reg,\n"
+      "default violation policy; SHARC_STATS_ADDR=HOST:PORT arms the\n"
+      "stats endpoint (--stats-addr wins); SHARC_FAULT=oom:N,thread-reg,\n"
       "torn-write:K,lock-timeout,crash:N injects rare failures (tests).\n"
       "\n"
       "exit status: 0 clean (violations permitted by continue/quarantine\n"
@@ -116,6 +135,27 @@ bool parseU64Arg(const char *Flag, const char *Text, uint64_t &Out) {
   return true;
 }
 
+/// Matches a value-taking flag in either spelling, "--flag VALUE" or
+/// "--flag=VALUE". \returns true when Argv[I] is \p Flag; \p Value then
+/// points at the flag's argument, or is null when the argument is
+/// missing (the caller reports usage). Advances \p I past a separate
+/// value argument.
+bool matchValueFlag(const char *Flag, int Argc, char **Argv, int &I,
+                    const char *&Value) {
+  const char *Arg = Argv[I];
+  size_t Len = std::strlen(Flag);
+  if (std::strncmp(Arg, Flag, Len) != 0)
+    return false;
+  if (Arg[Len] == '=') {
+    Value = Arg + Len + 1;
+    return true;
+  }
+  if (Arg[Len] != '\0')
+    return false; // a longer flag sharing this prefix
+  Value = I + 1 < Argc ? Argv[++I] : nullptr;
+  return true;
+}
+
 /// 0 = parsed; 1 = parsed and exit 0 requested (--help); 2 = usage error.
 int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
   // The paper's fail-fast semantics is sharcc's default; SHARC_POLICY
@@ -132,20 +172,14 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
   }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
+    const char *Value = nullptr;
     if (Arg == "--help" || Arg == "-h") {
       printUsage(stdout);
       return 1;
-    } else if (Arg == "--on-violation" ||
-               Arg.compare(0, 15, "--on-violation=") == 0) {
-      const char *Value;
-      if (Arg == "--on-violation") {
-        if (I + 1 >= Argc) {
-          std::fprintf(stderr, "sharcc: --on-violation needs a policy\n");
-          return 2;
-        }
-        Value = Argv[++I];
-      } else {
-        Value = Argv[I] + 15;
+    } else if (matchValueFlag("--on-violation", Argc, Argv, I, Value)) {
+      if (!Value) {
+        std::fprintf(stderr, "sharcc: --on-violation needs a policy\n");
+        return 2;
       }
       if (!guard::parsePolicy(Value, Options.Interp.Guard.OnViolation)) {
         std::fprintf(stderr,
@@ -166,38 +200,58 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       Options.Quiet = true;
     } else if (Arg == "--profile") {
       Options.Interp.Profile = true;
-    } else if (Arg == "--seed") {
-      if (I + 1 >= Argc) {
+    } else if (matchValueFlag("--seed", Argc, Argv, I, Value)) {
+      if (!Value) {
         std::fprintf(stderr, "sharcc: --seed needs a value\n");
         return 2;
       }
-      if (!parseU64Arg("--seed", Argv[++I], Options.Interp.Seed))
+      if (!parseU64Arg("--seed", Value, Options.Interp.Seed))
         return 2;
-    } else if (Arg == "--max-steps") {
-      if (I + 1 >= Argc) {
+    } else if (matchValueFlag("--max-steps", Argc, Argv, I, Value)) {
+      if (!Value) {
         std::fprintf(stderr, "sharcc: --max-steps needs a value\n");
         return 2;
       }
-      if (!parseU64Arg("--max-steps", Argv[++I], Options.Interp.MaxSteps))
+      if (!parseU64Arg("--max-steps", Value, Options.Interp.MaxSteps))
         return 2;
-    } else if (Arg == "--entry") {
-      if (I + 1 >= Argc) {
+    } else if (matchValueFlag("--entry", Argc, Argv, I, Value)) {
+      if (!Value) {
         std::fprintf(stderr, "sharcc: --entry needs a value\n");
         return 2;
       }
-      Options.Interp.EntryPoint = Argv[++I];
-    } else if (Arg == "--trace-out") {
-      if (I + 1 >= Argc) {
+      Options.Interp.EntryPoint = Value;
+    } else if (matchValueFlag("--trace-out", Argc, Argv, I, Value)) {
+      if (!Value || !*Value) {
         std::fprintf(stderr, "sharcc: --trace-out needs a file\n");
         return 2;
       }
-      Options.TraceOut = Argv[++I];
-    } else if (Arg == "--metrics-out") {
-      if (I + 1 >= Argc) {
+      Options.TraceOut = Value;
+    } else if (matchValueFlag("--metrics-out", Argc, Argv, I, Value)) {
+      if (!Value || !*Value) {
         std::fprintf(stderr, "sharcc: --metrics-out needs a file\n");
         return 2;
       }
-      Options.MetricsOut = Argv[++I];
+      Options.MetricsOut = Value;
+    } else if (matchValueFlag("--stats-addr", Argc, Argv, I, Value)) {
+      if (!Value || !*Value) {
+        std::fprintf(stderr, "sharcc: --stats-addr needs HOST:PORT\n");
+        return 2;
+      }
+      Options.StatsAddr = Value;
+    } else if (matchValueFlag("--stats-linger-ms", Argc, Argv, I, Value)) {
+      if (!Value) {
+        std::fprintf(stderr, "sharcc: --stats-linger-ms needs a value\n");
+        return 2;
+      }
+      if (!parseU64Arg("--stats-linger-ms", Value, Options.StatsLingerMs))
+        return 2;
+    } else if (matchValueFlag("--stats-poll-steps", Argc, Argv, I, Value)) {
+      if (!Value) {
+        std::fprintf(stderr, "sharcc: --stats-poll-steps needs a value\n");
+        return 2;
+      }
+      if (!parseU64Arg("--stats-poll-steps", Value, Options.StatsPollSteps))
+        return 2;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "sharcc: unknown option '%s'\n", Arg.c_str());
       return 2;
@@ -218,6 +272,10 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       (!Options.TraceOut.empty() || !Options.MetricsOut.empty())) {
     std::fprintf(stderr,
                  "sharcc: --trace-out/--metrics-out require a run mode\n");
+    return 2;
+  }
+  if ((Options.Infer || Options.CheckOnly) && !Options.StatsAddr.empty()) {
+    std::fprintf(stderr, "sharcc: --stats-addr requires a run mode\n");
     return 2;
   }
   if (Options.Interp.Profile &&
@@ -404,6 +462,37 @@ int main(int Argc, char **Argv) {
   if (Options.Interp.Profile)
     Options.Interp.SourceName = std::string(SM.getFileName(File));
 
+  // sharc-live (DESIGN.md §13): arm the stats endpoint before any
+  // interpreted code runs so a scraper can watch the run in flight.
+  // SHARC_STATS_ADDR arms it without a flag; --stats-addr wins.
+  if (Options.StatsAddr.empty())
+    if (const char *Env = std::getenv("SHARC_STATS_ADDR"))
+      Options.StatsAddr = Env;
+  live::StatsHub StatsHub;
+  std::unique_ptr<live::StatsServer> StatsServer;
+  if (!Options.StatsAddr.empty()) {
+    StatsServer = std::make_unique<live::StatsServer>();
+    std::string StatsError;
+    if (!StatsServer->start(
+            Options.StatsAddr, [&StatsHub] { return StatsHub.load(); },
+            StatsError)) {
+      std::fprintf(stderr, "sharcc: %s\n", StatsError.c_str());
+      return 2;
+    }
+    // Port 0 requests an ephemeral port; tests and tools read the
+    // concrete one off this line.
+    std::fprintf(stderr, "sharcc: stats: listening on %s\n",
+                 StatsServer->boundAddress().c_str());
+    // Seed the hub so a scrape that lands before the first poll sees
+    // the armed policy rather than a default-constructed snapshot.
+    live::LiveSnapshot First;
+    First.Policy = Options.Interp.Guard.OnViolation;
+    First.WatchdogMillis = Options.Interp.Guard.WatchdogMillis;
+    StatsHub.update(First);
+    Options.Interp.Live = &StatsHub;
+    Options.Interp.LivePollSteps = Options.StatsPollSteps;
+  }
+
   interp::Interp Interp(*Prog, Check.getInstrumentation());
   interp::InterpResult Result = Interp.run(Options.Interp);
   std::printf("%s", Result.Output.c_str());
@@ -411,6 +500,22 @@ int main(int Argc, char **Argv) {
   std::string FileName(SM.getFileName(File));
   for (const interp::Violation &V : Result.Violations)
     std::fprintf(stderr, "%s", V.format(FileName).c_str());
+
+  if (StatsServer) {
+    // Publish the final snapshot through the same mapping that writes
+    // the trace's closing stats sample (toStatsSnapshot), so a scrape
+    // after sharc_run_active drops to 0 matches the trace exactly.
+    live::LiveSnapshot Final = StatsHub.load();
+    Final.Stats = interp::toStatsSnapshot(Result);
+    Final.TotalViolations = Result.TotalViolations;
+    Final.Policy = Options.Interp.Guard.OnViolation;
+    Final.WatchdogMillis = Options.Interp.Guard.WatchdogMillis;
+    Final.ThreadsLive = 0;
+    Final.ThreadsSpawned = Result.Stats.ThreadsSpawned;
+    Final.Steps = Result.Stats.Steps;
+    Final.Running = false;
+    StatsHub.update(Final);
+  }
 
   if (!Options.TraceOut.empty()) {
     // Close the trace with a final stats sample so `sharc-trace metrics`
@@ -459,12 +564,19 @@ int main(int Argc, char **Argv) {
   // it to completion exits 0 even if violations were recorded, and only
   // engine-level failures (deadlock, livelock, fail-stop threads)
   // remain fatal.
+  int ExitCode = 0;
   if (Result.PolicyHalted)
-    return 1;
-  if (Options.Interp.Guard.OnViolation == guard::Policy::Abort &&
-      Result.TotalViolations != 0)
-    return 1;
-  if (Result.Deadlocked || Result.OutOfSteps || !Result.Completed)
-    return 1;
-  return 0;
+    ExitCode = 1;
+  else if (Options.Interp.Guard.OnViolation == guard::Policy::Abort &&
+           Result.TotalViolations != 0)
+    ExitCode = 1;
+  else if (Result.Deadlocked || Result.OutOfSteps || !Result.Completed)
+    ExitCode = 1;
+
+  if (StatsServer && Options.StatsLingerMs != 0)
+    // Hold the endpoint open so a scraper can read the final counters
+    // (the run is over; sharc_run_active now reads 0).
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Options.StatsLingerMs));
+  return ExitCode;
 }

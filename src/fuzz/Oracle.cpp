@@ -16,6 +16,7 @@
 #include "minic/Printer.h"
 #include "obs/Summary.h"
 #include "obs/TraceFile.h"
+#include "obs/TraceTail.h"
 #include "rt/Guard.h"
 #include "rt/RefCount.h"
 #include "rt/Report.h"
@@ -55,6 +56,8 @@ const char *sharc::fuzz::failureKindName(FailureKind K) {
     return "trace-mismatch";
   case FailureKind::PolicyMismatch:
     return "policy-mismatch";
+  case FailureKind::TailMismatch:
+    return "tail-mismatch";
   }
   return "unknown";
 }
@@ -320,6 +323,112 @@ std::string checkTraceRoundTrip(obs::TraceWriter &Writer,
   return std::string();
 }
 
+/// Compares the tail parser's decoded TraceData against a batch parse of
+/// the same bytes. Empty string on agreement.
+std::string diffTailData(const obs::TraceData &Tail,
+                         const obs::TraceData &Batch) {
+  std::ostringstream OS;
+  if (Tail.Events.size() != Batch.Events.size()) {
+    OS << "tail decoded " << Tail.Events.size() << " events, batch "
+       << Batch.Events.size();
+    return OS.str();
+  }
+  for (size_t I = 0; I < Tail.Events.size(); ++I) {
+    const obs::Event &A = Tail.Events[I], &B = Batch.Events[I];
+    if (A.K != B.K || A.Tid != B.Tid || A.Addr != B.Addr ||
+        A.Value != B.Value || A.Extra != B.Extra) {
+      OS << "event " << I << " differs between tail and batch parse";
+      return OS.str();
+    }
+  }
+  if (Tail.Samples.size() != Batch.Samples.size() ||
+      Tail.SamplePos != Batch.SamplePos) {
+    OS << "stats sample placement differs between tail and batch parse";
+    return OS.str();
+  }
+  for (size_t I = 0; I < Tail.Samples.size(); ++I)
+    if (Tail.Samples[I] != Batch.Samples[I]) {
+      OS << "stats sample " << I << " differs between tail and batch parse";
+      return OS.str();
+    }
+  return std::string();
+}
+
+/// Oracle 7: the incremental TailParser must agree with the batch parser
+/// on the whole trace and on every prefix of it. The byte-by-byte feed
+/// walks the tail parser through every prefix state in one O(n) pass;
+/// batch prefix parses are sampled (bounded count) since each costs a
+/// full reparse. Returns an empty string on agreement.
+std::string checkTailAgreement(const std::string &Bytes,
+                               const obs::TraceData &Batch) {
+  std::ostringstream OS;
+
+  // (a) Whole-buffer push: one shot.
+  {
+    obs::TailParser P;
+    P.push(Bytes);
+    if (!P.done())
+      return "tail parser not done on a complete trace: " + P.diagnosis();
+    if (std::string D = diffTailData(P.data(), Batch); !D.empty())
+      return "whole-buffer push: " + D;
+  }
+
+  // (b) Byte-by-byte feed: the tail parser visits every prefix of the
+  // stream as an intermediate state and must still land on the batch
+  // result. Chunked for very large traces (same coverage per chunk
+  // boundary, bounded cost).
+  {
+    obs::TailParser P;
+    size_t Chunk = Bytes.size() <= (256u << 10) ? 1 : 251;
+    for (size_t I = 0; I < Bytes.size() && !P.corrupt(); I += Chunk)
+      P.push(std::string_view(Bytes).substr(I, Chunk));
+    if (!P.done())
+      return "incremental tail parse not done: " + P.diagnosis();
+    if (std::string D = diffTailData(P.data(), Batch); !D.empty())
+      return "incremental feed: " + D;
+  }
+
+  // (c) Sampled proper prefixes: the tail parser's diagnosis for a
+  // truncated stream must be the batch parser's error for the same
+  // bytes, and both must have decoded the same record prefix. The
+  // sample set covers the header boundary, evenly spaced interior
+  // cuts, and the last bytes (which truncate the end record).
+  std::vector<size_t> Cuts;
+  for (size_t L = 0; L <= 13 && L < Bytes.size(); ++L)
+    Cuts.push_back(L);
+  for (size_t K = 1; K <= 16; ++K)
+    Cuts.push_back(Bytes.size() * K / 17);
+  for (size_t Back = 1; Back <= 3 && Back < Bytes.size(); ++Back)
+    Cuts.push_back(Bytes.size() - Back);
+  for (size_t L : Cuts) {
+    if (L >= Bytes.size())
+      continue;
+    std::string_view Prefix(Bytes.data(), L);
+    obs::TraceData PData;
+    std::string BatchError;
+    if (obs::parseTrace(Prefix, PData, BatchError)) {
+      OS << "batch parser accepted a " << L << "-byte proper prefix";
+      return OS.str();
+    }
+    obs::TailParser P;
+    P.push(Prefix);
+    if (P.done()) {
+      OS << "tail parser finished on a " << L << "-byte proper prefix";
+      return OS.str();
+    }
+    if (P.diagnosis() != BatchError) {
+      OS << "prefix " << L << ": tail diagnosis \"" << P.diagnosis()
+         << "\" != batch error \"" << BatchError << "\"";
+      return OS.str();
+    }
+    if (std::string D = diffTailData(P.data(), PData); !D.empty()) {
+      OS << "prefix " << L << ": " << D;
+      return OS.str();
+    }
+  }
+  return std::string();
+}
+
 /// Oracle 6: the guard layer must agree across engines and policies.
 /// \p R1 is the base run under Policy::Continue with no cap — the full
 /// violation multiset. Returns an empty string on agreement.
@@ -531,6 +640,28 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
       OS << "seed " << Seed << ": " << Mismatch;
       Out.Detail = OS.str();
       return Out;
+    }
+
+    // Oracle 7: the incremental tail parser must agree with the batch
+    // parser on this trace and all of its prefixes. Reuses oracle 5's
+    // serialised bytes; a fresh batch parse gives the comparison
+    // baseline (checkTraceRoundTrip validated it already).
+    {
+      obs::TraceData Batch;
+      std::string Error;
+      if (!obs::parseTrace(Writer.buffer(), Batch, Error)) {
+        Out.Failure = FailureKind::TailMismatch;
+        Out.Detail = "finished trace does not batch-parse: " + Error;
+        return Out;
+      }
+      if (std::string Mismatch = checkTailAgreement(Writer.buffer(), Batch);
+          !Mismatch.empty()) {
+        Out.Failure = FailureKind::TailMismatch;
+        std::ostringstream OS;
+        OS << "seed " << Seed << ": " << Mismatch;
+        Out.Detail = OS.str();
+        return Out;
+      }
     }
 
     // Oracle 6: policy agreement across engines. First schedule only

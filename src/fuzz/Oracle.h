@@ -31,6 +31,12 @@
 ///      produce the same output and completion with a violation multiset
 ///      contained in the continue run's; a per-kind-capped run must keep
 ///      the total while retaining at most cap-per-kind reports.
+///   7. Tail agreement: feeding the serialised trace to the incremental
+///      TailParser — whole, and again byte-by-byte so every prefix is a
+///      parser state — must reproduce the batch parse exactly (records,
+///      events, stats samples, diagnosis), and on sampled proper
+///      prefixes the tail diagnosis must equal the batch parse error
+///      for the same bytes.
 ///
 /// Parse/type failures on generated programs are generator-contract
 /// violations and count as failures. Analysis or checker rejections are
@@ -63,6 +69,7 @@ enum class FailureKind : uint8_t {
   RcMismatch,     ///< Atomic / Levanoni-Petrank / interpreter counts differ.
   TraceMismatch,  ///< obs trace round-trip disagrees with the run.
   PolicyMismatch, ///< Guard policies disagree across engines or runs.
+  TailMismatch,   ///< Incremental tail parse disagrees with batch parse.
 };
 
 const char *failureKindName(FailureKind K);

@@ -276,6 +276,12 @@ private:
   void profLockReleased(ThreadCtx &T, Addr Lock);
   void publishProfile();
 
+  //===--- sharc-live --------------------------------------------------------
+  /// Publishes a mid-run LiveSnapshot to Options.Live (DESIGN.md §13).
+  /// Called from the scheduler every LivePollSteps steps; the driver
+  /// publishes the final, trace-exact snapshot itself after the run.
+  void publishLive();
+
   void chkRead(ThreadCtx &T, Addr A, const Expr *Node);
   void chkWrite(ThreadCtx &T, Addr A, const Expr *Node);
   void chkLock(ThreadCtx &T, Frame &F, const AccessCheck &Check, Addr A,
@@ -1579,6 +1585,34 @@ void Machine::publishProfile() {
   Options.Sink->selfOverhead(O);
 }
 
+void Machine::publishLive() {
+  live::LiveSnapshot S;
+  // The same mapping the driver uses for the trace's final stats sample
+  // (toStatsSnapshot), applied to the in-flight Result — so counters a
+  // scraper watches converge on exactly the trace's final values.
+  S.Stats = toStatsSnapshot(Result);
+  S.TotalViolations = Result.TotalViolations;
+  S.Policy = Options.Guard.OnViolation;
+  S.WatchdogMillis = Options.Guard.WatchdogMillis;
+  if (Profiling) {
+    // Wait/hold units are scheduler steps, the interpreter's only clock.
+    for (const auto &Entry : ProfLocks) {
+      const LockAgg &Agg = Entry.second;
+      S.LockAcquires += Agg.Acquires;
+      S.LockContended += Agg.Contended;
+      S.LockWaitUnits += Agg.WaitSteps;
+      S.LockHoldUnits += Agg.HoldSteps;
+    }
+  }
+  for (const ThreadCtx &T : Threads)
+    if (T.State != ThreadCtx::St::Done && T.State != ThreadCtx::St::Failed)
+      ++S.ThreadsLive;
+  S.ThreadsSpawned = Result.Stats.ThreadsSpawned;
+  S.Steps = Result.Stats.Steps;
+  S.Running = true;
+  Options.Live->update(S);
+}
+
 InterpResult Machine::runImpl() {
   if (Options.Trace)
     Options.Trace->clear();
@@ -1659,6 +1693,11 @@ InterpResult Machine::runImpl() {
     }
     size_t Pick = Runnable[nextRandom() % Runnable.size()];
     ++Result.Stats.Steps;
+    if (Options.Live) [[unlikely]] {
+      if (Options.LivePollSteps == 0 ||
+          Result.Stats.Steps % Options.LivePollSteps == 0)
+        publishLive();
+    }
     if (Options.CrashAtStep != 0 &&
         Result.Stats.Steps >= Options.CrashAtStep) {
       // Fault injection (SHARC_FAULT=crash:N): die by SIGSEGV mid-run so

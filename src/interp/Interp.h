@@ -37,6 +37,7 @@
 #include "checker/Instrumentation.h"
 #include "minic/AST.h"
 #include "rt/Guard.h"
+#include "rt/LiveStats.h"
 #include "rt/Stats.h"
 
 #include <cstdint>
@@ -150,6 +151,13 @@ struct InterpOptions {
   /// (1-based; 0 = off). Wired from SHARC_FAULT=crash:N by the driver to
   /// test crash-safe trace flushing.
   uint64_t CrashAtStep = 0;
+  /// sharc-live (DESIGN.md §13): when non-null the scheduler publishes a
+  /// LiveSnapshot here every LivePollSteps steps so the driver's stats
+  /// endpoint can serve a mid-run view. Uses only the header-only
+  /// rt/LiveStats.h layer; no sharc_rt link is required. Null (the
+  /// default) costs one predictable branch per scheduler step.
+  live::StatsHub *Live = nullptr;
+  uint64_t LivePollSteps = 1024;
 };
 
 /// Execution statistics, used by tests and the driver's summary.

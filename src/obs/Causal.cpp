@@ -1,0 +1,343 @@
+#include "obs/Causal.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace sharc::obs {
+
+namespace {
+
+/// The two most recent accesses of an address by *distinct* threads,
+/// so a SharingCast by thread T can find the latest foreign access
+/// (the drain it waited on) in O(1).
+struct LastAccess {
+  size_t Idx1 = 0;
+  uint32_t Tid1 = 0;
+  bool Has1 = false;
+  size_t Idx2 = 0; ///< most recent with Tid != Tid1
+  uint32_t Tid2 = 0;
+  bool Has2 = false;
+
+  void note(size_t Idx, uint32_t Tid) {
+    if (Has1 && Tid1 != Tid) {
+      Idx2 = Idx1;
+      Tid2 = Tid1;
+      Has2 = true;
+    }
+    Idx1 = Idx;
+    Tid1 = Tid;
+    Has1 = true;
+  }
+
+  /// Latest access by a thread other than Tid, if any.
+  bool foreign(uint32_t Tid, size_t &Idx) const {
+    if (Has1 && Tid1 != Tid) {
+      Idx = Idx1;
+      return true;
+    }
+    if (Has2 && Tid2 != Tid) {
+      Idx = Idx2;
+      return true;
+    }
+    return false;
+  }
+};
+
+struct Release {
+  size_t Idx = 0;
+  uint32_t Tid = 0;
+  bool Valid = false;
+};
+
+} // namespace
+
+CausalReport buildCausal(const TraceData &Data) {
+  CausalReport R;
+  std::unordered_map<uint32_t, size_t> PrevByTid;
+  std::unordered_map<uint32_t, size_t> ThreadIdx; // tid -> R.Threads index
+  std::unordered_map<uint64_t, size_t> SpawnByToken;
+  // Per lock: last release of any kind (blocks exclusive acquires) and
+  // last exclusive release (all a shared acquire can be blocked by —
+  // readers never block readers).
+  std::unordered_map<uint64_t, Release> LastAnyRelease, LastExclRelease;
+  std::unordered_map<uint64_t, LastAccess> Accesses;
+
+  auto threadOf = [&](uint32_t Tid, size_t Idx) -> ThreadSpan & {
+    auto [It, New] = ThreadIdx.try_emplace(Tid, R.Threads.size());
+    if (New) {
+      ThreadSpan S;
+      S.Tid = Tid;
+      S.FirstEvent = Idx;
+      R.Threads.push_back(S);
+    }
+    return R.Threads[It->second];
+  };
+
+  for (size_t I = 0; I < Data.Events.size(); ++I) {
+    const Event &Ev = Data.Events[I];
+    ThreadSpan &TS = threadOf(Ev.Tid, I);
+    TS.LastEvent = I;
+    ++TS.Events;
+
+    switch (Ev.K) {
+    case EventKind::SpawnEdge:
+      SpawnByToken[Ev.Addr] = I;
+      break;
+    case EventKind::ThreadStart:
+      if (auto It = SpawnByToken.find(Ev.Addr); It != SpawnByToken.end() &&
+                                                Data.Events[It->second].Tid !=
+                                                    Ev.Tid)
+        R.Edges.push_back({It->second, I, HBEdge::Kind::Spawn});
+      break;
+    case EventKind::LockAcquire:
+    case EventKind::SharedLockAcquire: {
+      const auto &Map = Ev.K == EventKind::LockAcquire ? LastAnyRelease
+                                                       : LastExclRelease;
+      if (auto It = Map.find(Ev.Addr);
+          It != Map.end() && It->second.Valid && It->second.Tid != Ev.Tid) {
+        const Release &Rel = It->second;
+        R.Edges.push_back({Rel.Idx, I, HBEdge::Kind::LockHandoff});
+        // Blocked iff the release happened after the waiter was ready:
+        // had the lock been free when the waiter arrived (release index
+        // before its previous event), the acquire was immediate.
+        if (auto Prev = PrevByTid.find(Ev.Tid);
+            Prev != PrevByTid.end() && Rel.Idx > Prev->second) {
+          BlockedSpan B;
+          B.Tid = Ev.Tid;
+          B.HolderTid = Rel.Tid;
+          B.Lock = Ev.Addr;
+          B.ReadyAt = Prev->second;
+          B.ReleaseAt = Rel.Idx;
+          B.AcquireAt = I;
+          TS.BlockedUnits += B.blockedUnits();
+          ++TS.Waits;
+          R.Blocked.push_back(B);
+        }
+      }
+      break;
+    }
+    case EventKind::LockRelease:
+      LastAnyRelease[Ev.Addr] = {I, Ev.Tid, true};
+      LastExclRelease[Ev.Addr] = {I, Ev.Tid, true};
+      break;
+    case EventKind::SharedLockRelease:
+      LastAnyRelease[Ev.Addr] = {I, Ev.Tid, true};
+      break;
+    case EventKind::SharingCast:
+      if (size_t Foreign; Accesses[Ev.Addr].foreign(Ev.Tid, Foreign))
+        R.Edges.push_back({Foreign, I, HBEdge::Kind::CastDrain});
+      break;
+    case EventKind::Read:
+    case EventKind::Write:
+    case EventKind::PtrStore:
+    case EventKind::CastQuery:
+      Accesses[Ev.Addr].note(I, Ev.Tid);
+      break;
+    default:
+      break;
+    }
+    PrevByTid[Ev.Tid] = I;
+  }
+
+  std::sort(R.Threads.begin(), R.Threads.end(),
+            [](const ThreadSpan &A, const ThreadSpan &B) {
+              return A.Tid < B.Tid;
+            });
+
+  // Roll blocked time up by (lock, holder) and join the lock's source
+  // site from any v2 lock-profile record that names it.
+  std::unordered_map<uint64_t, std::string> SiteByLock;
+  for (const LockProfileRecord &L : Data.Locks)
+    if (!L.File.empty() && !SiteByLock.count(L.Lock))
+      SiteByLock[L.Lock] = L.File + ":" + std::to_string(L.Line);
+  std::vector<HolderAttribution> Attr;
+  for (const BlockedSpan &B : R.Blocked) {
+    HolderAttribution *Slot = nullptr;
+    for (HolderAttribution &A : Attr)
+      if (A.Lock == B.Lock && A.HolderTid == B.HolderTid)
+        Slot = &A;
+    if (!Slot) {
+      Attr.push_back({B.Lock, B.HolderTid, 0, 0, {}});
+      Slot = &Attr.back();
+      if (auto It = SiteByLock.find(B.Lock); It != SiteByLock.end())
+        Slot->Site = It->second;
+    }
+    Slot->Units += B.blockedUnits();
+    ++Slot->Waits;
+  }
+  std::sort(Attr.begin(), Attr.end(),
+            [](const HolderAttribution &A, const HolderAttribution &B) {
+              return A.Units != B.Units ? A.Units > B.Units
+                                        : A.Lock < B.Lock;
+            });
+  R.ByHolder = std::move(Attr);
+  return R;
+}
+
+CriticalPath criticalPath(const CausalReport &R, const TraceData &Data) {
+  CriticalPath P;
+  const size_t N = Data.Events.size();
+  if (N == 0)
+    return P;
+
+  // Longest path over a DAG whose edges all point backwards in stream
+  // order: one pass, in order, suffices. Edge weight = index delta.
+  std::vector<uint64_t> Dist(N, 0);
+  std::vector<size_t> Pred(N, SIZE_MAX);
+  std::vector<CriticalPath::Step::Via> Via(N, CriticalPath::Step::Via::Start);
+  std::unordered_map<uint32_t, size_t> PrevByTid;
+  size_t EdgeIdx = 0; // R.Edges is sorted by To
+  auto consider = [&](size_t I, size_t From, CriticalPath::Step::Via V) {
+    uint64_t Cand = Dist[From] + (I - From);
+    if (Cand > Dist[I]) {
+      Dist[I] = Cand;
+      Pred[I] = From;
+      Via[I] = V;
+    }
+  };
+  for (size_t I = 0; I < N; ++I) {
+    if (auto It = PrevByTid.find(Data.Events[I].Tid); It != PrevByTid.end())
+      consider(I, It->second, CriticalPath::Step::Via::Program);
+    for (; EdgeIdx < R.Edges.size() && R.Edges[EdgeIdx].To == I; ++EdgeIdx) {
+      const HBEdge &E = R.Edges[EdgeIdx];
+      CriticalPath::Step::Via V = CriticalPath::Step::Via::Program;
+      switch (E.K) {
+      case HBEdge::Kind::Spawn:
+        V = CriticalPath::Step::Via::Spawn;
+        break;
+      case HBEdge::Kind::LockHandoff:
+        V = CriticalPath::Step::Via::LockHandoff;
+        break;
+      case HBEdge::Kind::CastDrain:
+        V = CriticalPath::Step::Via::CastDrain;
+        break;
+      }
+      consider(I, E.From, V);
+    }
+    PrevByTid[Data.Events[I].Tid] = I;
+  }
+
+  size_t End = 0;
+  for (size_t I = 1; I < N; ++I)
+    if (Dist[I] > Dist[End])
+      End = I;
+  P.TotalUnits = Dist[End];
+
+  std::vector<CriticalPath::Step> Rev;
+  for (size_t I = End;;) {
+    CriticalPath::Step S;
+    S.Event = I;
+    S.V = Via[I];
+    S.Units = Pred[I] == SIZE_MAX ? 0 : I - Pred[I];
+    Rev.push_back(S);
+    if (Pred[I] == SIZE_MAX)
+      break;
+    I = Pred[I];
+  }
+  P.Steps.assign(Rev.rbegin(), Rev.rend());
+  return P;
+}
+
+namespace {
+
+void appendPercent(std::ostringstream &OS, uint64_t Part, uint64_t Whole) {
+  if (Whole == 0)
+    return;
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), " (%.1f%%)",
+                100.0 * double(Part) / double(Whole));
+  OS << Buf;
+}
+
+} // namespace
+
+std::string renderTimeline(const CausalReport &R, const TraceData &Data) {
+  std::ostringstream OS;
+  OS << "causal timeline: " << Data.Events.size() << " events, "
+     << R.Threads.size() << " threads, " << R.Edges.size()
+     << " cross-thread edges (clock = stream index)\n";
+  if (Data.AbnormalEnd)
+    OS << "note: trace records an abnormal end (signal "
+       << Data.AbnormalSignal << "); timeline covers the run up to the "
+       << "crash\n";
+  OS << "\n";
+
+  for (const ThreadSpan &T : R.Threads) {
+    OS << "thread " << T.Tid << ": events [" << T.FirstEvent << ".."
+       << T.LastEvent << "]  span " << T.spanUnits() << "  run "
+       << T.runUnits() << "  blocked " << T.BlockedUnits;
+    if (T.Waits)
+      OS << " over " << T.Waits << (T.Waits == 1 ? " wait" : " waits");
+    appendPercent(OS, T.BlockedUnits, T.spanUnits());
+    OS << "\n";
+    for (const BlockedSpan &B : R.Blocked)
+      if (B.Tid == T.Tid && B.blockedUnits() > 0) {
+        OS << "  blocked [" << B.ReadyAt << ".." << B.ReleaseAt << "] "
+           << B.blockedUnits() << " units on lock 0x" << std::hex << B.Lock
+           << std::dec << " held by thread " << B.HolderTid << "\n";
+      }
+  }
+
+  OS << "\nblocked-time attribution (stream units lost to each holder):\n";
+  if (R.ByHolder.empty()) {
+    OS << "  none — no thread ever waited for another\n";
+  } else {
+    for (const HolderAttribution &A : R.ByHolder) {
+      OS << "  lock 0x" << std::hex << A.Lock << std::dec << " held by thread "
+         << A.HolderTid << ": " << A.Units << " units over " << A.Waits
+         << (A.Waits == 1 ? " wait" : " waits");
+      if (!A.Site.empty())
+        OS << "  (lock site " << A.Site << ")";
+      OS << "\n";
+    }
+  }
+  return OS.str();
+}
+
+std::string renderCriticalPath(const CriticalPath &P, const TraceData &Data) {
+  std::ostringstream OS;
+  if (P.Steps.empty()) {
+    OS << "critical path: empty trace\n";
+    return OS.str();
+  }
+  uint64_t Span = Data.Events.size() > 1 ? Data.Events.size() - 1 : 1;
+  OS << "critical path: " << P.TotalUnits << " of " << Span
+     << " stream units";
+  appendPercent(OS, P.TotalUnits, Span);
+  OS << "\n";
+  OS << "  (no schedule can finish this run in fewer units; shortening "
+        "it needs one of the edges below removed)\n";
+
+  // Compress runs of program-order steps into one segment per stay on
+  // a thread; print each cross-thread edge between segments.
+  size_t SegStart = P.Steps.front().Event;
+  uint64_t SegUnits = 0;
+  auto flush = [&](size_t SegEnd) {
+    OS << "  thread " << Data.Events[SegEnd].Tid << "  events [" << SegStart
+       << ".." << SegEnd << "]  +" << SegUnits << "\n";
+  };
+  for (size_t I = 1; I < P.Steps.size(); ++I) {
+    const CriticalPath::Step &S = P.Steps[I];
+    if (S.V == CriticalPath::Step::Via::Program) {
+      SegUnits += S.Units;
+      continue;
+    }
+    flush(P.Steps[I - 1].Event);
+    const char *Name = S.V == CriticalPath::Step::Via::Spawn ? "spawn"
+                       : S.V == CriticalPath::Step::Via::LockHandoff
+                           ? "lock-handoff"
+                           : "cast-drain";
+    OS << "    --" << Name;
+    if (S.V == CriticalPath::Step::Via::LockHandoff)
+      OS << " lock 0x" << std::hex << Data.Events[S.Event].Addr << std::dec;
+    OS << " -> thread " << Data.Events[S.Event].Tid << "  +" << S.Units
+       << "\n";
+    SegStart = S.Event;
+    SegUnits = 0;
+  }
+  flush(P.Steps.back().Event);
+  return OS.str();
+}
+
+} // namespace sharc::obs

@@ -1,0 +1,144 @@
+// Causal (happens-before) analysis over decoded traces — DESIGN.md §13.
+//
+// The .strc format carries no wall-clock timestamps, but the record
+// stream is a linearisation of the run (per-thread order exact,
+// cross-thread order is drain order), so an event's stream index is a
+// sound logical clock. From it we reconstruct the happens-before graph
+// the runtime enforced — program order, spawn edges, lock hand-offs,
+// and cast drains — and answer the two questions the paper's §6 tuning
+// loop keeps asking: *why* was a thread stalled (blocked-time
+// attribution to the lock holder), and *what chain of dependent work
+// bounds the run* (the critical path). Everything here is pure
+// TraceData-in / tables-out, like Summary.h, so the CLI and the tests
+// share one implementation.
+#ifndef SHARC_OBS_CAUSAL_H
+#define SHARC_OBS_CAUSAL_H
+
+#include "obs/TraceFile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharc::obs {
+
+/// One cross-thread happens-before edge, between event stream indices.
+/// (Program-order edges are implicit — consecutive events of the same
+/// thread — and not materialised.)
+struct HBEdge {
+  enum class Kind : uint8_t {
+    Spawn,       ///< SpawnEdge in the parent -> ThreadStart in the child
+    LockHandoff, ///< Lock(Shared)Release -> next Lock(Shared)Acquire
+    CastDrain,   ///< last foreign access of an address -> SharingCast
+  };
+  size_t From = 0;
+  size_t To = 0;
+  Kind K = Kind::Spawn;
+};
+
+inline const char *hbEdgeKindName(HBEdge::Kind K) {
+  switch (K) {
+  case HBEdge::Kind::Spawn:
+    return "spawn";
+  case HBEdge::Kind::LockHandoff:
+    return "lock-handoff";
+  case HBEdge::Kind::CastDrain:
+    return "cast-drain";
+  }
+  return "?";
+}
+
+/// One interval during which a thread was blocked waiting for a lock.
+/// The waiter's acquire at AcquireAt could not happen before the
+/// holder's release at ReleaseAt; the waiter had been ready since its
+/// own previous event at ReadyAt, so ReleaseAt - ReadyAt stream units
+/// of its time are attributable to the holder.
+struct BlockedSpan {
+  uint32_t Tid = 0;       ///< the waiter
+  uint32_t HolderTid = 0; ///< who it waited for
+  uint64_t Lock = 0;
+  size_t ReadyAt = 0;   ///< waiter's previous event (wait begins)
+  size_t ReleaseAt = 0; ///< holder's release that unblocked it
+  size_t AcquireAt = 0; ///< the waiter's LockAcquire event
+
+  uint64_t blockedUnits() const {
+    return ReleaseAt > ReadyAt ? ReleaseAt - ReadyAt : 0;
+  }
+};
+
+/// Per-thread lifetime and time split, in stream units.
+struct ThreadSpan {
+  uint32_t Tid = 0;
+  size_t FirstEvent = 0;
+  size_t LastEvent = 0;
+  uint64_t Events = 0;
+  uint64_t BlockedUnits = 0;
+  uint64_t Waits = 0; ///< number of blocked spans
+
+  uint64_t spanUnits() const { return LastEvent - FirstEvent; }
+  uint64_t runUnits() const {
+    uint64_t Span = spanUnits();
+    return Span > BlockedUnits ? Span - BlockedUnits : 0;
+  }
+};
+
+/// Blocked time rolled up by (lock, holder): "thread(s) lost N units
+/// waiting for lock L held by thread H". Site is the lock's source
+/// location when a v2 lock-profile record names it, else empty.
+struct HolderAttribution {
+  uint64_t Lock = 0;
+  uint32_t HolderTid = 0;
+  uint64_t Units = 0;
+  uint64_t Waits = 0;
+  std::string Site; ///< "file:line" or ""
+};
+
+struct CausalReport {
+  std::vector<HBEdge> Edges;        ///< sorted by To
+  std::vector<ThreadSpan> Threads;  ///< sorted by Tid
+  std::vector<BlockedSpan> Blocked; ///< in stream order
+  std::vector<HolderAttribution> ByHolder; ///< sorted by Units, desc
+
+  uint64_t totalBlockedUnits() const {
+    uint64_t T = 0;
+    for (const ThreadSpan &S : Threads)
+      T += S.BlockedUnits;
+    return T;
+  }
+};
+
+/// Builds the happens-before graph and blocked-time attribution.
+/// Accepts partial traces (tail-parsed prefixes, crash-truncated and
+/// AbnormalEnd runs): every edge only ever points backwards, so a
+/// prefix yields the prefix of the analysis.
+CausalReport buildCausal(const TraceData &Data);
+
+/// The longest dependency chain through the graph, weighted by stream
+/// units: the run cannot be shorter than this path no matter how many
+/// threads execute in parallel.
+struct CriticalPath {
+  struct Step {
+    size_t Event = 0; ///< event index ending this step
+    /// Edge that led here: Program for same-thread continuation.
+    enum class Via : uint8_t { Start, Program, Spawn, LockHandoff, CastDrain };
+    Via V = Via::Start;
+    uint64_t Units = 0; ///< cost of the edge into this step
+  };
+  std::vector<Step> Steps; ///< in chain order, Steps[0].V == Start
+  uint64_t TotalUnits = 0;
+};
+
+CriticalPath criticalPath(const CausalReport &R, const TraceData &Data);
+
+/// Human-readable per-thread timeline: lifetimes, run/blocked split,
+/// every blocked interval with its holder, and the holder attribution
+/// table. Notes AbnormalEnd and partial traces.
+std::string renderTimeline(const CausalReport &R, const TraceData &Data);
+
+/// Human-readable critical path: compressed per-thread segments joined
+/// by the cross-thread edges, with per-edge cost.
+std::string renderCriticalPath(const CriticalPath &P, const TraceData &Data);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_CAUSAL_H

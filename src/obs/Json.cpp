@@ -422,6 +422,12 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
     Error = "host: " + Error;
     return false;
   }
+  // Optional wall-clock stamp (added for compare-runs); pre-existing
+  // archives without it stay valid, but if present it must be numeric.
+  if (const JsonValue *T = Host->get("unix_time"); T && !T->isNumber()) {
+    Error = "host: field \"unix_time\" is not a number";
+    return false;
+  }
   const JsonValue *Rows = Doc.get("rows");
   if (!Rows || !Rows->isArray()) {
     Error = "missing array field \"rows\"";

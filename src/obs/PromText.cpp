@@ -1,0 +1,222 @@
+#include "obs/PromText.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sharc::obs {
+
+namespace {
+
+bool isNameStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' ||
+         C == ':';
+}
+bool isNameChar(char C) { return isNameStart(C) || (C >= '0' && C <= '9'); }
+bool isLabelStart(char C) {
+  return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_';
+}
+bool isLabelChar(char C) { return isLabelStart(C) || (C >= '0' && C <= '9'); }
+
+bool fail(std::string &Error, size_t LineNo, const std::string &Msg) {
+  Error = "line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+/// Parses a metric name at Pos; empty on error.
+std::string takeName(std::string_view Line, size_t &Pos) {
+  size_t Start = Pos;
+  if (Pos < Line.size() && isNameStart(Line[Pos]))
+    for (++Pos; Pos < Line.size() && isNameChar(Line[Pos]); ++Pos)
+      ;
+  return std::string(Line.substr(Start, Pos - Start));
+}
+
+bool validValue(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  if (Text == "+Inf" || Text == "-Inf" || Text == "NaN") {
+    Out = 0;
+    return true;
+  }
+  const char *Begin = Text.c_str();
+  char *End = nullptr;
+  Out = std::strtod(Begin, &End);
+  return End && *End == '\0' && End != Begin;
+}
+
+} // namespace
+
+bool parsePromText(std::string_view Text, PromDoc &Out, std::string &Error) {
+  Out = PromDoc();
+  // Families that already carry samples: a TYPE arriving afterwards is
+  // an ordering violation.
+  std::vector<std::string> Sampled;
+  auto hasSampled = [&](std::string_view Name) {
+    for (const std::string &S : Sampled)
+      if (S == Name)
+        return true;
+    return false;
+  };
+
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      return fail(Error, LineNo + 1, "missing trailing newline");
+    std::string_view Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    ++LineNo;
+
+    if (Line.empty())
+      continue;
+    if (Line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type" / free-form comment.
+      if (Line.rfind("# HELP ", 0) == 0 || Line.rfind("# TYPE ", 0) == 0) {
+        bool IsType = Line[2] == 'T';
+        size_t P = 7;
+        std::string Name = takeName(Line, P);
+        if (Name.empty())
+          return fail(Error, LineNo, "bad metric name in comment line");
+        if (P >= Line.size() || Line[P] != ' ')
+          return fail(Error, LineNo, "missing text after metric name");
+        std::string Rest(Line.substr(P + 1));
+        if (IsType) {
+          if (Rest != "counter" && Rest != "gauge" && Rest != "histogram" &&
+              Rest != "summary" && Rest != "untyped")
+            return fail(Error, LineNo, "unknown type '" + Rest + "'");
+          if (hasSampled(Name))
+            return fail(Error, LineNo,
+                        "# TYPE for '" + Name + "' after its first sample");
+          // A preceding # HELP may have created the family with an
+          // empty type; a second TYPE (empty or not) is the error.
+          if (PromDoc::Family *F = Out.family(Name)) {
+            if (!F->Type.empty())
+              return fail(Error, LineNo,
+                          "duplicate # TYPE for family '" + Name + "'");
+            F->Type = Rest;
+          } else {
+            Out.Families.push_back({Name, Rest, false});
+          }
+        } else {
+          // HELP must precede TYPE in our exposition; tolerate either
+          // order but record that help exists.
+          for (PromDoc::Family &F : Out.Families)
+            if (F.Name == Name)
+              F.HasHelp = true;
+          if (!Out.family(Name))
+            Out.Families.push_back({Name, "", true});
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{label="value",...}] value [timestamp]
+    size_t P = 0;
+    PromDoc::Sample S;
+    S.Name = takeName(Line, P);
+    if (S.Name.empty())
+      return fail(Error, LineNo, "bad metric name");
+    S.Key = S.Name;
+    if (P < Line.size() && Line[P] == '{') {
+      S.Key += '{';
+      ++P;
+      bool First = true;
+      while (true) {
+        if (P >= Line.size())
+          return fail(Error, LineNo, "unterminated label set");
+        if (Line[P] == '}') {
+          ++P;
+          break;
+        }
+        if (!First) {
+          if (Line[P] != ',')
+            return fail(Error, LineNo, "expected ',' between labels");
+          S.Key += ',';
+          ++P;
+        }
+        First = false;
+        size_t LStart = P;
+        if (P < Line.size() && isLabelStart(Line[P]))
+          for (++P; P < Line.size() && isLabelChar(Line[P]); ++P)
+            ;
+        if (P == LStart)
+          return fail(Error, LineNo, "bad label name");
+        S.Key.append(Line.substr(LStart, P - LStart));
+        if (P + 1 >= Line.size() || Line[P] != '=' || Line[P + 1] != '"')
+          return fail(Error, LineNo, "label needs =\"value\"");
+        S.Key += "=\"";
+        P += 2;
+        while (P < Line.size() && Line[P] != '"') {
+          if (Line[P] == '\\') {
+            if (P + 1 >= Line.size() ||
+                (Line[P + 1] != '\\' && Line[P + 1] != '"' &&
+                 Line[P + 1] != 'n'))
+              return fail(Error, LineNo, "bad escape in label value");
+            S.Key += Line[P];
+            S.Key += Line[P + 1];
+            P += 2;
+            continue;
+          }
+          S.Key += Line[P++];
+        }
+        if (P >= Line.size())
+          return fail(Error, LineNo, "unterminated label value");
+        S.Key += '"';
+        ++P; // closing quote
+      }
+      S.Key += '}';
+    }
+    if (P >= Line.size() || Line[P] != ' ')
+      return fail(Error, LineNo, "expected ' ' before sample value");
+    ++P;
+    size_t VEnd = Line.find(' ', P);
+    S.ValueText = std::string(
+        Line.substr(P, VEnd == std::string_view::npos ? VEnd : VEnd - P));
+    if (!validValue(S.ValueText, S.Value))
+      return fail(Error, LineNo, "bad sample value '" + S.ValueText + "'");
+    if (VEnd != std::string_view::npos) {
+      // Optional timestamp: integer milliseconds.
+      std::string_view Ts = Line.substr(VEnd + 1);
+      if (Ts.empty())
+        return fail(Error, LineNo, "trailing space after value");
+      for (char C : Ts)
+        if (C < '0' || C > '9')
+          return fail(Error, LineNo, "bad timestamp");
+    }
+    const PromDoc::Family *F = Out.family(S.Name);
+    if (!F || F->Type.empty())
+      return fail(Error, LineNo,
+                  "sample for '" + S.Name + "' without a # TYPE line");
+    if (!hasSampled(S.Name))
+      Sampled.push_back(S.Name);
+    Out.Samples.push_back(std::move(S));
+  }
+  if (Out.Samples.empty()) {
+    Error = "no samples";
+    return false;
+  }
+  return true;
+}
+
+bool checkPromMonotonic(const PromDoc &Earlier, const PromDoc &Later,
+                        std::string &Error) {
+  for (const PromDoc::Sample &S : Earlier.Samples) {
+    const PromDoc::Family *F = Earlier.family(S.Name);
+    if (!F || F->Type != "counter")
+      continue;
+    const PromDoc::Sample *L = Later.find(S.Key);
+    if (!L) {
+      Error = "counter series " + S.Key + " vanished in the later scrape";
+      return false;
+    }
+    if (L->Value < S.Value) {
+      Error = "counter " + S.Key + " went backwards: " + S.ValueText +
+              " -> " + L->ValueText;
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace sharc::obs

@@ -1,0 +1,68 @@
+// Strict parser/validator for the Prometheus text exposition format
+// (version 0.0.4) served by the sharc-live stats endpoint — DESIGN.md
+// §13. Deliberately pickier than real Prometheus: every sample's
+// family must carry a preceding `# TYPE` line, names and labels must
+// match the published grammar exactly, and a family may be typed only
+// once. `sharc-trace check-prom` and the endpoint tests are built on
+// this; `check-live` additionally cross-checks sample values against a
+// trace's final stats sample via live::forEachStatMetric.
+#ifndef SHARC_OBS_PROMTEXT_H
+#define SHARC_OBS_PROMTEXT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sharc::obs {
+
+struct PromDoc {
+  struct Family {
+    std::string Name;
+    std::string Type; ///< counter|gauge|histogram|summary|untyped
+    bool HasHelp = false;
+  };
+  struct Sample {
+    std::string Name;     ///< metric family name
+    std::string Key;      ///< canonical "name{k="v",...}" identity
+    std::string ValueText; ///< exact rendering, for integer-exact checks
+    double Value = 0;
+  };
+  std::vector<Family> Families; ///< in declaration order
+  std::vector<Sample> Samples;  ///< in document order
+
+  const Family *family(std::string_view Name) const {
+    for (const Family &F : Families)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+  Family *family(std::string_view Name) {
+    return const_cast<Family *>(std::as_const(*this).family(Name));
+  }
+  const Sample *find(std::string_view Key) const {
+    for (const Sample &S : Samples)
+      if (S.Key == Key)
+        return &S;
+    return nullptr;
+  }
+};
+
+/// Strict parse. Returns false and sets Error (with a line number) on
+/// any grammar violation: bad metric/label names, malformed label
+/// values or escapes, unparsable sample values, a `# TYPE` after the
+/// family's first sample or repeated for the same family, an unknown
+/// type keyword, or a sample whose family was never typed.
+bool parsePromText(std::string_view Text, PromDoc &Out, std::string &Error);
+
+/// Counter monotonicity across two scrapes of the same endpoint: every
+/// counter-typed sample of Earlier must appear in Later with a value
+/// >= its earlier value. Returns false and sets Error on the first
+/// violation or missing series.
+bool checkPromMonotonic(const PromDoc &Earlier, const PromDoc &Later,
+                        std::string &Error);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_PROMTEXT_H

@@ -1,0 +1,297 @@
+#include "obs/ReportHtml.h"
+
+#include "obs/Profile.h"
+#include "obs/Summary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace sharc::obs {
+
+namespace {
+
+void esc(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '&':
+      Out += "&amp;";
+      break;
+    case '<':
+      Out += "&lt;";
+      break;
+    case '>':
+      Out += "&gt;";
+      break;
+    case '"':
+      Out += "&quot;";
+      break;
+    default:
+      Out += C;
+    }
+  }
+}
+
+std::string pct(double Part, double Whole) {
+  if (Whole <= 0)
+    return "0.0";
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", 100.0 * Part / Whole);
+  return Buf;
+}
+
+const char *Css =
+    "body{font:14px/1.45 system-ui,sans-serif;margin:24px;color:#222}"
+    "h1{font-size:20px}h2{font-size:16px;margin-top:28px;"
+    "border-bottom:1px solid #ddd;padding-bottom:4px}"
+    "table{border-collapse:collapse;margin:8px 0}"
+    "td,th{border:1px solid #ccc;padding:3px 8px;text-align:left;"
+    "font-size:13px}th{background:#f4f4f4}"
+    "pre{background:#f8f8f8;border:1px solid #e0e0e0;padding:8px;"
+    "overflow-x:auto;font-size:12px}"
+    ".lane{position:relative;height:18px;background:#cde6c8;"
+    "margin:2px 0 8px;border:1px solid #9c9}"
+    ".lane .blk{position:absolute;top:0;height:100%;background:#e06c5a}"
+    ".lane .off{position:absolute;top:0;height:100%;background:#eee}"
+    ".banner{background:#fff3cd;border:1px solid #e0c868;padding:8px;"
+    "margin:12px 0}"
+    ".muted{color:#777}";
+
+} // namespace
+
+std::string renderHtmlReport(const TraceData &Data, const CausalReport &Causal,
+                             const std::string &Title,
+                             const std::string &TruncationNote) {
+  TraceSummary Sum = summarize(Data);
+  ProfileReport Prof = buildProfile(Data);
+  CriticalPath Path = criticalPath(Causal, Data);
+
+  std::string H;
+  H.reserve(1 << 16);
+  H += "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+       "<meta charset=\"utf-8\">\n<title>sharc-live report: ";
+  esc(H, Title);
+  H += "</title>\n<style>";
+  H += Css;
+  H += "</style>\n</head>\n<body>\n<h1>sharc-live report: ";
+  esc(H, Title);
+  H += "</h1>\n";
+
+  if (!TruncationNote.empty()) {
+    H += "<div class=\"banner\">partial trace: ";
+    esc(H, TruncationNote);
+    H += "</div>\n";
+  }
+  if (Data.AbnormalEnd) {
+    H += "<div class=\"banner\">abnormal end: the producing process died "
+         "mid-run (signal " +
+         std::to_string(Data.AbnormalSignal) +
+         "); its crash hooks flushed this trace</div>\n";
+  }
+
+  // -- Summary ------------------------------------------------------
+  H += "<section id=\"summary\">\n<h2>Summary</h2>\n<table>\n"
+       "<tr><th>events</th><th>threads</th><th>accesses</th>"
+       "<th>conflicts</th><th>blocked units</th><th>stats samples</th>"
+       "</tr>\n<tr>";
+  H += "<td>" + std::to_string(Sum.TotalEvents) + "</td>";
+  H += "<td>" + std::to_string(Causal.Threads.size()) + "</td>";
+  H += "<td>" + std::to_string(Sum.accessCount()) + "</td>";
+  H += "<td>" + std::to_string(Sum.conflictCount()) + "</td>";
+  H += "<td>" + std::to_string(Causal.totalBlockedUnits()) + "</td>";
+  H += "<td>" + std::to_string(Data.Samples.size()) + "</td>";
+  H += "</tr>\n</table>\n";
+  if (!Data.Samples.empty()) {
+    const rt::StatsSnapshot &S = Data.Samples.back();
+    H += "<p class=\"muted\">final stats sample: " +
+         std::to_string(S.dynamicAccesses()) + " dynamic accesses, " +
+         std::to_string(S.totalConflicts()) + " conflicts, " +
+         std::to_string(S.metadataBytes()) + " metadata bytes</p>\n";
+  }
+  H += "</section>\n";
+
+  // -- Timeline -----------------------------------------------------
+  // One lane per thread: grey before first / after last event, green
+  // while runnable, red while blocked on another thread's lock.
+  H += "<section id=\"timeline\">\n<h2>Timeline</h2>\n";
+  const double N = Data.Events.empty() ? 1.0 : double(Data.Events.size());
+  H += "<p class=\"muted\">clock = event stream index; 0.." +
+       std::to_string(Data.Events.size()) +
+       "; red = blocked waiting for a lock</p>\n";
+  for (const ThreadSpan &T : Causal.Threads) {
+    H += "<div>thread " + std::to_string(T.Tid) + " &mdash; run " +
+         std::to_string(T.runUnits()) + ", blocked " +
+         std::to_string(T.BlockedUnits) + " (" +
+         pct(double(T.BlockedUnits), double(T.spanUnits())) + "%)</div>\n";
+    H += "<div class=\"lane\">";
+    // Off-lifetime shading.
+    if (T.FirstEvent > 0)
+      H += "<div class=\"off\" style=\"left:0%;width:" +
+           pct(double(T.FirstEvent), N) + "%\"></div>";
+    if (T.LastEvent + 1 < Data.Events.size())
+      H += "<div class=\"off\" style=\"left:" +
+           pct(double(T.LastEvent), N) + "%;width:" +
+           pct(N - double(T.LastEvent), N) + "%\"></div>";
+    for (const BlockedSpan &B : Causal.Blocked)
+      if (B.Tid == T.Tid && B.blockedUnits() > 0) {
+        char Buf[160];
+        std::snprintf(Buf, sizeof(Buf),
+                      "<div class=\"blk\" style=\"left:%s%%;width:%s%%\" "
+                      "title=\"blocked %llu units on lock 0x%llx held by "
+                      "thread %u\"></div>",
+                      pct(double(B.ReadyAt), N).c_str(),
+                      pct(double(B.blockedUnits()), N).c_str(),
+                      static_cast<unsigned long long>(B.blockedUnits()),
+                      static_cast<unsigned long long>(B.Lock), B.HolderTid);
+        H += Buf;
+      }
+    H += "</div>\n";
+  }
+  if (!Causal.ByHolder.empty()) {
+    H += "<table>\n<tr><th>lock</th><th>holder</th><th>blocked units</th>"
+         "<th>waits</th><th>site</th></tr>\n";
+    for (const HolderAttribution &A : Causal.ByHolder) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                    static_cast<unsigned long long>(A.Lock));
+      H += "<tr><td>";
+      H += Buf;
+      H += "</td><td>thread " + std::to_string(A.HolderTid) + "</td><td>" +
+           std::to_string(A.Units) + "</td><td>" + std::to_string(A.Waits) +
+           "</td><td>";
+      esc(H, A.Site.empty() ? std::string("-") : A.Site);
+      H += "</td></tr>\n";
+    }
+    H += "</table>\n";
+  } else {
+    H += "<p class=\"muted\">no blocked time: no thread ever waited for "
+         "another</p>\n";
+  }
+  H += "</section>\n";
+
+  // -- Critical path ------------------------------------------------
+  H += "<section id=\"critical-path\">\n<h2>Critical path</h2>\n<pre>";
+  esc(H, renderCriticalPath(Path, Data));
+  H += "</pre>\n</section>\n";
+
+  // -- Hot sites (v2 profile records) -------------------------------
+  H += "<section id=\"hot-sites\">\n<h2>Hot sites</h2>\n";
+  if (Prof.Sites.empty()) {
+    H += "<p class=\"muted\">no profile records in this trace (run with "
+         "sharcc --profile to collect them)</p>\n";
+  } else {
+    H += "<table>\n<tr><th>site</th><th>lvalue</th><th>kind</th>"
+         "<th>count</th><th>cost</th><th>threads</th></tr>\n";
+    size_t Shown = 0;
+    for (const ProfileReport::Site &S : Prof.Sites) {
+      if (++Shown > 20)
+        break;
+      H += "<tr><td>";
+      esc(H, S.known() ? S.File + ":" + std::to_string(S.Line)
+                       : std::string("(unattributed)"));
+      H += "</td><td>";
+      esc(H, S.LValue);
+      H += "</td><td>";
+      esc(H, checkKindName(S.Kind));
+      H += "</td><td>" + std::to_string(S.Count) + "</td><td>" +
+           std::to_string(S.cost()) + "</td><td>" +
+           std::to_string(S.Tids.size()) + "</td></tr>\n";
+    }
+    H += "</table>\n";
+  }
+  H += "</section>\n";
+
+  // -- Violations ---------------------------------------------------
+  H += "<section id=\"violations\">\n<h2>Violations</h2>\n";
+  if (Sum.Conflicts.empty() && !Data.AbnormalEnd) {
+    H += "<p class=\"muted\">none</p>\n";
+  } else {
+    H += "<table>\n<tr><th>stream pos</th><th>kind</th><th>thread</th>"
+         "<th>addr</th><th>line</th><th>prev line</th></tr>\n";
+    for (const TraceSummary::ConflictEntry &C : Sum.Conflicts) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                    static_cast<unsigned long long>(C.Ev.Addr));
+      H += "<tr><td>" + std::to_string(C.Pos) + "</td><td>";
+      esc(H, conflictKindName(conflictKindOf(C.Ev.Extra)));
+      H += "</td><td>" + std::to_string(C.Ev.Tid) + "</td><td>";
+      H += Buf;
+      H += "</td><td>" + std::to_string(conflictWhoLine(C.Ev.Extra)) +
+           "</td><td>" + std::to_string(conflictLastLine(C.Ev.Extra)) +
+           "</td></tr>\n";
+    }
+    H += "</table>\n";
+    if (Data.AbnormalEnd) {
+      H += "<p>at death the producer had seen " +
+           std::to_string(Data.AbnormalTotalViolations) +
+           " violation(s)";
+      for (unsigned K = 0; K < NumConflictKinds; ++K)
+        if (Data.AbnormalConflictCounts[K])
+          H += std::string("; ") +
+               conflictKindName(static_cast<ConflictKind>(K)) + ": " +
+               std::to_string(Data.AbnormalConflictCounts[K]);
+      H += "</p>\n";
+    }
+  }
+  H += "</section>\n</body>\n</html>\n";
+  return H;
+}
+
+bool validateHtmlReport(std::string_view Html, std::string &Error) {
+  if (Html.rfind("<!doctype html>", 0) != 0) {
+    Error = "missing <!doctype html> prologue";
+    return false;
+  }
+  if (Html.find("<meta charset=\"utf-8\">") == std::string_view::npos) {
+    Error = "missing UTF-8 charset declaration";
+    return false;
+  }
+  for (const char *Id : {"id=\"summary\"", "id=\"timeline\"",
+                         "id=\"critical-path\"", "id=\"hot-sites\"",
+                         "id=\"violations\""})
+    if (Html.find(Id) == std::string_view::npos) {
+      Error = std::string("missing required section ") + Id;
+      return false;
+    }
+  // Self-contained: no external fetches of any kind.
+  for (const char *Needle : {"src=", "href=\"http", "url(", "@import"})
+    if (Html.find(Needle) != std::string_view::npos) {
+      Error = std::string("external reference marker '") + Needle + "'";
+      return false;
+    }
+
+  // Balanced open/close for every container tag we emit. A linear scan
+  // with one depth counter per tag suffices — we never emit them
+  // crossing (and a crossing would still leave some counter broken).
+  const char *Tags[] = {"html", "head",  "body", "section", "table",
+                        "tr",   "td",    "th",   "div",     "pre",
+                        "h1",   "h2",    "p",    "style",   "title"};
+  for (const char *Tag : Tags) {
+    std::string Open = std::string("<") + Tag;
+    std::string Close = std::string("</") + Tag + ">";
+    long Depth = 0;
+    for (size_t I = 0; (I = Html.find('<', I)) != std::string_view::npos;
+         ++I) {
+      if (Html.compare(I, Close.size(), Close) == 0) {
+        if (--Depth < 0) {
+          Error = std::string("unbalanced </") + Tag + ">";
+          return false;
+        }
+      } else if (Html.compare(I, Open.size(), Open) == 0) {
+        // Require a delimiter so "<tr" does not match "<track" etc.
+        char Next = I + Open.size() < Html.size() ? Html[I + Open.size()]
+                                                  : '\0';
+        if (Next == '>' || Next == ' ')
+          ++Depth;
+      }
+    }
+    if (Depth != 0) {
+      Error = std::string("unbalanced <") + Tag + ">";
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace sharc::obs

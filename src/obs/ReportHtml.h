@@ -1,0 +1,36 @@
+// Self-contained HTML report for one .strc trace — DESIGN.md §13.
+//
+// `sharc-trace report` renders a single file with zero external
+// references: run summary, the per-thread causal timeline with
+// blocked-time bars, the critical path, hot sites from v2 profile
+// records, and the violation list. Like export-chrome, the emitted
+// document is validated against its own structural schema before it is
+// written, so a rendering bug fails loudly instead of shipping a
+// broken page.
+#ifndef SHARC_OBS_REPORTHTML_H
+#define SHARC_OBS_REPORTHTML_H
+
+#include "obs/Causal.h"
+#include "obs/TraceFile.h"
+
+#include <string>
+#include <string_view>
+
+namespace sharc::obs {
+
+/// Renders the full report. \p Title names the trace (usually its
+/// path); \p TruncationNote, when non-empty, is surfaced in a banner
+/// for partial (tail-parsed) traces.
+std::string renderHtmlReport(const TraceData &Data, const CausalReport &Causal,
+                             const std::string &Title,
+                             const std::string &TruncationNote = {});
+
+/// Structural self-validation of a rendered report: doctype, UTF-8
+/// charset, balanced container tags, all five required section ids
+/// (summary, timeline, critical-path, hot-sites, violations), and no
+/// external fetches (src attributes, http(s) hrefs, CSS url()).
+bool validateHtmlReport(std::string_view Html, std::string &Error);
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_REPORTHTML_H

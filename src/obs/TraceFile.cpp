@@ -233,166 +233,250 @@ bool TraceWriter::writeToFile(const std::string &Path, std::string &Error) {
   return true;
 }
 
-bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
-  Out = TraceData();
-  if (Buf.size() < sizeof(TraceMagic) + 4) {
+namespace {
+
+/// Field reader that, unlike the bare readVarint/readString helpers,
+/// distinguishes "ran out of bytes" (more input could complete the
+/// record — the incremental TailParser should wait) from structural
+/// damage (over-long varint, oversize string — no amount of further
+/// bytes helps). Batch parsing reports both with the same message, so
+/// the distinction only affects the RecordParse outcome, never the
+/// error string.
+struct Cursor {
+  std::string_view Buf;
+  size_t Pos;
+  bool Short = false; ///< hit the end of Buf mid-field
+  bool Bad = false;   ///< structurally invalid field
+
+  bool varint(uint64_t &Out) {
+    uint64_t V = 0;
+    for (unsigned Shift = 0; Shift < 70; Shift += 7) {
+      if (Pos >= Buf.size()) {
+        Short = true;
+        return false;
+      }
+      uint8_t B = static_cast<uint8_t>(Buf[Pos++]);
+      V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80)) {
+        Out = V;
+        return true;
+      }
+    }
+    Bad = true; // over-long varint
+    return false;
+  }
+
+  bool zigzag(int64_t &Out) {
+    uint64_t Raw;
+    if (!varint(Raw))
+      return false;
+    Out = static_cast<int64_t>((Raw >> 1) ^ (~(Raw & 1) + 1));
+    return true;
+  }
+
+  bool str(std::string &Out) {
+    uint64_t Len;
+    if (!varint(Len))
+      return false;
+    if (Len > (1u << 20)) {
+      Bad = true;
+      return false;
+    }
+    if (Pos + Len > Buf.size()) {
+      Short = true;
+      return false;
+    }
+    Out.assign(Buf.data() + Pos, Len);
+    Pos += Len;
+    return true;
+  }
+};
+
+} // namespace
+
+RecordParse parseTraceHeader(std::string_view Buf, size_t &Pos,
+                             uint32_t &Version, std::string &Error) {
+  if (Buf.size() < Pos + sizeof(TraceMagic) + 4) {
     Error = "trace too short for header";
-    return false;
+    return RecordParse::NeedMore;
   }
-  if (std::memcmp(Buf.data(), TraceMagic, sizeof(TraceMagic)) != 0) {
+  if (std::memcmp(Buf.data() + Pos, TraceMagic, sizeof(TraceMagic)) != 0) {
     Error = "bad magic (not a SharC trace)";
-    return false;
+    return RecordParse::Corrupt;
   }
-  uint32_t Version = 0;
+  Version = 0;
   for (unsigned I = 0; I < 4; ++I)
-    Version |= static_cast<uint32_t>(
-                   static_cast<uint8_t>(Buf[sizeof(TraceMagic) + I]))
+    Version |= static_cast<uint32_t>(static_cast<uint8_t>(
+                   Buf[Pos + sizeof(TraceMagic) + I]))
                << (8 * I);
   if (Version < MinTraceVersion || Version > TraceVersion) {
     Error = "unsupported trace version " + std::to_string(Version) +
             " (supported: " + std::to_string(MinTraceVersion) + ".." +
             std::to_string(TraceVersion) + ")";
-    return false;
+    return RecordParse::Corrupt;
   }
+  Pos += sizeof(TraceMagic) + 4;
+  return RecordParse::Ok;
+}
 
-  size_t Pos = sizeof(TraceMagic) + 4;
+RecordParse parseOneRecord(std::string_view Buf, size_t &Pos, TraceData &Out,
+                           uint64_t &Records, std::string &Error) {
+  const size_t Start = Pos;
+  if (Pos >= Buf.size()) {
+    Error = "truncated trace: missing end record";
+    return RecordParse::NeedMore;
+  }
+  Cursor C{Buf, Pos};
+  uint8_t Tag = static_cast<uint8_t>(Buf[C.Pos++]);
+  // A field-read failure either needs more bytes (rewind to the tag so
+  // the caller can retry) or is unfixable; the message is the one batch
+  // parsing reports for a trace cut here, in both cases.
+  auto Cut = [&](const char *Msg) {
+    Error = Msg;
+    Pos = Start;
+    return C.Bad ? RecordParse::Corrupt : RecordParse::NeedMore;
+  };
+
+  if (Tag == EndRecordTag) {
+    uint64_t Declared;
+    if (!C.varint(Declared))
+      return Cut("truncated trace: unreadable end record");
+    if (Declared != Records) {
+      Error = "corrupt trace: end record declares " +
+              std::to_string(Declared) + " records, saw " +
+              std::to_string(Records);
+      Pos = Start;
+      return RecordParse::Corrupt;
+    }
+    Pos = C.Pos;
+    return RecordParse::End;
+  }
+  if (Tag == StatsRecordTag) {
+    uint64_t F[17];
+    for (uint64_t &V : F)
+      if (!C.varint(V))
+        return Cut("truncated trace: cut mid stats record");
+    rt::StatsSnapshot S;
+    fieldsToStats(F, S);
+    Out.Samples.push_back(S);
+    Out.SamplePos.push_back(Out.Events.size());
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag == SiteProfileTag) {
+    SiteProfileRecord R;
+    uint64_t Tid, Kind, Line, Count, Bytes, Cycles, Samples;
+    if (!C.varint(Tid) || !C.varint(Kind) || !C.varint(Line) ||
+        !C.str(R.File) || !C.str(R.LValue) || !C.varint(Count) ||
+        !C.varint(Bytes) || !C.varint(Cycles) || !C.varint(Samples))
+      return Cut("truncated trace: cut mid site-profile record");
+    if (Kind >= NumCheckKinds) {
+      Error = "corrupt trace: unknown check kind " + std::to_string(Kind);
+      Pos = Start;
+      return RecordParse::Corrupt;
+    }
+    R.Tid = static_cast<uint32_t>(Tid);
+    R.Kind = static_cast<CheckKind>(Kind);
+    R.Line = static_cast<uint32_t>(Line);
+    R.Count = Count;
+    R.Bytes = Bytes;
+    R.Cycles = Cycles;
+    R.Samples = Samples;
+    Out.Sites.push_back(std::move(R));
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag == LockProfileTag) {
+    LockProfileRecord R;
+    uint64_t Tid, Line;
+    bool Ok = C.varint(Tid) && C.varint(R.Lock) && C.varint(Line) &&
+              C.str(R.File) && C.varint(R.Acquires) &&
+              C.varint(R.Contended) && C.varint(R.WaitCycles) &&
+              C.varint(R.HoldCycles);
+    for (uint64_t &V : R.WaitHist)
+      Ok = Ok && C.varint(V);
+    for (uint64_t &V : R.HoldHist)
+      Ok = Ok && C.varint(V);
+    if (!Ok)
+      return Cut("truncated trace: cut mid lock-profile record");
+    R.Tid = static_cast<uint32_t>(Tid);
+    R.Line = static_cast<uint32_t>(Line);
+    Out.Locks.push_back(std::move(R));
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag == AbnormalEndTag) {
+    uint64_t Signal, Policy, Total;
+    uint64_t Counts[NumConflictKinds];
+    if (!C.varint(Signal) || !C.varint(Policy) || !C.varint(Total))
+      return Cut("truncated trace: cut mid abnormal-end record");
+    for (uint64_t &V : Counts)
+      if (!C.varint(V))
+        return Cut("truncated trace: cut mid abnormal-end record");
+    Out.AbnormalEnd = true;
+    Out.AbnormalSignal = static_cast<uint32_t>(Signal);
+    Out.AbnormalPolicy = static_cast<uint8_t>(Policy);
+    Out.AbnormalTotalViolations = Total;
+    std::memcpy(Out.AbnormalConflictCounts, Counts, sizeof(Counts));
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag == SelfOverheadTag) {
+    SelfOverheadRecord R;
+    uint64_t Tid;
+    if (!C.varint(Tid) || !C.varint(R.Ops) || !C.varint(R.Cycles) ||
+        !C.varint(R.Samples) || !C.varint(R.DrainCycles) ||
+        !C.varint(R.TableBytes))
+      return Cut("truncated trace: cut mid self-overhead record");
+    R.Tid = static_cast<uint32_t>(Tid);
+    Out.Overheads.push_back(R);
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag == 0 || Tag > NumEventKinds) {
+    Error = "corrupt trace: unknown record tag " + std::to_string(Tag);
+    Pos = Start;
+    return RecordParse::Corrupt;
+  }
+  Event Ev;
+  Ev.K = static_cast<EventKind>(Tag - 1);
+  uint64_t Tid;
+  if (!C.varint(Tid) || !C.varint(Ev.Addr) || !C.zigzag(Ev.Value) ||
+      !C.varint(Ev.Extra))
+    return Cut("truncated trace: cut mid event record");
+  Ev.Tid = static_cast<uint32_t>(Tid);
+  Out.Events.push_back(Ev);
+  ++Records;
+  Pos = C.Pos;
+  return RecordParse::Ok;
+}
+
+bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
+  Out = TraceData();
+  size_t Pos = 0;
+  uint32_t Version = 0;
+  if (parseTraceHeader(Buf, Pos, Version, Error) != RecordParse::Ok)
+    return false;
   uint64_t Records = 0;
   while (true) {
-    if (Pos >= Buf.size()) {
-      Error = "truncated trace: missing end record";
-      return false;
-    }
-    uint8_t Tag = static_cast<uint8_t>(Buf[Pos++]);
-    if (Tag == EndRecordTag) {
-      uint64_t Declared;
-      if (!readVarint(Buf, Pos, Declared)) {
-        Error = "truncated trace: unreadable end record";
-        return false;
-      }
-      if (Declared != Records) {
-        Error = "corrupt trace: end record declares " +
-                std::to_string(Declared) + " records, saw " +
-                std::to_string(Records);
-        return false;
-      }
+    switch (parseOneRecord(Buf, Pos, Out, Records, Error)) {
+    case RecordParse::Ok:
+      break;
+    case RecordParse::End:
       if (Pos != Buf.size()) {
         Error = "corrupt trace: trailing bytes after end record";
         return false;
       }
       return true;
+    case RecordParse::NeedMore:
+    case RecordParse::Corrupt:
+      return false; // Error already set
     }
-    if (Tag == StatsRecordTag) {
-      uint64_t F[17];
-      for (uint64_t &V : F)
-        if (!readVarint(Buf, Pos, V)) {
-          Error = "truncated trace: cut mid stats record";
-          return false;
-        }
-      rt::StatsSnapshot S;
-      fieldsToStats(F, S);
-      Out.Samples.push_back(S);
-      Out.SamplePos.push_back(Out.Events.size());
-      ++Records;
-      continue;
-    }
-    if (Tag == SiteProfileTag) {
-      SiteProfileRecord R;
-      uint64_t Tid, Kind, Line, Count, Bytes, Cycles, Samples;
-      if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, Kind) ||
-          !readVarint(Buf, Pos, Line) || !readString(Buf, Pos, R.File) ||
-          !readString(Buf, Pos, R.LValue) || !readVarint(Buf, Pos, Count) ||
-          !readVarint(Buf, Pos, Bytes) || !readVarint(Buf, Pos, Cycles) ||
-          !readVarint(Buf, Pos, Samples)) {
-        Error = "truncated trace: cut mid site-profile record";
-        return false;
-      }
-      if (Kind >= NumCheckKinds) {
-        Error = "corrupt trace: unknown check kind " + std::to_string(Kind);
-        return false;
-      }
-      R.Tid = static_cast<uint32_t>(Tid);
-      R.Kind = static_cast<CheckKind>(Kind);
-      R.Line = static_cast<uint32_t>(Line);
-      R.Count = Count;
-      R.Bytes = Bytes;
-      R.Cycles = Cycles;
-      R.Samples = Samples;
-      Out.Sites.push_back(std::move(R));
-      ++Records;
-      continue;
-    }
-    if (Tag == LockProfileTag) {
-      LockProfileRecord R;
-      uint64_t Tid, Line;
-      bool Ok = readVarint(Buf, Pos, Tid) && readVarint(Buf, Pos, R.Lock) &&
-                readVarint(Buf, Pos, Line) && readString(Buf, Pos, R.File) &&
-                readVarint(Buf, Pos, R.Acquires) &&
-                readVarint(Buf, Pos, R.Contended) &&
-                readVarint(Buf, Pos, R.WaitCycles) &&
-                readVarint(Buf, Pos, R.HoldCycles);
-      for (uint64_t &V : R.WaitHist)
-        Ok = Ok && readVarint(Buf, Pos, V);
-      for (uint64_t &V : R.HoldHist)
-        Ok = Ok && readVarint(Buf, Pos, V);
-      if (!Ok) {
-        Error = "truncated trace: cut mid lock-profile record";
-        return false;
-      }
-      R.Tid = static_cast<uint32_t>(Tid);
-      R.Line = static_cast<uint32_t>(Line);
-      Out.Locks.push_back(std::move(R));
-      ++Records;
-      continue;
-    }
-    if (Tag == AbnormalEndTag) {
-      uint64_t Signal, Policy, Total;
-      if (!readVarint(Buf, Pos, Signal) || !readVarint(Buf, Pos, Policy) ||
-          !readVarint(Buf, Pos, Total)) {
-        Error = "truncated trace: cut mid abnormal-end record";
-        return false;
-      }
-      for (uint64_t &C : Out.AbnormalConflictCounts)
-        if (!readVarint(Buf, Pos, C)) {
-          Error = "truncated trace: cut mid abnormal-end record";
-          return false;
-        }
-      Out.AbnormalEnd = true;
-      Out.AbnormalSignal = static_cast<uint32_t>(Signal);
-      Out.AbnormalPolicy = static_cast<uint8_t>(Policy);
-      Out.AbnormalTotalViolations = Total;
-      ++Records;
-      continue;
-    }
-    if (Tag == SelfOverheadTag) {
-      SelfOverheadRecord R;
-      uint64_t Tid;
-      if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, R.Ops) ||
-          !readVarint(Buf, Pos, R.Cycles) || !readVarint(Buf, Pos, R.Samples) ||
-          !readVarint(Buf, Pos, R.DrainCycles) ||
-          !readVarint(Buf, Pos, R.TableBytes)) {
-        Error = "truncated trace: cut mid self-overhead record";
-        return false;
-      }
-      R.Tid = static_cast<uint32_t>(Tid);
-      Out.Overheads.push_back(R);
-      ++Records;
-      continue;
-    }
-    if (Tag == 0 || Tag > NumEventKinds) {
-      Error = "corrupt trace: unknown record tag " + std::to_string(Tag);
-      return false;
-    }
-    Event Ev;
-    Ev.K = static_cast<EventKind>(Tag - 1);
-    uint64_t Tid;
-    if (!readVarint(Buf, Pos, Tid) || !readVarint(Buf, Pos, Ev.Addr) ||
-        !readZigzag(Buf, Pos, Ev.Value) || !readVarint(Buf, Pos, Ev.Extra)) {
-      Error = "truncated trace: cut mid event record";
-      return false;
-    }
-    Ev.Tid = static_cast<uint32_t>(Tid);
-    Out.Events.push_back(Ev);
-    ++Records;
   }
 }
 

@@ -143,6 +143,38 @@ struct TraceData {
   uint64_t AbnormalConflictCounts[NumConflictKinds] = {};
 };
 
+/// Outcome of decoding one header or record from a (possibly still
+/// growing) byte stream. parseTrace and the incremental TailParser are
+/// both built on parseTraceHeader/parseOneRecord, so batch and tail
+/// parsing agree on every byte prefix by construction — the property
+/// fuzz oracle 7 (tail-vs-batch) checks.
+enum class RecordParse : uint8_t {
+  Ok,       ///< One record decoded; Out updated, Records incremented.
+  End,      ///< The end record was decoded and its count matched.
+  NeedMore, ///< Buf ends mid-record. Pos is left at the record's tag
+            ///< byte so the caller can retry with more bytes; Error
+            ///< holds the truncation message a batch parse reports for
+            ///< this cut.
+  Corrupt,  ///< Unrecoverable structural damage; Error set. More bytes
+            ///< cannot fix it.
+};
+
+/// Parses the magic + version header at Pos. Ok advances Pos past the
+/// header and sets Version. NeedMore means fewer than 12 bytes were
+/// available (Pos unchanged); Corrupt means bad magic or an unsupported
+/// version.
+RecordParse parseTraceHeader(std::string_view Buf, size_t &Pos,
+                             uint32_t &Version, std::string &Error);
+
+/// Decodes the single record whose tag byte is at Pos. Ok appends the
+/// decoded record to Out and increments Records. End consumes the end
+/// record and verifies its declared count against Records. NeedMore
+/// (including Pos == Buf.size(), the "missing end record" cut) leaves
+/// Pos at the tag byte and Out untouched. Corrupt reports unknown tags,
+/// unknown check kinds, and end-record count mismatches.
+RecordParse parseOneRecord(std::string_view Buf, size_t &Pos, TraceData &Out,
+                           uint64_t &Records, std::string &Error);
+
 /// Decodes a complete trace image. Returns false and sets Error on bad
 /// magic, unsupported version, unknown tags, truncation (including a
 /// missing end record), or a record-count mismatch.

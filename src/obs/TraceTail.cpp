@@ -1,0 +1,67 @@
+#include "obs/TraceTail.h"
+
+namespace sharc::obs {
+
+size_t TailParser::push(std::string_view Bytes) {
+  BytesSeen += Bytes.size();
+  if (St == State::Corrupt)
+    return 0;
+  if (St == State::Done) {
+    if (!Bytes.empty()) {
+      St = State::Corrupt;
+      Diag = "corrupt trace: trailing bytes after end record";
+    }
+    return 0;
+  }
+  Pending.append(Bytes.data(), Bytes.size());
+
+  size_t Pos = 0;
+  if (St == State::Header) {
+    switch (parseTraceHeader(Pending, Pos, Version, Diag)) {
+    case RecordParse::NeedMore:
+      return 0; // Diag = "trace too short for header"
+    case RecordParse::Corrupt:
+      St = State::Corrupt;
+      return 0;
+    default:
+      St = State::Records;
+      // With the header consumed and no record pending, a batch parse
+      // of these exact bytes stops here.
+      Diag = "truncated trace: missing end record";
+      break;
+    }
+  }
+
+  size_t Decoded = 0;
+  while (St == State::Records) {
+    std::string Err;
+    RecordParse R = parseOneRecord(Pending, Pos, Data, Records, Err);
+    if (R == RecordParse::Ok) {
+      ++Decoded;
+      continue;
+    }
+    if (R == RecordParse::End) {
+      if (Pos != Pending.size()) {
+        St = State::Corrupt;
+        Diag = "corrupt trace: trailing bytes after end record";
+      } else {
+        St = State::Done;
+        Diag.clear();
+      }
+      break;
+    }
+    if (R == RecordParse::Corrupt) {
+      St = State::Corrupt;
+      Diag = Err;
+      break;
+    }
+    // NeedMore: Pos rests on the unfinished record's tag byte; stash
+    // the cut message a batch parse of these bytes would report.
+    Diag = Err;
+    break;
+  }
+  Pending.erase(0, Pos);
+  return Decoded;
+}
+
+} // namespace sharc::obs

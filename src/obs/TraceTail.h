@@ -1,0 +1,67 @@
+// Incremental .strc parsing for `sharc-trace tail` (DESIGN.md §13).
+//
+// A TailParser accepts a trace as an arbitrary sequence of byte chunks
+// — however a growing file happens to be read — and decodes records as
+// they complete, resuming at record boundaries. It is built on the
+// same parseTraceHeader/parseOneRecord primitives as the batch
+// parseTrace, so for every byte prefix its decoded records and its
+// diagnosis are identical to what a batch parse of exactly those bytes
+// would produce. Fuzz oracle 7 (tail-vs-batch) pins that equivalence.
+#ifndef SHARC_OBS_TRACETAIL_H
+#define SHARC_OBS_TRACETAIL_H
+
+#include "obs/TraceFile.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sharc::obs {
+
+class TailParser {
+public:
+  enum class State : uint8_t {
+    Header,  ///< fewer than the 12 header bytes seen so far
+    Records, ///< header accepted; decoding records as they complete
+    Done,    ///< end record seen and verified; trace is complete
+    Corrupt, ///< unrecoverable damage; diagnosis() explains (sticky)
+  };
+
+  /// Feeds newly observed bytes and decodes every record they
+  /// complete. Returns the number of records decoded by this call.
+  /// Bytes arriving after the end record flip the parser to Corrupt
+  /// ("trailing bytes"), exactly as a batch parse of the longer image
+  /// would report.
+  size_t push(std::string_view Bytes);
+
+  State state() const { return St; }
+  bool done() const { return St == State::Done; }
+  bool corrupt() const { return St == State::Corrupt; }
+
+  /// Everything decoded so far. Grows monotonically across push()
+  /// calls; equals the batch parse's output on the same bytes.
+  const TraceData &data() const { return Data; }
+  uint64_t recordCount() const { return Records; }
+  uint32_t version() const { return Version; }
+  uint64_t bytesSeen() const { return BytesSeen; }
+
+  /// What `parseTrace` over exactly the bytes seen so far would say:
+  /// empty when it would succeed (complete trace), otherwise the
+  /// identical error message (truncation cut message while waiting,
+  /// corruption message once damaged).
+  const std::string &diagnosis() const { return Diag; }
+
+private:
+  State St = State::Header;
+  TraceData Data;
+  std::string Pending; ///< unconsumed byte suffix
+  uint64_t Records = 0;
+  uint32_t Version = 0;
+  uint64_t BytesSeen = 0;
+  std::string Diag = "trace too short for header";
+};
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_TRACETAIL_H

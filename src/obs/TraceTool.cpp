@@ -21,19 +21,30 @@
 #include "checker/Checker.h"
 #include "minic/ExprTyper.h"
 #include "minic/Parser.h"
+#include "obs/Causal.h"
 #include "obs/ChromeTrace.h"
 #include "obs/Json.h"
 #include "obs/MetricsJson.h"
 #include "obs/Profile.h"
+#include "obs/PromText.h"
+#include "obs/ReportHtml.h"
 #include "obs/Summary.h"
 #include "obs/TraceFile.h"
+#include "obs/TraceTail.h"
+#include "rt/LiveStats.h"
+#include "rt/StatsServer.h"
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace sharc;
@@ -45,7 +56,7 @@ void printUsage(std::FILE *To) {
       To,
       "usage: sharc-trace <command> [args]\n"
       "\n"
-      "commands:\n"
+      "trace analysis:\n"
       "  summarize FILE.strc    totals, per-thread histogram, lock\n"
       "                         contention, hottest granules, conflict\n"
       "                         timeline\n"
@@ -65,16 +76,85 @@ void printUsage(std::FILE *To) {
       "                         Chrome trace-event JSON for\n"
       "                         chrome://tracing / ui.perfetto.dev\n"
       "                         (stdout when OUT is omitted)\n"
+      "\n"
+      "causal analysis (sharc-live):\n"
+      "  tail FILE.strc [--poll-ms N] [--idle-ms N] [--quiet]\n"
+      "                         follow a growing (or crash-truncated)\n"
+      "                         trace, decoding records as they land\n"
+      "  timeline FILE.strc     per-thread run/blocked timeline with\n"
+      "                         blocked time attributed to lock holders\n"
+      "  critical-path FILE.strc\n"
+      "                         the longest dependency chain bounding\n"
+      "                         the run, with per-edge cost\n"
+      "  report FILE.strc [OUT.html]\n"
+      "                         one self-contained HTML file: timeline,\n"
+      "                         critical path, hot sites, violations\n"
+      "                         (stdout when OUT is omitted)\n"
+      "\n"
+      "live endpoint (sharcc --stats-addr / SHARC_STATS_ADDR):\n"
+      "  scrape HOST:PORT [PATH]\n"
+      "                         HTTP GET against a live stats endpoint\n"
+      "                         (default PATH /metrics); no curl needed\n"
+      "  check-prom FILE [FILE2]\n"
+      "                         strictly validate Prometheus exposition\n"
+      "                         text; with two scrapes, also check\n"
+      "                         counter monotonicity\n"
+      "  check-live PROM.txt FILE.strc\n"
+      "                         assert a scrape's counters exactly match\n"
+      "                         the trace's final stats sample\n"
+      "\n"
+      "schema checks and perf trajectory:\n"
       "  check-bench FILE...    validate sharc-bench-v1 JSON reports\n"
       "  check-metrics FILE...  validate sharc-metrics-v1 JSON reports\n"
       "  check-overhead A.json B.json [--max-pct P]\n"
       "                         compare two sharc-bench-v1 reports row by\n"
       "                         row; fail if any shared row regressed by\n"
       "                         more than P%% (default 2)\n"
+      "  compare-runs DIR [--max-pct P]\n"
+      "                         per-benchmark trend table over a\n"
+      "                         directory of archived sharc-bench-v1\n"
+      "                         runs (bench/history/); fail when the\n"
+      "                         newest run regressed the previous one by\n"
+      "                         more than P%% (default 10)\n"
       "  --help                 print this message\n"
       "\n"
-      "exit codes: 0 success, 1 malformed input or failed check, 2 usage\n");
+      "every command also accepts --help; exit codes: 0 success,\n"
+      "1 malformed input or failed check, 2 usage\n");
 }
+
+/// Per-subcommand usage lines (the CLI contract: every subcommand
+/// supports --help and exits 0).
+struct SubcommandHelp {
+  const char *Name;
+  const char *Usage;
+};
+
+constexpr SubcommandHelp SubcommandHelps[] = {
+    {"summarize", "sharc-trace summarize FILE.strc"},
+    {"dump", "sharc-trace dump FILE.strc"},
+    {"schedule", "sharc-trace schedule FILE.strc"},
+    {"metrics", "sharc-trace metrics FILE.strc\n"
+                "sharc-trace metrics --delta A.strc B.strc"},
+    {"profile", "sharc-trace profile FILE.strc [--source FILE.mc]"},
+    {"export-chrome", "sharc-trace export-chrome FILE.strc [OUT.json]"},
+    {"tail",
+     "sharc-trace tail FILE.strc [--poll-ms N] [--idle-ms N] [--quiet]\n"
+     "  follows FILE.strc, decoding records as they are appended;\n"
+     "  waits up to the idle budget (default 2000 ms) for the file to\n"
+     "  appear or grow, polling every N ms (default 100). Exits 0 on a\n"
+     "  complete trace, 1 when the stream ends truncated or corrupt."},
+    {"timeline", "sharc-trace timeline FILE.strc"},
+    {"critical-path", "sharc-trace critical-path FILE.strc"},
+    {"report", "sharc-trace report FILE.strc [OUT.html]"},
+    {"scrape", "sharc-trace scrape HOST:PORT [PATH]   (default /metrics)"},
+    {"check-prom", "sharc-trace check-prom FILE [FILE2]"},
+    {"check-live", "sharc-trace check-live PROM.txt FILE.strc"},
+    {"check-bench", "sharc-trace check-bench FILE..."},
+    {"check-metrics", "sharc-trace check-metrics FILE..."},
+    {"check-overhead",
+     "sharc-trace check-overhead BASE.json CAND.json [--max-pct P]"},
+    {"compare-runs", "sharc-trace compare-runs DIR [--max-pct P]"},
+};
 
 bool loadOrComplain(const char *Path, obs::TraceData &Data) {
   std::string Error;
@@ -543,6 +623,531 @@ int cmdCheckOverhead(int Argc, char **Argv) {
   return Status;
 }
 
+//===----------------------------------------------------------------------===//
+// sharc-live: tail / timeline / critical-path / report
+//===----------------------------------------------------------------------===//
+
+/// One decoded event in the dump line format (kept in sync with
+/// renderDump so `tail` output lines match `dump` output lines).
+void printEventLine(const obs::Event &Ev) {
+  std::printf("%s tid=%u addr=%llu", obs::eventKindName(Ev.K), Ev.Tid,
+              static_cast<unsigned long long>(Ev.Addr));
+  if (Ev.Value)
+    std::printf(" value=%lld", static_cast<long long>(Ev.Value));
+  if (Ev.Extra) {
+    if (Ev.K == obs::EventKind::Conflict)
+      std::printf(" kind=%s line=%u prev-line=%u",
+                  obs::conflictKindName(obs::conflictKindOf(Ev.Extra)),
+                  obs::conflictWhoLine(Ev.Extra),
+                  obs::conflictLastLine(Ev.Extra));
+    else
+      std::printf(" extra=%llu", static_cast<unsigned long long>(Ev.Extra));
+  }
+  std::printf("\n");
+}
+
+/// Parses "--flag N" / "--flag=N" unsigned arguments for the tail and
+/// compare-runs option loops.
+bool numArg(const char *Flag, int Argc, char **Argv, int &I, uint64_t &Out) {
+  size_t Len = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, Len) != 0)
+    return false;
+  const char *Value = nullptr;
+  if (Argv[I][Len] == '=')
+    Value = Argv[I] + Len + 1;
+  else if (Argv[I][Len] == '\0' && I + 1 < Argc)
+    Value = Argv[++I];
+  else if (Argv[I][Len] != '\0')
+    return false;
+  if (!Value || !*Value) {
+    std::fprintf(stderr, "sharc-trace: %s needs a value\n", Flag);
+    std::exit(2);
+  }
+  char *End = nullptr;
+  Out = std::strtoull(Value, &End, 10);
+  if (!End || *End != '\0') {
+    std::fprintf(stderr, "sharc-trace: %s expects a number, got '%s'\n",
+                 Flag, Value);
+    std::exit(2);
+  }
+  return true;
+}
+
+int cmdTail(int Argc, char **Argv) {
+  const char *Path = nullptr;
+  uint64_t PollMs = 100, IdleMs = 2000;
+  bool Quiet = false;
+  for (int I = 2; I < Argc; ++I) {
+    uint64_t V;
+    if (numArg("--poll-ms", Argc, Argv, I, V)) {
+      PollMs = V ? V : 1;
+    } else if (numArg("--idle-ms", Argc, Argv, I, V)) {
+      IdleMs = V;
+    } else if (std::strcmp(Argv[I], "--quiet") == 0) {
+      Quiet = true;
+    } else if (!Path) {
+      Path = Argv[I];
+    } else {
+      std::fprintf(stderr, "sharc-trace: tail takes one trace file\n");
+      return 2;
+    }
+  }
+  if (!Path) {
+    std::fprintf(stderr, "sharc-trace: tail FILE.strc [--poll-ms N] "
+                         "[--idle-ms N] [--quiet]\n");
+    return 2;
+  }
+
+  auto Sleep = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(PollMs));
+  };
+
+  // The file may not exist yet (the producer has not flushed); burn the
+  // idle budget waiting for it to appear.
+  std::FILE *F = nullptr;
+  uint64_t Idle = 0;
+  while (!(F = std::fopen(Path, "rb"))) {
+    if (Idle >= IdleMs) {
+      std::fprintf(stderr, "sharc-trace: cannot open '%s'\n", Path);
+      return 1;
+    }
+    Sleep();
+    Idle += PollMs;
+  }
+
+  obs::TailParser P;
+  size_t PrintedEvents = 0, PrintedSamples = 0;
+  auto drainPrints = [&] {
+    if (Quiet)
+      return;
+    const obs::TraceData &D = P.data();
+    while (PrintedEvents < D.Events.size() ||
+           PrintedSamples < D.Samples.size()) {
+      if (PrintedSamples < D.Samples.size() &&
+          D.SamplePos[PrintedSamples] <= PrintedEvents) {
+        const rt::StatsSnapshot &S = D.Samples[PrintedSamples];
+        std::printf("stats-sample accesses=%llu conflicts=%llu "
+                    "metadata-bytes=%llu\n",
+                    static_cast<unsigned long long>(S.dynamicAccesses()),
+                    static_cast<unsigned long long>(S.totalConflicts()),
+                    static_cast<unsigned long long>(S.metadataBytes()));
+        ++PrintedSamples;
+        continue;
+      }
+      if (PrintedEvents < D.Events.size()) {
+        printEventLine(D.Events[PrintedEvents]);
+        ++PrintedEvents;
+        continue;
+      }
+      break;
+    }
+    std::fflush(stdout);
+  };
+
+  Idle = 0;
+  char Chunk[1 << 16];
+  while (true) {
+    size_t N = std::fread(Chunk, 1, sizeof(Chunk), F);
+    if (N > 0) {
+      Idle = 0;
+      P.push({Chunk, N});
+      drainPrints();
+      if (P.done() || P.corrupt())
+        break;
+      continue;
+    }
+    if (std::ferror(F) != 0) {
+      std::fprintf(stderr, "sharc-trace: read error on '%s'\n", Path);
+      std::fclose(F);
+      return 1;
+    }
+    if (P.done() || P.corrupt() || Idle >= IdleMs)
+      break;
+    std::clearerr(F); // EOF for now; the file may still grow
+    Sleep();
+    Idle += PollMs;
+  }
+  std::fclose(F);
+
+  const obs::TraceData &D = P.data();
+  if (P.done()) {
+    std::printf("tail: complete trace: %llu records (%zu events, %zu "
+                "stats samples)\n",
+                static_cast<unsigned long long>(P.recordCount()),
+                D.Events.size(), D.Samples.size());
+    if (D.AbnormalEnd)
+      std::printf("tail: abnormal end (signal %u); the producer died "
+                  "mid-run but flushed its trace\n",
+                  D.AbnormalSignal);
+    return 0;
+  }
+  std::fprintf(stderr, "sharc-trace: %s: %s\n", Path,
+               P.diagnosis().c_str());
+  std::fprintf(stderr,
+               "tail: stream ended after %llu records (%zu events); the "
+               "timeline/report commands accept this prefix\n",
+               static_cast<unsigned long long>(P.recordCount()),
+               D.Events.size());
+  return 1;
+}
+
+/// Loads a trace for causal analysis. Unlike loadOrComplain, a
+/// truncated (e.g. torn-write) trace is not fatal: the decodable prefix
+/// is analysed, with \p Note carrying the truncation diagnosis. Only
+/// structural corruption (or an unreadable header) fails.
+bool loadForCausal(const char *Path, obs::TraceData &Data,
+                   std::string &Note) {
+  std::string Error;
+  if (obs::loadTraceFile(Path, Data, Error))
+    return true;
+  std::string Bytes;
+  if (!readFile(Path, Bytes)) {
+    std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Path);
+    return false;
+  }
+  obs::TailParser P;
+  P.push(Bytes);
+  if (P.corrupt() || P.state() == obs::TailParser::State::Header) {
+    std::fprintf(stderr, "sharc-trace: %s: %s\n", Path, Error.c_str());
+    return false;
+  }
+  Data = P.data();
+  Note = P.diagnosis() + "; analyzing the " +
+         std::to_string(P.recordCount()) + " decoded records";
+  return true;
+}
+
+int cmdTimeline(int Argc, char **Argv, bool WantCriticalPath) {
+  if (Argc != 3) {
+    std::fprintf(stderr, "sharc-trace: %s takes exactly one trace file\n",
+                 Argv[1]);
+    return 2;
+  }
+  obs::TraceData Data;
+  std::string Note;
+  if (!loadForCausal(Argv[2], Data, Note))
+    return 1;
+  if (!Note.empty())
+    std::printf("note: %s\n", Note.c_str());
+  obs::CausalReport R = obs::buildCausal(Data);
+  if (WantCriticalPath) {
+    obs::CriticalPath P = obs::criticalPath(R, Data);
+    std::fputs(obs::renderCriticalPath(P, Data).c_str(), stdout);
+  } else {
+    std::fputs(obs::renderTimeline(R, Data).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmdReport(int Argc, char **Argv) {
+  if (Argc != 3 && Argc != 4) {
+    std::fprintf(stderr, "sharc-trace: report FILE.strc [OUT.html]\n");
+    return 2;
+  }
+  obs::TraceData Data;
+  std::string Note;
+  if (!loadForCausal(Argv[2], Data, Note))
+    return 1;
+  obs::CausalReport R = obs::buildCausal(Data);
+  std::string Html = obs::renderHtmlReport(Data, R, Argv[2], Note);
+  std::string Error;
+  if (!obs::validateHtmlReport(Html, Error)) {
+    std::fprintf(stderr, "sharc-trace: internal error: emitted HTML "
+                         "fails self-validation: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  if (Argc == 4) {
+    std::FILE *F = std::fopen(Argv[3], "wb");
+    bool Ok =
+        F && std::fwrite(Html.data(), 1, Html.size(), F) == Html.size();
+    if (F && std::fclose(F) != 0)
+      Ok = false;
+    if (!Ok) {
+      std::fprintf(stderr, "sharc-trace: cannot write '%s'\n", Argv[3]);
+      return 1;
+    }
+  } else {
+    std::fputs(Html.c_str(), stdout);
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Live endpoint: scrape / check-prom / check-live
+//===----------------------------------------------------------------------===//
+
+int cmdScrape(int Argc, char **Argv) {
+  if (Argc != 3 && Argc != 4) {
+    std::fprintf(stderr, "sharc-trace: scrape HOST:PORT [PATH]\n");
+    return 2;
+  }
+  std::string Host, Error;
+  uint16_t Port = 0;
+  if (!live::splitHostPort(Argv[2], Host, Port, Error)) {
+    std::fprintf(stderr, "sharc-trace: %s\n", Error.c_str());
+    return 2;
+  }
+  std::string Body;
+  if (!live::httpGet(Host, Port, Argc == 4 ? Argv[3] : "/metrics", Body,
+                     Error)) {
+    std::fprintf(stderr, "sharc-trace: scrape %s: %s\n", Argv[2],
+                 Error.c_str());
+    return 1;
+  }
+  std::fputs(Body.c_str(), stdout);
+  return 0;
+}
+
+int cmdCheckProm(int Argc, char **Argv) {
+  if (Argc != 3 && Argc != 4) {
+    std::fprintf(stderr, "sharc-trace: check-prom FILE [FILE2]\n");
+    return 2;
+  }
+  obs::PromDoc Docs[2];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Text, Error;
+    if (!readFile(Argv[I], Text)) {
+      std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Argv[I]);
+      return 1;
+    }
+    if (!obs::parsePromText(Text, Docs[I - 2], Error)) {
+      std::fprintf(stderr, "sharc-trace: %s: %s\n", Argv[I], Error.c_str());
+      return 1;
+    }
+    std::printf("ok: %s (%zu series, %zu families)\n", Argv[I],
+                Docs[I - 2].Samples.size(), Docs[I - 2].Families.size());
+  }
+  if (Argc == 4) {
+    std::string Error;
+    if (!obs::checkPromMonotonic(Docs[0], Docs[1], Error)) {
+      std::fprintf(stderr, "sharc-trace: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("ok: counters monotonic across the two scrapes\n");
+  }
+  return 0;
+}
+
+int cmdCheckLive(int Argc, char **Argv) {
+  if (Argc != 4) {
+    std::fprintf(stderr, "sharc-trace: check-live PROM.txt FILE.strc\n");
+    return 2;
+  }
+  std::string Text, Error;
+  if (!readFile(Argv[2], Text)) {
+    std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Argv[2]);
+    return 1;
+  }
+  obs::PromDoc Doc;
+  if (!obs::parsePromText(Text, Doc, Error)) {
+    std::fprintf(stderr, "sharc-trace: %s: %s\n", Argv[2], Error.c_str());
+    return 1;
+  }
+  obs::TraceData Data;
+  if (!loadOrComplain(Argv[3], Data))
+    return 1;
+  if (Data.Samples.empty()) {
+    std::fprintf(stderr,
+                 "sharc-trace: %s has no stats samples to compare\n",
+                 Argv[3]);
+    return 1;
+  }
+
+  // The endpoint and this checker share one metric mapping
+  // (live::forEachStatMetric), so a drift between them is impossible
+  // by construction; what this verifies is the *values* — the final
+  // scrape must equal the trace's final stats sample, counter by
+  // counter, with exact integer rendering.
+  int Status = 0;
+  unsigned Checked = 0;
+  live::forEachStatMetric(
+      Data.Samples.back(),
+      [&](const char *Family, const char *LabelKey, const char *LabelValue,
+          uint64_t Value) {
+        std::string Key = Family;
+        if (LabelKey)
+          Key += std::string("{") + LabelKey + "=\"" + LabelValue + "\"}";
+        const obs::PromDoc::Sample *S = Doc.find(Key);
+        if (!S) {
+          std::printf("FAIL %-48s missing from the scrape\n", Key.c_str());
+          Status = 1;
+          return;
+        }
+        ++Checked;
+        if (S->ValueText != std::to_string(Value)) {
+          std::printf("FAIL %-48s scrape %s != trace %llu\n", Key.c_str(),
+                      S->ValueText.c_str(),
+                      static_cast<unsigned long long>(Value));
+          Status = 1;
+        }
+      });
+  if (Status == 0)
+    std::printf("ok: %u series exactly match the trace's final stats "
+                "sample\n",
+                Checked);
+  return Status;
+}
+
+//===----------------------------------------------------------------------===//
+// compare-runs: the cross-run perf trajectory
+//===----------------------------------------------------------------------===//
+
+struct ArchivedRun {
+  std::string Path;
+  std::string Bench;
+  std::string Rev;
+  uint64_t UnixTime = 0; ///< host.unix_time; 0 in pre-ISSUE-5 archives
+  BenchRows Rows;
+};
+
+bool loadArchivedRun(const std::string &Path, ArchivedRun &Out) {
+  std::string Text;
+  if (!readFile(Path.c_str(), Text)) {
+    std::fprintf(stderr, "sharc-trace: cannot read '%s'\n", Path.c_str());
+    return false;
+  }
+  obs::JsonValue Doc;
+  std::string Error;
+  if (!parseJson(Text, Doc, Error) || !obs::validateBenchJson(Doc, Error)) {
+    std::fprintf(stderr, "sharc-trace: %s: %s\n", Path.c_str(),
+                 Error.c_str());
+    return false;
+  }
+  Out.Path = Path;
+  Out.Bench = Doc.get("bench")->Str;
+  const obs::JsonValue *Host = Doc.get("host");
+  Out.Rev = Host->get("git_rev")->Str;
+  if (const obs::JsonValue *T = Host->get("unix_time"); T && T->isNumber())
+    Out.UnixTime = static_cast<uint64_t>(T->Num);
+  for (const obs::JsonValue &Row : Doc.get("rows")->Arr) {
+    std::vector<std::pair<std::string, double>> Metrics;
+    for (const auto &[Key, Value] : Row.get("metrics")->Obj)
+      Metrics.emplace_back(Key, Value.Num);
+    Out.Rows.Rows.emplace_back(Row.get("name")->Str, std::move(Metrics));
+  }
+  return true;
+}
+
+int cmdCompareRuns(int Argc, char **Argv) {
+  double MaxPct = 10.0;
+  const char *Dir = nullptr;
+  for (int I = 2; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--max-pct") == 0 ||
+        std::strncmp(Argv[I], "--max-pct=", 10) == 0) {
+      const char *Value = Argv[I][9] == '=' ? Argv[I] + 10
+                          : I + 1 < Argc    ? Argv[++I]
+                                            : nullptr;
+      char *End = nullptr;
+      MaxPct = Value ? std::strtod(Value, &End) : -1;
+      if (!Value || !End || *End != '\0' || MaxPct < 0) {
+        std::fprintf(stderr, "sharc-trace: --max-pct expects a number\n");
+        return 2;
+      }
+    } else if (!Dir) {
+      Dir = Argv[I];
+    } else {
+      std::fprintf(stderr, "sharc-trace: compare-runs takes one "
+                           "directory\n");
+      return 2;
+    }
+  }
+  if (!Dir) {
+    std::fprintf(stderr, "sharc-trace: compare-runs DIR [--max-pct P]\n");
+    return 2;
+  }
+
+  std::vector<std::string> Files;
+  if (DIR *D = opendir(Dir)) {
+    while (const dirent *E = readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name.size() > 5 && Name.rfind(".json") == Name.size() - 5)
+        Files.push_back(std::string(Dir) + "/" + Name);
+    }
+    closedir(D);
+  } else {
+    std::fprintf(stderr, "sharc-trace: cannot open directory '%s'\n", Dir);
+    return 1;
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr,
+                 "sharc-trace: no .json archives in '%s' — has ci.sh run "
+                 "with history archiving yet?\n",
+                 Dir);
+    return 1;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  std::vector<ArchivedRun> Runs;
+  for (const std::string &F : Files) {
+    ArchivedRun R;
+    if (!loadArchivedRun(F, R))
+      return 1;
+    Runs.push_back(std::move(R));
+  }
+  // Oldest -> newest: the embedded timestamp orders runs; name order
+  // breaks ties (and orders pre-timestamp archives).
+  std::stable_sort(Runs.begin(), Runs.end(),
+                   [](const ArchivedRun &A, const ArchivedRun &B) {
+                     return A.UnixTime < B.UnixTime;
+                   });
+
+  std::printf("comparing %zu archived run(s) in %s (oldest -> newest):\n",
+              Runs.size(), Dir);
+  for (const ArchivedRun &R : Runs)
+    std::printf("  %-12s %s\n", R.Rev.c_str(), R.Path.c_str());
+
+  // Per-benchmark series of the timing metric across runs.
+  std::printf("\n%-36s %4s %12s %12s %12s %12s  %s\n", "benchmark", "runs",
+              "first", "best", "prev", "last", "last-vs-prev");
+  int Status = 0;
+  std::vector<std::string> Seen;
+  for (const ArchivedRun &Origin : Runs) {
+    for (const auto &[Name, OriginMetrics] : Origin.Rows.Rows) {
+      std::string Key = Origin.Bench + "/" + Name;
+      if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+        continue;
+      Seen.push_back(Key);
+      std::string MetricName;
+      if (!timingMetric(OriginMetrics, MetricName))
+        continue;
+      std::vector<double> Series;
+      for (const ArchivedRun &R : Runs) {
+        if (R.Bench != Origin.Bench)
+          continue;
+        const auto *Metrics = R.Rows.find(Name);
+        if (!Metrics)
+          continue;
+        for (const auto &[K, V] : *Metrics)
+          if (K == MetricName && V > 0)
+            Series.push_back(V);
+      }
+      if (Series.empty())
+        continue;
+      double First = Series.front(), Last = Series.back();
+      double Best = *std::min_element(Series.begin(), Series.end());
+      if (Series.size() < 2) {
+        std::printf("%-36s %4zu %12.4g %12.4g %12s %12.4g  (single run)\n",
+                    Key.c_str(), Series.size(), First, Best, "-", Last);
+        continue;
+      }
+      double Prev = Series[Series.size() - 2];
+      double Pct = Prev > 0 ? 100.0 * (Last - Prev) / Prev : 0;
+      bool Regress = Pct > MaxPct;
+      std::printf("%-36s %4zu %12.4g %12.4g %12.4g %12.4g  %+.2f%%%s\n",
+                  Key.c_str(), Series.size(), First, Best, Prev, Last, Pct,
+                  Regress ? "  REGRESSION" : "");
+      if (Regress)
+        Status = 1;
+    }
+  }
+  if (Status)
+    std::printf("\nFAIL: the newest run regressed a benchmark by more "
+                "than %.1f%% over the previous run\n",
+                MaxPct);
+  return Status;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -554,6 +1159,18 @@ int main(int Argc, char **Argv) {
   if (Cmd == "--help" || Cmd == "-h" || Cmd == "help") {
     printUsage(stdout);
     return 0;
+  }
+
+  // Every known subcommand answers `sharc-trace CMD --help` with its own
+  // usage line and exit 0; an unknown subcommand still falls through to
+  // the exit-2 path at the bottom.
+  if (Argc >= 3 && std::strcmp(Argv[2], "--help") == 0) {
+    for (const SubcommandHelp &H : SubcommandHelps) {
+      if (Cmd == H.Name) {
+        std::printf("usage: %s\n", H.Usage);
+        return 0;
+      }
+    }
   }
 
   if (Cmd == "metrics" && Argc >= 3 && std::strcmp(Argv[2], "--delta") == 0) {
@@ -600,6 +1217,23 @@ int main(int Argc, char **Argv) {
     return cmdExportChrome(Argc, Argv);
   if (Cmd == "check-overhead")
     return cmdCheckOverhead(Argc, Argv);
+
+  if (Cmd == "tail")
+    return cmdTail(Argc, Argv);
+  if (Cmd == "timeline")
+    return cmdTimeline(Argc, Argv, /*WantCriticalPath=*/false);
+  if (Cmd == "critical-path")
+    return cmdTimeline(Argc, Argv, /*WantCriticalPath=*/true);
+  if (Cmd == "report")
+    return cmdReport(Argc, Argv);
+  if (Cmd == "scrape")
+    return cmdScrape(Argc, Argv);
+  if (Cmd == "check-prom")
+    return cmdCheckProm(Argc, Argv);
+  if (Cmd == "check-live")
+    return cmdCheckLive(Argc, Argv);
+  if (Cmd == "compare-runs")
+    return cmdCompareRuns(Argc, Argv);
 
   if (Cmd == "check-bench")
     return checkJsonFiles(Argc, Argv, 2, obs::validateBenchJson,

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace sharc {
 namespace obs {
@@ -97,6 +98,14 @@ struct RuntimeConfig {
   /// 2^ProfileSampleShift profiled operations is timed. 0 times every
   /// operation (tests); the default keeps timing cost ~1/64 of ops.
   unsigned ProfileSampleShift = 6;
+
+  /// sharc-live (DESIGN.md §13): "HOST:PORT" to serve the in-process
+  /// stats endpoint on (port 0 = ephemeral); empty (the default) means
+  /// no listener thread is ever started and the engines' publish paths
+  /// see a null hub — zero cost, same discipline as Obs and Profile.
+  /// Runtime::init() additionally honors SHARC_STATS_ADDR from the
+  /// environment, which overrides this field.
+  std::string StatsAddr;
 
   unsigned granuleSize() const { return 1u << GranuleShift; }
   unsigned maxThreads() const { return 8 * ShadowBytesPerGranule - 1; }

@@ -82,7 +82,7 @@ void ThreadProfile::lockAcquired(const void *Lock, const AccessSite *Site,
   Holds.push_back(Hold{Lock, readTsc(), Idx});
 }
 
-void ThreadProfile::lockReleased(const void *Lock) {
+uint64_t ThreadProfile::lockReleased(const void *Lock) {
   // Innermost hold of this lock (locks do not recurse, but shared and
   // exclusive holds of distinct locks interleave freely).
   for (auto It = Holds.rbegin(); It != Holds.rend(); ++It) {
@@ -93,8 +93,9 @@ void ThreadProfile::lockReleased(const void *Lock) {
     L.HoldCycles += HoldCycles;
     ++L.HoldHist[obs::histBucket(HoldCycles)];
     Holds.erase(std::next(It).base());
-    return;
+    return HoldCycles;
   }
+  return 0;
 }
 
 void ThreadProfile::drainTo(obs::Sink &Sink, uint32_t Tid) {

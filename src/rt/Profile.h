@@ -94,7 +94,9 @@ public:
   /// Lock bookkeeping, called from Runtime::onLock*Profiled.
   void lockAcquired(const void *Lock, const AccessSite *Site,
                     uint64_t WaitCycles, bool Contended);
-  void lockReleased(const void *Lock);
+  /// \returns the hold duration in cycles (0 when no matching hold was
+  /// tracked) so the caller can feed live contention aggregates.
+  uint64_t lockReleased(const void *Lock);
 
   /// Emits every populated slot plus one SelfOverhead record to Sink,
   /// then clears the table (drains are idempotent per epoch of data).

@@ -90,6 +90,7 @@ bool ReportSink::report(const ConflictReport &Report) {
   }
   std::lock_guard<std::mutex> Lock(Mutex);
   ++TotalViolations;
+  ++TotalByKind[static_cast<size_t>(Report.Kind) % NumReportKinds];
   // Deduplicate on (kind, who-site, granule-ish address). Hash-combine into
   // a single key; collisions merely suppress an extra copy of a report.
   uint64_t Key = static_cast<uint64_t>(Report.Kind);
@@ -132,6 +133,8 @@ void ReportSink::clear() {
   Reports.clear();
   Seen.clear();
   TotalViolations = 0;
+  for (uint64_t &N : TotalByKind)
+    N = 0;
   for (size_t &N : RetainedPerKind)
     N = 0;
 }

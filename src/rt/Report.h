@@ -81,6 +81,14 @@ public:
   /// Total violations observed, including deduplicated repeats.
   uint64_t getTotalViolations() const { return TotalViolations; }
 
+  /// Total reports of \p K observed, including deduplicated repeats —
+  /// the stats endpoint's sharc_stall_reports_total reads the
+  /// StallTimeout bucket.
+  uint64_t getTotalOfKind(ReportKind K) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return TotalByKind[static_cast<size_t>(K) % NumReportKinds];
+  }
+
   /// When non-null, every report() call (including deduplicated repeats)
   /// is also published as an obs Conflict event.
   void setObs(obs::Sink *Sink) { Obs = Sink; }
@@ -99,6 +107,7 @@ private:
   std::vector<ConflictReport> Reports;
   std::unordered_set<uint64_t> Seen;
   uint64_t TotalViolations = 0;
+  uint64_t TotalByKind[NumReportKinds] = {};
   size_t RetainedPerKind[NumReportKinds] = {};
 };
 

@@ -69,6 +69,23 @@ Runtime::Runtime(const RuntimeConfig &Config)
   // every detector (shadow memory, lock checks, cast checks) publishes
   // without knowing about observability.
   Sink.setObs(this->Config.Obs);
+  // sharc-live (DESIGN.md §13): arm the in-process stats endpoint when
+  // requested. SHARC_STATS_ADDR overrides the config field so deployed
+  // binaries can be inspected without a rebuild. When neither is set
+  // no thread or socket exists and every publish path stays cold.
+  if (const char *Env = std::getenv("SHARC_STATS_ADDR"))
+    this->Config.StatsAddr = Env;
+  if (!this->Config.StatsAddr.empty()) {
+    LiveServer = std::make_unique<live::StatsServer>();
+    std::string Error;
+    if (!LiveServer->start(
+            this->Config.StatsAddr, [this] { return liveSnapshot(); },
+            Error)) {
+      std::fprintf(stderr, "sharc: stats endpoint disabled: %s\n",
+                   Error.c_str());
+      LiveServer.reset();
+    }
+  }
 }
 
 void Runtime::publishAccess(obs::EventKind K, const void *Addr, size_t Size,
@@ -92,6 +109,11 @@ void Runtime::publishEvent(obs::EventKind K, const void *Addr,
 }
 
 Runtime::~Runtime() {
+  // Quiesce the stats endpoint before any subsystem it snapshots goes
+  // away (its unique_ptr would also be destroyed first, but stopping
+  // here keeps the invariant explicit).
+  if (LiveServer)
+    LiveServer->stop();
   // Threads that registered but never deregistered (tests cycling the
   // runtime, detached workers) still owe their profile records.
   if (Config.Obs)
@@ -219,8 +241,13 @@ void Runtime::onLockAcquireProfiled(const void *Lock, const AccessSite *Site,
                                     uint64_t WaitCycles, bool Contended) {
   ThreadState &TS = currentThread();
   TS.HeldLocks.push_back(Lock);
-  if (TS.Prof)
+  if (TS.Prof) {
     TS.Prof->lockAcquired(Lock, Site, WaitCycles, Contended);
+    LiveLockAcquires.fetch_add(1, std::memory_order_relaxed);
+    if (Contended)
+      LiveLockContended.fetch_add(1, std::memory_order_relaxed);
+    LiveLockWaitUnits.fetch_add(WaitCycles, std::memory_order_relaxed);
+  }
   if (Config.Obs) [[unlikely]]
     publishEvent(obs::EventKind::LockAcquire, Lock, 0);
 }
@@ -228,7 +255,8 @@ void Runtime::onLockAcquireProfiled(const void *Lock, const AccessSite *Site,
 void Runtime::onLockRelease(const void *Lock) {
   ThreadState &TS = currentThread();
   if (TS.Prof) [[unlikely]]
-    TS.Prof->lockReleased(Lock);
+    LiveLockHoldUnits.fetch_add(TS.Prof->lockReleased(Lock),
+                                std::memory_order_relaxed);
   if (Config.Guard.WatchdogMillis != 0) [[unlikely]] {
     std::lock_guard<std::mutex> G(GuardMutex);
     LockHolders.erase(reinterpret_cast<uintptr_t>(Lock));
@@ -352,8 +380,13 @@ void Runtime::onSharedLockAcquireProfiled(const void *Lock,
                                           bool Contended) {
   ThreadState &TS = currentThread();
   TS.HeldSharedLocks.push_back(Lock);
-  if (TS.Prof)
+  if (TS.Prof) {
     TS.Prof->lockAcquired(Lock, Site, WaitCycles, Contended);
+    LiveLockAcquires.fetch_add(1, std::memory_order_relaxed);
+    if (Contended)
+      LiveLockContended.fetch_add(1, std::memory_order_relaxed);
+    LiveLockWaitUnits.fetch_add(WaitCycles, std::memory_order_relaxed);
+  }
   if (Config.Obs) [[unlikely]]
     publishEvent(obs::EventKind::SharedLockAcquire, Lock, 0);
 }
@@ -361,7 +394,8 @@ void Runtime::onSharedLockAcquireProfiled(const void *Lock,
 void Runtime::onSharedLockRelease(const void *Lock) {
   ThreadState &TS = currentThread();
   if (TS.Prof) [[unlikely]]
-    TS.Prof->lockReleased(Lock);
+    LiveLockHoldUnits.fetch_add(TS.Prof->lockReleased(Lock),
+                                std::memory_order_relaxed);
   auto It = std::find(TS.HeldSharedLocks.rbegin(), TS.HeldSharedLocks.rend(),
                       Lock);
   assert(It != TS.HeldSharedLocks.rend() &&
@@ -508,7 +542,7 @@ void Runtime::deallocate(void *Ptr) {
   }
 }
 
-StatsSnapshot Runtime::getStats() {
+StatsSnapshot Runtime::computeStats() {
   // Fold dynamic per-thread metadata (logs) into LogBytes.
   uint64_t LogBytes = 0;
   Registry.forEachState(
@@ -520,9 +554,32 @@ StatsSnapshot Runtime::getStats() {
   if (Config.Rc != RcMode::None)
     Stats.RcTableBytes.store(Rc->getTable().getNumEntries() * 16,
                              std::memory_order_relaxed);
-  StatsSnapshot Snapshot = Stats.snapshot();
+  return Stats.snapshot();
+}
+
+StatsSnapshot Runtime::getStats() {
+  StatsSnapshot Snapshot = computeStats();
   // Every stats poll doubles as a periodic sample on the event stream.
   if (Config.Obs) [[unlikely]]
     Config.Obs->stats(Snapshot);
   return Snapshot;
+}
+
+sharc::live::LiveSnapshot Runtime::liveSnapshot() {
+  sharc::live::LiveSnapshot S;
+  S.Stats = computeStats();
+  S.TotalViolations = Sink.getTotalViolations();
+  S.Policy = Config.Guard.OnViolation;
+  S.WatchdogMillis = Config.Guard.WatchdogMillis;
+  S.StallReports = Sink.getTotalOfKind(ReportKind::StallTimeout);
+  S.LockAcquires = LiveLockAcquires.load(std::memory_order_relaxed);
+  S.LockContended = LiveLockContended.load(std::memory_order_relaxed);
+  S.LockWaitUnits = LiveLockWaitUnits.load(std::memory_order_relaxed);
+  S.LockHoldUnits = LiveLockHoldUnits.load(std::memory_order_relaxed);
+  S.CastDrainQueueDepth = TheHeap->getNumDeferred();
+  S.ThreadsLive = Registry.getNumLive();
+  S.ThreadsSpawned = Registry.getNumEverRegistered();
+  S.Steps = 0; // Native execution has no scheduler-step clock.
+  S.Running = true;
+  return S;
 }

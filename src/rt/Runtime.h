@@ -35,7 +35,10 @@
 #include "rt/Report.h"
 #include "rt/ShadowMemory.h"
 #include "rt/Stats.h"
+#include "rt/StatsServer.h"
 #include "rt/ThreadRegistry.h"
+
+#include <atomic>
 
 #include <map>
 #include <memory>
@@ -242,6 +245,16 @@ public:
   RefCountEngine &getRc() { return *Rc; }
   ThreadRegistry &getRegistry() { return Registry; }
 
+  /// sharc-live (DESIGN.md §13): one coherent snapshot for the stats
+  /// endpoint. Safe to call from the server thread — it never registers
+  /// the caller as a checked thread and never publishes to the obs sink
+  /// (scrapes must not perturb the trace under observation).
+  live::LiveSnapshot liveSnapshot();
+
+  /// The endpoint, when Config.StatsAddr / SHARC_STATS_ADDR armed one
+  /// at init; null otherwise. Tests read boundAddress() off it.
+  live::StatsServer *getLiveServer() { return LiveServer.get(); }
+
 private:
   explicit Runtime(const RuntimeConfig &Config);
   ~Runtime();
@@ -272,6 +285,11 @@ private:
   bool isAddrQuarantined(const void *Addr);
   void quarantineAddr(const void *Addr);
 
+  /// Folds per-thread metadata into the counters and snapshots them,
+  /// without the obs stats-sample side effect of getStats() — what the
+  /// scrape path uses so scraping never perturbs the trace.
+  StatsSnapshot computeStats();
+
   RuntimeConfig Config;
   RuntimeStats Stats;
   ReportSink Sink;
@@ -291,6 +309,16 @@ private:
   /// Monotonically increasing instance id; lets the thread-local state
   /// cache detect a runtime that was shut down and re-initialized.
   uint64_t Generation;
+  /// Live lock contention aggregates for the stats endpoint, bumped on
+  /// the profiled (cold) lock paths only — the unprofiled fast path
+  /// touches none of these.
+  std::atomic<uint64_t> LiveLockAcquires{0};
+  std::atomic<uint64_t> LiveLockContended{0};
+  std::atomic<uint64_t> LiveLockWaitUnits{0};
+  std::atomic<uint64_t> LiveLockHoldUnits{0};
+  /// Declared last so it is destroyed first: the server thread reads
+  /// the members above via liveSnapshot() until stop() joins it.
+  std::unique_ptr<live::StatsServer> LiveServer;
 };
 
 /// RAII registration of the calling thread with the global runtime.

@@ -1,0 +1,105 @@
+//===-- rt/StatsServer.h - Minimal HTTP/1.0 stats endpoint ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// sharc-live (DESIGN.md §13): the in-process introspection endpoint. A
+/// StatsServer owns one background thread running a poll()-based accept
+/// loop on an IPv4 listening socket and serves, per HTTP/1.0 request:
+///
+///   GET /metrics          -> Prometheus text exposition (version 0.0.4)
+///   GET /health, /healthz -> the sharc-health-v1 JSON document
+///   anything else         -> 404
+///
+/// Every response carries `Connection: close`; there is no keep-alive,
+/// no TLS, no request body handling — the endpoint exists so `curl` or a
+/// Prometheus scraper (or the in-tree httpGet client below) can watch a
+/// checked run, not to be a web server. Snapshots come from a Provider
+/// callback so the server needs no knowledge of which engine (native
+/// runtime or MiniC interpreter) is publishing.
+///
+/// Cost discipline: when no --stats-addr / SHARC_STATS_ADDR is given the
+/// server is never constructed and the engines' publish hooks see a null
+/// StatsHub — the hot path pays one predicted branch, the same contract
+/// the profiler and the obs sinks honor (gated at ≤2% in scripts/ci.sh).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_RT_STATSSERVER_H
+#define SHARC_RT_STATSSERVER_H
+
+#include "rt/LiveStats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace sharc {
+namespace live {
+
+/// Background HTTP/1.0 listener serving LiveSnapshots from a Provider.
+class StatsServer {
+public:
+  using Provider = std::function<LiveSnapshot()>;
+
+  StatsServer() = default;
+  ~StatsServer() { stop(); }
+  StatsServer(const StatsServer &) = delete;
+  StatsServer &operator=(const StatsServer &) = delete;
+
+  /// Binds \p Addr ("HOST:PORT", IPv4 dotted quad; port 0 asks the
+  /// kernel for an ephemeral port), starts the accept thread, and
+  /// returns true. On failure returns false with \p Error set and no
+  /// thread running. \p P is invoked on the server thread per request.
+  bool start(const std::string &Addr, Provider P, std::string &Error);
+
+  /// Stops the accept thread and closes the socket. Idempotent.
+  void stop();
+
+  bool isRunning() const { return Running.load(std::memory_order_acquire); }
+
+  /// The actual bound address as "HOST:PORT" — with the concrete port
+  /// even when port 0 was requested. Empty before a successful start().
+  const std::string &boundAddress() const { return Bound; }
+  uint16_t port() const { return BoundPort; }
+
+  /// Scrapes served so far (each /metrics or /health hit counts).
+  uint64_t scrapeCount() const {
+    return Scrapes.load(std::memory_order_relaxed);
+  }
+
+private:
+  void serveLoop();
+  void handleConnection(int Fd);
+
+  Provider Provide;
+  std::thread Thread;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopFlag{false};
+  std::atomic<uint64_t> Scrapes{0};
+  int ListenFd = -1;
+  std::string Bound;
+  uint16_t BoundPort = 0;
+};
+
+/// Tiny blocking HTTP/1.0 GET client for tests and `sharc-trace scrape`
+/// — the reason the test suite needs no curl. Returns true and fills
+/// \p Body with the response payload (headers stripped) on a 200;
+/// otherwise returns false with \p Error set (non-200 statuses report
+/// the status line).
+bool httpGet(const std::string &Host, uint16_t Port, const std::string &Path,
+             std::string &Body, std::string &Error);
+
+/// Splits "HOST:PORT" into its parts; returns false on malformed input
+/// (missing colon, empty host, non-numeric or out-of-range port).
+bool splitHostPort(const std::string &Addr, std::string &Host,
+                   uint16_t &Port, std::string &Error);
+
+} // namespace live
+} // namespace sharc
+
+#endif // SHARC_RT_STATSSERVER_H

@@ -37,6 +37,7 @@ ThreadState *ThreadRegistry::registerThread() {
         ++NumLive;
     if (NumLive > PeakLive)
       PeakLive = NumLive;
+    EverRegistered.fetch_add(1, std::memory_order_relaxed);
     return Result;
   }
   // Out of thread ids. This used to be a debug-only assert; in release

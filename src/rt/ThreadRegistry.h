@@ -125,6 +125,11 @@ public:
   unsigned getNumLive() const;
   /// High-water mark of simultaneously registered threads.
   unsigned getPeakLive() const { return PeakLive; }
+  /// Total registrations over the registry's lifetime (ids reused or
+  /// not) — the stats endpoint's sharc_threads_spawned_total.
+  uint64_t getNumEverRegistered() const {
+    return EverRegistered.load(std::memory_order_relaxed);
+  }
 
 private:
   unsigned MaxThreads;
@@ -133,6 +138,7 @@ private:
   std::vector<std::unique_ptr<ThreadState>> Live;
   std::vector<std::unique_ptr<ThreadState>> Retired;
   unsigned PeakLive = 0;
+  std::atomic<uint64_t> EverRegistered{0};
 };
 
 } // namespace rt

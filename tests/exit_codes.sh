@@ -9,12 +9,19 @@
 #   0 - clean check, clean run, and completed runs whose violations
 #       were permitted by --on-violation=continue/quarantine
 #
-# usage: exit_codes.sh <path-to-sharcc> <examples-dir> <fixtures-dir>
+# Also sweeps the sharc-trace CLI contract when a 4th argument names the
+# binary: every subcommand is listed in the top-level --help, every
+# subcommand answers its own --help with exit 0, and unknown subcommands
+# exit 2.
+#
+# usage: exit_codes.sh <path-to-sharcc> <examples-dir> <fixtures-dir> \
+#                      [path-to-sharc-trace]
 set -u
 
 SHARCC=$1
 EXAMPLES=$2
 FIXTURES=$3
+TRACE=${4:-}
 STATUS=0
 
 expect() { # <expected-exit> <description> <args...>
@@ -66,5 +73,61 @@ expect_env SHARC_POLICY=bogus 2 "malformed SHARC_POLICY" \
   --run --quiet "$EXAMPLES/race_demo.mc"
 expect_env SHARC_FAULT=bogus 3 "malformed SHARC_FAULT" \
   --run --quiet --on-violation=continue "$EXAMPLES/race_demo.mc"
+
+# --- sharc-trace CLI contract -------------------------------------------
+if [ -n "$TRACE" ]; then
+  SUBCOMMANDS="summarize dump schedule metrics profile export-chrome
+               tail timeline critical-path report
+               scrape check-prom check-live
+               check-bench check-metrics check-overhead compare-runs"
+
+  TOPHELP=$("$TRACE" --help 2>&1)
+  if [ $? -ne 0 ]; then
+    echo "FAIL: sharc-trace --help: nonzero exit"
+    STATUS=1
+  fi
+  for CMD in $SUBCOMMANDS; do
+    case "$TOPHELP" in
+      *"  $CMD "*) echo "ok: sharc-trace --help lists $CMD" ;;
+      *)
+        echo "FAIL: sharc-trace --help does not list subcommand '$CMD'"
+        STATUS=1
+        ;;
+    esac
+    "$TRACE" "$CMD" --help > /dev/null 2>&1
+    GOT=$?
+    if [ "$GOT" -ne 0 ]; then
+      echo "FAIL: sharc-trace $CMD --help: expected exit 0, got $GOT"
+      STATUS=1
+    else
+      echo "ok: sharc-trace $CMD --help (exit 0)"
+    fi
+  done
+
+  "$TRACE" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne 2 ]; then
+    echo "FAIL: sharc-trace with no arguments: expected exit 2, got $GOT"
+    STATUS=1
+  else
+    echo "ok: sharc-trace with no arguments (exit 2)"
+  fi
+  "$TRACE" not-a-subcommand > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne 2 ]; then
+    echo "FAIL: sharc-trace unknown subcommand: expected exit 2, got $GOT"
+    STATUS=1
+  else
+    echo "ok: sharc-trace unknown subcommand (exit 2)"
+  fi
+  "$TRACE" not-a-subcommand --help > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne 2 ]; then
+    echo "FAIL: sharc-trace unknown subcommand --help: expected 2, got $GOT"
+    STATUS=1
+  else
+    echo "ok: sharc-trace unknown subcommand --help (exit 2)"
+  fi
+fi
 
 exit $STATUS

@@ -1,0 +1,348 @@
+//===-- tests/stats_endpoint_test.cpp - sharc-live endpoint tests ---------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The online introspection endpoint (DESIGN.md §13): the Prometheus
+// text exposition renderer against the strict in-tree validator, the
+// metric mapping's exactness, counter monotonicity across scrapes, and
+// an end-to-end StatsServer smoke over real sockets — single-threaded
+// and with 8 concurrent scrapers — using the in-tree httpGet client, so
+// the suite needs no curl.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PromText.h"
+#include "rt/LiveStats.h"
+#include "rt/StatsServer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace sharc;
+using namespace sharc::obs;
+
+namespace {
+
+rt::StatsSnapshot sampleStats() {
+  rt::StatsSnapshot S;
+  S.DynamicReads = 11;
+  S.DynamicWrites = 7;
+  S.DynamicReadBytes = 88;
+  S.DynamicWriteBytes = 56;
+  S.LockChecks = 5;
+  S.RcBarriers = 4;
+  S.Collections = 2;
+  S.SharingCasts = 3;
+  S.ReadConflicts = 1;
+  S.WriteConflicts = 2;
+  S.LockViolations = 0;
+  S.CastErrors = 1;
+  S.ShadowBytes = 4096;
+  S.RcTableBytes = 1024;
+  S.LogBytes = 512;
+  S.HeapPayloadBytes = 300;
+  S.PeakHeapPayloadBytes = 420;
+  return S;
+}
+
+live::LiveSnapshot sampleSnapshot() {
+  live::LiveSnapshot S;
+  S.Stats = sampleStats();
+  S.TotalViolations = 9;
+  S.Policy = guard::Policy::Continue;
+  S.WatchdogMillis = 250;
+  S.StallReports = 1;
+  S.LockAcquires = 40;
+  S.LockContended = 6;
+  S.LockWaitUnits = 123;
+  S.LockHoldUnits = 456;
+  S.CastDrainQueueDepth = 2;
+  S.ThreadsLive = 3;
+  S.ThreadsSpawned = 5;
+  S.Steps = 777;
+  S.Running = true;
+  return S;
+}
+
+std::string keyOf(const char *Family, const char *LabelKey,
+                  const char *LabelValue) {
+  std::string Key = Family;
+  if (LabelKey)
+    Key += std::string("{") + LabelKey + "=\"" + LabelValue + "\"}";
+  return Key;
+}
+
+//===----------------------------------------------------------------------===//
+// Exposition renderer vs the strict validator
+//===----------------------------------------------------------------------===//
+
+TEST(PromRender, ParsesUnderStrictValidator) {
+  std::string Text = renderPrometheus(sampleSnapshot(), /*Scrapes=*/1);
+  PromDoc Doc;
+  std::string Error;
+  ASSERT_TRUE(parsePromText(Text, Doc, Error)) << Error;
+  EXPECT_EQ(Doc.Samples.size(), 31u);
+  EXPECT_EQ(Doc.Families.size(), 20u);
+  for (const PromDoc::Family &F : Doc.Families) {
+    EXPECT_TRUE(F.HasHelp) << F.Name;
+    // The naming convention the renderer relies on: _total == counter.
+    bool Total = F.Name.size() > 6 &&
+                 F.Name.compare(F.Name.size() - 6, 6, "_total") == 0;
+    EXPECT_EQ(F.Type, Total ? "counter" : "gauge") << F.Name;
+  }
+}
+
+TEST(PromRender, StatMappingIsExact) {
+  live::LiveSnapshot Snap = sampleSnapshot();
+  std::string Text = renderPrometheus(Snap, /*Scrapes=*/3);
+  PromDoc Doc;
+  std::string Error;
+  ASSERT_TRUE(parsePromText(Text, Doc, Error)) << Error;
+
+  // Every series of the stats projection — the mapping check-live uses —
+  // appears with the exact integer rendering of its counter.
+  unsigned Series = 0;
+  live::forEachStatMetric(Snap.Stats, [&](const char *Family,
+                                          const char *LabelKey,
+                                          const char *LabelValue,
+                                          uint64_t Value) {
+    ++Series;
+    const PromDoc::Sample *S = Doc.find(keyOf(Family, LabelKey, LabelValue));
+    ASSERT_NE(S, nullptr) << keyOf(Family, LabelKey, LabelValue);
+    EXPECT_EQ(S->ValueText, std::to_string(Value)) << S->Key;
+  });
+  EXPECT_EQ(Series, 17u);
+
+  const PromDoc::Sample *Scrapes = Doc.find("sharc_scrapes_total");
+  ASSERT_NE(Scrapes, nullptr);
+  EXPECT_EQ(Scrapes->ValueText, "3");
+  const PromDoc::Sample *Policy =
+      Doc.find("sharc_guard_policy{policy=\"continue\"}");
+  ASSERT_NE(Policy, nullptr);
+  EXPECT_EQ(Policy->ValueText, "1");
+}
+
+TEST(PromRender, HealthJsonCarriesSchemaAndCounters) {
+  std::string Json = renderHealthJson(sampleSnapshot(), /*Scrapes=*/2);
+  EXPECT_NE(Json.find("\"schema\":\"sharc-health-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dynamic_accesses\":18"), std::string::npos);
+  EXPECT_NE(Json.find("\"violations_total\":9"), std::string::npos);
+  EXPECT_NE(Json.find("\"scrapes\":2"), std::string::npos);
+  EXPECT_NE(Json.find("\"running\":true"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Strict parser rejections
+//===----------------------------------------------------------------------===//
+
+TEST(PromParse, RejectsGrammarViolations) {
+  PromDoc Doc;
+  std::string Error;
+  // A sample whose family was never typed.
+  EXPECT_FALSE(parsePromText("a_total 1\n", Doc, Error));
+  // TYPE after the family's first sample.
+  EXPECT_FALSE(parsePromText("# HELP a_total h\n# TYPE a_total counter\n"
+                             "a_total 1\n# TYPE a_total counter\n",
+                             Doc = {}, Error));
+  // Duplicate TYPE before any sample.
+  EXPECT_FALSE(parsePromText("# TYPE a counter\n# TYPE a gauge\na 1\n",
+                             Doc = {}, Error));
+  // Unknown type keyword.
+  EXPECT_FALSE(parsePromText("# TYPE a pies\na 1\n", Doc = {}, Error));
+  // Bad metric name (leading digit).
+  EXPECT_FALSE(parsePromText("# TYPE 9a gauge\n9a 1\n", Doc = {}, Error));
+  // Bad label name.
+  EXPECT_FALSE(
+      parsePromText("# TYPE a gauge\na{9k=\"v\"} 1\n", Doc = {}, Error));
+  // Unterminated label value.
+  EXPECT_FALSE(parsePromText("# TYPE a gauge\na{k=\"v} 1\n", Doc = {}, Error));
+  // Invalid escape in a label value.
+  EXPECT_FALSE(
+      parsePromText("# TYPE a gauge\na{k=\"\\x\"} 1\n", Doc = {}, Error));
+  // Unparsable sample value.
+  EXPECT_FALSE(parsePromText("# TYPE a gauge\na one\n", Doc = {}, Error));
+  // Missing trailing newline.
+  EXPECT_FALSE(parsePromText("# TYPE a gauge\na 1", Doc = {}, Error));
+}
+
+TEST(PromParse, AcceptsEscapedLabelValues) {
+  PromDoc Doc;
+  std::string Error;
+  ASSERT_TRUE(parsePromText(
+      "# TYPE a gauge\na{k=\"q\\\"w\\\\e\\nr\"} 4\n", Doc, Error))
+      << Error;
+  ASSERT_EQ(Doc.Samples.size(), 1u);
+  EXPECT_EQ(Doc.Samples[0].ValueText, "4");
+}
+
+TEST(PromParse, MonotonicityAcrossScrapes) {
+  auto Parse = [](const std::string &Text) {
+    PromDoc Doc;
+    std::string Error;
+    EXPECT_TRUE(parsePromText(Text, Doc, Error)) << Error;
+    return Doc;
+  };
+  PromDoc First = Parse("# TYPE c_total counter\nc_total 5\n"
+                        "# TYPE g gauge\ng 9\n");
+  PromDoc Grew = Parse("# TYPE c_total counter\nc_total 6\n"
+                       "# TYPE g gauge\ng 2\n");
+  PromDoc Shrank = Parse("# TYPE c_total counter\nc_total 4\n"
+                         "# TYPE g gauge\ng 9\n");
+  PromDoc Vanished = Parse("# TYPE g gauge\ng 9\n");
+  std::string Error;
+  // Counters may grow; gauges may do anything.
+  EXPECT_TRUE(checkPromMonotonic(First, Grew, Error)) << Error;
+  EXPECT_TRUE(checkPromMonotonic(First, First, Error)) << Error;
+  // A counter going backwards or disappearing is a violation.
+  EXPECT_FALSE(checkPromMonotonic(First, Shrank, Error));
+  EXPECT_FALSE(checkPromMonotonic(First, Vanished, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// splitHostPort
+//===----------------------------------------------------------------------===//
+
+TEST(StatsServer, SplitHostPort) {
+  std::string Host, Error;
+  uint16_t Port = 0;
+  EXPECT_TRUE(live::splitHostPort("127.0.0.1:9100", Host, Port, Error));
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 9100);
+  EXPECT_TRUE(live::splitHostPort("0.0.0.0:0", Host, Port, Error));
+  EXPECT_EQ(Port, 0);
+  EXPECT_FALSE(live::splitHostPort("nocolon", Host, Port, Error));
+  EXPECT_FALSE(live::splitHostPort(":80", Host, Port, Error));
+  EXPECT_FALSE(live::splitHostPort("127.0.0.1:", Host, Port, Error));
+  EXPECT_FALSE(live::splitHostPort("127.0.0.1:http", Host, Port, Error));
+  EXPECT_FALSE(live::splitHostPort("127.0.0.1:70000", Host, Port, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: a real listener scraped over real sockets
+//===----------------------------------------------------------------------===//
+
+struct Endpoint {
+  live::StatsHub Hub;
+  live::StatsServer Server;
+
+  Endpoint() {
+    Hub.update(sampleSnapshot());
+    std::string Error;
+    bool Ok = Server.start(
+        "127.0.0.1:0", [this] { return Hub.load(); }, Error);
+    EXPECT_TRUE(Ok) << Error;
+  }
+
+  std::string get(const std::string &Path, bool *OkOut = nullptr) {
+    std::string Body, Error;
+    bool Ok = live::httpGet("127.0.0.1", Server.port(), Path, Body, Error);
+    if (OkOut)
+      *OkOut = Ok;
+    else
+      EXPECT_TRUE(Ok) << Path << ": " << Error;
+    return Body;
+  }
+};
+
+TEST(StatsServer, ServesMetricsAndHealth) {
+  Endpoint E;
+  ASSERT_TRUE(E.Server.isRunning());
+  EXPECT_NE(E.Server.port(), 0); // ephemeral port was resolved
+  EXPECT_EQ(E.Server.boundAddress(),
+            "127.0.0.1:" + std::to_string(E.Server.port()));
+
+  PromDoc Doc;
+  std::string Error;
+  ASSERT_TRUE(parsePromText(E.get("/metrics"), Doc, Error)) << Error;
+  const PromDoc::Sample *S =
+      Doc.find("sharc_checks_total{kind=\"dynamic_reads\"}");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->ValueText, "11");
+
+  EXPECT_NE(E.get("/health").find("\"schema\":\"sharc-health-v1\""),
+            std::string::npos);
+  EXPECT_NE(E.get("/healthz").find("\"schema\":\"sharc-health-v1\""),
+            std::string::npos);
+
+  bool Ok = true;
+  std::string Body = E.get("/nope", &Ok);
+  EXPECT_FALSE(Ok) << Body;
+}
+
+TEST(StatsServer, CountersAreMonotonicAcrossScrapesAndUpdates) {
+  Endpoint E;
+  PromDoc First, Second;
+  std::string Error;
+  ASSERT_TRUE(parsePromText(E.get("/metrics"), First, Error)) << Error;
+
+  // The run advances between scrapes: counters only ever grow.
+  live::LiveSnapshot Snap = sampleSnapshot();
+  Snap.Stats.DynamicReads += 100;
+  Snap.Stats.DynamicReadBytes += 800;
+  Snap.Steps += 5;
+  Snap.Running = false;
+  E.Hub.update(Snap);
+
+  ASSERT_TRUE(parsePromText(E.get("/metrics"), Second, Error)) << Error;
+  EXPECT_TRUE(checkPromMonotonic(First, Second, Error)) << Error;
+
+  // The server's own scrape counter ticks per request served.
+  const PromDoc::Sample *S1 = First.find("sharc_scrapes_total");
+  const PromDoc::Sample *S2 = Second.find("sharc_scrapes_total");
+  ASSERT_NE(S1, nullptr);
+  ASSERT_NE(S2, nullptr);
+  EXPECT_LT(S1->Value, S2->Value);
+  EXPECT_GE(E.Server.scrapeCount(), 2u);
+
+  const PromDoc::Sample *Active = Second.find("sharc_run_active");
+  ASSERT_NE(Active, nullptr);
+  EXPECT_EQ(Active->ValueText, "0");
+}
+
+TEST(StatsServer, EightConcurrentScrapersAllSucceed) {
+  Endpoint E;
+  constexpr unsigned NumScrapers = 8;
+  constexpr unsigned PerThread = 4;
+  std::vector<unsigned> Failures(NumScrapers, 0);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumScrapers; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        std::string Body, Error;
+        if (!live::httpGet("127.0.0.1", E.Server.port(),
+                           I % 2 ? "/health" : "/metrics", Body, Error)) {
+          ++Failures[T];
+          continue;
+        }
+        if (I % 2 == 0) {
+          PromDoc Doc;
+          if (!parsePromText(Body, Doc, Error) || Doc.Samples.size() != 31)
+            ++Failures[T];
+        } else if (Body.find("sharc-health-v1") == std::string::npos) {
+          ++Failures[T];
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned T = 0; T < NumScrapers; ++T)
+    EXPECT_EQ(Failures[T], 0u) << "scraper " << T;
+  EXPECT_GE(E.Server.scrapeCount(), NumScrapers * PerThread);
+}
+
+TEST(StatsServer, StopIsIdempotentAndRefusesBadAddr) {
+  live::StatsServer Server;
+  std::string Error;
+  EXPECT_FALSE(Server.start(
+      "not-an-addr", [] { return live::LiveSnapshot(); }, Error));
+  EXPECT_FALSE(Server.isRunning());
+  Server.stop();
+  Server.stop();
+}
+
+} // namespace
