@@ -20,10 +20,25 @@ if [ ! -x "$BUILD/src/fuzz/sharc-fuzz" ]; then
 fi
 
 echo "fuzz-nightly: count=$COUNT schedules=$SCHEDULES seed=$SEED"
-exec "$BUILD/src/fuzz/sharc-fuzz" \
+"$BUILD/src/fuzz/sharc-fuzz" \
   --count "$COUNT" \
   --schedules "$SCHEDULES" \
   --seed "$SEED" \
+  --minimize \
+  --corpus-dir "$ROOT/tests/fuzz-corpus" \
+  --quiet
+
+# Bounded sharc-explore pass: small generated programs whose schedule
+# spaces converge, so the 8th oracle (random verdicts contained in the
+# exhaustively explored classes) actually fires instead of skipping.
+EXPLORE_COUNT=$((COUNT / 10))
+[ "$EXPLORE_COUNT" -lt 50 ] && EXPLORE_COUNT=50
+echo "fuzz-nightly: explore pass: count=$EXPLORE_COUNT (gen-size small)"
+exec "$BUILD/src/fuzz/sharc-fuzz" \
+  --count "$EXPLORE_COUNT" \
+  --schedules "$SCHEDULES" \
+  --seed "$((SEED + 1))" \
+  --gen-size small \
   --minimize \
   --corpus-dir "$ROOT/tests/fuzz-corpus" \
   --quiet

@@ -13,23 +13,34 @@
 ///   sharcc --infer file.mc         print inferred annotations (Figure 2)
 ///   sharcc --check file.mc         static checking only
 ///   sharcc --run file.mc           run (after checking)
+///   sharcc --explore[=B] file.mc   enumerate schedules (sharc-explore)
 ///   options: --seed N --fail-stop --entry NAME --max-steps N --quiet
 ///            --trace-out FILE --metrics-out FILE --profile
 ///            --on-violation abort|continue|quarantine
+///            --explore-budget N --witness-out FILE
+///            --replay-witness FILE
 ///
-/// Exit status (pinned by tests/exit_codes.sh):
+/// Exit status (pinned by tests/exit_codes.sh and tests/explore_cli.sh):
 ///   0  clean — including completed runs whose violations were permitted
-///      by --on-violation=continue/quarantine
+///      by --on-violation=continue/quarantine, and explorations that
+///      enumerated every inequivalent schedule without a violation
 ///   1  static errors, or runtime violations under the (default) abort
-///      policy, or a run that deadlocked / ran out of steps
-///   2  usage (malformed flags or SHARC_POLICY) and output I/O errors
+///      policy, or a run that deadlocked / ran out of steps, or any
+///      violating interleaving found by --explore
+///   2  usage (malformed flags, SHARC_POLICY, or a witness that fails
+///      to parse / diverges from the program) and output I/O errors
 ///   3  internal errors and injected faults (SHARC_FAULT)
+///   4  --explore gave up (schedule/step budget exhausted, or the
+///      preemption bound cut branches) without finding a violation:
+///      inconclusive, never silently reported as clean
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SharingAnalysis.h"
 #include "checker/Checker.h"
+#include "interp/Explore.h"
 #include "interp/Interp.h"
+#include "interp/Schedule.h"
 #include "minic/ExprTyper.h"
 #include "minic/Parser.h"
 #include "minic/Printer.h"
@@ -40,6 +51,7 @@
 #include "rt/LiveStats.h"
 #include "rt/StatsServer.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstdio>
@@ -64,6 +76,12 @@ struct DriverOptions {
   std::string StatsAddr;  ///< --stats-addr: HOST:PORT live endpoint.
   uint64_t StatsLingerMs = 0;   ///< --stats-linger-ms: serve after run.
   uint64_t StatsPollSteps = 1024; ///< --stats-poll-steps: publish rate.
+  bool MaxStepsSet = false;     ///< --max-steps given explicitly.
+  bool Explore = false;         ///< --explore: enumerate schedules.
+  uint64_t ExploreBound = ~0ull; ///< --explore=B preemption bound.
+  uint64_t ExploreBudget = 1u << 16; ///< --explore-budget: executions.
+  std::string WitnessOut;     ///< --witness-out: first violating witness.
+  std::string ReplayWitness;  ///< --replay-witness: replay this file.
   interp::InterpOptions Interp;
 };
 
@@ -76,12 +94,27 @@ void printUsage(std::FILE *To) {
       "              [--on-violation abort|continue|quarantine]\n"
       "              [--stats-addr HOST:PORT] [--stats-linger-ms N]\n"
       "              [--stats-poll-steps N]\n"
+      "              [--explore[=B]] [--explore-budget N]\n"
+      "              [--witness-out FILE] [--replay-witness FILE]\n"
       "              file.mc\n"
       "\n"
       "modes (default: --run):\n"
       "  --infer            print the program with inferred annotations\n"
       "  --check            static checking only\n"
       "  --run              run under the checked interpreter\n"
+      "\n"
+      "exploration (sharc-explore):\n"
+      "  --explore[=B]      enumerate every inequivalent thread schedule\n"
+      "                     (DPOR + sleep sets); with =B, allow at most B\n"
+      "                     preemptions per schedule (bounded search is\n"
+      "                     incomplete and flagged loudly)\n"
+      "  --explore-budget N give up after N executions (default 65536);\n"
+      "                     exhaustion exits 4, never a silent 0\n"
+      "  --witness-out FILE write the first violating schedule as a\n"
+      "                     replayable witness (requires --explore)\n"
+      "  --replay-witness F re-run the exact schedule recorded in F;\n"
+      "                     a witness that fails to parse or diverges\n"
+      "                     from the program exits 2\n"
       "\n"
       "run options:\n"
       "  --seed N           scheduler seed (default 1)\n"
@@ -119,7 +152,8 @@ void printUsage(std::FILE *To) {
       "\n"
       "exit status: 0 clean (violations permitted by continue/quarantine\n"
       "included); 1 static errors or violations under the abort policy;\n"
-      "2 usage or output I/O errors; 3 internal or fault-injected errors\n");
+      "2 usage or output I/O errors; 3 internal or fault-injected errors;\n"
+      "4 exploration gave up (budget/bound) without finding a violation\n");
 }
 
 /// Strict unsigned parse for numeric flags: the whole argument must be
@@ -214,6 +248,7 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       }
       if (!parseU64Arg("--max-steps", Value, Options.Interp.MaxSteps))
         return 2;
+      Options.MaxStepsSet = true;
     } else if (matchValueFlag("--entry", Argc, Argv, I, Value)) {
       if (!Value) {
         std::fprintf(stderr, "sharcc: --entry needs a value\n");
@@ -252,6 +287,39 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       }
       if (!parseU64Arg("--stats-poll-steps", Value, Options.StatsPollSteps))
         return 2;
+    } else if (Arg == "--explore") {
+      Options.Explore = true;
+    } else if (Arg.rfind("--explore=", 0) == 0) {
+      // --explore=B: value attached only; "--explore B" would swallow
+      // the input file, so the separate-argument spelling is not
+      // offered for this flag.
+      Options.Explore = true;
+      if (!parseU64Arg("--explore", Arg.c_str() + std::strlen("--explore="),
+                       Options.ExploreBound))
+        return 2;
+    } else if (matchValueFlag("--explore-budget", Argc, Argv, I, Value)) {
+      if (!Value) {
+        std::fprintf(stderr, "sharcc: --explore-budget needs a value\n");
+        return 2;
+      }
+      if (!parseU64Arg("--explore-budget", Value, Options.ExploreBudget))
+        return 2;
+      if (Options.ExploreBudget == 0) {
+        std::fprintf(stderr, "sharcc: --explore-budget must be nonzero\n");
+        return 2;
+      }
+    } else if (matchValueFlag("--witness-out", Argc, Argv, I, Value)) {
+      if (!Value || !*Value) {
+        std::fprintf(stderr, "sharcc: --witness-out needs a file\n");
+        return 2;
+      }
+      Options.WitnessOut = Value;
+    } else if (matchValueFlag("--replay-witness", Argc, Argv, I, Value)) {
+      if (!Value || !*Value) {
+        std::fprintf(stderr, "sharcc: --replay-witness needs a file\n");
+        return 2;
+      }
+      Options.ReplayWitness = Value;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "sharcc: unknown option '%s'\n", Arg.c_str());
       return 2;
@@ -282,6 +350,32 @@ int parseArgs(int Argc, char **Argv, DriverOptions &Options) {
       (Options.Infer || Options.CheckOnly || Options.TraceOut.empty())) {
     std::fprintf(stderr,
                  "sharcc: --profile requires a run mode and --trace-out\n");
+    return 2;
+  }
+  if (Options.Explore && (Options.Infer || Options.CheckOnly)) {
+    std::fprintf(stderr, "sharcc: --explore requires a run mode\n");
+    return 2;
+  }
+  if (Options.Explore &&
+      (!Options.TraceOut.empty() || Options.Interp.Profile ||
+       !Options.StatsAddr.empty())) {
+    std::fprintf(stderr,
+                 "sharcc: --explore is incompatible with --trace-out, "
+                 "--profile, and --stats-addr\n");
+    return 2;
+  }
+  if (Options.Explore && !Options.ReplayWitness.empty()) {
+    std::fprintf(stderr,
+                 "sharcc: --explore and --replay-witness are exclusive\n");
+    return 2;
+  }
+  if (!Options.WitnessOut.empty() && !Options.Explore) {
+    std::fprintf(stderr, "sharcc: --witness-out requires --explore\n");
+    return 2;
+  }
+  if (!Options.ReplayWitness.empty() &&
+      (Options.Infer || Options.CheckOnly)) {
+    std::fprintf(stderr, "sharcc: --replay-witness requires a run mode\n");
     return 2;
   }
   return 0;
@@ -356,6 +450,124 @@ bool writeTextFile(const std::string &Path, const std::string &Text) {
   if (std::fclose(F) != 0)
     Ok = false;
   return Ok;
+}
+
+bool readTextFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+/// Runs `--explore`: enumerate schedules, report the verdict classes,
+/// write the witness/metrics artifacts, and map the outcome onto the
+/// exit-code contract (0 complete+clean, 1 violation, 2 I/O, 3
+/// internal, 4 gave up empty-handed).
+int runExplore(const DriverOptions &Options, minic::Program &Prog,
+               const checker::Checker &Check, const std::string &FileName) {
+  interp::ExploreOptions EO;
+  EO.PreemptionBound = static_cast<unsigned>(
+      std::min<uint64_t>(Options.ExploreBound, ~0u));
+  EO.MaxRuns = Options.ExploreBudget;
+  // The interpreter's generous default step budget is meant for one
+  // run; cap each explored schedule unless --max-steps asked otherwise.
+  if (Options.MaxStepsSet)
+    EO.MaxStepsPerRun = Options.Interp.MaxSteps;
+  EO.EntryPoint = Options.Interp.EntryPoint;
+
+  interp::ExploreResult ER =
+      interp::explore(Prog, Check.getInstrumentation(), EO);
+
+  if (ER.anyViolation()) {
+    std::printf("%s", ER.FirstViolation.Output.c_str());
+    for (const interp::Violation &V : ER.FirstViolation.Violations)
+      std::fprintf(stderr, "%s", V.format(FileName).c_str());
+  }
+
+  if (!Options.WitnessOut.empty()) {
+    if (ER.anyViolation()) {
+      if (!writeTextFile(Options.WitnessOut,
+                         ER.Witnesses.front().second.serialize())) {
+        std::fprintf(stderr, "sharcc: cannot write '%s'\n",
+                     Options.WitnessOut.c_str());
+        return 2;
+      }
+    } else if (!Options.Quiet) {
+      std::fprintf(stderr,
+                   "sharcc: explore: no violating schedule; '%s' not "
+                   "written\n",
+                   Options.WitnessOut.c_str());
+    }
+  }
+
+  if (!Options.MetricsOut.empty()) {
+    obs::ExploreCounters C;
+    C.SchedulesRun = ER.Stats.Runs;
+    C.SleepPruned = ER.Stats.SleepBlocked;
+    C.BoundedRuns = ER.Stats.BoundedRuns;
+    C.DporPruned = ER.Stats.BranchesPruned;
+    C.PreemptPruned = ER.Stats.PreemptPruned;
+    C.StepsTotal = ER.Stats.StepsTotal;
+    C.MaxDepth = ER.Stats.MaxDepth;
+    C.VerdictClasses = ER.Verdicts.size();
+    C.ViolatingClasses = ER.Witnesses.size();
+    C.BoundHit = ER.Stats.BoundHit;
+    C.BudgetExhausted = ER.Stats.BudgetExhausted;
+    C.Complete = ER.complete();
+    if (!writeTextFile(Options.MetricsOut, obs::exploreToJson(C))) {
+      std::fprintf(stderr, "sharcc: cannot write '%s'\n",
+                   Options.MetricsOut.c_str());
+      return 2;
+    }
+  }
+
+  if (!Options.Quiet) {
+    std::string Verdicts;
+    for (const interp::ExploreVerdict &V : ER.Verdicts) {
+      if (!Verdicts.empty())
+        Verdicts += ", ";
+      Verdicts += V.describe();
+    }
+    std::fprintf(
+        stderr,
+        "sharcc: explore: %llu schedules (%llu sleep-set cut, %llu "
+        "bound cut), %llu branches pruned, max depth %llu, %llu steps\n",
+        static_cast<unsigned long long>(ER.Stats.Runs),
+        static_cast<unsigned long long>(ER.Stats.SleepBlocked),
+        static_cast<unsigned long long>(ER.Stats.BoundedRuns),
+        static_cast<unsigned long long>(ER.Stats.BranchesPruned),
+        static_cast<unsigned long long>(ER.Stats.MaxDepth),
+        static_cast<unsigned long long>(ER.Stats.StepsTotal));
+    std::fprintf(stderr, "sharcc: explore: verdicts: %s\n",
+                 Verdicts.empty() ? "(none)" : Verdicts.c_str());
+  }
+
+  // Incompleteness is never silent: these lines print even under
+  // --quiet, and the exit code stays distinct from "clean".
+  if (ER.Stats.InternalError && !ER.anyViolation()) {
+    std::fprintf(stderr,
+                 "sharcc: explore: internal error: a replayed prefix "
+                 "diverged; results are not trustworthy\n");
+    return 3;
+  }
+  if (!ER.complete())
+    std::fprintf(stderr,
+                 "sharcc: explore: WARNING: exploration incomplete (%s); "
+                 "the absence of violations proves nothing\n",
+                 ER.Stats.InternalError ? "internal divergence"
+                 : ER.Stats.BudgetExhausted
+                     ? "schedule/step budget exhausted"
+                     : "preemption bound cut branches");
+
+  if (ER.anyViolation())
+    return 1;
+  return ER.complete() ? 0 : 4;
 }
 
 // Crash-safe tracing: while a traced run is in flight these point at the
@@ -442,6 +654,30 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  if (Options.Explore)
+    return runExplore(Options, *Prog, Check,
+                      std::string(SM.getFileName(File)));
+
+  // Replay a recorded witness: the run follows the file decision for
+  // decision, and any divergence is a hard error (exit 2), not a guess.
+  interp::Witness ReplayW;
+  std::unique_ptr<interp::ReplaySchedule> Replay;
+  if (!Options.ReplayWitness.empty()) {
+    std::string Text, WitnessError;
+    if (!readTextFile(Options.ReplayWitness, Text)) {
+      std::fprintf(stderr, "sharcc: cannot read '%s'\n",
+                   Options.ReplayWitness.c_str());
+      return 2;
+    }
+    if (!ReplayW.parse(Text, WitnessError)) {
+      std::fprintf(stderr, "sharcc: bad witness '%s': %s\n",
+                   Options.ReplayWitness.c_str(), WitnessError.c_str());
+      return 2;
+    }
+    Replay = std::make_unique<interp::ReplaySchedule>(ReplayW);
+    Options.Interp.Sched = Replay.get();
+  }
+
   // Fault injection (SHARC_FAULT=): a malformed spec is a fatalInternal
   // (exit 3) — a mistyped fault plan must not silently pass.
   guard::initFaultsFromEnv();
@@ -500,6 +736,12 @@ int main(int Argc, char **Argv) {
   std::string FileName(SM.getFileName(File));
   for (const interp::Violation &V : Result.Violations)
     std::fprintf(stderr, "%s", V.format(FileName).c_str());
+
+  if (Replay && (Replay->diverged() || Result.ScheduleAborted)) {
+    std::fprintf(stderr, "sharcc: witness replay diverged: %s\n",
+                 Replay->divergence().c_str());
+    return 2;
+  }
 
   if (StatsServer) {
     // Publish the final snapshot through the same mapping that writes

@@ -54,6 +54,7 @@ struct FuzzOptions {
   uint64_t Seed = 1;
   uint64_t MaxSteps = 1u << 17;
   guard::Policy Policy = guard::Policy::Continue;
+  GenSize Size = GenSize::Normal; ///< --gen-size: generator profile.
   std::string CorpusDir;
   std::string ReplayFile;
   std::string ReplayDir;
@@ -71,6 +72,10 @@ int usage(const char *Argv0) {
       << "  --policy P      violation policy for the base runs: abort,\n"
       << "                  continue (default), quarantine; SHARC_POLICY\n"
       << "                  sets the same knob, the flag wins\n"
+      << "  --gen-size P    generator profile: normal (default) or small\n"
+      << "                  (explore-friendly programs: no spin joins,\n"
+      << "                  fewer spawns, tighter loops — most of them\n"
+      << "                  fit the exploration oracle's budget)\n"
       << "  --corpus-dir D  write failing programs to D as reproducers\n"
       << "  --replay FILE   re-run the oracles over one saved program\n"
       << "  --replay-dir D  re-run the oracles over every .mc file in D\n"
@@ -100,6 +105,9 @@ struct Campaign {
   uint64_t TraceSkips = 0;
   uint64_t RcSkips = 0;
   uint64_t PolicyChecks = 0;
+  uint64_t ExploreChecks = 0;
+  uint64_t ExploreSkips = 0;
+  uint64_t SchedulesExplored = 0;
   uint64_t ViolationsSeen = 0;
   uint64_t RacyCells = 0;
   uint64_t EraserOnlyRacy = 0;
@@ -123,6 +131,9 @@ struct Campaign {
     TraceSkips += Out.TraceSkips;
     RcSkips += Out.RcSkips;
     PolicyChecks += Out.PolicyChecks;
+    ExploreChecks += Out.ExploreChecks;
+    ExploreSkips += Out.ExploreSkips;
+    SchedulesExplored += Out.SchedulesExplored;
     ViolationsSeen += Out.ViolationsSeen;
     RacyCells += Out.RacyCells;
     EraserOnlyRacy += Out.EraserOnlyRacy;
@@ -187,6 +198,9 @@ struct Campaign {
               << " rc=" << RcSkips << "\n"
               << "  policy=" << guard::policyName(Opts.Policy)
               << " policy-checks=" << PolicyChecks << "\n"
+              << "  explore-checks=" << ExploreChecks
+              << " explore-skips=" << ExploreSkips
+              << " explored-schedules=" << SchedulesExplored << "\n"
               << "  runtime violations=" << ViolationsSeen
               << " racy-cells=" << RacyCells
               << " eraser-only=" << EraserOnlyRacy
@@ -200,7 +214,7 @@ int runGenerate(Campaign &C) {
     uint64_t State = C.Opts.Seed + I;
     uint64_t GenSeed = splitMix64(State);
     uint64_t OracleSeed = splitMix64(State);
-    std::string Source = generateProgram(GenSeed);
+    std::string Source = generateProgram(GenSeed, C.Opts.Size);
     OracleOutcome Out = runOracles(Source, C.oracleConfig(OracleSeed), C.Pool);
     C.absorb(Out);
     if (Out.failed()) {
@@ -309,6 +323,14 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--policy") {
       const char *V = needValue();
       if (!V || !guard::parsePolicy(V, Opts.Policy))
+        return usage(Argv[0]);
+    } else if (Arg == "--gen-size") {
+      const char *V = needValue();
+      if (V && std::string(V) == "normal")
+        Opts.Size = GenSize::Normal;
+      else if (V && std::string(V) == "small")
+        Opts.Size = GenSize::Small;
+      else
         return usage(Argv[0]);
     } else if (Arg == "--corpus-dir") {
       const char *V = needValue();

@@ -10,6 +10,7 @@
 #include "checker/Checker.h"
 #include "fuzz/RefDetectors.h"
 #include "fuzz/Rng.h"
+#include "interp/Explore.h"
 #include "interp/Interp.h"
 #include "minic/ExprTyper.h"
 #include "minic/Parser.h"
@@ -58,6 +59,8 @@ const char *sharc::fuzz::failureKindName(FailureKind K) {
     return "policy-mismatch";
   case FailureKind::TailMismatch:
     return "tail-mismatch";
+  case FailureKind::ExploreMismatch:
+    return "explore-mismatch";
   }
   return "unknown";
 }
@@ -595,6 +598,9 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
 
   // --- Schedule exploration: oracles 2-4 per scheduler seed. ---
   interp::Interp Interp(*Front.Prog, Check.getInstrumentation());
+  std::vector<std::pair<uint64_t, interp::ExploreVerdict>> RandomVerdicts;
+  uint64_t RandMaxSteps = 0;
+  uint64_t RandMaxThreads = 0;
   for (unsigned K = 0; K < Cfg.Schedules; ++K) {
     uint64_t SeedState = Cfg.Seed + 1000003ull * K;
     uint64_t Seed = splitMix64(SeedState);
@@ -631,6 +637,10 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
     }
     D.u64(Seed);
     D.u64(D1.H);
+    RandomVerdicts.emplace_back(Seed, interp::classifyResult(R1));
+    RandMaxSteps = std::max<uint64_t>(RandMaxSteps, R1.Stats.Steps);
+    RandMaxThreads =
+        std::max<uint64_t>(RandMaxThreads, R1.Stats.ThreadsSpawned);
 
     // Oracle 5: the binary trace round-trip must reproduce the run.
     if (std::string Mismatch = checkTraceRoundTrip(Writer, R1, Trace);
@@ -780,6 +790,62 @@ OracleOutcome sharc::fuzz::runOracles(const std::string &Source,
       for (int64_t C : Expected)
         D.u64(static_cast<uint64_t>(C));
     }
+  }
+
+  // --- Oracle 8: exploration agreement. A random schedule is one
+  // interleaving, so when sharc-explore enumerates the program's
+  // schedule space completely, every random verdict must be among the
+  // explored verdict classes. Gated on all random runs being small
+  // (the schedule space grows exponentially in steps and threads, and
+  // every random interleaving must fit under the exploration's per-run
+  // step cap for containment to be sound) and on Policy::Continue, the
+  // policy explore's internal runs use; anything gated out or over
+  // budget is a recorded skip, never a silent pass.
+  if (Cfg.Explore && Cfg.Policy == guard::Policy::Continue &&
+      RandMaxSteps <= 400 && RandMaxThreads <= 4) {
+    interp::ExploreOptions EO;
+    EO.MaxRuns = 2048;
+    // Keep individual schedules shallow: the DPOR update is quadratic
+    // in run depth, and a spin-wait interleaving can otherwise burn the
+    // whole interpreter step budget in one run. A program whose first
+    // run took <= 400 steps completes well within this; spinning
+    // schedules get cut into an OutOfSteps class, which only ever adds
+    // classes to the explored set (the containment check stays sound).
+    EO.MaxStepsPerRun = 4096;
+    EO.MaxTotalSteps = 1u << 18;
+    interp::ExploreResult ER =
+        interp::explore(*Front.Prog, Check.getInstrumentation(), EO);
+    if (ER.Stats.InternalError) {
+      Out.Failure = FailureKind::ExploreMismatch;
+      Out.Detail = "exploration diverged on a replayed prefix "
+                   "(scheduler determinism bug)";
+      return Out;
+    }
+    if (!ER.complete()) {
+      ++Out.ExploreSkips;
+    } else {
+      ++Out.ExploreChecks;
+      Out.SchedulesExplored += ER.Stats.Runs;
+      for (const auto &SV : RandomVerdicts) {
+        if (!ER.verdictSeen(SV.second)) {
+          Out.Failure = FailureKind::ExploreMismatch;
+          std::ostringstream OS;
+          OS << "seed " << SV.first << ": random-schedule verdict '"
+             << SV.second.describe() << "' not among the "
+             << ER.Verdicts.size() << " exhaustively explored classes";
+          Out.Detail = OS.str();
+          return Out;
+        }
+      }
+      for (const interp::ExploreVerdict &V : ER.Verdicts) {
+        D.u64(V.KindsMask);
+        D.u64((V.Deadlocked ? 1u : 0u) | (V.OutOfSteps ? 2u : 0u) |
+              (V.Completed ? 4u : 0u));
+      }
+      D.u64(ER.Stats.Runs);
+    }
+  } else if (Cfg.Explore) {
+    ++Out.ExploreSkips;
   }
 
   Out.Digest = D.H;

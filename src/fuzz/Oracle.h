@@ -37,6 +37,13 @@
 ///      events, stats samples, diagnosis), and on sampled proper
 ///      prefixes the tail diagnosis must equal the batch parse error
 ///      for the same bytes.
+///   8. Exploration agreement: when the program's schedule space is
+///      small enough for sharc-explore to enumerate completely, every
+///      random-schedule verdict (violation kinds, deadlock, step
+///      exhaustion) must appear among the exhaustively explored verdict
+///      classes — a random schedule is one interleaving, so exhaustive
+///      enumeration must have seen its behaviour. Programs whose
+///      exploration exhausts its budget are recorded as skips.
 ///
 /// Parse/type failures on generated programs are generator-contract
 /// violations and count as failures. Analysis or checker rejections are
@@ -70,6 +77,7 @@ enum class FailureKind : uint8_t {
   TraceMismatch,  ///< obs trace round-trip disagrees with the run.
   PolicyMismatch, ///< Guard policies disagree across engines or runs.
   TailMismatch,   ///< Incremental tail parse disagrees with batch parse.
+  ExploreMismatch, ///< Random verdict outside the explored verdict set.
 };
 
 const char *failureKindName(FailureKind K);
@@ -84,6 +92,10 @@ struct OracleConfig {
   /// run's full violation multiset as its reference, so it only fires
   /// when this is Policy::Continue (the default).
   guard::Policy Policy = guard::Policy::Continue;
+  /// Run the exploration-agreement oracle (oracle 8). It gates itself
+  /// on small first runs and also requires Policy::Continue (the
+  /// policy explore's internal runs use).
+  bool Explore = true;
 };
 
 /// Everything one program's oracle run produced. All fields (including
@@ -98,6 +110,10 @@ struct OracleOutcome {
   unsigned TraceSkips = 0; ///< Schedules whose trace exceeded the cutoff.
   unsigned RcSkips = 0;    ///< Schedules skipped by the RC oracle.
   unsigned PolicyChecks = 0; ///< Schedules the policy oracle covered.
+  unsigned ExploreChecks = 0; ///< Programs oracle 8 fully enumerated.
+  unsigned ExploreSkips = 0;  ///< Programs oracle 8 gated out or gave
+                              ///< up on (budget, big first run, policy).
+  uint64_t SchedulesExplored = 0; ///< Exhaustive runs across programs.
 
   uint64_t ViolationsSeen = 0; ///< Runtime violations across schedules.
   uint64_t RacyCells = 0;      ///< Cells the detectors agreed are racy.

@@ -31,8 +31,23 @@
 namespace sharc {
 namespace fuzz {
 
+/// Generator size profile. Normal is the historical shape (its output
+/// is byte-identical to the single-argument entry point). Small keeps
+/// the schedule space tractable for sharc-explore's exhaustive oracle:
+/// no spin-wait joins (a `while (done0 < N) { }` loop multiplies the
+/// interleaving count without adding behaviours), no pipeline
+/// template, at most two spawns, and tighter loop and statement
+/// bounds.
+enum class GenSize : uint8_t {
+  Normal,
+  Small,
+};
+
 /// \returns the source text of a random MiniC program. Deterministic:
-/// the same seed always yields byte-identical source.
+/// the same (seed, size) always yields byte-identical source.
+std::string generateProgram(uint64_t Seed, GenSize Size);
+
+/// Historical entry point: the Normal profile.
 std::string generateProgram(uint64_t Seed);
 
 } // namespace fuzz

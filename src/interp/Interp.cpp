@@ -6,6 +6,7 @@
 
 #include "interp/Interp.h"
 
+#include "interp/Schedule.h"
 #include "obs/Sink.h"
 
 #include <algorithm>
@@ -181,7 +182,10 @@ class Machine {
 public:
   Machine(Program &Prog, const checker::Instrumentation &Instr,
           const InterpOptions &Options)
-      : Prog(Prog), Instr(Instr), Options(Options), Rng(Options.Seed),
+      : Prog(Prog), Instr(Instr), Options(Options),
+        OwnedRandom(Options.Seed),
+        Sched(Options.Sched ? Options.Sched : &OwnedRandom),
+        WantNotes(Sched->wantsNotes()),
         Profiling(Options.Profile && Options.Sink != nullptr) {}
 
   InterpResult run();
@@ -194,7 +198,7 @@ private:
   uint64_t sizeInCells(const TypeNode *T) const;
   uint64_t fieldOffset(const StructDecl *S, const VarDecl *Field) const;
   uint64_t countPtrCells(int64_t Value) const;
-  void clearObjectSets(Addr A);
+  void clearObjectSets(const ThreadCtx &T, Addr A);
 
   //===--- threads and scheduling -------------------------------------------
   unsigned allocateTid();
@@ -300,18 +304,25 @@ private:
     return E->ExprType && (E->ExprType->isPointer() || E->ExprType->isFunc());
   }
 
-  uint64_t nextRandom() {
-    // xorshift64*.
-    Rng ^= Rng >> 12;
-    Rng ^= Rng << 25;
-    Rng ^= Rng >> 27;
-    return Rng * 0x2545F4914F6CDD1Dull;
+  /// Reports a trace-invisible effect to the schedule (Schedule.h);
+  /// free when the schedule does not listen.
+  void schedNote(SchedNote K, const ThreadCtx &T, uint64_t A) {
+    if (WantNotes)
+      Sched->note(K, T.TraceTid, A);
   }
 
   Program &Prog;
   const checker::Instrumentation &Instr;
   InterpOptions Options;
-  uint64_t Rng;
+  /// Fallback decision source when Options.Sched is null: the
+  /// historical seeded scheduler (bit-exact; see Schedule.h).
+  RandomSchedule OwnedRandom;
+  Schedule *Sched;
+  const bool WantNotes;
+  /// The schedule asked to stop (Schedule::Abort). Mid-step requests
+  /// (cond_signal picks) finish the step first; the run loop checks
+  /// before every step.
+  bool SchedAbort = false;
 
   std::vector<Cell> Mem;
   std::map<Addr, ObjectInfo> Objects;
@@ -420,7 +431,7 @@ Addr Machine::alloc(uint64_t SizeCells) {
   return A;
 }
 
-void Machine::clearObjectSets(Addr A) {
+void Machine::clearObjectSets(const ThreadCtx &T, Addr A) {
   auto It = Objects.find(A);
   if (It == Objects.end()) {
     // Interior pointer: find the containing object.
@@ -436,6 +447,7 @@ void Machine::clearObjectSets(Addr A) {
     Mem[C].Writers = 0;
     Mem[C].LastTid = 0;
     Mem[C].LastExpr = nullptr;
+    schedNote(SchedNote::ImplicitWrite, T, C);
   }
 }
 
@@ -454,6 +466,7 @@ void Machine::freeObject(ThreadCtx &T, Addr A, const Expr *At) {
     if (Mem[C].IsPtr)
       emit(TraceEvent::Kind::PtrStore, T, C, 0);
     Mem[C] = Cell{};
+    schedNote(SchedNote::ImplicitWrite, T, C);
   }
   It->second.Freed = true;
 }
@@ -537,7 +550,7 @@ void Machine::report(Violation::Kind K, ThreadCtx &T, Addr A,
       QuarCells.insert(A);
       break;
     case Violation::Kind::CastError:
-      clearObjectSets(A);
+      clearObjectSets(T, A);
       break;
     case Violation::Kind::RuntimeError:
       break;
@@ -667,6 +680,7 @@ void Machine::setCellRaw(ThreadCtx &T, Addr A, int64_t V, bool IsPtr) {
     emit(TraceEvent::Kind::PtrStore, T, A, IsPtr ? V : 0);
   Mem[A].V = V;
   Mem[A].IsPtr = IsPtr;
+  schedNote(SchedNote::ImplicitWrite, T, A);
 }
 
 Addr Machine::addrOfVar(ThreadCtx &T, Frame &F, const VarDecl *Var) {
@@ -917,7 +931,7 @@ int64_t Machine::evalExpr(ThreadCtx &T, Frame &F, const Expr *E) {
     // the object's reader/writer history.
     storeCell(T, SrcAddr, 0, /*IsPtr=*/true, Scast->Src);
     if (Obj != 0)
-      clearObjectSets(static_cast<Addr>(Obj));
+      clearObjectSets(T, static_cast<Addr>(Obj));
     return Obj;
   }
   case ExprKind::New: {
@@ -1023,6 +1037,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     }
     T.State = ThreadCtx::St::BlockedLock;
     T.BlockLock = Lock;
+    schedNote(SchedNote::BlockedLock, T, Lock);
     profLockBlocked(T, Lock, Call->Loc.Line);
     return false;
   }
@@ -1070,23 +1085,54 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     T.ReacquireLock = Lock;
     T.ReacquireLine = Call->Loc.Line;
     CondWaiters[Cond].push_back(T.Tid);
+    schedNote(SchedNote::CondWait, T, Cond);
     return true; // consumed; the thread resumes after signal + reacquire
   }
   if (Name == "cond_signal" || Name == "cond_broadcast") {
     Addr Cond = static_cast<Addr>(Args[0]);
     auto &Waiters = CondWaiters[Cond];
-    size_t N = Name == "cond_signal" ? std::min<size_t>(1, Waiters.size())
-                                     : Waiters.size();
-    for (size_t I = 0; I != N; ++I) {
-      unsigned Tid = Waiters[I];
+    if (Waiters.empty())
+      return true;
+    schedNote(SchedNote::CondWake, T, Cond);
+    if (Name == "cond_signal") {
+      // Which waiter wakes is a genuine scheduling decision: route it
+      // through the choice-point API so replay is bit-exact and the
+      // explorer can branch on it. RandomSchedule answers 0, the
+      // historical FIFO wake-up, so seeded runs are unchanged.
+      std::vector<unsigned> OptionTids(Waiters.size());
+      for (size_t I = 0; I != Waiters.size(); ++I) {
+        OptionTids[I] = 0;
+        for (const ThreadCtx &W : Threads)
+          if (W.Tid == Waiters[I] && W.State == ThreadCtx::St::WaitingCond)
+            OptionTids[I] = W.TraceTid;
+      }
+      ChoicePoint CP{ChoiceKind::CondSignalPick, OptionTids.data(),
+                     OptionTids.size()};
+      size_t Idx = Sched->choose(CP);
+      if (Idx >= OptionTids.size()) {
+        // Abort (or out of range): stop before the next step; wake the
+        // FIFO head so this step still terminates cleanly.
+        SchedAbort = true;
+        Idx = 0;
+      }
+      unsigned Tid = Waiters[Idx];
       for (ThreadCtx &W : Threads)
         if (W.Tid == Tid && W.State == ThreadCtx::St::WaitingCond) {
           W.State = ThreadCtx::St::Runnable;
           W.WaitCond = 0;
           // W.ReacquireLock already holds the mutex to re-take.
         }
+      Waiters.erase(Waiters.begin() + Idx);
+      return true;
     }
-    Waiters.erase(Waiters.begin(), Waiters.begin() + N);
+    // Broadcast wakes everyone; no decision to make.
+    for (unsigned Tid : Waiters)
+      for (ThreadCtx &W : Threads)
+        if (W.Tid == Tid && W.State == ThreadCtx::St::WaitingCond) {
+          W.State = ThreadCtx::St::Runnable;
+          W.WaitCond = 0;
+        }
+    Waiters.clear();
     return true;
   }
   if (Name == "rwlock_rdlock") {
@@ -1094,6 +1140,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     if (LockOwner[Lock] != 0) { // a writer holds it
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = Lock;
+      schedNote(SchedNote::BlockedLock, T, Lock);
       profLockBlocked(T, Lock, Call->Loc.Line);
       return false;
     }
@@ -1125,6 +1172,7 @@ bool Machine::execBuiltin(ThreadCtx &T, const FuncDecl *F,
     if (LockOwner[Lock] != 0 || ReaderCount[Lock] != 0) {
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = Lock;
+      schedNote(SchedNote::BlockedLock, T, Lock);
       profLockBlocked(T, Lock, Call->Loc.Line);
       return false;
     }
@@ -1230,6 +1278,7 @@ void Machine::returnFromFrame(ThreadCtx &T, int64_t Value, bool IsPtr) {
         if (Mem[C].IsPtr)
           emit(TraceEvent::Kind::PtrStore, T, C, 0);
         Mem[C] = Cell{};
+        schedNote(SchedNote::ImplicitWrite, T, C);
       }
       It->second.Freed = true;
     }
@@ -1290,11 +1339,17 @@ ThreadCtx &Machine::spawnThread(const FuncDecl *F, int64_t Arg, bool HasArg) {
 
 void Machine::threadExit(ThreadCtx &T) {
   // "When a thread ends, the bits recording its accesses are cleared."
+  // The clears are invisible in the trace but decide verdicts ("no race
+  // if executions do not overlap"), so the schedule hears about every
+  // one: the explorer must treat an exit as conflicting with the cells
+  // the thread touched, or it would prune the overlapping/
+  // non-overlapping distinction away.
   uint64_t Bit = uint64_t(1) << T.Tid;
   for (Addr A : T.AccessLog) {
     if (A < Mem.size()) {
       Mem[A].Readers &= ~Bit;
       Mem[A].Writers &= ~Bit;
+      schedNote(SchedNote::ImplicitWrite, T, A);
     }
   }
   T.AccessLog.clear();
@@ -1494,6 +1549,7 @@ void Machine::step(ThreadCtx &T) {
     if (Owner != 0 && Owner != T.Tid) {
       T.State = ThreadCtx::St::BlockedLock;
       T.BlockLock = T.ReacquireLock;
+      schedNote(SchedNote::BlockedLock, T, T.ReacquireLock);
       profLockBlocked(T, T.ReacquireLock, T.ReacquireLine);
       return;
     }
@@ -1639,14 +1695,17 @@ InterpResult Machine::runImpl() {
   emit(TraceEvent::Kind::ThreadStart, Main, 0);
 
   std::vector<size_t> Runnable;
+  std::vector<unsigned> RunnableTids;
   while (Result.Stats.Steps < Options.MaxSteps) {
     Runnable.clear();
+    RunnableTids.clear();
     bool AnyLive = false;
     for (size_t I = 0; I != Threads.size(); ++I) {
       ThreadCtx &T = Threads[I];
       switch (T.State) {
       case ThreadCtx::St::Runnable:
         Runnable.push_back(I);
+        RunnableTids.push_back(T.TraceTid);
         AnyLive = true;
         break;
       case ThreadCtx::St::BlockedLock:
@@ -1691,7 +1750,16 @@ InterpResult Machine::runImpl() {
       }
       return std::move(Result);
     }
-    size_t Pick = Runnable[nextRandom() % Runnable.size()];
+    ChoicePoint CP{ChoiceKind::ThreadPick, RunnableTids.data(),
+                   RunnableTids.size()};
+    size_t Idx = Sched->choose(CP);
+    if (Idx >= Runnable.size()) {
+      // Schedule::Abort (or an out-of-range answer, treated the same):
+      // the run stops here and proves nothing about the program.
+      Result.ScheduleAborted = true;
+      return std::move(Result);
+    }
+    size_t Pick = Runnable[Idx];
     ++Result.Stats.Steps;
     if (Options.Live) [[unlikely]] {
       if (Options.LivePollSteps == 0 ||
@@ -1707,6 +1775,10 @@ InterpResult Machine::runImpl() {
     step(Threads[Pick]);
     if (PolicyHalt) {
       Result.PolicyHalted = true;
+      return std::move(Result);
+    }
+    if (SchedAbort) {
+      Result.ScheduleAborted = true;
       return std::move(Result);
     }
   }

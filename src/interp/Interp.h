@@ -54,6 +54,8 @@ class Sink;
 
 namespace interp {
 
+class Schedule;
+
 /// A detected sharing-strategy violation, rendered in the paper's report
 /// format.
 struct Violation {
@@ -116,6 +118,12 @@ constexpr uint64_t TraceTokenBase = uint64_t(1) << 40;
 /// Interpreter options.
 struct InterpOptions {
   uint64_t Seed = 1;          ///< Scheduler seed; same seed, same run.
+  /// When non-null, every nondeterministic decision (thread pick per
+  /// step, cond_signal wake-up order) is delegated here instead of the
+  /// built-in seeded scheduler (see Schedule.h). Null — the default —
+  /// uses an internal RandomSchedule(Seed), which reproduces the
+  /// historical behaviour bit for bit.
+  Schedule *Sched = nullptr;
   uint64_t MaxSteps = 1u << 22; ///< Step budget before reporting livelock.
   bool FailStop = false;      ///< Figure 5 `fail` semantics.
   std::string EntryPoint = "main";
@@ -178,6 +186,9 @@ struct InterpResult {
   bool Deadlocked = false;  ///< No runnable thread remained.
   bool OutOfSteps = false;  ///< MaxSteps exhausted.
   bool PolicyHalted = false; ///< Policy::Abort stopped the run.
+  /// The Schedule returned Abort (witness divergence, exploration
+  /// pruning); the run stopped early and proves nothing.
+  bool ScheduleAborted = false;
   std::vector<Violation> Violations;
   /// Every violation detected, including ones dropped from Violations by
   /// dedup/per-kind capping (equal to Violations.size() when

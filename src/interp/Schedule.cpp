@@ -1,0 +1,123 @@
+//===-- interp/Schedule.cpp -----------------------------------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Schedule.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace sharc;
+using namespace sharc::interp;
+
+//===----------------------------------------------------------------------===//
+// Witness text format
+//===----------------------------------------------------------------------===//
+//
+//   sharc-witness-v1
+//   choices <N>
+//   t <tid> <numOptions>      (one line per choice; t = thread pick,
+//   c <tid> <numOptions>       c = cond-signal pick)
+//   end
+//
+// The trailing "end" line is mandatory: a file that stops mid-stream
+// (crash, truncation) fails to parse instead of replaying a prefix.
+
+std::string Witness::serialize() const {
+  std::string Out = "sharc-witness-v1\n";
+  Out += "choices " + std::to_string(Choices.size()) + "\n";
+  char Buf[64];
+  for (const Choice &C : Choices) {
+    std::snprintf(Buf, sizeof(Buf), "%c %u %u\n",
+                  C.Kind == ChoiceKind::ThreadPick ? 't' : 'c', C.Tid,
+                  C.NumOptions);
+    Out += Buf;
+  }
+  Out += "end\n";
+  return Out;
+}
+
+bool Witness::parse(const std::string &Text, std::string &Error) {
+  Choices.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "sharc-witness-v1") {
+    Error = "missing sharc-witness-v1 header";
+    return false;
+  }
+  if (!std::getline(In, Line)) {
+    Error = "truncated witness: missing choice count";
+    return false;
+  }
+  unsigned long long Count = 0;
+  if (std::sscanf(Line.c_str(), "choices %llu", &Count) != 1) {
+    Error = "malformed choice count line: '" + Line + "'";
+    return false;
+  }
+  for (unsigned long long I = 0; I != Count; ++I) {
+    if (!std::getline(In, Line)) {
+      Error = "truncated witness: " + std::to_string(Choices.size()) +
+              " of " + std::to_string(Count) + " choices present";
+      return false;
+    }
+    char KindCh = 0;
+    unsigned Tid = 0, NumOptions = 0;
+    if (std::sscanf(Line.c_str(), "%c %u %u", &KindCh, &Tid, &NumOptions) !=
+            3 ||
+        (KindCh != 't' && KindCh != 'c')) {
+      Error = "malformed choice line: '" + Line + "'";
+      return false;
+    }
+    Choice C;
+    C.Kind = KindCh == 't' ? ChoiceKind::ThreadPick
+                           : ChoiceKind::CondSignalPick;
+    C.Tid = Tid;
+    C.NumOptions = NumOptions;
+    Choices.push_back(C);
+  }
+  if (!std::getline(In, Line) || Line != "end") {
+    Error = "truncated witness: missing end line";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ReplaySchedule
+//===----------------------------------------------------------------------===//
+
+size_t ReplaySchedule::choose(const ChoicePoint &CP) {
+  if (Diverged)
+    return Abort;
+  if (Next >= W.Choices.size()) {
+    Diverged = true;
+    Error = "run requested more choices than the witness records (" +
+            std::to_string(W.Choices.size()) + ")";
+    return Abort;
+  }
+  const Witness::Choice &C = W.Choices[Next];
+  if (C.Kind != CP.Kind) {
+    Diverged = true;
+    Error = "choice " + std::to_string(Next) + " kind mismatch";
+    return Abort;
+  }
+  if (C.NumOptions != CP.NumOptions) {
+    Diverged = true;
+    Error = "choice " + std::to_string(Next) + " offers " +
+            std::to_string(CP.NumOptions) + " options, witness recorded " +
+            std::to_string(C.NumOptions);
+    return Abort;
+  }
+  for (size_t I = 0; I != CP.NumOptions; ++I) {
+    if (CP.Options[I] == C.Tid) {
+      ++Next;
+      return I;
+    }
+  }
+  Diverged = true;
+  Error = "choice " + std::to_string(Next) + ": tid " +
+          std::to_string(C.Tid) + " is not runnable here";
+  return Abort;
+}

@@ -1,0 +1,177 @@
+//===-- interp/Schedule.h - Scheduler choice-point API ----------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every nondeterministic decision the interpreter makes flows through
+/// one abstract object, a Schedule (DESIGN.md §14):
+///
+///   - ThreadPick: which runnable thread executes the next step;
+///   - CondSignalPick: which waiter a cond_signal wakes when more than
+///     one thread is parked on the condition variable.
+///
+/// Options are presented as trace tids (unique per thread, never
+/// reused), in the machine's deterministic creation order, and the
+/// Schedule answers with an index into that list. Three drivers exist:
+///
+///   - RandomSchedule reproduces the historical seeded scheduler bit
+///     for bit: one xorshift64* draw per ThreadPick (even when only one
+///     thread is runnable — the legacy loop drew unconditionally) and
+///     FIFO wake-up for CondSignalPick with no draw at all, so every
+///     fuzz determinism digest recorded before this refactor still
+///     matches.
+///   - ReplaySchedule follows a recorded Witness and flags divergence
+///     instead of guessing, making a counterexample a first-class,
+///     bit-exact test input.
+///   - ExploreSchedule (Explore.cpp) drives the DPOR depth-first
+///     search.
+///
+/// The note() side channel reports scheduler-relevant effects that are
+/// invisible in the event trace (blocked lock attempts, cond parking
+/// and wake-ups, and the implicit cell writes of frame death, free,
+/// access-set clearing, and thread-exit bit erasure). The explorer
+/// folds them into step footprints so its conflict relation sees every
+/// mutation that can change a verdict; the other schedules ignore them
+/// (wantsNotes() gates the calls so the default path pays one branch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_INTERP_SCHEDULE_H
+#define SHARC_INTERP_SCHEDULE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sharc {
+namespace interp {
+
+/// The kinds of nondeterministic decision the interpreter exposes.
+enum class ChoiceKind : uint8_t {
+  ThreadPick,     ///< Which runnable thread steps next.
+  CondSignalPick, ///< Which waiter a cond_signal wakes.
+};
+
+/// One decision to make. Options lists the candidate trace tids in the
+/// machine's deterministic order (thread creation order for
+/// ThreadPick, wait-queue order for CondSignalPick).
+struct ChoicePoint {
+  ChoiceKind Kind = ChoiceKind::ThreadPick;
+  const unsigned *Options = nullptr;
+  size_t NumOptions = 0;
+};
+
+/// Trace-invisible effects reported through Schedule::note().
+enum class SchedNote : uint8_t {
+  BlockedLock,   ///< A lock acquisition blocked; Addr is the lock.
+  CondWait,      ///< A thread parked on a condition; Addr is the cond.
+  CondWake,      ///< cond_signal/broadcast fired; Addr is the cond.
+  ImplicitWrite, ///< A cell mutated outside storeCell (frame death,
+                 ///< free, access-set clearing, thread-exit bit
+                 ///< erasure); Addr is the cell.
+};
+
+/// Abstract source of scheduling decisions.
+class Schedule {
+public:
+  /// Returned by choose() to stop the run; the interpreter sets
+  /// InterpResult::ScheduleAborted and returns without another step.
+  static constexpr size_t Abort = ~size_t(0);
+
+  virtual ~Schedule() = default;
+
+  /// \returns an index into CP.Options, or Abort.
+  virtual size_t choose(const ChoicePoint &CP) = 0;
+
+  /// True when this schedule wants note() calls; the interpreter skips
+  /// them entirely otherwise.
+  virtual bool wantsNotes() const { return false; }
+
+  /// Reports a trace-invisible effect of the current step (see
+  /// SchedNote). Only called when wantsNotes() is true.
+  virtual void note(SchedNote K, unsigned TraceTid, uint64_t Addr) {
+    (void)K;
+    (void)TraceTid;
+    (void)Addr;
+  }
+};
+
+/// The historical seeded scheduler, factored behind the API. Same
+/// seed, same run — including the exact xorshift64* stream the
+/// pre-refactor interpreter consumed, which the fuzz determinism
+/// digests pin.
+class RandomSchedule : public Schedule {
+public:
+  explicit RandomSchedule(uint64_t Seed) : Rng(Seed) {}
+
+  size_t choose(const ChoicePoint &CP) override {
+    if (CP.Kind == ChoiceKind::CondSignalPick)
+      return 0; // legacy FIFO wake-up; no draw.
+    // The legacy loop drew once per step unconditionally.
+    return static_cast<size_t>(nextRandom() %
+                               (CP.NumOptions ? CP.NumOptions : 1));
+  }
+
+private:
+  uint64_t nextRandom() {
+    // xorshift64*.
+    Rng ^= Rng >> 12;
+    Rng ^= Rng << 25;
+    Rng ^= Rng >> 27;
+    return Rng * 0x2545F4914F6CDD1Dull;
+  }
+
+  uint64_t Rng;
+};
+
+/// A recorded schedule: the exact sequence of decisions of one run.
+/// Each entry stores the chosen trace tid plus the kind and option
+/// count of its choice point, so replay can verify it is walking the
+/// same tree instead of silently diverging.
+struct Witness {
+  struct Choice {
+    ChoiceKind Kind = ChoiceKind::ThreadPick;
+    unsigned Tid = 0;       ///< Chosen trace tid.
+    uint32_t NumOptions = 0; ///< Option count at the choice point.
+  };
+  std::vector<Choice> Choices;
+
+  /// Compact text form (DESIGN.md §14.3): a version header, the choice
+  /// count, one line per choice, and a mandatory trailing "end" line
+  /// that makes truncation detectable.
+  std::string serialize() const;
+
+  /// Parses serialize() output. \returns false and sets Error on any
+  /// malformation, including a missing "end" line (truncated file).
+  bool parse(const std::string &Text, std::string &Error);
+};
+
+/// Replays a Witness decision for decision. Any divergence — a choice
+/// point of the wrong kind, a different option count, a chosen tid
+/// that is not on offer, or more choice points than the witness holds
+/// — aborts the run and records why, rather than guessing.
+class ReplaySchedule : public Schedule {
+public:
+  explicit ReplaySchedule(const Witness &W) : W(W) {}
+
+  size_t choose(const ChoicePoint &CP) override;
+
+  bool diverged() const { return Diverged; }
+  /// True when the run consumed the whole witness without divergence.
+  bool complete() const { return !Diverged && Next == W.Choices.size(); }
+  const std::string &divergence() const { return Error; }
+
+private:
+  const Witness &W;
+  size_t Next = 0;
+  bool Diverged = false;
+  std::string Error;
+};
+
+} // namespace interp
+} // namespace sharc
+
+#endif // SHARC_INTERP_SCHEDULE_H

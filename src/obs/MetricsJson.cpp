@@ -60,4 +60,46 @@ std::string statsToJson(const rt::StatsSnapshot &S) {
   return Out;
 }
 
+void appendExploreJson(JsonWriter &W, const ExploreCounters &C) {
+  W.beginObject();
+  W.key("schedules_run");
+  W.value(C.SchedulesRun);
+  W.key("sleep_pruned");
+  W.value(C.SleepPruned);
+  W.key("bounded_runs");
+  W.value(C.BoundedRuns);
+  W.key("dpor_pruned");
+  W.value(C.DporPruned);
+  W.key("preempt_pruned");
+  W.value(C.PreemptPruned);
+  W.key("steps_total");
+  W.value(C.StepsTotal);
+  W.key("max_depth");
+  W.value(C.MaxDepth);
+  W.key("verdict_classes");
+  W.value(C.VerdictClasses);
+  W.key("violating_classes");
+  W.value(C.ViolatingClasses);
+  W.key("bound_hit");
+  W.value(C.BoundHit);
+  W.key("budget_exhausted");
+  W.value(C.BudgetExhausted);
+  W.key("complete");
+  W.value(C.Complete);
+  W.endObject();
+}
+
+std::string exploreToJson(const ExploreCounters &C) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema");
+  W.value("sharc-explore-v1");
+  W.key("explore");
+  appendExploreJson(W, C);
+  W.endObject();
+  std::string Out = W.take();
+  Out.push_back('\n');
+  return Out;
+}
+
 } // namespace sharc::obs
