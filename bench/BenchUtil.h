@@ -96,6 +96,29 @@ inline std::string gitRev() {
 #endif
 }
 
+/// Writes the sharc-bench-v1 "host" member: cpu count, compiler, build
+/// type, git revision, and the wall-clock stamp compare-runs orders
+/// archived runs by. One helper shared by JsonReport (BENCH_table1 and
+/// friends) and sharc-serve's hand-rolled report, so every file landing
+/// in bench/history/ stays comparable the same way.
+inline void writeHostJson(obs::JsonWriter &W) {
+  W.key("host");
+  W.beginObject();
+  W.key("cpus");
+  W.value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  W.key("compiler");
+  W.value(compilerId());
+  W.key("build");
+  W.value(buildType());
+  W.key("git_rev");
+  W.value(gitRev());
+  // Wall-clock stamp so `sharc-trace compare-runs` can order archived
+  // runs chronologically even when file names collide across branches.
+  W.key("unix_time");
+  W.value(static_cast<uint64_t>(std::time(nullptr)));
+  W.endObject();
+}
+
 /// Machine-readable results for one harness, written as sharc-bench-v1
 /// JSON when --json=FILE (or --json FILE) is passed; a no-op otherwise.
 /// The text tables on stdout are untouched — the JSON rides along so
@@ -140,21 +163,7 @@ public:
     W.value(static_cast<uint64_t>(scale()));
     W.key("reps");
     W.value(static_cast<uint64_t>(reps()));
-    W.key("host");
-    W.beginObject();
-    W.key("cpus");
-    W.value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
-    W.key("compiler");
-    W.value(compilerId());
-    W.key("build");
-    W.value(buildType());
-    W.key("git_rev");
-    W.value(gitRev());
-    // Wall-clock stamp so `sharc-trace compare-runs` can order archived
-    // runs chronologically even when file names collide across branches.
-    W.key("unix_time");
-    W.value(static_cast<uint64_t>(std::time(nullptr)));
-    W.endObject();
+    writeHostJson(W);
     W.key("rows");
     W.beginArray();
     for (const auto &[Name, Metrics] : Rows) {

@@ -43,6 +43,44 @@ SHARC_BENCH_SCALE=1 SHARC_BENCH_REPS=1 \
   || true # non-clean rows exit 1 but still write the report
 "$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_table1.json"
 
+echo "== serve bench -> BENCH_serve.json =="
+# The high-traffic scenario (DESIGN.md §15): 100k simulated client
+# connections through the annotated server under open-loop Poisson load,
+# with the live /metrics endpoint armed and scraped at the schedule
+# midpoint. The report carries throughput, p50/p99/p999 latency, and the
+# scrape — sharc-trace check-bench validates the serve section.
+SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" \
+  --clients 100000 --rate 20000 --service-us 20 --workers 4 \
+  --stats-addr 127.0.0.1:0 --json "$ROOT/BENCH_serve.json"
+"$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_serve.json"
+
+echo "== serve overhead gate =="
+# Armed-vs-disabled for the server itself: the same fixed request mix
+# with checking enabled must keep handler CPU (thread-CPU accounted, so
+# scheduler noise cancels) within 2% of the --unchecked baseline. Same
+# retry discipline as the micro gates: fresh adjacent baselines, pass on
+# any of 4 attempts.
+SERVE_RUN="--clients 3000 --rate 200000 --service-us 200 --workers 3"
+ATTEMPT=1
+while :; do
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN \
+    --unchecked --quiet --json "$BUILD/bench_serve_orig.json"
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN \
+    --quiet --json "$BUILD/bench_serve_sharc.json"
+  if "$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
+       "$BUILD/bench_serve_orig.json" "$BUILD/bench_serve_sharc.json"; then
+    break
+  fi
+  if [ "$ATTEMPT" -ge 4 ]; then
+    echo "ci.sh: serve overhead gate: over 2% in all $ATTEMPT attempts"
+    exit 1
+  fi
+  ATTEMPT=$((ATTEMPT + 1))
+  echo "ci.sh: serve overhead gate: retrying (attempt $ATTEMPT)"
+done
+
 echo "== profiler overhead gate =="
 # sharc-prof must keep the disabled fast path at one predicted branch
 # (ISSUE 3 / DESIGN.md §11): run the check-path microbenchmarks with
@@ -145,6 +183,11 @@ mkdir -p "$HIST"
 N=0
 while [ -e "$HIST/$SHARC_GIT_REV-$N.json" ]; do N=$((N + 1)); done
 cp "$ROOT/BENCH_table1.json" "$HIST/$SHARC_GIT_REV-$N.json"
+# The serve report rides along under its own name so compare-runs trends
+# its latency percentiles (p50/p99/p999) across revisions too.
+N=0
+while [ -e "$HIST/$SHARC_GIT_REV-serve-$N.json" ]; do N=$((N + 1)); done
+cp "$ROOT/BENCH_serve.json" "$HIST/$SHARC_GIT_REV-serve-$N.json"
 "$BUILD/src/obs/sharc-trace" compare-runs "$HIST" --max-pct 25 \
   || echo "ci.sh: WARNING: compare-runs flagged a regression (soft gate)"
 

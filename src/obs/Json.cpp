@@ -428,6 +428,37 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
     Error = "host: field \"unix_time\" is not a number";
     return false;
   }
+  // Optional "serve" section: sharc-serve stamps its run configuration
+  // and the mid-run /metrics scrape here. When present it must carry
+  // numeric clients and target_rate_rps; every other member is numeric
+  // too, except the nested "scrape" object (itself all-numeric).
+  if (const JsonValue *Serve = Doc.get("serve")) {
+    if (!Serve->isObject()) {
+      Error = "field \"serve\" is not an object";
+      return false;
+    }
+    if (!requireNumber(*Serve, "clients", Error) ||
+        !requireNumber(*Serve, "target_rate_rps", Error)) {
+      Error = "serve: " + Error;
+      return false;
+    }
+    for (const auto &[K, V] : Serve->Obj) {
+      if (K == "scrape") {
+        if (!V.isObject()) {
+          Error = "serve: field \"scrape\" is not an object";
+          return false;
+        }
+        for (const auto &[SK, SV] : V.Obj)
+          if (!SV.isNumber()) {
+            Error = "serve: scrape: field \"" + SK + "\" is not a number";
+            return false;
+          }
+      } else if (!V.isNumber()) {
+        Error = "serve: field \"" + K + "\" is not a number";
+        return false;
+      }
+    }
+  }
   const JsonValue *Rows = Doc.get("rows");
   if (!Rows || !Rows->isArray()) {
     Error = "missing array field \"rows\"";

@@ -79,6 +79,9 @@ bool parseJson(std::string_view Text, JsonValue &Out, std::string &Error);
 /// Validates a bench harness report against the sharc-bench-v1 schema:
 ///   { "schema": "sharc-bench-v1", "bench": str, "scale": num,
 ///     "reps": num, "rows": [ { "name": str, "metrics": {str: num} } ] }
+/// plus the optional "serve" section sharc-serve emits (numeric members
+/// — clients and target_rate_rps required — and an all-numeric nested
+/// "scrape" object for the mid-run /metrics sample).
 bool validateBenchJson(const JsonValue &Doc, std::string &Error);
 
 /// Validates a sharcc --metrics-out file against sharc-metrics-v1.

@@ -113,9 +113,13 @@ void printUsage(std::FILE *To) {
       "  compare-runs DIR [--max-pct P]\n"
       "                         per-benchmark trend table over a\n"
       "                         directory of archived sharc-bench-v1\n"
-      "                         runs (bench/history/); fail when the\n"
-      "                         newest run regressed the previous one by\n"
-      "                         more than P%% (default 10)\n"
+      "                         runs (bench/history/); each row is\n"
+      "                         trended on its timing metric and every\n"
+      "                         latency percentile (p50/p99/p999...);\n"
+      "                         fail — naming the regressed metric\n"
+      "                         key(s) — when the newest run regressed\n"
+      "                         the previous one by more than P%%\n"
+      "                         (default 10)\n"
       "  --help                 print this message\n"
       "\n"
       "every command also accepts --help; exit codes: 0 success,\n"
@@ -153,7 +157,10 @@ constexpr SubcommandHelp SubcommandHelps[] = {
     {"check-metrics", "sharc-trace check-metrics FILE..."},
     {"check-overhead",
      "sharc-trace check-overhead BASE.json CAND.json [--max-pct P]"},
-    {"compare-runs", "sharc-trace compare-runs DIR [--max-pct P]"},
+    {"compare-runs",
+     "sharc-trace compare-runs DIR [--max-pct P]\n"
+     "  trends each row's timing metric and latency percentiles over the\n"
+     "  archived runs; a FAIL names every bench/row:metric that regressed"},
 };
 
 bool loadOrComplain(const char *Path, obs::TraceData &Data) {
@@ -548,6 +555,19 @@ const double *timingMetric(
       return &Value;
     }
   return nullptr;
+}
+
+/// True for latency-percentile metric keys: 'p' followed by digits, then
+/// end-of-name or a unit suffix — p50, p99_us, p999_us. compare-runs
+/// gates these alongside the timing metric so tail-latency regressions
+/// (which leave wall time untouched in an open-loop run) still fail.
+bool isPercentileMetric(const std::string &Key) {
+  if (Key.size() < 2 || Key[0] != 'p')
+    return false;
+  size_t I = 1;
+  while (I < Key.size() && Key[I] >= '0' && Key[I] <= '9')
+    ++I;
+  return I > 1 && (I == Key.size() || Key[I] == '_');
 }
 
 int cmdCheckOverhead(int Argc, char **Argv) {
@@ -1097,54 +1117,77 @@ int cmdCompareRuns(int Argc, char **Argv) {
   for (const ArchivedRun &R : Runs)
     std::printf("  %-12s %s\n", R.Rev.c_str(), R.Path.c_str());
 
-  // Per-benchmark series of the timing metric across runs.
+  // Per-benchmark series across runs: each row is trended on its timing
+  // metric plus every latency percentile it carries (p50_us, p99_us,
+  // p999_us, ... — sharc-serve's tail-latency rows), so a change that
+  // keeps the mean but fattens the tail still trips the gate.
   std::printf("\n%-36s %4s %12s %12s %12s %12s  %s\n", "benchmark", "runs",
               "first", "best", "prev", "last", "last-vs-prev");
   int Status = 0;
   std::vector<std::string> Seen;
+  std::vector<std::string> Regressed;
   for (const ArchivedRun &Origin : Runs) {
     for (const auto &[Name, OriginMetrics] : Origin.Rows.Rows) {
-      std::string Key = Origin.Bench + "/" + Name;
-      if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+      std::string RowKey = Origin.Bench + "/" + Name;
+      if (std::find(Seen.begin(), Seen.end(), RowKey) != Seen.end())
         continue;
-      Seen.push_back(Key);
-      std::string MetricName;
-      if (!timingMetric(OriginMetrics, MetricName))
-        continue;
-      std::vector<double> Series;
-      for (const ArchivedRun &R : Runs) {
-        if (R.Bench != Origin.Bench)
+      Seen.push_back(RowKey);
+      std::vector<std::string> MetricNames;
+      std::string TimingName;
+      if (timingMetric(OriginMetrics, TimingName))
+        MetricNames.push_back(TimingName);
+      for (const auto &[K, V] : OriginMetrics)
+        if (isPercentileMetric(K) && K != TimingName)
+          MetricNames.push_back(K);
+      for (const std::string &MetricName : MetricNames) {
+        // The timing metric keeps the bare bench/name key the archives
+        // have always printed; extra gated metrics are qualified.
+        std::string Key = MetricName == TimingName
+                              ? RowKey
+                              : RowKey + ":" + MetricName;
+        std::vector<double> Series;
+        for (const ArchivedRun &R : Runs) {
+          if (R.Bench != Origin.Bench)
+            continue;
+          const auto *Metrics = R.Rows.find(Name);
+          if (!Metrics)
+            continue;
+          for (const auto &[K, V] : *Metrics)
+            if (K == MetricName && V > 0)
+              Series.push_back(V);
+        }
+        if (Series.empty())
           continue;
-        const auto *Metrics = R.Rows.find(Name);
-        if (!Metrics)
+        double First = Series.front(), Last = Series.back();
+        double Best = *std::min_element(Series.begin(), Series.end());
+        if (Series.size() < 2) {
+          std::printf("%-36s %4zu %12.4g %12.4g %12s %12.4g  (single run)\n",
+                      Key.c_str(), Series.size(), First, Best, "-", Last);
           continue;
-        for (const auto &[K, V] : *Metrics)
-          if (K == MetricName && V > 0)
-            Series.push_back(V);
+        }
+        double Prev = Series[Series.size() - 2];
+        double Pct = Prev > 0 ? 100.0 * (Last - Prev) / Prev : 0;
+        bool Regress = Pct > MaxPct;
+        std::printf("%-36s %4zu %12.4g %12.4g %12.4g %12.4g  %+.2f%%%s\n",
+                    Key.c_str(), Series.size(), First, Best, Prev, Last, Pct,
+                    Regress ? "  REGRESSION" : "");
+        if (Regress) {
+          Status = 1;
+          Regressed.push_back(RowKey + ":" + MetricName);
+        }
       }
-      if (Series.empty())
-        continue;
-      double First = Series.front(), Last = Series.back();
-      double Best = *std::min_element(Series.begin(), Series.end());
-      if (Series.size() < 2) {
-        std::printf("%-36s %4zu %12.4g %12.4g %12s %12.4g  (single run)\n",
-                    Key.c_str(), Series.size(), First, Best, "-", Last);
-        continue;
-      }
-      double Prev = Series[Series.size() - 2];
-      double Pct = Prev > 0 ? 100.0 * (Last - Prev) / Prev : 0;
-      bool Regress = Pct > MaxPct;
-      std::printf("%-36s %4zu %12.4g %12.4g %12.4g %12.4g  %+.2f%%%s\n",
-                  Key.c_str(), Series.size(), First, Best, Prev, Last, Pct,
-                  Regress ? "  REGRESSION" : "");
-      if (Regress)
-        Status = 1;
     }
   }
-  if (Status)
-    std::printf("\nFAIL: the newest run regressed a benchmark by more "
-                "than %.1f%% over the previous run\n",
-                MaxPct);
+  if (Status) {
+    // Name the offenders: a CI log reader should not have to scan the
+    // table to learn which metric moved.
+    std::string List;
+    for (const std::string &R : Regressed)
+      List += (List.empty() ? "" : ", ") + R;
+    std::printf("\nFAIL: the newest run regressed %s by more than %.1f%% "
+                "over the previous run\n",
+                List.c_str(), MaxPct);
+  }
   return Status;
 }
 

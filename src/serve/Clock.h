@@ -1,0 +1,63 @@
+//===-- serve/Clock.h - Timing primitives for sharc-serve -------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two clocks with distinct jobs:
+///
+///   - nanosSince(Epoch): wall time on the steady clock, shared by the
+///     load generator (arrival schedule) and the server (completion
+///     stamps) so latency = completion - scheduled arrival measures the
+///     whole open-loop queueing delay, coordinated omission included.
+///   - threadCpuNanos(): per-thread CPU time. Handler service time is
+///     accounted on this clock so the armed-vs-disabled overhead gate
+///     measures the code, not whoever the scheduler ran in between.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SERVE_CLOCK_H
+#define SHARC_SERVE_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace sharc {
+namespace serve {
+
+using SteadyClock = std::chrono::steady_clock;
+
+inline uint64_t nanosSince(SteadyClock::time_point Epoch) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - Epoch)
+          .count());
+}
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+inline uint64_t threadCpuNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(Ts.tv_nsec);
+}
+
+/// Burns \p Nanos of CPU time on the calling thread (the simulated
+/// backend work of a request handler). Spinning on the thread clock
+/// rather than the wall clock makes every request cost the same CPU
+/// whether or not the thread was preempted mid-spin, which is what lets
+/// a 2% overhead gate hold on a loaded CI machine.
+inline void spinThreadCpu(uint64_t Nanos) {
+  if (Nanos == 0)
+    return;
+  uint64_t End = threadCpuNanos() + Nanos;
+  while (threadCpuNanos() < End) {
+  }
+}
+
+} // namespace serve
+} // namespace sharc
+
+#endif // SHARC_SERVE_CLOCK_H

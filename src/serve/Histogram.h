@@ -1,0 +1,104 @@
+//===-- serve/Histogram.h - Log-linear latency histogram --------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-footprint log-linear histogram for latency recording: 32
+/// sub-buckets per power of two, giving a worst-case relative error of
+/// 1/32 (~3%) at any magnitude, over the full uint64_t range. Recording
+/// is a few ALU ops and one array increment — cheap enough for the
+/// per-request hot path — and histograms merge by bucket addition, so
+/// each worker records into a private histogram and the server folds
+/// them after the join (no shared state on the hot path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SERVE_HISTOGRAM_H
+#define SHARC_SERVE_HISTOGRAM_H
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace sharc {
+namespace serve {
+
+class Histogram {
+public:
+  static constexpr unsigned SubBits = 5;
+  static constexpr unsigned SubCount = 1u << SubBits;
+  // Largest shift is 64 - SubBits - 1; bucket layout below yields
+  // (Shift + 1) * SubCount + Sub < (64 - SubBits) * SubCount.
+  static constexpr unsigned BucketCount = (64 - SubBits) * SubCount;
+
+  void record(uint64_t Value) {
+    ++Buckets[bucketOf(Value)];
+    ++Total;
+    Max = std::max(Max, Value);
+  }
+
+  void merge(const Histogram &Other) {
+    for (unsigned I = 0; I != BucketCount; ++I)
+      Buckets[I] += Other.Buckets[I];
+    Total += Other.Total;
+    Max = std::max(Max, Other.Max);
+  }
+
+  uint64_t count() const { return Total; }
+  uint64_t max() const { return Max; }
+
+  /// Value at quantile \p Q in [0, 1]: the upper edge of the bucket
+  /// holding the ceil(Q * count)-th sample (conservative — never reports
+  /// a percentile below the true one by more than the bucket width).
+  uint64_t percentile(double Q) const {
+    if (Total == 0)
+      return 0;
+    if (Q < 0)
+      Q = 0;
+    if (Q > 1)
+      Q = 1;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total));
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I != BucketCount; ++I) {
+      Seen += Buckets[I];
+      if (Seen >= Rank)
+        return std::min(upperEdge(I), Max);
+    }
+    return Max;
+  }
+
+private:
+  /// Values below SubCount get exact unit buckets; above, the top SubBits
+  /// bits after the leading one select a sub-bucket within the octave.
+  static unsigned bucketOf(uint64_t Value) {
+    if (Value < SubCount)
+      return static_cast<unsigned>(Value);
+    unsigned Msb = 63 - static_cast<unsigned>(std::countl_zero(Value));
+    unsigned Shift = Msb - SubBits;
+    unsigned Sub = static_cast<unsigned>((Value >> Shift) & (SubCount - 1));
+    return (Shift + 1) * SubCount + Sub;
+  }
+
+  static uint64_t upperEdge(unsigned Index) {
+    if (Index < SubCount)
+      return Index;
+    unsigned Shift = Index / SubCount - 1;
+    uint64_t Sub = Index % SubCount;
+    uint64_t Low = (static_cast<uint64_t>(SubCount) + Sub) << Shift;
+    return Low + ((uint64_t(1) << Shift) - 1);
+  }
+
+  std::array<uint64_t, BucketCount> Buckets{};
+  uint64_t Total = 0;
+  uint64_t Max = 0;
+};
+
+} // namespace serve
+} // namespace sharc
+
+#endif // SHARC_SERVE_HISTOGRAM_H

@@ -1,0 +1,111 @@
+//===-- serve/LoadGen.cpp - Open-loop Poisson load generator --------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/LoadGen.h"
+
+#include <cmath>
+#include <thread>
+
+namespace sharc {
+namespace serve {
+
+namespace {
+
+struct XorShift64Star {
+  uint64_t State;
+  explicit XorShift64Star(uint64_t Seed)
+      : State(Seed ? Seed : 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+  /// Uniform in (0, 1] — never 0, so -log stays finite.
+  double unitOpen() {
+    return 1.0 - static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+} // namespace
+
+std::vector<Arrival> buildSchedule(const LoadConfig &C) {
+  std::vector<Arrival> Schedule;
+  uint64_t Total = C.totalRequests();
+  Schedule.reserve(Total);
+  XorShift64Star Rng(C.Seed);
+  double GapScale = 1e9 / static_cast<double>(C.RatePerSec ? C.RatePerSec : 1);
+  double At = 0;
+  for (uint64_t I = 0; I != Total; ++I) {
+    At += -std::log(Rng.unitOpen()) * GapScale;
+    Arrival A;
+    A.AtNanos = static_cast<uint64_t>(At);
+    A.Client = I % (C.Clients ? C.Clients : 1);
+    unsigned Mix = static_cast<unsigned>(Rng.next() % 100);
+    A.Kind = Mix < C.GetPct          ? OpGet
+             : Mix < C.GetPct + C.PutPct ? OpPut
+                                         : OpWork;
+    Schedule.push_back(A);
+  }
+  return Schedule;
+}
+
+LoadResult runOpenLoop(Transport &Net, const std::vector<Arrival> &Schedule,
+                       const LoadConfig &C, SteadyClock::time_point Epoch,
+                       const std::function<void()> &Midpoint) {
+  LoadResult Result;
+  XorShift64Star PayloadRng(C.Seed ^ 0xbadc0ffee0ddf00dull);
+  std::vector<uint8_t> Payload;
+  size_t Half = Schedule.size() / 2;
+  for (size_t I = 0; I != Schedule.size(); ++I) {
+    const Arrival &A = Schedule[I];
+    auto Target = Epoch + std::chrono::nanoseconds(A.AtNanos);
+    auto Now = SteadyClock::now();
+    if (Now < Target) {
+      // Coarse sleep to within ~200us of the target, then spin: arrival
+      // precision matters for tail-latency numbers, but a pure spin at
+      // low rates would monopolise a CPU the workers need.
+      if (Target - Now > std::chrono::microseconds(400))
+        std::this_thread::sleep_until(Target -
+                                      std::chrono::microseconds(200));
+      while ((Now = SteadyClock::now()) < Target) {
+      }
+    }
+    uint64_t Lag = nanosSince(Epoch);
+    Lag = Lag > A.AtNanos ? Lag - A.AtNanos : 0;
+    if (Lag > Result.MaxLagNs)
+      Result.MaxLagNs = Lag;
+
+    // Deterministic wire bytes: a pure function of the seed and request
+    // index (NOT of submit timing), so orig and sharc runs agree.
+    Payload.resize(C.PayloadBytes);
+    uint64_t Word = 0;
+    for (size_t B = 0; B != Payload.size(); ++B) {
+      if (B % 8 == 0)
+        Word = PayloadRng.next();
+      Payload[B] = static_cast<uint8_t>(Word >> ((B % 8) * 8));
+    }
+    SimRequest Req;
+    Req.Client = A.Client;
+    Req.Seq = I;
+    Req.Kind = A.Kind;
+    Req.ArrivalNs = A.AtNanos;
+    Req.Payload = Payload;
+    // Never blocks: the transport queue is unbounded, like a client
+    // population that doesn't care how busy the server is.
+    Net.submit(std::move(Req));
+    ++Result.Offered;
+
+    if (I + 1 == Half && Midpoint)
+      Midpoint();
+  }
+  Result.SpanNs = Schedule.empty() ? 0 : Schedule.back().AtNanos;
+  Result.ElapsedNs = nanosSince(Epoch);
+  return Result;
+}
+
+} // namespace serve
+} // namespace sharc

@@ -1,0 +1,77 @@
+//===-- serve/LoadGen.h - Open-loop Poisson load generator ------*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open-loop load generation: a Poisson arrival schedule is built up
+/// front from a seed (deterministic — same seed, same schedule, same
+/// request mix), then replayed against the transport on the wall clock.
+/// "Open loop" means arrivals are NEVER throttled by the server: a
+/// request is submitted at (or as soon as possible after) its scheduled
+/// time whether or not the server has kept up, and latency is measured
+/// from the SCHEDULED arrival — the standard defence against
+/// coordinated omission, where a stalled server would otherwise pause
+/// the clock on exactly the requests that would have seen the stall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SERVE_LOADGEN_H
+#define SHARC_SERVE_LOADGEN_H
+
+#include "serve/Clock.h"
+#include "serve/Transport.h"
+
+#include <functional>
+#include <vector>
+
+namespace sharc {
+namespace serve {
+
+struct LoadConfig {
+  uint64_t Clients = 100000;       ///< Distinct simulated clients.
+  uint64_t RequestsPerClient = 1;  ///< Connections per client.
+  uint64_t RatePerSec = 50000;     ///< Aggregate Poisson arrival rate.
+  uint64_t Seed = 1;
+  uint32_t PayloadBytes = 256;
+  unsigned GetPct = 60; ///< % of OpGet; then PutPct of OpPut; rest OpWork.
+  unsigned PutPct = 30;
+
+  uint64_t totalRequests() const { return Clients * RequestsPerClient; }
+};
+
+struct Arrival {
+  uint64_t AtNanos = 0; ///< Scheduled arrival, relative to the run epoch.
+  uint64_t Client = 0;
+  uint8_t Kind = OpGet;
+
+  bool operator==(const Arrival &) const = default;
+};
+
+/// Builds the full arrival schedule: exponential inter-arrival gaps at
+/// C.RatePerSec (Poisson process), clients assigned round-robin so every
+/// client appears exactly RequestsPerClient times, op mix drawn from the
+/// same seeded stream. Pure function of C.
+std::vector<Arrival> buildSchedule(const LoadConfig &C);
+
+struct LoadResult {
+  uint64_t Offered = 0;   ///< Requests submitted to the transport.
+  uint64_t SpanNs = 0;    ///< Last scheduled arrival time.
+  uint64_t ElapsedNs = 0; ///< Wall time of the offering loop.
+  uint64_t MaxLagNs = 0;  ///< Worst (actual - scheduled) submit delay.
+};
+
+/// Replays \p Schedule against \p Net on the wall clock starting at
+/// \p Epoch. Payload bytes are generated deterministically from C.Seed
+/// and the request index. \p Midpoint (if set) runs once after half the
+/// schedule has been offered — sharc-serve uses it to scrape the live
+/// /metrics endpoint mid-run.
+LoadResult runOpenLoop(Transport &Net, const std::vector<Arrival> &Schedule,
+                       const LoadConfig &C, SteadyClock::time_point Epoch,
+                       const std::function<void()> &Midpoint = {});
+
+} // namespace serve
+} // namespace sharc
+
+#endif // SHARC_SERVE_LOADGEN_H

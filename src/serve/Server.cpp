@@ -1,0 +1,295 @@
+//===-- serve/Server.cpp - Annotated request server -----------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "rt/AccessSite.h"
+
+namespace sharc {
+namespace serve {
+
+namespace {
+
+uint64_t fnv1a(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// Deterministic response transform: a keyed xorshift64* keystream XORed
+/// over the payload. Pure function of (Key, Seq, payload), so the orig
+/// and sharc servers produce bit-identical responses and the folded
+/// checksum is an equivalence oracle between the two builds.
+void cipher(uint64_t Key, uint64_t Seq, uint8_t *Data, size_t Size) {
+  uint64_t S = splitmix64(Key ^ splitmix64(Seq + 1));
+  for (size_t I = 0; I != Size; ++I) {
+    if (I % 8 == 0) {
+      S ^= S << 13;
+      S ^= S >> 7;
+      S ^= S << 17;
+    }
+    Data[I] ^= static_cast<uint8_t>(S >> ((I % 8) * 8));
+  }
+}
+
+} // namespace
+
+template <typename P>
+Server<P>::Server(const ServeParams &Params, Transport &Net,
+                  SteadyClock::time_point Epoch)
+    : Net(Net), Epoch(Epoch) {
+  Config.init(Params);
+  Sessions = std::make_unique<SessionShard<P>[]>(Params.SessionShardCount);
+  Conns = std::make_unique<ConnShard<P>[]>(Params.ConnShardCount);
+  Ingress =
+      std::make_unique<HandoffRing<P, Connection<P>>>(Params.RingCapacity);
+  LogRing = std::make_unique<HandoffRing<P, LogRecord>>(Params.RingCapacity);
+  WorkerStates = std::make_unique<typename P::template Private<WorkerLocal>[]>(
+      Params.Workers);
+}
+
+template <typename P> Server<P>::~Server() {
+  stop();
+  const ServeParams &C = Config.get();
+  // Post-drain the connection tables are empty; free leftovers anyway so
+  // an aborted run doesn't leak.
+  for (unsigned I = 0; I != C.ConnShardCount; ++I)
+    for (auto &[Id, Conn] : Conns[I].Map)
+      P::dealloc(Conn);
+  for (unsigned I = 0; I != C.SessionShardCount; ++I)
+    for (auto &[Key, S] : Sessions[I].Map) {
+      S->~Session();
+      P::dealloc(S);
+    }
+}
+
+template <typename P> void Server<P>::start() {
+  const ServeParams &C = Config.get();
+  Threads.emplace_back(typename P::Thread([this] { acceptorMain(); }));
+  for (unsigned I = 0; I != C.Workers; ++I)
+    Threads.emplace_back(typename P::Thread([this, I] { workerMain(I); }));
+  Threads.emplace_back(typename P::Thread([this] { loggerMain(); }));
+}
+
+template <typename P> void Server<P>::stop() {
+  if (Stopped || Threads.empty())
+    return;
+  Stopped = true;
+  const ServeParams &C = Config.get();
+  Net.closeIngress();
+  // The acceptor drains the transport, then closes the ingress ring; the
+  // workers drain the ring, then exit; only then may the log ring close.
+  Threads[0].join();
+  for (unsigned I = 0; I != C.Workers; ++I)
+    Threads[1 + I].join();
+  LogRing->close();
+  Threads[1 + C.Workers].join();
+  // Drain pending RC logs naming the ring slots before any of their
+  // storage can be destroyed.
+  P::quiesce();
+}
+
+template <typename P>
+Connection<P> *Server<P>::makeConnection(SimRequest &&Req,
+                                         AcceptorLocal &Local) {
+  auto *Conn = static_cast<Connection<P> *>(
+      P::alloc(sizeof(Connection<P>) + Req.Payload.size()));
+  new (Conn) Connection<P>();
+  Conn->Client = Req.Client;
+  Conn->Seq = Req.Seq;
+  Conn->Kind = Req.Kind;
+  Conn->ArrivalNs = Req.ArrivalNs;
+  Conn->PayloadSize = static_cast<uint32_t>(Req.Payload.size());
+  // Copy the wire bytes into checked memory: the acceptor is the sole
+  // accessor until the sharing cast into the ingress ring.
+  P::writeRange(Conn->payload(), Conn->PayloadSize,
+                SHARC_SITE("conn->payload"));
+  if (Conn->PayloadSize)
+    std::memcpy(Conn->payload(), Req.Payload.data(), Conn->PayloadSize);
+
+  const ServeParams &C = Config.get();
+  ConnShard<P> &Shard = Conns[Conn->Seq & (C.ConnShardCount - 1)];
+  {
+    typename P::LockGuard Lock(Shard.Lock);
+    Shard.Map.emplace(Conn->Seq, Conn);
+    Shard.Open.write(Shard.Open.read(SHARC_SITE("connshard->open")) + 1,
+                     SHARC_SITE("connshard->open"));
+  }
+
+  ++Local.Accepted;
+  Local.BytesIn += Conn->PayloadSize;
+  AcceptedLive.write(AcceptedLive.read() + 1);
+  uint64_t Inflight = InflightLive.read() + 1;
+  InflightLive.write(Inflight);
+  if (Inflight > PeakInflightLive.read())
+    PeakInflightLive.write(Inflight);
+  return Conn;
+}
+
+template <typename P> void Server<P>::acceptorMain() {
+  AcceptorState.adopt();
+  AcceptorLocal &Local = AcceptorState.get();
+  std::vector<SimRequest> Batch;
+  while (Net.acceptBatch(Batch, 256) != 0)
+    for (SimRequest &Req : Batch) {
+      Connection<P> *Conn = makeConnection(std::move(Req), Local);
+      Ingress->push(Conn, SHARC_SITE("conn (acceptor -> worker)"));
+    }
+  Ingress->close();
+}
+
+template <typename P>
+Session<P> *Server<P>::findOrCreateSession(SessionShard<P> &Shard,
+                                           uint64_t Key, WorkerLocal &Local) {
+  auto It = Shard.Map.find(Key);
+  if (It != Shard.Map.end()) {
+    ++Local.SessionHits;
+    return It->second;
+  }
+  ++Local.SessionMisses;
+  auto *S = static_cast<Session<P> *>(P::alloc(sizeof(Session<P>)));
+  new (S) Session<P>(Shard.Lock);
+  Shard.Map.emplace(Key, S);
+  return S;
+}
+
+template <typename P>
+void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local) {
+  const ServeParams &C = Config.get();
+  uint64_t Cpu0 = threadCpuNanos();
+
+  // Request in: dynamic-checked bulk read of the payload.
+  P::readRange(Conn->payload(), Conn->PayloadSize,
+               SHARC_SITE("conn->payload"));
+  uint64_t Sum = fnv1a(Conn->payload(), Conn->PayloadSize);
+
+  // Session cache: locked-mode cells under the shard mutex.
+  SessionShard<P> &Shard = Sessions[Conn->Client & (C.SessionShardCount - 1)];
+  Session<P> *S;
+  {
+    typename P::LockGuard Lock(Shard.Lock);
+    S = findOrCreateSession(Shard, Conn->Client, Local);
+    uint64_t Cur = S->Value.read(SHARC_SITE("session->value"));
+    if (Conn->Kind == OpPut)
+      S->Value.write(Cur ^ Sum, SHARC_SITE("session->value"));
+    S->Hits.write(S->Hits.read(SHARC_SITE("session->hits")) + 1,
+                  SHARC_SITE("session->hits"));
+  }
+  if (C.InjectRaceEvery != 0 && Conn->Seq % C.InjectRaceEvery == 0)
+    // serve_guard's deliberate bug: a session update that skips the
+    // shard lock. The locked-mode check fires deterministically.
+    S->Value.write(Sum, SHARC_SITE("session->value [lock skipped]"));
+
+  // Simulated backend work, then the response transform over the payload
+  // (dynamic-checked bulk write; the worker owns the connection since
+  // the cast, so this is single-accessor clean).
+  spinThreadCpu(C.ServiceNanos);
+  P::writeRange(Conn->payload(), Conn->PayloadSize,
+                SHARC_SITE("conn->payload"));
+  cipher(C.CipherKey, Conn->Seq, Conn->payload(), Conn->PayloadSize);
+  Local.Checksum ^= fnv1a(Conn->payload(), Conn->PayloadSize);
+
+  uint64_t Done = nanosSince(Epoch);
+  uint64_t Latency = Done > Conn->ArrivalNs ? Done - Conn->ArrivalNs : 0;
+  Local.LatencyNs.record(Latency);
+  ++Local.Completed;
+  ++Local.OpCounts[Conn->Kind % OpKinds];
+  Local.BytesOut += Conn->PayloadSize;
+  CompletedLive.write(CompletedLive.read() + 1);
+
+  // Completion record to the logger (counted hand-off).
+  auto *Rec = static_cast<LogRecord *>(P::alloc(sizeof(LogRecord)));
+  new (Rec) LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize};
+  LogRing->push(Rec, SHARC_SITE("log record (worker -> logger)"));
+
+  // Connection teardown.
+  ConnShard<P> &CS = Conns[Conn->Seq & (C.ConnShardCount - 1)];
+  {
+    typename P::LockGuard Lock(CS.Lock);
+    CS.Map.erase(Conn->Seq);
+    CS.Open.write(CS.Open.read(SHARC_SITE("connshard->open")) - 1,
+                  SHARC_SITE("connshard->open"));
+  }
+  InflightLive.write(InflightLive.read() - 1);
+  P::dealloc(Conn);
+
+  Local.ServiceNs += threadCpuNanos() - Cpu0;
+}
+
+template <typename P> void Server<P>::workerMain(unsigned Index) {
+  WorkerStates[Index].adopt();
+  WorkerLocal &Local = WorkerStates[Index].get();
+  while (Connection<P> *Conn =
+             Ingress->pop(SHARC_SITE("conn (acceptor -> worker)")))
+    handle(Conn, Local);
+}
+
+template <typename P> void Server<P>::loggerMain() {
+  LoggerState.adopt();
+  LoggerLocal &Local = LoggerState.get();
+  while (LogRecord *Rec =
+             LogRing->pop(SHARC_SITE("log record (worker -> logger)"))) {
+    ++Local.Records;
+    Local.Bytes += Rec->Bytes;
+    ++Local.OpCounts[Rec->Kind % OpKinds];
+    P::dealloc(Rec);
+  }
+}
+
+template <typename P> ServeStats Server<P>::takeStats() {
+  ServeStats Out;
+  const ServeParams &C = Config.get();
+
+  // The worker/acceptor/logger threads are joined: adopting their
+  // private aggregates is the legitimate ownership transfer back to the
+  // collector.
+  AcceptorState.adopt();
+  Out.Accepted = AcceptorState.get().Accepted;
+  Out.BytesIn = AcceptorState.get().BytesIn;
+  for (unsigned I = 0; I != C.Workers; ++I) {
+    WorkerStates[I].adopt();
+    const WorkerLocal &W = WorkerStates[I].get();
+    Out.Completed += W.Completed;
+    Out.Errors += W.Errors;
+    Out.ServiceNs += W.ServiceNs;
+    Out.Checksum ^= W.Checksum;
+    Out.SessionHits += W.SessionHits;
+    Out.SessionMisses += W.SessionMisses;
+    Out.BytesOut += W.BytesOut;
+    for (unsigned K = 0; K != OpKinds; ++K)
+      Out.OpCounts[K] += W.OpCounts[K];
+    Out.LatencyNs.merge(W.LatencyNs);
+  }
+  LoggerState.adopt();
+  Out.LogRecords = LoggerState.get().Records;
+  Out.PeakInflight = PeakInflightLive.read();
+
+  // Fold the final session values in: XOR of all OpPut sums regardless
+  // of scheduling order, so it is part of the orig/sharc equivalence
+  // checksum. Locked-mode reads, so take each shard lock.
+  for (unsigned I = 0; I != C.SessionShardCount; ++I) {
+    typename P::LockGuard Lock(Sessions[I].Lock);
+    for (auto &[Key, S] : Sessions[I].Map)
+      Out.Checksum ^= S->Value.read(SHARC_SITE("session->value"));
+  }
+  return Out;
+}
+
+template class Server<UncheckedPolicy>;
+template class Server<SharcPolicy>;
+
+} // namespace serve
+} // namespace sharc

@@ -1,0 +1,297 @@
+//===-- serve/Server.h - Annotated multi-threaded request server *- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharc-serve request server: one acceptor thread pulling simulated
+/// connections off a Transport, a worker pool, and a logger thread,
+/// templated over workloads::Policy so the identical source runs as the
+/// uninstrumented baseline (UncheckedPolicy, "orig") and the annotated
+/// build (SharcPolicy) — which is how the armed-vs-disabled overhead
+/// gate and the orig/sharc checksum equivalence tests work.
+///
+/// Thread / sharing-mode map (DESIGN.md §15 renders the full table):
+///
+///   published run config   readonly   init() before threads start
+///   live counters          racy       monitoring-grade, scraped by
+///                                     /metrics; increments may race
+///   session cache cells    locked     per-shard mutex; Value/Hits
+///   connection table gauge locked     per-shard mutex; open-conn count
+///   request connections    counted +  acceptor fills privately, casts
+///                          dynamic    into the ingress ring; worker
+///                                     casts out, payload accesses are
+///                                     dynamic-checked ranges
+///   log records            counted    worker -> logger hand-off
+///   per-worker aggregates  private    adopted by the worker, handed
+///                                     back to the collector after join
+///
+/// The hand-off rings are bounded, so back-pressure exists INSIDE the
+/// server (acceptor blocks when workers fall behind) but never reaches
+/// the open-loop load generator — the transport queue is unbounded,
+/// like a remote client population that doesn't slow down just because
+/// the server is busy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SERVE_SERVER_H
+#define SHARC_SERVE_SERVER_H
+
+#include "serve/Clock.h"
+#include "serve/Histogram.h"
+#include "serve/Transport.h"
+#include "workloads/Policy.h"
+
+#include <cstring>
+#include <memory>
+#include <new>
+#include <unordered_map>
+#include <vector>
+
+namespace sharc {
+namespace serve {
+
+struct ServeParams {
+  unsigned Workers = 2;
+  unsigned SessionShardCount = 64; ///< Power of two.
+  unsigned ConnShardCount = 64;    ///< Power of two.
+  size_t RingCapacity = 1024;      ///< Ingress / log hand-off ring depth.
+  uint64_t ServiceNanos = 20000;   ///< Simulated backend CPU per request.
+  uint64_t CipherKey = 0x243f6a8885a308d3ull;
+  /// serve_guard's deliberate bug: every Nth request updates its session
+  /// cell WITHOUT taking the shard lock (0 = off). Under SharcPolicy the
+  /// locked-mode check catches each first offence deterministically.
+  uint64_t InjectRaceEvery = 0;
+};
+
+/// Post-run aggregate, folded from the per-thread private states.
+struct ServeStats {
+  uint64_t Accepted = 0;
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  uint64_t SessionHits = 0;
+  uint64_t SessionMisses = 0;
+  uint64_t PeakInflight = 0; ///< Racy gauge: approximate by design.
+  uint64_t ServiceNs = 0;    ///< Thread-CPU time inside handlers.
+  uint64_t LogRecords = 0;
+  uint64_t OpCounts[OpKinds] = {};
+  uint64_t Checksum = 0; ///< Order-independent; orig == sharc.
+  Histogram LatencyNs;
+};
+
+/// One in-flight connection. Filled privately by the acceptor, then
+/// ownership moves to a worker via the counted ingress ring; the payload
+/// is dynamic-checked raw memory (readRange/writeRange) allocated INLINE
+/// after the struct — a sharing cast clears the access history of the
+/// whole heap allocation, so keeping header and payload in one
+/// allocation is what makes the acceptor->worker hand-off cover both.
+template <typename P> struct Connection {
+  uint64_t Client = 0;
+  uint64_t Seq = 0;
+  uint8_t Kind = OpGet;
+  uint64_t ArrivalNs = 0;
+  uint32_t PayloadSize = 0;
+
+  uint8_t *payload() { return reinterpret_cast<uint8_t *>(this + 1); }
+};
+
+/// Completion record, worker -> logger via the counted log ring.
+struct LogRecord {
+  uint64_t Client = 0;
+  uint8_t Kind = OpGet;
+  uint64_t LatencyNs = 0;
+  uint32_t Bytes = 0;
+};
+
+/// Bounded MPMC hand-off ring whose cells are counted pointer slots:
+/// every push/pop is a sharing cast, so a connection's access history is
+/// cleared exactly when ownership moves between threads — the paper's
+/// "ownership transfer through a queue" pattern (cf. StunnelWorkload).
+template <typename P, typename T> class HandoffRing {
+public:
+  explicit HandoffRing(size_t Capacity) : Cap(Capacity) {
+    // Cells hold counted slots and must live in stable storage (the
+    // policy heap defers frees past pending RC logs).
+    Cells = static_cast<Cell *>(P::alloc(sizeof(Cell) * Cap));
+    for (size_t I = 0; I != Cap; ++I)
+      new (&Cells[I]) Cell();
+  }
+  ~HandoffRing() {
+    for (size_t I = 0; I != Cap; ++I)
+      Cells[I].~Cell();
+    P::dealloc(Cells);
+  }
+
+  HandoffRing(const HandoffRing &) = delete;
+  HandoffRing &operator=(const HandoffRing &) = delete;
+
+  void push(T *Item, const rt::AccessSite *Site) {
+    typename P::UniqueLock Lock(Mu);
+    NotFull.wait(Lock, [&] { return Count < Cap; });
+    Cells[Tail % Cap].Slot.store(P::castIn(Item, Site));
+    ++Tail;
+    ++Count;
+    NotEmpty.notifyOne();
+  }
+
+  /// Null once the ring is closed and drained.
+  T *pop(const rt::AccessSite *Site) {
+    typename P::UniqueLock Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Count > 0 || Closed; });
+    if (Count == 0)
+      return nullptr;
+    T *Item = Cells[Head % Cap].Slot.castOut(Site);
+    ++Head;
+    --Count;
+    NotFull.notifyOne();
+    return Item;
+  }
+
+  void close() {
+    {
+      typename P::LockGuard Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notifyAll();
+  }
+
+private:
+  struct Cell {
+    typename P::template Counted<T> Slot;
+  };
+
+  typename P::Mutex Mu;
+  typename P::CondVar NotEmpty;
+  typename P::CondVar NotFull;
+  Cell *Cells = nullptr;
+  size_t Cap;
+  size_t Head = 0;
+  size_t Tail = 0;
+  size_t Count = 0;
+  bool Closed = false;
+};
+
+/// Session cache entry: locked-mode cells bound to the shard mutex.
+template <typename P> struct Session {
+  typename P::template Locked<uint64_t> Value;
+  typename P::template Locked<uint64_t> Hits;
+  explicit Session(typename P::Mutex &Lock) : Value(Lock, 0), Hits(Lock, 0) {}
+};
+
+template <typename P> struct SessionShard {
+  typename P::Mutex Lock;
+  /// Guarded by Lock. The map is container metadata; the checked cells
+  /// are the Session fields it points at.
+  std::unordered_map<uint64_t, Session<P> *> Map;
+};
+
+/// Connection-table shard: an id -> connection index plus a locked-mode
+/// open-connection gauge.
+template <typename P> struct ConnShard {
+  typename P::Mutex Lock;
+  typename P::template Locked<uint64_t> Open;
+  /// Guarded by Lock; values are weak references (ownership flows
+  /// through the ingress ring, not the table).
+  std::unordered_map<uint64_t, Connection<P> *> Map;
+  ConnShard() : Open(Lock, 0) {}
+};
+
+/// Per-worker private aggregate (latency histogram included): adopted by
+/// the worker at start, handed back to the stats collector after join.
+struct WorkerLocal {
+  Histogram LatencyNs;
+  uint64_t ServiceNs = 0;
+  uint64_t Completed = 0;
+  uint64_t Errors = 0;
+  uint64_t Checksum = 0;
+  uint64_t SessionHits = 0;
+  uint64_t SessionMisses = 0;
+  uint64_t BytesOut = 0;
+  uint64_t OpCounts[OpKinds] = {};
+};
+
+struct AcceptorLocal {
+  uint64_t Accepted = 0;
+  uint64_t BytesIn = 0;
+};
+
+struct LoggerLocal {
+  uint64_t Records = 0;
+  uint64_t Bytes = 0;
+  uint64_t OpCounts[OpKinds] = {};
+};
+
+template <typename P> class Server {
+public:
+  Server(const ServeParams &Params, Transport &Net,
+         SteadyClock::time_point Epoch);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Spawns acceptor + workers + logger.
+  void start();
+
+  /// Closes the transport ingress, drains everything in flight, joins
+  /// all threads, and quiesces the instrumentation. Idempotent.
+  void stop();
+
+  /// Folds the per-thread private aggregates; call after stop().
+  ServeStats takeStats();
+
+  /// Live (racy, approximate) progress counters for /metrics-style
+  /// observation while the run is in flight.
+  uint64_t liveAccepted() const { return AcceptedLive.read(); }
+  uint64_t liveCompleted() const { return CompletedLive.read(); }
+
+private:
+  void acceptorMain();
+  void workerMain(unsigned Index);
+  void loggerMain();
+
+  Connection<P> *makeConnection(SimRequest &&Req, AcceptorLocal &Local);
+  void handle(Connection<P> *Conn, WorkerLocal &Local);
+  Session<P> *findOrCreateSession(SessionShard<P> &Shard, uint64_t Key,
+                                  WorkerLocal &Local);
+
+  Transport &Net;
+  SteadyClock::time_point Epoch;
+
+  /// readonly: published once, before start() spawns any thread.
+  typename P::template ReadOnly<ServeParams> Config;
+
+  /// racy: live monitoring counters; update races are intentional and
+  /// the values are approximate (exact counts come from the private
+  /// per-thread aggregates after the run).
+  typename P::template Racy<uint64_t> AcceptedLive;
+  typename P::template Racy<uint64_t> CompletedLive;
+  typename P::template Racy<uint64_t> InflightLive;
+  typename P::template Racy<uint64_t> PeakInflightLive;
+
+  std::unique_ptr<SessionShard<P>[]> Sessions;
+  std::unique_ptr<ConnShard<P>[]> Conns;
+  std::unique_ptr<HandoffRing<P, Connection<P>>> Ingress;
+  std::unique_ptr<HandoffRing<P, LogRecord>> LogRing;
+
+  std::unique_ptr<typename P::template Private<WorkerLocal>[]> WorkerStates;
+  typename P::template Private<AcceptorLocal> AcceptorState;
+  typename P::template Private<LoggerLocal> LoggerState;
+
+  std::vector<typename P::Thread> Threads;
+  bool Stopped = false;
+};
+
+using workloads::SharcPolicy;
+using workloads::UncheckedPolicy;
+
+extern template class Server<UncheckedPolicy>;
+extern template class Server<SharcPolicy>;
+
+} // namespace serve
+} // namespace sharc
+
+#endif // SHARC_SERVE_SERVER_H

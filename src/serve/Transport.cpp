@@ -1,0 +1,54 @@
+//===-- serve/Transport.cpp - Simulated-socket transport ------------------===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+namespace sharc {
+namespace serve {
+
+Transport::~Transport() = default;
+
+void SimTransport::submit(SimRequest &&Req) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Req));
+    ++Submitted;
+  }
+  NotEmpty.notify_one();
+}
+
+size_t SimTransport::acceptBatch(std::vector<SimRequest> &Out, size_t Max) {
+  Out.clear();
+  std::unique_lock<std::mutex> Lock(Mu);
+  NotEmpty.wait(Lock, [&] { return !Queue.empty() || Closed; });
+  size_t N = std::min(Max, Queue.size());
+  for (size_t I = 0; I != N; ++I) {
+    Out.push_back(std::move(Queue.front()));
+    Queue.pop_front();
+  }
+  return N;
+}
+
+void SimTransport::closeIngress() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  NotEmpty.notify_all();
+}
+
+uint64_t SimTransport::submitted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Submitted;
+}
+
+size_t SimTransport::pending() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
+}
+
+} // namespace serve
+} // namespace sharc

@@ -1,0 +1,94 @@
+//===-- serve/Transport.h - Simulated-socket request ingress ----*- C++ -*-===//
+//
+// Part of the SharC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The boundary between the load generator ("the network") and the
+/// server's acceptor thread. One interface so a kernel-socket transport
+/// can slot in later; the in-tree implementation is a simulated socket
+/// queue, which keeps CI free of privileged networking while preserving
+/// the property the open-loop harness depends on: submit() NEVER blocks,
+/// exactly as a busy kernel accept backlog never slows remote clients
+/// down — they just queue.
+///
+/// The transport models the kernel/NIC side of the system and is
+/// deliberately built from plain std:: primitives, not the annotated
+/// API: it is outside the checked program, the same way the kernel is
+/// outside a SharC-compiled process. Checking starts at the acceptor,
+/// the first thread that touches request data inside the server.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SHARC_SERVE_TRANSPORT_H
+#define SHARC_SERVE_TRANSPORT_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace sharc {
+namespace serve {
+
+/// Request operations, a small mix so the session cache sees both
+/// lookups and updates.
+enum Op : uint8_t {
+  OpGet = 0,  ///< Read the client's session value.
+  OpPut = 1,  ///< Update the client's session value.
+  OpWork = 2, ///< Compute-only (no session write).
+  OpKinds = 3,
+};
+
+/// One simulated client connection carrying one request.
+struct SimRequest {
+  uint64_t Client = 0;   ///< Simulated client id (session key).
+  uint64_t Seq = 0;      ///< Global request index (connection id).
+  uint8_t Kind = OpGet;  ///< One of Op.
+  uint64_t ArrivalNs = 0; ///< Scheduled arrival, relative to the run epoch.
+  std::vector<uint8_t> Payload;
+};
+
+class Transport {
+public:
+  virtual ~Transport();
+
+  /// Delivers a request from the load generator. Never blocks.
+  virtual void submit(SimRequest &&Req) = 0;
+
+  /// Moves up to \p Max pending requests into \p Out (cleared first).
+  /// Blocks while the queue is empty; returns 0 only once the ingress is
+  /// closed AND drained.
+  virtual size_t acceptBatch(std::vector<SimRequest> &Out, size_t Max) = 0;
+
+  /// No more submissions will arrive; acceptBatch drains then returns 0.
+  virtual void closeIngress() = 0;
+
+  virtual uint64_t submitted() const = 0;
+  /// Requests accepted by nobody yet (queue depth).
+  virtual size_t pending() const = 0;
+};
+
+/// The simulated-socket transport: an unbounded MPSC queue.
+class SimTransport final : public Transport {
+public:
+  void submit(SimRequest &&Req) override;
+  size_t acceptBatch(std::vector<SimRequest> &Out, size_t Max) override;
+  void closeIngress() override;
+  uint64_t submitted() const override;
+  size_t pending() const override;
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<SimRequest> Queue;
+  uint64_t Submitted = 0;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace sharc
+
+#endif // SHARC_SERVE_TRANSPORT_H

@@ -25,10 +25,12 @@
 
 #include "rt/Sharc.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 
 namespace sharc {
 namespace workloads {
@@ -104,6 +106,54 @@ struct UncheckedPolicy {
     T Value{};
   };
 
+  /// A thread-owned value: plain in the baseline (the checked variant
+  /// asserts the owner; adopt() marks an ownership transfer).
+  template <typename T> class Private {
+  public:
+    Private() : Value() {}
+    explicit Private(T Init) : Value(std::move(Init)) {}
+    const T &get() const { return Value; }
+    T &get() { return Value; }
+    void set(T NewValue) { Value = std::move(NewValue); }
+    void adopt() {}
+
+  private:
+    T Value;
+  };
+
+  /// An init-once value: plain in the baseline.
+  template <typename T> class ReadOnly {
+  public:
+    ReadOnly() : Value() {}
+    void init(T NewValue) { Value = std::move(NewValue); }
+    const T &get() const { return Value; }
+
+  private:
+    T Value;
+  };
+
+  /// An intentionally racy cell. The baseline also uses relaxed atomics —
+  /// same machine cost as a plain access on every mainstream target, and
+  /// the "orig" column stays UB-free C++.
+  template <typename T> class Racy {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "racy values must be small and trivially copyable");
+
+  public:
+    Racy() : Value() {}
+    explicit Racy(T Init) : Value(Init) {}
+    T read() const {
+      return std::atomic_ref<T>(const_cast<T &>(Value))
+          .load(std::memory_order_relaxed);
+    }
+    void write(T NewValue) {
+      std::atomic_ref<T>(Value).store(NewValue, std::memory_order_relaxed);
+    }
+
+  private:
+    T Value;
+  };
+
   /// Drains instrumentation state at the end of a run (no-op here).
   static void quiesce() {}
 };
@@ -154,6 +204,9 @@ struct SharcPolicy {
   }
 
   template <typename T> using Locked = sharc::Locked<T>;
+  template <typename T> using Private = sharc::Private<T>;
+  template <typename T> using ReadOnly = sharc::ReadOnly<T>;
+  template <typename T> using Racy = sharc::Racy<T>;
 
   /// Runs a reference-count collection so that pending Levanoni-Petrank
   /// logs naming a workload's counted slots are drained before the slots'

@@ -1,0 +1,98 @@
+#!/bin/sh
+# CLI surface of sharc-serve: --help exits 0, malformed numeric flags are
+# rejected with exit 2 (strict from_chars parse — no atoi leniency),
+# unknown flags exit 2, an unwritable --json path exits 2, and a tiny
+# clean run exits 0 producing a schema-valid sharc-bench-v1 report whose
+# serve section and latency percentiles are present.
+#
+# usage: serve_cli.sh <path-to-sharc-serve> <path-to-sharc-trace>
+set -u
+
+SERVE=$1
+TRACE=$2
+STATUS=0
+WORK="${TMPDIR:-/tmp}/sharc_serve_cli_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+RUN="--clients 200 --rate 400000 --service-us 1 --workers 2"
+export SHARC_BENCH_REPS=1
+
+fail() {
+  echo "FAIL: $1"
+  STATUS=1
+}
+
+expect_exit() { # <expected> <description> <cmd...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT: expected exit $WANT, got $GOT"
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+# --- help and usage errors ---
+expect_exit 0 "--help" "$SERVE" --help
+expect_exit 2 "malformed --rate" "$SERVE" --rate abc
+expect_exit 2 "malformed --clients (trailing garbage)" "$SERVE" --clients 10x
+expect_exit 2 "negative --workers rejected" "$SERVE" --workers -3
+expect_exit 2 "--workers above the thread budget" "$SERVE" --workers 13
+expect_exit 2 "--rate 0 rejected" "$SERVE" --rate 0
+expect_exit 2 "unknown flag" "$SERVE" --frobnicate
+expect_exit 2 "--json without a value" "$SERVE" --json
+
+# --help mentions the exit-code contract (the scriptability promise).
+if "$SERVE" --help | grep -q "exit status"; then
+  echo "ok: --help documents the exit contract"
+else
+  fail "--help does not document the exit contract"
+fi
+
+# --- unwritable --json path ---
+# shellcheck disable=SC2086
+expect_exit 2 "unwritable --json path" \
+  "$SERVE" $RUN --quiet --json "$WORK/nodir/out.json"
+
+# --- tiny clean run: exit 0, schema-valid report ---
+# shellcheck disable=SC2086
+expect_exit 0 "tiny checked run" \
+  "$SERVE" $RUN --quiet --json "$WORK/serve.json"
+expect_exit 0 "check-bench accepts the report" \
+  "$TRACE" check-bench "$WORK/serve.json"
+for KEY in '"serve"' '"clients"' '"target_rate_rps"' '"p50_us"' \
+           '"p99_us"' '"p999_us"' '"throughput_rps"' '"service_ns"' \
+           '"unix_time"'; do
+  if grep -q "$KEY" "$WORK/serve.json"; then
+    echo "ok: report carries $KEY"
+  else
+    fail "report is missing $KEY"
+  fi
+done
+
+# The unchecked baseline writes the same shape under the orig row name.
+# shellcheck disable=SC2086
+expect_exit 0 "tiny unchecked run" \
+  "$SERVE" $RUN --unchecked --quiet --json "$WORK/orig.json"
+expect_exit 0 "check-bench accepts the baseline report" \
+  "$TRACE" check-bench "$WORK/orig.json"
+if grep -q '"orig/run"' "$WORK/orig.json" &&
+   grep -q '"sharc/run"' "$WORK/serve.json"; then
+  echo "ok: mode-specific row names"
+else
+  fail "mode-specific row names missing"
+fi
+
+# Both carry the shared service row the ci.sh overhead gate compares.
+if grep -q '"service"' "$WORK/orig.json" &&
+   grep -q '"service"' "$WORK/serve.json"; then
+  echo "ok: shared service row present in both modes"
+else
+  fail "shared service row missing"
+fi
+
+exit $STATUS

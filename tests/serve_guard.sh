@@ -1,0 +1,94 @@
+#!/bin/sh
+# The serve half of the sharc-guard contract (DESIGN.md §12 applied to
+# §15): an injected session-cache race — every Nth request updates its
+# session cell without taking the shard lock —
+#   - kills the run with exit 1 under the default abort policy, printing
+#     the lock-violation report;
+#   - completes with exit 0 under quarantine AND under continue, with a
+#     nonzero violation count reported;
+#   - a clean run (no injection) exits 0 under abort;
+#   - a malformed --on-violation exits 2.
+# That is the pinned 0/1/2/3 exit contract, exercised end to end through
+# the annotated server.
+#
+# usage: serve_guard.sh <path-to-sharc-serve>
+set -u
+
+SERVE=$1
+STATUS=0
+WORK="${TMPDIR:-/tmp}/sharc_serve_guard_$$"
+mkdir -p "$WORK"
+trap 'rm -rf "$WORK"' EXIT
+
+# A small fast run: 300 clients x 4 requests, injected race on every 8th.
+RUN="--clients 300 --reqs-per-client 4 --rate 500000 --service-us 1 --workers 3"
+export SHARC_BENCH_REPS=1
+
+fail() {
+  echo "FAIL: $1"
+  STATUS=1
+}
+
+expect_exit() { # <expected> <description> <cmd...>
+  WANT=$1
+  WHAT=$2
+  shift 2
+  "$@" > /dev/null 2>&1
+  GOT=$?
+  if [ "$GOT" -ne "$WANT" ]; then
+    fail "$WHAT: expected exit $WANT, got $GOT"
+  else
+    echo "ok: $WHAT (exit $GOT)"
+  fi
+}
+
+# shellcheck disable=SC2086
+expect_exit 1 "injected race, default abort policy" \
+  "$SERVE" $RUN --inject-race=8 --quiet
+# shellcheck disable=SC2086
+expect_exit 0 "injected race, --on-violation=quarantine" \
+  "$SERVE" $RUN --inject-race=8 --on-violation=quarantine --quiet
+# shellcheck disable=SC2086
+expect_exit 0 "injected race, --on-violation=continue" \
+  "$SERVE" $RUN --inject-race=8 --on-violation=continue --quiet
+# shellcheck disable=SC2086
+expect_exit 0 "clean run, abort policy stays silent" \
+  "$SERVE" $RUN --quiet
+# shellcheck disable=SC2086
+expect_exit 2 "malformed --on-violation" \
+  "$SERVE" $RUN --on-violation=sometimes
+
+# The abort death prints the violation report naming the skipped lock.
+# shellcheck disable=SC2086
+"$SERVE" $RUN --inject-race=8 --quiet > /dev/null 2> "$WORK/abort.txt"
+if grep -q "lock violation" "$WORK/abort.txt" &&
+   grep -q "lock skipped" "$WORK/abort.txt"; then
+  echo "ok: abort report names the lock-skipping site"
+else
+  fail "abort report missing the lock-violation site"
+fi
+
+# Continue reports a count; SHARC_POLICY selects it, the flag wins.
+# shellcheck disable=SC2086
+env SHARC_POLICY=continue "$SERVE" $RUN --inject-race=8 > "$WORK/cont.txt" 2>&1
+COUNT=$(sed -n 's/^sharc-serve: \([0-9][0-9]*\) violations.*/\1/p' "$WORK/cont.txt" | head -1)
+if [ -n "$COUNT" ] && [ "$COUNT" -gt 0 ]; then
+  echo "ok: SHARC_POLICY=continue run reported $COUNT violations"
+else
+  fail "SHARC_POLICY=continue run reported no violation count"
+fi
+# shellcheck disable=SC2086
+expect_exit 1 "--on-violation=abort beats SHARC_POLICY=continue" \
+  env SHARC_POLICY=continue "$SERVE" $RUN --inject-race=8 --quiet \
+  --on-violation=abort
+
+# Quarantine keeps serving: the full request count still completes.
+# shellcheck disable=SC2086
+"$SERVE" $RUN --inject-race=8 --on-violation=quarantine > "$WORK/quar.txt" 2>&1
+if grep -q "offered 1200 completed 1200" "$WORK/quar.txt"; then
+  echo "ok: quarantine run completed all 1200 requests"
+else
+  fail "quarantine run did not complete all requests"
+fi
+
+exit $STATUS

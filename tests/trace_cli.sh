@@ -83,6 +83,36 @@ expect_exit 2 "unwritable --trace-out" \
   "$SHARCC" --run --quiet --trace-out "$WORK/no/such/dir/t.strc" \
   "$EXAMPLES/locked_counter.mc"
 
+# --- compare-runs: percentile gating and the named-offender FAIL ---
+# Two hand-written archives where wall time barely moves but p99 doubles:
+# the gate must trip on the percentile and the FAIL line must say which
+# metric key regressed.
+mkdir -p "$WORK/hist"
+cat > "$WORK/hist/aaa-1.json" <<'EOF'
+{"schema":"sharc-bench-v1","bench":"sharc_serve","scale":1,"reps":1,
+ "host":{"cpus":1,"compiler":"gcc","build":"release","git_rev":"aaa","unix_time":100},
+ "rows":[{"name":"sharc/run","metrics":{"real_ns":1000000.0,"p50_us":10.0,"p99_us":40.0}}]}
+EOF
+cat > "$WORK/hist/bbb-1.json" <<'EOF'
+{"schema":"sharc-bench-v1","bench":"sharc_serve","scale":1,"reps":1,
+ "host":{"cpus":1,"compiler":"gcc","build":"release","git_rev":"bbb","unix_time":200},
+ "rows":[{"name":"sharc/run","metrics":{"real_ns":1010000.0,"p50_us":10.2,"p99_us":80.0}}]}
+EOF
+"$TRACE" compare-runs "$WORK/hist" --max-pct 10 > "$WORK/cmp.txt" 2>&1
+if [ $? -eq 1 ]; then
+  echo "ok: compare-runs fails on a p99 regression wall time missed"
+else
+  fail "compare-runs did not fail on the p99 regression"
+fi
+if grep -q "FAIL.*sharc_serve/sharc/run:p99_us" "$WORK/cmp.txt"; then
+  echo "ok: compare-runs FAIL names the regressed metric key"
+else
+  fail "compare-runs FAIL line does not name sharc_serve/sharc/run:p99_us"
+fi
+# A generous threshold lets the same archives pass.
+expect_exit 0 "compare-runs passes at --max-pct 150" \
+  "$TRACE" compare-runs "$WORK/hist" --max-pct 150
+
 # --- sharc-trace usage contract ---
 expect_exit 0 "sharc-trace --help" "$TRACE" --help
 expect_exit 2 "sharc-trace no arguments" "$TRACE"
