@@ -54,6 +54,52 @@ SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" \
   --stats-addr 127.0.0.1:0 --json "$ROOT/BENCH_serve.json"
 "$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_serve.json"
 
+echo "== serve span bench -> BENCH_serve_spans.json =="
+# The same 100k-connection scenario with request-span tracing armed
+# (--trace-out): every request leaves a begin/end span per pipeline
+# stage in a v4 .strc, and `sharc-trace requests` reconstructs the
+# per-stage breakdown plus the attributed tail. The report is archived
+# separately (below) so compare-runs trends the spans-armed percentiles
+# against their own history, not the untraced run's.
+SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" \
+  --clients 100000 --rate 20000 --service-us 20 --workers 4 \
+  --trace-out "$BUILD/serve_spans.strc" --json "$ROOT/BENCH_serve_spans.json"
+"$BUILD/src/obs/sharc-trace" check-bench "$ROOT/BENCH_serve_spans.json"
+# The anatomy must parse the trace and attribute the slowest 1%.
+"$BUILD/src/obs/sharc-trace" requests "$BUILD/serve_spans.strc" --tail 1 \
+  > "$BUILD/serve_spans_anatomy.txt"
+grep -q "cause:" "$BUILD/serve_spans_anatomy.txt"
+head -14 "$BUILD/serve_spans_anatomy.txt"
+
+echo "== span tracing overhead gate =="
+# Arming --trace-out on the checked server must keep handler CPU within
+# 2% of the identical checked run with spans disabled: span emission is
+# a handful of lock-free ring pushes per request, and this gate keeps it
+# that way. Same retry discipline as the serve gate: fresh adjacent
+# baselines, pass on any of 4 attempts.
+SERVE_RUN="--clients 3000 --rate 200000 --service-us 200 --workers 3"
+ATTEMPT=1
+while :; do
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN \
+    --quiet --json "$BUILD/bench_serve_spans_off.json"
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN \
+    --quiet --trace-out "$BUILD/bench_serve_spans.strc" \
+    --json "$BUILD/bench_serve_spans_on.json"
+  if "$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
+       "$BUILD/bench_serve_spans_off.json" \
+       "$BUILD/bench_serve_spans_on.json"; then
+    break
+  fi
+  if [ "$ATTEMPT" -ge 4 ]; then
+    echo "ci.sh: span tracing overhead gate: over 2% in all $ATTEMPT attempts"
+    exit 1
+  fi
+  ATTEMPT=$((ATTEMPT + 1))
+  echo "ci.sh: span tracing overhead gate: retrying (attempt $ATTEMPT)"
+done
+
 echo "== serve overhead gate =="
 # Armed-vs-disabled for the server itself: the same fixed request mix
 # with checking enabled must keep handler CPU (thread-CPU accounted, so
@@ -188,6 +234,11 @@ cp "$ROOT/BENCH_table1.json" "$HIST/$SHARC_GIT_REV-$N.json"
 N=0
 while [ -e "$HIST/$SHARC_GIT_REV-serve-$N.json" ]; do N=$((N + 1)); done
 cp "$ROOT/BENCH_serve.json" "$HIST/$SHARC_GIT_REV-serve-$N.json"
+# ...and the spans-armed serve report, whose serve.stages section gives
+# compare-runs the per-stage percentile trend.
+N=0
+while [ -e "$HIST/$SHARC_GIT_REV-serve-spans-$N.json" ]; do N=$((N + 1)); done
+cp "$ROOT/BENCH_serve_spans.json" "$HIST/$SHARC_GIT_REV-serve-spans-$N.json"
 "$BUILD/src/obs/sharc-trace" compare-runs "$HIST" --max-pct 25 \
   || echo "ci.sh: WARNING: compare-runs flagged a regression (soft gate)"
 

@@ -1,6 +1,7 @@
 #include "obs/Causal.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <unordered_map>
 
@@ -338,6 +339,333 @@ std::string renderCriticalPath(const CriticalPath &P, const TraceData &Data) {
   }
   flush(P.Steps.back().Event);
   return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Request-level view (sharc-span, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+uint64_t RequestView::exclusiveNs(SpanStage S) const {
+  uint64_t D = stageNs(S);
+  if (S == SpanStage::Handler) {
+    // The lock sections run nested inside the handler; subtract them so
+    // "handler-dominant" means the handler's own work, not its waits.
+    uint64_t Nested =
+        stageNs(SpanStage::LockWait) + stageNs(SpanStage::LockHold);
+    D = D > Nested ? D - Nested : 0;
+  }
+  return D;
+}
+
+bool RequestView::complete() const {
+  uint32_t All = (1u << NumSpanStages) - 1;
+  return (HasBegin & All) == All && (HasEnd & All) == All;
+}
+
+uint64_t RequestView::beginNs() const {
+  uint64_t B = UINT64_MAX;
+  for (unsigned K = 0; K < NumSpanStages; ++K)
+    if (HasBegin & (1u << K))
+      B = std::min(B, BeginNs[K]);
+  return B == UINT64_MAX ? 0 : B;
+}
+
+uint64_t RequestView::endNs() const {
+  uint64_t E = 0;
+  for (unsigned K = 0; K < NumSpanStages; ++K)
+    if (HasEnd & (1u << K))
+      E = std::max(E, EndNs[K]);
+  return E;
+}
+
+SpanStage RequestView::dominantStage() const {
+  SpanStage Best = SpanStage::Accept;
+  uint64_t BestNs = 0;
+  for (unsigned K = 0; K < NumSpanStages; ++K) {
+    uint64_t D = exclusiveNs(static_cast<SpanStage>(K));
+    if (D > BestNs) {
+      BestNs = D;
+      Best = static_cast<SpanStage>(K);
+    }
+  }
+  return Best;
+}
+
+RequestsReport buildRequests(const TraceData &Data) {
+  RequestsReport R;
+  std::unordered_map<uint64_t, size_t> Idx;
+  for (const SpanRecord &S : Data.Spans) {
+    auto [It, New] = Idx.try_emplace(S.Req, R.Requests.size());
+    if (New) {
+      RequestView V;
+      V.Req = S.Req;
+      R.Requests.push_back(V);
+    }
+    RequestView &V = R.Requests[It->second];
+    unsigned K = static_cast<unsigned>(S.Stage);
+    if (S.Begin) {
+      V.BeginNs[K] = S.TimeNs;
+      V.HasBegin |= 1u << K;
+      V.Tids[K] = S.Tid;
+      switch (S.Stage) {
+      case SpanStage::Accept:
+        V.Client = S.Arg;
+        break;
+      case SpanStage::Handler:
+        V.Op = S.Arg;
+        break;
+      case SpanStage::LockWait:
+      case SpanStage::LockHold:
+        V.Lock = S.Arg;
+        break;
+      default:
+        break;
+      }
+    } else {
+      V.EndNs[K] = S.TimeNs;
+      V.HasEnd |= 1u << K;
+    }
+  }
+  std::sort(R.Requests.begin(), R.Requests.end(),
+            [](const RequestView &A, const RequestView &B) {
+              return A.Req < B.Req;
+            });
+  for (const RequestView &V : R.Requests)
+    (V.complete() ? R.Complete : R.Incomplete)++;
+  return R;
+}
+
+namespace {
+
+struct HoldInterval {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  uint64_t Req = 0;
+};
+
+std::string fmtUs(uint64_t Ns) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1fus", double(Ns) / 1000.0);
+  return Buf;
+}
+
+std::string fmtLock(uint64_t Lock) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", (unsigned long long)Lock);
+  return Buf;
+}
+
+} // namespace
+
+std::vector<TailEntry> tailRequests(const RequestsReport &R,
+                                    const TraceData &Data, double Pct) {
+  std::vector<TailEntry> Tail;
+  std::vector<const RequestView *> Done;
+  for (const RequestView &V : R.Requests)
+    if (V.complete())
+      Done.push_back(&V);
+  if (Done.empty())
+    return Tail;
+  std::stable_sort(Done.begin(), Done.end(),
+                   [](const RequestView *A, const RequestView *B) {
+                     return A->totalNs() > B->totalNs();
+                   });
+  size_t K = static_cast<size_t>(double(Done.size()) * Pct / 100.0 + 0.999);
+  K = std::max<size_t>(1, std::min(K, Done.size()));
+
+  // Per-lock hold intervals, sorted by begin. A mutex's holds never
+  // overlap, so the ends are sorted too and the overlap lookup can
+  // binary-search.
+  std::unordered_map<uint64_t, std::vector<HoldInterval>> Holds;
+  for (const RequestView &V : R.Requests)
+    if (V.has(SpanStage::LockHold))
+      Holds[V.Lock].push_back(
+          {V.BeginNs[static_cast<unsigned>(SpanStage::LockHold)],
+           V.EndNs[static_cast<unsigned>(SpanStage::LockHold)], V.Req});
+  for (auto &[Lock, Iv] : Holds)
+    std::sort(Iv.begin(), Iv.end(),
+              [](const HoldInterval &A, const HoldInterval &B) {
+                return A.Begin < B.Begin;
+              });
+
+  std::unordered_map<uint64_t, std::string> SiteByLock;
+  for (const LockProfileRecord &L : Data.Locks)
+    if (!L.File.empty() && !SiteByLock.count(L.Lock))
+      SiteByLock[L.Lock] = L.File + ":" + std::to_string(L.Line);
+
+  // Hottest profiled check site, for handler-bound requests.
+  const SiteProfileRecord *HotSite = nullptr;
+  for (const SiteProfileRecord &S : Data.Sites)
+    if (!HotSite || S.Cycles > HotSite->Cycles)
+      HotSite = &S;
+
+  for (size_t I = 0; I < K; ++I) {
+    const RequestView &V = *Done[I];
+    TailEntry E;
+    E.Req = V.Req;
+    E.TotalNs = V.totalNs();
+    E.Dominant = V.dominantStage();
+    E.DominantNs = V.exclusiveNs(E.Dominant);
+    switch (E.Dominant) {
+    case SpanStage::LockWait: {
+      uint64_t WaitB = V.BeginNs[static_cast<unsigned>(SpanStage::LockWait)];
+      uint64_t WaitE = V.EndNs[static_cast<unsigned>(SpanStage::LockWait)];
+      uint64_t BestOverlap = 0;
+      const HoldInterval *Holder = nullptr;
+      if (auto It = Holds.find(V.Lock); It != Holds.end()) {
+        const auto &Iv = It->second;
+        // First hold that could still overlap [WaitB, WaitE): ends are
+        // sorted, so skip everything that ended before the wait began.
+        auto Lo = std::lower_bound(Iv.begin(), Iv.end(), WaitB,
+                                   [](const HoldInterval &H, uint64_t T) {
+                                     return H.End <= T;
+                                   });
+        for (auto HI = Lo; HI != Iv.end() && HI->Begin < WaitE; ++HI) {
+          if (HI->Req == V.Req)
+            continue;
+          uint64_t B = std::max(HI->Begin, WaitB);
+          uint64_t En = std::min(HI->End, WaitE);
+          if (En > B && En - B >= BestOverlap) {
+            BestOverlap = En - B;
+            Holder = &*HI;
+          }
+        }
+      }
+      E.C = Holder ? TailEntry::Cause::LockHolder
+                   : TailEntry::Cause::LockWaiter;
+      E.Detail = "lock wait " + fmtUs(E.DominantNs) + " on lock " +
+                 fmtLock(V.Lock);
+      if (Holder) {
+        E.HasHolder = true;
+        E.HolderReq = Holder->Req;
+        E.Detail += " — held by req " + std::to_string(Holder->Req) +
+                    " (lock-hold " + fmtUs(Holder->End - Holder->Begin) + ")";
+      }
+      if (auto It = SiteByLock.find(V.Lock); It != SiteByLock.end())
+        E.Detail += "; holder site " + It->second;
+      break;
+    }
+    case SpanStage::LockHold:
+      E.C = TailEntry::Cause::LockHeld;
+      E.Detail = "long critical section: held lock " + fmtLock(V.Lock) +
+                 " for " + fmtUs(E.DominantNs);
+      break;
+    case SpanStage::RingWait:
+      E.C = TailEntry::Cause::QueueWait;
+      E.Detail = "queue wait: " + fmtUs(E.DominantNs) +
+                 " in the ingress ring before a worker dequeued it";
+      break;
+    case SpanStage::LogWait:
+    case SpanStage::Logger:
+      E.C = TailEntry::Cause::LogBacklog;
+      E.Detail = "logger backlog: " + fmtUs(E.DominantNs) +
+                 " from log enqueue to drain";
+      break;
+    case SpanStage::Accept:
+      E.C = TailEntry::Cause::AcceptCost;
+      E.Detail = "acceptor-side setup took " + fmtUs(E.DominantNs);
+      break;
+    case SpanStage::Handler:
+    default:
+      if (HotSite) {
+        E.C = TailEntry::Cause::CheckCost;
+        E.Detail = "handler cpu " + fmtUs(E.DominantNs) +
+                   "; hottest check site " + HotSite->File + ":" +
+                   std::to_string(HotSite->Line) + " (" + HotSite->LValue +
+                   ", " + std::to_string(HotSite->Cycles) + " cycles)";
+      } else {
+        E.C = TailEntry::Cause::HandlerCpu;
+        E.Detail = "handler cpu " + fmtUs(E.DominantNs) +
+                   " (no site profile in trace)";
+      }
+      break;
+    }
+    Tail.push_back(std::move(E));
+  }
+  return Tail;
+}
+
+std::string renderRequests(const RequestsReport &R, const TraceData &Data,
+                           double TailPct) {
+  std::ostringstream OS;
+  OS << "requests: " << R.Requests.size() << " with spans (" << R.Complete
+     << " complete, " << R.Incomplete << " incomplete)\n";
+  if (R.Complete == 0) {
+    OS << "no complete request-span sets — was the producer run with "
+          "--trace-out?\n";
+    return OS.str();
+  }
+
+  // Exact per-stage percentiles over complete requests (offline
+  // analysis: sorting beats a histogram's bucket error).
+  std::vector<uint64_t> Durations;
+  OS << "\nper-stage latency over complete requests (us):\n";
+  OS << "  stage            p50      p99     p999      max\n";
+  auto quantile = [&](double Q) -> uint64_t {
+    size_t N = Durations.size();
+    size_t I = static_cast<size_t>(Q * double(N));
+    return Durations[std::min(I, N - 1)];
+  };
+  for (unsigned K = 0; K < NumSpanStages; ++K) {
+    Durations.clear();
+    for (const RequestView &V : R.Requests)
+      if (V.complete())
+        Durations.push_back(V.stageNs(static_cast<SpanStage>(K)));
+    std::sort(Durations.begin(), Durations.end());
+    char Line[128];
+    std::snprintf(Line, sizeof(Line),
+                  "  %-10s %9.1f %8.1f %8.1f %8.1f\n",
+                  spanStageName(static_cast<SpanStage>(K)),
+                  double(quantile(0.50)) / 1000.0,
+                  double(quantile(0.99)) / 1000.0,
+                  double(quantile(0.999)) / 1000.0,
+                  double(Durations.back()) / 1000.0);
+    OS << Line;
+  }
+  Durations.clear();
+  for (const RequestView &V : R.Requests)
+    if (V.complete())
+      Durations.push_back(V.totalNs());
+  std::sort(Durations.begin(), Durations.end());
+  {
+    char Line[128];
+    std::snprintf(Line, sizeof(Line), "  %-10s %9.1f %8.1f %8.1f %8.1f\n",
+                  "total", double(quantile(0.50)) / 1000.0,
+                  double(quantile(0.99)) / 1000.0,
+                  double(quantile(0.999)) / 1000.0,
+                  double(Durations.back()) / 1000.0);
+    OS << Line;
+  }
+
+  std::vector<TailEntry> Tail = tailRequests(R, Data, TailPct);
+  OS << "\ntail anatomy: slowest " << Tail.size() << " of " << R.Complete
+     << " complete requests (" << TailPct << "%):\n";
+  for (const TailEntry &E : Tail) {
+    OS << "  req " << E.Req << "  total " << fmtUs(E.TotalNs)
+       << "  dominant " << spanStageName(E.Dominant) << " "
+       << fmtUs(E.DominantNs) << "\n";
+    OS << "    cause: " << E.Detail << "\n";
+  }
+  return OS.str();
+}
+
+uint64_t requestTreeDigest(const RequestsReport &R) {
+  uint64_t H = 1469598103934665603ull;
+  auto mix = [&H](uint64_t V) {
+    for (unsigned I = 0; I < 8; ++I) {
+      H ^= (V >> (8 * I)) & 0xff;
+      H *= 1099511628211ull;
+    }
+  };
+  for (const RequestView &V : R.Requests) {
+    mix(V.Req);
+    mix(V.Client);
+    mix(V.Op);
+    mix(V.HasBegin);
+    mix(V.HasEnd);
+  }
+  mix(R.Requests.size());
+  return H;
 }
 
 } // namespace sharc::obs

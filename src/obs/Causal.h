@@ -139,6 +139,102 @@ std::string renderTimeline(const CausalReport &R, const TraceData &Data);
 /// by the cross-thread edges, with per-edge cost.
 std::string renderCriticalPath(const CriticalPath &P, const TraceData &Data);
 
+//===----------------------------------------------------------------------===//
+// Request-level view (sharc-span, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+/// One request reconstructed from its v4 span records: for every
+/// pipeline stage the begin/end timestamps (producer-epoch nanoseconds)
+/// and the role id that ran it. Unlike the event analyses above, the
+/// clock here is real time — spans carry timestamps precisely because
+/// tail latency is a wall-clock question.
+struct RequestView {
+  uint64_t Req = 0;
+  uint64_t Client = 0; ///< Accept-begin Arg
+  uint64_t Op = 0;     ///< Handler-begin Arg (serve op kind)
+  uint64_t Lock = 0;   ///< session-shard lock id (LockWait/LockHold Arg)
+  uint64_t BeginNs[NumSpanStages] = {};
+  uint64_t EndNs[NumSpanStages] = {};
+  uint32_t Tids[NumSpanStages] = {}; ///< role id of the begin record
+  uint32_t HasBegin = 0;             ///< stage bitmask
+  uint32_t HasEnd = 0;               ///< stage bitmask
+
+  bool has(SpanStage S) const {
+    uint32_t Bit = 1u << static_cast<unsigned>(S);
+    return (HasBegin & Bit) && (HasEnd & Bit);
+  }
+  uint64_t stageNs(SpanStage S) const {
+    unsigned K = static_cast<unsigned>(S);
+    return has(S) && EndNs[K] > BeginNs[K] ? EndNs[K] - BeginNs[K] : 0;
+  }
+  /// Duration owned by the stage alone — Handler minus the lock
+  /// sections nested inside it — so dominance compares disjoint time.
+  uint64_t exclusiveNs(SpanStage S) const;
+  bool complete() const; ///< every stage has both boundaries
+  uint64_t beginNs() const;
+  uint64_t endNs() const;
+  uint64_t totalNs() const {
+    uint64_t B = beginNs(), E = endNs();
+    return E > B ? E - B : 0;
+  }
+  SpanStage dominantStage() const; ///< argmax of exclusiveNs
+};
+
+struct RequestsReport {
+  std::vector<RequestView> Requests; ///< sorted by Req
+  uint64_t Complete = 0;
+  uint64_t Incomplete = 0; ///< span sets missing a boundary
+};
+
+/// Groups Data.Spans by request id. Accepts partial traces: requests
+/// cut mid-pipeline are kept (and counted Incomplete) so a tail-parsed
+/// prefix still yields a view.
+RequestsReport buildRequests(const TraceData &Data);
+
+/// One slow request, attributed: its dominant stage plus the concrete
+/// cause the anatomy report names for it.
+struct TailEntry {
+  enum class Cause : uint8_t {
+    LockHolder, ///< dominant lock-wait, holder request identified
+    LockWaiter, ///< dominant lock-wait, no overlapping holder found
+    LockHeld,   ///< dominant lock-hold: the long critical section itself
+    QueueWait,  ///< ingress ring backlog
+    LogBacklog, ///< log ring / logger drain backlog
+    CheckCost,  ///< handler-dominant, profiled check sites available
+    HandlerCpu, ///< handler-dominant, no site data in the trace
+    AcceptCost, ///< acceptor-side setup dominated
+  };
+  uint64_t Req = 0;
+  uint64_t TotalNs = 0;
+  SpanStage Dominant = SpanStage::Accept;
+  uint64_t DominantNs = 0;
+  Cause C = Cause::HandlerCpu;
+  bool HasHolder = false;
+  uint64_t HolderReq = 0;
+  std::string Detail; ///< one rendered cause sentence
+};
+
+/// The slowest ceil(Pct%) of complete requests, slowest first, each
+/// attributed. Lock waits are matched against other requests' LockHold
+/// intervals on the same lock (a mutex's holds never overlap, so the
+/// overlapping hold IS the blocker); the lock's source site is joined
+/// from lock-profile records when the trace carries them; handler-bound
+/// requests cite the hottest profiled check site when site tables are
+/// present.
+std::vector<TailEntry> tailRequests(const RequestsReport &R,
+                                    const TraceData &Data, double Pct);
+
+/// Human-readable anatomy: per-stage latency percentiles over complete
+/// requests, then the attributed tail report for the slowest TailPct%.
+std::string renderRequests(const RequestsReport &R, const TraceData &Data,
+                           double TailPct);
+
+/// Structural digest over the request-span forest: hashes what the load
+/// seed fixes (request ids, clients, op kinds, which stage boundaries
+/// exist) and none of what the scheduler varies (timestamps, role ids,
+/// interleaving). Two runs of the same seeded schedule digest equal.
+uint64_t requestTreeDigest(const RequestsReport &R);
+
 } // namespace sharc::obs
 
 #endif // SHARC_OBS_CAUSAL_H

@@ -13,6 +13,10 @@ namespace sharc::obs {
 namespace {
 
 constexpr uint64_t ChromePid = 1;
+// Request spans live in their own process group: the thread tracks are
+// clocked in stream units while spans carry real nanoseconds, and two
+// clocks must not share a track.
+constexpr uint64_t RequestPid = 2;
 
 std::string hexAddr(uint64_t Addr) {
   char Buf[32];
@@ -171,6 +175,58 @@ std::string renderChromeTrace(const TraceData &Data) {
     slice(W, "hold " + hexAddr(Key.second), "lock", Start, End, Key.first,
           Key.second);
 
+  // Request spans (v4) as async begin/end pairs, one id per request,
+  // nested per stage — Perfetto stacks balanced b/e events sharing an
+  // id. ts is microseconds of producer-epoch time.
+  if (!Data.Spans.empty()) {
+    W.beginObject();
+    W.key("name");
+    W.value("process_name");
+    W.key("ph");
+    W.value("M");
+    W.key("cat");
+    W.value("__metadata");
+    W.key("ts");
+    W.value(uint64_t(0));
+    W.key("pid");
+    W.value(RequestPid);
+    W.key("tid");
+    W.value(uint64_t(0));
+    W.key("args");
+    W.beginObject();
+    W.key("name");
+    W.value("sharc requests");
+    W.endObject();
+    W.endObject();
+    for (const SpanRecord &S : Data.Spans) {
+      W.beginObject();
+      W.key("name");
+      W.value(spanStageName(S.Stage));
+      W.key("ph");
+      W.value(S.Begin ? "b" : "e");
+      W.key("cat");
+      W.value("request");
+      W.key("id");
+      W.value("req" + std::to_string(S.Req));
+      W.key("ts");
+      W.value(S.TimeNs / 1000);
+      W.key("pid");
+      W.value(RequestPid);
+      W.key("tid");
+      W.value(uint64_t(S.Tid));
+      if (S.Begin) {
+        W.key("args");
+        W.beginObject();
+        W.key("req");
+        W.value(S.Req);
+        W.key("arg");
+        W.value(S.Arg);
+        W.endObject();
+      }
+      W.endObject();
+    }
+  }
+
   W.endArray();
   W.endObject();
   return W.take();
@@ -215,6 +271,13 @@ bool validateChromeJson(std::string_view Text, std::string &Error) {
       const JsonValue *Dur = Ev.get("dur");
       if (!Dur || !Dur->isNumber()) {
         Error = Where + " is an X slice without numeric dur";
+        return false;
+      }
+    }
+    if (Ph->Str == "b" || Ph->Str == "e") {
+      const JsonValue *Id = Ev.get("id");
+      if (!Id || !Id->isString()) {
+        Error = Where + " is an async event without string id";
         return false;
       }
     }

@@ -24,6 +24,36 @@ struct TlsEntry {
 
 thread_local std::vector<TlsEntry> TlsRings;
 
+// Spans travel through the event rings packed under bit 7 of the kind
+// byte (real EventKind values stop at NumEventKinds - 1 = 13, far below
+// the sentinel range): K = 0x80 | Stage << 1 | Begin, Addr = Req,
+// Value = TimeNs, Extra = Arg, Tid = Tid. The sentinel never escapes
+// the Collector — drainLocked unpacks it back into a SpanRecord.
+constexpr uint8_t SpanKindBit = 0x80;
+
+Event packSpan(const SpanRecord &S) {
+  Event Ev;
+  Ev.K = static_cast<EventKind>(
+      SpanKindBit | (static_cast<uint8_t>(S.Stage) << 1) | (S.Begin ? 1 : 0));
+  Ev.Tid = S.Tid;
+  Ev.Addr = S.Req;
+  Ev.Value = static_cast<int64_t>(S.TimeNs);
+  Ev.Extra = S.Arg;
+  return Ev;
+}
+
+SpanRecord unpackSpan(const Event &Ev) {
+  uint8_t Raw = static_cast<uint8_t>(Ev.K);
+  SpanRecord S;
+  S.Tid = Ev.Tid;
+  S.Req = Ev.Addr;
+  S.Stage = static_cast<SpanStage>((Raw & ~SpanKindBit) >> 1);
+  S.Begin = (Raw & 1) != 0;
+  S.TimeNs = static_cast<uint64_t>(Ev.Value);
+  S.Arg = Ev.Extra;
+  return S;
+}
+
 } // namespace
 
 Collector::Collector(Sink &Downstream, size_t RingCapacity)
@@ -44,7 +74,7 @@ Collector::Ring &Collector::myRing() {
   return *R;
 }
 
-void Collector::event(const Event &Ev) {
+void Collector::push(const Event &Ev) {
   Ring &R = myRing();
   size_t Head = R.Head.load(std::memory_order_relaxed);
   if (Head - R.Tail.load(std::memory_order_acquire) == R.Buf.size()) {
@@ -56,6 +86,10 @@ void Collector::event(const Event &Ev) {
   R.Buf[Head & R.Mask] = Ev;
   R.Head.store(Head + 1, std::memory_order_release);
 }
+
+void Collector::event(const Event &Ev) { push(Ev); }
+
+void Collector::span(const SpanRecord &S) { push(packSpan(S)); }
 
 void Collector::stats(const rt::StatsSnapshot &S) {
   std::lock_guard<std::mutex> Lock(Mu);
@@ -100,7 +134,11 @@ void Collector::drainLocked(Ring &R) {
   size_t Tail = R.Tail.load(std::memory_order_relaxed);
   size_t Head = R.Head.load(std::memory_order_acquire);
   while (Tail != Head) {
-    Downstream.event(R.Buf[Tail & R.Mask]);
+    const Event &Ev = R.Buf[Tail & R.Mask];
+    if (static_cast<uint8_t>(Ev.K) & SpanKindBit)
+      Downstream.span(unpackSpan(Ev));
+    else
+      Downstream.event(Ev);
     ++Tail;
   }
   R.Tail.store(Tail, std::memory_order_release);

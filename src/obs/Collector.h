@@ -38,6 +38,12 @@ public:
   void lockProfile(const LockProfileRecord &R) override;
   void selfOverhead(const SelfOverheadRecord &R) override;
 
+  /// Spans share the producer's event ring (same lock-free fast path,
+  /// same program-order guarantee) packed under a sentinel kind bit the
+  /// drain unpacks, so downstream sinks still never see a kind outside
+  /// the Event namespace.
+  void span(const SpanRecord &S) override;
+
   /// Drains every registered ring into the downstream sink and flushes
   /// it. Safe to call while producers are still running; events
   /// published concurrently may land in the next flush.
@@ -55,6 +61,7 @@ private:
   };
 
   Ring &myRing();
+  void push(const Event &Ev);
   void drainLocked(Ring &R);
 
   Sink &Downstream;

@@ -431,7 +431,8 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
   // Optional "serve" section: sharc-serve stamps its run configuration
   // and the mid-run /metrics scrape here. When present it must carry
   // numeric clients and target_rate_rps; every other member is numeric
-  // too, except the nested "scrape" object (itself all-numeric).
+  // too, except the nested "scrape" object (itself all-numeric) and the
+  // nested "stages" object (stage name -> all-numeric percentiles).
   if (const JsonValue *Serve = Doc.get("serve")) {
     if (!Serve->isObject()) {
       Error = "field \"serve\" is not an object";
@@ -453,6 +454,23 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
             Error = "serve: scrape: field \"" + SK + "\" is not a number";
             return false;
           }
+      } else if (K == "stages") {
+        if (!V.isObject()) {
+          Error = "serve: field \"stages\" is not an object";
+          return false;
+        }
+        for (const auto &[Stage, SO] : V.Obj) {
+          if (!SO.isObject()) {
+            Error = "serve: stages: field \"" + Stage + "\" is not an object";
+            return false;
+          }
+          for (const auto &[SK, SV] : SO.Obj)
+            if (!SV.isNumber()) {
+              Error = "serve: stages: " + Stage + ": field \"" + SK +
+                      "\" is not a number";
+              return false;
+            }
+        }
       } else if (!V.isNumber()) {
         Error = "serve: field \"" + K + "\" is not a number";
         return false;

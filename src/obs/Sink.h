@@ -8,6 +8,7 @@
 
 #include "obs/Event.h"
 #include "obs/ProfileRecord.h"
+#include "obs/Span.h"
 #include "rt/Stats.h"
 
 #include <vector>
@@ -32,6 +33,10 @@ public:
   virtual void lockProfile(const LockProfileRecord &R) { (void)R; }
   virtual void selfOverhead(const SelfOverheadRecord &R) { (void)R; }
 
+  // Request-span boundary (DESIGN.md §16).  Same thread-safety contract
+  // as event(); default ignores it so event-only sinks stay untouched.
+  virtual void span(const SpanRecord &S) { (void)S; }
+
   // Drain any buffering.  Default is a no-op.
   virtual void flush() {}
 };
@@ -51,12 +56,14 @@ public:
   void selfOverhead(const SelfOverheadRecord &R) override {
     Overheads.push_back(R);
   }
+  void span(const SpanRecord &S) override { Spans.push_back(S); }
 
   std::vector<Event> Events;
   std::vector<rt::StatsSnapshot> Samples;
   std::vector<SiteProfileRecord> Sites;
   std::vector<LockProfileRecord> Locks;
   std::vector<SelfOverheadRecord> Overheads;
+  std::vector<SpanRecord> Spans;
 };
 
 // Fans one stream out to two sinks (e.g. a trace file plus a live
@@ -98,6 +105,13 @@ public:
       A->selfOverhead(R);
     if (B)
       B->selfOverhead(R);
+  }
+
+  void span(const SpanRecord &S) override {
+    if (A)
+      A->span(S);
+    if (B)
+      B->span(S);
   }
 
   void flush() override {

@@ -1,0 +1,77 @@
+// Request-scoped tracing spans (DESIGN.md §16).
+//
+// sharc-span threads one request id through the whole annotated serve
+// pipeline — acceptor, ingress ring, worker handler, session-cache lock
+// sections, logger — as begin/end span records. Spans ride the same
+// lock-free per-thread rings as Events (obs::Collector packs them into
+// a reserved sentinel range of the ring's EventKind byte, so the
+// 14-kind event namespace that the fuzz trace oracle pins is never
+// extended) and land in .strc v4 traces as their own record family.
+//
+// Span Tids are pipeline-role ids assigned by the producer (for
+// sharc-serve: 1 = acceptor, 2..W+1 = workers, W+2 = logger), not
+// runtime thread ids — spans are keyed by request id, and the role id
+// is what the tail-anatomy report prints.
+#ifndef SHARC_OBS_SPAN_H
+#define SHARC_OBS_SPAN_H
+
+#include <cstdint>
+
+namespace sharc::obs {
+
+/// Pipeline stages a request passes through, in pipeline order. The
+/// trace parser rejects stages outside this set (like unknown check
+/// kinds); adding a stage is a trace-format version bump.
+enum class SpanStage : uint8_t {
+  Accept = 0, ///< acceptor-side connection setup; Arg(begin) = client
+              ///< id, Arg(end) = op kind
+  RingWait,   ///< ingress ring residency: begin at enqueue (acceptor),
+              ///< end at dequeue (worker) — across the ownership cast
+  Handler,    ///< worker handler, whole; Arg(begin) = op kind
+  LockWait,   ///< waiting on the session-shard lock; Arg = lock id
+  LockHold,   ///< holding the session-shard lock; Arg = lock id
+  LogWait,    ///< log ring residency: begin at enqueue (worker), end at
+              ///< dequeue (logger) — across the second ownership cast
+  Logger,     ///< logger-side record processing
+};
+
+inline constexpr unsigned NumSpanStages = 7;
+
+inline const char *spanStageName(SpanStage S) {
+  switch (S) {
+  case SpanStage::Accept:
+    return "accept";
+  case SpanStage::RingWait:
+    return "ring-wait";
+  case SpanStage::Handler:
+    return "handler";
+  case SpanStage::LockWait:
+    return "lock-wait";
+  case SpanStage::LockHold:
+    return "lock-hold";
+  case SpanStage::LogWait:
+    return "log-wait";
+  case SpanStage::Logger:
+    return "logger";
+  }
+  return "?";
+}
+
+/// One span boundary. A (Req, Stage) pair gets exactly one begin and
+/// one end record; TimeNs is nanoseconds since the producer's epoch
+/// (one epoch per run, so spans are mutually comparable within a
+/// trace). Arg carries stage-specific context (see SpanStage).
+struct SpanRecord {
+  uint32_t Tid = 0; ///< pipeline-role id, not a runtime thread id
+  uint64_t Req = 0; ///< request id, unique within the run
+  SpanStage Stage = SpanStage::Accept;
+  bool Begin = true;
+  uint64_t TimeNs = 0;
+  uint64_t Arg = 0;
+
+  bool operator==(const SpanRecord &) const = default;
+};
+
+} // namespace sharc::obs
+
+#endif // SHARC_OBS_SPAN_H

@@ -111,6 +111,40 @@ std::string renderSummary(const TraceSummary &Sum, const TraceData &Data) {
   OS << "trace: " << Sum.TotalEvents << " events, " << Data.Samples.size()
      << " stats samples, " << Sum.Threads.size() << " threads\n";
 
+  // Record-type tally for the parsed format version. Older versions
+  // simply show zero for families they predate.
+  OS << "format: v" << Data.Version << " — records: events "
+     << Data.Events.size() << ", stats " << Data.Samples.size()
+     << ", site-profiles " << Data.Sites.size() << ", lock-profiles "
+     << Data.Locks.size() << ", self-overheads " << Data.Overheads.size()
+     << ", spans " << Data.Spans.size() << ", abnormal-end "
+     << (Data.AbnormalEnd ? 1 : 0) << "\n";
+  if (Data.SkippedUnknown) {
+    OS << "warning: skipped " << Data.SkippedUnknown
+       << " unknown extension record(s) (tags:";
+    for (uint8_t T : Data.SkippedTags) {
+      char Hex[8];
+      std::snprintf(Hex, sizeof(Hex), " 0x%02x", T);
+      OS << Hex;
+    }
+    OS << ") — written by a newer sharc\n";
+  }
+  if (!Data.Spans.empty()) {
+    uint64_t ByStage[NumSpanStages] = {};
+    uint64_t Begins = 0;
+    for (const SpanRecord &S : Data.Spans) {
+      ++ByStage[static_cast<unsigned>(S.Stage)];
+      Begins += S.Begin ? 1 : 0;
+    }
+    OS << "spans: " << Begins << " begin / " << Data.Spans.size() - Begins
+       << " end —";
+    for (unsigned K = 0; K < NumSpanStages; ++K)
+      if (ByStage[K])
+        OS << " " << spanStageName(static_cast<SpanStage>(K)) << " "
+           << ByStage[K];
+    OS << "\n";
+  }
+
   if (Data.AbnormalEnd) {
     OS << "\nABNORMAL END: the producing process died mid-run";
     if (Data.AbnormalSignal)
@@ -238,6 +272,7 @@ std::string renderSchedule(const TraceData &Data) {
 std::string renderDump(const TraceData &Data) {
   std::ostringstream OS;
   size_t Sample = 0;
+  size_t Span = 0;
   for (size_t I = 0; I <= Data.Events.size(); ++I) {
     while (Sample < Data.SamplePos.size() && Data.SamplePos[Sample] == I) {
       const rt::StatsSnapshot &S = Data.Samples[Sample];
@@ -245,6 +280,16 @@ std::string renderDump(const TraceData &Data) {
          << " conflicts=" << S.totalConflicts()
          << " metadata-bytes=" << S.metadataBytes() << "\n";
       ++Sample;
+    }
+    while (Span < Data.SpanPos.size() && Data.SpanPos[Span] == I) {
+      const SpanRecord &S = Data.Spans[Span];
+      OS << (S.Begin ? "span-begin" : "span-end")
+         << " stage=" << spanStageName(S.Stage) << " req=" << S.Req
+         << " tid=" << S.Tid << " t=" << S.TimeNs;
+      if (S.Arg)
+        OS << " arg=" << S.Arg;
+      OS << "\n";
+      ++Span;
     }
     if (I == Data.Events.size())
       break;

@@ -169,6 +169,18 @@ void TraceWriter::lockProfile(const LockProfileRecord &R) {
   ++Records;
 }
 
+void TraceWriter::span(const SpanRecord &S) {
+  if (Finished)
+    return;
+  Buf.push_back(static_cast<char>(S.Begin ? SpanBeginTag : SpanEndTag));
+  appendVarint(Buf, S.Tid);
+  appendVarint(Buf, S.Req);
+  appendVarint(Buf, static_cast<uint8_t>(S.Stage));
+  appendVarint(Buf, S.TimeNs);
+  appendVarint(Buf, S.Arg);
+  ++Records;
+}
+
 void TraceWriter::selfOverhead(const SelfOverheadRecord &R) {
   if (Finished)
     return;
@@ -438,6 +450,52 @@ RecordParse parseOneRecord(std::string_view Buf, size_t &Pos, TraceData &Out,
     Pos = C.Pos;
     return RecordParse::Ok;
   }
+  if (Tag == SpanBeginTag || Tag == SpanEndTag) {
+    SpanRecord S;
+    uint64_t Tid, Stage;
+    if (!C.varint(Tid) || !C.varint(S.Req) || !C.varint(Stage) ||
+        !C.varint(S.TimeNs) || !C.varint(S.Arg))
+      return Cut("truncated trace: cut mid span record");
+    if (Stage >= NumSpanStages) {
+      Error = "corrupt trace: unknown span stage " + std::to_string(Stage);
+      Pos = Start;
+      return RecordParse::Corrupt;
+    }
+    S.Tid = static_cast<uint32_t>(Tid);
+    S.Stage = static_cast<SpanStage>(Stage);
+    S.Begin = Tag == SpanBeginTag;
+    Out.Spans.push_back(S);
+    Out.SpanPos.push_back(Out.Events.size());
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
+  if (Tag >= ExtensionTagFirst && Tag <= ExtensionTagLast) {
+    // A record family newer than this reader: the length prefix lets us
+    // hop over the payload, count the record, and keep going.
+    uint64_t Len;
+    if (!C.varint(Len))
+      return Cut("truncated trace: cut mid extension record");
+    if (Len > (1u << 20)) {
+      Error = "corrupt trace: oversized extension record";
+      Pos = Start;
+      return RecordParse::Corrupt;
+    }
+    if (C.Pos + Len > Buf.size()) {
+      C.Short = true;
+      return Cut("truncated trace: cut mid extension record");
+    }
+    C.Pos += Len;
+    ++Out.SkippedUnknown;
+    bool Seen = false;
+    for (uint8_t T : Out.SkippedTags)
+      Seen = Seen || T == Tag;
+    if (!Seen)
+      Out.SkippedTags.push_back(Tag);
+    ++Records;
+    Pos = C.Pos;
+    return RecordParse::Ok;
+  }
   if (Tag == 0 || Tag > NumEventKinds) {
     Error = "corrupt trace: unknown record tag " + std::to_string(Tag);
     Pos = Start;
@@ -462,6 +520,7 @@ bool parseTrace(std::string_view Buf, TraceData &Out, std::string &Error) {
   uint32_t Version = 0;
   if (parseTraceHeader(Buf, Pos, Version, Error) != RecordParse::Ok)
     return false;
+  Out.Version = Version;
   uint64_t Records = 0;
   while (true) {
     switch (parseOneRecord(Buf, Pos, Out, Records, Error)) {

@@ -1,10 +1,12 @@
-// Compact, versioned binary trace format (.strc) — DESIGN.md §10, §11.
+// Compact, versioned binary trace format (.strc) — DESIGN.md §10, §11,
+// §16.
 //
 // Layout:
 //   8-byte magic "SHARCTRC"
-//   u32 little-endian version (currently 3; version-1/2 traces are still
-//   parsed — version 2 added the profile record tags, version 3 the
-//   abnormal-end record below)
+//   u32 little-endian version (currently 4; version-1/2/3 traces are
+//   still parsed — version 2 added the profile record tags, version 3
+//   the abnormal-end record, version 4 the span records and the
+//   skippable extension range below)
 //   a sequence of records, each introduced by a tag byte:
 //     0x01..0x0e  event record: tag = EventKind + 1, then varint Tid,
 //                 varint Addr, zigzag-varint Value, varint Extra
@@ -23,6 +25,14 @@
 //                 NumConflictKinds varints of per-kind Conflict counts.
 //                 Written by crash hooks so a dying process leaves a
 //                 parseable trace that says *how* it died.
+//     0x45/0x46   span begin/end record (v4): varint Tid, Req, Stage,
+//                 TimeNs, Arg (DESIGN.md §16 — request-scoped pipeline
+//                 spans)
+//     0x60..0x7e  reserved extension records (v4): varint payload
+//                 length, then that many payload bytes. Readers that do
+//                 not understand the tag skip the payload and count the
+//                 record, so future record families degrade to a
+//                 summarize warning instead of a hard parse error.
 //     0xff        end record: varint total record count (every record
 //                 above, of any tag)
 //   Strings are a varint length followed by raw bytes.
@@ -48,13 +58,20 @@
 namespace sharc::obs {
 
 inline constexpr char TraceMagic[8] = {'S', 'H', 'A', 'R', 'C', 'T', 'R', 'C'};
-inline constexpr uint32_t TraceVersion = 3;
+inline constexpr uint32_t TraceVersion = 4;
 inline constexpr uint32_t MinTraceVersion = 1;
 inline constexpr uint8_t StatsRecordTag = 0x40;
 inline constexpr uint8_t SiteProfileTag = 0x41;
 inline constexpr uint8_t LockProfileTag = 0x42;
 inline constexpr uint8_t SelfOverheadTag = 0x43;
 inline constexpr uint8_t AbnormalEndTag = 0x44;
+inline constexpr uint8_t SpanBeginTag = 0x45;
+inline constexpr uint8_t SpanEndTag = 0x46;
+// Length-prefixed records in this range are skipped (with a tally), not
+// rejected — the forward-compatibility escape hatch for record families
+// newer than this reader.
+inline constexpr uint8_t ExtensionTagFirst = 0x60;
+inline constexpr uint8_t ExtensionTagLast = 0x7e;
 inline constexpr uint8_t EndRecordTag = 0xff;
 
 // Appends a LEB128 varint / zigzag varint to Out.
@@ -84,6 +101,7 @@ public:
   void siteProfile(const SiteProfileRecord &R) override;
   void lockProfile(const LockProfileRecord &R) override;
   void selfOverhead(const SelfOverheadRecord &R) override;
+  void span(const SpanRecord &S) override;
 
   /// Appends the end record. Further events are rejected (dropped)
   /// after this; calling it again is a no-op.
@@ -126,14 +144,23 @@ private:
 
 /// A fully decoded trace. SamplePos[i] is the number of events that
 /// preceded Samples[i] in the record stream, so samples can be placed
-/// on the event timeline.
+/// on the event timeline (SpanPos does the same for Spans).
 struct TraceData {
+  /// Header version of the parsed image (set by parseTrace and the
+  /// TailParser; parseOneRecord itself is version-agnostic).
+  uint32_t Version = 0;
   std::vector<Event> Events;
   std::vector<rt::StatsSnapshot> Samples;
   std::vector<size_t> SamplePos;
   std::vector<SiteProfileRecord> Sites;
   std::vector<LockProfileRecord> Locks;
   std::vector<SelfOverheadRecord> Overheads;
+  std::vector<SpanRecord> Spans;
+  std::vector<size_t> SpanPos;
+  /// Extension records (tags 0x60..0x7e) this reader skipped, and the
+  /// distinct tags seen — summarize turns these into warnings.
+  uint64_t SkippedUnknown = 0;
+  std::vector<uint8_t> SkippedTags;
   /// Abnormal-end record (v3), present when the producing process died
   /// mid-run but its crash hooks flushed the trace.
   bool AbnormalEnd = false;

@@ -25,6 +25,7 @@ size_t TailParser::push(std::string_view Bytes) {
       return 0;
     default:
       St = State::Records;
+      Data.Version = Version;
       // With the header consumed and no record pending, a batch parse
       // of these exact bytes stops here.
       Diag = "truncated trace: missing end record";

@@ -90,6 +90,13 @@ void printUsage(std::FILE *To) {
       "                         one self-contained HTML file: timeline,\n"
       "                         critical path, hot sites, violations\n"
       "                         (stdout when OUT is omitted)\n"
+      "  requests FILE.strc [--tail P]\n"
+      "                         request-span anatomy of a sharc-serve\n"
+      "                         --trace-out run: per-stage latency\n"
+      "                         percentiles, then the slowest P%% of\n"
+      "                         requests (default 1) attributed to\n"
+      "                         concrete causes — lock wait with holder,\n"
+      "                         queue backlog, check cost\n"
       "\n"
       "live endpoint (sharcc --stats-addr / SHARC_STATS_ADDR):\n"
       "  scrape HOST:PORT [PATH]\n"
@@ -150,6 +157,13 @@ constexpr SubcommandHelp SubcommandHelps[] = {
     {"timeline", "sharc-trace timeline FILE.strc"},
     {"critical-path", "sharc-trace critical-path FILE.strc"},
     {"report", "sharc-trace report FILE.strc [OUT.html]"},
+    {"requests",
+     "sharc-trace requests FILE.strc [--tail P]\n"
+     "  reconstructs every request's span tree from a v4 trace, prints\n"
+     "  per-stage latency percentiles, and attributes the slowest P%\n"
+     "  (default 1) of requests to their dominant stage and a concrete\n"
+     "  cause (lock wait with the holding request and lock site, ingress\n"
+     "  queue backlog, logger backlog, or sharing-check cost)"},
     {"scrape", "sharc-trace scrape HOST:PORT [PATH]   (default /metrics)"},
     {"check-prom", "sharc-trace check-prom FILE [FILE2]"},
     {"check-live", "sharc-trace check-live PROM.txt FILE.strc"},
@@ -893,6 +907,51 @@ int cmdReport(int Argc, char **Argv) {
   return 0;
 }
 
+int cmdRequests(int Argc, char **Argv) {
+  double TailPct = 1.0;
+  const char *Path = nullptr;
+  bool Bad = false;
+  for (int I = 2; I < Argc && !Bad; ++I) {
+    if (std::strcmp(Argv[I], "--tail") == 0 ||
+        std::strncmp(Argv[I], "--tail=", 7) == 0) {
+      const char *Value = Argv[I][6] == '=' ? Argv[I] + 7
+                          : I + 1 < Argc    ? Argv[++I]
+                                            : nullptr;
+      char *End = nullptr;
+      TailPct = Value ? std::strtod(Value, &End) : 0;
+      if (!Value || !End || *End != '\0' || TailPct <= 0 || TailPct > 100) {
+        std::fprintf(stderr,
+                     "sharc-trace: --tail expects a percentage in (0,100]\n");
+        return 2;
+      }
+    } else if (!Path && Argv[I][0] != '-') {
+      Path = Argv[I];
+    } else {
+      Bad = true;
+    }
+  }
+  if (Bad || !Path) {
+    std::fprintf(stderr, "sharc-trace: requests FILE.strc [--tail P]\n");
+    return 2;
+  }
+  obs::TraceData Data;
+  std::string Note;
+  if (!loadForCausal(Path, Data, Note))
+    return 1;
+  if (!Note.empty())
+    std::printf("note: %s\n", Note.c_str());
+  obs::RequestsReport R = obs::buildRequests(Data);
+  if (R.Requests.empty()) {
+    std::fprintf(stderr,
+                 "sharc-trace: %s carries no span records — record one "
+                 "with sharc-serve --trace-out (trace format v4)\n",
+                 Path);
+    return 1;
+  }
+  std::fputs(obs::renderRequests(R, Data, TailPct).c_str(), stdout);
+  return 0;
+}
+
 //===----------------------------------------------------------------------===//
 // Live endpoint: scrape / check-prom / check-live
 //===----------------------------------------------------------------------===//
@@ -1046,6 +1105,16 @@ bool loadArchivedRun(const std::string &Path, ArchivedRun &Out) {
       Metrics.emplace_back(Key, Value.Num);
     Out.Rows.Rows.emplace_back(Row.get("name")->Str, std::move(Metrics));
   }
+  // serve.stages percentiles ride along as pseudo-rows so the per-stage
+  // breakdown is trended exactly like the top-level latency rows.
+  if (const obs::JsonValue *Serve = Doc.get("serve"))
+    if (const obs::JsonValue *Stages = Serve->get("stages"))
+      for (const auto &[Stage, Obj] : Stages->Obj) {
+        std::vector<std::pair<std::string, double>> Metrics;
+        for (const auto &[Key, Value] : Obj.Obj)
+          Metrics.emplace_back(Key, Value.Num);
+        Out.Rows.Rows.emplace_back("stages/" + Stage, std::move(Metrics));
+      }
   return true;
 }
 
@@ -1269,6 +1338,8 @@ int main(int Argc, char **Argv) {
     return cmdTimeline(Argc, Argv, /*WantCriticalPath=*/true);
   if (Cmd == "report")
     return cmdReport(Argc, Argv);
+  if (Cmd == "requests")
+    return cmdRequests(Argc, Argv);
   if (Cmd == "scrape")
     return cmdScrape(Argc, Argv);
   if (Cmd == "check-prom")

@@ -23,7 +23,9 @@
 #include "serve/Server.h"
 
 #include "BenchUtil.h"
+#include "obs/Collector.h"
 #include "obs/Json.h"
+#include "obs/TraceFile.h"
 #include "rt/Runtime.h"
 #include "rt/StatsServer.h"
 
@@ -32,6 +34,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace sharc;
@@ -46,6 +49,7 @@ struct ServeOptions {
   bool Quiet = false;
   std::string StatsAddr;
   std::string JsonPath;
+  std::string TracePath;
   guard::Policy OnViolation = guard::Policy::Abort;
   bool PolicyExplicit = false; ///< --on-violation given (beats env).
 };
@@ -72,6 +76,9 @@ void printUsage(std::FILE *Out) {
       "  --unchecked          run the uninstrumented baseline (orig)\n"
       "  --inject-race[=N]    skip the session-cache lock on every Nth\n"
       "                       request (default 64) — the serve_guard bug\n"
+      "  --inject-stall[=N]   spin 2ms inside the session-shard lock on\n"
+      "                       every Nth request (default 64) — a tail-\n"
+      "                       latency bug for `sharc-trace requests`\n"
       "  --on-violation=P     abort|continue|quarantine (default abort;\n"
       "                       SHARC_POLICY overrides the default)\n"
       "  --stats-addr H:P     serve live /metrics; scraped at the schedule\n"
@@ -79,6 +86,10 @@ void printUsage(std::FILE *Out) {
       "output:\n"
       "  --json FILE          write a sharc-bench-v1 report (serve section\n"
       "                       included; `sharc-trace check-bench` clean)\n"
+      "  --trace-out FILE     write a v4 .strc with request spans for every\n"
+      "                       pipeline stage (analyze with `sharc-trace\n"
+      "                       requests`); with repetitions the last rep's\n"
+      "                       trace is the one kept (default off)\n"
       "  --quiet              suppress the text summary\n"
       "  --help               this text\n"
       "\n"
@@ -198,6 +209,17 @@ int parseArgs(int Argc, char **Argv, ServeOptions &Opt) {
                              "nonzero\n");
         return 2;
       }
+    } else if (Arg == "--inject-stall") {
+      Opt.Params.InjectStallEvery = 64;
+    } else if (std::strncmp(Argv[I], "--inject-stall=", 15) == 0) {
+      if (!parseU64Arg("--inject-stall", Argv[I] + 15,
+                       Opt.Params.InjectStallEvery))
+        return 2;
+      if (Opt.Params.InjectStallEvery == 0) {
+        std::fprintf(stderr, "sharc-serve: --inject-stall period must be "
+                             "nonzero\n");
+        return 2;
+      }
     } else if (matchValueFlag("--on-violation", Argc, Argv, I, Value)) {
       if (!needValue("--on-violation", Value))
         return 2;
@@ -226,6 +248,10 @@ int parseArgs(int Argc, char **Argv, ServeOptions &Opt) {
       if (!needValue("--json", Value))
         return 2;
       Opt.JsonPath = Value;
+    } else if (matchValueFlag("--trace-out", Argc, Argv, I, Value)) {
+      if (!needValue("--trace-out", Value))
+        return 2;
+      Opt.TracePath = Value;
     } else if (Arg == "--unchecked") {
       Opt.Unchecked = true;
     } else if (Arg == "--quiet") {
@@ -261,6 +287,8 @@ struct RunOutcome {
   uint64_t ScrapeSeries = 0;
   uint64_t ScrapeBytes = 0;
   uint64_t ScrapesServed = 0;
+  bool TraceFailed = false; ///< --trace-out could not be written.
+  uint64_t TraceRecords = 0;
 };
 
 /// Counts Prometheus series (non-comment, non-empty lines) in a scrape.
@@ -279,6 +307,14 @@ template <typename P>
 RunOutcome runOnce(const ServeOptions &Opt,
                    const std::vector<Arrival> &Schedule) {
   RunOutcome Out;
+  // Span tracing: every pipeline thread publishes into the lock-free
+  // per-thread rings; the writer serialises at drain time. The ring is
+  // sized so the ci.sh overhead-gate run never fills one mid-handler —
+  // a producer-side drain would bill varint encoding to handler CPU.
+  obs::TraceWriter Trace;
+  std::unique_ptr<obs::Collector> Col;
+  if (!Opt.TracePath.empty())
+    Col = std::make_unique<obs::Collector>(Trace, 1u << 16);
   if (P::Checked) {
     rt::RuntimeConfig RC;
     // 2 shadow bytes per granule: 15 thread ids, enough for main +
@@ -286,12 +322,19 @@ RunOutcome runOnce(const ServeOptions &Opt,
     RC.ShadowBytesPerGranule = 2;
     RC.Guard.OnViolation = Opt.OnViolation;
     RC.StatsAddr = Opt.StatsAddr;
+    // With tracing armed the runtime's own events (lock transitions,
+    // casts, conflicts) interleave with the spans in one stream, and
+    // profiling fills the site tables `sharc-trace requests` joins
+    // check-cost attribution from.
+    RC.Obs = Col.get();
+    RC.Profile = Col != nullptr;
     rt::Runtime::init(RC);
   }
   {
     SimTransport Net;
     SteadyClock::time_point Epoch = SteadyClock::now();
     Server<P> Srv(Opt.Params, Net, Epoch);
+    Srv.setTrace(Col.get());
     Srv.start();
 
     std::function<void()> Midpoint;
@@ -324,6 +367,17 @@ RunOutcome runOnce(const ServeOptions &Opt,
     Out.Violations = rt::Runtime::get().getStats().totalConflicts();
     rt::Runtime::shutdown();
   }
+  if (Col) {
+    // The runtime's shutdown has published its final records; drain
+    // every ring and seal the file.
+    Col->flush();
+    std::string Error;
+    if (!Trace.writeToFile(Opt.TracePath, Error)) {
+      std::fprintf(stderr, "sharc-serve: %s\n", Error.c_str());
+      Out.TraceFailed = true;
+    }
+    Out.TraceRecords = Trace.recordCount();
+  }
   return Out;
 }
 
@@ -336,7 +390,10 @@ int writeReport(const ServeOptions &Opt, const char *Mode,
   W.key("schema");
   W.value("sharc-bench-v1");
   W.key("bench");
-  W.value("sharc_serve");
+  // A spans-armed run is its own benchmark configuration: compare-runs
+  // groups series by this name, and traced runs must trend against
+  // traced history, not dilute the untraced series.
+  W.value(Opt.TracePath.empty() ? "sharc_serve" : "sharc_serve_spans");
   W.key("scale");
   W.value(static_cast<uint64_t>(bench::scale()));
   W.key("reps");
@@ -375,16 +432,44 @@ int writeReport(const ServeOptions &Opt, const char *Mode,
     W.value(R.ScrapesServed);
     W.endObject();
   }
+  // Per-stage latency percentiles (always collected; see ServeStats).
+  // compare-runs lifts each stage into a "stages/<name>" pseudo-row so
+  // the per-stage tail is trended exactly like the top-level rows.
+  W.key("stages");
+  W.beginObject();
+  for (unsigned K = 0; K != obs::NumSpanStages; ++K) {
+    const Histogram &H = R.Stats.StageNs[K];
+    if (H.count() == 0)
+      continue;
+    W.key(obs::spanStageName(static_cast<obs::SpanStage>(K)));
+    W.beginObject();
+    W.key("count");
+    W.value(static_cast<double>(H.count()));
+    W.key("p50_us");
+    W.value(toUs(H.percentile(0.50)));
+    W.key("p99_us");
+    W.value(toUs(H.percentile(0.99)));
+    W.key("p999_us");
+    W.value(toUs(H.percentile(0.999)));
+    W.key("max_us");
+    W.value(toUs(H.max()));
+    W.endObject();
+  }
+  W.endObject();
   W.endObject();
   W.key("rows");
   W.beginArray();
   {
     // Mode-specific row name so check-overhead never compares wall time
     // of a schedule-bound open-loop run (that gates nothing); the
-    // latency percentiles in here are what compare-runs trends.
+    // latency percentiles in here are what compare-runs trends. A
+    // spans-armed run gets its own name for the same reason: the span
+    // tracing overhead gate must compare only the shared "service" row
+    // (thread-CPU), never the open-loop wall clock.
     W.beginObject();
     W.key("name");
-    W.value(std::string(Mode) + "/run");
+    W.value(std::string(Mode) + (Opt.TracePath.empty() ? "" : "-spans") +
+            "/run");
     W.key("metrics");
     W.beginObject();
     W.key("real_ns");
@@ -497,9 +582,13 @@ int main(int Argc, char **Argv) {
     Reps = 1;
   RunOutcome Best;
   bool Have = false;
+  uint64_t TraceRecords = 0; ///< From the last rep — the file kept on disk.
   for (unsigned Rep = 0; Rep != Reps; ++Rep) {
     RunOutcome R = Opt.Unchecked ? runOnce<UncheckedPolicy>(Opt, Schedule)
                                  : runOnce<SharcPolicy>(Opt, Schedule);
+    if (R.TraceFailed)
+      return 2;
+    TraceRecords = R.TraceRecords;
     if (R.Stats.Completed != R.Load.Offered) {
       std::fprintf(stderr,
                    "sharc-serve: internal: offered %llu but completed %llu\n",
@@ -567,6 +656,10 @@ int main(int Argc, char **Argv) {
       std::printf("sharc-serve: %llu violations (policy %s)\n",
                   static_cast<unsigned long long>(Best.Violations),
                   guard::policyName(Opt.OnViolation));
+    if (!Opt.TracePath.empty())
+      std::printf("sharc-serve: trace: wrote %s (%llu records)\n",
+                  Opt.TracePath.c_str(),
+                  static_cast<unsigned long long>(TraceRecords));
   }
 
   if (!Opt.JsonPath.empty())

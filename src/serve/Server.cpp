@@ -105,6 +105,9 @@ template <typename P> void Server<P>::stop() {
 template <typename P>
 Connection<P> *Server<P>::makeConnection(SimRequest &&Req,
                                          AcceptorLocal &Local) {
+  uint64_t AcceptB = nanosSince(Epoch);
+  emitSpan(AcceptorRole, Req.Seq, obs::SpanStage::Accept, true, AcceptB,
+           Req.Client);
   auto *Conn = static_cast<Connection<P> *>(
       P::alloc(sizeof(Connection<P>) + Req.Payload.size()));
   new (Conn) Connection<P>();
@@ -136,6 +139,9 @@ Connection<P> *Server<P>::makeConnection(SimRequest &&Req,
   InflightLive.write(Inflight);
   if (Inflight > PeakInflightLive.read())
     PeakInflightLive.write(Inflight);
+  uint64_t AcceptE = nanosSince(Epoch);
+  Local.StageNs[unsigned(obs::SpanStage::Accept)].record(AcceptE - AcceptB);
+  emitSpan(AcceptorRole, Conn->Seq, obs::SpanStage::Accept, false, AcceptE);
   return Conn;
 }
 
@@ -146,6 +152,11 @@ template <typename P> void Server<P>::acceptorMain() {
   while (Net.acceptBatch(Batch, 256) != 0)
     for (SimRequest &Req : Batch) {
       Connection<P> *Conn = makeConnection(std::move(Req), Local);
+      // RingWait opens on the acceptor and closes on whichever worker
+      // dequeues the connection — the span crosses the ownership cast.
+      Conn->EnqueueNs = nanosSince(Epoch);
+      emitSpan(AcceptorRole, Conn->Seq, obs::SpanStage::RingWait, true,
+               Conn->EnqueueNs);
       Ingress->push(Conn, SHARC_SITE("conn (acceptor -> worker)"));
     }
   Ingress->close();
@@ -167,28 +178,56 @@ Session<P> *Server<P>::findOrCreateSession(SessionShard<P> &Shard,
 }
 
 template <typename P>
-void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local) {
+void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local,
+                       uint32_t Role) {
   const ServeParams &C = Config.get();
+  uint64_t Seq = Conn->Seq;
   uint64_t Cpu0 = threadCpuNanos();
+
+  // The request's RingWait ends (and its Handler begins) the moment the
+  // worker takes over.
+  uint64_t HandlerB = nanosSince(Epoch);
+  Local.StageNs[unsigned(obs::SpanStage::RingWait)].record(
+      HandlerB > Conn->EnqueueNs ? HandlerB - Conn->EnqueueNs : 0);
+  emitSpan(Role, Seq, obs::SpanStage::RingWait, false, HandlerB);
+  emitSpan(Role, Seq, obs::SpanStage::Handler, true, HandlerB, Conn->Kind);
 
   // Request in: dynamic-checked bulk read of the payload.
   P::readRange(Conn->payload(), Conn->PayloadSize,
                SHARC_SITE("conn->payload"));
   uint64_t Sum = fnv1a(Conn->payload(), Conn->PayloadSize);
 
-  // Session cache: locked-mode cells under the shard mutex.
+  // Session cache: locked-mode cells under the shard mutex. LockWait
+  // covers the acquisition, LockHold the critical section; both carry
+  // the shard lock's address so the tail report can match a victim's
+  // wait against the holder's overlapping hold.
   SessionShard<P> &Shard = Sessions[Conn->Client & (C.SessionShardCount - 1)];
+  uint64_t LockId = reinterpret_cast<uintptr_t>(&Shard.Lock);
   Session<P> *S;
+  uint64_t HoldB;
+  uint64_t WaitB = nanosSince(Epoch);
+  emitSpan(Role, Seq, obs::SpanStage::LockWait, true, WaitB, LockId);
   {
     typename P::LockGuard Lock(Shard.Lock);
+    HoldB = nanosSince(Epoch);
+    Local.StageNs[unsigned(obs::SpanStage::LockWait)].record(HoldB - WaitB);
+    emitSpan(Role, Seq, obs::SpanStage::LockWait, false, HoldB, LockId);
+    emitSpan(Role, Seq, obs::SpanStage::LockHold, true, HoldB, LockId);
     S = findOrCreateSession(Shard, Conn->Client, Local);
     uint64_t Cur = S->Value.read(SHARC_SITE("session->value"));
     if (Conn->Kind == OpPut)
       S->Value.write(Cur ^ Sum, SHARC_SITE("session->value"));
     S->Hits.write(S->Hits.read(SHARC_SITE("session->hits")) + 1,
                   SHARC_SITE("session->hits"));
+    if (C.InjectStallEvery != 0 && Seq % C.InjectStallEvery == 0)
+      // sharc-span's injected tail pathology: burn CPU while holding
+      // the shard lock, so same-shard requests queue up behind it.
+      spinThreadCpu(C.InjectStallNanos);
   }
-  if (C.InjectRaceEvery != 0 && Conn->Seq % C.InjectRaceEvery == 0)
+  uint64_t HoldE = nanosSince(Epoch);
+  Local.StageNs[unsigned(obs::SpanStage::LockHold)].record(HoldE - HoldB);
+  emitSpan(Role, Seq, obs::SpanStage::LockHold, false, HoldE, LockId);
+  if (C.InjectRaceEvery != 0 && Seq % C.InjectRaceEvery == 0)
     // serve_guard's deliberate bug: a session update that skips the
     // shard lock. The locked-mode check fires deterministically.
     S->Value.write(Sum, SHARC_SITE("session->value [lock skipped]"));
@@ -199,7 +238,7 @@ void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local) {
   spinThreadCpu(C.ServiceNanos);
   P::writeRange(Conn->payload(), Conn->PayloadSize,
                 SHARC_SITE("conn->payload"));
-  cipher(C.CipherKey, Conn->Seq, Conn->payload(), Conn->PayloadSize);
+  cipher(C.CipherKey, Seq, Conn->payload(), Conn->PayloadSize);
   Local.Checksum ^= fnv1a(Conn->payload(), Conn->PayloadSize);
 
   uint64_t Done = nanosSince(Epoch);
@@ -210,42 +249,63 @@ void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local) {
   Local.BytesOut += Conn->PayloadSize;
   CompletedLive.write(CompletedLive.read() + 1);
 
-  // Completion record to the logger (counted hand-off).
+  // Completion record to the logger (counted hand-off). LogWait opens
+  // here and closes when the logger dequeues the record — like
+  // RingWait, the span crosses the ownership cast.
   auto *Rec = static_cast<LogRecord *>(P::alloc(sizeof(LogRecord)));
-  new (Rec) LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize};
+  uint64_t LogB = nanosSince(Epoch);
+  new (Rec)
+      LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize, Seq,
+                LogB};
+  emitSpan(Role, Seq, obs::SpanStage::LogWait, true, LogB);
   LogRing->push(Rec, SHARC_SITE("log record (worker -> logger)"));
 
   // Connection teardown.
-  ConnShard<P> &CS = Conns[Conn->Seq & (C.ConnShardCount - 1)];
+  ConnShard<P> &CS = Conns[Seq & (C.ConnShardCount - 1)];
   {
     typename P::LockGuard Lock(CS.Lock);
-    CS.Map.erase(Conn->Seq);
+    CS.Map.erase(Seq);
     CS.Open.write(CS.Open.read(SHARC_SITE("connshard->open")) - 1,
                   SHARC_SITE("connshard->open"));
   }
   InflightLive.write(InflightLive.read() - 1);
   P::dealloc(Conn);
 
+  uint64_t HandlerE = nanosSince(Epoch);
+  Local.StageNs[unsigned(obs::SpanStage::Handler)].record(HandlerE -
+                                                          HandlerB);
+  emitSpan(Role, Seq, obs::SpanStage::Handler, false, HandlerE);
   Local.ServiceNs += threadCpuNanos() - Cpu0;
 }
 
 template <typename P> void Server<P>::workerMain(unsigned Index) {
   WorkerStates[Index].adopt();
   WorkerLocal &Local = WorkerStates[Index].get();
+  uint32_t Role = FirstWorkerRole + Index;
   while (Connection<P> *Conn =
              Ingress->pop(SHARC_SITE("conn (acceptor -> worker)")))
-    handle(Conn, Local);
+    handle(Conn, Local, Role);
 }
 
 template <typename P> void Server<P>::loggerMain() {
   LoggerState.adopt();
   LoggerLocal &Local = LoggerState.get();
+  uint32_t Role = FirstWorkerRole + Config.get().Workers;
   while (LogRecord *Rec =
              LogRing->pop(SHARC_SITE("log record (worker -> logger)"))) {
+    uint64_t Pop = nanosSince(Epoch);
+    Local.StageNs[unsigned(obs::SpanStage::LogWait)].record(
+        Pop > Rec->EnqueueNs ? Pop - Rec->EnqueueNs : 0);
+    emitSpan(Role, Rec->Seq, obs::SpanStage::LogWait, false, Pop);
+    emitSpan(Role, Rec->Seq, obs::SpanStage::Logger, true, Pop);
     ++Local.Records;
     Local.Bytes += Rec->Bytes;
     ++Local.OpCounts[Rec->Kind % OpKinds];
+    uint64_t Seq = Rec->Seq;
     P::dealloc(Rec);
+    uint64_t Done = nanosSince(Epoch);
+    Local.StageNs[unsigned(obs::SpanStage::Logger)].record(Done - Pop);
+    emitSpan(Role, Seq, obs::SpanStage::Logger, false, Done);
   }
 }
 
@@ -259,6 +319,8 @@ template <typename P> ServeStats Server<P>::takeStats() {
   AcceptorState.adopt();
   Out.Accepted = AcceptorState.get().Accepted;
   Out.BytesIn = AcceptorState.get().BytesIn;
+  for (unsigned K = 0; K != obs::NumSpanStages; ++K)
+    Out.StageNs[K].merge(AcceptorState.get().StageNs[K]);
   for (unsigned I = 0; I != C.Workers; ++I) {
     WorkerStates[I].adopt();
     const WorkerLocal &W = WorkerStates[I].get();
@@ -272,9 +334,13 @@ template <typename P> ServeStats Server<P>::takeStats() {
     for (unsigned K = 0; K != OpKinds; ++K)
       Out.OpCounts[K] += W.OpCounts[K];
     Out.LatencyNs.merge(W.LatencyNs);
+    for (unsigned K = 0; K != obs::NumSpanStages; ++K)
+      Out.StageNs[K].merge(W.StageNs[K]);
   }
   LoggerState.adopt();
   Out.LogRecords = LoggerState.get().Records;
+  for (unsigned K = 0; K != obs::NumSpanStages; ++K)
+    Out.StageNs[K].merge(LoggerState.get().StageNs[K]);
   Out.PeakInflight = PeakInflightLive.read();
 
   // Fold the final session values in: XOR of all OpPut sums regardless

@@ -38,6 +38,7 @@
 #ifndef SHARC_SERVE_SERVER_H
 #define SHARC_SERVE_SERVER_H
 
+#include "obs/Sink.h"
 #include "serve/Clock.h"
 #include "serve/Histogram.h"
 #include "serve/Transport.h"
@@ -63,6 +64,12 @@ struct ServeParams {
   /// cell WITHOUT taking the shard lock (0 = off). Under SharcPolicy the
   /// locked-mode check catches each first offence deterministically.
   uint64_t InjectRaceEvery = 0;
+  /// sharc-span's injected tail pathology: every Nth request spins for
+  /// InjectStallNanos INSIDE its session-shard lock section (0 = off),
+  /// so requests behind the same shard pile up in lock-wait and the
+  /// tail report must attribute them to the stalling holder.
+  uint64_t InjectStallEvery = 0;
+  uint64_t InjectStallNanos = 2000000;
 };
 
 /// Post-run aggregate, folded from the per-thread private states.
@@ -80,6 +87,12 @@ struct ServeStats {
   uint64_t OpCounts[OpKinds] = {};
   uint64_t Checksum = 0; ///< Order-independent; orig == sharc.
   Histogram LatencyNs;
+  /// Per-pipeline-stage durations (obs::SpanStage order), folded from
+  /// the role that measures each stage; always collected (the clock
+  /// reads ride along with the ones the latency path already does), so
+  /// the bench report's serve.stages section exists with or without a
+  /// span trace.
+  Histogram StageNs[obs::NumSpanStages];
 };
 
 /// One in-flight connection. Filled privately by the acceptor, then
@@ -93,6 +106,7 @@ template <typename P> struct Connection {
   uint64_t Seq = 0;
   uint8_t Kind = OpGet;
   uint64_t ArrivalNs = 0;
+  uint64_t EnqueueNs = 0; ///< When the acceptor pushed it into the ring.
   uint32_t PayloadSize = 0;
 
   uint8_t *payload() { return reinterpret_cast<uint8_t *>(this + 1); }
@@ -104,6 +118,8 @@ struct LogRecord {
   uint8_t Kind = OpGet;
   uint64_t LatencyNs = 0;
   uint32_t Bytes = 0;
+  uint64_t Seq = 0;       ///< Request id, for the request's span tree.
+  uint64_t EnqueueNs = 0; ///< When the worker pushed it into the ring.
 };
 
 /// Bounded MPMC hand-off ring whose cells are counted pointer slots:
@@ -211,17 +227,23 @@ struct WorkerLocal {
   uint64_t SessionMisses = 0;
   uint64_t BytesOut = 0;
   uint64_t OpCounts[OpKinds] = {};
+  /// RingWait / Handler / LockWait / LockHold slots used.
+  Histogram StageNs[obs::NumSpanStages];
 };
 
 struct AcceptorLocal {
   uint64_t Accepted = 0;
   uint64_t BytesIn = 0;
+  /// Accept slot used.
+  Histogram StageNs[obs::NumSpanStages];
 };
 
 struct LoggerLocal {
   uint64_t Records = 0;
   uint64_t Bytes = 0;
   uint64_t OpCounts[OpKinds] = {};
+  /// LogWait / Logger slots used.
+  Histogram StageNs[obs::NumSpanStages];
 };
 
 template <typename P> class Server {
@@ -232,6 +254,15 @@ public:
 
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
+
+  /// Arms request-span emission (sharc-span, DESIGN.md §16): every
+  /// pipeline stage boundary publishes a SpanRecord to \p S, which must
+  /// be thread-safe (obs::Collector) and outlive the server. Call
+  /// before start(); null (the default) costs one predictable branch
+  /// per boundary. Span Tids are pipeline ROLE ids — acceptor 1,
+  /// workers 2..W+1, logger W+2 — not runtime thread ids, so the span
+  /// tree is stable across scheduler placements.
+  void setTrace(obs::Sink *S) { Trace = S; }
 
   /// Spawns acceptor + workers + logger.
   void start();
@@ -249,17 +280,28 @@ public:
   uint64_t liveCompleted() const { return CompletedLive.read(); }
 
 private:
+  /// Pipeline role ids used as span Tids.
+  static constexpr uint32_t AcceptorRole = 1;
+  static constexpr uint32_t FirstWorkerRole = 2;
+
   void acceptorMain();
   void workerMain(unsigned Index);
   void loggerMain();
 
   Connection<P> *makeConnection(SimRequest &&Req, AcceptorLocal &Local);
-  void handle(Connection<P> *Conn, WorkerLocal &Local);
+  void handle(Connection<P> *Conn, WorkerLocal &Local, uint32_t Role);
   Session<P> *findOrCreateSession(SessionShard<P> &Shard, uint64_t Key,
                                   WorkerLocal &Local);
 
+  void emitSpan(uint32_t Role, uint64_t Req, obs::SpanStage Stage,
+                bool Begin, uint64_t TimeNs, uint64_t Arg = 0) {
+    if (Trace)
+      Trace->span({Role, Req, Stage, Begin, TimeNs, Arg});
+  }
+
   Transport &Net;
   SteadyClock::time_point Epoch;
+  obs::Sink *Trace = nullptr;
 
   /// readonly: published once, before start() spawns any thread.
   typename P::template ReadOnly<ServeParams> Config;

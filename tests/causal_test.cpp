@@ -19,7 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <string>
+#include <vector>
 
 using namespace sharc;
 using namespace sharc::obs;
@@ -406,6 +408,205 @@ TEST(ReportHtml, ValidatorRejectsTampering) {
   std::string Unbalanced = Html;
   Unbalanced.insert(Unbalanced.find("</body>"), "<div>");
   EXPECT_FALSE(validateHtmlReport(Unbalanced, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Request-level view (sharc-span, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+void pushSpan(TraceData &Data, uint64_t Req, SpanStage Stage, bool Begin,
+              uint64_t TimeNs, uint64_t Arg = 0, uint32_t Tid = 2) {
+  SpanRecord S;
+  S.Tid = Tid;
+  S.Req = Req;
+  S.Stage = Stage;
+  S.Begin = Begin;
+  S.TimeNs = TimeNs;
+  S.Arg = Arg;
+  Data.Spans.push_back(S);
+  Data.SpanPos.push_back(0);
+}
+
+/// Appends a full seven-stage request whose pipeline runs sequentially
+/// from \p T0: per-stage durations in \p Dur, with the lock sections
+/// nested inside the handler (Dur[Handler] is the handler's exclusive
+/// time, as in the real server).
+void addRequest(TraceData &Data, uint64_t Req, uint64_t T0,
+                const uint64_t (&Dur)[NumSpanStages], uint64_t Lock = 0x10,
+                uint64_t Client = 5, uint64_t Op = 1) {
+  auto D = [&](SpanStage S) { return Dur[static_cast<unsigned>(S)]; };
+  uint64_t AcceptE = T0 + D(SpanStage::Accept);
+  uint64_t RingE = AcceptE + D(SpanStage::RingWait);
+  uint64_t WaitE = RingE + D(SpanStage::LockWait);
+  uint64_t HoldE = WaitE + D(SpanStage::LockHold);
+  uint64_t HandlerE = HoldE + D(SpanStage::Handler);
+  uint64_t LogWaitE = HandlerE + D(SpanStage::LogWait);
+  uint64_t LoggerE = LogWaitE + D(SpanStage::Logger);
+  pushSpan(Data, Req, SpanStage::Accept, true, T0, Client, 1);
+  pushSpan(Data, Req, SpanStage::Accept, false, AcceptE, 0, 1);
+  pushSpan(Data, Req, SpanStage::RingWait, true, AcceptE, 0, 1);
+  pushSpan(Data, Req, SpanStage::RingWait, false, RingE);
+  pushSpan(Data, Req, SpanStage::Handler, true, RingE, Op);
+  pushSpan(Data, Req, SpanStage::LockWait, true, RingE, Lock);
+  pushSpan(Data, Req, SpanStage::LockWait, false, WaitE, 0);
+  pushSpan(Data, Req, SpanStage::LockHold, true, WaitE, Lock);
+  pushSpan(Data, Req, SpanStage::LockHold, false, HoldE, 0);
+  pushSpan(Data, Req, SpanStage::Handler, false, HandlerE);
+  pushSpan(Data, Req, SpanStage::LogWait, true, HandlerE);
+  pushSpan(Data, Req, SpanStage::LogWait, false, LogWaitE, 0, 4);
+  pushSpan(Data, Req, SpanStage::Logger, true, LogWaitE, 0, 4);
+  pushSpan(Data, Req, SpanStage::Logger, false, LoggerE, 0, 4);
+}
+
+TEST(Requests, BuildGroupsStagesAndCompleteness) {
+  TraceData Data;
+  uint64_t Dur[NumSpanStages] = {100, 200, 5000, 300, 400, 600, 700};
+  addRequest(Data, 11, 1000, Dur, /*Lock=*/0x99, /*Client=*/42, /*Op=*/3);
+  // Request 12 is cut mid-pipeline: no Logger end.
+  addRequest(Data, 12, 2000, Dur);
+  Data.Spans.pop_back();
+  Data.SpanPos.pop_back();
+
+  RequestsReport R = buildRequests(Data);
+  ASSERT_EQ(R.Requests.size(), 2u);
+  EXPECT_EQ(R.Complete, 1u);
+  EXPECT_EQ(R.Incomplete, 1u);
+
+  const RequestView &V = R.Requests[0];
+  EXPECT_EQ(V.Req, 11u);
+  EXPECT_EQ(V.Client, 42u);
+  EXPECT_EQ(V.Op, 3u);
+  EXPECT_EQ(V.Lock, 0x99u);
+  EXPECT_TRUE(V.complete());
+  EXPECT_EQ(V.stageNs(SpanStage::Accept), 100u);
+  EXPECT_EQ(V.stageNs(SpanStage::RingWait), 200u);
+  // The handler envelope includes the nested lock sections...
+  EXPECT_EQ(V.stageNs(SpanStage::Handler), 5000u + 300u + 400u);
+  // ...but its exclusive time subtracts them back out.
+  EXPECT_EQ(V.exclusiveNs(SpanStage::Handler), 5000u);
+  EXPECT_EQ(V.dominantStage(), SpanStage::Handler);
+  EXPECT_EQ(V.totalNs(), 100u + 200u + 300u + 400u + 5000u + 600u + 700u);
+
+  EXPECT_FALSE(R.Requests[1].complete());
+  EXPECT_FALSE(R.Requests[1].has(SpanStage::Logger));
+}
+
+TEST(Requests, TailNamesLockHolderFromOverlappingHold) {
+  // Victim request 2 waits on lock 0x10 from t=100 to t=600 while
+  // request 1 holds it from t=50 to t=550: the overlapping hold IS the
+  // blocker, and the attribution must say so by request id.
+  TraceData Data;
+  uint64_t HolderDur[NumSpanStages] = {10, 10, 10, 5, 500, 10, 10};
+  addRequest(Data, 1, 25, HolderDur); // LockHold [50, 550)
+  uint64_t VictimDur[NumSpanStages] = {10, 10, 10, 500, 5, 10, 10};
+  addRequest(Data, 2, 80, VictimDur); // LockWait [100, 600)
+
+  RequestsReport R = buildRequests(Data);
+  ASSERT_EQ(R.Complete, 2u);
+  std::vector<TailEntry> Tail = tailRequests(R, Data, 100.0);
+  ASSERT_EQ(Tail.size(), 2u);
+  const TailEntry *Victim = nullptr;
+  for (const TailEntry &E : Tail)
+    if (E.Req == 2)
+      Victim = &E;
+  ASSERT_NE(Victim, nullptr);
+  EXPECT_EQ(Victim->Dominant, SpanStage::LockWait);
+  EXPECT_EQ(Victim->C, TailEntry::Cause::LockHolder);
+  EXPECT_TRUE(Victim->HasHolder);
+  EXPECT_EQ(Victim->HolderReq, 1u);
+  EXPECT_NE(Victim->Detail.find("held by req 1"), std::string::npos)
+      << Victim->Detail;
+
+  // When the trace carries a lock profile naming the lock's site, the
+  // cause sentence joins it in.
+  LockProfileRecord L;
+  L.Lock = 0x10;
+  L.File = "session.mc";
+  L.Line = 33;
+  Data.Locks.push_back(L);
+  Tail = tailRequests(R, Data, 100.0);
+  for (const TailEntry &E : Tail)
+    if (E.Req == 2) {
+      EXPECT_NE(E.Detail.find("holder site session.mc:33"),
+                std::string::npos)
+          << E.Detail;
+    }
+}
+
+TEST(Requests, TailDistinguishesQueueWaitAndCheckCost) {
+  TraceData Data;
+  uint64_t QueueDur[NumSpanStages] = {10, 9000, 10, 5, 5, 10, 10};
+  addRequest(Data, 1, 0, QueueDur);
+  uint64_t CpuDur[NumSpanStages] = {10, 10, 8000, 5, 5, 10, 10};
+  addRequest(Data, 2, 100000, CpuDur);
+
+  RequestsReport R = buildRequests(Data);
+  std::vector<TailEntry> Tail = tailRequests(R, Data, 100.0);
+  ASSERT_EQ(Tail.size(), 2u);
+  std::map<uint64_t, const TailEntry *> ByReq;
+  for (const TailEntry &E : Tail)
+    ByReq[E.Req] = &E;
+  EXPECT_EQ(ByReq[1]->C, TailEntry::Cause::QueueWait);
+  EXPECT_NE(ByReq[1]->Detail.find("queue wait"), std::string::npos);
+  // Handler-dominant with no site tables: plain handler CPU...
+  EXPECT_EQ(ByReq[2]->C, TailEntry::Cause::HandlerCpu);
+
+  // ...and with a profiled check site, the hottest site is cited.
+  SiteProfileRecord S;
+  S.Kind = CheckKind::DynamicRead;
+  S.File = "worker.mc";
+  S.Line = 88;
+  S.LValue = "*S->sdata";
+  S.Cycles = 123456;
+  Data.Sites.push_back(S);
+  Tail = tailRequests(R, Data, 100.0);
+  for (const TailEntry &E : Tail)
+    if (E.Req == 2) {
+      EXPECT_EQ(E.C, TailEntry::Cause::CheckCost);
+      EXPECT_NE(E.Detail.find("worker.mc:88"), std::string::npos) << E.Detail;
+    }
+}
+
+TEST(Requests, RenderListsStageTableAndCauses) {
+  TraceData Data;
+  uint64_t Dur[NumSpanStages] = {10, 20, 3000, 30, 40, 50, 60};
+  for (uint64_t Req = 1; Req <= 10; ++Req)
+    addRequest(Data, Req, Req * 10000, Dur);
+  RequestsReport R = buildRequests(Data);
+  std::string Text = renderRequests(R, Data, 10.0);
+  for (const char *Name : {"accept", "ring-wait", "handler", "lock-wait",
+                           "lock-hold", "log-wait", "logger", "total"})
+    EXPECT_NE(Text.find(Name), std::string::npos) << Name << "\n" << Text;
+  EXPECT_NE(Text.find("tail anatomy: slowest 1 of 10"), std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("cause:"), std::string::npos) << Text;
+}
+
+TEST(Requests, DigestIgnoresScheduleVariesWithLoad) {
+  // The digest pins what the load seed fixes (ids, clients, ops, which
+  // boundaries exist) and none of what the scheduler varies (timestamps,
+  // role ids, span interleaving).
+  TraceData A;
+  uint64_t DurA[NumSpanStages] = {10, 20, 30, 40, 50, 60, 70};
+  addRequest(A, 1, 100, DurA, 0x10, 7, 2);
+  addRequest(A, 2, 5000, DurA, 0x10, 8, 1);
+
+  TraceData B; // same requests: different times, tids, and span order
+  uint64_t DurB[NumSpanStages] = {99, 1, 77, 3, 12, 500, 4};
+  addRequest(B, 2, 90000, DurB, 0x20, 8, 1);
+  addRequest(B, 1, 333, DurB, 0x20, 7, 2);
+  for (SpanRecord &S : B.Spans)
+    S.Tid += 5;
+
+  EXPECT_EQ(requestTreeDigest(buildRequests(A)),
+            requestTreeDigest(buildRequests(B)));
+
+  TraceData C = A; // one op kind differs: different load, different digest
+  for (SpanRecord &S : C.Spans)
+    if (S.Req == 2 && S.Stage == SpanStage::Handler && S.Begin)
+      S.Arg = 9;
+  EXPECT_NE(requestTreeDigest(buildRequests(A)),
+            requestTreeDigest(buildRequests(C)));
 }
 
 } // namespace

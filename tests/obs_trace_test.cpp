@@ -699,6 +699,256 @@ TEST(ObsCollector, ForwardsProfileRecordsAfterPendingEvents) {
   EXPECT_EQ(Downstream.Overheads.size(), 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Span records (version-4 tags 0x45/0x46) and extension records
+//===----------------------------------------------------------------------===//
+
+std::vector<SpanRecord> sampleSpans() {
+  std::vector<SpanRecord> Out;
+  // One begin/end pair per stage, every field distinct so torn or
+  // reordered decoding is detectable.
+  for (unsigned K = 0; K != NumSpanStages; ++K) {
+    SpanRecord B;
+    B.Tid = K + 1;
+    B.Req = 1000 + K;
+    B.Stage = static_cast<SpanStage>(K);
+    B.Begin = true;
+    B.TimeNs = 10000 * K + 5;
+    B.Arg = (uint64_t(K) << 32) | 0x5A5A;
+    Out.push_back(B);
+    SpanRecord E = B;
+    E.Begin = false;
+    E.TimeNs += 777;
+    E.Arg = ~B.Arg;
+    Out.push_back(E);
+  }
+  // Extreme field values survive the varint coding.
+  SpanRecord X;
+  X.Tid = UINT32_MAX;
+  X.Req = UINT64_MAX;
+  X.Stage = SpanStage::Logger;
+  X.Begin = false;
+  X.TimeNs = UINT64_MAX;
+  X.Arg = UINT64_MAX;
+  Out.push_back(X);
+  return Out;
+}
+
+TEST(ObsTraceFile, SpanRecordsRoundTrip) {
+  TraceWriter W;
+  W.event({EventKind::Read, 1, 2, 3, 0});
+  std::vector<SpanRecord> Spans = sampleSpans();
+  for (const SpanRecord &S : Spans)
+    W.span(S);
+  W.event({EventKind::Write, 1, 2, 3, 0});
+
+  TraceData Data;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(W.buffer(), Data, Error)) << Error;
+  EXPECT_EQ(Data.Version, TraceVersion);
+  EXPECT_EQ(Data.Spans, Spans);
+  // All spans landed between the two events.
+  ASSERT_EQ(Data.SpanPos.size(), Spans.size());
+  for (size_t Pos : Data.SpanPos)
+    EXPECT_EQ(Pos, 1u);
+}
+
+TEST(ObsTraceFile, SpanEveryTruncationRejected) {
+  TraceWriter W;
+  for (const SpanRecord &S : sampleSpans())
+    W.span(S);
+  const std::string &Full = W.buffer();
+  TraceData Data;
+  std::string Error;
+  for (size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    EXPECT_FALSE(
+        parseTrace(std::string_view(Full).substr(0, Cut), Data, Error))
+        << "prefix of " << Cut << " bytes accepted";
+  }
+  EXPECT_TRUE(parseTrace(Full, Data, Error)) << Error;
+}
+
+TEST(ObsTraceFile, UnknownSpanStageRejected) {
+  // A span naming a stage outside the pinned set is corruption, like an
+  // unknown event kind; hand-encode since the writer can't produce one.
+  std::string Buf(TraceMagic, sizeof(TraceMagic));
+  Buf += std::string("\x04\x00\x00\x00", 4); // version 4 LE
+  Buf += char(SpanBeginTag);
+  appendVarint(Buf, 1);             // Tid
+  appendVarint(Buf, 2);             // Req
+  appendVarint(Buf, NumSpanStages); // Stage: one past the end
+  appendVarint(Buf, 3);             // TimeNs
+  appendVarint(Buf, 4);             // Arg
+  Buf += char(EndRecordTag);
+  appendVarint(Buf, 1);
+  TraceData Data;
+  std::string Error;
+  EXPECT_FALSE(parseTrace(Buf, Data, Error));
+  EXPECT_NE(Error.find("span"), std::string::npos) << Error;
+}
+
+TEST(ObsTraceFile, ExtensionRecordsSkipNotReject) {
+  // Future record families land in the 0x60..0x7e self-describing range:
+  // readers skip them with a tally instead of failing the parse. The end
+  // record's declared count includes skipped records, so the whole trace
+  // is hand-encoded rather than spliced into a writer buffer.
+  std::string Buf(TraceMagic, sizeof(TraceMagic));
+  Buf += std::string("\x04\x00\x00\x00", 4); // version 4 LE
+  Buf += char(ExtensionTagFirst);
+  appendVarint(Buf, 3);
+  Buf += "abc";
+  Buf += char(ExtensionTagLast);
+  appendVarint(Buf, 0); // empty payload is fine
+  Buf += char(EndRecordTag);
+  appendVarint(Buf, 2);
+
+  TraceData Data;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(Buf, Data, Error)) << Error;
+  EXPECT_EQ(Data.SkippedUnknown, 2u);
+  ASSERT_EQ(Data.SkippedTags.size(), 2u);
+  EXPECT_EQ(Data.SkippedTags[0], ExtensionTagFirst);
+  EXPECT_EQ(Data.SkippedTags[1], ExtensionTagLast);
+
+  std::string Text = renderSummary(summarize(Data), Data);
+  EXPECT_NE(Text.find("warning: skipped 2 unknown extension record"),
+            std::string::npos)
+      << Text;
+
+  // Truncation inside an extension record still rejects.
+  for (size_t Cut = 12; Cut < Buf.size(); ++Cut)
+    EXPECT_FALSE(parseTrace(std::string_view(Buf).substr(0, Cut), Data, Error))
+        << "prefix of " << Cut << " bytes accepted";
+
+  // A payload-length lie past the cap must not allocate.
+  std::string Oversized(TraceMagic, sizeof(TraceMagic));
+  Oversized += std::string("\x04\x00\x00\x00", 4);
+  Oversized += char(ExtensionTagFirst);
+  appendVarint(Oversized, (1 << 20) + 1);
+  Oversized += "x";
+  EXPECT_FALSE(parseTrace(Oversized, Data, Error));
+}
+
+TEST(ObsTraceFile, OlderVersionHeadersStillParse) {
+  // v4 readers accept every version back to MinTraceVersion: a span-free
+  // buffer is valid under any of them, and the parsed Version is kept so
+  // analyses can report what they were given.
+  TraceWriter W;
+  W.event({EventKind::Read, 1, 2, 3, 0});
+  W.stats(sampleStats());
+  for (uint32_t V = MinTraceVersion; V != TraceVersion; ++V) {
+    std::string Buf = W.buffer();
+    Buf[8] = char(V);
+    TraceData Data;
+    std::string Error;
+    ASSERT_TRUE(parseTrace(Buf, Data, Error)) << "v" << V << ": " << Error;
+    EXPECT_EQ(Data.Version, V);
+    EXPECT_EQ(Data.Events.size(), 1u);
+  }
+}
+
+TEST(ObsTraceFile, SpansInterleaveInDump) {
+  TraceWriter W;
+  W.event({EventKind::Read, 1, 2, 3, 0});
+  SpanRecord S;
+  S.Tid = 2;
+  S.Req = 42;
+  S.Stage = SpanStage::Handler;
+  S.Begin = true;
+  S.TimeNs = 500;
+  W.span(S);
+  W.event({EventKind::Write, 1, 2, 3, 0});
+  TraceData Data;
+  std::string Error;
+  ASSERT_TRUE(parseTrace(W.buffer(), Data, Error)) << Error;
+  std::string Dump = renderDump(Data);
+  size_t SpanAt = Dump.find("span-begin stage=handler req=42");
+  ASSERT_NE(SpanAt, std::string::npos) << Dump;
+  // The span prints after the read it follows and before the write.
+  EXPECT_LT(Dump.find("read"), SpanAt) << Dump;
+  EXPECT_GT(Dump.find("write"), SpanAt) << Dump;
+}
+
+TEST(ObsCollector, SpansShareRingsWithoutLeakingSentinel) {
+  // Spans ride the same per-thread rings as events, packed under a
+  // sentinel kind bit. Concurrent mixed producers must lose nothing, and
+  // the sentinel must never escape as an EventKind downstream.
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 500;
+  VectorSink Downstream;
+  {
+    Collector C(Downstream, 64); // small ring to force producer drains
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&C, T] {
+        for (uint64_t I = 0; I != PerThread; ++I) {
+          SpanRecord S;
+          S.Tid = T;
+          S.Req = (uint64_t(T) << 32) | I;
+          S.Stage = static_cast<SpanStage>(I % NumSpanStages);
+          S.Begin = I % 2 == 0;
+          S.TimeNs = UINT64_MAX - I;
+          S.Arg = ~S.Req;
+          C.span(S);
+          Event Ev;
+          Ev.K = EventKind::Read;
+          Ev.Tid = T;
+          Ev.Addr = I;
+          C.event(Ev);
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    C.flush();
+  }
+
+  ASSERT_EQ(Downstream.Spans.size(), size_t(NumThreads) * PerThread);
+  ASSERT_EQ(Downstream.Events.size(), size_t(NumThreads) * PerThread);
+  for (const Event &Ev : Downstream.Events)
+    ASSERT_LT(unsigned(Ev.K), NumEventKinds) << "sentinel leaked";
+  // Per-producer program order and field integrity.
+  std::vector<uint64_t> Next(NumThreads, 0);
+  for (const SpanRecord &S : Downstream.Spans) {
+    ASSERT_LT(S.Tid, NumThreads);
+    uint64_t I = Next[S.Tid]++;
+    ASSERT_EQ(S.Req, (uint64_t(S.Tid) << 32) | I) << "lost or reordered";
+    ASSERT_EQ(S.Stage, static_cast<SpanStage>(I % NumSpanStages)) << "torn";
+    ASSERT_EQ(S.Begin, I % 2 == 0) << "torn";
+    ASSERT_EQ(S.TimeNs, UINT64_MAX - I) << "torn";
+    ASSERT_EQ(S.Arg, ~S.Req) << "torn";
+  }
+  for (unsigned T = 0; T != NumThreads; ++T)
+    EXPECT_EQ(Next[T], PerThread);
+}
+
+TEST(ObsChrome, RequestSpansExportAsAsyncEvents) {
+  TraceData Data = smallTrace();
+  SpanRecord B;
+  B.Tid = 2;
+  B.Req = 7;
+  B.Stage = SpanStage::Handler;
+  B.Begin = true;
+  B.TimeNs = 1000;
+  Data.Spans.push_back(B);
+  SpanRecord E = B;
+  E.Begin = false;
+  E.TimeNs = 5000;
+  Data.Spans.push_back(E);
+  Data.SpanPos.assign(2, Data.Events.size());
+
+  std::string Text = renderChromeTrace(Data);
+  std::string Error;
+  EXPECT_TRUE(validateChromeJson(Text, Error)) << Error << "\n" << Text;
+  EXPECT_NE(Text.find("sharc requests"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("req7"), std::string::npos) << Text;
+
+  // Async begin/end events without a string id violate the contract.
+  EXPECT_FALSE(validateChromeJson(
+      "{\"traceEvents\":[{\"name\":\"n\",\"ph\":\"b\",\"cat\":\"c\","
+      "\"ts\":1,\"pid\":1,\"tid\":1}]}",
+      Error));
+}
+
 TEST(ObsSummary, ScheduleMatchesFuzzerMapping) {
   TraceData Data = smallTrace();
   std::string Sched = renderSchedule(Data);

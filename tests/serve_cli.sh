@@ -53,6 +53,25 @@ else
   fail "--help does not document the exit contract"
 fi
 
+# --help names every flag, and every numeric flag states its default.
+HELP=$("$SERVE" --help)
+for FLAG in --clients --reqs-per-client --rate --payload --seed \
+            --workers --service-us --unchecked --inject-race \
+            --inject-stall --on-violation --stats-addr --json \
+            --trace-out --quiet --help; do
+  if echo "$HELP" | grep -q -- "$FLAG"; then
+    echo "ok: --help covers $FLAG"
+  else
+    fail "--help does not mention $FLAG"
+  fi
+done
+DEFAULTS=$(echo "$HELP" | grep -c "default")
+if [ "$DEFAULTS" -ge 10 ]; then
+  echo "ok: --help states defaults ($DEFAULTS lines)"
+else
+  fail "--help states too few defaults ($DEFAULTS lines)"
+fi
+
 # --- unwritable --json path ---
 # shellcheck disable=SC2086
 expect_exit 2 "unwritable --json path" \
@@ -93,6 +112,76 @@ if grep -q '"service"' "$WORK/orig.json" &&
   echo "ok: shared service row present in both modes"
 else
   fail "shared service row missing"
+fi
+
+# Both report the always-on per-stage breakdown compare-runs trends.
+if grep -q '"stages"' "$WORK/serve.json" &&
+   grep -q '"handler"' "$WORK/serve.json"; then
+  echo "ok: report carries serve.stages"
+else
+  fail "serve.stages section missing"
+fi
+
+# --- request spans: --trace-out end to end ---
+expect_exit 2 "--trace-out without a value" "$SERVE" --trace-out
+expect_exit 2 "--inject-stall=0 rejected" "$SERVE" --inject-stall=0
+expect_exit 2 "unwritable --trace-out path" \
+  "$SERVE" $RUN --quiet --trace-out "$WORK/nodir/out.strc"
+
+# A traced run with the injected stall: the v4 trace parses, summarize
+# tallies the span family, and the tail anatomy names a dominant stage
+# plus a concrete cause for the slowest request.
+expect_exit 0 "traced run with injected stall" \
+  "$SERVE" $RUN --quiet --inject-stall=32 \
+  --trace-out "$WORK/spans.strc" --json "$WORK/spans.json"
+expect_exit 0 "check-bench accepts the traced report" \
+  "$TRACE" check-bench "$WORK/spans.json"
+
+SUMMARY=$("$TRACE" summarize "$WORK/spans.strc")
+if echo "$SUMMARY" | grep -q "format: v4"; then
+  echo "ok: summarize reports the v4 format"
+else
+  fail "summarize does not report format: v4"
+fi
+if echo "$SUMMARY" | grep -q "spans: .* begin / .* end"; then
+  echo "ok: summarize tallies span records per stage"
+else
+  fail "summarize span tally missing"
+fi
+
+REQS=$("$TRACE" requests "$WORK/spans.strc" --tail 1)
+if echo "$REQS" | grep -q "per-stage latency"; then
+  echo "ok: requests prints the per-stage breakdown"
+else
+  fail "requests per-stage breakdown missing"
+fi
+if echo "$REQS" | grep -q "dominant" && echo "$REQS" | grep -q "cause:"; then
+  echo "ok: tail anatomy names a dominant stage and a cause"
+else
+  fail "tail anatomy lacks dominant stage or cause"
+fi
+
+expect_exit 2 "requests --tail 0 rejected" \
+  "$TRACE" requests "$WORK/spans.strc" --tail 0
+expect_exit 2 "requests --tail garbage rejected" \
+  "$TRACE" requests "$WORK/spans.strc" --tail abc
+
+# A span-free (pre-v4 producer) trace gets the pointer to --trace-out.
+expect_exit 0 "plain run for a span-free trace check" \
+  "$SERVE" $RUN --quiet --json "$WORK/plain.json"
+if "$TRACE" requests "$WORK/spans.strc" > /dev/null 2>&1; then
+  echo "ok: requests succeeds on a span-carrying trace"
+else
+  fail "requests fails on a span-carrying trace"
+fi
+
+# Chrome export carries the request track alongside the thread tracks.
+expect_exit 0 "export-chrome on the span trace" \
+  "$TRACE" export-chrome "$WORK/spans.strc" "$WORK/spans.chrome.json"
+if grep -q "sharc requests" "$WORK/spans.chrome.json"; then
+  echo "ok: chrome export carries the request track"
+else
+  fail "chrome export lacks the request track"
 fi
 
 exit $STATUS

@@ -19,6 +19,9 @@
 #include "serve/LoadGen.h"
 #include "serve/Server.h"
 
+#include "obs/Causal.h"
+#include "obs/Collector.h"
+#include "obs/Sink.h"
 #include "rt/Runtime.h"
 
 #include <gtest/gtest.h>
@@ -339,4 +342,126 @@ TEST(ServeServerTest, InjectedRaceSurvivesQuarantine) {
   // Quarantine demotes the raced granules and the run completes whole.
   EXPECT_EQ(S.Completed, LC.totalRequests());
   EXPECT_EQ(S.Errors, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Request spans (sharc-span, DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the pipeline with span tracing armed; the spans land in \p Out
+/// (a VectorSink is not thread-safe, so a Collector fronts it — the
+/// same sink the sharc-serve CLI wires up for --trace-out).
+template <typename P>
+ServeStats runServerTraced(const LoadConfig &LC, const ServeParams &SP,
+                           obs::VectorSink &Out) {
+  obs::Collector Col(Out, 1u << 15);
+  SimTransport Net;
+  SteadyClock::time_point Epoch = SteadyClock::now();
+  Server<P> Srv(SP, Net, Epoch);
+  Srv.setTrace(&Col);
+  Srv.start();
+  std::vector<Arrival> S = buildSchedule(LC);
+  runOpenLoop(Net, S, LC, Epoch);
+  Srv.stop();
+  Col.flush();
+  return Srv.takeStats();
+}
+
+obs::RequestsReport requestsOf(const obs::VectorSink &Out) {
+  obs::TraceData Data;
+  Data.Spans = Out.Spans;
+  return obs::buildRequests(Data);
+}
+
+} // namespace
+
+TEST(ServeSpanTest, StageHistogramsCollectedWithoutTracing) {
+  // The per-stage histograms ride along unconditionally: the bench
+  // report's serve.stages section exists even when no trace is armed.
+  LoadConfig LC = smallLoad();
+  ServeStats S = runServer<UncheckedPolicy>(LC, smallParams());
+  for (unsigned K = 0; K != obs::NumSpanStages; ++K)
+    EXPECT_EQ(S.StageNs[K].count(), LC.totalRequests())
+        << obs::spanStageName(static_cast<obs::SpanStage>(K));
+}
+
+TEST(ServeSpanTest, EveryRequestYieldsACompleteSpanTree) {
+  LoadConfig LC = smallLoad();
+  obs::VectorSink Out;
+  ServeStats S = runServerTraced<UncheckedPolicy>(LC, smallParams(), Out);
+  ASSERT_EQ(S.Completed, LC.totalRequests());
+  // 7 stages x begin+end per request.
+  EXPECT_EQ(Out.Spans.size(), LC.totalRequests() * 2 * obs::NumSpanStages);
+  obs::RequestsReport R = requestsOf(Out);
+  EXPECT_EQ(R.Requests.size(), LC.totalRequests());
+  EXPECT_EQ(R.Complete, LC.totalRequests());
+  EXPECT_EQ(R.Incomplete, 0u);
+  // Role ids are pipeline positions: acceptor 1, workers 2..W+1, logger
+  // W+2 — never a raw runtime tid.
+  ServeParams SP = smallParams();
+  for (const obs::RequestView &V : R.Requests) {
+    EXPECT_EQ(V.Tids[unsigned(obs::SpanStage::Accept)], 1u);
+    unsigned Worker = V.Tids[unsigned(obs::SpanStage::Handler)];
+    EXPECT_GE(Worker, 2u);
+    EXPECT_LE(Worker, SP.Workers + 1);
+    EXPECT_EQ(V.Tids[unsigned(obs::SpanStage::Logger)], SP.Workers + 2);
+  }
+}
+
+TEST(ServeSpanTest, SameSeedSameSpanTreeDigest) {
+  // The digest hashes what the seed fixes (request ids, clients, op
+  // kinds, tree shape) and none of what the scheduler varies, so two
+  // runs of the same seeded load must digest identically even though
+  // timings and worker placements differ.
+  LoadConfig LC = smallLoad();
+  ServeParams SP = smallParams();
+  obs::VectorSink A, B;
+  runServerTraced<UncheckedPolicy>(LC, SP, A);
+  runServerTraced<UncheckedPolicy>(LC, SP, B);
+  uint64_t DigA = obs::requestTreeDigest(requestsOf(A));
+  uint64_t DigB = obs::requestTreeDigest(requestsOf(B));
+  EXPECT_EQ(DigA, DigB);
+
+  LoadConfig Other = LC;
+  Other.Seed = LC.Seed + 1; // different op mix -> different tree
+  obs::VectorSink C;
+  runServerTraced<UncheckedPolicy>(Other, SP, C);
+  EXPECT_NE(DigA, obs::requestTreeDigest(requestsOf(C)));
+}
+
+TEST(ServeSpanTest, InjectedStallIsAttributedToTheHoldingRequest) {
+  // The acceptance scenario: every 32nd request spins 2ms inside the
+  // single session-shard lock, so requests behind it pile up in
+  // lock-wait. The tail analysis must name the stalling HOLDER request
+  // for at least one victim — and every named holder must be one of the
+  // injected stalls.
+  LoadConfig LC = smallLoad();
+  LC.RatePerSec = 20000; // gentle: lock contention, not ring backlog
+  ServeParams SP = smallParams();
+  SP.SessionShardCount = 1; // one lock: all requests contend
+  SP.InjectStallEvery = 32;
+  SP.InjectStallNanos = 2000000;
+  obs::VectorSink Out;
+  ServeStats S = runServerTraced<UncheckedPolicy>(LC, SP, Out);
+  ASSERT_EQ(S.Completed, LC.totalRequests());
+
+  obs::RequestsReport R = requestsOf(Out);
+  obs::TraceData Data;
+  Data.Spans = Out.Spans;
+  std::vector<obs::TailEntry> Tail = obs::tailRequests(R, Data, 100.0);
+  unsigned HolderHits = 0;
+  for (const obs::TailEntry &E : Tail) {
+    if (E.C != obs::TailEntry::Cause::LockHolder ||
+        E.DominantNs < SP.InjectStallNanos / 4)
+      continue;
+    ++HolderHits;
+    EXPECT_EQ(E.HolderReq % SP.InjectStallEvery, 0u)
+        << "req " << E.Req << " blames req " << E.HolderReq
+        << ", which is not an injected stall: " << E.Detail;
+    EXPECT_NE(E.Detail.find("held by req"), std::string::npos) << E.Detail;
+  }
+  EXPECT_GT(HolderHits, 0u)
+      << "no victim was attributed to a stalling lock holder";
 }
