@@ -127,6 +127,98 @@ while :; do
   echo "ci.sh: serve overhead gate: retrying (attempt $ATTEMPT)"
 done
 
+echo "== chaos smoke (sharc-storm) =="
+# One short overloaded run per serve-level fault kind (DESIGN.md §17):
+# each must be survived with exit 0, and each must show its own fault
+# actually firing in the serve.resilience block. The run is ~3x the
+# worker pool's sustainable rate so the degradation ladder engages and
+# a recovery is recorded.
+CHAOS_RUN="--clients 2000 --reqs-per-client 2 --rate 150000 \
+  --service-us 40 --workers 2 --seed 11"
+for FAULT in conn-reset:5 slow-peer:100 worker-stall:2 worker-crash:100 \
+             logger-wedge:20; do
+  OUT="$BUILD/chaos_smoke.json"
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" $CHAOS_RUN \
+    --chaos "$FAULT" --quiet --json "$OUT"
+  "$BUILD/src/obs/sharc-trace" check-bench "$OUT"
+  RECOV=$(grep -o '"recoveries":[0-9]*' "$OUT" | grep -o '[0-9]*$')
+  case "$FAULT" in
+    conn-reset*) FIRED=$(grep -o '"conn_resets":[0-9]*' "$OUT" \
+                   | grep -o '[0-9]*$') ;;
+    slow-peer*)  FIRED=1 ;; # a pure latency fault: surviving it IS the check
+    *)           FIRED=$(grep -o '"faults_injected":[0-9]*' "$OUT" \
+                   | grep -o '[0-9]*$') ;;
+  esac
+  if [ "${FIRED:-0}" -lt 1 ]; then
+    echo "ci.sh: chaos smoke: $FAULT never fired"
+    exit 1
+  fi
+  if [ "${RECOV:-0}" -lt 1 ]; then
+    echo "ci.sh: chaos smoke: $FAULT run recorded no recovery"
+    exit 1
+  fi
+  echo "ci.sh: chaos smoke: $FAULT survived (recoveries $RECOV)"
+done
+
+echo "== storm acceptance: 2x overload with worker-stall =="
+# The sharc-storm acceptance run: twice the sustainable rate with
+# stalling workers and a deadline budget. It must exit 0, shed rather
+# than queue unboundedly, record at least one recovery, and keep the
+# p999 of ADMITTED requests bounded — the deadline caps how stale any
+# request the handlers still run can be, so the tail of the survivors
+# stays honest no matter how hard the storm blows.
+STORM_JSON="$ROOT/BENCH_serve_storm.json"
+SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" \
+  --clients 2000 --reqs-per-client 2 --rate 100000 --service-us 40 \
+  --workers 2 --deadline-ms 40 --chaos worker-stall:2 --seed 11 \
+  --json "$STORM_JSON"
+"$BUILD/src/obs/sharc-trace" check-bench "$STORM_JSON"
+STORM_SHED=$(grep -o '"shed":[0-9]*' "$STORM_JSON" | grep -o '[0-9]*$')
+STORM_RECOV=$(grep -o '"recoveries":[0-9]*' "$STORM_JSON" | grep -o '[0-9]*$')
+# Last p999_us occurrence is the sharc/run row (stages come first).
+STORM_P999=$(grep -o '"p999_us":[0-9.]*' "$STORM_JSON" | tail -1 \
+  | grep -o '[0-9.]*$')
+[ "${STORM_SHED:-0}" -ge 1 ] || { echo "ci.sh: storm run shed nothing"; exit 1; }
+[ "${STORM_RECOV:-0}" -ge 1 ] || { echo "ci.sh: storm run never recovered"; exit 1; }
+# Bound: deadline (40ms) + client give-up margin; 100ms of p999 on an
+# admitted request would mean unbounded queueing leaked past admission.
+if ! awk -v p="${STORM_P999:-999999}" 'BEGIN{exit !(p < 100000)}'; then
+  echo "ci.sh: storm run p999 unbounded (${STORM_P999}us)"
+  exit 1
+fi
+echo "ci.sh: storm acceptance: shed $STORM_SHED, recoveries $STORM_RECOV, p999 ${STORM_P999}us"
+
+echo "== resilience overhead gate =="
+# Arming the admission layer with thresholds nothing reaches must keep
+# handler CPU within 2% of the disarmed server: the per-request cost of
+# overload protection is one gauge read and two compares. The request
+# total (750) stays below the ring high watermark (768 of 1024), so the
+# armed run can never shed, degrade, or retry no matter how slow this
+# machine is — both runs do byte-identical handler work by
+# construction. Same retry discipline as the other serve gates: fresh
+# adjacent baselines, pass on any of 4 attempts.
+SERVE_RUN_SAFE="--clients 750 --rate 200000 --service-us 600 --workers 3"
+ATTEMPT=1
+while :; do
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN_SAFE \
+    --quiet --json "$BUILD/bench_serve_disarmed.json"
+  # shellcheck disable=SC2086
+  SHARC_BENCH_REPS=3 "$BUILD/src/serve/sharc-serve" $SERVE_RUN_SAFE \
+    --max-inflight 1000000 --quiet --json "$BUILD/bench_serve_armed.json"
+  if "$BUILD/src/obs/sharc-trace" check-overhead --max-pct 2 \
+       "$BUILD/bench_serve_disarmed.json" "$BUILD/bench_serve_armed.json"; then
+    break
+  fi
+  if [ "$ATTEMPT" -ge 4 ]; then
+    echo "ci.sh: resilience overhead gate: over 2% in all $ATTEMPT attempts"
+    exit 1
+  fi
+  ATTEMPT=$((ATTEMPT + 1))
+  echo "ci.sh: resilience overhead gate: retrying (attempt $ATTEMPT)"
+done
+
 echo "== profiler overhead gate =="
 # sharc-prof must keep the disabled fast path at one predicted branch
 # (ISSUE 3 / DESIGN.md §11): run the check-path microbenchmarks with
@@ -239,6 +331,11 @@ cp "$ROOT/BENCH_serve.json" "$HIST/$SHARC_GIT_REV-serve-$N.json"
 N=0
 while [ -e "$HIST/$SHARC_GIT_REV-serve-spans-$N.json" ]; do N=$((N + 1)); done
 cp "$ROOT/BENCH_serve_spans.json" "$HIST/$SHARC_GIT_REV-serve-spans-$N.json"
+# ...and the storm acceptance report, whose serve.resilience block gives
+# compare-runs the shed/recovery counters and time-to-recover trend.
+N=0
+while [ -e "$HIST/$SHARC_GIT_REV-serve-storm-$N.json" ]; do N=$((N + 1)); done
+cp "$ROOT/BENCH_serve_storm.json" "$HIST/$SHARC_GIT_REV-serve-storm-$N.json"
 "$BUILD/src/obs/sharc-trace" compare-runs "$HIST" --max-pct 25 \
   || echo "ci.sh: WARNING: compare-runs flagged a regression (soft gate)"
 

@@ -3,9 +3,15 @@
 # then sweeps many generated programs across many scheduler seeds,
 # minimizing and saving any failure into the regression corpus.
 #
-# usage: scripts/fuzz-nightly.sh [count] [schedules] [seed]
+# A serve chaos soak rides at the end (sharc-storm, DESIGN.md §17):
+# randomized chaos schedules against the annotated server, every one of
+# which must be survived with exit 0 — the accounting identity is
+# enforced inside sharc-serve itself (exit 3 on any leaked request).
+#
+# usage: scripts/fuzz-nightly.sh [count] [schedules] [seed] [soak-runs]
 #   count     programs to generate   (default 5000)
 #   seed      campaign base seed     (default: date-derived, printed)
+#   soak-runs serve chaos soak runs  (default 30)
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -13,10 +19,12 @@ BUILD="$ROOT/build"
 COUNT=${1:-5000}
 SCHEDULES=${2:-16}
 SEED=${3:-$(date +%Y%m%d)}
+SOAK=${4:-30}
 
-if [ ! -x "$BUILD/src/fuzz/sharc-fuzz" ]; then
+if [ ! -x "$BUILD/src/fuzz/sharc-fuzz" ] ||
+   [ ! -x "$BUILD/src/serve/sharc-serve" ]; then
   cmake -B "$BUILD" -S "$ROOT"
-  cmake --build "$BUILD" -j "$(nproc)" --target sharc-fuzz
+  cmake --build "$BUILD" -j "$(nproc)" --target sharc-fuzz sharc-serve
 fi
 
 echo "fuzz-nightly: count=$COUNT schedules=$SCHEDULES seed=$SEED"
@@ -34,7 +42,7 @@ echo "fuzz-nightly: count=$COUNT schedules=$SCHEDULES seed=$SEED"
 EXPLORE_COUNT=$((COUNT / 10))
 [ "$EXPLORE_COUNT" -lt 50 ] && EXPLORE_COUNT=50
 echo "fuzz-nightly: explore pass: count=$EXPLORE_COUNT (gen-size small)"
-exec "$BUILD/src/fuzz/sharc-fuzz" \
+"$BUILD/src/fuzz/sharc-fuzz" \
   --count "$EXPLORE_COUNT" \
   --schedules "$SCHEDULES" \
   --seed "$((SEED + 1))" \
@@ -42,3 +50,50 @@ exec "$BUILD/src/fuzz/sharc-fuzz" \
   --minimize \
   --corpus-dir "$ROOT/tests/fuzz-corpus" \
   --quiet
+
+# ---- serve chaos soak --------------------------------------------------
+# Each run draws a fault plan, load seed, rate and thresholds from a
+# deterministic LCG over the campaign seed: a red nightly prints the
+# exact failing command line and the same seed replays it. Overloaded
+# on purpose — most runs shed and recover; the pinned exit contract
+# (0 survived, 1 abort-policy, 2 usage, 3 accounting leak) is the
+# oracle, and only 0 is green here.
+R=$SEED
+rand() { # <modulus> -> $RAND_OUT in 0..modulus-1
+  R=$(((R * 1103515245 + 12345) % 2147483648))
+  RAND_OUT=$((R % $1))
+}
+PLANS="conn-reset:3 slow-peer:200 worker-stall:2 worker-crash:80 \
+logger-wedge:20 conn-reset:5,worker-stall:3 conn-reset:7,logger-wedge:30 \
+worker-stall:2,slow-peer:100"
+echo "fuzz-nightly: serve chaos soak: runs=$SOAK"
+I=0
+FAILED=0
+while [ "$I" -lt "$SOAK" ]; do
+  rand 8
+  PLAN=$(echo "$PLANS" | tr ' ' '\n' | sed -n "$((RAND_OUT + 1))p")
+  rand 150
+  RATE=$(((RAND_OUT + 50) * 1000)) # 50k..199k req/s: ~1x..4x sustainable
+  rand 3
+  WORKERS=$((RAND_OUT + 2)) # 2..4: worker-crash always has a survivor
+  rand 2
+  DEADLINE_FLAGS=""
+  [ "$RAND_OUT" -eq 1 ] && DEADLINE_FLAGS="--deadline-ms 40"
+  rand 100000
+  LOAD_SEED=$RAND_OUT
+  # shellcheck disable=SC2086
+  if ! SHARC_BENCH_REPS=1 "$BUILD/src/serve/sharc-serve" \
+         --clients 1500 --reqs-per-client 2 --rate "$RATE" \
+         --service-us 40 --workers "$WORKERS" --seed "$LOAD_SEED" \
+         --chaos "$PLAN" $DEADLINE_FLAGS --quiet; then
+    echo "fuzz-nightly: SOAK FAIL: --rate $RATE --workers $WORKERS" \
+      "--seed $LOAD_SEED --chaos $PLAN $DEADLINE_FLAGS"
+    FAILED=$((FAILED + 1))
+  fi
+  I=$((I + 1))
+done
+if [ "$FAILED" -gt 0 ]; then
+  echo "fuzz-nightly: serve chaos soak: $FAILED of $SOAK runs failed"
+  exit 1
+fi
+echo "fuzz-nightly: serve chaos soak: all $SOAK runs survived"

@@ -410,6 +410,9 @@ RequestsReport buildRequests(const TraceData &Data) {
       switch (S.Stage) {
       case SpanStage::Accept:
         V.Client = S.Arg;
+        // Each admission attempt opens a fresh Accept span: the count
+        // is the retry story.
+        ++V.Attempts;
         break;
       case SpanStage::Handler:
         V.Op = S.Arg;
@@ -424,14 +427,31 @@ RequestsReport buildRequests(const TraceData &Data) {
     } else {
       V.EndNs[K] = S.TimeNs;
       V.HasEnd |= 1u << K;
+      // Outcome codes ride end-record Args (sharc-storm). Accept ends
+      // are last-wins — all from the acceptor's ring, so stream order
+      // IS attempt order and the final admission decides. A nonzero
+      // Handler end (deadline drop) overrides; a zero one changes
+      // nothing, so admission's verdict survives any drain order.
+      if (S.Stage == SpanStage::Accept)
+        V.Outcome = static_cast<uint8_t>(S.Arg);
+      else if (S.Stage == SpanStage::Handler && S.Arg != 0)
+        V.Outcome = static_cast<uint8_t>(S.Arg);
     }
   }
   std::sort(R.Requests.begin(), R.Requests.end(),
             [](const RequestView &A, const RequestView &B) {
               return A.Req < B.Req;
             });
-  for (const RequestView &V : R.Requests)
-    (V.complete() ? R.Complete : R.Incomplete)++;
+  for (const RequestView &V : R.Requests) {
+    if (V.Outcome == OutcomeShed)
+      ++R.Shed;
+    else if (V.Outcome == OutcomeTimedOut)
+      ++R.TimedOut;
+    else
+      (V.complete() ? R.Complete : R.Incomplete)++;
+    if (V.Attempts > 1)
+      ++R.Retried;
+  }
   return R;
 }
 
@@ -461,8 +481,11 @@ std::vector<TailEntry> tailRequests(const RequestsReport &R,
                                     const TraceData &Data, double Pct) {
   std::vector<TailEntry> Tail;
   std::vector<const RequestView *> Done;
+  // Only Ok-outcome complete requests belong in the tail: a shed or
+  // timed-out request's short span tree is an outcome, not a latency —
+  // counting it as handler time would poison the anatomy.
   for (const RequestView &V : R.Requests)
-    if (V.complete())
+    if (V.complete() && V.Outcome == OutcomeOk)
       Done.push_back(&V);
   if (Done.empty())
     return Tail;
@@ -590,6 +613,11 @@ std::string renderRequests(const RequestsReport &R, const TraceData &Data,
   std::ostringstream OS;
   OS << "requests: " << R.Requests.size() << " with spans (" << R.Complete
      << " complete, " << R.Incomplete << " incomplete)\n";
+  if (R.Shed != 0 || R.TimedOut != 0 || R.Retried != 0)
+    OS << "outcomes: " << R.Shed << " shed, " << R.TimedOut
+       << " timed-out, " << R.Retried
+       << " retried (non-ok outcomes are excluded from the latency "
+          "tables and the tail)\n";
   if (R.Complete == 0) {
     OS << "no complete request-span sets — was the producer run with "
           "--trace-out?\n";
@@ -609,7 +637,7 @@ std::string renderRequests(const RequestsReport &R, const TraceData &Data,
   for (unsigned K = 0; K < NumSpanStages; ++K) {
     Durations.clear();
     for (const RequestView &V : R.Requests)
-      if (V.complete())
+      if (V.complete() && V.Outcome == OutcomeOk)
         Durations.push_back(V.stageNs(static_cast<SpanStage>(K)));
     std::sort(Durations.begin(), Durations.end());
     char Line[128];
@@ -624,7 +652,7 @@ std::string renderRequests(const RequestsReport &R, const TraceData &Data,
   }
   Durations.clear();
   for (const RequestView &V : R.Requests)
-    if (V.complete())
+    if (V.complete() && V.Outcome == OutcomeOk)
       Durations.push_back(V.totalNs());
   std::sort(Durations.begin(), Durations.end());
   {

@@ -153,6 +153,14 @@ struct RequestView {
   uint64_t Client = 0; ///< Accept-begin Arg
   uint64_t Op = 0;     ///< Handler-begin Arg (serve op kind)
   uint64_t Lock = 0;   ///< session-shard lock id (LockWait/LockHold Arg)
+  /// Final SpanOutcome (sharc-storm): Accept-end Args are last-wins
+  /// (the final admission attempt decides), a nonzero Handler-end Arg
+  /// overrides (a deadline drop happens after admission). OutcomeOk for
+  /// every pre-storm trace.
+  uint8_t Outcome = 0;
+  /// Accept-begin records seen: >1 means the client retried this
+  /// request after a rejection.
+  uint32_t Attempts = 0;
   uint64_t BeginNs[NumSpanStages] = {};
   uint64_t EndNs[NumSpanStages] = {};
   uint32_t Tids[NumSpanStages] = {}; ///< role id of the begin record
@@ -183,7 +191,13 @@ struct RequestView {
 struct RequestsReport {
   std::vector<RequestView> Requests; ///< sorted by Req
   uint64_t Complete = 0;
-  uint64_t Incomplete = 0; ///< span sets missing a boundary
+  uint64_t Incomplete = 0; ///< Ok-outcome span sets missing a boundary
+  /// sharc-storm outcome counts: shed and timed-out requests are named
+  /// as such, NOT folded into Incomplete — their span trees are short
+  /// by design, not by truncation.
+  uint64_t Shed = 0;
+  uint64_t TimedOut = 0;
+  uint64_t Retried = 0; ///< requests with more than one Accept begin
 };
 
 /// Groups Data.Spans by request id. Accepts partial traces: requests

@@ -431,8 +431,9 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
   // Optional "serve" section: sharc-serve stamps its run configuration
   // and the mid-run /metrics scrape here. When present it must carry
   // numeric clients and target_rate_rps; every other member is numeric
-  // too, except the nested "scrape" object (itself all-numeric) and the
-  // nested "stages" object (stage name -> all-numeric percentiles).
+  // too, except three nested all-numeric objects: "scrape", "stages"
+  // (stage name -> percentiles), and the sharc-storm "resilience"
+  // block (shed / retry / recovery counters).
   if (const JsonValue *Serve = Doc.get("serve")) {
     if (!Serve->isObject()) {
       Error = "field \"serve\" is not an object";
@@ -444,14 +445,14 @@ bool validateBenchJson(const JsonValue &Doc, std::string &Error) {
       return false;
     }
     for (const auto &[K, V] : Serve->Obj) {
-      if (K == "scrape") {
+      if (K == "scrape" || K == "resilience") {
         if (!V.isObject()) {
-          Error = "serve: field \"scrape\" is not an object";
+          Error = "serve: field \"" + K + "\" is not an object";
           return false;
         }
         for (const auto &[SK, SV] : V.Obj)
           if (!SV.isNumber()) {
-            Error = "serve: scrape: field \"" + SK + "\" is not a number";
+            Error = "serve: " + K + ": field \"" + SK + "\" is not a number";
             return false;
           }
       } else if (K == "stages") {

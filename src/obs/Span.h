@@ -24,7 +24,7 @@ namespace sharc::obs {
 /// kinds); adding a stage is a trace-format version bump.
 enum class SpanStage : uint8_t {
   Accept = 0, ///< acceptor-side connection setup; Arg(begin) = client
-              ///< id, Arg(end) = op kind
+              ///< id, Arg(end) = SpanOutcome
   RingWait,   ///< ingress ring residency: begin at enqueue (acceptor),
               ///< end at dequeue (worker) — across the ownership cast
   Handler,    ///< worker handler, whole; Arg(begin) = op kind
@@ -36,6 +36,31 @@ enum class SpanStage : uint8_t {
 };
 
 inline constexpr unsigned NumSpanStages = 7;
+
+/// Request outcome codes carried in end-record Args (sharc-storm,
+/// DESIGN.md §17): Accept-end Arg says whether the connection was
+/// admitted or shed; Handler-end Arg says whether the handler ran it or
+/// dropped it on a blown deadline. Riding the Arg keeps the stage set —
+/// and therefore the v4 trace format — unchanged: a pre-storm reader
+/// sees the same records and simply ignores the codes. 0 everywhere is
+/// the pre-storm encoding, so old traces parse as all-Ok.
+enum SpanOutcome : uint8_t {
+  OutcomeOk = 0,       ///< admitted / handled normally
+  OutcomeShed = 1,     ///< Accept end: shed by admission control
+  OutcomeTimedOut = 2, ///< Handler end: dropped, deadline budget blown
+};
+
+inline const char *spanOutcomeName(SpanOutcome O) {
+  switch (O) {
+  case OutcomeOk:
+    return "ok";
+  case OutcomeShed:
+    return "shed";
+  case OutcomeTimedOut:
+    return "timed-out";
+  }
+  return "?";
+}
 
 inline const char *spanStageName(SpanStage S) {
   switch (S) {

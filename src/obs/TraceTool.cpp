@@ -1106,8 +1106,10 @@ bool loadArchivedRun(const std::string &Path, ArchivedRun &Out) {
     Out.Rows.Rows.emplace_back(Row.get("name")->Str, std::move(Metrics));
   }
   // serve.stages percentiles ride along as pseudo-rows so the per-stage
-  // breakdown is trended exactly like the top-level latency rows.
-  if (const obs::JsonValue *Serve = Doc.get("serve"))
+  // breakdown is trended exactly like the top-level latency rows; the
+  // sharc-storm serve.resilience block gets the same lift so shed rates
+  // and time-to-recover trend across commits too.
+  if (const obs::JsonValue *Serve = Doc.get("serve")) {
     if (const obs::JsonValue *Stages = Serve->get("stages"))
       for (const auto &[Stage, Obj] : Stages->Obj) {
         std::vector<std::pair<std::string, double>> Metrics;
@@ -1115,6 +1117,20 @@ bool loadArchivedRun(const std::string &Path, ArchivedRun &Out) {
           Metrics.emplace_back(Key, Value.Num);
         Out.Rows.Rows.emplace_back("stages/" + Stage, std::move(Metrics));
       }
+    if (const obs::JsonValue *Res = Serve->get("resilience")) {
+      std::vector<std::pair<std::string, double>> Metrics;
+      for (const auto &[Key, Value] : Res->Obj) {
+        // ttr_p50_us -> p50_us so the time-to-recover percentiles match
+        // the percentile-metric predicate and trend like any latency
+        // row; the raw counters ride along unrenamed (archived, not
+        // gated — shed counts depend on the machine's momentary load).
+        std::string Name =
+            Key.rfind("ttr_", 0) == 0 ? Key.substr(4) : Key;
+        Metrics.emplace_back(Name, Value.Num);
+      }
+      Out.Rows.Rows.emplace_back("resilience", std::move(Metrics));
+    }
+  }
   return true;
 }
 

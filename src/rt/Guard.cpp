@@ -115,6 +115,18 @@ bool guard::parseFaults(const char *Spec, FaultConfig &Out,
       Out.LockTimeout = true;
       continue;
     }
+    if (Tok == "worker-stall") {
+      Out.WorkerStallMillis = 5;
+      continue;
+    }
+    if (Tok == "worker-crash") {
+      Out.WorkerCrashAfter = 200;
+      continue;
+    }
+    if (Tok == "logger-wedge") {
+      Out.LoggerWedgeMillis = 50;
+      continue;
+    }
     if (const char *A = Arg("oom")) {
       if (!parseCount(A, Out.OomAtAlloc) || Out.OomAtAlloc == 0) {
         Error = "oom:N needs a positive allocation index: '" + Tok + "'";
@@ -133,6 +145,45 @@ bool guard::parseFaults(const char *Spec, FaultConfig &Out,
     if (const char *A = Arg("crash")) {
       if (!parseCount(A, Out.CrashAtStep) || Out.CrashAtStep == 0) {
         Error = "crash:N needs a positive step index: '" + Tok + "'";
+        return false;
+      }
+      continue;
+    }
+    if (const char *A = Arg("conn-reset")) {
+      if (!parseCount(A, Out.ConnResetEvery) || Out.ConnResetEvery == 0) {
+        Error = "conn-reset:N needs a positive submit period: '" + Tok + "'";
+        return false;
+      }
+      continue;
+    }
+    if (const char *A = Arg("slow-peer")) {
+      if (!parseCount(A, Out.SlowPeerMicros) || Out.SlowPeerMicros == 0 ||
+          Out.SlowPeerMicros > 1000000) {
+        Error = "slow-peer:U needs a delay in 1..1000000 us: '" + Tok + "'";
+        return false;
+      }
+      continue;
+    }
+    if (const char *A = Arg("worker-stall")) {
+      if (!parseCount(A, Out.WorkerStallMillis) ||
+          Out.WorkerStallMillis == 0 || Out.WorkerStallMillis > 10000) {
+        Error = "worker-stall:M needs a stall in 1..10000 ms: '" + Tok + "'";
+        return false;
+      }
+      continue;
+    }
+    if (const char *A = Arg("worker-crash")) {
+      if (!parseCount(A, Out.WorkerCrashAfter) || Out.WorkerCrashAfter == 0) {
+        Error =
+            "worker-crash:K needs a positive request count: '" + Tok + "'";
+        return false;
+      }
+      continue;
+    }
+    if (const char *A = Arg("logger-wedge")) {
+      if (!parseCount(A, Out.LoggerWedgeMillis) ||
+          Out.LoggerWedgeMillis == 0 || Out.LoggerWedgeMillis > 10000) {
+        Error = "logger-wedge:M needs a wedge in 1..10000 ms: '" + Tok + "'";
         return false;
       }
       continue;

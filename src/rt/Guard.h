@@ -132,11 +132,25 @@ Policy globalPolicy();
 //===----------------------------------------------------------------------===//
 
 /// Parsed SHARC_FAULT specification. Comma-separated directives:
-///   oom:N         the Nth runtime allocation fails (1-based)
-///   thread-reg    the next thread registration fails
-///   torn-write:K  trace files are truncated to K bytes on write
-///   lock-timeout  the next watchdog-armed lock acquisition times out
-///   crash:N       raise SIGSEGV at interpreter step N (driver-side)
+///   oom:N           the Nth runtime allocation fails (1-based)
+///   thread-reg      the next thread registration fails
+///   torn-write:K    trace files are truncated to K bytes on write
+///   lock-timeout    the next watchdog-armed lock acquisition times out
+///   crash:N         raise SIGSEGV at interpreter step N (driver-side)
+///
+/// Serve-level chaos faults (sharc-storm, DESIGN.md §17) — injected
+/// through the serve transport and pipeline threads, reachable both via
+/// SHARC_FAULT and via `sharc-serve --chaos=`:
+///   conn-reset:N    every Nth transport submission is rejected with a
+///                   simulated connection reset (the client retries)
+///   slow-peer:U     the transport delays every accept batch by U
+///                   microseconds (a slow network peer)
+///   worker-stall[:M] each worker sleeps M ms (default 5) every 64th
+///                   request it handles — a periodic stalling worker
+///   worker-crash[:K] worker 0 dies (exits its loop) after handling K
+///                   requests (default 200)
+///   logger-wedge[:M] the logger wedges for M ms (default 50) on its
+///                   first record, backing up the log ring
 struct FaultConfig {
   uint64_t OomAtAlloc = 0;
   bool FailThreadReg = false;
@@ -144,6 +158,20 @@ struct FaultConfig {
   bool HasTornWrite = false;
   bool LockTimeout = false;
   uint64_t CrashAtStep = 0;
+  uint64_t ConnResetEvery = 0;    ///< conn-reset:N (0 = off)
+  uint64_t SlowPeerMicros = 0;    ///< slow-peer:U (0 = off)
+  uint64_t WorkerStallMillis = 0; ///< worker-stall[:M] (0 = off)
+  uint64_t WorkerCrashAfter = 0;  ///< worker-crash[:K] (0 = off)
+  uint64_t LoggerWedgeMillis = 0; ///< logger-wedge[:M] (0 = off)
+
+  /// True when any serve-level chaos directive is armed — sharc-serve
+  /// arms its resilience layer (admission control, retries) whenever a
+  /// chaos plan is active, so injected faults are shed/retried instead
+  /// of wedging the pipeline.
+  bool anyServeFault() const {
+    return ConnResetEvery || SlowPeerMicros || WorkerStallMillis ||
+           WorkerCrashAfter || LoggerWedgeMillis;
+  }
 };
 
 /// Parses \p Spec. \returns false (with a diagnostic in \p Error) on

@@ -6,8 +6,10 @@
 
 #include "serve/LoadGen.h"
 
+#include <algorithm>
 #include <cmath>
 #include <thread>
+#include <unordered_map>
 
 namespace sharc {
 namespace serve {
@@ -30,7 +32,35 @@ struct XorShift64Star {
   }
 };
 
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+/// A retry waiting out its backoff. Min-heap by DueNs.
+struct PendingRetry {
+  uint64_t DueNs = 0;
+  uint32_t Attempt = 0;
+  Reject R;
+  bool operator>(const PendingRetry &O) const { return DueNs > O.DueNs; }
+};
+
 } // namespace
+
+void fillPayload(std::vector<uint8_t> &Payload, uint64_t Seed, uint64_t Seq,
+                 uint32_t Bytes) {
+  Payload.resize(Bytes);
+  XorShift64Star Rng(splitmix64(Seed ^ 0xbadc0ffee0ddf00dull) ^
+                     splitmix64(Seq + 1));
+  uint64_t Word = 0;
+  for (size_t B = 0; B != Payload.size(); ++B) {
+    if (B % 8 == 0)
+      Word = Rng.next();
+    Payload[B] = static_cast<uint8_t>(Word >> ((B % 8) * 8));
+  }
+}
 
 std::vector<Arrival> buildSchedule(const LoadConfig &C) {
   std::vector<Arrival> Schedule;
@@ -57,9 +87,83 @@ LoadResult runOpenLoop(Transport &Net, const std::vector<Arrival> &Schedule,
                        const LoadConfig &C, SteadyClock::time_point Epoch,
                        const std::function<void()> &Midpoint) {
   LoadResult Result;
-  XorShift64Star PayloadRng(C.Seed ^ 0xbadc0ffee0ddf00dull);
   std::vector<uint8_t> Payload;
   size_t Half = Schedule.size() / 2;
+
+  // Client-side resilience state (sharc-storm): a min-heap of retries
+  // waiting out their backoff, and per-request attempt counts. All of
+  // it dormant — not even a reject poll — when C.Resilient is off.
+  std::vector<PendingRetry> Heap;
+  std::unordered_map<uint64_t, uint32_t> Attempts;
+  std::vector<Reject> Rejects;
+
+  auto submitReq = [&](uint64_t Client, uint64_t Seq, uint8_t Kind,
+                       uint64_t ArrivalNs) {
+    fillPayload(Payload, C.Seed, Seq, C.PayloadBytes);
+    SimRequest Req;
+    Req.Client = Client;
+    Req.Seq = Seq;
+    Req.Kind = Kind;
+    // A retry keeps the ORIGINAL scheduled arrival: server-side latency
+    // stays measured from when the request should have started, so
+    // retries can't launder queueing delay out of the tail.
+    Req.ArrivalNs = ArrivalNs;
+    Req.Payload = Payload;
+    // Never blocks: the transport queue is unbounded, like a client
+    // population that doesn't care how busy the server is.
+    Net.submit(std::move(Req));
+  };
+
+  // Capped exponential backoff with deterministic jitter: the jitter is
+  // a pure function of (Seed, Seq, attempt), so the same seed replays
+  // the exact same retry schedule.
+  auto backoffNs = [&](uint64_t Seq, uint32_t Attempt) {
+    uint64_t Shift = Attempt > 0 ? Attempt - 1 : 0;
+    uint64_t Delay = Shift >= 20 ? C.RetryBackoffCapNs
+                                 : std::min(C.RetryBackoffNs << Shift,
+                                            C.RetryBackoffCapNs);
+    uint64_t Jitter =
+        splitmix64(C.Seed ^ splitmix64(Seq) ^ Attempt) % (Delay / 4 + 1);
+    return Delay + Jitter;
+  };
+
+  // Drains the reject channel, deciding retry-or-drop per reject.
+  auto pollRejects = [&](uint64_t NowNs) -> size_t {
+    size_t N = Net.takeRejects(Rejects);
+    for (const Reject &R : Rejects) {
+      if (R.Reason == RejectReason::Shed)
+        ++Result.ShedSeen;
+      else
+        ++Result.ResetSeen;
+      uint32_t Attempt = ++Attempts[R.Seq];
+      bool ClientGaveUp = C.RequestTimeoutNs != 0 && NowNs > R.ArrivalNs &&
+                          NowNs - R.ArrivalNs > C.RequestTimeoutNs;
+      if (Attempt > C.RetryMax || ClientGaveUp) {
+        ++Result.Dropped;
+        Attempts.erase(R.Seq);
+        continue;
+      }
+      Heap.push_back(PendingRetry{NowNs + backoffNs(R.Seq, Attempt),
+                                  Attempt, R});
+      std::push_heap(Heap.begin(), Heap.end(), std::greater<>());
+    }
+    return N;
+  };
+
+  // Re-submits every retry whose backoff has expired.
+  auto flushDueRetries = [&](uint64_t NowNs) -> size_t {
+    size_t N = 0;
+    while (!Heap.empty() && Heap.front().DueNs <= NowNs) {
+      std::pop_heap(Heap.begin(), Heap.end(), std::greater<>());
+      PendingRetry P = Heap.back();
+      Heap.pop_back();
+      submitReq(P.R.Client, P.R.Seq, P.R.Kind, P.R.ArrivalNs);
+      ++Result.Retries;
+      ++N;
+    }
+    return N;
+  };
+
   for (size_t I = 0; I != Schedule.size(); ++I) {
     const Arrival &A = Schedule[I];
     auto Target = Epoch + std::chrono::nanoseconds(A.AtNanos);
@@ -74,35 +178,41 @@ LoadResult runOpenLoop(Transport &Net, const std::vector<Arrival> &Schedule,
       while ((Now = SteadyClock::now()) < Target) {
       }
     }
-    uint64_t Lag = nanosSince(Epoch);
-    Lag = Lag > A.AtNanos ? Lag - A.AtNanos : 0;
+    uint64_t NowNs = nanosSince(Epoch);
+    uint64_t Lag = NowNs > A.AtNanos ? NowNs - A.AtNanos : 0;
     if (Lag > Result.MaxLagNs)
       Result.MaxLagNs = Lag;
 
-    // Deterministic wire bytes: a pure function of the seed and request
-    // index (NOT of submit timing), so orig and sharc runs agree.
-    Payload.resize(C.PayloadBytes);
-    uint64_t Word = 0;
-    for (size_t B = 0; B != Payload.size(); ++B) {
-      if (B % 8 == 0)
-        Word = PayloadRng.next();
-      Payload[B] = static_cast<uint8_t>(Word >> ((B % 8) * 8));
-    }
-    SimRequest Req;
-    Req.Client = A.Client;
-    Req.Seq = I;
-    Req.Kind = A.Kind;
-    Req.ArrivalNs = A.AtNanos;
-    Req.Payload = Payload;
-    // Never blocks: the transport queue is unbounded, like a client
-    // population that doesn't care how busy the server is.
-    Net.submit(std::move(Req));
+    submitReq(A.Client, I, A.Kind, A.AtNanos);
     ++Result.Offered;
+
+    if (C.Resilient) {
+      pollRejects(NowNs);
+      flushDueRetries(NowNs);
+    }
 
     if (I + 1 == Half && Midpoint)
       Midpoint();
   }
   Result.SpanNs = Schedule.empty() ? 0 : Schedule.back().AtNanos;
+
+  if (C.Resilient) {
+    // Drain phase: the offering is done, but rejects may still be in
+    // flight and retries still owed. Keep polling until the transport
+    // is empty, no retry is pending, and the reject channel has stayed
+    // quiet for the grace window — every distinct request is then
+    // either inside the server or accounted for in Dropped.
+    uint64_t Quiet = nanosSince(Epoch);
+    for (;;) {
+      uint64_t NowNs = nanosSince(Epoch);
+      size_t Activity = pollRejects(NowNs) + flushDueRetries(NowNs);
+      if (Activity != 0 || Net.pending() != 0)
+        Quiet = NowNs;
+      if (Heap.empty() && NowNs - Quiet >= C.DrainGraceNs)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   Result.ElapsedNs = nanosSince(Epoch);
   return Result;
 }

@@ -38,6 +38,29 @@ struct LoadConfig {
   unsigned GetPct = 60; ///< % of OpGet; then PutPct of OpPut; rest OpWork.
   unsigned PutPct = 30;
 
+  //===---- sharc-storm: client-side resilience ----------------------===//
+
+  /// Arms reject polling, retries, and the drain phase. Off (the
+  /// default) keeps the pre-storm offering loop byte for byte: the
+  /// reject channel is never even read.
+  bool Resilient = false;
+  /// Re-submission budget per rejected request (0 = rejects drop).
+  uint64_t RetryMax = 3;
+  /// Backoff before the first retry; doubles per attempt up to the cap,
+  /// plus deterministic jitter drawn from (Seed, Seq, attempt) — so a
+  /// rerun with the same seed replays the same retry schedule.
+  uint64_t RetryBackoffNs = 200000;     ///< 200us base.
+  uint64_t RetryBackoffCapNs = 5000000; ///< 5ms cap.
+  /// Client-side request timeout measured from the ORIGINAL scheduled
+  /// arrival (0 = none): a reject seen past it is dropped, not retried
+  /// — the client hung up, retrying would be coordinated omission in
+  /// reverse.
+  uint64_t RequestTimeoutNs = 0;
+  /// Drain-phase quiet window: after the last scheduled arrival the
+  /// loop keeps polling rejects and flushing due retries until the
+  /// transport is empty AND the reject channel stays silent this long.
+  uint64_t DrainGraceNs = 20000000; ///< 20ms.
+
   uint64_t totalRequests() const { return Clients * RequestsPerClient; }
 };
 
@@ -56,11 +79,26 @@ struct Arrival {
 std::vector<Arrival> buildSchedule(const LoadConfig &C);
 
 struct LoadResult {
-  uint64_t Offered = 0;   ///< Requests submitted to the transport.
+  uint64_t Offered = 0;   ///< Distinct requests offered (retries excluded).
   uint64_t SpanNs = 0;    ///< Last scheduled arrival time.
   uint64_t ElapsedNs = 0; ///< Wall time of the offering loop.
   uint64_t MaxLagNs = 0;  ///< Worst (actual - scheduled) submit delay.
+  /// sharc-storm client-side resilience accounting (0 when off). Every
+  /// distinct request ends exactly one way — completed on the server,
+  /// timed out on the server, or Dropped here — which is the identity
+  /// sharc-serve checks instead of strict completed == offered.
+  uint64_t Retries = 0;  ///< Re-submissions after a reject (not Offered).
+  uint64_t Dropped = 0;  ///< Abandoned: retry budget or client timeout.
+  uint64_t ShedSeen = 0; ///< Admission-control rejects observed.
+  uint64_t ResetSeen = 0; ///< Injected conn-reset rejects observed.
 };
+
+/// Deterministic wire bytes for request \p Seq: a pure function of
+/// (Seed, Seq) — NOT of submit order or timing — so orig and sharc runs
+/// agree byte for byte AND a retry re-offers exactly the bytes the
+/// original submission carried.
+void fillPayload(std::vector<uint8_t> &Payload, uint64_t Seed, uint64_t Seq,
+                 uint32_t Bytes);
 
 /// Replays \p Schedule against \p Net on the wall clock starting at
 /// \p Epoch. Payload bytes are generated deterministically from C.Seed

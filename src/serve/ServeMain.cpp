@@ -26,6 +26,7 @@
 #include "obs/Collector.h"
 #include "obs/Json.h"
 #include "obs/TraceFile.h"
+#include "rt/Guard.h"
 #include "rt/Runtime.h"
 #include "rt/StatsServer.h"
 
@@ -52,6 +53,8 @@ struct ServeOptions {
   std::string TracePath;
   guard::Policy OnViolation = guard::Policy::Abort;
   bool PolicyExplicit = false; ///< --on-violation given (beats env).
+  guard::FaultConfig Chaos;    ///< --chaos / SHARC_FAULT serve faults.
+  bool ChaosGiven = false;     ///< --chaos given (beats env).
 };
 
 void printUsage(std::FILE *Out) {
@@ -83,6 +86,21 @@ void printUsage(std::FILE *Out) {
       "                       SHARC_POLICY overrides the default)\n"
       "  --stats-addr H:P     serve live /metrics; scraped at the schedule\n"
       "                       midpoint into the report (port 0 = ephemeral)\n"
+      "resilience (sharc-storm; any of these arms the layer — shedding,\n"
+      "deadline drops, degraded mode, client retries with backoff — and\n"
+      "the serve.resilience report block; see DESIGN.md section 17):\n"
+      "  --max-inflight N     admission cap on live connections; at the\n"
+      "                       cap new connections are shed with a typed\n"
+      "                       rejection (default 0 = ring-bounded only)\n"
+      "  --deadline-ms N      per-request budget from scheduled arrival:\n"
+      "                       stale requests are shed at admission and\n"
+      "                       dropped at dequeue (default 0 = none)\n"
+      "  --chaos SPEC         comma-separated fault plan (the SHARC_FAULT\n"
+      "                       grammar): conn-reset:N, slow-peer:U,\n"
+      "                       worker-stall[:M] (default 5ms), \n"
+      "                       worker-crash[:K] (default 200),\n"
+      "                       logger-wedge[:M] (default 50ms); the env\n"
+      "                       var arms the same plan when --chaos absent\n"
       "output:\n"
       "  --json FILE          write a sharc-bench-v1 report (serve section\n"
       "                       included; `sharc-trace check-bench` clean)\n"
@@ -136,6 +154,36 @@ bool needValue(const char *Flag, const char *Value) {
     return true;
   std::fprintf(stderr, "sharc-serve: %s needs a value\n", Flag);
   return false;
+}
+
+/// Optional-period flags: "--flag" (bare, uses \p Default), "--flag=N",
+/// or "--flag N". The period must be positive in BOTH value spellings —
+/// a 0 period means "never", which is what omitting the flag says — and
+/// the space form only consumes a following argument that looks numeric,
+/// so "--inject-race --quiet" still parses.
+bool parsePeriodFlag(const char *Flag, int Argc, char **Argv, int &I,
+                     uint64_t Default, uint64_t &Out) {
+  const char *Arg = Argv[I];
+  size_t Len = std::strlen(Flag);
+  const char *Value = nullptr;
+  if (Arg[Len] == '=') {
+    Value = Arg + Len + 1;
+  } else if (I + 1 < Argc && Argv[I + 1][0] >= '0' && Argv[I + 1][0] <= '9') {
+    Value = Argv[++I];
+  } else {
+    Out = Default;
+    return true;
+  }
+  if (!parseU64Arg(Flag, Value, Out))
+    return false;
+  if (Out == 0) {
+    std::fprintf(stderr,
+                 "sharc-serve: %s expects a positive period, got 0 "
+                 "(omit the flag to disable the injection)\n",
+                 Flag);
+    return false;
+  }
+  return true;
 }
 
 /// 0 = parsed; 1 = --help (exit 0); 2 = usage error.
@@ -198,28 +246,45 @@ int parseArgs(int Argc, char **Argv, ServeOptions &Opt) {
           !parseU64Arg("--service-us", Value, Num))
         return 2;
       Opt.Params.ServiceNanos = Num * 1000;
-    } else if (Arg == "--inject-race") {
-      Opt.Params.InjectRaceEvery = 64;
-    } else if (std::strncmp(Argv[I], "--inject-race=", 14) == 0) {
-      if (!parseU64Arg("--inject-race", Argv[I] + 14,
-                       Opt.Params.InjectRaceEvery))
+    } else if (Arg == "--inject-race" ||
+               std::strncmp(Argv[I], "--inject-race=", 14) == 0) {
+      if (!parsePeriodFlag("--inject-race", Argc, Argv, I, 64,
+                           Opt.Params.InjectRaceEvery))
         return 2;
-      if (Opt.Params.InjectRaceEvery == 0) {
-        std::fprintf(stderr, "sharc-serve: --inject-race period must be "
-                             "nonzero\n");
+    } else if (Arg == "--inject-stall" ||
+               std::strncmp(Argv[I], "--inject-stall=", 15) == 0) {
+      if (!parsePeriodFlag("--inject-stall", Argc, Argv, I, 64,
+                           Opt.Params.InjectStallEvery))
         return 2;
-      }
-    } else if (Arg == "--inject-stall") {
-      Opt.Params.InjectStallEvery = 64;
-    } else if (std::strncmp(Argv[I], "--inject-stall=", 15) == 0) {
-      if (!parseU64Arg("--inject-stall", Argv[I] + 15,
-                       Opt.Params.InjectStallEvery))
+    } else if (matchValueFlag("--max-inflight", Argc, Argv, I, Value)) {
+      if (!needValue("--max-inflight", Value) ||
+          !parseU64Arg("--max-inflight", Value, Opt.Params.MaxInflight))
         return 2;
-      if (Opt.Params.InjectStallEvery == 0) {
-        std::fprintf(stderr, "sharc-serve: --inject-stall period must be "
-                             "nonzero\n");
+      if (Opt.Params.MaxInflight == 0) {
+        std::fprintf(stderr, "sharc-serve: --max-inflight must be positive "
+                             "(omit the flag for ring-bounded admission)\n");
         return 2;
       }
+    } else if (matchValueFlag("--deadline-ms", Argc, Argv, I, Value)) {
+      if (!needValue("--deadline-ms", Value) ||
+          !parseU64Arg("--deadline-ms", Value, Num))
+        return 2;
+      if (Num == 0 || Num > 3600000) {
+        std::fprintf(stderr, "sharc-serve: --deadline-ms must be in "
+                             "1..3600000\n");
+        return 2;
+      }
+      Opt.Params.DeadlineNanos = Num * 1000000;
+    } else if (matchValueFlag("--chaos", Argc, Argv, I, Value)) {
+      if (!needValue("--chaos", Value))
+        return 2;
+      std::string FaultError;
+      if (!guard::parseFaults(Value, Opt.Chaos, FaultError)) {
+        std::fprintf(stderr, "sharc-serve: --chaos: %s\n",
+                     FaultError.c_str());
+        return 2;
+      }
+      Opt.ChaosGiven = true;
     } else if (matchValueFlag("--on-violation", Argc, Argv, I, Value)) {
       if (!needValue("--on-violation", Value))
         return 2;
@@ -274,6 +339,49 @@ int parseArgs(int Argc, char **Argv, ServeOptions &Opt) {
                          "SharC runtime; ignored with --unchecked\n");
     Opt.StatsAddr.clear();
   }
+
+  // A SHARC_FAULT plan arms the same serve faults as --chaos (the flag
+  // wins); a malformed env spec is a usage error here, not a silent
+  // pass, mirroring the fatalInternal the runtime would raise later.
+  if (!Opt.ChaosGiven) {
+    if (const char *Env = std::getenv("SHARC_FAULT")) {
+      std::string FaultError;
+      if (!guard::parseFaults(Env, Opt.Chaos, FaultError)) {
+        std::fprintf(stderr, "sharc-serve: bad SHARC_FAULT spec: %s\n",
+                     FaultError.c_str());
+        return 2;
+      }
+    }
+  }
+  if (Opt.Chaos.WorkerCrashAfter != 0 && Opt.Params.Workers < 2) {
+    std::fprintf(stderr, "sharc-serve: worker-crash needs --workers >= 2 "
+                         "(the survivors must drain the ring)\n");
+    return 2;
+  }
+
+  // Arm the resilience layer: any overload knob or serve-level chaos
+  // fault switches the server to shed-don't-block admission and the
+  // client to reject polling + retries — and the accounting identity
+  // from strict completed == offered to
+  // completed + timed-out + dropped == offered.
+  Opt.Params.WorkerStallNanos = Opt.Chaos.WorkerStallMillis * 1000000;
+  Opt.Params.WorkerCrashAfter = Opt.Chaos.WorkerCrashAfter;
+  Opt.Params.LoggerWedgeNanos = Opt.Chaos.LoggerWedgeMillis * 1000000;
+  bool Armed = Opt.Params.MaxInflight != 0 || Opt.Params.DeadlineNanos != 0 ||
+               Opt.Chaos.anyServeFault();
+  Opt.Params.Resilient = Armed;
+  Opt.Load.Resilient = Armed;
+  // The client hangs up one deadline past the server's own budget:
+  // retrying a request the server would only shed again is wasted wire.
+  if (Opt.Params.DeadlineNanos != 0)
+    Opt.Load.RequestTimeoutNs = 4 * Opt.Params.DeadlineNanos;
+  // A slow peer delays rejects by up to one accept-batch stall; the
+  // drain phase's quiet window must outwait it.
+  if (Opt.Chaos.SlowPeerMicros != 0) {
+    uint64_t Stall = 2 * Opt.Chaos.SlowPeerMicros * 1000;
+    if (Stall > Opt.Load.DrainGraceNs)
+      Opt.Load.DrainGraceNs = Stall;
+  }
   return 0;
 }
 
@@ -290,6 +398,27 @@ struct RunOutcome {
   bool TraceFailed = false; ///< --trace-out could not be written.
   uint64_t TraceRecords = 0;
 };
+
+// Crash-safe tracing (mirrors sharcc): while a traced run is in flight
+// these point at the live writer, and the registered crash hook appends
+// an abnormal-end record and flushes the buffer to disk — so a chaos
+// run that dies under the abort policy (or a fatalInternal) still
+// leaves a parseable .strc behind. sharc-serve deliberately does NOT
+// install the signal-based crash handlers: their SIGABRT re-raise would
+// defeat the abortPolicyExit mapping to exit 1. The hooks run anyway on
+// every in-tree death path — guard::onViolation runs them before
+// std::abort, fatalInternal before _Exit(3), abortPolicyExit as a belt.
+obs::TraceWriter *LiveTrace = nullptr;
+std::string LiveTracePath;
+uint8_t LivePolicy = 0;
+
+void crashFlushTrace(int Signal, void *) {
+  if (!LiveTrace || LiveTracePath.empty())
+    return;
+  LiveTrace->finishAbnormal(static_cast<uint32_t>(Signal), LivePolicy);
+  std::string IgnoredError;
+  LiveTrace->writeToFile(LiveTracePath, IgnoredError);
+}
 
 /// Counts Prometheus series (non-comment, non-empty lines) in a scrape.
 uint64_t promSeries(const std::string &Body) {
@@ -313,8 +442,19 @@ RunOutcome runOnce(const ServeOptions &Opt,
   // a producer-side drain would bill varint encoding to handler CPU.
   obs::TraceWriter Trace;
   std::unique_ptr<obs::Collector> Col;
-  if (!Opt.TracePath.empty())
+  if (!Opt.TracePath.empty()) {
     Col = std::make_unique<obs::Collector>(Trace, 1u << 16);
+    // Arm the crash-safe flush for this rep's writer. The hook itself
+    // registers once per process (the hook table is append-only).
+    LiveTrace = &Trace;
+    LiveTracePath = Opt.TracePath;
+    LivePolicy = static_cast<uint8_t>(Opt.OnViolation);
+    static bool HookRegistered = false;
+    if (!HookRegistered) {
+      HookRegistered = true;
+      guard::addCrashHook(crashFlushTrace, nullptr);
+    }
+  }
   if (P::Checked) {
     rt::RuntimeConfig RC;
     // 2 shadow bytes per granule: 15 thread ids, enough for main +
@@ -332,6 +472,10 @@ RunOutcome runOnce(const ServeOptions &Opt,
   }
   {
     SimTransport Net;
+    // Network-side chaos lives in the transport, outside the checked
+    // program — where a flaky NIC or a slow peer would.
+    Net.setConnResetEvery(Opt.Chaos.ConnResetEvery);
+    Net.setSlowPeerMicros(Opt.Chaos.SlowPeerMicros);
     SteadyClock::time_point Epoch = SteadyClock::now();
     Server<P> Srv(Opt.Params, Net, Epoch);
     Srv.setTrace(Col.get());
@@ -369,7 +513,9 @@ RunOutcome runOnce(const ServeOptions &Opt,
   }
   if (Col) {
     // The runtime's shutdown has published its final records; drain
-    // every ring and seal the file.
+    // every ring and seal the file. Disarm the crash flush first: from
+    // here the normal write owns the file.
+    LiveTrace = nullptr;
     Col->flush();
     std::string Error;
     if (!Trace.writeToFile(Opt.TracePath, Error)) {
@@ -430,6 +576,39 @@ int writeReport(const ServeOptions &Opt, const char *Mode,
     W.value(R.ScrapeBytes);
     W.key("scrapes_served");
     W.value(R.ScrapesServed);
+    W.endObject();
+  }
+  if (Opt.Params.Resilient) {
+    // sharc-storm resilience block: the overload / chaos story in
+    // numbers. compare-runs lifts it into a "resilience" pseudo-row so
+    // shed rates and time-to-recover trend across commits like any
+    // other metric.
+    W.key("resilience");
+    W.beginObject();
+    W.key("shed");
+    W.value(R.Stats.Shed);
+    W.key("timed_out");
+    W.value(R.Stats.TimedOut);
+    W.key("retries");
+    W.value(R.Load.Retries);
+    W.key("dropped");
+    W.value(R.Load.Dropped);
+    W.key("conn_resets");
+    W.value(R.Load.ResetSeen);
+    W.key("log_shed");
+    W.value(R.Stats.LogShed);
+    W.key("faults_injected");
+    W.value(R.Stats.FaultsInjected);
+    W.key("recoveries");
+    W.value(R.Stats.Recoveries);
+    W.key("degraded_ms");
+    W.value(static_cast<double>(R.Stats.DegradedNs) / 1e6);
+    W.key("ttr_p50_us");
+    W.value(toUs(R.Stats.RecoveryNs.percentile(0.50)));
+    W.key("ttr_p99_us");
+    W.value(toUs(R.Stats.RecoveryNs.percentile(0.99)));
+    W.key("ttr_max_us");
+    W.value(toUs(R.Stats.RecoveryNs.max()));
     W.endObject();
   }
   // Per-stage latency percentiles (always collected; see ServeStats).
@@ -549,8 +728,14 @@ int writeReport(const ServeOptions &Opt, const char *Mode,
 /// Abort-policy violations die via std::abort (SIGABRT); map that death
 /// to the contract's exit 1 so `sharc-serve --on-violation=abort` is
 /// scriptable the same way sharcc is. Internal errors bypass SIGABRT
-/// (guard::fatalInternal uses _Exit(3)), so exit 3 stays intact.
-extern "C" void abortPolicyExit(int) { std::_Exit(1); }
+/// (guard::fatalInternal uses _Exit(3)), so exit 3 stays intact. The
+/// crash hooks have normally run already (guard::onViolation runs them
+/// before std::abort); the call here is an idempotent belt for any
+/// other SIGABRT source, so a traced chaos run still flushes its .strc.
+extern "C" void abortPolicyExit(int) {
+  guard::runCrashHooks(0);
+  std::_Exit(1);
+}
 
 } // namespace
 
@@ -589,11 +774,20 @@ int main(int Argc, char **Argv) {
     if (R.TraceFailed)
       return 2;
     TraceRecords = R.TraceRecords;
-    if (R.Stats.Completed != R.Load.Offered) {
+    // Conservation of requests. Resilient runs complete, time out on
+    // the server, or drop on the client — nothing may vanish; strict
+    // runs must complete everything, exactly as before sharc-storm.
+    uint64_t Accounted =
+        R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped;
+    if (Opt.Params.Resilient ? Accounted != R.Load.Offered
+                             : R.Stats.Completed != R.Load.Offered) {
       std::fprintf(stderr,
-                   "sharc-serve: internal: offered %llu but completed %llu\n",
+                   "sharc-serve: internal: offered %llu but completed %llu "
+                   "+ timed-out %llu + dropped %llu\n",
                    static_cast<unsigned long long>(R.Load.Offered),
-                   static_cast<unsigned long long>(R.Stats.Completed));
+                   static_cast<unsigned long long>(R.Stats.Completed),
+                   static_cast<unsigned long long>(R.Stats.TimedOut),
+                   static_cast<unsigned long long>(R.Load.Dropped));
       return 3;
     }
     if (!Have || R.Stats.ServiceNs < Best.Stats.ServiceNs) {
@@ -647,6 +841,21 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(S.SessionHits),
                 static_cast<unsigned long long>(S.SessionMisses),
                 static_cast<unsigned long long>(S.Checksum));
+    if (Opt.Params.Resilient)
+      std::printf("sharc-serve: resilience: shed %llu timed-out %llu "
+                  "retries %llu dropped %llu resets %llu log-shed %llu "
+                  "faults %llu recoveries %llu (ttr p99 %.1fms, degraded "
+                  "%.1fms)\n",
+                  static_cast<unsigned long long>(S.Shed),
+                  static_cast<unsigned long long>(S.TimedOut),
+                  static_cast<unsigned long long>(Best.Load.Retries),
+                  static_cast<unsigned long long>(Best.Load.Dropped),
+                  static_cast<unsigned long long>(Best.Load.ResetSeen),
+                  static_cast<unsigned long long>(S.LogShed),
+                  static_cast<unsigned long long>(S.FaultsInjected),
+                  static_cast<unsigned long long>(S.Recoveries),
+                  static_cast<double>(S.RecoveryNs.percentile(0.99)) / 1e6,
+                  static_cast<double>(S.DegradedNs) / 1e6);
     if (Best.ScrapeOk)
       std::printf("sharc-serve: live scrape at midpoint: %llu series, "
                   "%llu bytes\n",

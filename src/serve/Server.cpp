@@ -8,6 +8,9 @@
 
 #include "rt/AccessSite.h"
 
+#include <chrono>
+#include <thread>
+
 namespace sharc {
 namespace serve {
 
@@ -145,12 +148,73 @@ Connection<P> *Server<P>::makeConnection(SimRequest &&Req,
   return Conn;
 }
 
+template <typename P>
+bool Server<P>::mustShed(const SimRequest &Req, uint64_t NowNs) {
+  const ServeParams &C = Config.get();
+  // Deadline already blown while sitting in the accept queue: admitting
+  // it would only burn a worker on a request the client gave up on.
+  if (C.DeadlineNanos != 0 && NowNs > Req.ArrivalNs &&
+      NowNs - Req.ArrivalNs > C.DeadlineNanos)
+    return true;
+  if (C.MaxInflight != 0 && InflightLive.read() >= C.MaxInflight)
+    return true;
+  // The full ring is the typed backpressure signal: shed instead of
+  // blocking. The acceptor is the ring's only producer, so a below-
+  // capacity depth here guarantees the subsequent push cannot block.
+  return Ingress->depth() >= Ingress->capacity();
+}
+
+template <typename P>
+void Server<P>::shedConnection(const SimRequest &Req, AcceptorLocal &Local) {
+  // The Accept span pair still exists — a shed request has a (tiny)
+  // span tree whose Accept end carries the shed outcome, so the tail
+  // report can name it instead of losing it. No allocation, no conn-
+  // table entry, no sharing cast: shedding is cheap by design.
+  uint64_t B = nanosSince(Epoch);
+  emitSpan(AcceptorRole, Req.Seq, obs::SpanStage::Accept, true, B,
+           Req.Client);
+  Net.reject(Reject{Req.Client, Req.Seq, Req.Kind, Req.ArrivalNs,
+                    RejectReason::Shed});
+  ++Local.Shed;
+  ShedLive.write(ShedLive.read() + 1);
+  emitSpan(AcceptorRole, Req.Seq, obs::SpanStage::Accept, false,
+           nanosSince(Epoch), obs::OutcomeShed);
+}
+
 template <typename P> void Server<P>::acceptorMain() {
   AcceptorState.adopt();
   AcceptorLocal &Local = AcceptorState.get();
+  const ServeParams &C = Config.get();
   std::vector<SimRequest> Batch;
+  // Degradation-ladder episode state (sharc-storm): nonzero while the
+  // ring last crossed the high watermark without coming back down.
+  uint64_t EpisodeB = 0;
+  auto CloseEpisode = [&](uint64_t NowNs) {
+    uint64_t Dur = NowNs > EpisodeB ? NowNs - EpisodeB : 0;
+    Local.RecoveryNs.record(Dur);
+    Local.DegradedNs += Dur;
+    ++Local.Recoveries;
+    EpisodeB = 0;
+    DegradedLive.write(0);
+  };
+  auto Ladder = [&] {
+    size_t Depth = Ingress->depth();
+    if (EpisodeB == 0 && Depth >= C.highWatermark()) {
+      EpisodeB = nanosSince(Epoch);
+      DegradedLive.write(1);
+    } else if (EpisodeB != 0 && Depth <= C.lowWatermark()) {
+      CloseEpisode(nanosSince(Epoch));
+    }
+  };
   while (Net.acceptBatch(Batch, 256) != 0)
     for (SimRequest &Req : Batch) {
+      if (C.Resilient) {
+        if (mustShed(Req, nanosSince(Epoch))) {
+          shedConnection(Req, Local);
+          Ladder();
+          continue;
+        }
+      }
       Connection<P> *Conn = makeConnection(std::move(Req), Local);
       // RingWait opens on the acceptor and closes on whichever worker
       // dequeues the connection — the span crosses the ownership cast.
@@ -158,7 +222,14 @@ template <typename P> void Server<P>::acceptorMain() {
       emitSpan(AcceptorRole, Conn->Seq, obs::SpanStage::RingWait, true,
                Conn->EnqueueNs);
       Ingress->push(Conn, SHARC_SITE("conn (acceptor -> worker)"));
+      if (C.Resilient)
+        Ladder();
     }
+  // An episode still open when the load stops ends here: the drain IS
+  // the recovery, and counting it keeps overload runs honest about how
+  // long they spent degraded.
+  if (EpisodeB != 0)
+    CloseEpisode(nanosSince(Epoch));
   Ingress->close();
 }
 
@@ -175,6 +246,39 @@ Session<P> *Server<P>::findOrCreateSession(SessionShard<P> &Shard,
   new (S) Session<P>(Shard.Lock);
   Shard.Map.emplace(Key, S);
   return S;
+}
+
+template <typename P> void Server<P>::teardownConnection(Connection<P> *Conn) {
+  const ServeParams &C = Config.get();
+  uint64_t Seq = Conn->Seq;
+  ConnShard<P> &CS = Conns[Seq & (C.ConnShardCount - 1)];
+  {
+    typename P::LockGuard Lock(CS.Lock);
+    CS.Map.erase(Seq);
+    CS.Open.write(CS.Open.read(SHARC_SITE("connshard->open")) - 1,
+                  SHARC_SITE("connshard->open"));
+  }
+  InflightLive.write(InflightLive.read() - 1);
+  P::dealloc(Conn);
+}
+
+template <typename P>
+void Server<P>::dropTimedOut(Connection<P> *Conn, WorkerLocal &Local,
+                             uint32_t Role) {
+  uint64_t Seq = Conn->Seq;
+  uint8_t Kind = Conn->Kind;
+  // The request's RingWait still ends and a (degenerate) Handler span
+  // still opens: the span tree records WHERE the budget died — in the
+  // ring — and the Handler end carries the timed-out outcome.
+  uint64_t Now = nanosSince(Epoch);
+  Local.StageNs[unsigned(obs::SpanStage::RingWait)].record(
+      Now > Conn->EnqueueNs ? Now - Conn->EnqueueNs : 0);
+  emitSpan(Role, Seq, obs::SpanStage::RingWait, false, Now);
+  emitSpan(Role, Seq, obs::SpanStage::Handler, true, Now, Kind);
+  teardownConnection(Conn);
+  ++Local.TimedOut;
+  emitSpan(Role, Seq, obs::SpanStage::Handler, false, nanosSince(Epoch),
+           obs::OutcomeTimedOut);
 }
 
 template <typename P>
@@ -251,25 +355,39 @@ void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local,
 
   // Completion record to the logger (counted hand-off). LogWait opens
   // here and closes when the logger dequeues the record — like
-  // RingWait, the span crosses the ownership cast.
-  auto *Rec = static_cast<LogRecord *>(P::alloc(sizeof(LogRecord)));
-  uint64_t LogB = nanosSince(Epoch);
-  new (Rec)
-      LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize, Seq,
-                LogB};
-  emitSpan(Role, Seq, obs::SpanStage::LogWait, true, LogB);
-  LogRing->push(Rec, SHARC_SITE("log record (worker -> logger)"));
+  // RingWait, the span crosses the ownership cast. Under sharc-storm
+  // the degradation ladder sheds this work FIRST: while degraded the
+  // record is never allocated, and a full log ring drops it instead of
+  // blocking the worker — logger work dies before handler work does.
+  if (!C.Resilient) {
+    auto *Rec = static_cast<LogRecord *>(P::alloc(sizeof(LogRecord)));
+    uint64_t LogB = nanosSince(Epoch);
+    new (Rec)
+        LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize, Seq,
+                  LogB};
+    emitSpan(Role, Seq, obs::SpanStage::LogWait, true, LogB);
+    LogRing->push(Rec, SHARC_SITE("log record (worker -> logger)"));
+  } else if (DegradedLive.read() != 0) {
+    ++Local.LogShed;
+  } else {
+    auto *Rec = static_cast<LogRecord *>(P::alloc(sizeof(LogRecord)));
+    uint64_t LogB = nanosSince(Epoch);
+    new (Rec)
+        LogRecord{Conn->Client, Conn->Kind, Latency, Conn->PayloadSize, Seq,
+                  LogB};
+    // The begin record is emitted only on success (after the cast, with
+    // the pre-push timestamp): a shed record must not leave a dangling
+    // LogWait in the span tree.
+    if (LogRing->tryPush(Rec, SHARC_SITE("log record (worker -> logger)"))) {
+      emitSpan(Role, Seq, obs::SpanStage::LogWait, true, LogB);
+    } else {
+      ++Local.LogShed;
+      P::dealloc(Rec);
+    }
+  }
 
   // Connection teardown.
-  ConnShard<P> &CS = Conns[Seq & (C.ConnShardCount - 1)];
-  {
-    typename P::LockGuard Lock(CS.Lock);
-    CS.Map.erase(Seq);
-    CS.Open.write(CS.Open.read(SHARC_SITE("connshard->open")) - 1,
-                  SHARC_SITE("connshard->open"));
-  }
-  InflightLive.write(InflightLive.read() - 1);
-  P::dealloc(Conn);
+  teardownConnection(Conn);
 
   uint64_t HandlerE = nanosSince(Epoch);
   Local.StageNs[unsigned(obs::SpanStage::Handler)].record(HandlerE -
@@ -281,18 +399,59 @@ void Server<P>::handle(Connection<P> *Conn, WorkerLocal &Local,
 template <typename P> void Server<P>::workerMain(unsigned Index) {
   WorkerStates[Index].adopt();
   WorkerLocal &Local = WorkerStates[Index].get();
+  const ServeParams &C = Config.get();
   uint32_t Role = FirstWorkerRole + Index;
   while (Connection<P> *Conn =
-             Ingress->pop(SHARC_SITE("conn (acceptor -> worker)")))
+             Ingress->pop(SHARC_SITE("conn (acceptor -> worker)"))) {
+    ++Local.Handled;
+    if (C.Resilient && C.DeadlineNanos != 0) {
+      uint64_t Now = nanosSince(Epoch);
+      if (Now > Conn->ArrivalNs && Now - Conn->ArrivalNs > C.DeadlineNanos) {
+        // The deadline died while the connection sat in the ring: drop
+        // it with a counted timeout instead of burning handler CPU.
+        dropTimedOut(Conn, Local, Role);
+        continue;
+      }
+    }
     handle(Conn, Local, Role);
+    if (C.WorkerStallNanos != 0 && C.WorkerStallEvery != 0 &&
+        Local.Handled % C.WorkerStallEvery == 0) {
+      // Chaos worker-stall: a sleep, not a spin, so handler thread-CPU
+      // (the overhead-gate statistic) stays honest. Between requests,
+      // so the stall never inflates a Handler span.
+      ++Local.FaultsInjected;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(C.WorkerStallNanos));
+    }
+    if (C.WorkerCrashAfter != 0 && Index == 0 &&
+        Local.Handled >= C.WorkerCrashAfter) {
+      // Chaos worker-crash: worker 0 leaves the pool at a request
+      // boundary — it never strands a connection it owns; the rest of
+      // the pool absorbs the load.
+      ++Local.FaultsInjected;
+      break;
+    }
+  }
 }
 
 template <typename P> void Server<P>::loggerMain() {
   LoggerState.adopt();
   LoggerLocal &Local = LoggerState.get();
-  uint32_t Role = FirstWorkerRole + Config.get().Workers;
+  const ServeParams &C = Config.get();
+  uint32_t Role = FirstWorkerRole + C.Workers;
+  bool Wedged = false;
   while (LogRecord *Rec =
              LogRing->pop(SHARC_SITE("log record (worker -> logger)"))) {
+    if (C.LoggerWedgeNanos != 0 && !Wedged) {
+      // Chaos logger-wedge: one long stall on the first record, backing
+      // the log ring up against the workers. Sleeping after the pop but
+      // before the LogWait timestamp charges the wedge to the stage
+      // where its victims actually wait.
+      Wedged = true;
+      ++Local.FaultsInjected;
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(C.LoggerWedgeNanos));
+    }
     uint64_t Pop = nanosSince(Epoch);
     Local.StageNs[unsigned(obs::SpanStage::LogWait)].record(
         Pop > Rec->EnqueueNs ? Pop - Rec->EnqueueNs : 0);
@@ -319,6 +478,10 @@ template <typename P> ServeStats Server<P>::takeStats() {
   AcceptorState.adopt();
   Out.Accepted = AcceptorState.get().Accepted;
   Out.BytesIn = AcceptorState.get().BytesIn;
+  Out.Shed = AcceptorState.get().Shed;
+  Out.Recoveries = AcceptorState.get().Recoveries;
+  Out.DegradedNs = AcceptorState.get().DegradedNs;
+  Out.RecoveryNs.merge(AcceptorState.get().RecoveryNs);
   for (unsigned K = 0; K != obs::NumSpanStages; ++K)
     Out.StageNs[K].merge(AcceptorState.get().StageNs[K]);
   for (unsigned I = 0; I != C.Workers; ++I) {
@@ -331,6 +494,9 @@ template <typename P> ServeStats Server<P>::takeStats() {
     Out.SessionHits += W.SessionHits;
     Out.SessionMisses += W.SessionMisses;
     Out.BytesOut += W.BytesOut;
+    Out.TimedOut += W.TimedOut;
+    Out.LogShed += W.LogShed;
+    Out.FaultsInjected += W.FaultsInjected;
     for (unsigned K = 0; K != OpKinds; ++K)
       Out.OpCounts[K] += W.OpCounts[K];
     Out.LatencyNs.merge(W.LatencyNs);
@@ -339,6 +505,7 @@ template <typename P> ServeStats Server<P>::takeStats() {
   }
   LoggerState.adopt();
   Out.LogRecords = LoggerState.get().Records;
+  Out.FaultsInjected += LoggerState.get().FaultsInjected;
   for (unsigned K = 0; K != obs::NumSpanStages; ++K)
     Out.StageNs[K].merge(LoggerState.get().StageNs[K]);
   Out.PeakInflight = PeakInflightLive.read();

@@ -70,6 +70,44 @@ struct ServeParams {
   /// tail report must attribute them to the stalling holder.
   uint64_t InjectStallEvery = 0;
   uint64_t InjectStallNanos = 2000000;
+
+  //===---- sharc-storm: overload protection (DESIGN.md §17) ----------===//
+
+  /// Master switch for the robustness layer. Off (the default) keeps
+  /// the pre-storm pipeline byte for byte: blocking ring pushes, no
+  /// admission checks, strict completed==offered accounting. Armed by
+  /// sharc-serve whenever --max-inflight, --deadline-ms, or a chaos
+  /// plan is given.
+  bool Resilient = false;
+  /// Admission cap on live connections (0 = bounded only by the ring):
+  /// at or above it, new connections are shed with a typed rejection.
+  uint64_t MaxInflight = 0;
+  /// Per-request deadline budget from scheduled arrival (0 = none).
+  /// Checked at admission (stale arrivals are shed before any alloc)
+  /// and again at worker dequeue (stale queue residents are dropped
+  /// with a counted timeout instead of burning handler CPU).
+  uint64_t DeadlineNanos = 0;
+
+  //===---- sharc-storm: chaos faults (guard::FaultConfig mirrors) ----===//
+
+  /// worker-stall: each worker sleeps this long (0 = off) every
+  /// WorkerStallEvery-th request it handles. A sleep, not a CPU spin,
+  /// so handler thread-CPU — the overhead-gate statistic — is honest.
+  uint64_t WorkerStallNanos = 0;
+  uint64_t WorkerStallEvery = 64;
+  /// worker-crash: worker 0 exits its loop after this many requests
+  /// (0 = off). Always at a request boundary — a crashed worker never
+  /// strands a connection it owns.
+  uint64_t WorkerCrashAfter = 0;
+  /// logger-wedge: the logger sleeps this long on its first record
+  /// (0 = off), backing the log ring up against the workers.
+  uint64_t LoggerWedgeNanos = 0;
+
+  /// Ring watermarks for the degradation ladder, as depth thresholds
+  /// derived from RingCapacity: enter degraded mode at High, exit (and
+  /// count a recovery) at Low.
+  size_t highWatermark() const { return RingCapacity - RingCapacity / 4; }
+  size_t lowWatermark() const { return RingCapacity / 4; }
 };
 
 /// Post-run aggregate, folded from the per-thread private states.
@@ -86,6 +124,14 @@ struct ServeStats {
   uint64_t LogRecords = 0;
   uint64_t OpCounts[OpKinds] = {};
   uint64_t Checksum = 0; ///< Order-independent; orig == sharc.
+  /// sharc-storm resilience counters (all 0 when the layer is off).
+  uint64_t Shed = 0;           ///< Connections refused by admission control.
+  uint64_t TimedOut = 0;       ///< Admitted, then dropped on a blown deadline.
+  uint64_t LogShed = 0;        ///< Log records shed under degraded mode.
+  uint64_t Recoveries = 0;     ///< Degraded episodes that ended.
+  uint64_t DegradedNs = 0;     ///< Total wall time spent degraded.
+  uint64_t FaultsInjected = 0; ///< Chaos faults that actually fired.
+  Histogram RecoveryNs;        ///< Time-to-recover per degraded episode.
   Histogram LatencyNs;
   /// Per-pipeline-stage durations (obs::SpanStage order), folded from
   /// the role that measures each stage; always collected (the clock
@@ -152,6 +198,32 @@ public:
     ++Count;
     NotEmpty.notifyOne();
   }
+
+  /// Non-blocking push: false when the ring is full — the typed
+  /// backpressure signal the sharc-storm admission layer sheds on
+  /// instead of queueing unboundedly. The sharing cast happens only on
+  /// success, so a refused item's access history is untouched and the
+  /// caller still owns it.
+  bool tryPush(T *Item, const rt::AccessSite *Site) {
+    typename P::UniqueLock Lock(Mu);
+    if (Count >= Cap)
+      return false;
+    Cells[Tail % Cap].Slot.store(P::castIn(Item, Site));
+    ++Tail;
+    ++Count;
+    NotEmpty.notifyOne();
+    return true;
+  }
+
+  /// Instantaneous occupancy — the backpressure gauge the degradation
+  /// ladder watches. Monitoring-grade: the value is stale the moment
+  /// the lock drops, which is fine for watermark decisions.
+  size_t depth() {
+    typename P::UniqueLock Lock(Mu);
+    return Count;
+  }
+
+  size_t capacity() const { return Cap; }
 
   /// Null once the ring is closed and drained.
   T *pop(const rt::AccessSite *Site) {
@@ -226,6 +298,10 @@ struct WorkerLocal {
   uint64_t SessionHits = 0;
   uint64_t SessionMisses = 0;
   uint64_t BytesOut = 0;
+  uint64_t TimedOut = 0;       ///< Dequeued past their deadline, dropped.
+  uint64_t LogShed = 0;        ///< Log records shed (degraded / ring full).
+  uint64_t FaultsInjected = 0; ///< worker-stall / worker-crash fired.
+  uint64_t Handled = 0;        ///< All dequeues (chaos period counter).
   uint64_t OpCounts[OpKinds] = {};
   /// RingWait / Handler / LockWait / LockHold slots used.
   Histogram StageNs[obs::NumSpanStages];
@@ -234,6 +310,10 @@ struct WorkerLocal {
 struct AcceptorLocal {
   uint64_t Accepted = 0;
   uint64_t BytesIn = 0;
+  uint64_t Shed = 0;       ///< Refused admissions (ring full / inflight cap).
+  uint64_t Recoveries = 0; ///< Degraded episodes closed.
+  uint64_t DegradedNs = 0; ///< Total wall time degraded.
+  Histogram RecoveryNs;    ///< Per-episode time to recover.
   /// Accept slot used.
   Histogram StageNs[obs::NumSpanStages];
 };
@@ -241,6 +321,7 @@ struct AcceptorLocal {
 struct LoggerLocal {
   uint64_t Records = 0;
   uint64_t Bytes = 0;
+  uint64_t FaultsInjected = 0; ///< logger-wedge fired.
   uint64_t OpCounts[OpKinds] = {};
   /// LogWait / Logger slots used.
   Histogram StageNs[obs::NumSpanStages];
@@ -278,6 +359,8 @@ public:
   /// observation while the run is in flight.
   uint64_t liveAccepted() const { return AcceptedLive.read(); }
   uint64_t liveCompleted() const { return CompletedLive.read(); }
+  uint64_t liveShed() const { return ShedLive.read(); }
+  bool liveDegraded() const { return DegradedLive.read() != 0; }
 
 private:
   /// Pipeline role ids used as span Tids.
@@ -289,6 +372,19 @@ private:
   void loggerMain();
 
   Connection<P> *makeConnection(SimRequest &&Req, AcceptorLocal &Local);
+  /// Admission control (sharc-storm): true when \p Req must be shed —
+  /// deadline already blown, inflight cap reached, or the ingress ring
+  /// is full (checked by the caller via tryPush).
+  bool mustShed(const SimRequest &Req, uint64_t NowNs);
+  /// Sheds \p Req: counted rejection back through the transport plus an
+  /// Accept span pair carrying the shed outcome. No allocation, no
+  /// conn-table entry, no sharing cast — shedding is cheap by design.
+  void shedConnection(const SimRequest &Req, AcceptorLocal &Local);
+  /// Drops an admitted-but-stale connection at dequeue (deadline blown
+  /// while queued): teardown plus a Handler span pair carrying the
+  /// timed-out outcome.
+  void dropTimedOut(Connection<P> *Conn, WorkerLocal &Local, uint32_t Role);
+  void teardownConnection(Connection<P> *Conn);
   void handle(Connection<P> *Conn, WorkerLocal &Local, uint32_t Role);
   Session<P> *findOrCreateSession(SessionShard<P> &Shard, uint64_t Key,
                                   WorkerLocal &Local);
@@ -313,6 +409,12 @@ private:
   typename P::template Racy<uint64_t> CompletedLive;
   typename P::template Racy<uint64_t> InflightLive;
   typename P::template Racy<uint64_t> PeakInflightLive;
+  /// Degraded-mode flag (sharc-storm): set by the acceptor at the ring
+  /// high watermark, cleared at the low watermark. Racy on purpose —
+  /// workers poll it to shed logger work, and reading a one-update-
+  /// stale value merely sheds (or keeps) one more log record.
+  typename P::template Racy<uint64_t> DegradedLive;
+  typename P::template Racy<uint64_t> ShedLive;
 
   std::unique_ptr<SessionShard<P>[]> Sessions;
   std::unique_ptr<ConnShard<P>[]> Conns;

@@ -6,6 +6,9 @@
 
 #include "serve/Transport.h"
 
+#include <chrono>
+#include <thread>
+
 namespace sharc {
 namespace serve {
 
@@ -14,22 +17,55 @@ Transport::~Transport() = default;
 void SimTransport::submit(SimRequest &&Req) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Req));
     ++Submitted;
+    if (ConnResetEvery != 0 && Submitted % ConnResetEvery == 0) {
+      // Chaos: the "network" drops this connection on the floor and the
+      // client sees a reset — it never reaches the accept queue.
+      ++Resets;
+      ++Rejected;
+      Rejects.push_back(Reject{Req.Client, Req.Seq, Req.Kind, Req.ArrivalNs,
+                               RejectReason::ConnReset});
+      return;
+    }
+    Queue.push_back(std::move(Req));
   }
   NotEmpty.notify_one();
 }
 
 size_t SimTransport::acceptBatch(std::vector<SimRequest> &Out, size_t Max) {
   Out.clear();
-  std::unique_lock<std::mutex> Lock(Mu);
-  NotEmpty.wait(Lock, [&] { return !Queue.empty() || Closed; });
-  size_t N = std::min(Max, Queue.size());
-  for (size_t I = 0; I != N; ++I) {
-    Out.push_back(std::move(Queue.front()));
-    Queue.pop_front();
+  uint64_t Delay;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return !Queue.empty() || Closed; });
+    size_t N = std::min(Max, Queue.size());
+    for (size_t I = 0; I != N; ++I) {
+      Out.push_back(std::move(Queue.front()));
+      Queue.pop_front();
+    }
+    Delay = Out.empty() ? 0 : SlowPeerMicros;
   }
-  return N;
+  if (Delay)
+    // Chaos slow-peer: the batch dribbles in late, so the accept queue
+    // backs up exactly as it would behind a slow network peer.
+    std::this_thread::sleep_for(std::chrono::microseconds(Delay));
+  return Out.size();
+}
+
+void SimTransport::reject(const Reject &R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Rejected;
+  Rejects.push_back(R);
+}
+
+size_t SimTransport::takeRejects(std::vector<Reject> &Out) {
+  Out.clear();
+  std::lock_guard<std::mutex> Lock(Mu);
+  while (!Rejects.empty()) {
+    Out.push_back(Rejects.front());
+    Rejects.pop_front();
+  }
+  return Out.size();
 }
 
 void SimTransport::closeIngress() {
@@ -48,6 +84,16 @@ uint64_t SimTransport::submitted() const {
 size_t SimTransport::pending() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Queue.size();
+}
+
+uint64_t SimTransport::rejected() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Rejected;
+}
+
+uint64_t SimTransport::connResets() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Resets;
 }
 
 } // namespace serve

@@ -51,6 +51,24 @@ struct SimRequest {
   std::vector<uint8_t> Payload;
 };
 
+/// Why a submission bounced back to the client (sharc-storm).
+enum class RejectReason : uint8_t {
+  Shed = 0,      ///< server admission control shed it (overload)
+  ConnReset = 1, ///< injected connection reset (chaos conn-reset:N)
+};
+
+/// The typed backpressure signal: a rejected submission, delivered back
+/// through the transport so the client can retry with backoff. Carries
+/// everything the client needs to re-submit (payload bytes are
+/// regenerated deterministically from the seed and Seq).
+struct Reject {
+  uint64_t Client = 0;
+  uint64_t Seq = 0;
+  uint8_t Kind = OpGet;
+  uint64_t ArrivalNs = 0; ///< The ORIGINAL scheduled arrival.
+  RejectReason Reason = RejectReason::Shed;
+};
+
 class Transport {
 public:
   virtual ~Transport();
@@ -63,28 +81,59 @@ public:
   /// closed AND drained.
   virtual size_t acceptBatch(std::vector<SimRequest> &Out, size_t Max) = 0;
 
+  /// Server-side push-back: a rejected connection travels back to the
+  /// client. Never blocks (the reject channel is unbounded, like RSTs
+  /// on the wire).
+  virtual void reject(const Reject &R) = 0;
+
+  /// Client-side drain of the reject channel: moves every queued reject
+  /// into \p Out (cleared first). Non-blocking.
+  virtual size_t takeRejects(std::vector<Reject> &Out) = 0;
+
   /// No more submissions will arrive; acceptBatch drains then returns 0.
   virtual void closeIngress() = 0;
 
   virtual uint64_t submitted() const = 0;
   /// Requests accepted by nobody yet (queue depth).
   virtual size_t pending() const = 0;
+  /// Rejects pushed so far (shed + injected resets).
+  virtual uint64_t rejected() const = 0;
 };
 
-/// The simulated-socket transport: an unbounded MPSC queue.
+/// The simulated-socket transport: an unbounded MPSC queue plus the
+/// reject back-channel. The chaos knobs model network-side faults —
+/// they live here, outside the checked program, exactly where a flaky
+/// NIC or a slow peer would.
 class SimTransport final : public Transport {
 public:
   void submit(SimRequest &&Req) override;
   size_t acceptBatch(std::vector<SimRequest> &Out, size_t Max) override;
+  void reject(const Reject &R) override;
+  size_t takeRejects(std::vector<Reject> &Out) override;
   void closeIngress() override;
   uint64_t submitted() const override;
   size_t pending() const override;
+  uint64_t rejected() const override;
+
+  /// Chaos conn-reset:N — every Nth submission (counting retries) is
+  /// bounced with RejectReason::ConnReset instead of queueing (0 = off).
+  void setConnResetEvery(uint64_t N) { ConnResetEvery = N; }
+  /// Chaos slow-peer:U — every accept batch is delayed by U
+  /// microseconds before it is handed to the acceptor (0 = off).
+  void setSlowPeerMicros(uint64_t U) { SlowPeerMicros = U; }
+  /// Injected connection resets so far.
+  uint64_t connResets() const;
 
 private:
   mutable std::mutex Mu;
   std::condition_variable NotEmpty;
   std::deque<SimRequest> Queue;
+  std::deque<Reject> Rejects;
   uint64_t Submitted = 0;
+  uint64_t Rejected = 0;
+  uint64_t Resets = 0;
+  uint64_t ConnResetEvery = 0;
+  uint64_t SlowPeerMicros = 0;
   bool Closed = false;
 };
 

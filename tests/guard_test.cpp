@@ -106,6 +106,49 @@ TEST(GuardFaultTest, ParseEmptyAndZeroTorn) {
   EXPECT_EQ(F.TornWriteBytes, 0u);
 }
 
+TEST(GuardFaultTest, ParseServeFaults) {
+  // The sharc-storm chaos grammar rides in the same SHARC_FAULT spec:
+  // serve-level faults compose with the runtime-level ones.
+  guard::FaultConfig F;
+  std::string Error;
+  ASSERT_TRUE(guard::parseFaults(
+      "conn-reset:7,slow-peer:50,worker-stall,worker-crash:120,"
+      "logger-wedge:80",
+      F, Error))
+      << Error;
+  EXPECT_EQ(F.ConnResetEvery, 7u);
+  EXPECT_EQ(F.SlowPeerMicros, 50u);
+  EXPECT_EQ(F.WorkerStallMillis, 5u); // bare form: the default period
+  EXPECT_EQ(F.WorkerCrashAfter, 120u);
+  EXPECT_EQ(F.LoggerWedgeMillis, 80u);
+  EXPECT_TRUE(F.anyServeFault());
+
+  guard::FaultConfig Bare;
+  ASSERT_TRUE(guard::parseFaults("worker-crash,logger-wedge", Bare, Error));
+  EXPECT_EQ(Bare.WorkerCrashAfter, 200u);
+  EXPECT_EQ(Bare.LoggerWedgeMillis, 50u);
+  EXPECT_TRUE(Bare.anyServeFault());
+
+  guard::FaultConfig None;
+  ASSERT_TRUE(guard::parseFaults("oom:3", None, Error));
+  EXPECT_FALSE(None.anyServeFault());
+}
+
+TEST(GuardFaultTest, ParseRejectsMalformedServeFaults) {
+  guard::FaultConfig F;
+  std::string Error;
+  // conn-reset needs a positive period and has no bare form.
+  EXPECT_FALSE(guard::parseFaults("conn-reset", F, Error));
+  EXPECT_FALSE(guard::parseFaults("conn-reset:0", F, Error));
+  // slow-peer is bounded to a second.
+  EXPECT_FALSE(guard::parseFaults("slow-peer:2000000", F, Error));
+  // stall / wedge durations are bounded and nonzero.
+  EXPECT_FALSE(guard::parseFaults("worker-stall:0", F, Error));
+  EXPECT_FALSE(guard::parseFaults("worker-stall:20000", F, Error));
+  EXPECT_FALSE(guard::parseFaults("logger-wedge:x", F, Error));
+  EXPECT_FALSE(guard::parseFaults("worker-crash:0", F, Error));
+}
+
 TEST(GuardFaultTest, ParseRejectsMalformed) {
   guard::FaultConfig F;
   std::string Error;

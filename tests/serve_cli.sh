@@ -58,7 +58,8 @@ HELP=$("$SERVE" --help)
 for FLAG in --clients --reqs-per-client --rate --payload --seed \
             --workers --service-us --unchecked --inject-race \
             --inject-stall --on-violation --stats-addr --json \
-            --trace-out --quiet --help; do
+            --trace-out --quiet --help \
+            --max-inflight --deadline-ms --chaos; do
   if echo "$HELP" | grep -q -- "$FLAG"; then
     echo "ok: --help covers $FLAG"
   else
@@ -120,6 +121,42 @@ if grep -q '"stages"' "$WORK/serve.json" &&
   echo "ok: report carries serve.stages"
 else
   fail "serve.stages section missing"
+fi
+
+# --- sharc-storm: resilience flags ---
+# Zero periods are rejected in BOTH spellings — `--flag=0` and
+# `--flag 0` must fail the same way (the satellite fix: the space form
+# used to silently disable the injection instead of erroring).
+expect_exit 2 "--inject-race=0 rejected" "$SERVE" --inject-race=0
+expect_exit 2 "--inject-race 0 (space form) rejected" \
+  "$SERVE" --inject-race 0
+expect_exit 2 "--inject-stall 0 (space form) rejected" \
+  "$SERVE" --inject-stall 0
+expect_exit 2 "--max-inflight=0 rejected" "$SERVE" --max-inflight=0
+expect_exit 2 "--deadline-ms=0 rejected" "$SERVE" --deadline-ms=0
+expect_exit 2 "--chaos with an unknown fault" "$SERVE" --chaos=frobnicate
+expect_exit 2 "--chaos worker-crash needs two workers" \
+  "$SERVE" --chaos worker-crash --workers 1
+
+# An armed run writes the serve.resilience block and it validates.
+# shellcheck disable=SC2086
+expect_exit 0 "armed run with admission control" \
+  "$SERVE" $RUN --quiet --max-inflight 512 --json "$WORK/storm.json"
+expect_exit 0 "check-bench accepts the armed report" \
+  "$TRACE" check-bench "$WORK/storm.json"
+for KEY in '"resilience"' '"shed"' '"retries"' '"recoveries"' \
+           '"ttr_p99_us"'; do
+  if grep -q "$KEY" "$WORK/storm.json"; then
+    echo "ok: armed report carries $KEY"
+  else
+    fail "armed report is missing $KEY"
+  fi
+done
+# ...and a disarmed run does NOT (the block is storm-only).
+if grep -q '"resilience"' "$WORK/serve.json"; then
+  fail "disarmed report unexpectedly carries serve.resilience"
+else
+  echo "ok: disarmed report omits serve.resilience"
 fi
 
 # --- request spans: --trace-out end to end ---

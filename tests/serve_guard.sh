@@ -11,10 +11,16 @@
 # That is the pinned 0/1/2/3 exit contract, exercised end to end through
 # the annotated server.
 #
-# usage: serve_guard.sh <path-to-sharc-serve>
+# The sharc-storm chaos sweep (DESIGN.md §17) rides along: every
+# serve-level fault kind must be survived with exit 0, a malformed plan
+# is exit 2, and a wedged logger during an abort still leaves a
+# crash-safe v4 AbnormalEnd trace (checked with sharc-trace).
+#
+# usage: serve_guard.sh <path-to-sharc-serve> <path-to-sharc-trace>
 set -u
 
 SERVE=$1
+TRACE=${2:-}
 STATUS=0
 WORK="${TMPDIR:-/tmp}/sharc_serve_guard_$$"
 mkdir -p "$WORK"
@@ -89,6 +95,55 @@ if grep -q "offered 1200 completed 1200" "$WORK/quar.txt"; then
   echo "ok: quarantine run completed all 1200 requests"
 else
   fail "quarantine run did not complete all requests"
+fi
+
+# ---- sharc-storm: the chaos plan keeps the same exit contract --------
+# Every serve-level fault kind is survivable: the run degrades (sheds,
+# retries, recovers) but exits 0 — faults are weather, not bugs.
+for FAULT in conn-reset:5 slow-peer:100 worker-stall:2 worker-crash:50 \
+             logger-wedge:20; do
+  # shellcheck disable=SC2086
+  expect_exit 0 "chaos $FAULT is survived clean" \
+    "$SERVE" $RUN --chaos "$FAULT" --quiet
+done
+
+# A malformed plan is a usage error, in the flag and in the env alike.
+# shellcheck disable=SC2086
+expect_exit 2 "malformed --chaos" \
+  "$SERVE" $RUN --chaos worker-stall:0 --quiet
+# shellcheck disable=SC2086
+expect_exit 2 "malformed SHARC_FAULT env" \
+  env SHARC_FAULT=bogus "$SERVE" $RUN --quiet
+# SHARC_FAULT arms the same plan when --chaos is absent.
+# shellcheck disable=SC2086
+expect_exit 0 "SHARC_FAULT=conn-reset:9 armed from the env" \
+  env SHARC_FAULT=conn-reset:9 "$SERVE" $RUN --quiet
+
+# Chaos never masks the guard contract: an injected race under the
+# abort policy still dies with exit 1 even while faults are firing.
+# shellcheck disable=SC2086
+expect_exit 1 "injected race aborts through the chaos" \
+  "$SERVE" $RUN --chaos conn-reset:5,worker-stall:2 --inject-race=8 --quiet
+
+# The hardest corner: a WEDGED logger while the abort fires. The crash
+# hook must still get a crash-safe v4 trace out — AbnormalEnd marked —
+# even though the logger thread is asleep inside the pipeline.
+# shellcheck disable=SC2086
+"$SERVE" $RUN --chaos logger-wedge:200 --inject-race=8 --quiet \
+  --trace-out "$WORK/wedge.strc" > /dev/null 2>&1
+GOT=$?
+if [ "$GOT" -ne 1 ]; then
+  fail "wedged-logger abort: expected exit 1, got $GOT"
+elif [ ! -s "$WORK/wedge.strc" ]; then
+  fail "wedged-logger abort left no trace file"
+else
+  SUMMARY=$("$TRACE" summarize "$WORK/wedge.strc" 2>&1)
+  if echo "$SUMMARY" | grep -q "abnormal-end 1" &&
+     echo "$SUMMARY" | grep -q "format: v4"; then
+    echo "ok: wedged-logger abort still wrote a v4 AbnormalEnd trace"
+  else
+    fail "wedged-logger trace is not a v4 AbnormalEnd trace"
+  fi
 fi
 
 exit $STATUS

@@ -22,11 +22,14 @@
 #include "obs/Causal.h"
 #include "obs/Collector.h"
 #include "obs/Sink.h"
+#include "rt/AccessSite.h"
 #include "rt/Runtime.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 using namespace sharc;
 using namespace sharc::serve;
@@ -429,6 +432,333 @@ TEST(ServeSpanTest, SameSeedSameSpanTreeDigest) {
   obs::VectorSink C;
   runServerTraced<UncheckedPolicy>(Other, SP, C);
   EXPECT_NE(DigA, obs::requestTreeDigest(requestsOf(C)));
+}
+
+//===----------------------------------------------------------------------===//
+// sharc-storm: backpressure, overload protection, chaos (DESIGN.md §17)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The HandoffRing backpressure contract, checked per policy: tryPush
+/// refuses exactly when the ring is full, a refused item is still owned
+/// by the caller (the sharing cast happens only on success), and under
+/// concurrent producers nothing is lost or duplicated — every accepted
+/// item pops exactly once and the ring destructs empty (no counted cell
+/// left holding a sentinel).
+template <typename P> void ringBackpressureCheck() {
+  constexpr size_t Cap = 8;
+  HandoffRing<P, LogRecord> Ring(Cap);
+  const rt::AccessSite *Site = SHARC_SITE("ring backpressure test");
+  auto Make = [&](uint64_t Seq) {
+    auto *R = new (P::alloc(sizeof(LogRecord))) LogRecord();
+    R->Seq = Seq;
+    return R;
+  };
+  auto Free = [&](LogRecord *R) {
+    R->~LogRecord();
+    P::dealloc(R);
+  };
+
+  // Deterministic part: fill to capacity, then the refusal is certain.
+  for (size_t I = 0; I != Cap; ++I) {
+    LogRecord *R = Make(I);
+    ASSERT_TRUE(Ring.tryPush(R, Site));
+  }
+  EXPECT_EQ(Ring.depth(), Cap);
+  LogRecord *Extra = Make(999);
+  EXPECT_FALSE(Ring.tryPush(Extra, Site));
+  // The refusal left ownership with us: no cast fired, so writing the
+  // record privately is legal and must not trip a checked policy.
+  Extra->Bytes = 7;
+  for (size_t I = 0; I != Cap; ++I) {
+    LogRecord *R = Ring.pop(Site);
+    ASSERT_NE(R, nullptr);
+    EXPECT_EQ(R->Seq, I);
+    Free(R);
+  }
+  EXPECT_EQ(Ring.depth(), 0u);
+  EXPECT_TRUE(Ring.tryPush(Extra, Site));
+
+  // Concurrent part: producers spin on tryPush against a consumer that
+  // drains everything; refusals retry, so conservation must be exact.
+  constexpr unsigned Producers = 3;
+  constexpr uint64_t PerProducer = 2000;
+  constexpr uint64_t Total = Producers * PerProducer + 1; // + Extra
+  std::atomic<uint64_t> Refused{0};
+  std::vector<typename P::Thread> Threads;
+  for (unsigned T = 0; T != Producers; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t I = 0; I != PerProducer; ++I) {
+        LogRecord *R = Make(1000000 + T * PerProducer + I);
+        while (!Ring.tryPush(R, Site))
+          Refused.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  // Hold the consumer until the ring has actually refused a push: the
+  // producers fill all eight cells and then spin against the full ring,
+  // so the refusal is reached deterministically, not by timing luck.
+  while (Refused.load(std::memory_order_relaxed) == 0)
+    std::this_thread::yield();
+  std::vector<uint8_t> Seen(Total, 0);
+  uint64_t Popped = 0;
+  while (Popped != Total) {
+    LogRecord *R = Ring.pop(Site);
+    ASSERT_NE(R, nullptr);
+    size_t Idx = R->Seq == 999 ? 0 : 1 + (R->Seq - 1000000);
+    ASSERT_LT(Idx, Total);
+    EXPECT_EQ(Seen[Idx], 0u) << "duplicate seq " << R->Seq;
+    Seen[Idx] = 1;
+    Free(R);
+    ++Popped;
+  }
+  for (auto &T : Threads)
+    T.join();
+  // A tiny ring against three spinning producers must have refused at
+  // least once — the backpressure signal the admission layer sheds on.
+  EXPECT_GT(Refused.load(), 0u);
+  EXPECT_EQ(Ring.depth(), 0u);
+  for (uint64_t I = 0; I != Total; ++I)
+    EXPECT_EQ(Seen[I], 1u) << "lost item " << I;
+  Ring.close();
+  EXPECT_EQ(Ring.pop(Site), nullptr);
+}
+
+} // namespace
+
+TEST(ServeRingTest, TryPushBackpressureUnchecked) {
+  ringBackpressureCheck<UncheckedPolicy>();
+}
+
+TEST(ServeRingTest, TryPushBackpressureSharc) {
+  RuntimeGuard Guard(serveConfig());
+  ringBackpressureCheck<SharcPolicy>();
+  EXPECT_EQ(rt::Runtime::get().getStats().totalConflicts(), 0u);
+}
+
+namespace {
+
+struct StormRun {
+  ServeStats Stats;
+  LoadResult Load;
+};
+
+/// Runs the full pipeline with the resilience layer armed and the load
+/// generator in retry mode — the wiring sharc-serve uses whenever
+/// --max-inflight / --deadline-ms / --chaos is given.
+template <typename P>
+StormRun runStorm(const LoadConfig &LC, const ServeParams &SP,
+                  obs::VectorSink *Out = nullptr) {
+  std::unique_ptr<obs::Collector> Col;
+  if (Out)
+    Col = std::make_unique<obs::Collector>(*Out, 1u << 16);
+  SimTransport Net;
+  SteadyClock::time_point Epoch = SteadyClock::now();
+  Server<P> Srv(SP, Net, Epoch);
+  if (Col)
+    Srv.setTrace(Col.get());
+  Srv.start();
+  std::vector<Arrival> S = buildSchedule(LC);
+  StormRun R;
+  R.Load = runOpenLoop(Net, S, LC, Epoch);
+  Srv.stop();
+  if (Col)
+    Col->flush();
+  R.Stats = Srv.takeStats();
+  return R;
+}
+
+LoadConfig stormLoad() {
+  LoadConfig C = smallLoad();
+  C.RatePerSec = 400000; // ~2x what smallParams' workers sustain
+  C.Resilient = true;
+  return C;
+}
+
+ServeParams stormParams() {
+  ServeParams P = smallParams();
+  P.ServiceNanos = 30000;
+  P.Resilient = true;
+  return P;
+}
+
+} // namespace
+
+TEST(ServeStormTest, OverloadShedsAndAccountsExactly) {
+  // The core robustness property: at 2x sustainable load with a small
+  // admission cap, the server sheds (typed rejections) instead of
+  // queueing unboundedly, clients retry with backoff, and nothing is
+  // lost in the accounting — every offered request is either completed,
+  // timed out server-side, or given up by its client.
+  LoadConfig LC = stormLoad();
+  ServeParams SP = stormParams();
+  SP.MaxInflight = 8;
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP);
+  EXPECT_EQ(R.Load.Offered, LC.totalRequests());
+  EXPECT_GT(R.Stats.Shed, 0u);
+  EXPECT_GT(R.Load.ShedSeen, 0u);
+  EXPECT_GT(R.Load.Retries, 0u);
+  EXPECT_EQ(R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped,
+            R.Load.Offered);
+  // Rejections are refusals, not failures: the error counter stays 0.
+  EXPECT_EQ(R.Stats.Errors, 0u);
+}
+
+TEST(ServeStormTest, SharcPolicyOverloadIsViolationFree) {
+  // Shedding casts nothing (ownership never moves for a refused
+  // connection) and retries re-submit fresh payload bytes, so the
+  // annotated build must survive the same overload with zero sharing
+  // violations — the "casts stay checked under shedding" contract.
+  LoadConfig LC = stormLoad();
+  ServeParams SP = stormParams();
+  SP.MaxInflight = 8;
+  RuntimeGuard Guard(serveConfig());
+  StormRun R = runStorm<SharcPolicy>(LC, SP);
+  EXPECT_GT(R.Stats.Shed, 0u);
+  EXPECT_EQ(R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped,
+            R.Load.Offered);
+  EXPECT_EQ(rt::Runtime::get().getStats().totalConflicts(), 0u);
+}
+
+TEST(ServeStormTest, DeadlineDropsStaleQueueResidents) {
+  // A slow backend with a finite deadline: requests pass admission
+  // fresh, go stale while queued, and are dropped at dequeue with a
+  // counted timeout instead of burning handler CPU. Server-side
+  // timeouts are not retried (no rejection is sent), so the identity
+  // closes through the TimedOut column.
+  LoadConfig LC = stormLoad();
+  ServeParams SP = stormParams();
+  SP.ServiceNanos = 500000; // 500us/request: the queue goes stale fast
+  SP.DeadlineNanos = 2000000;
+  SP.RingCapacity = 4096; // roomy: isolate the deadline path from
+                          // ring-full shedding
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP);
+  EXPECT_GT(R.Stats.TimedOut, 0u);
+  EXPECT_EQ(R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped,
+            R.Load.Offered);
+}
+
+TEST(ServeStormTest, DegradationLadderShedsLoggerWorkFirst) {
+  // A tiny ring under 2x load walks the ladder: depth crosses the high
+  // watermark, degraded mode sheds log records (logger work before
+  // handler work), and the episode closes — at the latest when the
+  // drain empties the ring — recording a recovery with its time-to-
+  // recover. Log conservation: every completed request either logged
+  // or counted its shed.
+  LoadConfig LC = stormLoad();
+  ServeParams SP = stormParams();
+  SP.RingCapacity = 64;
+  SP.ServiceNanos = 100000;
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP);
+  EXPECT_GT(R.Stats.LogShed, 0u);
+  EXPECT_GE(R.Stats.Recoveries, 1u);
+  EXPECT_GT(R.Stats.DegradedNs, 0u);
+  EXPECT_EQ(R.Stats.RecoveryNs.count(), R.Stats.Recoveries);
+  EXPECT_EQ(R.Stats.LogRecords + R.Stats.LogShed, R.Stats.Completed);
+  EXPECT_EQ(R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped,
+            R.Load.Offered);
+}
+
+TEST(ServeStormTest, WorkerCrashSurvivorsDrainTheRing) {
+  // worker-crash retires worker 0 at a request boundary; the survivors
+  // own the ring from then on and must drain every admitted connection
+  // — a crashed worker never strands work it did not own.
+  LoadConfig LC = smallLoad();
+  LC.RatePerSec = 100000;
+  LC.Resilient = true;
+  ServeParams SP = stormParams();
+  SP.WorkerCrashAfter = 20;
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP);
+  EXPECT_EQ(R.Stats.FaultsInjected, 1u);
+  EXPECT_EQ(R.Stats.Completed, R.Load.Offered);
+  EXPECT_EQ(R.Load.Dropped, 0u);
+}
+
+TEST(ServeStormTest, LoggerWedgeBacksUpIntoLogShedding) {
+  // logger-wedge stalls the logger on its first record; the log ring
+  // fills behind it and workers shed records instead of blocking the
+  // handler path — graceful degradation sacrifices observability
+  // before throughput.
+  LoadConfig LC = smallLoad();
+  LC.RatePerSec = 100000;
+  LC.Resilient = true;
+  ServeParams SP = stormParams();
+  SP.ServiceNanos = 1000;
+  SP.RingCapacity = 64; // log ring shares the capacity: wedges fast
+  SP.LoggerWedgeNanos = 20000000;
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP);
+  EXPECT_GE(R.Stats.FaultsInjected, 1u);
+  EXPECT_GT(R.Stats.LogShed, 0u);
+  EXPECT_EQ(R.Stats.LogRecords + R.Stats.LogShed, R.Stats.Completed);
+  EXPECT_EQ(R.Stats.Completed + R.Stats.TimedOut + R.Load.Dropped,
+            R.Load.Offered);
+}
+
+TEST(ServeStormTest, ConnResetsAreRetriedWithIdenticalPayload) {
+  // The transport bounces every Nth submission; the client retries with
+  // the SAME request id and byte-identical payload (the payload is a
+  // pure function of seed and sequence), so a run where every retry
+  // eventually lands produces the same checksum as an undisturbed run.
+  LoadConfig LC = smallLoad();
+  LC.RatePerSec = 100000;
+  ServeParams SP = smallParams();
+  ServeStats Clean = runServer<UncheckedPolicy>(LC, SP);
+
+  LC.Resilient = true;
+  SP.Resilient = true;
+  SimTransport Net;
+  SteadyClock::time_point Epoch = SteadyClock::now();
+  Server<UncheckedPolicy> Srv(SP, Net, Epoch);
+  Net.setConnResetEvery(7);
+  Srv.start();
+  std::vector<Arrival> S = buildSchedule(LC);
+  LoadResult L = runOpenLoop(Net, S, LC, Epoch);
+  Srv.stop();
+  ServeStats Chaos = Srv.takeStats();
+
+  EXPECT_GT(L.ResetSeen, 0u);
+  EXPECT_GE(L.Retries, L.ResetSeen - L.Dropped);
+  EXPECT_EQ(Chaos.Completed + Chaos.TimedOut + L.Dropped, L.Offered);
+  if (L.Dropped == 0) {
+    EXPECT_EQ(Chaos.Completed, Clean.Completed);
+    EXPECT_EQ(Chaos.Checksum, Clean.Checksum);
+  }
+}
+
+TEST(ServeLoadGenTest, RetryPayloadIsAPureFunctionOfSeedAndSeq) {
+  std::vector<uint8_t> A, B;
+  fillPayload(A, 9, 42, 64);
+  fillPayload(B, 9, 42, 64);
+  EXPECT_EQ(A, B);
+  fillPayload(B, 9, 43, 64);
+  EXPECT_NE(A, B);
+  fillPayload(B, 10, 42, 64);
+  EXPECT_NE(A, B);
+}
+
+TEST(ServeStormTest, ShedAndRetriedRequestsCarryOutcomesInTheSpanTree) {
+  // Satellite 6's producer side: shed admissions emit an Accept span
+  // pair with the shed outcome, so the request view names them instead
+  // of mistaking their short span trees for truncation — and a
+  // rejected-then-admitted request counts as retried (two Accept
+  // begins) with a last-wins Ok outcome.
+  LoadConfig LC = stormLoad();
+  ServeParams SP = stormParams();
+  SP.MaxInflight = 8;
+  obs::VectorSink Out;
+  StormRun R = runStorm<UncheckedPolicy>(LC, SP, &Out);
+  ASSERT_GT(R.Stats.Shed, 0u);
+
+  obs::RequestsReport Rep = requestsOf(Out);
+  EXPECT_EQ(Rep.Requests.size(), LC.totalRequests());
+  EXPECT_GT(Rep.Shed, 0u);
+  EXPECT_GT(Rep.Retried, 0u);
+  // Every request resolves to a named outcome; nothing is mislabelled
+  // as an incomplete (truncated) span set.
+  EXPECT_EQ(Rep.Complete + Rep.Shed + Rep.TimedOut, Rep.Requests.size());
+  EXPECT_EQ(Rep.Incomplete, 0u);
+  // Completed count in the span view matches the server's own books.
+  EXPECT_EQ(Rep.Complete, R.Stats.Completed);
 }
 
 TEST(ServeSpanTest, InjectedStallIsAttributedToTheHoldingRequest) {
